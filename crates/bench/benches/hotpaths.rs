@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of the hot paths: the operations on the
+//! per-packet critical path of the OmniReduce data plane, plus the
+//! worker-side preprocessing (bitmap construction, §B.1) and the wire
+//! codec. Run with `cargo bench -p omnireduce-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use omnireduce_sparsify::{BlockTopK, Compressor};
+use omnireduce_tensor::fusion::FusionLayout;
+use omnireduce_tensor::gen;
+use omnireduce_tensor::{BlockSpec, NonZeroBitmap, Tensor};
+use omnireduce_transport::codec;
+use omnireduce_transport::{Entry, Message, Packet, PacketKind};
+
+const TENSOR_ELEMENTS: usize = 1 << 22; // 16 MB
+
+fn bench_bitmap_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap_build");
+    let tensor = gen::block_structured(TENSOR_ELEMENTS, BlockSpec::new(256), 0.5, 1.0, 1);
+    g.throughput(Throughput::Bytes((TENSOR_ELEMENTS * 4) as u64));
+    for bs in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, bs| {
+            let spec = BlockSpec::new(*bs);
+            b.iter(|| NonZeroBitmap::build(&tensor, spec));
+        });
+    }
+    g.finish();
+}
+
+fn bench_next_nonzero_scan(c: &mut Criterion) {
+    let tensor = gen::block_structured(TENSOR_ELEMENTS, BlockSpec::new(256), 0.9, 1.0, 2);
+    let bm = NonZeroBitmap::build(&tensor, BlockSpec::new(256));
+    c.bench_function("next_nonzero_full_walk", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            let mut from = 0u32;
+            loop {
+                let n = bm.next_nonzero(from);
+                if n == u32::MAX {
+                    break;
+                }
+                count += 1;
+                from = n + 1;
+            }
+            count
+        });
+    });
+}
+
+fn bench_slot_aggregation(c: &mut Criterion) {
+    // The aggregator inner loop: accumulate a 256-value block.
+    let mut acc = vec![0.0f32; 256];
+    let data: Vec<f32> = (0..256).map(|i| i as f32 * 0.5).collect();
+    let mut g = c.benchmark_group("slot_aggregate");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("f32x256", |b| {
+        b.iter(|| {
+            for (a, v) in acc.iter_mut().zip(&data) {
+                *a += *v;
+            }
+            acc[0]
+        });
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = Message::Block(Packet {
+        kind: PacketKind::Data,
+        ver: 0,
+        stream: 3,
+        wid: 1,
+        entries: (0..4)
+            .map(|i| Entry::data(i * 4, i * 4 + 4, vec![1.5; 256]))
+            .collect(),
+    });
+    let bytes = codec::encode(&msg);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_fused_packet", |b| b.iter(|| codec::encode(&msg)));
+    g.bench_function("decode_fused_packet", |b| {
+        b.iter(|| codec::decode(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_fusion_column_scan(c: &mut Criterion) {
+    let tensor = gen::block_structured(TENSOR_ELEMENTS, BlockSpec::new(256), 0.9, 1.0, 3);
+    let bm = NonZeroBitmap::build(&tensor, BlockSpec::new(256));
+    let layout = FusionLayout::new(BlockSpec::new(256), 4);
+    c.bench_function("fusion_next_in_column", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for col in 0..4 {
+                acc += layout.next_nonzero_in_column(&bm, col, col as u32) as u64;
+            }
+            acc
+        });
+    });
+}
+
+fn bench_block_topk(c: &mut Criterion) {
+    let grad = gen::element_uniform(1 << 20, 0.0, 4);
+    let params = Tensor::zeros(1 << 20);
+    let mut g = c.benchmark_group("compressor");
+    g.throughput(Throughput::Bytes((grad.len() * 4) as u64));
+    g.bench_function("block_topk_1pct", |b| {
+        let mut comp = BlockTopK::new(0.01, BlockSpec::new(256));
+        b.iter(|| comp.compress(&grad, &params));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bitmap_build,
+    bench_next_nonzero_scan,
+    bench_slot_aggregation,
+    bench_codec,
+    bench_fusion_column_scan,
+    bench_block_topk,
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Ablation: generalized collectives on the OmniReduce machinery (§7) —
+//! Broadcast and AllGather as degenerate sparse AllReduces. Measures
+//! (from the executable engines' byte counters) how much traffic sparse
+//! Broadcast saves versus broadcasting the dense tensor, and checks
+//! AllGather's per-worker volume.
+
+use std::thread;
+
+use omnireduce_bench::Table;
+use omnireduce_core::aggregator::OmniAggregator;
+use omnireduce_core::collective::{allgather, broadcast};
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::worker::OmniWorker;
+use omnireduce_tensor::gen;
+use omnireduce_tensor::{BlockSpec, Tensor};
+use omnireduce_transport::{ChannelNetwork, NodeId};
+
+const N: usize = 4;
+const ELEMENTS: usize = 1 << 16;
+
+fn broadcast_bytes(sparsity: f64) -> (u64, u64) {
+    let cfg = OmniConfig::new(N, ELEMENTS)
+        .with_block_size(256)
+        .with_fusion(4)
+        .with_streams(8);
+    let root_tensor = gen::block_structured(ELEMENTS, BlockSpec::new(256), sparsity, 1.0, 5);
+    let mut net = ChannelNetwork::new(cfg.mesh_size());
+    let agg_t = net.endpoint(NodeId(cfg.aggregator_node(0)));
+    let agg_cfg = cfg.clone();
+    let agg = thread::spawn(move || OmniAggregator::new(agg_t, agg_cfg).run().unwrap());
+    let mut handles = Vec::new();
+    for w in 0..N {
+        let t = net.endpoint(NodeId(cfg.worker_node(w)));
+        let cfg = cfg.clone();
+        let root_tensor = root_tensor.clone();
+        handles.push(thread::spawn(move || {
+            let mut worker = OmniWorker::new(t, cfg);
+            let mut tensor = if w == 0 { root_tensor } else { Tensor::zeros(ELEMENTS) };
+            broadcast(&mut worker, &mut tensor, 0).unwrap();
+            let bytes = worker.stats().bytes_sent;
+            worker.shutdown().unwrap();
+            bytes
+        }));
+    }
+    let per_worker: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    agg.join().unwrap();
+    (per_worker[0], per_worker[1..].iter().sum())
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: sparse Broadcast traffic (4 workers, 256 KB tensor)",
+        &["sparsity", "root KB sent", "peers total KB (first rows)", "dense broadcast KB"],
+    );
+    let dense_kb = (ELEMENTS * 4) as f64 / 1e3;
+    for s in [0.0f64, 0.5, 0.9, 0.99] {
+        let (root, peers) = broadcast_bytes(s);
+        t.row(vec![
+            format!("{:.0}%", s * 100.0),
+            format!("{:.1}", root as f64 / 1e3),
+            format!("{:.1}", peers as f64 / 1e3),
+            format!("{dense_kb:.1}"),
+        ]);
+    }
+    t.emit("ablation_broadcast");
+
+    // AllGather: every worker contributes 1/N of the output; the result
+    // has no block overlap, so each worker transmits ≈ its own share.
+    let local_len = ELEMENTS / N;
+    let cfg = OmniConfig::new(N, ELEMENTS)
+        .with_block_size(256)
+        .with_fusion(4)
+        .with_streams(8);
+    let mut net = ChannelNetwork::new(cfg.mesh_size());
+    let agg_t = net.endpoint(NodeId(cfg.aggregator_node(0)));
+    let agg_cfg = cfg.clone();
+    let agg = thread::spawn(move || OmniAggregator::new(agg_t, agg_cfg).run().unwrap());
+    let mut handles = Vec::new();
+    for w in 0..N {
+        let t = net.endpoint(NodeId(cfg.worker_node(w)));
+        let cfg = cfg.clone();
+        handles.push(thread::spawn(move || {
+            let mut worker = OmniWorker::new(t, cfg);
+            let local = Tensor::from_vec(vec![w as f32 + 1.0; local_len]);
+            let out = allgather(&mut worker, &local, N).unwrap();
+            let bytes = worker.stats().bytes_sent;
+            worker.shutdown().unwrap();
+            (out.len(), bytes)
+        }));
+    }
+    let mut t2 = Table::new(
+        "Ablation: AllGather per-worker traffic",
+        &["worker", "KB sent", "own share KB"],
+    );
+    for (w, h) in handles.into_iter().enumerate() {
+        let (len, bytes) = h.join().unwrap();
+        assert_eq!(len, ELEMENTS);
+        t2.row(vec![
+            w.to_string(),
+            format!("{:.1}", bytes as f64 / 1e3),
+            format!("{:.1}", (local_len * 4) as f64 / 1e3),
+        ]);
+    }
+    agg.join().unwrap();
+    t2.emit("ablation_allgather");
+}

@@ -1,0 +1,83 @@
+//! Ablation: dense block format vs sparse key-value block format (§3.3).
+//!
+//! The KV format (Algorithm 3) transmits `(c_i + c_v)` bytes per
+//! non-zero element; the dense block format transmits `bs · c_v` per
+//! non-zero *block*. The paper's break-even: KV wins when a block holds
+//! more than `bs·c_v/(c_i+c_v)` zeros — i.e. when density *within*
+//! non-zero blocks drops below `c_v/(c_i+c_v)` = 50%.
+//!
+//! This sweep varies density-within-block at fixed block sparsity and
+//! compares the wire bytes each format needs (both measured from real
+//! engines: the executable dense worker's byte counter and the KV
+//! worker's byte counter over an in-process group).
+
+use std::thread;
+
+use omnireduce_bench::Table;
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::kv::{KvAggregator, KvConfig, KvWorker};
+use omnireduce_core::testing::run_group;
+use omnireduce_tensor::convert::dense_to_coo;
+use omnireduce_tensor::gen;
+use omnireduce_tensor::BlockSpec;
+use omnireduce_transport::{ChannelNetwork, NodeId};
+
+const N: usize = 2;
+const ELEMENTS: usize = 1 << 18;
+const BS: usize = 64;
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: dense block format vs KV format (wire KB per worker)",
+        &["density within block", "dense blocks", "kv pairs", "winner"],
+    );
+    for density_within in [1.0f64, 0.8, 0.6, 0.5, 0.4, 0.2, 0.1] {
+        let inputs = gen::workers(
+            N,
+            ELEMENTS,
+            BlockSpec::new(BS),
+            0.5,
+            density_within,
+            gen::OverlapMode::Random,
+            7,
+        );
+        // Dense-block engine.
+        let cfg = OmniConfig::new(N, ELEMENTS)
+            .with_block_size(BS)
+            .with_fusion(4)
+            .with_streams(4);
+        let dense = run_group(&cfg, inputs.iter().map(|t| vec![t.clone()]).collect());
+        let dense_bytes = dense.stats[0].bytes_sent;
+
+        // KV engine over the same data.
+        let kv_cfg = KvConfig::new(N, BS);
+        let mut net = ChannelNetwork::new(kv_cfg.mesh_size());
+        let agg_t = net.endpoint(NodeId(kv_cfg.aggregator_node()));
+        let agg_cfg = kv_cfg.clone();
+        let agg = thread::spawn(move || KvAggregator::new(agg_t, agg_cfg).run().unwrap());
+        let mut handles = Vec::new();
+        for (w, input) in inputs.iter().enumerate() {
+            let ep = net.endpoint(NodeId(w as u16));
+            let cfg = kv_cfg.clone();
+            let coo = dense_to_coo(input);
+            handles.push(thread::spawn(move || {
+                let mut worker = KvWorker::new(ep, cfg);
+                let _ = worker.allreduce(&coo).unwrap();
+                let bytes = worker.stats().bytes_sent;
+                worker.shutdown().unwrap();
+                bytes
+            }));
+        }
+        let kv_bytes: u64 = handles.into_iter().map(|h| h.join().unwrap()).next().unwrap();
+        agg.join().unwrap();
+
+        t.row(vec![
+            format!("{:.0}%", density_within * 100.0),
+            format!("{:.1}", dense_bytes as f64 / 1e3),
+            format!("{:.1}", kv_bytes as f64 / 1e3),
+            if dense_bytes <= kv_bytes { "dense" } else { "kv" }.into(),
+        ]);
+    }
+    println!("break-even expected near 50% density within blocks (c_v/(c_i+c_v))");
+    t.emit("ablation_kv_format");
+}

@@ -1,0 +1,44 @@
+//! Ablation: strong vs weak scaling (paper §1).
+//!
+//! Strong scaling keeps the total batch fixed — per-worker compute time
+//! shrinks 1/N while the gradient (communication) stays constant, so
+//! training "quickly becomes communication-bound". Weak scaling grows
+//! the total batch with N — per-worker compute stays constant, but the
+//! communication still grows with ring's 2(N−1)/N factor. This table
+//! shows the scaling factor under both regimes for ring vs OmniReduce on
+//! the DeepLight profile at 10 Gbps.
+
+use omnireduce_bench::{e2e, Table, Testbed};
+use omnireduce_workloads::{scaling_factor, Gpu, Workload, WorkloadName};
+
+fn main() {
+    let w = Workload::get(WorkloadName::DeepLight);
+    let tc1 = w.compute_seconds(Gpu::P100); // single-GPU step at base batch
+    let mut t = Table::new(
+        "Ablation: strong vs weak scaling, DeepLight, 10 Gbps (scaling factor)",
+        &[
+            "workers",
+            "strong ring",
+            "strong OmniReduce",
+            "weak ring",
+            "weak OmniReduce",
+        ],
+    );
+    for n in [2usize, 4, 8, 16] {
+        let ring = e2e::ring_comm_seconds(Testbed::Dpdk10, &w, n);
+        let omni = e2e::omni_comm_seconds(Testbed::Dpdk10, &w, n, n as u64);
+        // Strong scaling: per-worker compute shrinks 1/N.
+        let tc_strong = tc1 / n as f64;
+        // Weak scaling: per-worker compute constant.
+        let tc_weak = tc1;
+        t.row(vec![
+            n.to_string(),
+            format!("{:.3}", scaling_factor(tc_strong, ring)),
+            format!("{:.3}", scaling_factor(tc_strong, omni)),
+            format!("{:.3}", scaling_factor(tc_weak, ring)),
+            format!("{:.3}", scaling_factor(tc_weak, omni)),
+        ]);
+    }
+    println!("strong scaling collapses fastest for the dense baseline (§1).");
+    t.emit("ablation_scaling_mode");
+}

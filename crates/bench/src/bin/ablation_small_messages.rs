@@ -1,0 +1,56 @@
+//! Ablation: the small-message (latency-dominated) regime of §3.4.
+//!
+//! For tiny tensors the latency term α dominates: ring pays 2(N−1)
+//! one-way latencies, recursive doubling pays log₂N round trips, and
+//! OmniReduce pays a single aggregator round trip regardless of N — the
+//! "very sparse data" case of the §3.4 analysis.
+//!
+//! OmniReduce runs with a *single* aggregator shard here, which also
+//! demonstrates the flip side: once bandwidth dominates (the 4 MB row),
+//! one shard must move N·S bytes and loses badly — the reason the
+//! dedicated deployment shards the aggregator across N nodes
+//! ("bandwidth-optimality when the aggregator bandwidth matches the
+//! combined worker bandwidth N·B", §3.4).
+
+use omnireduce_bench::{Table, Testbed};
+use omnireduce_collectives::sim::{recursive_doubling_time, ring_allreduce_time};
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::sim::{bitmaps_from_sets, simulate_allreduce, SimSpec};
+use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
+
+const N: usize = 8;
+const BS: usize = 64;
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: small-message latency regime (8 workers, 10 Gbps, 1 shard) [us]",
+        &["tensor bytes", "ring", "recursive doubling", "OmniReduce(1 shard)"],
+    );
+    let nic = Testbed::Dpdk10.nic();
+    for bytes in [1_024u64, 16_384, 262_144, 4_194_304] {
+        let elements = (bytes / 4) as usize;
+        let nblocks = elements.div_ceil(BS);
+        let cfg = OmniConfig::new(N, elements)
+            .with_block_size(BS)
+            .with_fusion(4)
+            .with_streams(8)
+            .with_aggregators(1);
+        let bms = bitmaps_from_sets(&worker_block_sets(N, nblocks, 0.0, OverlapMode::All, 1));
+        let spec = SimSpec::dedicated(cfg, Testbed::Dpdk10.bandwidth(), Testbed::Dpdk10.latency());
+        let omni = simulate_allreduce(&spec, &bms).completion;
+        t.row(vec![
+            bytes.to_string(),
+            format!("{:.1}", ring_allreduce_time(N, bytes, nic).as_secs_f64() * 1e6),
+            format!(
+                "{:.1}",
+                recursive_doubling_time(N, bytes, nic).as_secs_f64() * 1e6
+            ),
+            format!("{:.1}", omni.as_secs_f64() * 1e6),
+        ]);
+    }
+    println!(
+        "note: above ~100 KB a single shard saturates (it must move N.S bytes);\n\
+         the dedicated deployment of Figs 4-7 shards the aggregator N ways."
+    );
+    t.emit("ablation_small_messages");
+}

@@ -1,0 +1,39 @@
+//! Ablation: chunk size of the Appendix-B staging pipeline (the paper
+//! picks 4 MB). Sweeps the chunk size for the non-GDR path at 100 Gbps
+//! and three sparsity levels, reporting completion time of the staged
+//! send against the perfect-overlap lower bound — tiny chunks drown in
+//! per-chunk synchronization, one giant chunk forfeits all overlap.
+
+use omnireduce_bench::Table;
+use omnireduce_core::staging::StagingPipeline;
+
+const TENSOR: u64 = 100_000_000;
+const NET: f64 = 12.5e9; // 100 Gbps
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: staging chunk size (100 MB tensor, 100 Gbps, non-GDR) [ms]",
+        &["chunk", "dense send", "s=90%", "s=99%", "ideal dense"],
+    );
+    for chunk in [65_536u64, 262_144, 1_000_000, 4_000_000, 16_000_000, 100_000_000] {
+        let p = StagingPipeline {
+            tensor_bytes: TENSOR,
+            chunk_bytes: chunk,
+            pcie_rate: 16e9,
+            per_chunk_overhead: 20e-6,
+        };
+        let label = if chunk >= 1_000_000 {
+            format!("{} MB", chunk / 1_000_000)
+        } else {
+            format!("{} KB", chunk / 1_000)
+        };
+        t.row(vec![
+            label,
+            format!("{:.2}", p.overlapped_send_time(TENSOR, NET) * 1e3),
+            format!("{:.2}", p.overlapped_send_time(TENSOR / 10, NET) * 1e3),
+            format!("{:.2}", p.overlapped_send_time(TENSOR / 100, NET) * 1e3),
+            format!("{:.2}", p.ideal_time(TENSOR, NET) * 1e3),
+        ]);
+    }
+    t.emit("ablation_staging");
+}

@@ -1,0 +1,32 @@
+//! Ablation: slot-pool depth (parallel streams, §3.1.1).
+//!
+//! Streaming aggregation masks latency by keeping many slots in flight.
+//! This sweep holds the fabric and tensor fixed and varies the number of
+//! streams per shard; the knee should sit near the bandwidth-delay
+//! product divided by the packet size.
+
+use omnireduce_bench::{micro_bitmaps, ms, Table, Testbed, BLOCK_SIZE, FUSION};
+use omnireduce_core::config::OmniConfig;
+use omnireduce_tensor::gen::OverlapMode;
+
+const N: usize = 4;
+const ELEMENTS: usize = 6_250_000; // 25 MB
+
+fn main() {
+    let mut t = Table::new(
+        "Ablation: streams per shard (pipeline depth), 25 MB, dense",
+        &["streams", "DPDK-10G [ms]", "GDR-100G [ms]"],
+    );
+    let bms = micro_bitmaps(N, ELEMENTS, 0.0, OverlapMode::All, 1);
+    for streams in [1usize, 2, 4, 8, 16, 32, 64] {
+        let cfg = OmniConfig::new(N, ELEMENTS)
+            .with_block_size(BLOCK_SIZE)
+            .with_fusion(FUSION)
+            .with_streams(streams)
+            .with_aggregators(N);
+        let t10 = omnireduce_bench::omni_time(Testbed::Dpdk10, cfg.clone(), &bms);
+        let t100 = omnireduce_bench::omni_time(Testbed::Gdr100, cfg, &bms);
+        t.row(vec![streams.to_string(), ms(t10), ms(t100)]);
+    }
+    t.emit("ablation_streams");
+}

@@ -1,0 +1,26 @@
+//! Figure 1: scalability of the six DDL workloads under ring AllReduce
+//! (NCCL) on the 10 Gbps testbed as the worker count grows — the
+//! motivating figure: large models fall far below linear scaling.
+//!
+//! Scaling factor: `sf = T_N / (N · T)` with the DDP overlap model
+//! `step = max(t_compute, t_comm)` (see `omnireduce-workloads`).
+
+use omnireduce_bench::{e2e, Table, Testbed};
+use omnireduce_workloads::{scaling_factor, Gpu, Workload};
+
+fn main() {
+    let mut t = Table::new(
+        "Fig 1: scaling factor of six workloads, ring AllReduce, 10 Gbps",
+        &["model", "N=2", "N=4", "N=8"],
+    );
+    for w in Workload::all() {
+        let tc = w.compute_seconds(Gpu::P100);
+        let mut row = vec![w.name.to_string()];
+        for n in [2usize, 4, 8] {
+            let tm = e2e::ring_comm_seconds(Testbed::Dpdk10, &w, n);
+            row.push(format!("{:.3}", scaling_factor(tc, tm)));
+        }
+        t.row(row);
+    }
+    t.emit("fig01_scaling");
+}

@@ -1,0 +1,52 @@
+//! Figure 4: time to complete AllReduce on 100 MB tensors — OmniReduce
+//! at sparsity 0/60/90/99% vs NCCL ring, on the three transport modes
+//! (DPDK 10 Gbps, RDMA 100 Gbps, GDR 100 Gbps), for 2/4/8 workers —
+//! plus the line-rate optimal ring time (the paper's dashed line).
+//!
+//! Non-zero blocks overlap randomly among workers, as in §6.1.1.
+
+use omnireduce_bench::{micro_bitmaps, ms, omni_config, Table, Testbed, MICROBENCH_ELEMENTS};
+use omnireduce_collectives::cost::{self, CostParams};
+use omnireduce_collectives::sim::ring_allreduce_time;
+use omnireduce_simnet::SimTime;
+use omnireduce_tensor::gen::OverlapMode;
+
+const SPARSITIES: [f64; 4] = [0.0, 0.60, 0.90, 0.99];
+const WORKERS: [usize; 3] = [2, 4, 8];
+const BYTES: u64 = (MICROBENCH_ELEMENTS as u64) * 4;
+
+fn main() {
+    for testbed in [Testbed::Dpdk10, Testbed::Rdma100, Testbed::Gdr100] {
+        let mut t = Table::new(
+            &format!("Fig 4 ({}): AllReduce time [ms] on 100 MB", testbed.label()),
+            &[
+                "workers", "NCCL", "O,0%", "O,60%", "O,90%", "O,99%", "ring@line-rate",
+            ],
+        );
+        let gbps = testbed.bandwidth().as_bytes_per_sec() * 8.0 / 1e9;
+        for n in WORKERS {
+            // NCCL ring baseline (dense), plus the staging floor it pays
+            // too on the non-GDR paths.
+            let nccl = ring_allreduce_time(n, BYTES, testbed.nic())
+                .max(testbed.copy_floor(BYTES));
+            // Line-rate optimal ring (the dashed reference).
+            let p = CostParams::new_gbps(gbps, 0.0);
+            let optimal = SimTime::from_secs_f64(cost::ring_allreduce(&p, n, BYTES as f64));
+
+            let mut row = vec![n.to_string(), ms(nccl)];
+            for s in SPARSITIES {
+                let cfg = omni_config(n, MICROBENCH_ELEMENTS);
+                let bms =
+                    micro_bitmaps(n, MICROBENCH_ELEMENTS, s, OverlapMode::Random, 40 + n as u64);
+                let t_omni = omnireduce_bench::omni_time(testbed, cfg, &bms);
+                row.push(ms(t_omni));
+            }
+            row.push(ms(optimal));
+            t.row(row);
+        }
+        t.emit(&format!(
+            "fig04_{}",
+            testbed.label().to_lowercase().replace('-', "_")
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 5: OmniReduce vs the dense AllReduce systems at 100 Gbps as
+//! sparsity varies (8 workers, 100 MB): NCCL (ring) and NCCL† (ring with
+//! GDR), BytePS (parameter server), SwitchML* (server-based streaming
+//! dense aggregation), OmniReduce† (GDR), OmniReduce(Co)† (colocated,
+//! GDR) and OmniReduce (RDMA, host staging).
+
+use omnireduce_bench::{
+    micro_bitmaps, ms, omni_config, omni_time, omni_time_colocated, Table, Testbed,
+    MICROBENCH_ELEMENTS,
+};
+use omnireduce_collectives::sim::{ps_dense_time, ring_allreduce_time};
+use omnireduce_tensor::gen::OverlapMode;
+
+const SPARSITIES: [f64; 9] = [0.0, 0.20, 0.60, 0.80, 0.90, 0.92, 0.96, 0.98, 0.99];
+const N: usize = 8;
+const BYTES: u64 = (MICROBENCH_ELEMENTS as u64) * 4;
+
+fn main() {
+    let mut t = Table::new(
+        "Fig 5: dense methods at 100 Gbps, 8 workers, 100 MB [ms]",
+        &[
+            "sparsity",
+            "OmniReduce+GDR",
+            "OmniReduce(Co)+GDR",
+            "OmniReduce(RDMA)",
+            "NCCL+GDR",
+            "NCCL",
+            "BytePS",
+            "SwitchML*",
+        ],
+    );
+    // Baselines are sparsity-independent (they transmit dense data).
+    let nccl_gdr = ring_allreduce_time(N, BYTES, Testbed::Gdr100.nic());
+    let nccl = ring_allreduce_time(N, BYTES, Testbed::Rdma100.nic())
+        .max(Testbed::Rdma100.copy_floor(BYTES));
+    let byteps = ps_dense_time(N, N, BYTES, Testbed::Rdma100.nic())
+        .max(Testbed::Rdma100.copy_floor(BYTES));
+    // SwitchML*: streaming aggregation without sparsity detection
+    // (dense-streaming OmniReduce on the RDMA path, no GDR).
+    let sw_cfg = omni_config(N, MICROBENCH_ELEMENTS).dense_streaming();
+    let sw_bms = micro_bitmaps(N, MICROBENCH_ELEMENTS, 0.0, OverlapMode::All, 1);
+    let switchml = omni_time(Testbed::Rdma100, sw_cfg, &sw_bms);
+
+    for s in SPARSITIES {
+        let bms = micro_bitmaps(N, MICROBENCH_ELEMENTS, s, OverlapMode::Random, 50);
+        let cfg = omni_config(N, MICROBENCH_ELEMENTS);
+        let o_gdr = omni_time(Testbed::Gdr100, cfg.clone(), &bms);
+        let o_co = omni_time_colocated(Testbed::Gdr100, cfg.clone(), &bms);
+        let o_rdma = omni_time(Testbed::Rdma100, cfg, &bms);
+        t.row(vec![
+            format!("{:.0}%", s * 100.0),
+            ms(o_gdr),
+            ms(o_co),
+            ms(o_rdma),
+            ms(nccl_gdr),
+            ms(nccl),
+            ms(byteps),
+            ms(switchml),
+        ]);
+    }
+    t.emit("fig05_dense_methods");
+}

@@ -1,0 +1,72 @@
+//! Figure 7: scalability of the sparse AllReduce methods — speedup over
+//! Dense(NCCL) as the worker count grows (2/4/8) at four sparsity levels
+//! (0%, 60%, 80%, 96%), 100 MB tensors at 10 Gbps.
+
+use omnireduce_bench::{
+    micro_bitmaps, omni_config, omni_time, Table, Testbed, x, MICROBENCH_ELEMENTS,
+};
+use omnireduce_collectives::sim::{
+    agsparse_time, ps_sparse_time, ring_allreduce_time, sparcml_time,
+};
+use omnireduce_tensor::gen::OverlapMode;
+
+const BYTES: u64 = (MICROBENCH_ELEMENTS as u64) * 4;
+
+fn main() {
+    for s in [0.0f64, 0.60, 0.80, 0.96] {
+        let mut t = Table::new(
+            &format!("Fig 7 (s={:.0}%): speedup vs Dense(NCCL) as workers vary", s * 100.0),
+            &[
+                "workers",
+                "OmniReduce",
+                "SSAR(SparCML)",
+                "DSAR(SparCML)",
+                "AGsparse(NCCL)",
+                "Parallax",
+            ],
+        );
+        let nic = Testbed::Dpdk10.nic();
+        for n in [2usize, 4, 8] {
+            let baseline =
+                ring_allreduce_time(n, BYTES, nic).max(Testbed::Dpdk10.copy_floor(BYTES));
+            let su = |secs: f64| x(baseline.as_secs_f64() / secs);
+
+            let d = 1.0 - s;
+            let per_worker_nnz = (MICROBENCH_ELEMENTS as f64 * d) as u64;
+            let union_d = 1.0 - s.powi(n as i32);
+            let union_nnz = (MICROBENCH_ELEMENTS as f64 * union_d) as u64;
+            let part_len = (MICROBENCH_ELEMENTS / n) as u64;
+
+            let bms = micro_bitmaps(n, MICROBENCH_ELEMENTS, s, OverlapMode::Random, 70);
+            let cfg = omni_config(n, MICROBENCH_ELEMENTS);
+            let o = omni_time(Testbed::Dpdk10, cfg, &bms);
+            let ssar = sparcml_time(
+                &vec![per_worker_nnz; n],
+                &vec![union_nnz / n as u64; n],
+                &vec![part_len; n],
+                false,
+                nic,
+            );
+            let dsar = sparcml_time(
+                &vec![per_worker_nnz; n],
+                &vec![union_nnz / n as u64; n],
+                &vec![part_len; n],
+                true,
+                nic,
+            );
+            let ag = agsparse_time(&vec![per_worker_nnz; n], nic);
+            let ps = ps_sparse_time(&vec![per_worker_nnz; n], union_nnz, n, nic);
+            let parallax = ps.min(baseline);
+
+            t.row(vec![
+                n.to_string(),
+                su(o.as_secs_f64()),
+                su(ssar.as_secs_f64()),
+                su(dsar.as_secs_f64()),
+                su(ag.as_secs_f64()),
+                su(parallax.as_secs_f64()),
+            ]);
+        }
+        t.emit(&format!("fig07_s{:02.0}", s * 100.0));
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 9: scaling-factor comparison, OmniReduce vs NCCL, 8 workers at
+//! 10 Gbps, for all six workloads. The NCCL column is calibrated (the
+//! per-model compute time is fitted to it); the OmniReduce column is a
+//! *prediction* from the packet-level protocol simulation over the
+//! workloads' gradient structure.
+
+use omnireduce_bench::{e2e, Table, Testbed};
+use omnireduce_workloads::{scaling_factor, Gpu, Workload};
+
+/// The paper's Fig. 9 values for reference in the printed table.
+const PAPER: [(f64, f64); 6] = [
+    (0.044, 0.362), // DeepLight (NCCL, OmniReduce)
+    (0.121, 0.639), // LSTM
+    (0.175, 0.382), // NCF
+    (0.287, 0.362), // BERT
+    (0.497, 0.859), // VGG19
+    (0.948, 0.991), // ResNet152
+];
+
+fn main() {
+    let mut t = Table::new(
+        "Fig 9: scaling factor, 8 workers, 10 Gbps",
+        &["model", "NCCL", "paper", "OmniReduce", "paper"],
+    );
+    let n = 8;
+    for (i, w) in Workload::all().into_iter().enumerate() {
+        let tc = w.compute_seconds(Gpu::P100);
+        let tm_ring = e2e::ring_comm_seconds(Testbed::Dpdk10, &w, n);
+        let tm_omni = e2e::omni_comm_seconds(Testbed::Dpdk10, &w, n, 90 + i as u64);
+        t.row(vec![
+            w.name.to_string(),
+            format!("{:.3}", scaling_factor(tc, tm_ring)),
+            format!("{:.3}", PAPER[i].0),
+            format!("{:.3}", scaling_factor(tc, tm_omni)),
+            format!("{:.3}", PAPER[i].1),
+        ]);
+    }
+    t.emit("fig09_scaling_factor");
+}

@@ -1,0 +1,57 @@
+//! Figure 10: end-to-end training speedup over Dense(NCCL) for the six
+//! workloads, 8 workers, at 10 Gbps and 100 Gbps: OmniReduce, SwitchML*
+//! (streaming aggregation without sparsity), and AGsparse(NCCL) applied
+//! after 1% gradient compression (whose dense↔sparse conversion cost,
+//! measured on this machine, dominates at 100 Gbps exactly as in §6.2.2).
+
+use omnireduce_bench::{e2e, Table, Testbed, x};
+use omnireduce_collectives::sim::agsparse_time;
+use omnireduce_tensor::convert::time_dense_to_coo;
+use omnireduce_tensor::BlockSpec;
+use omnireduce_workloads::{speedup, Gpu, Workload};
+
+const N: usize = 8;
+
+/// Measured dense→COO conversion rate (seconds per element) on this
+/// machine, from one 4M-element scan.
+fn conversion_secs_per_element() -> f64 {
+    let t = omnireduce_tensor::gen::block_structured(4 << 20, BlockSpec::new(256), 0.5, 1.0, 1);
+    let (_, d) = time_dense_to_coo(&t);
+    d.as_secs_f64() / t.len() as f64
+}
+
+fn main() {
+    let conv_rate = conversion_secs_per_element();
+    for (testbed, gpu) in [(Testbed::Dpdk10, Gpu::P100), (Testbed::Gdr100, Gpu::V100)] {
+        let mut t = Table::new(
+            &format!(
+                "Fig 10 ({}): training speedup vs Dense(NCCL), 8 workers",
+                testbed.label()
+            ),
+            &["model", "OmniReduce", "SwitchML*", "AGsparse(NCCL)+1%"],
+        );
+        for (i, w) in Workload::all().into_iter().enumerate() {
+            let tc = w.compute_seconds(gpu);
+            let ring = e2e::ring_comm_seconds(testbed, &w, N);
+            let omni = e2e::omni_comm_seconds(testbed, &w, N, 100 + i as u64);
+            let sw = e2e::switchml_comm_seconds(testbed, &w, N);
+            // AGsparse after 1% compression: allgather of 1% of elements
+            // plus the dense→sparse conversion of the full gradient.
+            let nnz = (w.total_elements() as f64 * 0.01) as u64;
+            let ag_comm = agsparse_time(&[nnz; N], testbed.nic()).as_secs_f64();
+            let conv = conv_rate * w.total_elements() as f64;
+            let ag = ag_comm + conv; // conversion is not overlappable
+
+            t.row(vec![
+                w.name.to_string(),
+                x(speedup(tc, omni, ring)),
+                x(speedup(tc, sw, ring)),
+                x(speedup(tc, ag, ring)),
+            ]);
+        }
+        t.emit(&format!(
+            "fig10_{}",
+            testbed.label().to_lowercase().replace('-', "_")
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 12: median training loss under the block-based compressors
+//! (10 runs, EMA-smoothed with α = 0.5), showing that block compression
+//! with error feedback preserves convergence.
+
+use omnireduce_bench::Table;
+use omnireduce_ddl::train::ema;
+use omnireduce_ddl::{train_data_parallel, Dataset, Mlp, TrainConfig};
+use omnireduce_sparsify::{
+    BlockRandomK, BlockThreshold, BlockTopK, BlockTopKRatio, Compressor, ErrorFeedback, Identity,
+};
+use omnireduce_tensor::BlockSpec;
+
+const WORKERS: usize = 4;
+const RUNS: usize = 10;
+const STEPS: usize = 400;
+const K: f64 = 0.01;
+
+fn make(name: &str, seed: u64) -> Box<dyn Compressor> {
+    let spec = BlockSpec::new(8);
+    match name {
+        "none" => Box::new(Identity),
+        "block-random-k" => Box::new(ErrorFeedback::new(BlockRandomK::new(K, spec, seed))),
+        "block-top-k" => Box::new(ErrorFeedback::new(BlockTopK::new(K, spec))),
+        "block-top-k-ratio" => Box::new(ErrorFeedback::new(BlockTopKRatio::new(K, spec))),
+        "block-threshold" => Box::new(ErrorFeedback::new(BlockThreshold::new(0.1664, spec))),
+        _ => unreachable!(),
+    }
+}
+
+fn median_curve(curves: Vec<Vec<f64>>) -> Vec<f64> {
+    let steps = curves[0].len();
+    (0..steps)
+        .map(|i| {
+            let mut col: Vec<f64> = curves.iter().map(|c| c[i]).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            col[col.len() / 2]
+        })
+        .collect()
+}
+
+fn main() {
+    let methods = [
+        "none",
+        "block-random-k",
+        "block-top-k",
+        "block-top-k-ratio",
+        "block-threshold",
+    ];
+    let mut per_method: Vec<Vec<f64>> = Vec::new();
+    for method in methods {
+        let mut curves = Vec::new();
+        for run in 0..RUNS {
+            let data = Dataset::synthetic(4000, 24, 0.05, 2000 + run as u64);
+            let (train, _) = data.split(0.25);
+            let model = Mlp { dim: 24, hidden: 16 };
+            let cfg = TrainConfig {
+                num_workers: WORKERS,
+                batch_size: 25,
+                lr: 0.5,
+                steps: STEPS,
+                seed: run as u64,
+            };
+            let mut comps: Vec<Box<dyn Compressor>> = (0..WORKERS)
+                .map(|w| make(method, run as u64 * 10 + w as u64))
+                .collect();
+            let r = train_data_parallel(&model, &train, &cfg, &mut comps);
+            curves.push(ema(&r.loss_history, 0.5));
+        }
+        per_method.push(median_curve(curves));
+    }
+
+    let mut t = Table::new(
+        "Fig 12: median training loss (EMA α=0.5), 10 runs",
+        &["step", "none", "random-k", "top-k", "top-k-ratio", "threshold"],
+    );
+    for step in (0..STEPS).step_by(25).chain([STEPS - 1]) {
+        let mut row = vec![step.to_string()];
+        for c in &per_method {
+            row.push(format!("{:.4}", c[step]));
+        }
+        t.row(row);
+    }
+    t.emit("fig12_loss_curves");
+}

@@ -1,0 +1,32 @@
+//! Figure 13: AllReduce on 100 MB tensors in the multi-GPU, multi-node
+//! testbed (6 servers × 8 V100s at 100 Gbps, 6 CPU aggregators), via the
+//! two-level model of `omnireduce_core::sim_hierarchical`.
+
+use omnireduce_bench::{micro_bitmaps, ms, omni_config, Table, Testbed, MICROBENCH_ELEMENTS};
+use omnireduce_collectives::sim::ring_allreduce_time;
+use omnireduce_core::sim_hierarchical::HierarchySpec;
+use omnireduce_tensor::gen::OverlapMode;
+
+const BYTES: u64 = (MICROBENCH_ELEMENTS as u64) * 4;
+
+fn main() {
+    let h = HierarchySpec::paper_testbed();
+    let mut t = Table::new(
+        "Fig 13: multi-GPU (6x8 V100, 100 Gbps) AllReduce on 100 MB [ms]",
+        &["series", "time"],
+    );
+    let intra = h.intra_time(BYTES);
+    let copy_floor = Testbed::Rdma100.copy_floor(BYTES);
+    let nccl = ring_allreduce_time(h.servers, BYTES, Testbed::Rdma100.nic()).max(copy_floor)
+        + intra;
+    t.row(vec!["NCCL".into(), ms(nccl)]);
+    for s in [0.0f64, 0.20, 0.60, 0.80, 0.90, 0.92, 0.96, 0.98, 0.99] {
+        let cfg = omni_config(h.servers, MICROBENCH_ELEMENTS);
+        // Microbenchmark tensors are generated per server (the random
+        // sparsity already reflects whatever union the batch produced).
+        let bms = micro_bitmaps(h.servers, MICROBENCH_ELEMENTS, s, OverlapMode::Random, 130);
+        let omni = h.omnireduce_time(&cfg, &bms).max(copy_floor + intra);
+        t.row(vec![format!("OmniReduce s={:.0}%", s * 100.0), ms(omni)]);
+    }
+    t.emit("fig13_multigpu_micro");
+}

@@ -1,0 +1,56 @@
+//! Figure 14: end-to-end training speedup over NCCL in the multi-GPU,
+//! multi-node testbed (6 servers × 8 V100s, 100 Gbps), via the two-level
+//! model of `omnireduce_core::sim_hierarchical`. Per-server gradients
+//! are the union of 8 GPUs' activity (8× batch → denser gradients).
+
+use omnireduce_bench::{e2e, omni_config, Table, Testbed, x, BLOCK_SIZE};
+use omnireduce_collectives::sim::ring_allreduce_time;
+use omnireduce_core::sim_hierarchical::HierarchySpec;
+use omnireduce_tensor::NonZeroBitmap;
+use omnireduce_workloads::{speedup, Gpu, Workload};
+
+fn main() {
+    let h = HierarchySpec::paper_testbed();
+    let mut t = Table::new(
+        "Fig 14: multi-GPU end-to-end training speedup vs NCCL",
+        &["model", "OmniReduce"],
+    );
+    for (i, w) in Workload::all().into_iter().enumerate() {
+        let tc = w.compute_seconds(Gpu::V100);
+        let intra = h.intra_time(w.total_bytes()).as_secs_f64();
+        let copy_floor = Testbed::Rdma100.copy_floor(w.total_bytes()).as_secs_f64();
+
+        let ring = ring_allreduce_time(h.servers, w.total_bytes(), Testbed::Rdma100.nic())
+            .as_secs_f64()
+            .max(copy_floor)
+            + intra;
+
+        // Per-server union bitmaps on a slice of the model, scaled up.
+        let total = w.total_elements() as usize;
+        let slice = e2e::SLICE_ELEMENTS.min(total);
+        let scale = total as f64 / slice as f64;
+        let per_gpu: Vec<Vec<NonZeroBitmap>> = (0..h.servers)
+            .map(|srv| {
+                w.worker_bitmaps(
+                    h.gpus_per_server,
+                    BLOCK_SIZE,
+                    slice,
+                    140 + i as u64 * 10 + srv as u64,
+                )
+            })
+            .collect();
+        let unions = h.union_per_server(&per_gpu);
+        let cfg = omni_config(h.servers, slice);
+        let spec = omnireduce_core::sim::SimSpec::dedicated(cfg, h.nic, h.latency);
+        let inter = omnireduce_core::sim::simulate_allreduce(&spec, &unions)
+            .completion
+            .as_secs_f64()
+            * scale;
+        let omni = inter.max(copy_floor)
+            + intra
+            + 0.5e-3 * (w.total_bytes() / e2e::BUCKET_BYTES) as f64;
+
+        t.row(vec![w.name.to_string(), x(speedup(tc, omni, ring))]);
+    }
+    t.emit("fig14_multigpu_e2e");
+}

@@ -1,0 +1,58 @@
+//! Figure 15: influence of block size and sparsity on OmniReduce, with
+//! and without Block Fusion (8 workers, 100 MB, 10 Gbps).
+//!
+//! With fusion (`BF`), packets always carry ~1024 elements (4 KB): the
+//! fusion width is 1024/bs, so smaller blocks gain block sparsity
+//! without losing bandwidth efficiency. Without fusion (`NBF`, width 1),
+//! each packet carries one block, and small blocks drown in per-packet
+//! overhead and round trips.
+
+use omnireduce_bench::{Table, Testbed, STREAMS};
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::sim::bitmaps_from_sets;
+use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
+
+const N: usize = 8;
+const PACKET_ELEMENTS: usize = 1024;
+/// 25 MB tensor (a quarter of the paper's 100 MB): time scales linearly
+/// with size in this regime, and the small-block no-fusion sweeps are
+/// packet-count heavy.
+const ELEMENTS: usize = 6_250_000;
+
+fn run(bs: usize, fusion: usize, sparsity: f64) -> f64 {
+    let cfg = OmniConfig::new(N, ELEMENTS)
+        .with_block_size(bs)
+        .with_fusion(fusion)
+        .with_streams(STREAMS)
+        .with_aggregators(N);
+    let nblocks = ELEMENTS.div_ceil(bs);
+    let sets = worker_block_sets(N, nblocks, sparsity, OverlapMode::Random, 150);
+    let bms = bitmaps_from_sets(&sets);
+    omnireduce_bench::omni_time(Testbed::Dpdk10, cfg, &bms).as_millis_f64()
+}
+
+fn main() {
+    let sparsities = [0.0f64, 0.20, 0.60, 0.80, 0.90, 0.96, 0.99];
+    let mut t = Table::new(
+        "Fig 15: block size x sparsity, with (BF) and without (NBF) fusion [ms]",
+        &[
+            "sparsity", "BF bs=32", "BF 64", "BF 128", "BF 256", "NBF 32", "NBF 64", "NBF 128",
+            "NBF 256",
+        ],
+    );
+    for s in sparsities {
+        let mut row = vec![format!("{:.0}%", s * 100.0)];
+        for bs in [32usize, 64, 128, 256] {
+            row.push(ms_str(run(bs, PACKET_ELEMENTS / bs, s)));
+        }
+        for bs in [32usize, 64, 128, 256] {
+            row.push(ms_str(run(bs, 1, s)));
+        }
+        t.row(row);
+    }
+    t.emit("fig15_block_size");
+}
+
+fn ms_str(v: f64) -> String {
+    format!("{v:.2}")
+}

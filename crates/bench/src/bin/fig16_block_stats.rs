@@ -1,0 +1,39 @@
+//! Figure 16: block sparsity (left) and density within non-zero blocks
+//! (right) of the six workloads' gradients, as a function of block size.
+//!
+//! Both panels are reported twice: the analytic value from the row-run
+//! gradient model and the value measured on generated bitmaps — they
+//! should agree, which validates the generator the other figures use.
+
+use omnireduce_bench::Table;
+use omnireduce_workloads::Workload;
+
+const BLOCK_SIZES: [usize; 6] = [1, 32, 64, 128, 256, 352];
+
+fn main() {
+    let mut left = Table::new(
+        "Fig 16 (left): block sparsity [%] vs block size",
+        &["Model", "bs=1", "32", "64", "128", "256", "352"],
+    );
+    let mut right = Table::new(
+        "Fig 16 (right): density within non-zero blocks [%] vs block size",
+        &["Model", "bs=1", "32", "64", "128", "256", "352"],
+    );
+    for w in Workload::all() {
+        let elements = (w.total_elements() as usize).min(8 << 20);
+        let mut sparsity_row = vec![w.name.to_string()];
+        let mut density_row = vec![w.name.to_string()];
+        for bs in BLOCK_SIZES {
+            let bm = &w.worker_bitmaps(1, bs, elements, 7)[0];
+            let measured = bm.block_sparsity();
+            let analytic = w.expected_block_sparsity(bs);
+            sparsity_row.push(format!("{:.1} ({:.1})", measured * 100.0, analytic * 100.0));
+            density_row.push(format!("{:.1}", w.expected_density_within(bs) * 100.0));
+        }
+        left.row(sparsity_row);
+        right.row(density_row);
+    }
+    println!("left cells: measured (analytic)");
+    left.emit("fig16_block_sparsity");
+    right.emit("fig16_density_within");
+}

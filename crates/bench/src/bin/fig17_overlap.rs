@@ -1,0 +1,28 @@
+//! Figure 17: effect of non-zero block overlap among workers on
+//! OmniReduce (100 MB, 10 Gbps): all-overlap vs random vs no-overlap, as
+//! workers and sparsity vary. At s = 0% and very high sparsity the
+//! overlap regime barely matters; in the 60–90% band all-overlap is
+//! clearly fastest (§6.4.2).
+
+use omnireduce_bench::{micro_bitmaps, omni_config, omni_time, Table, Testbed, MICROBENCH_ELEMENTS};
+use omnireduce_tensor::gen::OverlapMode;
+
+fn main() {
+    for s in [0.0f64, 0.90, 0.96, 0.99] {
+        let mut t = Table::new(
+            &format!("Fig 17 (s={:.0}%): overlap regimes [ms]", s * 100.0),
+            &["workers", "random", "none", "all"],
+        );
+        for n in [2usize, 4, 8] {
+            let mut row = vec![n.to_string()];
+            for mode in [OverlapMode::Random, OverlapMode::None, OverlapMode::All] {
+                let cfg = omni_config(n, MICROBENCH_ELEMENTS);
+                let bms = micro_bitmaps(n, MICROBENCH_ELEMENTS, s, mode, 170);
+                let time = omni_time(Testbed::Dpdk10, cfg, &bms);
+                row.push(format!("{:.2}", time.as_millis_f64()));
+            }
+            t.row(row);
+        }
+        t.emit(&format!("fig17_s{:02.0}", s * 100.0));
+    }
+}

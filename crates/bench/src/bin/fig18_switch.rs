@@ -1,0 +1,74 @@
+//! Figure 18: the in-network (P4 switch) aggregator vs the server-based
+//! aggregator, as speedup over Dense(NCCL) across sparsity (8 workers,
+//! 100 MB).
+//!
+//! The switch sits on-path: sub-microsecond port-to-port latency and
+//! line-rate aggregation, but a Tofino pipeline handles ~34 values per
+//! packet pass, so the paper runs the P4 aggregator at block size 34 (a
+//! 256-block would recirculate). The server aggregator runs the usual
+//! block size 256. Both speedups are relative to ring AllReduce on the
+//! same fabric.
+
+use omnireduce_bench::{Table, Testbed, x, MICROBENCH_ELEMENTS, STREAMS};
+use omnireduce_collectives::sim::ring_allreduce_time;
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::sim::{bitmaps_from_sets, simulate_allreduce, SimSpec};
+use omnireduce_simnet::{NicConfig, SimTime};
+use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
+
+const N: usize = 8;
+const BYTES: u64 = (MICROBENCH_ELEMENTS as u64) * 4;
+
+fn omni(bs: usize, fusion: usize, sparsity: f64, agg_nic: NicConfig, shards: usize) -> f64 {
+    let cfg = OmniConfig::new(N, MICROBENCH_ELEMENTS)
+        .with_block_size(bs)
+        .with_fusion(fusion)
+        .with_streams(STREAMS)
+        .with_aggregators(shards);
+    let nblocks = MICROBENCH_ELEMENTS.div_ceil(bs);
+    let sets = worker_block_sets(N, nblocks, sparsity, OverlapMode::Random, 180);
+    let bms = bitmaps_from_sets(&sets);
+    let spec = SimSpec {
+        cfg,
+        worker_nic: Testbed::Dpdk10.nic(),
+        agg_nic,
+        colocated: false,
+    };
+    simulate_allreduce(&spec, &bms).completion.as_secs_f64()
+}
+
+fn main() {
+    // The switch: one device, N×10G aggregate bandwidth, ~1 µs latency.
+    let switch_nic = NicConfig::symmetric(
+        omnireduce_simnet::Bandwidth::gbps(10.0 * N as f64),
+        SimTime::from_micros(1),
+    );
+    let server_nic = Testbed::Dpdk10.nic();
+    let baseline = ring_allreduce_time(N, BYTES, Testbed::Dpdk10.nic())
+        .max(Testbed::Dpdk10.copy_floor(BYTES))
+        .as_secs_f64();
+
+    let mut t = Table::new(
+        "Fig 18: P4 switch aggregator vs server aggregator (speedup vs NCCL)",
+        &[
+            "sparsity",
+            "P4 agg (bs=34)",
+            "P4 agg (bs=256)",
+            "server agg (bs=256)",
+        ],
+    );
+    for s in [0.0f64, 0.20, 0.60, 0.80, 0.90, 0.92, 0.96, 0.98, 0.99] {
+        // The switch is a single aggregation point (1 shard); packets
+        // fuse to ~MTU worth of payload.
+        let p4_34 = omni(34, 8, s, switch_nic, 1);
+        let p4_256 = omni(256, 1, s, switch_nic, 1);
+        let server = omni(256, 4, s, server_nic, N);
+        t.row(vec![
+            format!("{:.0}%", s * 100.0),
+            x(baseline / p4_34),
+            x(baseline / p4_256),
+            x(baseline / server),
+        ]);
+    }
+    t.emit("fig18_switch");
+}

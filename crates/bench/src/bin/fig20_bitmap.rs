@@ -1,0 +1,58 @@
+//! Figure 20 (Appendix B.1): cost of computing the non-zero block bitmap
+//! on a 100 MB float tensor, as a function of block size, compared with
+//! the AllReduce time it gates.
+//!
+//! The paper measures a V100 CUDA kernel; we measure the CPU scanner.
+//! The shape being reproduced: tiny blocks (< 4 elements) make bitmap
+//! computation expensive; beyond ~16 elements the cost is flat and
+//! negligible next to the AllReduce itself.
+
+use std::time::Instant;
+
+use omnireduce_bench::{ms, omni_config, Table, Testbed, MICROBENCH_ELEMENTS};
+use omnireduce_core::sim::{simulate_allreduce, SimSpec};
+use omnireduce_tensor::gen::OverlapMode;
+use omnireduce_tensor::{BlockSpec, NonZeroBitmap, Tensor};
+
+fn main() {
+    // 100 MB tensor with realistic mixed content.
+    let tensor = omnireduce_tensor::gen::block_structured(
+        MICROBENCH_ELEMENTS,
+        BlockSpec::new(256),
+        0.5,
+        1.0,
+        1,
+    );
+
+    // Reference line: dense AllReduce time at 100 Gbps GDR (the paper
+    // compares against NCCL w/ GDR).
+    let cfg = omni_config(8, MICROBENCH_ELEMENTS).dense_streaming();
+    let bms = omnireduce_bench::micro_bitmaps(8, MICROBENCH_ELEMENTS, 0.0, OverlapMode::All, 1);
+    let spec = SimSpec::dedicated(cfg, Testbed::Gdr100.bandwidth(), Testbed::Gdr100.latency());
+    let allreduce = simulate_allreduce(&spec, &bms).completion;
+
+    let mut t = Table::new(
+        "Fig 20: bitmap calculation vs AllReduce time, 100 MB tensor",
+        &["block size", "bitmap calc [ms]", "allreduce w/ GDR [ms]"],
+    );
+    for bs in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let spec = BlockSpec::new(bs);
+        // Two warmups, then time the scan.
+        for _ in 0..2 {
+            std::hint::black_box(NonZeroBitmap::build(&tensor, spec));
+        }
+        let start = Instant::now();
+        let reps = 3;
+        for _ in 0..reps {
+            std::hint::black_box(NonZeroBitmap::build(&tensor, spec));
+        }
+        let elapsed = start.elapsed().as_secs_f64() / reps as f64;
+        t.row(vec![
+            bs.to_string(),
+            format!("{:.2}", elapsed * 1e3),
+            ms(allreduce),
+        ]);
+    }
+    t.emit("fig20_bitmap");
+    let _ = Tensor::zeros(0); // keep the tensor import obviously used
+}

@@ -1,0 +1,46 @@
+//! §3.4 analytic speedup table: OmniReduce vs ring AllReduce
+//! (`SU = 2(N−1)/(N·D)`) and vs AGsparse (`SU = 2(N−1)`), in the
+//! bandwidth-dominated regime — plus a cross-check of the closed-form
+//! model against the packet simulator for ring AllReduce.
+
+use omnireduce_bench::Table;
+use omnireduce_collectives::cost::{self, CostParams};
+use omnireduce_collectives::sim::ring_allreduce_time;
+use omnireduce_simnet::{Bandwidth, NicConfig, SimTime};
+
+fn main() {
+    let mut t = Table::new(
+        "§3.4 speedup model (bandwidth-dominated)",
+        &["N", "D", "SU vs ring", "SU vs AGsparse"],
+    );
+    for n in [2usize, 4, 8, 16] {
+        for d in [1.0, 0.4, 0.1, 0.01] {
+            t.row(vec![
+                n.to_string(),
+                format!("{d:.2}"),
+                format!("{:.1}", cost::speedup_vs_ring(n, d)),
+                format!("{:.1}", cost::speedup_vs_agsparse(n)),
+            ]);
+        }
+    }
+    t.emit("model_speedup");
+
+    // Cross-check: simulated ring vs the closed form, 100 MB at 10 Gbps.
+    let mut check = Table::new(
+        "Ring AllReduce: simulator vs closed-form model (100 MB, 10 Gbps)",
+        &["N", "simulated [ms]", "model [ms]", "rel err"],
+    );
+    let p = CostParams::new_gbps(10.0, 5.0);
+    let nic = NicConfig::symmetric(Bandwidth::gbps(10.0), SimTime::from_micros(5));
+    for n in [2usize, 4, 8] {
+        let sim = ring_allreduce_time(n, 100_000_000, nic).as_secs_f64();
+        let model = cost::ring_allreduce(&p, n, 1e8);
+        check.row(vec![
+            n.to_string(),
+            format!("{:.2}", sim * 1e3),
+            format!("{:.2}", model * 1e3),
+            format!("{:.1}%", (sim - model).abs() / model * 100.0),
+        ]);
+    }
+    check.emit("model_ring_crosscheck");
+}

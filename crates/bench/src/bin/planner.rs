@@ -1,0 +1,108 @@
+//! Deployment planner: for a gradient of a given size and sparsity on a
+//! given fabric, predict per-iteration AllReduce time under every system
+//! in the workspace and report the best choice — the practical question
+//! ("should I deploy OmniReduce for *my* model?") the paper equips its
+//! readers to answer.
+//!
+//! Usage:
+//! ```sh
+//! cargo run --release -p omnireduce-bench --bin planner -- \
+//!     [size_mb] [sparsity_pct] [workers] [gbps]
+//! ```
+//! Defaults: 100 MB, 90%, 8 workers, 10 Gbps.
+
+use omnireduce_bench::{micro_bitmaps, omni_config, Table};
+use omnireduce_collectives::sim::{
+    agsparse_time, ps_dense_time, recursive_doubling_time, ring_allreduce_time, sparcml_time,
+};
+use omnireduce_core::sim::{simulate_allreduce, SimSpec};
+use omnireduce_simnet::{Bandwidth, NicConfig, SimTime};
+use omnireduce_tensor::gen::OverlapMode;
+
+fn arg(n: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let size_mb = arg(1, 100.0);
+    let sparsity = arg(2, 90.0) / 100.0;
+    let workers = arg(3, 8.0) as usize;
+    let gbps = arg(4, 10.0);
+
+    let elements = (size_mb * 1e6 / 4.0) as usize;
+    let bytes = (elements * 4) as u64;
+    let nic = NicConfig::symmetric(Bandwidth::gbps(gbps), SimTime::from_micros(10));
+    let d = 1.0 - sparsity;
+    let nnz = (elements as f64 * d) as u64;
+    let union_nnz = (elements as f64 * (1.0 - sparsity.powi(workers as i32))) as u64;
+
+    println!(
+        "planning: {size_mb} MB gradient, {:.0}% block sparsity, {workers} workers, {gbps} Gbps",
+        sparsity * 100.0
+    );
+
+    let mut t = Table::new("Predicted AllReduce time", &["system", "time [ms]", "notes"]);
+    let mut best: Option<(String, f64)> = None;
+    let mut push = |t: &mut Table, name: &str, secs: f64, notes: &str| {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.2}", secs * 1e3),
+            notes.to_string(),
+        ]);
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((name.to_string(), secs));
+        }
+    };
+
+    let cfg = omni_config(workers, elements);
+    let bms = micro_bitmaps(workers, elements, sparsity, OverlapMode::Random, 7);
+    let spec = SimSpec::dedicated(cfg.clone(), Bandwidth::gbps(gbps), SimTime::from_micros(10));
+    let omni = simulate_allreduce(&spec, &bms).completion.as_secs_f64();
+    push(&mut t, "OmniReduce (N shards)", omni, "dedicated aggregators");
+    let co_spec = SimSpec::colocated(cfg, Bandwidth::gbps(gbps), SimTime::from_micros(10));
+    let co = simulate_allreduce(&co_spec, &bms).completion.as_secs_f64();
+    push(&mut t, "OmniReduce (colocated)", co, "no extra nodes");
+    push(
+        &mut t,
+        "ring (NCCL/Gloo)",
+        ring_allreduce_time(workers, bytes, nic).as_secs_f64(),
+        "dense",
+    );
+    push(
+        &mut t,
+        "recursive doubling",
+        recursive_doubling_time(workers, bytes, nic).as_secs_f64(),
+        "dense, latency-optimal",
+    );
+    push(
+        &mut t,
+        "AGsparse",
+        agsparse_time(&vec![nnz; workers], nic).as_secs_f64(),
+        "needs COO input",
+    );
+    push(
+        &mut t,
+        "SparCML DSAR",
+        sparcml_time(
+            &vec![nnz; workers],
+            &vec![union_nnz / workers as u64; workers],
+            &vec![(elements / workers) as u64; workers],
+            true,
+            nic,
+        )
+        .as_secs_f64(),
+        "needs COO input",
+    );
+    push(
+        &mut t,
+        "parameter server",
+        ps_dense_time(workers, workers, bytes, nic).as_secs_f64(),
+        "dense, N servers",
+    );
+    t.emit("planner");
+    let (name, secs) = best.unwrap();
+    println!("best: {name} at {:.2} ms", secs * 1e3);
+}

@@ -1,0 +1,58 @@
+//! Table 1: characteristics of the six benchmark DNN workloads —
+//! model sizes, gradient sparsity and the per-worker OmniReduce
+//! communication volume at 256-element blocks.
+//!
+//! The communication column is *measured* from the generated gradient
+//! structure (non-zero block fraction × model size), so this binary
+//! cross-checks the workload generators against the paper's Table 1.
+
+use omnireduce_bench::{Table, BLOCK_SIZE};
+use omnireduce_workloads::Workload;
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1_000_000_000 {
+        format!("{:.2} GB", b as f64 / 1e9)
+    } else if b >= 1_000_000 {
+        format!("{:.1} MB", b as f64 / 1e6)
+    } else {
+        format!("{:.1} KB", b as f64 / 1e3)
+    }
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1: benchmark DNN workloads",
+        &[
+            "Model",
+            "Task",
+            "Batch",
+            "Dense",
+            "Embedding",
+            "Sparsity",
+            "OmniReduce comm (measured)",
+            "paper",
+        ],
+    );
+    for w in Workload::all() {
+        // Measure the non-zero block fraction on a representative slice.
+        let elements = (w.total_elements() as usize).min(16 << 20);
+        let bm = &w.worker_bitmaps(1, BLOCK_SIZE, elements, 42)[0];
+        let nonzero_frac = 1.0 - bm.block_sparsity();
+        let comm = (w.total_bytes() as f64 * nonzero_frac) as u64;
+        t.row(vec![
+            w.name.to_string(),
+            w.task.to_string(),
+            w.batch_size.to_string(),
+            human_bytes(w.dense_bytes),
+            if w.embedding_bytes == 0 {
+                "-".into()
+            } else {
+                human_bytes(w.embedding_bytes)
+            },
+            format!("{:.2}%", w.element_sparsity * 100.0),
+            format!("{} ({:.1}%)", human_bytes(comm), nonzero_frac * 100.0),
+            format!("{:.1}%", w.comm_fraction * 100.0),
+        ]);
+    }
+    t.emit("table1_workloads");
+}

@@ -1,0 +1,333 @@
+//! Benchmark harness: shared plumbing for the per-figure generator
+//! binaries (`src/bin/figNN_*.rs`, `src/bin/tableN_*.rs`).
+//!
+//! Each binary regenerates one table or figure of the paper — same
+//! rows/series, same parameters — on the simulated testbeds. Absolute
+//! numbers are not expected to match the authors' hardware; the *shapes*
+//! (who wins, by what factor, where crossovers fall) are the
+//! reproduction target. `EXPERIMENTS.md` records paper-vs-measured for
+//! every artefact.
+//!
+//! This library provides:
+//!
+//! * [`Testbed`] — the paper's three network modes (DPDK at 10 Gbps,
+//!   RDMA and GPU-direct RDMA at 100 Gbps) as NIC parameters plus the
+//!   host-copy floor of the non-GDR path (Appendix B: the full tensor is
+//!   staged through host memory in 4 MB chunks, bottlenecked by PCIe);
+//! * [`omni_time`] / [`omni_time_colocated`] — OmniReduce AllReduce time
+//!   on a testbed via the packet-level protocol simulation;
+//! * bitmap construction helpers for the microbenchmark tensors;
+//! * [`Table`] — aligned console tables plus machine-readable JSON dumps
+//!   under `results/`.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::sim::{bitmaps_from_sets, simulate_allreduce, SimSpec};
+use omnireduce_simnet::{Bandwidth, NicConfig, SimTime};
+use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
+use omnireduce_tensor::NonZeroBitmap;
+
+/// The paper's default block size (elements).
+pub const BLOCK_SIZE: usize = 256;
+/// Fusion width used throughout (4 × 256 × 4 B = 4 KB payload).
+pub const FUSION: usize = 4;
+/// Streams per aggregator shard (pipeline depth).
+pub const STREAMS: usize = 32;
+/// The microbenchmarks' tensor: 100 MB of f32 (§6.1).
+pub const MICROBENCH_ELEMENTS: usize = 25_000_000;
+
+/// Host-memory staging bandwidth of the non-GDR path (PCIe gen3 x16,
+/// Appendix B): the whole tensor crosses it once.
+pub const PCIE_BYTES_PER_SEC: f64 = 16e9;
+
+/// The paper's three transport modes (§5, §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Testbed {
+    /// DPDK/UDP kernel-bypass at 10 Gbps (P100 testbed).
+    Dpdk10,
+    /// RDMA RoCE at 100 Gbps, staging through host memory (V100).
+    Rdma100,
+    /// RDMA with GPU-direct at 100 Gbps (V100).
+    Gdr100,
+}
+
+impl Testbed {
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Testbed::Dpdk10 => "DPDK-10Gbps",
+            Testbed::Rdma100 => "RDMA-100Gbps",
+            Testbed::Gdr100 => "GDR-100Gbps",
+        }
+    }
+
+    /// Link rate.
+    pub fn bandwidth(&self) -> Bandwidth {
+        match self {
+            Testbed::Dpdk10 => Bandwidth::gbps(10.0),
+            Testbed::Rdma100 | Testbed::Gdr100 => Bandwidth::gbps(100.0),
+        }
+    }
+
+    /// One-way latency (the software DPDK path is slower than RDMA).
+    pub fn latency(&self) -> SimTime {
+        match self {
+            Testbed::Dpdk10 => SimTime::from_micros(15),
+            Testbed::Rdma100 | Testbed::Gdr100 => SimTime::from_micros(5),
+        }
+    }
+
+    /// NIC configuration for any node on this testbed.
+    pub fn nic(&self) -> NicConfig {
+        NicConfig::symmetric(self.bandwidth(), self.latency())
+    }
+
+    /// The GPU↔host staging floor for a tensor of `bytes` (zero when
+    /// GPU-direct RDMA bypasses host memory; at 10 Gbps the network
+    /// dominates but the floor is still modelled).
+    pub fn copy_floor(&self, bytes: u64) -> SimTime {
+        match self {
+            Testbed::Gdr100 => SimTime::ZERO,
+            _ => SimTime::from_secs_f64(bytes as f64 / PCIE_BYTES_PER_SEC),
+        }
+    }
+}
+
+/// Standard OmniReduce geometry for `n` workers over `elements`
+/// (dedicated shards, one per worker — the paper's testbed).
+pub fn omni_config(n: usize, elements: usize) -> OmniConfig {
+    OmniConfig::new(n, elements)
+        .with_block_size(BLOCK_SIZE)
+        .with_fusion(FUSION)
+        .with_streams(STREAMS)
+        .with_aggregators(n)
+}
+
+/// Generates per-worker non-zero block bitmaps for a microbenchmark
+/// tensor: block-structured sparsity `s` with the given overlap mode.
+pub fn micro_bitmaps(
+    n: usize,
+    elements: usize,
+    sparsity: f64,
+    mode: OverlapMode,
+    seed: u64,
+) -> Vec<NonZeroBitmap> {
+    let nblocks = elements.div_ceil(BLOCK_SIZE);
+    bitmaps_from_sets(&worker_block_sets(n, nblocks, sparsity, mode, seed))
+}
+
+/// OmniReduce AllReduce completion time on `testbed` (dedicated
+/// aggregators), including the host-copy floor.
+pub fn omni_time(testbed: Testbed, cfg: OmniConfig, bitmaps: &[NonZeroBitmap]) -> SimTime {
+    let bytes = cfg.tensor_len as u64 * 4;
+    let spec = SimSpec::dedicated(cfg, testbed.bandwidth(), testbed.latency());
+    let t = simulate_allreduce(&spec, bitmaps).completion;
+    t.max(testbed.copy_floor(bytes))
+}
+
+/// Colocated-mode OmniReduce time (shards share worker NICs).
+pub fn omni_time_colocated(
+    testbed: Testbed,
+    cfg: OmniConfig,
+    bitmaps: &[NonZeroBitmap],
+) -> SimTime {
+    let bytes = cfg.tensor_len as u64 * 4;
+    let spec = SimSpec::colocated(cfg, testbed.bandwidth(), testbed.latency());
+    let t = simulate_allreduce(&spec, bitmaps).completion;
+    t.max(testbed.copy_floor(bytes))
+}
+
+/// A printable result table that also lands as JSON in `results/`.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table to stdout and writes
+    /// `results/<slug>.json`.
+    pub fn emit(&self, slug: &str) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+        self.write_json(slug);
+    }
+
+    fn write_json(&self, slug: &str) {
+        let dir = Path::new("results");
+        if std::fs::create_dir_all(dir).is_err() {
+            return; // read-only checkout: console output is enough
+        }
+        #[derive(serde::Serialize)]
+        struct Dump<'a> {
+            title: &'a str,
+            headers: &'a [String],
+            rows: &'a [Vec<String>],
+        }
+        let dump = Dump {
+            title: &self.title,
+            headers: &self.headers,
+            rows: &self.rows,
+        };
+        if let Ok(json) = serde_json::to_string_pretty(&dump) {
+            let path = dir.join(format!("{slug}.json"));
+            if let Ok(mut f) = std::fs::File::create(path) {
+                let _ = f.write_all(json.as_bytes());
+            }
+        }
+    }
+}
+
+/// Formats a [`SimTime`] as milliseconds with 2 decimals.
+pub fn ms(t: SimTime) -> String {
+    format!("{:.2}", t.as_millis_f64())
+}
+
+/// Formats a speedup factor.
+pub fn x(f: f64) -> String {
+    format!("{f:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_parameters() {
+        assert_eq!(Testbed::Dpdk10.label(), "DPDK-10Gbps");
+        assert!(Testbed::Gdr100.copy_floor(1 << 30) == SimTime::ZERO);
+        let floor = Testbed::Rdma100.copy_floor(100_000_000);
+        assert!((floor.as_millis_f64() - 6.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn omni_time_respects_copy_floor() {
+        // Very sparse data at 100 Gbps: network time ≪ the RDMA path's
+        // host-copy floor, so the floor dominates.
+        let elements = 4 << 20;
+        let cfg = omni_config(2, elements);
+        let bms = micro_bitmaps(2, elements, 0.99, OverlapMode::All, 1);
+        let t_rdma = omni_time(Testbed::Rdma100, cfg.clone(), &bms);
+        let t_gdr = omni_time(Testbed::Gdr100, cfg, &bms);
+        assert!(t_rdma > t_gdr, "copy floor must slow the RDMA path");
+        assert_eq!(t_rdma, Testbed::Rdma100.copy_floor(elements as u64 * 4));
+    }
+
+    #[test]
+    fn table_emits_without_panicking() {
+        let mut t = Table::new("test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.emit("selftest");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("test", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}
+
+/// Communication-time estimation for a full DNN workload gradient:
+/// simulate a representative slice of the model and scale linearly (the
+/// regime is bandwidth-dominated, so time is linear in bytes; the
+/// pipeline-fill constant is microseconds against seconds).
+pub mod e2e {
+    use super::*;
+    use omnireduce_collectives::sim::ring_allreduce_time;
+    use omnireduce_workloads::Workload;
+
+    /// Elements actually simulated per workload (slice of the model).
+    pub const SLICE_ELEMENTS: usize = 8 << 20;
+
+    /// DDP gradient bucket size (PyTorch default ~25 MB). Each bucket's
+    /// AllReduce pays a fixed protocol/setup cost (bitmap computation,
+    /// buffer handoff, kernel launches) on top of the wire time.
+    pub const BUCKET_BYTES: u64 = 25_000_000;
+
+    /// Per-bucket fixed overhead of the OmniReduce integration, seconds
+    /// (larger on the software DPDK path).
+    pub fn per_bucket_overhead(testbed: Testbed) -> f64 {
+        match testbed {
+            Testbed::Dpdk10 => 2.0e-3,
+            Testbed::Rdma100 | Testbed::Gdr100 => 0.5e-3,
+        }
+    }
+
+    fn bucket_overhead_seconds(testbed: Testbed, w: &Workload) -> f64 {
+        let buckets = w.total_bytes().div_ceil(BUCKET_BYTES) as f64;
+        buckets * per_bucket_overhead(testbed)
+    }
+
+    /// OmniReduce per-iteration gradient AllReduce time for `w` across
+    /// `n` workers on `testbed`, in seconds.
+    pub fn omni_comm_seconds(testbed: Testbed, w: &Workload, n: usize, seed: u64) -> f64 {
+        let total = w.total_elements() as usize;
+        let slice = SLICE_ELEMENTS.min(total);
+        let scale = total as f64 / slice as f64;
+        let cfg = omni_config(n, slice);
+        let bms = w.worker_bitmaps(n, BLOCK_SIZE, slice, seed);
+        let t = omni_time(testbed, cfg, &bms);
+        // The copy floor scales with the full model, not the slice
+        // (chunk prefetch overlaps staging with communication, so the
+        // two combine as a max), and each DDP bucket pays a fixed
+        // integration overhead.
+        let scaled = t.as_secs_f64() * scale;
+        scaled.max(testbed.copy_floor(w.total_bytes()).as_secs_f64())
+            + bucket_overhead_seconds(testbed, w)
+    }
+
+    /// Dense-streaming (SwitchML*-style) per-iteration time, seconds.
+    pub fn switchml_comm_seconds(testbed: Testbed, w: &Workload, n: usize) -> f64 {
+        let total = w.total_elements() as usize;
+        let slice = SLICE_ELEMENTS.min(total);
+        let scale = total as f64 / slice as f64;
+        let cfg = omni_config(n, slice).dense_streaming();
+        let bms = micro_bitmaps(n, slice, 0.0, omnireduce_tensor::gen::OverlapMode::All, 7);
+        let t = omni_time(testbed, cfg, &bms);
+        (t.as_secs_f64() * scale).max(testbed.copy_floor(w.total_bytes()).as_secs_f64())
+            + bucket_overhead_seconds(testbed, w)
+    }
+
+    /// NCCL ring per-iteration time, seconds.
+    pub fn ring_comm_seconds(testbed: Testbed, w: &Workload, n: usize) -> f64 {
+        let t = ring_allreduce_time(n, w.total_bytes(), testbed.nic());
+        t.as_secs_f64()
+            .max(testbed.copy_floor(w.total_bytes()).as_secs_f64())
+    }
+}

@@ -1,0 +1,127 @@
+//! AGsparse: AllGather-based sparse AllReduce (§2.1).
+//!
+//! PyTorch's strategy for sparse gradients: AllGather every worker's
+//! (keys, values) pairs, then reduce locally at every worker. Traffic per
+//! worker is `(N−1) · 2·D·S` — it grows with the worker count because
+//! every worker must receive every other worker's pairs, which is the
+//! scalability cliff the paper's §3.4 analysis highlights.
+//!
+//! Implemented as a ring AllGather of [`omnireduce_transport::KvPacket`]s
+//! (origin worker in `wid`, forwarding `N−1` steps) followed by a local
+//! k-way merge.
+
+use omnireduce_tensor::CooTensor;
+use omnireduce_transport::{KvPacket, Message, NodeId, PacketKind, Transport, TransportError};
+
+/// AGsparse AllReduce: returns the merged (summed) sparse tensor.
+/// Peer-to-peer mesh `0..n`.
+pub fn allreduce<T: Transport>(
+    transport: &T,
+    n: usize,
+    input: &CooTensor,
+) -> Result<CooTensor, TransportError> {
+    let me = transport.local_id().index();
+    assert!(me < n, "node {me} out of ring");
+    let mut gathered: Vec<Option<CooTensor>> = (0..n).map(|_| None).collect();
+    gathered[me] = Some(input.clone());
+
+    if n > 1 {
+        let next = NodeId(((me + 1) % n) as u16);
+        for step in 0..n - 1 {
+            let origin = (me + n - step) % n;
+            let coo = gathered[origin].as_ref().expect("own or forwarded");
+            let msg = Message::Kv(KvPacket {
+                kind: PacketKind::Data,
+                wid: origin as u16,
+                keys: coo.keys().to_vec(),
+                values: coo.values().to_vec(),
+                nextkey: coo.len() as u64, // carries the logical length
+            });
+            transport.send(next, &msg)?;
+            let (_, got) = transport.recv()?;
+            let p = match got {
+                Message::Kv(p) => p,
+                other => panic!("agsparse: unexpected {:?}", other.tag()),
+            };
+            debug_assert_eq!(p.wid as usize, (me + n - step - 1) % n);
+            gathered[p.wid as usize] = Some(CooTensor::from_pairs(
+                p.nextkey as usize,
+                p.keys,
+                p.values,
+            ));
+        }
+    }
+
+    // Local reduction: k-way merge by pairwise folding.
+    let mut iter = gathered.into_iter().map(|g| g.expect("gathered"));
+    let first = iter.next().expect("n ≥ 1");
+    Ok(iter.fold(first, |acc, t| acc.merge_sum(&t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_transport::ChannelNetwork;
+    use std::thread;
+
+    fn run(inputs: Vec<CooTensor>) -> Vec<CooTensor> {
+        let n = inputs.len();
+        let mut net = ChannelNetwork::new(n);
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, coo)| {
+                let ep = net.endpoint(NodeId(i as u16));
+                thread::spawn(move || allreduce(&ep, n, &coo).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn coo(len: usize, pairs: &[(u32, f32)]) -> CooTensor {
+        let (k, v): (Vec<u32>, Vec<f32>) = pairs.iter().copied().unzip();
+        CooTensor::from_pairs(len, k, v)
+    }
+
+    #[test]
+    fn three_workers_overlapping() {
+        let a = coo(64, &[(1, 1.0), (10, 2.0)]);
+        let b = coo(64, &[(10, 3.0), (20, 4.0)]);
+        let c = coo(64, &[(1, 5.0), (63, 6.0)]);
+        let expect = a.merge_sum(&b).merge_sum(&c);
+        for out in run(vec![a, b, c]) {
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn single_worker() {
+        let a = coo(8, &[(0, 1.0)]);
+        assert_eq!(run(vec![a.clone()])[0], a);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let outs = run(vec![CooTensor::empty(16), CooTensor::empty(16)]);
+        for o in outs {
+            assert_eq!(o.nnz(), 0);
+            assert_eq!(o.len(), 16);
+        }
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        use omnireduce_tensor::convert;
+        use omnireduce_tensor::gen;
+        let n = 4;
+        let dense: Vec<_> = (0..n)
+            .map(|w| gen::element_uniform(500, 0.8, w as u64))
+            .collect();
+        let inputs: Vec<CooTensor> = dense.iter().map(convert::dense_to_coo).collect();
+        let expect = omnireduce_tensor::dense::reference_sum(&dense);
+        for out in run(inputs) {
+            let got = convert::coo_to_dense(&out);
+            assert!(got.approx_eq(&expect, 1e-4));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Closed-form latency–bandwidth cost models (§3.4).
+//!
+//! The paper analyzes three algorithms with the classic α–β model
+//! (α = one-way latency, B = per-worker full-duplex bandwidth):
+//!
+//! * ring AllReduce:  `T = 2(N−1)(α + S/(N·B))`
+//! * AGsparse:        `T = (N−1)(α + 2DS/B)`
+//! * OmniReduce:      `T = α + DS/B` (best case: aggregator bandwidth
+//!   matches `N·B`, block density equals element density)
+//!
+//! with `S` in *bytes* here (the paper counts elements; we fold `c_v`
+//! into `S` so all models share units), and `D ∈ [0,1]` the density.
+//! These are used to cross-check the packet simulator and to print the
+//! §3.4 speedup table (`SU_ring = 2(N−1)/(N·D)`, `SU_AGsparse = 2(N−1)`).
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// One-way latency between any two nodes, seconds.
+    pub alpha: f64,
+    /// Per-worker full-duplex bandwidth, bytes/second.
+    pub bandwidth: f64,
+}
+
+impl CostParams {
+    /// Convenience: `gbps` link with `alpha_us` µs latency.
+    pub fn new_gbps(gbps: f64, alpha_us: f64) -> Self {
+        CostParams {
+            alpha: alpha_us * 1e-6,
+            bandwidth: gbps * 1e9 / 8.0,
+        }
+    }
+}
+
+/// Ring AllReduce time for `s_bytes` over `n` workers.
+pub fn ring_allreduce(p: &CostParams, n: usize, s_bytes: f64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    2.0 * (n as f64 - 1.0) * (p.alpha + s_bytes / (n as f64 * p.bandwidth))
+}
+
+/// AGsparse AllReduce time for density `d`.
+pub fn agsparse_allreduce(p: &CostParams, n: usize, s_bytes: f64, d: f64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    (n as f64 - 1.0) * (p.alpha + 2.0 * d * s_bytes / p.bandwidth)
+}
+
+/// OmniReduce best-case time for density `d` (dedicated aggregators with
+/// combined bandwidth `N·B`).
+pub fn omnireduce(p: &CostParams, s_bytes: f64, d: f64) -> f64 {
+    p.alpha + d * s_bytes / p.bandwidth
+}
+
+/// §3.4 speedup of OmniReduce vs ring in the bandwidth-dominated regime:
+/// `2(N−1)/(N·D)`.
+pub fn speedup_vs_ring(n: usize, d: f64) -> f64 {
+    2.0 * (n as f64 - 1.0) / (n as f64 * d)
+}
+
+/// §3.4 speedup of OmniReduce vs AGsparse in the bandwidth-dominated
+/// regime: `2(N−1)`.
+pub fn speedup_vs_agsparse(n: usize) -> f64 {
+    2.0 * (n as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn ring_matches_hand_computation() {
+        // 100 MB, 4 workers, 10 Gbps, negligible latency:
+        // 2·3·(100e6 / (4·1.25e9)) = 120 ms.
+        let p = CostParams::new_gbps(10.0, 0.0);
+        let t = ring_allreduce(&p, 4, 100.0 * MB);
+        assert!((t - 0.120).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn omnireduce_dense_beats_ring_by_2n1_over_n() {
+        let p = CostParams::new_gbps(10.0, 0.0);
+        let s = 100.0 * MB;
+        for n in [2, 4, 8, 64] {
+            let su = ring_allreduce(&p, n, s) / omnireduce(&p, s, 1.0);
+            assert!((su - speedup_vs_ring(n, 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn omnireduce_vs_agsparse_speedup() {
+        let p = CostParams::new_gbps(10.0, 0.0);
+        let s = 10.0 * MB;
+        for n in [2, 8] {
+            for d in [0.01, 0.5, 1.0] {
+                let su = agsparse_allreduce(&p, n, s, d) / omnireduce(&p, s, d);
+                assert!((su - speedup_vs_agsparse(n)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_dominates_small_inputs() {
+        // Tiny tensor: ring pays 2(N−1) latencies, OmniReduce pays 1.
+        let p = CostParams::new_gbps(100.0, 5.0);
+        let s = 100.0; // bytes
+        let n = 8;
+        let ratio = ring_allreduce(&p, n, s) / omnireduce(&p, s, 1.0);
+        assert!(ratio > 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_worker_costs_nothing() {
+        let p = CostParams::new_gbps(10.0, 5.0);
+        assert_eq!(ring_allreduce(&p, 1, MB), 0.0);
+        assert_eq!(agsparse_allreduce(&p, 1, MB, 0.5), 0.0);
+    }
+
+    #[test]
+    fn agsparse_only_viable_above_half_sparsity() {
+        // AGsparse moves 2DS per step; at D > 0.5 one step already
+        // exceeds the full dense tensor — the ρ condition of §2.
+        let p = CostParams::new_gbps(10.0, 0.0);
+        let s = MB;
+        let n = 2;
+        let t_dense_step = s / p.bandwidth;
+        let t_ag = agsparse_allreduce(&p, n, s, 0.6);
+        assert!(t_ag > t_dense_step);
+    }
+}

@@ -1,0 +1,39 @@
+//! Baseline collective algorithms the paper compares OmniReduce against.
+//!
+//! Every baseline exists in two forms:
+//!
+//! * an **executable** implementation over
+//!   [`omnireduce_transport::Transport`], which computes real results and
+//!   is verified against the reference sum in tests; and
+//! * a **simulated** timing model over [`omnireduce_simnet`], used by the
+//!   benchmark harness for the paper's figures.
+//!
+//! Algorithms:
+//!
+//! * [`ring`] — ring AllReduce (reduce-scatter + all-gather), the
+//!   bandwidth-optimal dense algorithm that NCCL and Gloo default to; the
+//!   paper's `Dense(NCCL)` baseline. Also ring AllGather.
+//! * [`agsparse`] — PyTorch's AllGather-based sparse AllReduce: gather
+//!   all workers' key/value pairs, reduce locally (§2.1).
+//! * [`recursive`] — recursive-doubling AllReduce, dense and sparse: the
+//!   latency-optimal small-message path (SparCML's small-data regime).
+//! * [`sparcml`] — SparCML's `SSAR_Split_allgather` and
+//!   `DSAR_Split_allgather`: split the key space, gather-and-reduce each
+//!   partition at a designated root, then allgather the reduced
+//!   partitions — with DSAR switching a partition to dense representation
+//!   when its non-zero count exceeds the break-even ρ (§2.1).
+//! * [`ps`] — parameter-server push/pull (dense: the BytePS stand-in;
+//!   sparse: the Parallax sparse path).
+//! * [`cost`] — the closed-form §3.4 latency–bandwidth models, used to
+//!   cross-check the simulator.
+//! * [`sim`] — simnet actors for the generic traffic patterns (ring
+//!   token flows, incast/outcast exchanges) and per-baseline timing
+//!   wrappers built on them.
+
+pub mod agsparse;
+pub mod cost;
+pub mod recursive;
+pub mod ps;
+pub mod ring;
+pub mod sim;
+pub mod sparcml;

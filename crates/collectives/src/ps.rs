@@ -1,0 +1,362 @@
+//! Parameter-server AllReduce (push/pull).
+//!
+//! Two roles in one module:
+//!
+//! * **dense** push/pull — the BytePS stand-in of §6.1.1: the tensor is
+//!   sharded across `S` servers; every worker pushes its shard slices,
+//!   each server sums `N` contributions, and once a shard is complete the
+//!   server pushes the reduced slice back to every worker.
+//! * **sparse** push/pull — the Parallax sparse path of §6.1.2: workers
+//!   push key-value pairs partitioned by key range; servers merge and
+//!   return the union pairs.
+//!
+//! Mesh layout: workers `0..N`, servers `N..N+S`.
+
+use omnireduce_tensor::{CooTensor, Tensor};
+use omnireduce_transport::{
+    Entry, KvPacket, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
+
+use crate::ring::{segment_range, MAX_CHUNK_VALUES};
+
+/// Geometry of a parameter-server group.
+#[derive(Debug, Clone)]
+pub struct PsConfig {
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Number of servers (shards).
+    pub num_servers: usize,
+    /// Logical tensor length.
+    pub tensor_len: usize,
+}
+
+impl PsConfig {
+    /// Creates a config; panics on a degenerate geometry.
+    pub fn new(num_workers: usize, num_servers: usize, tensor_len: usize) -> Self {
+        assert!(num_workers >= 1 && num_servers >= 1);
+        PsConfig {
+            num_workers,
+            num_servers,
+            tensor_len,
+        }
+    }
+
+    /// Node id of server `s`.
+    pub fn server_node(&self, s: usize) -> u16 {
+        (self.num_workers + s) as u16
+    }
+
+    /// Mesh size.
+    pub fn mesh_size(&self) -> usize {
+        self.num_workers + self.num_servers
+    }
+}
+
+fn send_dense_slice<T: Transport>(
+    t: &T,
+    to: NodeId,
+    wid: u16,
+    start: usize,
+    data: &[f32],
+) -> Result<(), TransportError> {
+    // Chunked single-entry packets; block carries the absolute offset.
+    let mut offset = 0;
+    loop {
+        let end = (offset + MAX_CHUNK_VALUES).min(data.len());
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: 0,
+            stream: 0,
+            wid,
+            entries: vec![Entry::data(
+                (start + offset) as u32,
+                (data.len() - end) as u32,
+                data[offset..end].to_vec(),
+            )],
+        });
+        t.send(to, &msg)?;
+        offset = end;
+        if offset >= data.len() {
+            return Ok(());
+        }
+    }
+}
+
+/// Worker side of dense push/pull AllReduce.
+pub fn dense_allreduce<T: Transport>(
+    transport: &T,
+    cfg: &PsConfig,
+    tensor: &mut Tensor,
+) -> Result<(), TransportError> {
+    assert_eq!(tensor.len(), cfg.tensor_len);
+    let me = transport.local_id().0;
+    // Push every shard slice to its server.
+    for s in 0..cfg.num_servers {
+        let r = segment_range(s, cfg.num_servers, cfg.tensor_len);
+        send_dense_slice(
+            transport,
+            NodeId(cfg.server_node(s)),
+            me,
+            r.start,
+            &tensor[r],
+        )?;
+    }
+    // Pull: receive each shard's reduced slice (chunked).
+    let mut remaining_shards = cfg.num_servers;
+    while remaining_shards > 0 {
+        let (_, msg) = transport.recv()?;
+        let p = match msg {
+            Message::Block(p) if p.kind == PacketKind::Result => p,
+            other => panic!("ps worker: unexpected {:?}", other.tag()),
+        };
+        let e = &p.entries[0];
+        tensor.copy_slice_at(e.block as usize, &e.data);
+        if e.next == 0 {
+            remaining_shards -= 1;
+        }
+    }
+    Ok(())
+}
+
+/// Server side of dense push/pull. Serves `rounds` AllReduce rounds, then
+/// returns.
+pub fn dense_server<T: Transport>(
+    transport: &T,
+    cfg: &PsConfig,
+    rounds: usize,
+) -> Result<(), TransportError> {
+    let me = transport.local_id().0 as usize - cfg.num_workers;
+    let range = segment_range(me, cfg.num_servers, cfg.tensor_len);
+    for _ in 0..rounds {
+        let mut acc = vec![0.0f32; range.len()];
+        // Each worker pushes the full shard slice, possibly chunked; we
+        // count completed workers by their final chunk (next == 0).
+        let mut done_workers = 0;
+        while done_workers < cfg.num_workers {
+            let (_, msg) = transport.recv()?;
+            let p = match msg {
+                Message::Block(p) if p.kind == PacketKind::Data => p,
+                other => panic!("ps server: unexpected {:?}", other.tag()),
+            };
+            let e = &p.entries[0];
+            let local = e.block as usize - range.start;
+            for (a, v) in acc[local..local + e.data.len()].iter_mut().zip(&e.data) {
+                *a += *v;
+            }
+            if e.next == 0 {
+                done_workers += 1;
+            }
+        }
+        // Broadcast the reduced slice to every worker.
+        for w in 0..cfg.num_workers {
+            let mut offset = 0;
+            loop {
+                let end = (offset + MAX_CHUNK_VALUES).min(acc.len());
+                let msg = Message::Block(Packet {
+                    kind: PacketKind::Result,
+                    ver: 0,
+                    stream: 0,
+                    wid: u16::MAX,
+                    entries: vec![Entry::data(
+                        (range.start + offset) as u32,
+                        (acc.len() - end) as u32,
+                        acc[offset..end].to_vec(),
+                    )],
+                });
+                transport.send(NodeId(w as u16), &msg)?;
+                offset = end;
+                if offset >= acc.len() {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Worker side of sparse push/pull AllReduce (the Parallax sparse path):
+/// returns the merged sparse tensor.
+pub fn sparse_allreduce<T: Transport>(
+    transport: &T,
+    cfg: &PsConfig,
+    input: &CooTensor,
+) -> Result<CooTensor, TransportError> {
+    assert_eq!(input.len(), cfg.tensor_len);
+    let me = transport.local_id().0;
+    // Partition by key range and push.
+    let mut cursor = 0usize;
+    for s in 0..cfg.num_servers {
+        let range = segment_range(s, cfg.num_servers, cfg.tensor_len);
+        let begin = cursor;
+        while cursor < input.nnz() && (input.keys()[cursor] as usize) < range.end {
+            cursor += 1;
+        }
+        let msg = Message::Kv(KvPacket {
+            kind: PacketKind::Data,
+            wid: me,
+            keys: input.keys()[begin..cursor].to_vec(),
+            values: input.values()[begin..cursor].to_vec(),
+            nextkey: s as u64,
+        });
+        transport.send(NodeId(cfg.server_node(s)), &msg)?;
+    }
+    // Pull the merged partitions.
+    let mut parts: Vec<Option<CooTensor>> = (0..cfg.num_servers).map(|_| None).collect();
+    for _ in 0..cfg.num_servers {
+        let (_, msg) = transport.recv()?;
+        let p = match msg {
+            Message::Kv(p) if p.kind == PacketKind::Result => p,
+            other => panic!("ps sparse worker: unexpected {:?}", other.tag()),
+        };
+        let s = p.nextkey as usize;
+        parts[s] = Some(CooTensor::from_pairs(cfg.tensor_len, p.keys, p.values));
+    }
+    let mut out = CooTensor::empty(cfg.tensor_len);
+    for part in parts.into_iter().flatten() {
+        out = out.merge_sum(&part);
+    }
+    Ok(out)
+}
+
+/// Server side of sparse push/pull. Serves `rounds` rounds, then returns.
+pub fn sparse_server<T: Transport>(
+    transport: &T,
+    cfg: &PsConfig,
+    rounds: usize,
+) -> Result<(), TransportError> {
+    let me = transport.local_id().0 as usize - cfg.num_workers;
+    for _ in 0..rounds {
+        let mut merged = CooTensor::empty(cfg.tensor_len);
+        for _ in 0..cfg.num_workers {
+            let (_, msg) = transport.recv()?;
+            let p = match msg {
+                Message::Kv(p) if p.kind == PacketKind::Data => p,
+                other => panic!("ps sparse server: unexpected {:?}", other.tag()),
+            };
+            let coo = CooTensor::from_pairs(cfg.tensor_len, p.keys, p.values);
+            merged = merged.merge_sum(&coo);
+        }
+        for w in 0..cfg.num_workers {
+            let msg = Message::Kv(KvPacket {
+                kind: PacketKind::Result,
+                wid: u16::MAX,
+                keys: merged.keys().to_vec(),
+                values: merged.values().to_vec(),
+                nextkey: me as u64,
+            });
+            transport.send(NodeId(w as u16), &msg)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_tensor::convert;
+    use omnireduce_tensor::dense::reference_sum;
+    use omnireduce_tensor::gen;
+    use omnireduce_transport::ChannelNetwork;
+    use std::thread;
+
+    fn run_dense(cfg: &PsConfig, inputs: Vec<Tensor>) -> Vec<Tensor> {
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let mut servers = Vec::new();
+        for s in 0..cfg.num_servers {
+            let ep = net.endpoint(NodeId(cfg.server_node(s)));
+            let cfg = cfg.clone();
+            servers.push(thread::spawn(move || {
+                dense_server(&ep, &cfg, 1).unwrap();
+            }));
+        }
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut t)| {
+                let ep = net.endpoint(NodeId(w as u16));
+                let cfg = cfg.clone();
+                thread::spawn(move || {
+                    dense_allreduce(&ep, &cfg, &mut t).unwrap();
+                    t
+                })
+            })
+            .collect();
+        let outs = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for s in servers {
+            s.join().unwrap();
+        }
+        outs
+    }
+
+    #[test]
+    fn dense_ps_matches_reference() {
+        let cfg = PsConfig::new(3, 2, 101);
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|w| gen::element_uniform(101, 0.3, w as u64))
+            .collect();
+        let expect = reference_sum(&inputs);
+        for out in run_dense(&cfg, inputs) {
+            assert!(out.approx_eq(&expect, 1e-4));
+        }
+    }
+
+    #[test]
+    fn dense_ps_single_server() {
+        let cfg = PsConfig::new(2, 1, 40);
+        let inputs: Vec<Tensor> = (0..2)
+            .map(|w| Tensor::from_vec((0..40).map(|i| (w * 40 + i) as f32).collect()))
+            .collect();
+        let expect = reference_sum(&inputs);
+        for out in run_dense(&cfg, inputs) {
+            assert!(out.approx_eq(&expect, 1e-4));
+        }
+    }
+
+    #[test]
+    fn dense_ps_more_servers_than_elements_segments() {
+        let cfg = PsConfig::new(2, 4, 6);
+        let inputs: Vec<Tensor> = (0..2)
+            .map(|w| Tensor::from_vec(vec![w as f32 + 1.0; 6]))
+            .collect();
+        let expect = reference_sum(&inputs);
+        for out in run_dense(&cfg, inputs) {
+            assert!(out.approx_eq(&expect, 1e-5));
+        }
+    }
+
+    #[test]
+    fn sparse_ps_matches_reference() {
+        let cfg = PsConfig::new(3, 2, 200);
+        let dense: Vec<Tensor> = (0..3)
+            .map(|w| gen::element_uniform(200, 0.9, 10 + w as u64))
+            .collect();
+        let inputs: Vec<CooTensor> = dense.iter().map(convert::dense_to_coo).collect();
+        let expect = reference_sum(&dense);
+
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let mut servers = Vec::new();
+        for s in 0..cfg.num_servers {
+            let ep = net.endpoint(NodeId(cfg.server_node(s)));
+            let cfg = cfg.clone();
+            servers.push(thread::spawn(move || {
+                sparse_server(&ep, &cfg, 1).unwrap();
+            }));
+        }
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(w, coo)| {
+                let ep = net.endpoint(NodeId(w as u16));
+                let cfg = cfg.clone();
+                thread::spawn(move || sparse_allreduce(&ep, &cfg, &coo).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let out = convert::coo_to_dense(&h.join().unwrap());
+            assert!(out.approx_eq(&expect, 1e-4));
+        }
+        for s in servers {
+            s.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Recursive-doubling AllReduce — the latency-optimal algorithm for
+//! small messages (log₂N rounds of pairwise exchange), used by SparCML
+//! when "the amount of data is small \[and\] latency dominates the
+//! bandwidth term" (§2.1). Both a dense and a sparse (COO union-merge)
+//! variant; the sparse variant is SparCML's small-message SSAR.
+//!
+//! For non-power-of-two groups the classic pre/post folding step is
+//! used: surplus nodes first fold into a partner, the power-of-two core
+//! runs the exchange, and the result fans back out.
+
+use std::collections::HashMap;
+
+use omnireduce_tensor::{CooTensor, Tensor};
+use omnireduce_transport::{
+    Entry, KvPacket, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
+
+use crate::ring::MAX_CHUNK_VALUES;
+
+/// Exchange rounds are tagged into the packet `stream` field so that a
+/// fast neighbour's next-round message — which can arrive before the
+/// current partner's — is buffered rather than mistaken for it.
+const ROUND_PREFOLD: u16 = u16::MAX;
+const ROUND_POSTFOLD: u16 = u16::MAX - 1;
+
+fn send_dense<T: Transport>(
+    t: &T,
+    to: NodeId,
+    round: u16,
+    tensor: &Tensor,
+) -> Result<(), TransportError> {
+    let data = tensor.as_slice();
+    let mut offset = 0;
+    loop {
+        let end = (offset + MAX_CHUNK_VALUES).min(data.len());
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: 0,
+            stream: round,
+            wid: 0,
+            entries: vec![Entry::data(
+                offset as u32,
+                (data.len() - end) as u32,
+                data[offset..end].to_vec(),
+            )],
+        });
+        t.send(to, &msg)?;
+        offset = end;
+        if offset >= data.len() {
+            return Ok(());
+        }
+    }
+}
+
+/// Reassembles tensors per round, holding early rounds until asked for.
+#[derive(Default)]
+struct DenseReorderBuf {
+    partial: HashMap<u16, Tensor>,
+    ready: HashMap<u16, Tensor>,
+}
+
+impl DenseReorderBuf {
+    fn recv_round<T: Transport>(
+        &mut self,
+        t: &T,
+        len: usize,
+        round: u16,
+    ) -> Result<Tensor, TransportError> {
+        loop {
+            if let Some(done) = self.ready.remove(&round) {
+                return Ok(done);
+            }
+            let (_, msg) = t.recv()?;
+            let p = match msg {
+                Message::Block(p) => p,
+                other => panic!("recursive: unexpected {:?}", other.tag()),
+            };
+            let e = &p.entries[0];
+            let buf = self
+                .partial
+                .entry(p.stream)
+                .or_insert_with(|| Tensor::zeros(len));
+            buf.copy_slice_at(e.block as usize, &e.data);
+            if e.next == 0 {
+                let done = self.partial.remove(&p.stream).expect("present");
+                self.ready.insert(p.stream, done);
+            }
+        }
+    }
+}
+
+/// Largest power of two ≤ n.
+fn pow2_floor(n: usize) -> usize {
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Dense recursive-doubling AllReduce over nodes `0..n`.
+pub fn allreduce<T: Transport>(
+    transport: &T,
+    n: usize,
+    tensor: &mut Tensor,
+) -> Result<(), TransportError> {
+    let me = transport.local_id().index();
+    assert!(me < n, "node {me} out of mesh");
+    if n == 1 {
+        return Ok(());
+    }
+    let len = tensor.len();
+    let core = pow2_floor(n);
+    let surplus = n - core;
+    let mut buf = DenseReorderBuf::default();
+
+    // Pre-fold: nodes core..n send their tensor to partner (me − core);
+    // partners absorb it.
+    if me >= core {
+        send_dense(transport, NodeId((me - core) as u16), ROUND_PREFOLD, tensor)?;
+    } else if me < surplus {
+        let other = buf.recv_round(transport, len, ROUND_PREFOLD)?;
+        tensor.add_assign(&other);
+    }
+
+    // Power-of-two exchange among 0..core, one tagged round per mask.
+    if me < core {
+        let mut mask = 1usize;
+        let mut round = 0u16;
+        while mask < core {
+            let partner = me ^ mask;
+            send_dense(transport, NodeId(partner as u16), round, tensor)?;
+            let other = buf.recv_round(transport, len, round)?;
+            tensor.add_assign(&other);
+            mask <<= 1;
+            round += 1;
+        }
+    }
+
+    // Post-fold: partners return the final result to surplus nodes.
+    if me < surplus {
+        send_dense(transport, NodeId((me + core) as u16), ROUND_POSTFOLD, tensor)?;
+    } else if me >= core {
+        *tensor = buf.recv_round(transport, len, ROUND_POSTFOLD)?;
+    }
+    Ok(())
+}
+
+fn send_coo<T: Transport>(
+    t: &T,
+    to: NodeId,
+    round: u16,
+    coo: &CooTensor,
+) -> Result<(), TransportError> {
+    let msg = Message::Kv(KvPacket {
+        kind: PacketKind::Data,
+        wid: round, // round tag (sender identity is irrelevant here)
+        keys: coo.keys().to_vec(),
+        values: coo.values().to_vec(),
+        nextkey: coo.len() as u64,
+    });
+    t.send(to, &msg)
+}
+
+/// Per-round reorder buffer for the sparse variant.
+#[derive(Default)]
+struct CooReorderBuf {
+    ready: HashMap<u16, CooTensor>,
+}
+
+impl CooReorderBuf {
+    fn recv_round<T: Transport>(&mut self, t: &T, round: u16) -> Result<CooTensor, TransportError> {
+        loop {
+            if let Some(done) = self.ready.remove(&round) {
+                return Ok(done);
+            }
+            let (_, msg) = t.recv()?;
+            match msg {
+                Message::Kv(p) => {
+                    let coo = CooTensor::from_pairs(p.nextkey as usize, p.keys, p.values);
+                    self.ready.insert(p.wid, coo);
+                }
+                other => panic!("recursive sparse: unexpected {:?}", other.tag()),
+            }
+        }
+    }
+}
+
+/// Sparse recursive-doubling AllReduce: log₂N rounds of pairwise COO
+/// exchange and merge — SparCML's latency-optimal small-message path.
+/// The result stays sparse throughout (its nnz grows toward the union).
+pub fn sparse_allreduce<T: Transport>(
+    transport: &T,
+    n: usize,
+    input: &CooTensor,
+) -> Result<CooTensor, TransportError> {
+    let me = transport.local_id().index();
+    assert!(me < n, "node {me} out of mesh");
+    let mut acc = input.clone();
+    if n == 1 {
+        return Ok(acc);
+    }
+    let core = pow2_floor(n);
+    let surplus = n - core;
+    let mut buf = CooReorderBuf::default();
+
+    if me >= core {
+        send_coo(transport, NodeId((me - core) as u16), ROUND_PREFOLD, &acc)?;
+    } else if me < surplus {
+        let other = buf.recv_round(transport, ROUND_PREFOLD)?;
+        acc = acc.merge_sum(&other);
+    }
+
+    if me < core {
+        let mut mask = 1usize;
+        let mut round = 0u16;
+        while mask < core {
+            let partner = me ^ mask;
+            send_coo(transport, NodeId(partner as u16), round, &acc)?;
+            let other = buf.recv_round(transport, round)?;
+            acc = acc.merge_sum(&other);
+            mask <<= 1;
+            round += 1;
+        }
+    }
+
+    if me < surplus {
+        send_coo(transport, NodeId((me + core) as u16), ROUND_POSTFOLD, &acc)?;
+    } else if me >= core {
+        acc = buf.recv_round(transport, ROUND_POSTFOLD)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_tensor::convert;
+    use omnireduce_tensor::dense::reference_sum;
+    use omnireduce_tensor::gen;
+    use omnireduce_transport::ChannelNetwork;
+    use std::thread;
+
+    fn run_dense(inputs: Vec<Tensor>) -> Vec<Tensor> {
+        let n = inputs.len();
+        let mut net = ChannelNetwork::new(n);
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut t)| {
+                let ep = net.endpoint(NodeId(i as u16));
+                thread::spawn(move || {
+                    allreduce(&ep, n, &mut t).unwrap();
+                    t
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn check_dense(n: usize, len: usize, seed: u64) {
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|w| gen::element_uniform(len, 0.3, seed + w as u64))
+            .collect();
+        let expect = reference_sum(&inputs);
+        for (w, out) in run_dense(inputs).iter().enumerate() {
+            assert!(
+                out.approx_eq(&expect, 1e-4),
+                "n={n} worker {w} diverges by {}",
+                out.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_two_groups() {
+        check_dense(2, 50, 1);
+        check_dense(4, 77, 2);
+        check_dense(8, 33, 3);
+    }
+
+    #[test]
+    fn non_power_of_two_groups() {
+        check_dense(3, 64, 4);
+        check_dense(5, 41, 5);
+        check_dense(6, 100, 6);
+        check_dense(7, 13, 7);
+    }
+
+    #[test]
+    fn single_node_identity() {
+        let t = Tensor::from_vec(vec![1.0, 2.0]);
+        assert_eq!(run_dense(vec![t.clone()])[0], t);
+    }
+
+    #[test]
+    fn pow2_floor_values() {
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(2), 2);
+        assert_eq!(pow2_floor(3), 2);
+        assert_eq!(pow2_floor(7), 4);
+        assert_eq!(pow2_floor(8), 8);
+        assert_eq!(pow2_floor(9), 8);
+    }
+
+    #[test]
+    fn sparse_variant_matches_dense_reference() {
+        for n in [2usize, 3, 4, 5, 8] {
+            let dense: Vec<Tensor> = (0..n)
+                .map(|w| gen::element_uniform(200, 0.85, 50 + w as u64))
+                .collect();
+            let expect = reference_sum(&dense);
+            let coos: Vec<CooTensor> = dense.iter().map(convert::dense_to_coo).collect();
+            let mut net = ChannelNetwork::new(n);
+            let handles: Vec<_> = coos
+                .into_iter()
+                .enumerate()
+                .map(|(i, coo)| {
+                    let ep = net.endpoint(NodeId(i as u16));
+                    thread::spawn(move || sparse_allreduce(&ep, n, &coo).unwrap())
+                })
+                .collect();
+            for h in handles {
+                let out = convert::coo_to_dense(&h.join().unwrap());
+                assert!(out.approx_eq(&expect, 1e-4), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_dense_tensor_chunked() {
+        check_dense(2, MAX_CHUNK_VALUES + 100, 9);
+    }
+}

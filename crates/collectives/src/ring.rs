@@ -1,0 +1,264 @@
+//! Ring AllReduce and ring AllGather (executable).
+//!
+//! The bandwidth-optimal dense AllReduce of Patarasuk & Yuan \[49\] that
+//! NCCL and Gloo use by default: the tensor is split into `N` segments;
+//! a reduce-scatter phase sends each segment around the ring accumulating
+//! partial sums (`N − 1` steps), then an all-gather phase circulates the
+//! reduced segments (`N − 1` steps). Total traffic per link:
+//! `2·(N−1)/N · S` bytes.
+//!
+//! The mesh is peer-to-peer: nodes `0..n`, no aggregator. Messages are
+//! single-entry block packets whose `block` field carries the segment
+//! index and `stream` the step number, so receivers can assert the
+//! deterministic schedule.
+
+use omnireduce_tensor::Tensor;
+use omnireduce_transport::{
+    Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
+
+/// Maximum values per message (bounded by the codec's u16 entry length).
+pub const MAX_CHUNK_VALUES: usize = 16_384;
+
+/// Element range of ring segment `s` for a tensor of `len` over `n` nodes.
+pub fn segment_range(s: usize, n: usize, len: usize) -> std::ops::Range<usize> {
+    // Spread the remainder over the first `len % n` segments.
+    let base = len / n;
+    let extra = len % n;
+    let start = s * base + s.min(extra);
+    let size = base + usize::from(s < extra);
+    start..(start + size).min(len)
+}
+
+fn send_segment<T: Transport>(
+    t: &T,
+    to: NodeId,
+    step: usize,
+    seg: usize,
+    data: &[f32],
+) -> Result<(), TransportError> {
+    // Chunk to respect the wire format's entry-length bound.
+    let mut offset = 0;
+    loop {
+        let end = (offset + MAX_CHUNK_VALUES).min(data.len());
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: 0,
+            stream: step as u16,
+            wid: seg as u16,
+            entries: vec![Entry::data(
+                offset as u32,
+                (data.len() - end) as u32, // remaining values after this chunk
+                data[offset..end].to_vec(),
+            )],
+        });
+        t.send(to, &msg)?;
+        offset = end;
+        if offset >= data.len() {
+            return Ok(());
+        }
+    }
+}
+
+/// Receives one full segment (possibly chunked) from `prev`; returns
+/// `(step, seg, values)`.
+fn recv_segment<T: Transport>(t: &T) -> Result<(usize, usize, Vec<f32>), TransportError> {
+    let mut out: Vec<f32> = Vec::new();
+    loop {
+        let (_, msg) = t.recv()?;
+        let p = match msg {
+            Message::Block(p) => p,
+            other => panic!("ring: unexpected {:?}", other.tag()),
+        };
+        let entry = &p.entries[0];
+        debug_assert_eq!(entry.block as usize, out.len(), "chunk out of order");
+        out.extend_from_slice(&entry.data);
+        if entry.next == 0 {
+            return Ok((p.stream as usize, p.wid as usize, out));
+        }
+    }
+}
+
+/// Ring AllReduce: on return `tensor` holds the element-wise sum across
+/// all `n` nodes. `transport.local_id()` must be in `0..n`.
+pub fn allreduce<T: Transport>(
+    transport: &T,
+    n: usize,
+    tensor: &mut Tensor,
+) -> Result<(), TransportError> {
+    assert!(n >= 1);
+    let me = transport.local_id().index();
+    assert!(me < n, "node {me} out of ring");
+    if n == 1 {
+        return Ok(());
+    }
+    let len = tensor.len();
+    let next = NodeId(((me + 1) % n) as u16);
+
+    // Reduce-scatter: at step t, send segment (me − t) and receive+add
+    // segment (me − t − 1). After N−1 steps, segment (me + 1) mod n is
+    // fully reduced here.
+    for step in 0..n - 1 {
+        let send_seg = (me + n - step) % n;
+        let r = segment_range(send_seg, n, len);
+        send_segment(transport, next, step, send_seg, &tensor[r])?;
+        let (step_got, seg_got, data) = recv_segment(transport)?;
+        debug_assert_eq!(step_got, step);
+        debug_assert_eq!(seg_got, (me + n - step - 1) % n);
+        let r = segment_range(seg_got, n, len);
+        debug_assert_eq!(r.len(), data.len());
+        tensor.add_slice_at(r.start, &data);
+    }
+
+    // All-gather: circulate the reduced segments.
+    for step in 0..n - 1 {
+        let send_seg = (me + 1 + n - step) % n;
+        let r = segment_range(send_seg, n, len);
+        send_segment(transport, next, n - 1 + step, send_seg, &tensor[r])?;
+        let (_, seg_got, data) = recv_segment(transport)?;
+        debug_assert_eq!(seg_got, (me + n - step) % n);
+        let r = segment_range(seg_got, n, len);
+        tensor.copy_slice_at(r.start, &data);
+    }
+    Ok(())
+}
+
+/// Ring AllGather of raw f32 buffers: every node contributes `local`;
+/// returns all contributions indexed by node. (Building block for
+/// AGsparse, which gathers keys and values as separate buffers.)
+pub fn allgather<T: Transport>(
+    transport: &T,
+    n: usize,
+    local: &[f32],
+) -> Result<Vec<Vec<f32>>, TransportError> {
+    let me = transport.local_id().index();
+    assert!(me < n, "node {me} out of ring");
+    let mut slots: Vec<Option<Vec<f32>>> = (0..n).map(|_| None).collect();
+    slots[me] = Some(local.to_vec());
+    if n == 1 {
+        return Ok(slots.into_iter().map(|s| s.unwrap()).collect());
+    }
+    let next = NodeId(((me + 1) % n) as u16);
+    for step in 0..n - 1 {
+        let send_origin = (me + n - step) % n;
+        let data = slots[send_origin].clone().expect("own or forwarded");
+        send_segment(transport, next, step, send_origin, &data)?;
+        let (_, origin, data) = recv_segment(transport)?;
+        debug_assert_eq!(origin, (me + n - step - 1) % n);
+        slots[origin] = Some(data);
+    }
+    Ok(slots.into_iter().map(|s| s.unwrap()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_tensor::dense::reference_sum;
+    use omnireduce_transport::ChannelNetwork;
+    use std::thread;
+
+    fn run_ring_allreduce(inputs: Vec<Tensor>) -> Vec<Tensor> {
+        let n = inputs.len();
+        let mut net = ChannelNetwork::new(n);
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut t)| {
+                let ep = net.endpoint(NodeId(i as u16));
+                thread::spawn(move || {
+                    allreduce(&ep, n, &mut t).unwrap();
+                    t
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn segment_ranges_partition_exactly() {
+        for (n, len) in [(1, 5), (3, 10), (4, 4), (5, 23), (8, 7)] {
+            let mut covered = 0;
+            for s in 0..n {
+                let r = segment_range(s, n, len);
+                assert_eq!(r.start, covered, "n={n} len={len} s={s}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "n={n} len={len}");
+        }
+    }
+
+    #[test]
+    fn two_node_allreduce() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        let expect = reference_sum(&[a.clone(), b.clone()]);
+        for out in run_ring_allreduce(vec![a, b]) {
+            assert!(out.approx_eq(&expect, 1e-5));
+        }
+    }
+
+    #[test]
+    fn five_node_allreduce_uneven_len() {
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|w| Tensor::from_vec((0..23).map(|i| (w * 100 + i) as f32).collect()))
+            .collect();
+        let expect = reference_sum(&inputs);
+        for out in run_ring_allreduce(inputs) {
+            assert!(out.approx_eq(&expect, 1e-3));
+        }
+    }
+
+    #[test]
+    fn single_node_is_identity() {
+        let t = Tensor::from_vec(vec![1.0, 2.0]);
+        let out = run_ring_allreduce(vec![t.clone()]);
+        assert_eq!(out[0], t);
+    }
+
+    #[test]
+    fn tensor_smaller_than_ring() {
+        // len 2 < n 4: some segments are empty.
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|w| Tensor::from_vec(vec![w as f32, 1.0]))
+            .collect();
+        let expect = reference_sum(&inputs);
+        for out in run_ring_allreduce(inputs) {
+            assert!(out.approx_eq(&expect, 1e-5));
+        }
+    }
+
+    #[test]
+    fn large_tensor_chunked() {
+        // Forces multi-chunk segments (> MAX_CHUNK_VALUES per segment).
+        let len = MAX_CHUNK_VALUES * 2 + 77;
+        let inputs: Vec<Tensor> = (0..2)
+            .map(|w| Tensor::from_vec((0..len).map(|i| ((i + w) % 97) as f32).collect()))
+            .collect();
+        let expect = reference_sum(&inputs);
+        for out in run_ring_allreduce(inputs) {
+            assert!(out.approx_eq(&expect, 1e-2));
+        }
+    }
+
+    #[test]
+    fn allgather_collects_all() {
+        let n = 4;
+        let mut net = ChannelNetwork::new(n);
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let ep = net.endpoint(NodeId(i as u16));
+                thread::spawn(move || {
+                    let local = vec![i as f32; i + 1]; // ragged sizes
+                    allgather(&ep, n, &local).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let all = h.join().unwrap();
+            for (i, buf) in all.iter().enumerate() {
+                assert_eq!(buf.len(), i + 1);
+                assert!(buf.iter().all(|v| *v == i as f32));
+            }
+        }
+    }
+}

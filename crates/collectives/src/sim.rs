@@ -1,0 +1,520 @@
+//! Simulated timing models for the baseline collectives, built from two
+//! generic simnet traffic patterns:
+//!
+//! * [`ring_flow`] — tokens circulating a ring with chunk-level
+//!   pipelining: ring AllReduce is a flow with `2(N−1)` hops per token;
+//!   ring AllGather (and so AGsparse) is the same flow with `N−1` hops.
+//! * [`exchange_flow`] — an arbitrary set of point-to-point transfers
+//!   released simultaneously (incast to partition roots, PS push, PS
+//!   pull); completion is when every receiver has everything.
+//!
+//! Baseline wrappers compose these patterns with the byte counts each
+//! algorithm moves; phase boundaries (SparCML's split→allgather, PS's
+//! push→pull) are barriers, so phase times add.
+
+use omnireduce_simnet::{ActorId, Ctx, NicConfig, Process, SimTime, Simulator};
+use omnireduce_tensor::{INDEX_BYTES, VALUE_BYTES};
+
+/// Per-message framing overhead charged by the flow patterns (rough
+/// equivalent of the block/KV headers of the executable protocols).
+pub const MSG_OVERHEAD: usize = 16;
+
+/// A token moving around the ring.
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    /// Remaining hops after this delivery.
+    hops_left: usize,
+    /// Chunk payload bytes.
+    bytes: usize,
+}
+
+struct RingActor {
+    n: usize,
+    next: ActorId,
+    /// Chunks this node originates (bytes each).
+    own_chunks: Vec<usize>,
+    /// Initial hop budget for each token.
+    hops: usize,
+    /// Messages this actor will receive in total.
+    expect: u64,
+    got: u64,
+}
+
+impl Process<Token> for RingActor {
+    fn on_start(&mut self, ctx: &mut Ctx<Token>) {
+        for bytes in &self.own_chunks {
+            ctx.send(
+                self.next,
+                Token {
+                    hops_left: self.hops - 1,
+                    bytes: *bytes,
+                },
+                *bytes + MSG_OVERHEAD,
+            );
+        }
+        if self.expect == 0 {
+            ctx.mark_done();
+        }
+        let _ = self.n;
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Token>, _from: ActorId, tok: Token) {
+        self.got += 1;
+        if tok.hops_left > 0 {
+            ctx.send(
+                self.next,
+                Token {
+                    hops_left: tok.hops_left - 1,
+                    bytes: tok.bytes,
+                },
+                tok.bytes + MSG_OVERHEAD,
+            );
+        }
+        if self.got == self.expect {
+            ctx.mark_done();
+        }
+    }
+}
+
+/// Splits `bytes` into chunks of at most `chunk` bytes.
+fn chunks_of(bytes: u64, chunk: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut left = bytes;
+    while left > 0 {
+        let c = left.min(chunk as u64) as usize;
+        out.push(c);
+        left -= c as u64;
+    }
+    out
+}
+
+/// Simulates a ring token flow: node `i` originates
+/// `per_node_bytes[i]` bytes (chunked at `chunk`), every token travels
+/// `hops` hops. Returns the time the last node finished receiving.
+///
+/// Ring AllReduce of `S` bytes = per-node `S/N`, `hops = 2(N−1)`.
+/// Ring AllGather = per-node contribution sizes, `hops = N−1`.
+pub fn ring_flow(per_node_bytes: &[u64], hops: usize, chunk: usize, nic: NicConfig) -> SimTime {
+    let n = per_node_bytes.len();
+    assert!(n >= 1 && hops >= 1 && chunk >= 1);
+    if n == 1 {
+        return SimTime::ZERO;
+    }
+    let mut sim: Simulator<Token> = Simulator::new(1);
+    let nics: Vec<_> = (0..n).map(|_| sim.add_nic(nic)).collect();
+    // Node at ring distance d from origin o (1 ≤ d) receives the token
+    // ⌈(hops − d + 1)/n⌉ times if hops ≥ d... compute exactly:
+    // visits of node i = |{j in 1..=hops : (o + j) mod n == i}|.
+    let mut expect = vec![0u64; n];
+    for (o, bytes) in per_node_bytes.iter().enumerate() {
+        let nchunks = chunks_of(*bytes, chunk).len() as u64;
+        for j in 1..=hops {
+            expect[(o + j) % n] += nchunks;
+        }
+    }
+    for (i, nic_id) in nics.iter().enumerate() {
+        sim.add_actor(
+            *nic_id,
+            Box::new(RingActor {
+                n,
+                next: ActorId((i + 1) % n),
+                own_chunks: chunks_of(per_node_bytes[i], chunk),
+                hops,
+                expect: expect[i],
+                got: 0,
+            }),
+        );
+    }
+    let report = sim.run();
+    report.last_finish().unwrap_or(SimTime::ZERO)
+}
+
+/// One point-to-point transfer of an exchange phase.
+#[derive(Debug, Clone, Copy)]
+pub struct Transfer {
+    /// Sending node index.
+    pub from: usize,
+    /// Receiving node index.
+    pub to: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+struct ExchangeSender {
+    out: Vec<(ActorId, Vec<usize>)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Chunk;
+
+impl Process<Chunk> for ExchangeSender {
+    fn on_start(&mut self, ctx: &mut Ctx<Chunk>) {
+        for (to, chunks) in &self.out {
+            for bytes in chunks {
+                ctx.send(*to, Chunk, *bytes + MSG_OVERHEAD);
+            }
+        }
+        ctx.mark_done();
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<Chunk>, _f: ActorId, _m: Chunk) {
+        unreachable!("senders receive nothing")
+    }
+}
+
+struct ExchangeReceiver {
+    expect: u64,
+    got: u64,
+}
+
+impl Process<Chunk> for ExchangeReceiver {
+    fn on_start(&mut self, ctx: &mut Ctx<Chunk>) {
+        if self.expect == 0 {
+            ctx.mark_done();
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<Chunk>, _f: ActorId, _m: Chunk) {
+        self.got += 1;
+        if self.got == self.expect {
+            ctx.mark_done();
+        }
+    }
+}
+
+/// Simulates a set of simultaneous point-to-point transfers among
+/// `n` nodes (each with its own `nic`); returns the time the last
+/// receiver finished. Nodes sending *and* receiving are modelled with a
+/// sender and a receiver actor sharing the node's NIC.
+pub fn exchange_flow(n: usize, transfers: &[Transfer], chunk: usize, nic: NicConfig) -> SimTime {
+    assert!(chunk >= 1);
+    let mut sim: Simulator<Chunk> = Simulator::new(2);
+    let nics: Vec<_> = (0..n).map(|_| sim.add_nic(nic)).collect();
+    // Receiver actors are 0..n; sender actors n..2n on the same NICs.
+    let mut expect = vec![0u64; n];
+    let mut outgoing: Vec<Vec<(ActorId, Vec<usize>)>> = vec![Vec::new(); n];
+    for t in transfers {
+        assert!(t.from < n && t.to < n, "transfer endpoint out of range");
+        if t.from == t.to || t.bytes == 0 {
+            continue; // local or empty: free
+        }
+        let chunks = chunks_of(t.bytes, chunk);
+        expect[t.to] += chunks.len() as u64;
+        outgoing[t.from].push((ActorId(t.to), chunks));
+    }
+    for (i, nic_id) in nics.iter().enumerate() {
+        sim.add_actor(
+            *nic_id,
+            Box::new(ExchangeReceiver {
+                expect: expect[i],
+                got: 0,
+            }),
+        );
+    }
+    for (i, out) in outgoing.into_iter().enumerate() {
+        sim.add_actor(nics[i], Box::new(ExchangeSender { out }));
+    }
+    let report = sim.run();
+    (0..n)
+        .map(|i| report.finished_at[i].expect("receiver finished"))
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// Default chunk size for the flows (64 KB, NCCL-like slice size).
+pub const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// Ring AllReduce time for `s_bytes` over `n` workers.
+pub fn ring_allreduce_time(n: usize, s_bytes: u64, nic: NicConfig) -> SimTime {
+    if n <= 1 {
+        return SimTime::ZERO;
+    }
+    let per_node: Vec<u64> = (0..n)
+        .map(|i| {
+            // Segment sizes as in the executable version.
+            let base = s_bytes / n as u64;
+            let extra = s_bytes % n as u64;
+            base + u64::from((i as u64) < extra)
+        })
+        .collect();
+    ring_flow(&per_node, 2 * (n - 1), DEFAULT_CHUNK, nic)
+}
+
+/// AGsparse time: ring AllGather of each worker's sparse pairs followed
+/// by a (free) local reduction. `per_worker_nnz` are element counts.
+pub fn agsparse_time(per_worker_nnz: &[u64], nic: NicConfig) -> SimTime {
+    let n = per_worker_nnz.len();
+    if n <= 1 {
+        return SimTime::ZERO;
+    }
+    let bytes: Vec<u64> = per_worker_nnz
+        .iter()
+        .map(|m| m * (INDEX_BYTES + VALUE_BYTES) as u64)
+        .collect();
+    ring_flow(&bytes, n - 1, DEFAULT_CHUNK, nic)
+}
+
+/// SparCML split-allgather time.
+///
+/// * `per_worker_nnz[w]` — worker `w`'s non-zero count (phase 1 spreads
+///   those pairs evenly over the `n` partition roots);
+/// * `per_partition_union_nnz[r]` — non-zeros of the *reduced* partition
+///   at root `r` (phase 2 payload);
+/// * `partition_len[r]` — dense element count of partition `r`;
+/// * `dsar` — switch a partition to dense when `m > ρ`.
+pub fn sparcml_time(
+    per_worker_nnz: &[u64],
+    per_partition_union_nnz: &[u64],
+    partition_len: &[u64],
+    dsar: bool,
+    nic: NicConfig,
+) -> SimTime {
+    let n = per_worker_nnz.len();
+    assert_eq!(per_partition_union_nnz.len(), n);
+    assert_eq!(partition_len.len(), n);
+    if n <= 1 {
+        return SimTime::ZERO;
+    }
+    let pair = (INDEX_BYTES + VALUE_BYTES) as u64;
+    // Phase 1: every worker sends ~1/n of its pairs to each other root.
+    let mut transfers = Vec::new();
+    for (w, m) in per_worker_nnz.iter().enumerate() {
+        // Stagger root order per worker to avoid an incast convoy (real
+        // implementations stripe destinations the same way).
+        for k in 0..n {
+            let r = (w + k) % n;
+            if r != w {
+                transfers.push(Transfer {
+                    from: w,
+                    to: r,
+                    bytes: m * pair / n as u64,
+                });
+            }
+        }
+    }
+    let phase1 = exchange_flow(n, &transfers, DEFAULT_CHUNK, nic);
+    // Phase 2: ring allgather of reduced partitions.
+    let phase2_bytes: Vec<u64> = per_partition_union_nnz
+        .iter()
+        .zip(partition_len)
+        .map(|(m, len)| {
+            let sparse = m * pair;
+            let dense = len * VALUE_BYTES as u64;
+            // ρ condition: m > len·c_v/(c_i+c_v) ⇔ sparse > dense.
+            if dsar && sparse > dense {
+                dense
+            } else {
+                sparse
+            }
+        })
+        .collect();
+    let phase2 = ring_flow(&phase2_bytes, n - 1, DEFAULT_CHUNK, nic);
+    phase1 + phase2
+}
+
+/// Parameter-server dense AllReduce time: push `s_bytes` sharded over
+/// `servers`, then pull. Node indexing: workers `0..n`, servers follow.
+pub fn ps_dense_time(n: usize, servers: usize, s_bytes: u64, nic: NicConfig) -> SimTime {
+    let total = n + servers;
+    let shard = s_bytes / servers as u64;
+    let mut push = Vec::new();
+    let mut pull = Vec::new();
+    // Stagger shard order per worker (and worker order per server) to
+    // avoid incast convoys; real PS clients stripe destinations.
+    for w in 0..n {
+        for k in 0..servers {
+            let s = (w + k) % servers;
+            push.push(Transfer {
+                from: w,
+                to: n + s,
+                bytes: shard,
+            });
+        }
+    }
+    for s in 0..servers {
+        for k in 0..n {
+            let w = (s + k) % n;
+            pull.push(Transfer {
+                from: n + s,
+                to: w,
+                bytes: shard,
+            });
+        }
+    }
+    exchange_flow(total, &push, DEFAULT_CHUNK, nic)
+        + exchange_flow(total, &pull, DEFAULT_CHUNK, nic)
+}
+
+/// Parameter-server sparse AllReduce time (the Parallax sparse path):
+/// push each worker's pairs sharded over servers, pull the union pairs.
+pub fn ps_sparse_time(
+    per_worker_nnz: &[u64],
+    union_nnz: u64,
+    servers: usize,
+    nic: NicConfig,
+) -> SimTime {
+    let n = per_worker_nnz.len();
+    let total = n + servers;
+    let pair = (INDEX_BYTES + VALUE_BYTES) as u64;
+    let mut push = Vec::new();
+    let mut pull = Vec::new();
+    for (w, m) in per_worker_nnz.iter().enumerate() {
+        for k in 0..servers {
+            let s = (w + k) % servers;
+            push.push(Transfer {
+                from: w,
+                to: n + s,
+                bytes: m * pair / servers as u64,
+            });
+        }
+    }
+    for s in 0..servers {
+        for k in 0..n {
+            let w = (s + k) % n;
+            pull.push(Transfer {
+                from: n + s,
+                to: w,
+                bytes: union_nnz * pair / servers as u64,
+            });
+        }
+    }
+    exchange_flow(total, &push, DEFAULT_CHUNK, nic)
+        + exchange_flow(total, &pull, DEFAULT_CHUNK, nic)
+}
+
+/// Recursive-doubling AllReduce time: ⌈log₂n⌉ sequential pairwise
+/// exchange rounds, each moving the full `s_bytes` both ways (dense
+/// variant). Latency-optimal for small tensors: `log₂N · (α + S/B)`
+/// versus ring's `2(N−1)` latency terms.
+pub fn recursive_doubling_time(n: usize, s_bytes: u64, nic: NicConfig) -> SimTime {
+    if n <= 1 {
+        return SimTime::ZERO;
+    }
+    let rounds = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    let mut total = SimTime::ZERO;
+    for _ in 0..rounds {
+        // One round: disjoint pairs exchange simultaneously; time is one
+        // pairwise exchange (all pairs run in parallel on their own NICs).
+        let transfers = vec![
+            Transfer {
+                from: 0,
+                to: 1,
+                bytes: s_bytes,
+            },
+            Transfer {
+                from: 1,
+                to: 0,
+                bytes: s_bytes,
+            },
+        ];
+        total += exchange_flow(2, &transfers, DEFAULT_CHUNK, nic);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{self, CostParams};
+    use omnireduce_simnet::Bandwidth;
+
+    fn nic_10g() -> NicConfig {
+        NicConfig::symmetric(Bandwidth::gbps(10.0), SimTime::from_micros(5))
+    }
+
+    #[test]
+    fn ring_allreduce_matches_cost_model() {
+        // Large tensor: simulated time should approach 2(N−1)S/(NB).
+        let s: u64 = 50_000_000; // 50 MB
+        for n in [2usize, 4, 8] {
+            let sim_t = ring_allreduce_time(n, s, nic_10g()).as_secs_f64();
+            let p = CostParams::new_gbps(10.0, 5.0);
+            let model_t = cost::ring_allreduce(&p, n, s as f64);
+            let rel = (sim_t - model_t).abs() / model_t;
+            assert!(rel < 0.05, "n={n}: sim {sim_t} vs model {model_t}");
+        }
+    }
+
+    #[test]
+    fn agsparse_matches_cost_model() {
+        let len_bytes: f64 = 40_000_000.0;
+        let d = 0.05;
+        let n = 8;
+        let nnz = (len_bytes / VALUE_BYTES as f64 * d) as u64;
+        let sim_t = agsparse_time(&vec![nnz; n], nic_10g()).as_secs_f64();
+        let p = CostParams::new_gbps(10.0, 5.0);
+        let model_t = cost::agsparse_allreduce(&p, n, len_bytes, d);
+        let rel = (sim_t - model_t).abs() / model_t;
+        assert!(rel < 0.08, "sim {sim_t} vs model {model_t}");
+    }
+
+    #[test]
+    fn agsparse_slows_with_more_workers() {
+        let nnz = 1_000_000u64;
+        let t2 = agsparse_time(&[nnz; 2], nic_10g());
+        let t4 = agsparse_time(&[nnz; 4], nic_10g());
+        let t8 = agsparse_time(&[nnz; 8], nic_10g());
+        assert!(t2 < t4 && t4 < t8, "{t2} {t4} {t8}");
+    }
+
+    #[test]
+    fn exchange_flow_incast_serializes_at_receiver() {
+        // 4 senders push 1 MB each to node 0: 4 MB through one RX port.
+        let transfers: Vec<Transfer> = (1..5)
+            .map(|f| Transfer {
+                from: f,
+                to: 0,
+                bytes: 1_000_000,
+            })
+            .collect();
+        let t = exchange_flow(5, &transfers, DEFAULT_CHUNK, nic_10g()).as_secs_f64();
+        let ideal = 4_000_000.0 / Bandwidth::gbps(10.0).as_bytes_per_sec();
+        assert!((t - ideal).abs() / ideal < 0.05, "t {t} ideal {ideal}");
+    }
+
+    #[test]
+    fn dsar_caps_phase2_at_dense_bytes() {
+        // Dense-ish data: SSAR phase 2 ships sparse > dense, DSAR caps it.
+        let n = 4;
+        let part_len = 1_000_000u64;
+        let union = 900_000u64; // 90% dense → sparse rep = 7.2 MB > 4 MB
+        let per_worker = vec![800_000u64; n];
+        let t_ssar = sparcml_time(
+            &per_worker,
+            &vec![union; n],
+            &vec![part_len; n],
+            false,
+            nic_10g(),
+        );
+        let t_dsar = sparcml_time(
+            &per_worker,
+            &vec![union; n],
+            &vec![part_len; n],
+            true,
+            nic_10g(),
+        );
+        assert!(t_dsar < t_ssar, "dsar {t_dsar} < ssar {t_ssar}");
+    }
+
+    #[test]
+    fn ps_dense_roughly_two_s_over_b() {
+        let n = 8;
+        let s: u64 = 10_000_000;
+        let t = ps_dense_time(n, n, s, nic_10g()).as_secs_f64();
+        let ideal = 2.0 * s as f64 / Bandwidth::gbps(10.0).as_bytes_per_sec();
+        assert!((t - ideal).abs() / ideal < 0.1, "t {t} ideal {ideal}");
+    }
+
+    #[test]
+    fn ps_sparse_cheaper_when_sparse() {
+        let n = 4;
+        let dense_t = ps_dense_time(n, n, 40_000_000, nic_10g());
+        // 1% density: 100k pairs per worker.
+        let sparse_t = ps_sparse_time(&vec![100_000u64; n], 380_000, n, nic_10g());
+        assert!(sparse_t.as_nanos() * 5 < dense_t.as_nanos());
+    }
+
+    #[test]
+    fn single_node_flows_are_free() {
+        assert_eq!(ring_allreduce_time(1, 1_000, nic_10g()), SimTime::ZERO);
+        assert_eq!(agsparse_time(&[5], nic_10g()), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,284 @@
+//! SparCML split-allgather sparse AllReduce (§2.1): the
+//! `SSAR_Split_allgather` and `DSAR_Split_allgather` algorithms — the two
+//! SparCML variants that dominate its performance in the paper's
+//! experiments.
+//!
+//! Both run in two phases over a peer-to-peer mesh `0..n`:
+//!
+//! 1. **Split-gather**: the key space is split into `n` contiguous
+//!    partitions, one per root. Every worker sends its pairs from
+//!    partition `r` directly to root `r`; each root merges the `n`
+//!    contributions into the reduced partition.
+//! 2. **Concatenating AllGather**: the reduced partitions circulate on a
+//!    ring so every worker assembles the full result.
+//!
+//! The difference is representation in phase 2: SSAR keeps every
+//! partition sparse (and so can transmit *more* than the dense bytes when
+//! density is high), while DSAR switches a partition to dense
+//! representation once its non-zero count `m` exceeds the break-even
+//! `ρ = len · c_v / (c_i + c_v)` — the paper's `m > ρ` condition.
+
+use omnireduce_tensor::{convert, CooTensor, Tensor, INDEX_BYTES, VALUE_BYTES};
+use omnireduce_transport::{
+    Entry, KvPacket, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
+
+use crate::ring::segment_range;
+
+/// Phase-2 representation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Static sparse: partitions stay in key-value form.
+    Ssar,
+    /// Dynamic: a partition goes dense when `m > ρ`.
+    Dsar,
+}
+
+/// Break-even non-zero count for a partition of `len` elements
+/// (`ρ = len·c_v/(c_i+c_v)`, §2.1).
+pub fn rho(len: usize) -> usize {
+    len * VALUE_BYTES / (INDEX_BYTES + VALUE_BYTES)
+}
+
+/// A reduced partition in its phase-2 representation.
+#[derive(Debug, Clone, PartialEq)]
+enum Partition {
+    Sparse(CooTensor),
+    Dense { start: usize, values: Vec<f32> },
+}
+
+/// Splits `input` by key into `n` partitions of the logical `[0, len)`
+/// space (each partition re-indexed to its own base).
+fn split(input: &CooTensor, n: usize) -> Vec<CooTensor> {
+    let len = input.len();
+    let mut parts = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    for r in 0..n {
+        let range = segment_range(r, n, len);
+        let mut keys = Vec::new();
+        let mut values = Vec::new();
+        while cursor < input.nnz() && (input.keys()[cursor] as usize) < range.end {
+            keys.push(input.keys()[cursor] - range.start as u32);
+            values.push(input.values()[cursor]);
+            cursor += 1;
+        }
+        parts.push(CooTensor::from_pairs(range.len().max(1), keys, values));
+    }
+    parts
+}
+
+/// SparCML sparse AllReduce; returns the dense result (the natural output
+/// when DSAR densifies, and what the training loop consumes either way).
+pub fn allreduce<T: Transport>(
+    transport: &T,
+    n: usize,
+    input: &CooTensor,
+    variant: Variant,
+) -> Result<Tensor, TransportError> {
+    let me = transport.local_id().index();
+    assert!(me < n, "node {me} out of mesh");
+    let len = input.len();
+
+    if n == 1 {
+        return Ok(convert::coo_to_dense(input));
+    }
+
+    // ---- Phase 1: split-gather at per-partition roots ----
+    let parts = split(input, n);
+    for (r, part) in parts.iter().enumerate() {
+        if r == me {
+            continue;
+        }
+        let msg = Message::Kv(KvPacket {
+            kind: PacketKind::Data,
+            wid: me as u16,
+            keys: part.keys().to_vec(),
+            values: part.values().to_vec(),
+            nextkey: part.len() as u64,
+        });
+        transport.send(NodeId(r as u16), &msg)?;
+    }
+    // Merge own contribution plus n−1 incoming.
+    let mut reduced = parts[me].clone();
+    for _ in 0..n - 1 {
+        let (_, msg) = transport.recv()?;
+        let p = match msg {
+            Message::Kv(p) => p,
+            other => panic!("sparcml phase 1: unexpected {:?}", other.tag()),
+        };
+        let incoming = CooTensor::from_pairs(p.nextkey as usize, p.keys, p.values);
+        reduced = reduced.merge_sum(&incoming);
+    }
+
+    // Choose the phase-2 representation for my partition.
+    let my_range = segment_range(me, n, len);
+    let my_part = if variant == Variant::Dsar && reduced.nnz() > rho(my_range.len()) {
+        Partition::Dense {
+            start: my_range.start,
+            values: convert::coo_to_dense(&reduced).into_vec(),
+        }
+    } else {
+        Partition::Sparse(reduced)
+    };
+
+    // ---- Phase 2: concatenating ring AllGather of reduced partitions ----
+    let mut partitions: Vec<Option<(usize, Partition)>> = (0..n).map(|_| None).collect();
+    partitions[me] = Some((me, my_part));
+    let next = NodeId(((me + 1) % n) as u16);
+    for step in 0..n - 1 {
+        let origin = (me + n - step) % n;
+        let (_, part) = partitions[origin].as_ref().expect("own or forwarded");
+        let msg = match part {
+            Partition::Sparse(coo) => Message::Kv(KvPacket {
+                kind: PacketKind::Result,
+                wid: origin as u16,
+                keys: coo.keys().to_vec(),
+                values: coo.values().to_vec(),
+                nextkey: coo.len() as u64,
+            }),
+            Partition::Dense { start, values } => Message::Block(Packet {
+                kind: PacketKind::Result,
+                ver: 0,
+                stream: origin as u16,
+                wid: origin as u16,
+                entries: values
+                    .chunks(crate::ring::MAX_CHUNK_VALUES)
+                    .enumerate()
+                    .map(|(i, chunk)| {
+                        Entry::data(
+                            (*start + i * crate::ring::MAX_CHUNK_VALUES) as u32,
+                            0,
+                            chunk.to_vec(),
+                        )
+                    })
+                    .collect(),
+            }),
+        };
+        transport.send(next, &msg)?;
+        let (_, got) = transport.recv()?;
+        let (origin_got, part) = match got {
+            Message::Kv(p) => (
+                p.wid as usize,
+                Partition::Sparse(CooTensor::from_pairs(p.nextkey as usize, p.keys, p.values)),
+            ),
+            Message::Block(p) => {
+                let start = p.entries[0].block as usize;
+                let mut values = Vec::new();
+                for e in &p.entries {
+                    values.extend_from_slice(&e.data);
+                }
+                (p.wid as usize, Partition::Dense { start, values })
+            }
+            other => panic!("sparcml phase 2: unexpected {:?}", other.tag()),
+        };
+        debug_assert_eq!(origin_got, (me + n - step - 1) % n);
+        partitions[origin_got] = Some((origin_got, part));
+    }
+
+    // Assemble the dense result.
+    let mut out = Tensor::zeros(len);
+    for slot in partitions.into_iter() {
+        let (r, part) = slot.expect("complete");
+        let range = segment_range(r, n, len);
+        match part {
+            Partition::Sparse(coo) => {
+                for (k, v) in coo.iter() {
+                    out[range.start + k as usize] = v;
+                }
+            }
+            Partition::Dense { start, values } => {
+                debug_assert_eq!(start, range.start);
+                out.copy_slice_at(start, &values);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_tensor::dense::reference_sum;
+    use omnireduce_tensor::gen;
+    use omnireduce_transport::ChannelNetwork;
+    use std::thread;
+
+    fn run(inputs: Vec<CooTensor>, variant: Variant) -> Vec<Tensor> {
+        let n = inputs.len();
+        let mut net = ChannelNetwork::new(n);
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, coo)| {
+                let ep = net.endpoint(NodeId(i as u16));
+                thread::spawn(move || allreduce(&ep, n, &coo, variant).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn check_matches_dense(n: usize, len: usize, sparsity: f64, variant: Variant, seed: u64) {
+        let dense: Vec<Tensor> = (0..n)
+            .map(|w| gen::element_uniform(len, sparsity, seed + w as u64))
+            .collect();
+        let inputs: Vec<CooTensor> = dense.iter().map(convert::dense_to_coo).collect();
+        let expect = reference_sum(&dense);
+        for out in run(inputs, variant) {
+            assert!(
+                out.approx_eq(&expect, 1e-4),
+                "variant {variant:?} diverges by {}",
+                out.max_abs_diff(&expect)
+            );
+        }
+    }
+
+    #[test]
+    fn ssar_matches_reference_high_sparsity() {
+        check_matches_dense(4, 400, 0.95, Variant::Ssar, 1);
+    }
+
+    #[test]
+    fn ssar_matches_reference_low_sparsity() {
+        check_matches_dense(3, 300, 0.2, Variant::Ssar, 2);
+    }
+
+    #[test]
+    fn dsar_matches_reference_high_sparsity() {
+        check_matches_dense(4, 400, 0.95, Variant::Dsar, 3);
+    }
+
+    #[test]
+    fn dsar_matches_reference_low_sparsity() {
+        // Low sparsity forces the dense switch (m > ρ).
+        check_matches_dense(4, 400, 0.1, Variant::Dsar, 4);
+    }
+
+    #[test]
+    fn uneven_length_partitions() {
+        check_matches_dense(4, 403, 0.5, Variant::Dsar, 5);
+        check_matches_dense(4, 403, 0.5, Variant::Ssar, 6);
+    }
+
+    #[test]
+    fn single_node() {
+        let coo = convert::dense_to_coo(&Tensor::from_vec(vec![0.0, 3.0, 0.0]));
+        let out = run(vec![coo], Variant::Dsar);
+        assert_eq!(out[0].as_slice(), &[0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn rho_break_even() {
+        // c_i = c_v = 4 bytes → ρ = len/2.
+        assert_eq!(rho(100), 50);
+        assert_eq!(rho(7), 3);
+    }
+
+    #[test]
+    fn split_partitions_and_rebases_keys() {
+        let coo = CooTensor::from_pairs(10, vec![0, 3, 5, 9], vec![1.0, 2.0, 3.0, 4.0]);
+        let parts = split(&coo, 2);
+        assert_eq!(parts[0].keys(), &[0, 3]);
+        assert_eq!(parts[1].keys(), &[0, 4]); // 5−5, 9−5
+        assert_eq!(parts[1].values(), &[3.0, 4.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests: every baseline collective computes the element-wise
+//! sum for arbitrary inputs, lengths and group sizes.
+
+use std::thread;
+
+use omnireduce_collectives::{agsparse, ps, recursive, ring, sparcml};
+use omnireduce_tensor::convert::{coo_to_dense, dense_to_coo};
+use omnireduce_tensor::dense::reference_sum;
+use omnireduce_tensor::{CooTensor, Tensor};
+use omnireduce_transport::{ChannelNetwork, NodeId};
+use proptest::prelude::*;
+
+const TOL: f32 = 1e-2;
+
+fn arb_inputs() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (1usize..6, 1usize..120).prop_flat_map(|(n, len)| {
+        prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![3 => Just(0.0f32), 2 => -100.0f32..100.0],
+                len,
+            ),
+            n,
+        )
+    })
+}
+
+fn spawn_peer_collective<F>(inputs: &[Tensor], f: F) -> Vec<Tensor>
+where
+    F: Fn(omnireduce_transport::channel::ChannelTransport, usize, Tensor) -> Tensor
+        + Send
+        + Sync
+        + Clone
+        + 'static,
+{
+    let n = inputs.len();
+    let mut net = ChannelNetwork::new(n);
+    let handles: Vec<_> = inputs
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, t)| {
+            let ep = net.endpoint(NodeId(i as u16));
+            let f = f.clone();
+            thread::spawn(move || f(ep, n, t))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_ring_allreduce_sums(values in arb_inputs()) {
+        let inputs: Vec<Tensor> = values.into_iter().map(Tensor::from_vec).collect();
+        let expect = reference_sum(&inputs);
+        let outs = spawn_peer_collective(&inputs, |ep, n, mut t| {
+            ring::allreduce(&ep, n, &mut t).unwrap();
+            t
+        });
+        for o in outs {
+            prop_assert!(o.approx_eq(&expect, TOL), "diff {}", o.max_abs_diff(&expect));
+        }
+    }
+
+    #[test]
+    fn prop_recursive_doubling_sums(values in arb_inputs()) {
+        let inputs: Vec<Tensor> = values.into_iter().map(Tensor::from_vec).collect();
+        let expect = reference_sum(&inputs);
+        let outs = spawn_peer_collective(&inputs, |ep, n, mut t| {
+            recursive::allreduce(&ep, n, &mut t).unwrap();
+            t
+        });
+        for o in outs {
+            prop_assert!(o.approx_eq(&expect, TOL), "diff {}", o.max_abs_diff(&expect));
+        }
+    }
+
+    #[test]
+    fn prop_agsparse_sums(values in arb_inputs()) {
+        let inputs: Vec<Tensor> = values.into_iter().map(Tensor::from_vec).collect();
+        let expect = reference_sum(&inputs);
+        let outs = spawn_peer_collective(&inputs, |ep, n, t| {
+            let coo = dense_to_coo(&t);
+            coo_to_dense(&agsparse::allreduce(&ep, n, &coo).unwrap())
+        });
+        for o in outs {
+            prop_assert!(o.approx_eq(&expect, TOL), "diff {}", o.max_abs_diff(&expect));
+        }
+    }
+
+    #[test]
+    fn prop_sparcml_both_variants_sum(values in arb_inputs(), dsar in any::<bool>()) {
+        let variant = if dsar { sparcml::Variant::Dsar } else { sparcml::Variant::Ssar };
+        let inputs: Vec<Tensor> = values.into_iter().map(Tensor::from_vec).collect();
+        let expect = reference_sum(&inputs);
+        let outs = spawn_peer_collective(&inputs, move |ep, n, t| {
+            let coo = dense_to_coo(&t);
+            sparcml::allreduce(&ep, n, &coo, variant).unwrap()
+        });
+        for o in outs {
+            prop_assert!(o.approx_eq(&expect, TOL), "diff {}", o.max_abs_diff(&expect));
+        }
+    }
+
+    #[test]
+    fn prop_sparse_recursive_doubling_sums(values in arb_inputs()) {
+        let inputs: Vec<Tensor> = values.into_iter().map(Tensor::from_vec).collect();
+        let expect = reference_sum(&inputs);
+        let outs = spawn_peer_collective(&inputs, |ep, n, t| {
+            let coo = dense_to_coo(&t);
+            coo_to_dense(&recursive::sparse_allreduce(&ep, n, &coo).unwrap())
+        });
+        for o in outs {
+            prop_assert!(o.approx_eq(&expect, TOL), "diff {}", o.max_abs_diff(&expect));
+        }
+    }
+
+    #[test]
+    fn prop_ps_dense_sums(values in arb_inputs(), servers in 1usize..4) {
+        let n = values.len();
+        let len = values[0].len();
+        let inputs: Vec<Tensor> = values.into_iter().map(Tensor::from_vec).collect();
+        let expect = reference_sum(&inputs);
+        let cfg = ps::PsConfig::new(n, servers, len);
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let mut srv = Vec::new();
+        for s in 0..servers {
+            let ep = net.endpoint(NodeId(cfg.server_node(s)));
+            let cfg = cfg.clone();
+            srv.push(thread::spawn(move || ps::dense_server(&ep, &cfg, 1).unwrap()));
+        }
+        let handles: Vec<_> = inputs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(w, mut t)| {
+                let ep = net.endpoint(NodeId(w as u16));
+                let cfg = cfg.clone();
+                thread::spawn(move || {
+                    ps::dense_allreduce(&ep, &cfg, &mut t).unwrap();
+                    t
+                })
+            })
+            .collect();
+        for h in handles {
+            let o = h.join().unwrap();
+            prop_assert!(o.approx_eq(&expect, TOL), "diff {}", o.max_abs_diff(&expect));
+        }
+        for s in srv {
+            s.join().unwrap();
+        }
+    }
+}
+
+/// Deterministic regression: all collectives agree pairwise on one
+/// awkward input (duplicated values, empty rows, singleton).
+#[test]
+fn collectives_agree_on_awkward_input() {
+    let inputs = vec![
+        Tensor::from_vec(vec![0.0, 0.0, 1.0, -1.0, 5.5]),
+        Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 0.0]),
+        Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0, 1.0]),
+    ];
+    let expect = reference_sum(&inputs);
+    let ring_out = spawn_peer_collective(&inputs, |ep, n, mut t| {
+        ring::allreduce(&ep, n, &mut t).unwrap();
+        t
+    });
+    let rd_out = spawn_peer_collective(&inputs, |ep, n, mut t| {
+        recursive::allreduce(&ep, n, &mut t).unwrap();
+        t
+    });
+    for (a, b) in ring_out.iter().zip(&rd_out) {
+        assert!(a.approx_eq(&expect, 1e-5));
+        assert!(b.approx_eq(&expect, 1e-5));
+    }
+    // Sparse paths on the same data.
+    let coos: Vec<CooTensor> = inputs.iter().map(dense_to_coo).collect();
+    assert_eq!(coos[1].nnz(), 0);
+}

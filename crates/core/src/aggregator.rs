@@ -1,0 +1,353 @@
+//! The OmniReduce aggregator engine for reliable transports
+//! (Algorithm 1 with Block Fusion and parallel streams).
+//!
+//! One aggregator shard serves the streams assigned to it. Per stream it
+//! keeps one *slot*: for each fused column, an accumulator for the block
+//! currently being aggregated plus every worker's announced next non-zero
+//! block in that column. When, for every active column, the current block
+//! index is below the minimum of the workers' nexts, the slot is complete:
+//! the shard multicasts the aggregated row (with the new per-column
+//! requests — the global minima) to all workers, advances the columns,
+//! and resets the accumulators (Algorithm 1 lines 19–27).
+//!
+//! The shard runs until every worker has sent a `Shutdown`.
+
+use omnireduce_tensor::{BlockIdx, INFINITY_BLOCK};
+use omnireduce_transport::{
+    Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
+
+use crate::config::OmniConfig;
+use crate::layout::StreamLayout;
+use crate::wire::{decode_next, encode_next};
+
+/// Sentinel for "worker has not announced a next yet" — the paper's −∞
+/// (Algorithm 1 line 18).
+const NEG_INFINITY: i64 = -1;
+
+/// Per-column slot state.
+struct ColSlot {
+    /// Block currently being aggregated ([`INFINITY_BLOCK`] once the
+    /// column is exhausted).
+    cur: BlockIdx,
+    /// Accumulated values for `cur` (arrival-order mode).
+    acc: Vec<f32>,
+    /// Whether any worker contributed data to `cur` yet (sizes `acc`).
+    touched: bool,
+    /// Per-worker buffered contributions (deterministic mode, §7):
+    /// reduced in worker-id order at completion so the float result is
+    /// bit-reproducible.
+    contribs: Vec<Option<Vec<f32>>>,
+    /// Per-worker next non-zero block (−1 = not yet announced).
+    next_of: Vec<i64>,
+}
+
+impl ColSlot {
+    fn new(first: BlockIdx, num_workers: usize, deterministic: bool) -> Self {
+        ColSlot {
+            cur: first,
+            acc: Vec::new(),
+            touched: false,
+            contribs: if deterministic {
+                vec![None; num_workers]
+            } else {
+                Vec::new()
+            },
+            next_of: vec![NEG_INFINITY; num_workers],
+        }
+    }
+
+    /// Drains this column's aggregate for the result packet.
+    fn take_aggregate(&mut self, deterministic: bool) -> Vec<f32> {
+        if !deterministic {
+            self.touched = false;
+            return std::mem::take(&mut self.acc);
+        }
+        // Reduce buffered contributions in ascending worker-id order.
+        let mut out: Option<Vec<f32>> = None;
+        for c in self.contribs.iter_mut() {
+            let Some(data) = c.take() else { continue };
+            match &mut out {
+                None => out = Some(data),
+                Some(acc) => {
+                    for (a, v) in acc.iter_mut().zip(&data) {
+                        *a += *v;
+                    }
+                }
+            }
+        }
+        self.touched = false;
+        out.expect("completed block with no data")
+    }
+
+    fn active(&self) -> bool {
+        self.cur != INFINITY_BLOCK
+    }
+
+    /// min over workers of next_of; `None` while any worker is still at −∞.
+    fn min_next(&self) -> Option<BlockIdx> {
+        let mut min = i64::MAX;
+        for n in &self.next_of {
+            if *n == NEG_INFINITY {
+                return None;
+            }
+            min = min.min(*n);
+        }
+        Some(min as BlockIdx)
+    }
+
+    /// The completion condition of Algorithm 1 line 22:
+    /// `cur < min(next)` with −∞ blocking completion.
+    fn complete(&self) -> bool {
+        match self.min_next() {
+            Some(m) => (self.cur as i64) < m as i64 || m == INFINITY_BLOCK && self.cur != INFINITY_BLOCK,
+            None => false,
+        }
+    }
+}
+
+/// Per-stream slot.
+struct Slot {
+    cols: Vec<Option<ColSlot>>,
+}
+
+/// Data-plane counters of one aggregator shard (observability for
+/// operators; also used by tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregatorStats {
+    /// Data packets processed.
+    pub packets: u64,
+    /// Data entries aggregated (blocks received, incl. duplicates of the
+    /// same position from different workers).
+    pub blocks_received: u64,
+    /// Slots (block rows) completed and multicast.
+    pub slots_completed: u64,
+    /// AllReduce rounds fully served (every owned stream reset).
+    pub rounds_completed: u64,
+}
+
+/// The aggregator shard engine.
+pub struct OmniAggregator<T: Transport> {
+    transport: T,
+    cfg: OmniConfig,
+    layout: StreamLayout,
+    shard: usize,
+    slots: Vec<Option<Slot>>, // indexed by stream; None if not ours
+    /// Workers that sent `Shutdown` (finished; excluded from multicasts).
+    departed: Vec<bool>,
+    goodbyes: usize,
+    /// Result packets multicast (exposed for tests).
+    pub results_sent: u64,
+    /// Data-plane counters.
+    pub stats: AggregatorStats,
+    streams_open_this_round: usize,
+}
+
+impl<T: Transport> OmniAggregator<T> {
+    /// Creates the engine for the shard whose node id matches the
+    /// transport's.
+    pub fn new(transport: T, cfg: OmniConfig) -> Self {
+        cfg.validate();
+        let node = transport.local_id().0 as usize;
+        assert!(
+            node >= cfg.num_workers && node < cfg.mesh_size(),
+            "transport node {node} is not an aggregator"
+        );
+        let shard = node - cfg.num_workers;
+        let layout = StreamLayout::new(
+            cfg.block_spec(),
+            cfg.fusion,
+            cfg.total_streams(),
+            cfg.tensor_len,
+        );
+        let slots = (0..layout.total_streams())
+            .map(|g| {
+                (cfg.shard_of_stream(g) == shard).then(|| Slot {
+                    cols: (0..layout.width())
+                        .map(|c| {
+                            layout.first_block(g, c).map(|b0| {
+                                ColSlot::new(b0, cfg.num_workers, cfg.deterministic)
+                            })
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        let departed = vec![false; cfg.num_workers];
+        let streams_open_this_round = (0..layout.total_streams())
+            .filter(|g| cfg.shard_of_stream(*g) == shard && layout.first_block(*g, 0).is_some())
+            .count();
+        OmniAggregator {
+            transport,
+            cfg,
+            layout,
+            shard,
+            slots,
+            departed,
+            goodbyes: 0,
+            results_sent: 0,
+            stats: AggregatorStats::default(),
+            streams_open_this_round,
+        }
+    }
+
+    /// Shard index of this aggregator.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Serves the group until every worker sends `Shutdown`.
+    pub fn run(&mut self) -> Result<(), TransportError> {
+        loop {
+            let (from, msg) = self.transport.recv()?;
+            match msg {
+                Message::Block(p) if p.kind == PacketKind::Data => {
+                    self.handle_data(p)?;
+                }
+                Message::Shutdown => {
+                    // The worker has finished every round it will run;
+                    // stop multicasting results to it (its endpoint may
+                    // already be gone).
+                    if !self.departed[from.index()] {
+                        self.departed[from.index()] = true;
+                        self.goodbyes += 1;
+                    }
+                    if self.goodbyes == self.cfg.num_workers {
+                        return Ok(());
+                    }
+                }
+                other => panic!("aggregator: unexpected {:?} from {from}", other.tag()),
+            }
+        }
+    }
+
+    fn handle_data(&mut self, p: Packet) -> Result<(), TransportError> {
+        let g = p.stream as usize;
+        let width = self.layout.width();
+        self.stats.packets += 1;
+        self.stats.blocks_received +=
+            p.entries.iter().filter(|e| !e.data.is_empty()).count() as u64;
+        let slot = self.slots[g]
+            .as_mut()
+            .unwrap_or_else(|| panic!("stream {g} not owned by shard"));
+        for entry in &p.entries {
+            let (col, next) = decode_next(entry.next, width);
+            let cs = slot.cols[col]
+                .as_mut()
+                .expect("data entry for invalid column");
+            if !entry.data.is_empty() {
+                debug_assert_eq!(entry.block, cs.cur, "entry for wrong block");
+                if self.cfg.deterministic {
+                    debug_assert!(
+                        cs.contribs[p.wid as usize].is_none(),
+                        "double contribution"
+                    );
+                    cs.contribs[p.wid as usize] = Some(entry.data.clone());
+                    cs.touched = true;
+                } else if !cs.touched {
+                    cs.acc.clear();
+                    cs.acc.extend_from_slice(&entry.data);
+                    cs.touched = true;
+                } else {
+                    debug_assert_eq!(cs.acc.len(), entry.data.len());
+                    for (a, v) in cs.acc.iter_mut().zip(&entry.data) {
+                        *a += *v;
+                    }
+                }
+            }
+            cs.next_of[p.wid as usize] = if next == INFINITY_BLOCK {
+                INFINITY_BLOCK as i64
+            } else {
+                next as i64
+            };
+        }
+        self.check_completion(g)
+    }
+
+    /// If every active column of stream `g` is complete, emit the result
+    /// and advance the slot.
+    fn check_completion(&mut self, g: usize) -> Result<(), TransportError> {
+        let width = self.layout.width();
+        let deterministic = self.cfg.deterministic;
+        let slot = self.slots[g].as_mut().expect("owned stream");
+        let all_complete = slot
+            .cols
+            .iter()
+            .flatten()
+            .filter(|c| c.active())
+            .all(|c| c.complete());
+        // `all` on an empty iterator is true — guard: nothing to do if no
+        // column is active (stream fully finished, awaiting next round).
+        let any_active = slot.cols.iter().flatten().any(|c| c.active());
+        if !any_active || !all_complete {
+            return Ok(());
+        }
+
+        let mut entries = Vec::new();
+        let mut all_done = true;
+        for (col, cs) in slot.cols.iter_mut().enumerate() {
+            let Some(cs) = cs else { continue };
+            if !cs.active() {
+                continue;
+            }
+            let min_next = cs.min_next().expect("complete implies announced");
+            debug_assert!(cs.touched, "completed block with no data");
+            let data = cs.take_aggregate(deterministic);
+            entries.push(Entry::data(
+                cs.cur,
+                encode_next(min_next, col, width),
+                data,
+            ));
+            cs.cur = min_next; // INFINITY_BLOCK deactivates the column
+            if min_next != INFINITY_BLOCK {
+                all_done = false;
+            }
+        }
+
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Result,
+            ver: 0,
+            stream: g as u16,
+            wid: u16::MAX,
+            entries,
+        });
+        let workers: Vec<NodeId> = (0..self.cfg.num_workers)
+            .filter(|w| !self.departed[*w])
+            .map(|w| NodeId(self.cfg.worker_node(w)))
+            .collect();
+        self.results_sent += 1;
+        self.stats.slots_completed += 1;
+        for w in &workers {
+            crate::wire::send_best_effort(&self.transport, *w, &msg)?;
+        }
+
+        if all_done {
+            // Round over for this stream: reset for the next tensor
+            // (Algorithm 1 line 26).
+            let layout = self.layout;
+            let slot = self.slots[g].as_mut().expect("owned stream");
+            for (c, cs) in slot.cols.iter_mut().enumerate() {
+                if let Some(cs) = cs {
+                    *cs = ColSlot::new(
+                        layout.first_block(g, c).expect("valid column"),
+                        self.cfg.num_workers,
+                        self.cfg.deterministic,
+                    );
+                }
+            }
+            // Round bookkeeping: when the last open stream of this round
+            // resets, a full AllReduce has been served.
+            self.streams_open_this_round -= 1;
+            if self.streams_open_this_round == 0 {
+                self.stats.rounds_completed += 1;
+                self.streams_open_this_round = (0..layout.total_streams())
+                    .filter(|g| {
+                        self.cfg.shard_of_stream(*g) == self.shard
+                            && layout.first_block(*g, 0).is_some()
+                    })
+                    .count();
+            }
+        }
+        Ok(())
+    }
+}

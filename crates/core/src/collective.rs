@@ -1,0 +1,226 @@
+//! Generalized collectives on the OmniReduce machinery (§7).
+//!
+//! The paper observes that the block-aggregation algorithm directly
+//! yields AllGather and Broadcast:
+//!
+//! * *AllGather* is a sparse AllReduce with no block overlap — worker `w`
+//!   contributes its data at offset `w · len` of a `N · len` tensor that
+//!   is zero everywhere else, so no two workers ever transmit the same
+//!   block and the "sum" is pure concatenation.
+//! * *Broadcast* is the degenerate case where `N − 1` workers contribute
+//!   all-zero tensors: only the root's blocks travel, and the aggregator's
+//!   multicast delivers them to everyone.
+//!
+//! Both wrappers run on an unmodified [`OmniWorker`] group; zero blocks
+//! are skipped, so Broadcast of a sparse tensor moves only its non-zero
+//! blocks — the efficiency win the paper points out.
+
+use omnireduce_tensor::Tensor;
+use omnireduce_transport::{Transport, TransportError};
+
+use crate::worker::OmniWorker;
+
+/// Broadcast: after the call every worker's `tensor` equals the root's
+/// input. Non-root workers' inputs are ignored (overwritten).
+///
+/// The group's `tensor_len` must equal `tensor.len()`.
+pub fn broadcast<T: Transport>(
+    worker: &mut OmniWorker<T>,
+    tensor: &mut Tensor,
+    root: u16,
+) -> Result<(), TransportError> {
+    if worker.wid() != root {
+        tensor.clear();
+    }
+    worker.allreduce(tensor)
+}
+
+/// AllGather: every worker contributes `local` (length `L`) and receives
+/// the concatenation of all workers' contributions (length `N · L`).
+///
+/// The group's `tensor_len` must equal `N · local.len()`.
+pub fn allgather<T: Transport>(
+    worker: &mut OmniWorker<T>,
+    local: &Tensor,
+    num_workers: usize,
+) -> Result<Tensor, TransportError> {
+    let len = local.len();
+    let mut big = Tensor::zeros(len * num_workers);
+    big.copy_slice_at(worker.wid() as usize * len, local.as_slice());
+    worker.allreduce(&mut big)?;
+    Ok(big)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OmniConfig;
+    use omnireduce_transport::{ChannelNetwork, NodeId};
+    use std::thread;
+
+    fn spawn_group<F, R>(cfg: &OmniConfig, f: F) -> Vec<R>
+    where
+        F: Fn(OmniWorker<omnireduce_transport::channel::ChannelTransport>) -> R
+            + Send
+            + Sync
+            + Clone
+            + 'static,
+        R: Send + 'static,
+    {
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let mut aggs = Vec::new();
+        for a in 0..cfg.num_aggregators {
+            let t = net.endpoint(NodeId(cfg.aggregator_node(a)));
+            let cfg = cfg.clone();
+            aggs.push(thread::spawn(move || {
+                crate::aggregator::OmniAggregator::new(t, cfg)
+                    .run()
+                    .unwrap();
+            }));
+        }
+        let mut workers = Vec::new();
+        for w in 0..cfg.num_workers {
+            let t = net.endpoint(NodeId(cfg.worker_node(w)));
+            let cfg = cfg.clone();
+            let f = f.clone();
+            workers.push(thread::spawn(move || f(OmniWorker::new(t, cfg))));
+        }
+        let out: Vec<R> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+        for a in aggs {
+            a.join().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn broadcast_delivers_root_tensor() {
+        let cfg = OmniConfig::new(3, 64).with_block_size(4).with_fusion(2).with_streams(2);
+        let root_data: Vec<f32> = (0..64)
+            .map(|i| if i % 3 == 0 { i as f32 } else { 0.0 })
+            .collect();
+        let expect = Tensor::from_vec(root_data.clone());
+        let outs = spawn_group(&cfg, move |mut worker| {
+            let mut t = if worker.wid() == 1 {
+                Tensor::from_vec(root_data.clone())
+            } else {
+                // Garbage that must be overwritten.
+                Tensor::from_vec(vec![9.0; 64])
+            };
+            let r = broadcast(&mut worker, &mut t, 1);
+            worker.shutdown().unwrap();
+            r.unwrap();
+            t
+        });
+        for o in outs {
+            assert!(o.approx_eq(&expect, 1e-6));
+        }
+    }
+
+    #[test]
+    fn broadcast_of_sparse_tensor_skips_zero_blocks() {
+        let cfg = OmniConfig::new(2, 64).with_block_size(4).with_fusion(1).with_streams(1);
+        let mut root_data = vec![0.0f32; 64];
+        root_data[17] = 5.0; // a single non-zero block
+        let outs = spawn_group(&cfg, move |mut worker| {
+            let mut t = if worker.wid() == 0 {
+                Tensor::from_vec(root_data.clone())
+            } else {
+                Tensor::zeros(64)
+            };
+            broadcast(&mut worker, &mut t, 0).unwrap();
+            let stats = worker.stats();
+            worker.shutdown().unwrap();
+            (t, stats)
+        });
+        for (t, _) in &outs {
+            assert_eq!(t[17], 5.0);
+        }
+        // Root sends first row (1 block) + the 1 non-zero block at most;
+        // non-root sends only the unconditional first row.
+        assert!(outs[0].1.blocks_sent <= 2, "root sent {}", outs[0].1.blocks_sent);
+        assert!(outs[1].1.blocks_sent <= 1, "peer sent {}", outs[1].1.blocks_sent);
+    }
+
+    #[test]
+    fn allgather_concatenates() {
+        let n = 3;
+        let local_len = 16;
+        let cfg = OmniConfig::new(n, n * local_len)
+            .with_block_size(4)
+            .with_fusion(2)
+            .with_streams(2);
+        let outs = spawn_group(&cfg, move |mut worker| {
+            let local =
+                Tensor::from_vec((0..local_len).map(|i| (worker.wid() as f32) * 100.0 + i as f32).collect());
+            let r = allgather(&mut worker, &local, n).unwrap();
+            worker.shutdown().unwrap();
+            r
+        });
+        let expect: Vec<f32> = (0..n)
+            .flat_map(|w| (0..local_len).map(move |i| (w as f32) * 100.0 + i as f32))
+            .collect();
+        let expect = Tensor::from_vec(expect);
+        for o in outs {
+            assert!(o.approx_eq(&expect, 1e-6));
+        }
+    }
+}
+
+#[cfg(test)]
+mod sharded_tests {
+
+    use crate::config::OmniConfig;
+    use crate::testing::run_group;
+    use omnireduce_tensor::Tensor;
+
+    /// Broadcast and AllGather semantics survive aggregator sharding
+    /// (blocks of one logical operation split across shards).
+    #[test]
+    fn broadcast_semantics_with_multiple_shards() {
+        let n = 3;
+        let len = 256;
+        let cfg = OmniConfig::new(n, len)
+            .with_block_size(8)
+            .with_fusion(2)
+            .with_streams(2)
+            .with_aggregators(2);
+        // Emulate broadcast through run_group: non-roots contribute zeros.
+        let root_data: Vec<f32> = (0..len)
+            .map(|i| if i % 5 == 0 { i as f32 } else { 0.0 })
+            .collect();
+        let mut inputs = vec![Tensor::zeros(len); n];
+        inputs[2] = Tensor::from_vec(root_data.clone());
+        let result = run_group(&cfg, inputs.into_iter().map(|t| vec![t]).collect());
+        let expect = Tensor::from_vec(root_data);
+        for outs in &result.outputs {
+            assert!(outs[0].approx_eq(&expect, 1e-6));
+        }
+    }
+
+    #[test]
+    fn allgather_semantics_with_multiple_shards() {
+        let n = 4;
+        let local_len = 32;
+        let cfg = OmniConfig::new(n, n * local_len)
+            .with_block_size(8)
+            .with_fusion(2)
+            .with_streams(2)
+            .with_aggregators(3);
+        let mut inputs = Vec::new();
+        for w in 0..n {
+            let mut t = Tensor::zeros(n * local_len);
+            for i in 0..local_len {
+                t[w * local_len + i] = (w * 100 + i) as f32 + 1.0;
+            }
+            inputs.push(t);
+        }
+        let expect: Vec<f32> = (0..n)
+            .flat_map(|w| (0..local_len).map(move |i| (w * 100 + i) as f32 + 1.0))
+            .collect();
+        let expect = Tensor::from_vec(expect);
+        let result = run_group(&cfg, inputs.into_iter().map(|t| vec![t]).collect());
+        for outs in &result.outputs {
+            assert!(outs[0].approx_eq(&expect, 1e-6));
+        }
+    }
+}

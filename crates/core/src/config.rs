@@ -1,0 +1,200 @@
+//! Deployment configuration shared by workers and aggregators.
+
+use std::time::Duration;
+
+use omnireduce_tensor::BlockSpec;
+
+/// Static configuration of an OmniReduce deployment. Every worker and
+/// aggregator in a group must be constructed from an identical config
+/// (like an MPI communicator, membership and geometry are agreed out of
+/// band).
+#[derive(Debug, Clone)]
+pub struct OmniConfig {
+    /// Number of workers (`N`).
+    pub num_workers: usize,
+    /// Number of aggregator shards; each owns a disjoint subset of the
+    /// streams (paper §3: "each node owns a disjoint shard of blocks").
+    pub num_aggregators: usize,
+    /// Elements per block (`bs`, paper default 256).
+    pub block_size: usize,
+    /// Blocks fused per packet (`w`, §3.2); 1 disables Block Fusion.
+    pub fusion: usize,
+    /// Parallel aggregation streams per shard (§3.1.1). More streams
+    /// deepen the pipeline that masks network latency.
+    pub streams_per_shard: usize,
+    /// Tensor length in elements this group aggregates. Fixed per group,
+    /// like a persistent MPI collective; callers with variable sizes pad
+    /// or build one group per size.
+    pub tensor_len: usize,
+    /// When false, workers transmit every block (zero or not) — this is
+    /// the *streaming dense aggregation* mode used as the SwitchML*
+    /// baseline in §6.2.2.
+    pub skip_zero_blocks: bool,
+    /// Numeric reproducibility (§7): when true, the aggregator buffers
+    /// each worker's contribution and reduces them in worker-id order at
+    /// slot completion, making the floating-point result bit-identical
+    /// across runs and arrival orders (at the cost of N block buffers
+    /// per slot instead of one).
+    pub deterministic: bool,
+    /// Retransmission timeout for the loss-recovery protocol
+    /// (Algorithm 2); unused by the lossless engines.
+    pub retransmit_timeout: Duration,
+}
+
+impl OmniConfig {
+    /// A reasonable default geometry for `num_workers` workers and a
+    /// `tensor_len`-element tensor: one aggregator shard, paper-default
+    /// block size 256, fusion width 4, 16 streams.
+    pub fn new(num_workers: usize, tensor_len: usize) -> Self {
+        OmniConfig {
+            num_workers,
+            num_aggregators: 1,
+            block_size: 256,
+            fusion: 4,
+            streams_per_shard: 16,
+            tensor_len,
+            skip_zero_blocks: true,
+            deterministic: false,
+            retransmit_timeout: Duration::from_millis(20),
+        }
+    }
+
+    /// Sets the block size.
+    pub fn with_block_size(mut self, bs: usize) -> Self {
+        self.block_size = bs;
+        self
+    }
+
+    /// Sets the fusion width.
+    pub fn with_fusion(mut self, w: usize) -> Self {
+        self.fusion = w;
+        self
+    }
+
+    /// Sets the number of aggregator shards.
+    pub fn with_aggregators(mut self, a: usize) -> Self {
+        self.num_aggregators = a;
+        self
+    }
+
+    /// Sets the number of streams per shard.
+    pub fn with_streams(mut self, s: usize) -> Self {
+        self.streams_per_shard = s;
+        self
+    }
+
+    /// Disables zero-block skipping (SwitchML*-style streaming dense
+    /// aggregation).
+    pub fn dense_streaming(mut self) -> Self {
+        self.skip_zero_blocks = false;
+        self
+    }
+
+    /// Enables numerically reproducible aggregation (§7): worker
+    /// contributions are reduced in worker-id order.
+    pub fn with_deterministic(mut self) -> Self {
+        self.deterministic = true;
+        self
+    }
+
+    /// Validates invariants; call once at engine construction.
+    pub fn validate(&self) {
+        assert!(self.num_workers >= 1, "need at least one worker");
+        assert!(self.num_aggregators >= 1, "need at least one aggregator");
+        assert!(self.block_size >= 1, "block size must be positive");
+        assert!(self.fusion >= 1, "fusion width must be positive");
+        assert!(self.streams_per_shard >= 1, "need at least one stream");
+        assert!(
+            self.num_workers <= u16::MAX as usize,
+            "worker id must fit u16"
+        );
+        assert!(
+            self.total_streams() <= u16::MAX as usize,
+            "stream id must fit u16"
+        );
+    }
+
+    /// The block partitioning implied by this config.
+    pub fn block_spec(&self) -> BlockSpec {
+        BlockSpec::new(self.block_size)
+    }
+
+    /// Total streams across all shards (`T`).
+    pub fn total_streams(&self) -> usize {
+        self.streams_per_shard * self.num_aggregators
+    }
+
+    /// Shard that serves stream `s` (streams interleave across shards).
+    pub fn shard_of_stream(&self, s: usize) -> usize {
+        s % self.num_aggregators
+    }
+
+    /// Transport node id of worker `w` (workers come first in the mesh).
+    pub fn worker_node(&self, w: usize) -> u16 {
+        debug_assert!(w < self.num_workers);
+        w as u16
+    }
+
+    /// Transport node id of aggregator shard `a`.
+    pub fn aggregator_node(&self, a: usize) -> u16 {
+        debug_assert!(a < self.num_aggregators);
+        (self.num_workers + a) as u16
+    }
+
+    /// Total mesh size (workers + aggregator shards).
+    pub fn mesh_size(&self) -> usize {
+        self.num_workers + self.num_aggregators
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_valid() {
+        let c = OmniConfig::new(8, 1 << 20);
+        c.validate();
+        assert_eq!(c.total_streams(), 16);
+        assert_eq!(c.mesh_size(), 9);
+    }
+
+    #[test]
+    fn node_id_layout() {
+        let c = OmniConfig::new(4, 1024).with_aggregators(2);
+        assert_eq!(c.worker_node(0), 0);
+        assert_eq!(c.worker_node(3), 3);
+        assert_eq!(c.aggregator_node(0), 4);
+        assert_eq!(c.aggregator_node(1), 5);
+        assert_eq!(c.mesh_size(), 6);
+    }
+
+    #[test]
+    fn streams_interleave_across_shards() {
+        let c = OmniConfig::new(2, 1024).with_aggregators(2).with_streams(2);
+        assert_eq!(c.total_streams(), 4);
+        assert_eq!(c.shard_of_stream(0), 0);
+        assert_eq!(c.shard_of_stream(1), 1);
+        assert_eq!(c.shard_of_stream(2), 0);
+        assert_eq!(c.shard_of_stream(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_invalid() {
+        OmniConfig::new(0, 10).validate();
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = OmniConfig::new(2, 100)
+            .with_block_size(64)
+            .with_fusion(8)
+            .with_streams(4)
+            .dense_streaming();
+        assert_eq!(c.block_size, 64);
+        assert_eq!(c.fusion, 8);
+        assert_eq!(c.streams_per_shard, 4);
+        assert!(!c.skip_zero_blocks);
+    }
+}

@@ -1,0 +1,204 @@
+//! Two-layer hierarchical aggregation for multi-GPU servers (§5, §6.3).
+//!
+//! "When there are multiple GPUs per server, OmniReduce performs a
+//! two-layer hierarchical aggregation. We use NCCL for intra-server
+//! multi-GPU reduction and broadcast in the first layer and use
+//! OmniReduce for inter-server communication."
+//!
+//! Here each "GPU" is a thread; the intra-server layer is a shared-memory
+//! reduce + broadcast (the NVLink stand-in: on a real server this is an
+//! NCCL reduce to a leader GPU and a broadcast back), and the leader runs
+//! the inter-server OmniReduce AllReduce. [`IntraNode`] provides the
+//! shared-memory layer; [`hierarchical_allreduce`] composes the two.
+
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+
+use omnireduce_tensor::Tensor;
+
+/// Shared state of one server's local reduction group.
+pub struct IntraNode {
+    barrier: Barrier,
+    /// Local reduction accumulator (leader reads it, everyone adds).
+    acc: Mutex<Option<Tensor>>,
+    /// Globally-aggregated result broadcast back to local ranks.
+    result: Mutex<Option<Tensor>>,
+    size: usize,
+}
+
+impl IntraNode {
+    /// Creates the group for `size` local ranks; clone the `Arc` to each.
+    pub fn new(size: usize) -> Arc<Self> {
+        assert!(size >= 1, "need at least one local rank");
+        Arc::new(IntraNode {
+            barrier: Barrier::new(size),
+            acc: Mutex::new(None),
+            result: Mutex::new(None),
+            size,
+        })
+    }
+
+    /// Number of local ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Phase 1: every local rank contributes its tensor; returns the
+    /// local sum to the leader (`Some`) and `None` to everyone else.
+    /// All ranks must call this before anyone proceeds.
+    fn reduce(&self, local_rank: usize, tensor: &Tensor) -> Option<Tensor> {
+        {
+            let mut acc = self.acc.lock();
+            match acc.as_mut() {
+                None => *acc = Some(tensor.clone()),
+                Some(a) => a.add_assign(tensor),
+            }
+        }
+        self.barrier.wait();
+        if local_rank == 0 {
+            Some(self.acc.lock().take().expect("accumulated"))
+        } else {
+            None
+        }
+    }
+
+    /// Phase 2: the leader deposits the globally-reduced tensor; every
+    /// rank receives a copy.
+    fn broadcast(&self, local_rank: usize, global: Option<Tensor>) -> Tensor {
+        if local_rank == 0 {
+            *self.result.lock() = Some(global.expect("leader provides result"));
+        }
+        self.barrier.wait();
+        let out = self
+            .result
+            .lock()
+            .clone()
+            .expect("leader deposited result");
+        // Second barrier so the leader doesn't clear/overwrite the slot
+        // for a subsequent round before everyone copied it out.
+        self.barrier.wait();
+        if local_rank == 0 {
+            *self.result.lock() = None;
+        }
+        out
+    }
+}
+
+/// Runs one hierarchical AllReduce step for a local rank.
+///
+/// `tensor` is this rank's ("GPU's") contribution; on return it holds the
+/// global sum across all ranks of all servers. `inter_node` is invoked on
+/// the leader (local rank 0) only, with the server's locally-reduced
+/// tensor; it must perform the inter-server AllReduce in place — usually
+/// [`crate::worker::OmniWorker::allreduce`].
+pub fn hierarchical_allreduce<E>(
+    node: &IntraNode,
+    local_rank: usize,
+    tensor: &mut Tensor,
+    inter_node: impl FnOnce(&mut Tensor) -> Result<(), E>,
+) -> Result<(), E> {
+    let local_sum = node.reduce(local_rank, tensor);
+    let global = match local_sum {
+        Some(mut sum) => {
+            inter_node(&mut sum)?;
+            Some(sum)
+        }
+        None => None,
+    };
+    *tensor = node.broadcast(local_rank, global);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_tensor::dense::reference_sum;
+    use std::convert::Infallible;
+    use std::thread;
+
+    #[test]
+    fn intra_node_reduce_broadcast_sums() {
+        let node = IntraNode::new(4);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|r| Tensor::from_vec(vec![r as f32 + 1.0; 8]))
+            .collect();
+        let expect = reference_sum(&inputs);
+        let mut handles = Vec::new();
+        for (r, input) in inputs.into_iter().enumerate() {
+            let node = node.clone();
+            let expect = expect.clone();
+            handles.push(thread::spawn(move || {
+                let mut t = input;
+                hierarchical_allreduce(&node, r, &mut t, |_global| {
+                    Ok::<(), Infallible>(())
+                })
+                .unwrap();
+                assert!(t.approx_eq(&expect, 1e-5));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn leader_sees_local_sum() {
+        let node = IntraNode::new(2);
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![10.0, 20.0]);
+        let n0 = node.clone();
+        let h = thread::spawn(move || {
+            let mut t = a;
+            hierarchical_allreduce(&n0, 0, &mut t, |sum| {
+                assert_eq!(sum.as_slice(), &[11.0, 22.0]);
+                // Leader transform visible to everyone.
+                sum.scale(2.0);
+                Ok::<(), Infallible>(())
+            })
+            .unwrap();
+            t
+        });
+        let mut t1 = b;
+        hierarchical_allreduce(&node, 1, &mut t1, |_| Ok::<(), Infallible>(()))
+            .unwrap();
+        let t0 = h.join().unwrap();
+        assert_eq!(t0.as_slice(), &[22.0, 44.0]);
+        assert_eq!(t1.as_slice(), &[22.0, 44.0]);
+    }
+
+    #[test]
+    fn multiple_rounds_reuse_group() {
+        let node = IntraNode::new(3);
+        let mut handles = Vec::new();
+        for r in 0..3 {
+            let node = node.clone();
+            handles.push(thread::spawn(move || {
+                for round in 0..5 {
+                    let mut t = Tensor::from_vec(vec![(r + round) as f32; 4]);
+                    hierarchical_allreduce(&node, r, &mut t, |_| {
+                        Ok::<(), Infallible>(())
+                    })
+                    .unwrap();
+                    let expect = (0..3).map(|x| (x + round) as f32).sum::<f32>();
+                    assert_eq!(t[0], expect, "round {round}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn single_rank_node_is_identity_plus_global() {
+        let node = IntraNode::new(1);
+        let mut t = Tensor::from_vec(vec![1.0, 2.0]);
+        hierarchical_allreduce(&node, 0, &mut t, |sum| {
+            sum.scale(3.0);
+            Ok::<(), Infallible>(())
+        })
+        .unwrap();
+        assert_eq!(t.as_slice(), &[3.0, 6.0]);
+    }
+}

@@ -1,0 +1,500 @@
+//! Sparse key-value block protocol (paper §3.3, Algorithm 3).
+//!
+//! The input is a COO tensor per worker. Each packet carries a block of
+//! `bs` key-value pairs plus `nextkey` — the sender's first key after the
+//! block. The aggregator tracks every worker's `nextkey`, merges incoming
+//! pairs into a keyed accumulator, and whenever the global minimum
+//! `nextkey` advances past its `sent` watermark, multicasts the aggregated
+//! pairs below the new watermark. A worker sends its next block exactly
+//! when the announced watermark has caught up to its own next key — the
+//! same look-ahead coordination as the dense block protocol, on the key
+//! axis instead of the block-index axis.
+//!
+//! As in the paper, this extension is presented single-stream and without
+//! loss recovery ("we do not consider stream parallelism or packet loss
+//! recovery"); it runs over reliable transports.
+
+use std::collections::BTreeMap;
+
+use omnireduce_tensor::CooTensor;
+use omnireduce_transport::message::INFINITY_KEY;
+use omnireduce_transport::{
+    codec, KvPacket, Message, NodeId, PacketKind, Transport, TransportError,
+};
+
+/// Geometry of a sparse key-value group: `num_workers` workers at node
+/// ids `0..N` and a single aggregator at node id `N`.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Key-value pairs per packet (`bs` of Algorithm 3).
+    pub pairs_per_packet: usize,
+}
+
+impl KvConfig {
+    /// Creates a config; panics on a degenerate geometry.
+    pub fn new(num_workers: usize, pairs_per_packet: usize) -> Self {
+        assert!(num_workers >= 1, "need at least one worker");
+        assert!(pairs_per_packet >= 1, "need at least one pair per packet");
+        KvConfig {
+            num_workers,
+            pairs_per_packet,
+        }
+    }
+
+    /// The aggregator's node id.
+    pub fn aggregator_node(&self) -> u16 {
+        self.num_workers as u16
+    }
+
+    /// Mesh size (workers + 1 aggregator).
+    pub fn mesh_size(&self) -> usize {
+        self.num_workers + 1
+    }
+}
+
+/// Traffic counters for the KV worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Data packets sent.
+    pub packets_sent: u64,
+    /// Key-value pairs sent.
+    pub pairs_sent: u64,
+    /// Wire bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// Worker side of Algorithm 3.
+pub struct KvWorker<T: Transport> {
+    transport: T,
+    cfg: KvConfig,
+    wid: u16,
+    stats: KvStats,
+}
+
+impl<T: Transport> KvWorker<T> {
+    /// Creates the engine; the transport's node id is the worker id.
+    pub fn new(transport: T, cfg: KvConfig) -> Self {
+        let wid = transport.local_id().0;
+        assert!((wid as usize) < cfg.num_workers, "node {wid} is not a worker");
+        KvWorker {
+            transport,
+            cfg,
+            wid,
+            stats: KvStats::default(),
+        }
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Runs one sparse AllReduce: returns the merged (summed) COO tensor
+    /// across all workers.
+    pub fn allreduce(&mut self, input: &CooTensor) -> Result<CooTensor, TransportError> {
+        let bs = self.cfg.pairs_per_packet;
+        let keys = input.keys();
+        let values = input.values();
+
+        // Send the first block unconditionally (bootstraps the
+        // aggregator's per-worker nextkey state).
+        let mut cursor = keys.len().min(bs);
+        let first_next = keys.get(cursor).map_or(INFINITY_KEY, |k| *k as u64);
+        self.send_block(&keys[..cursor], &values[..cursor], first_next)?;
+
+        let mut out_keys: Vec<u32> = Vec::new();
+        let mut out_values: Vec<f32> = Vec::new();
+        loop {
+            let (_, msg) = self.transport.recv()?;
+            let p = match msg {
+                Message::Kv(p) if p.kind == PacketKind::Result => p,
+                other => panic!("kv worker: unexpected {:?}", other.tag()),
+            };
+            // Results arrive in key order; append to the output.
+            out_keys.extend_from_slice(&p.keys);
+            out_values.extend_from_slice(&p.values);
+            if p.nextkey == INFINITY_KEY {
+                break;
+            }
+            // Send the next block iff the watermark reached our next key
+            // (Algorithm 3 line 10).
+            if cursor < keys.len() && p.nextkey >= keys[cursor] as u64 {
+                let end = (cursor + bs).min(keys.len());
+                let next = keys.get(end).map_or(INFINITY_KEY, |k| *k as u64);
+                self.send_block(&keys[cursor..end], &values[cursor..end], next)?;
+                cursor = end;
+            }
+        }
+        Ok(CooTensor::from_pairs(input.len(), out_keys, out_values))
+    }
+
+    fn send_block(
+        &mut self,
+        keys: &[u32],
+        values: &[f32],
+        nextkey: u64,
+    ) -> Result<(), TransportError> {
+        let msg = Message::Kv(KvPacket {
+            kind: PacketKind::Data,
+            wid: self.wid,
+            keys: keys.to_vec(),
+            values: values.to_vec(),
+            nextkey,
+        });
+        self.stats.packets_sent += 1;
+        self.stats.pairs_sent += keys.len() as u64;
+        self.stats.bytes_sent += codec::encoded_len(&msg) as u64;
+        self.transport
+            .send(NodeId(self.cfg.aggregator_node()), &msg)
+    }
+
+    /// Announces departure to the aggregator.
+    pub fn shutdown(self) -> Result<(), TransportError> {
+        self.transport
+            .send(NodeId(self.cfg.aggregator_node()), &Message::Shutdown)
+    }
+}
+
+/// Aggregator side of Algorithm 3.
+pub struct KvAggregator<T: Transport> {
+    transport: T,
+    cfg: KvConfig,
+    /// Keyed accumulator ("a hashtable or similar keyed-memory
+    /// abstraction", §3.3) — a BTreeMap so watermark extraction is a
+    /// range scan.
+    acc: BTreeMap<u32, f32>,
+    /// Per-worker announced nextkey; `None` = −∞ (not yet reported).
+    nextkey: Vec<Option<u64>>,
+    /// Watermark: all aggregated keys below this have been multicast.
+    sent: u64,
+    /// Workers that sent `Shutdown` (finished; excluded from multicasts).
+    departed: Vec<bool>,
+    goodbyes: usize,
+}
+
+impl<T: Transport> KvAggregator<T> {
+    /// Creates the engine; the transport's node id must be the
+    /// aggregator's.
+    pub fn new(transport: T, cfg: KvConfig) -> Self {
+        assert_eq!(
+            transport.local_id().0,
+            cfg.aggregator_node(),
+            "not the aggregator node"
+        );
+        let n = cfg.num_workers;
+        KvAggregator {
+            transport,
+            cfg,
+            acc: BTreeMap::new(),
+            nextkey: vec![None; n],
+            sent: 0,
+            departed: vec![false; n],
+            goodbyes: 0,
+        }
+    }
+
+    /// Serves rounds until every worker says `Shutdown`.
+    pub fn run(&mut self) -> Result<(), TransportError> {
+        loop {
+            let (from, msg) = self.transport.recv()?;
+            match msg {
+                Message::Kv(p) if p.kind == PacketKind::Data => self.handle(p)?,
+                Message::Shutdown => {
+                    if !self.departed[from.index()] {
+                        self.departed[from.index()] = true;
+                        self.goodbyes += 1;
+                    }
+                    if self.goodbyes == self.cfg.num_workers {
+                        return Ok(());
+                    }
+                }
+                other => panic!("kv aggregator: unexpected {:?}", other.tag()),
+            }
+        }
+    }
+
+    fn handle(&mut self, p: KvPacket) -> Result<(), TransportError> {
+        for (k, v) in p.keys.iter().zip(&p.values) {
+            *self.acc.entry(*k).or_insert(0.0) += *v;
+        }
+        self.nextkey[p.wid as usize] = Some(p.nextkey);
+        let Some(send_up_to) = self.nextkey.iter().copied().reduce(|a, b| match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            _ => None,
+        }).flatten() else {
+            return Ok(()); // someone still at −∞
+        };
+        if send_up_to > self.sent {
+            // Extract aggregated pairs in [sent, send_up_to).
+            let mut keys = Vec::new();
+            let mut values = Vec::new();
+            let hi = send_up_to.min(u32::MAX as u64 + 1);
+            let lo = self.sent.min(u32::MAX as u64) as u32;
+            for (k, v) in self.acc.range(lo..) {
+                if (*k as u64) >= hi {
+                    break;
+                }
+                keys.push(*k);
+                values.push(*v);
+            }
+            let done = send_up_to == INFINITY_KEY;
+            let msg = Message::Kv(KvPacket {
+                kind: PacketKind::Result,
+                wid: u16::MAX,
+                keys,
+                values,
+                nextkey: send_up_to,
+            });
+            let workers: Vec<NodeId> = (0..self.cfg.num_workers)
+                .filter(|w| !self.departed[*w])
+                .map(|w| NodeId(w as u16))
+                .collect();
+            for w in &workers {
+                crate::wire::send_best_effort(&self.transport, *w, &msg)?;
+            }
+            self.sent = send_up_to;
+            if done {
+                // Round complete: reset for the next tensor.
+                self.acc.clear();
+                self.nextkey.iter_mut().for_each(|n| *n = None);
+                self.sent = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_transport::ChannelNetwork;
+    use std::thread;
+
+    /// Runs a KV group over channels, one thread per node.
+    fn run_kv(cfg: &KvConfig, inputs: Vec<CooTensor>) -> Vec<CooTensor> {
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let agg_t = net.endpoint(NodeId(cfg.aggregator_node()));
+        let agg_cfg = cfg.clone();
+        let agg = thread::spawn(move || {
+            KvAggregator::new(agg_t, agg_cfg).run().unwrap();
+        });
+        let mut handles = Vec::new();
+        for (w, input) in inputs.into_iter().enumerate() {
+            let t = net.endpoint(NodeId(w as u16));
+            let cfg = cfg.clone();
+            handles.push(thread::spawn(move || {
+                let mut worker = KvWorker::new(t, cfg);
+                let out = worker.allreduce(&input).unwrap();
+                worker.shutdown().unwrap();
+                out
+            }));
+        }
+        let outs: Vec<CooTensor> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        agg.join().unwrap();
+        outs
+    }
+
+    fn coo(len: usize, pairs: &[(u32, f32)]) -> CooTensor {
+        let (k, v): (Vec<u32>, Vec<f32>) = pairs.iter().copied().unzip();
+        CooTensor::from_pairs(len, k, v)
+    }
+
+    #[test]
+    fn two_workers_disjoint_keys() {
+        let cfg = KvConfig::new(2, 2);
+        let a = coo(100, &[(1, 1.0), (5, 2.0), (9, 3.0)]);
+        let b = coo(100, &[(2, 10.0), (7, 20.0)]);
+        let expect = a.merge_sum(&b);
+        let outs = run_kv(&cfg, vec![a, b]);
+        for o in outs {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn overlapping_keys_sum() {
+        let cfg = KvConfig::new(3, 2);
+        let a = coo(50, &[(0, 1.0), (10, 1.0), (20, 1.0)]);
+        let b = coo(50, &[(10, 2.0), (30, 2.0)]);
+        let c = coo(50, &[(0, 4.0), (10, 4.0), (30, 4.0), (40, 4.0)]);
+        let expect = a.merge_sum(&b).merge_sum(&c);
+        let outs = run_kv(&cfg, vec![a, b, c]);
+        for o in outs {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn empty_worker_participates() {
+        let cfg = KvConfig::new(2, 4);
+        let a = coo(30, &[(3, 5.0), (4, 6.0)]);
+        let b = CooTensor::empty(30);
+        let outs = run_kv(&cfg, vec![a.clone(), b]);
+        for o in outs {
+            assert_eq!(o, a);
+        }
+    }
+
+    #[test]
+    fn all_empty_workers() {
+        let cfg = KvConfig::new(2, 4);
+        let outs = run_kv(&cfg, vec![CooTensor::empty(10), CooTensor::empty(10)]);
+        for o in outs {
+            assert_eq!(o.nnz(), 0);
+        }
+    }
+
+    #[test]
+    fn multi_packet_streams() {
+        // Large enough inputs to require many blocks per worker.
+        let cfg = KvConfig::new(2, 3);
+        let a_pairs: Vec<(u32, f32)> = (0..40).map(|i| (i * 3, i as f32)).collect();
+        let b_pairs: Vec<(u32, f32)> = (0..40).map(|i| (i * 2 + 1, 1.0)).collect();
+        let a = coo(200, &a_pairs);
+        let b = coo(200, &b_pairs);
+        let expect = a.merge_sum(&b);
+        let outs = run_kv(&cfg, vec![a, b]);
+        for o in outs {
+            assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn back_to_back_rounds_reset_state() {
+        let cfg = KvConfig::new(2, 2);
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let agg_t = net.endpoint(NodeId(cfg.aggregator_node()));
+        let agg_cfg = cfg.clone();
+        let agg = thread::spawn(move || {
+            KvAggregator::new(agg_t, agg_cfg).run().unwrap();
+        });
+        let inputs = [
+            vec![coo(20, &[(1, 1.0)]), coo(20, &[(2, 2.0)])],
+            vec![coo(20, &[(5, 5.0)]), coo(20, &[(5, 7.0)])],
+        ];
+        let mut handles = Vec::new();
+        for w in 0..2 {
+            let t = net.endpoint(NodeId(w as u16));
+            let cfg = cfg.clone();
+            let my_inputs: Vec<CooTensor> =
+                inputs.iter().map(|round| round[w].clone()).collect();
+            handles.push(thread::spawn(move || {
+                let mut worker = KvWorker::new(t, cfg);
+                let outs: Vec<CooTensor> = my_inputs
+                    .iter()
+                    .map(|i| worker.allreduce(i).unwrap())
+                    .collect();
+                worker.shutdown().unwrap();
+                outs
+            }));
+        }
+        let results: Vec<Vec<CooTensor>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        agg.join().unwrap();
+        let expect0 = inputs[0][0].merge_sum(&inputs[0][1]);
+        let expect1 = inputs[1][0].merge_sum(&inputs[1][1]);
+        for r in &results {
+            assert_eq!(r[0], expect0);
+            assert_eq!(r[1], expect1);
+        }
+    }
+
+    #[test]
+    fn stats_count_pairs() {
+        let cfg = KvConfig::new(1, 2);
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let agg_t = net.endpoint(NodeId(cfg.aggregator_node()));
+        let agg_cfg = cfg.clone();
+        let agg = thread::spawn(move || {
+            KvAggregator::new(agg_t, agg_cfg).run().unwrap();
+        });
+        let t = net.endpoint(NodeId(0));
+        let mut worker = KvWorker::new(t, cfg);
+        let input = coo(20, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let out = worker.allreduce(&input).unwrap();
+        assert_eq!(out, input);
+        let stats = worker.stats();
+        assert_eq!(stats.pairs_sent, 3);
+        assert_eq!(stats.packets_sent, 2); // 2 + 1 pairs
+        worker.shutdown().unwrap();
+        agg.join().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use omnireduce_transport::ChannelNetwork;
+    use proptest::prelude::*;
+    use std::thread;
+
+    fn run_kv_group(cfg: &KvConfig, inputs: Vec<CooTensor>) -> Vec<CooTensor> {
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let agg_t = net.endpoint(NodeId(cfg.aggregator_node()));
+        let agg_cfg = cfg.clone();
+        let agg = thread::spawn(move || {
+            KvAggregator::new(agg_t, agg_cfg).run().unwrap();
+        });
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(w, input)| {
+                let t = net.endpoint(NodeId(w as u16));
+                let cfg = cfg.clone();
+                thread::spawn(move || {
+                    let mut worker = KvWorker::new(t, cfg);
+                    let out = worker.allreduce(&input).unwrap();
+                    worker.shutdown().unwrap();
+                    out
+                })
+            })
+            .collect();
+        let outs = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        agg.join().unwrap();
+        outs
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Algorithm 3 computes the key-union merge-sum for arbitrary
+        /// worker key sets and packet sizes.
+        #[test]
+        fn prop_kv_allreduce_merges(
+            n in 1usize..4,
+            bs in 1usize..6,
+            len in 10usize..120,
+            keysets in prop::collection::vec(
+                prop::collection::btree_set(0u32..120, 0..30),
+                1..4,
+            ),
+        ) {
+            let n = n.min(keysets.len()).max(1);
+            let cfg = KvConfig::new(n, bs);
+            let inputs: Vec<CooTensor> = (0..n)
+                .map(|w| {
+                    let keys: Vec<u32> = keysets[w % keysets.len()]
+                        .iter()
+                        .copied()
+                        .filter(|k| (*k as usize) < len)
+                        .collect();
+                    let values: Vec<f32> =
+                        keys.iter().map(|k| *k as f32 + w as f32).collect();
+                    CooTensor::from_pairs(len, keys, values)
+                })
+                .collect();
+            let mut expect = CooTensor::empty(len);
+            for i in &inputs {
+                expect = expect.merge_sum(i);
+            }
+            for out in run_kv_group(&cfg, inputs) {
+                prop_assert_eq!(out.keys(), expect.keys());
+                for (a, b) in out.values().iter().zip(expect.values()) {
+                    prop_assert!((a - b).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

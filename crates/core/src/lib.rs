@@ -1,0 +1,52 @@
+//! OmniReduce core: sparse-aware streaming AllReduce.
+//!
+//! This crate implements the paper's contribution — worker and aggregator
+//! engines that aggregate only the non-zero blocks of the input tensors,
+//! coordinated by a look-ahead "next non-zero block" exchange:
+//!
+//! * [`worker::OmniWorker`] / [`aggregator::OmniAggregator`] — Algorithm 1
+//!   with Block Fusion (§3.2) and parallel streams (§3.1.1), for reliable
+//!   transports (the paper's RDMA RC mode).
+//! * [`recovery::RecoveryWorker`] / [`recovery::RecoveryAggregator`] —
+//!   Algorithm 2 with acknowledgments, retransmission timers and
+//!   two-phase versioned slots, for lossy transports (the paper's
+//!   DPDK/UDP mode, Appendix A).
+//! * [`kv::KvWorker`] / [`kv::KvAggregator`] — Algorithm 3, the sparse
+//!   key-value block format (§3.3).
+//! * [`switch`] — the aggregation logic under programmable-switch
+//!   constraints (§7: bounded slots, fixed-point arithmetic, small
+//!   payloads), demonstrating the in-network offload.
+//! * [`hierarchical`] — two-layer aggregation for multi-GPU servers (§5):
+//!   intra-server reduction + inter-server OmniReduce.
+//! * [`sim`] — the same worker/aggregator protocol as
+//!   [`omnireduce_simnet`] actors, used by the benchmark harness to
+//!   reproduce the paper's timing figures on simulated 10/100 Gbps
+//!   fabrics; [`sim_recovery`] adds the Algorithm 2 actors with
+//!   simulated timers over a lossy fabric.
+//! * [`staging`] — the Appendix B chunk-prefetch pipeline that overlaps
+//!   the GPU→host copy with transmission on the non-GDR path.
+//! * [`collective`] — AllGather and Broadcast expressed on the same
+//!   machinery (§7, "Generalized collective operations").
+
+pub mod aggregator;
+pub mod collective;
+pub mod config;
+pub mod hierarchical;
+pub mod kv;
+pub mod layout;
+pub mod recovery;
+pub mod sim;
+pub mod sim_hierarchical;
+pub mod sim_recovery;
+pub mod staging;
+pub mod switch;
+pub mod testing;
+pub mod wire;
+pub mod worker;
+
+pub use aggregator::OmniAggregator;
+pub use config::OmniConfig;
+pub use kv::{KvAggregator, KvConfig, KvWorker};
+pub use layout::StreamLayout;
+pub use recovery::{RecoveryAggregator, RecoveryWorker};
+pub use worker::{OmniWorker, WorkerStats};

@@ -1,0 +1,475 @@
+//! Loss-recovery engines (Algorithm 2, Appendix A): OmniReduce over a
+//! network that may drop or duplicate packets.
+//!
+//! Differences from the lossless engines:
+//!
+//! * **Everyone always answers.** Each worker responds to every result
+//!   packet for every active column — with block data when it owns the
+//!   requested block, with a data-less acknowledgment otherwise — so the
+//!   aggregator can use a per-phase *count of distinct workers* as the
+//!   completion condition instead of the min-next comparison.
+//! * **Timers.** A worker arms a retransmission timer for every packet it
+//!   sends and resends on expiry; receiving the matching result cancels
+//!   the timer.
+//! * **Two-phase versioned slots.** The aggregator keeps two versions of
+//!   every slot's state, used in alternating phases. Version `v` is only
+//!   reused once every worker has sent a packet for version `v̂` — which a
+//!   worker does only after receiving version `v`'s result — so a
+//!   completed result stays available for retransmission exactly as long
+//!   as any worker might still need it.
+//! * **Dedup.** A per-version `seen` bit per worker keeps duplicated or
+//!   retransmitted packets from being aggregated twice; a duplicate for a
+//!   *completed* phase triggers a unicast retransmission of that phase's
+//!   result to the sender (the aggregator-side loss repair).
+//!
+//! Delivery assumption: like the paper's DPDK deployment, the network may
+//! drop or duplicate packets but does not reorder packets between a given
+//! pair of nodes ([`omnireduce_transport::LossyNetwork`] guarantees this).
+
+use std::time::{Duration, Instant};
+
+use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
+use omnireduce_transport::timer::TimerQueue;
+use omnireduce_transport::{
+    codec, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
+
+use crate::config::OmniConfig;
+use crate::layout::StreamLayout;
+use crate::wire::{decode_next, encode_next};
+
+/// Traffic counters for the recovery worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Distinct data/ack packets sent (excluding retransmissions).
+    pub packets_sent: u64,
+    /// Retransmissions triggered by timer expiry.
+    pub retransmissions: u64,
+    /// Wire bytes sent, including retransmissions.
+    pub bytes_sent: u64,
+    /// Blocks transmitted as data entries (excluding retransmissions).
+    pub blocks_sent: u64,
+}
+
+struct WorkerCol {
+    my_next: BlockIdx,
+    done: bool,
+}
+
+struct WorkerStream {
+    cols: Vec<Option<WorkerCol>>,
+    remaining: usize,
+    /// Last packet sent; retransmitted on timeout.
+    outstanding: Option<Message>,
+}
+
+/// Worker engine with Algorithm 2 loss recovery.
+pub struct RecoveryWorker<T: Transport> {
+    transport: T,
+    cfg: OmniConfig,
+    layout: StreamLayout,
+    wid: u16,
+    /// Per-stream protocol phase, persists across AllReduce rounds.
+    ver: Vec<u8>,
+    stats: RecoveryStats,
+}
+
+impl<T: Transport> RecoveryWorker<T> {
+    /// Creates the engine; the transport's node id is the worker id.
+    pub fn new(transport: T, cfg: OmniConfig) -> Self {
+        cfg.validate();
+        let wid = transport.local_id().0;
+        assert!((wid as usize) < cfg.num_workers, "node {wid} is not a worker");
+        let layout = StreamLayout::new(
+            cfg.block_spec(),
+            cfg.fusion,
+            cfg.total_streams(),
+            cfg.tensor_len,
+        );
+        let ver = vec![0u8; layout.total_streams()];
+        RecoveryWorker {
+            transport,
+            cfg,
+            layout,
+            wid,
+            ver,
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Runs one AllReduce with loss recovery.
+    pub fn allreduce(&mut self, tensor: &mut Tensor) -> Result<(), TransportError> {
+        assert_eq!(tensor.len(), self.cfg.tensor_len, "tensor length mismatch");
+        let bitmap = NonZeroBitmap::build(tensor, self.cfg.block_spec());
+        let skip = self.cfg.skip_zero_blocks;
+        let layout = self.layout;
+        let width = layout.width();
+
+        let mut streams: Vec<Option<WorkerStream>> =
+            (0..layout.total_streams()).map(|_| None).collect();
+        let mut timers: TimerQueue<usize> = TimerQueue::new();
+        let mut pending = 0usize;
+
+        for g in layout.active_streams() {
+            let mut cols: Vec<Option<WorkerCol>> = Vec::with_capacity(width);
+            let mut entries = Vec::new();
+            let mut remaining = 0usize;
+            for c in 0..width {
+                match layout.first_block(g, c) {
+                    Some(b0) => {
+                        let my_next = layout.next_block(&bitmap, g, c, Some(b0), skip);
+                        entries.push(Entry::data(
+                            b0,
+                            encode_next(my_next, c, width),
+                            tensor[layout.block_range(b0)].to_vec(),
+                        ));
+                        cols.push(Some(WorkerCol {
+                            my_next,
+                            done: false,
+                        }));
+                        remaining += 1;
+                    }
+                    None => cols.push(None),
+                }
+            }
+            let msg = self.make_packet(g, entries);
+            self.send_tracked(g, &msg)?;
+            timers.arm(g, Instant::now(), self.cfg.retransmit_timeout);
+            streams[g] = Some(WorkerStream {
+                cols,
+                remaining,
+                outstanding: Some(msg),
+            });
+            pending += 1;
+        }
+
+        while pending > 0 {
+            let now = Instant::now();
+            let timeout = timers
+                .until_next(now)
+                .unwrap_or(Duration::from_secs(3600));
+            match self.transport.recv_timeout(timeout)? {
+                Some((_, Message::Block(p))) if p.kind == PacketKind::Result => {
+                    let g = p.stream as usize;
+                    let Some(state) = streams[g].as_mut() else {
+                        continue; // stale result for a finished stream
+                    };
+                    if p.ver != self.ver[g] {
+                        continue; // duplicate of an already-processed phase
+                    }
+                    timers.cancel(&g);
+                    // Phase advances.
+                    self.ver[g] ^= 1;
+                    let mut reply = Vec::new();
+                    for entry in &p.entries {
+                        let (col, requested) = decode_next(entry.next, width);
+                        if !entry.data.is_empty() {
+                            tensor.copy_slice_at(
+                                layout.block_range(entry.block).start,
+                                &entry.data,
+                            );
+                        }
+                        let cs = state.cols[col].as_mut().expect("invalid column");
+                        if cs.done {
+                            continue;
+                        }
+                        if requested == INFINITY_BLOCK {
+                            cs.done = true;
+                            state.remaining -= 1;
+                            continue;
+                        }
+                        if cs.my_next == requested {
+                            let new_next =
+                                layout.next_block(&bitmap, g, col, Some(requested), skip);
+                            reply.push(Entry::data(
+                                requested,
+                                encode_next(new_next, col, width),
+                                tensor[layout.block_range(requested)].to_vec(),
+                            ));
+                            cs.my_next = new_next;
+                        } else {
+                            // Data-less acknowledgment (Algorithm 2 l.19–21).
+                            reply.push(Entry::ack(
+                                requested,
+                                encode_next(cs.my_next, col, width),
+                            ));
+                        }
+                    }
+                    if state.remaining == 0 {
+                        debug_assert!(reply.is_empty(), "reply for a finished stream");
+                        streams[g] = None;
+                        pending -= 1;
+                    } else {
+                        let msg = self.make_packet(g, reply);
+                        self.send_tracked(g, &msg)?;
+                        timers.arm(g, Instant::now(), self.cfg.retransmit_timeout);
+                        streams[g].as_mut().unwrap().outstanding = Some(msg);
+                    }
+                }
+                Some(_) => {} // ignore anything else
+                None => {
+                    // Timer expiry: retransmit outstanding packets.
+                    let now = Instant::now();
+                    while let Some(g) = timers.pop_expired(now) {
+                        if let Some(state) = streams[g].as_ref() {
+                            if let Some(msg) = &state.outstanding {
+                                self.stats.retransmissions += 1;
+                                self.stats.bytes_sent += codec::encoded_len(msg) as u64;
+                                let shard = self.cfg.shard_of_stream(g);
+                                self.transport
+                                    .send(NodeId(self.cfg.aggregator_node(shard)), msg)?;
+                                timers.arm(g, now, self.cfg.retransmit_timeout);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn make_packet(&self, stream: usize, entries: Vec<Entry>) -> Message {
+        Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: self.ver[stream],
+            stream: stream as u16,
+            wid: self.wid,
+            entries,
+        })
+    }
+
+    fn send_tracked(&mut self, stream: usize, msg: &Message) -> Result<(), TransportError> {
+        if let Message::Block(p) = msg {
+            self.stats.blocks_sent += p.entries.iter().filter(|e| !e.is_ack()).count() as u64;
+        }
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += codec::encoded_len(msg) as u64;
+        let shard = self.cfg.shard_of_stream(stream);
+        self.transport
+            .send(NodeId(self.cfg.aggregator_node(shard)), msg)
+    }
+
+    /// Announces departure to every shard.
+    pub fn shutdown(self) -> Result<(), TransportError> {
+        for a in 0..self.cfg.num_aggregators {
+            self.transport
+                .send(NodeId(self.cfg.aggregator_node(a)), &Message::Shutdown)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-column, per-version aggregation state.
+#[derive(Clone)]
+struct ColPhase {
+    acc: Vec<f32>,
+    block: Option<BlockIdx>,
+    min_next: i64,
+}
+
+impl ColPhase {
+    fn fresh() -> Self {
+        ColPhase {
+            acc: Vec::new(),
+            block: None,
+            min_next: i64::MAX,
+        }
+    }
+}
+
+/// Per-stream versioned slot (Algorithm 2 lines 26–29).
+struct VersionedSlot {
+    /// Per-version, per-column phase state.
+    cols: [Vec<ColPhase>; 2],
+    /// seen[v][wid]: worker's packet for version v already aggregated.
+    seen: [Vec<bool>; 2],
+    /// Distinct workers aggregated in version v's current phase.
+    count: [usize; 2],
+    /// Completed result packet per version, kept for retransmission.
+    result: [Option<Message>; 2],
+}
+
+/// Aggregator engine with Algorithm 2 loss recovery.
+pub struct RecoveryAggregator<T: Transport> {
+    transport: T,
+    cfg: OmniConfig,
+    layout: StreamLayout,
+    slots: Vec<Option<VersionedSlot>>,
+    /// Workers that sent `Shutdown` (finished; excluded from multicasts).
+    departed: Vec<bool>,
+    goodbyes: usize,
+    /// Result multicasts performed (for tests).
+    pub results_sent: u64,
+    /// Duplicate packets that triggered a result retransmission.
+    pub result_retransmissions: u64,
+}
+
+impl<T: Transport> RecoveryAggregator<T> {
+    /// Creates the engine for the shard whose node id matches the
+    /// transport's.
+    pub fn new(transport: T, cfg: OmniConfig) -> Self {
+        cfg.validate();
+        let node = transport.local_id().0 as usize;
+        assert!(
+            node >= cfg.num_workers && node < cfg.mesh_size(),
+            "node {node} is not an aggregator"
+        );
+        let shard = node - cfg.num_workers;
+        let layout = StreamLayout::new(
+            cfg.block_spec(),
+            cfg.fusion,
+            cfg.total_streams(),
+            cfg.tensor_len,
+        );
+        let n = cfg.num_workers;
+        let width = layout.width();
+        let slots = (0..layout.total_streams())
+            .map(|g| {
+                (cfg.shard_of_stream(g) == shard).then(|| VersionedSlot {
+                    cols: [vec![ColPhase::fresh(); width], vec![ColPhase::fresh(); width]],
+                    seen: [vec![false; n], vec![false; n]],
+                    count: [0, 0],
+                    result: [None, None],
+                })
+            })
+            .collect();
+        let departed = vec![false; cfg.num_workers];
+        RecoveryAggregator {
+            transport,
+            cfg,
+            layout,
+            slots,
+            departed,
+            goodbyes: 0,
+            results_sent: 0,
+            result_retransmissions: 0,
+        }
+    }
+
+    /// Serves until every worker says `Shutdown`.
+    pub fn run(&mut self) -> Result<(), TransportError> {
+        loop {
+            let (from, msg) = self.transport.recv()?;
+            match msg {
+                Message::Block(p) if p.kind == PacketKind::Data => self.handle_data(p)?,
+                Message::Shutdown => {
+                    // Finished worker: stop multicasting to it (its
+                    // endpoint may already be gone).
+                    if !self.departed[from.index()] {
+                        self.departed[from.index()] = true;
+                        self.goodbyes += 1;
+                    }
+                    if self.goodbyes == self.cfg.num_workers {
+                        return Ok(());
+                    }
+                }
+                _ => {} // tolerate anything else on a lossy fabric
+            }
+        }
+    }
+
+    fn handle_data(&mut self, p: Packet) -> Result<(), TransportError> {
+        let g = p.stream as usize;
+        let v = (p.ver & 1) as usize;
+        let wid = p.wid as usize;
+        let n = self.cfg.num_workers;
+        let width = self.layout.width();
+
+        let slot = self.slots[g].as_mut().expect("stream not owned by shard");
+
+        if slot.seen[v][wid] {
+            // Duplicate (network dup or worker retransmission). If the
+            // phase is complete, the worker evidently missed the result:
+            // unicast it back (Algorithm 2 lines 47–49).
+            if slot.count[v] == 0 {
+                if let Some(result) = slot.result[v].clone() {
+                    self.result_retransmissions += 1;
+                    crate::wire::send_best_effort(
+                        &self.transport,
+                        NodeId(self.cfg.worker_node(wid)),
+                        &result,
+                    )?;
+                }
+            }
+            return Ok(());
+        }
+
+        // First packet of a fresh phase resets that version's state
+        // (Algorithm 2 lines 36–38 generalize per column).
+        slot.seen[v][wid] = true;
+        slot.seen[v ^ 1][wid] = false;
+        slot.count[v] += 1;
+        if slot.count[v] == 1 {
+            for col in slot.cols[v].iter_mut() {
+                *col = ColPhase::fresh();
+            }
+            slot.result[v] = None;
+        }
+
+        for entry in &p.entries {
+            let (col, next) = decode_next(entry.next, width);
+            let cp = &mut slot.cols[v][col];
+            if !entry.data.is_empty() {
+                match cp.block {
+                    None => {
+                        cp.block = Some(entry.block);
+                        cp.acc.clear();
+                        cp.acc.extend_from_slice(&entry.data);
+                    }
+                    Some(b) => {
+                        debug_assert_eq!(b, entry.block, "phase mixes blocks");
+                        for (a, x) in cp.acc.iter_mut().zip(&entry.data) {
+                            *a += *x;
+                        }
+                    }
+                }
+            }
+            cp.min_next = cp.min_next.min(if next == INFINITY_BLOCK {
+                INFINITY_BLOCK as i64
+            } else {
+                next as i64
+            });
+        }
+
+        if slot.count[v] == n {
+            // Phase complete (the count wraps to 0, Algorithm 2 l.42).
+            slot.count[v] = 0;
+            let mut entries = Vec::new();
+            for (c, cp) in slot.cols[v].iter_mut().enumerate() {
+                let Some(block) = cp.block else { continue };
+                let min_next = if cp.min_next == i64::MAX || cp.min_next == INFINITY_BLOCK as i64 {
+                    INFINITY_BLOCK
+                } else {
+                    cp.min_next as BlockIdx
+                };
+                entries.push(Entry::data(
+                    block,
+                    encode_next(min_next, c, width),
+                    std::mem::take(&mut cp.acc),
+                ));
+            }
+            let result = Message::Block(Packet {
+                kind: PacketKind::Result,
+                ver: v as u8,
+                stream: g as u16,
+                wid: u16::MAX,
+                entries,
+            });
+            let workers: Vec<NodeId> = (0..n)
+                .filter(|w| !self.departed[*w])
+                .map(|w| NodeId(self.cfg.worker_node(w)))
+                .collect();
+            self.results_sent += 1;
+            for w in &workers {
+                crate::wire::send_best_effort(&self.transport, *w, &result)?;
+            }
+            self.slots[g].as_mut().unwrap().result[v] = Some(result);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,672 @@
+//! OmniReduce as [`omnireduce_simnet`] actors — the timing model used by
+//! the benchmark harness to reproduce the paper's figures on simulated
+//! 10/100 Gbps fabrics.
+//!
+//! The actors run the *same protocol* as the executable engines
+//! ([`crate::worker`], [`crate::aggregator`]): real per-column lookahead
+//! over the workers' actual non-zero bitmaps, real fused packets, real
+//! min-next coordination. Only the tensor payload is elided — packets
+//! carry block indices and the simulator charges them their exact encoded
+//! byte size ([`omnireduce_transport::codec`] constants), so the timing
+//! reflects true protocol behaviour including partial overlap between
+//! workers (§6.4.2) and the extra round trips it causes.
+//!
+//! Topology knobs cover the paper's deployment modes:
+//!
+//! * **dedicated** aggregators — each shard on its own NIC (the paper's
+//!   default testbed: 8 workers + 8 CPU aggregator nodes);
+//! * **colocated** — shard `i` shares worker `i`'s NIC (the paper's
+//!   `OmniReduce(Co)`), halving effective per-role bandwidth;
+//! * arbitrary NIC rate/latency/loss, so the bench crate expresses the
+//!   DPDK / RDMA / GDR profiles as NIC parameters (e.g. host-copy
+//!   bottleneck = capped worker TX rate).
+
+use std::sync::Arc;
+
+use omnireduce_simnet::{
+    ActorId, Bandwidth, Ctx, NicConfig, Process, RunReport, SimTime, Simulator,
+};
+use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
+use omnireduce_transport::codec::{BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
+
+use crate::config::OmniConfig;
+use crate::layout::StreamLayout;
+
+/// One fused entry in a simulated packet.
+#[derive(Debug, Clone, Copy)]
+pub struct SimEntry {
+    /// Block index this entry refers to.
+    pub block: BlockIdx,
+    /// Column within the fused packet.
+    pub col: usize,
+    /// Sender's next non-zero block in this column (or ∞).
+    pub next: BlockIdx,
+    /// Number of payload values (0 for acknowledgments).
+    pub values: usize,
+}
+
+/// Simulated protocol message.
+#[derive(Debug, Clone)]
+pub enum SimMsg {
+    /// Worker → aggregator block data.
+    Data {
+        /// Stream id.
+        stream: usize,
+        /// Sending worker.
+        wid: usize,
+        /// Fused entries.
+        entries: Vec<SimEntry>,
+    },
+    /// Aggregator → worker aggregated result.
+    Result {
+        /// Stream id.
+        stream: usize,
+        /// Fused entries (per active column).
+        entries: Vec<SimEntry>,
+    },
+}
+
+fn msg_bytes(entries: &[SimEntry]) -> usize {
+    BLOCK_HEADER_BYTES
+        + entries
+            .iter()
+            .map(|e| ENTRY_HEADER_BYTES + 4 * e.values)
+            .sum::<usize>()
+}
+
+/// Full specification of a simulated OmniReduce run.
+pub struct SimSpec {
+    /// Protocol geometry (block size, fusion, streams, shards, workers).
+    pub cfg: OmniConfig,
+    /// Worker NIC parameters.
+    pub worker_nic: NicConfig,
+    /// Aggregator NIC parameters (ignored when `colocated`).
+    pub agg_nic: NicConfig,
+    /// Shard `i` shares worker `i`'s NIC instead of its own.
+    pub colocated: bool,
+}
+
+impl SimSpec {
+    /// Dedicated-aggregator spec with symmetric NICs everywhere.
+    pub fn dedicated(cfg: OmniConfig, rate: Bandwidth, latency: SimTime) -> Self {
+        SimSpec {
+            cfg,
+            worker_nic: NicConfig::symmetric(rate, latency),
+            agg_nic: NicConfig::symmetric(rate, latency),
+            colocated: false,
+        }
+    }
+
+    /// Colocated spec (shards share worker NICs).
+    pub fn colocated(cfg: OmniConfig, rate: Bandwidth, latency: SimTime) -> Self {
+        SimSpec {
+            cfg,
+            worker_nic: NicConfig::symmetric(rate, latency),
+            agg_nic: NicConfig::symmetric(rate, latency),
+            colocated: true,
+        }
+    }
+}
+
+struct WCol {
+    my_next: BlockIdx,
+    done: bool,
+}
+
+struct WStream {
+    cols: Vec<Option<WCol>>,
+    remaining: usize,
+}
+
+/// Worker actor: mirrors [`crate::worker::OmniWorker`].
+struct WorkerActor {
+    cfg: OmniConfig,
+    layout: StreamLayout,
+    wid: usize,
+    bitmap: Arc<NonZeroBitmap>,
+    /// Actor ids of the shards, indexed by shard number.
+    shards: Vec<ActorId>,
+    streams: Vec<Option<WStream>>,
+    pending: usize,
+}
+
+impl WorkerActor {
+    fn send_data(&self, ctx: &mut Ctx<SimMsg>, stream: usize, entries: Vec<SimEntry>) {
+        let bytes = msg_bytes(&entries);
+        let shard = self.shards[self.cfg.shard_of_stream(stream)];
+        ctx.send(
+            shard,
+            SimMsg::Data {
+                stream,
+                wid: self.wid,
+                entries,
+            },
+            bytes,
+        );
+    }
+}
+
+impl Process<SimMsg> for WorkerActor {
+    fn on_start(&mut self, ctx: &mut Ctx<SimMsg>) {
+        let layout = self.layout;
+        let skip = self.cfg.skip_zero_blocks;
+        self.streams = (0..layout.total_streams()).map(|_| None).collect();
+        for g in layout.active_streams() {
+            let mut cols: Vec<Option<WCol>> = Vec::with_capacity(layout.width());
+            let mut entries = Vec::new();
+            let mut remaining = 0;
+            for c in 0..layout.width() {
+                match layout.first_block(g, c) {
+                    Some(b0) => {
+                        let my_next = layout.next_block(&self.bitmap, g, c, Some(b0), skip);
+                        entries.push(SimEntry {
+                            block: b0,
+                            col: c,
+                            next: my_next,
+                            values: layout.block_range(b0).len(),
+                        });
+                        cols.push(Some(WCol {
+                            my_next,
+                            done: false,
+                        }));
+                        remaining += 1;
+                    }
+                    None => cols.push(None),
+                }
+            }
+            self.send_data(ctx, g, entries);
+            self.streams[g] = Some(WStream { cols, remaining });
+            self.pending += 1;
+        }
+        if self.pending == 0 {
+            ctx.halt();
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<SimMsg>, _from: ActorId, msg: SimMsg) {
+        let SimMsg::Result { stream: g, entries } = msg else {
+            panic!("worker received non-result message");
+        };
+        let layout = self.layout;
+        let skip = self.cfg.skip_zero_blocks;
+        let state = self.streams[g].as_mut().expect("unknown stream");
+        let mut reply = Vec::new();
+        for e in &entries {
+            let cs = state.cols[e.col].as_mut().expect("invalid column");
+            if cs.done {
+                continue;
+            }
+            let requested = e.next;
+            if requested == INFINITY_BLOCK {
+                cs.done = true;
+                state.remaining -= 1;
+                continue;
+            }
+            if cs.my_next == requested {
+                let new_next = layout.next_block(&self.bitmap, g, e.col, Some(requested), skip);
+                reply.push(SimEntry {
+                    block: requested,
+                    col: e.col,
+                    next: new_next,
+                    values: layout.block_range(requested).len(),
+                });
+                cs.my_next = new_next;
+            }
+        }
+        let finished = state.remaining == 0;
+        if !reply.is_empty() {
+            self.send_data(ctx, g, reply);
+        }
+        if finished {
+            self.streams[g] = None;
+            self.pending -= 1;
+            if self.pending == 0 {
+                ctx.halt();
+            }
+        }
+    }
+}
+
+const NEG_INF: i64 = -1;
+
+struct ACol {
+    cur: BlockIdx,
+    next_of: Vec<i64>,
+}
+
+impl ACol {
+    fn min_next(&self) -> Option<BlockIdx> {
+        let mut min = i64::MAX;
+        for n in &self.next_of {
+            if *n == NEG_INF {
+                return None;
+            }
+            min = min.min(*n);
+        }
+        Some(min as BlockIdx)
+    }
+
+    fn complete(&self) -> bool {
+        matches!(self.min_next(), Some(m) if (self.cur as i64) < m as i64)
+    }
+
+    fn active(&self) -> bool {
+        self.cur != INFINITY_BLOCK
+    }
+}
+
+struct ASlot {
+    cols: Vec<Option<ACol>>,
+}
+
+/// Aggregator shard actor: mirrors [`crate::aggregator::OmniAggregator`],
+/// serving exactly one AllReduce round and halting when every owned
+/// stream completes.
+struct AggActor {
+    cfg: OmniConfig,
+    layout: StreamLayout,
+    shard: usize,
+    workers: Vec<ActorId>,
+    slots: Vec<Option<ASlot>>,
+    open_streams: usize,
+}
+
+impl Process<SimMsg> for AggActor {
+    fn on_start(&mut self, ctx: &mut Ctx<SimMsg>) {
+        let layout = self.layout;
+        self.slots = (0..layout.total_streams())
+            .map(|g| {
+                (self.cfg.shard_of_stream(g) == self.shard
+                    && layout.first_block(g, 0).is_some())
+                .then(|| ASlot {
+                    cols: (0..layout.width())
+                        .map(|c| {
+                            layout.first_block(g, c).map(|b0| ACol {
+                                cur: b0,
+                                next_of: vec![NEG_INF; self.cfg.num_workers],
+                            })
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        self.open_streams = self.slots.iter().flatten().count();
+        if self.open_streams == 0 {
+            ctx.halt();
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<SimMsg>, _from: ActorId, msg: SimMsg) {
+        let SimMsg::Data { stream: g, wid, entries } = msg else {
+            panic!("aggregator received non-data message");
+        };
+        let slot = self.slots[g].as_mut().expect("stream not owned");
+        for e in &entries {
+            let cs = slot.cols[e.col].as_mut().expect("invalid column");
+            debug_assert_eq!(e.block, cs.cur);
+            cs.next_of[wid] = if e.next == INFINITY_BLOCK {
+                INFINITY_BLOCK as i64
+            } else {
+                e.next as i64
+            };
+        }
+        let all_complete = slot
+            .cols
+            .iter()
+            .flatten()
+            .filter(|c| c.active())
+            .all(|c| c.complete());
+        let any_active = slot.cols.iter().flatten().any(|c| c.active());
+        if !any_active || !all_complete {
+            return;
+        }
+        let layout = self.layout;
+        let mut result = Vec::new();
+        let mut all_done = true;
+        for (c, cs) in slot.cols.iter_mut().enumerate() {
+            let Some(cs) = cs else { continue };
+            if !cs.active() {
+                continue;
+            }
+            let min_next = cs.min_next().expect("complete implies announced");
+            result.push(SimEntry {
+                block: cs.cur,
+                col: c,
+                next: min_next,
+                values: layout.block_range(cs.cur).len(),
+            });
+            cs.cur = min_next;
+            if min_next != INFINITY_BLOCK {
+                all_done = false;
+            }
+        }
+        let bytes = msg_bytes(&result);
+        for w in &self.workers {
+            ctx.send(
+                *w,
+                SimMsg::Result {
+                    stream: g,
+                    entries: result.clone(),
+                },
+                bytes,
+            );
+        }
+        if all_done {
+            self.slots[g] = None;
+            self.open_streams -= 1;
+            if self.open_streams == 0 {
+                ctx.halt();
+            }
+        }
+    }
+}
+
+/// Outcome of a simulated AllReduce.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Time the last worker finished.
+    pub completion: SimTime,
+    /// Raw simulator report (per-NIC byte counters, etc.).
+    pub report: RunReport,
+    /// Total bytes workers transmitted.
+    pub worker_tx_bytes: u64,
+}
+
+/// Simulates one OmniReduce AllReduce over the given per-worker non-zero
+/// bitmaps, returning completion time and traffic counters.
+///
+/// # Panics
+/// Panics when `bitmaps.len() != cfg.num_workers` or bitmap sizes
+/// disagree with the config.
+pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutcome {
+    let cfg = &spec.cfg;
+    cfg.validate();
+    assert_eq!(bitmaps.len(), cfg.num_workers, "one bitmap per worker");
+    let layout = StreamLayout::new(
+        cfg.block_spec(),
+        cfg.fusion,
+        cfg.total_streams(),
+        cfg.tensor_len,
+    );
+    for bm in bitmaps {
+        assert_eq!(bm.block_count(), layout.nblocks(), "bitmap size mismatch");
+    }
+    if spec.colocated {
+        assert!(
+            cfg.num_aggregators <= cfg.num_workers,
+            "colocated mode needs shards ≤ workers"
+        );
+    }
+
+    let mut sim: Simulator<SimMsg> = Simulator::new(0xC0FFEE);
+    // NICs: one per worker; one per shard unless colocated.
+    let worker_nics: Vec<_> = (0..cfg.num_workers)
+        .map(|_| sim.add_nic(spec.worker_nic))
+        .collect();
+    let shard_nics: Vec<_> = (0..cfg.num_aggregators)
+        .map(|a| {
+            if spec.colocated {
+                worker_nics[a]
+            } else {
+                sim.add_nic(spec.agg_nic)
+            }
+        })
+        .collect();
+
+    // Actor ids are assigned in insertion order: workers first.
+    let worker_ids: Vec<ActorId> = (0..cfg.num_workers).map(ActorId).collect();
+    let shard_ids: Vec<ActorId> = (0..cfg.num_aggregators)
+        .map(|a| ActorId(cfg.num_workers + a))
+        .collect();
+
+    for (w, bm) in bitmaps.iter().enumerate() {
+        sim.add_actor(
+            worker_nics[w],
+            Box::new(WorkerActor {
+                cfg: cfg.clone(),
+                layout,
+                wid: w,
+                bitmap: Arc::new(bm.clone()),
+                shards: shard_ids.clone(),
+                streams: Vec::new(),
+                pending: 0,
+            }),
+        );
+    }
+    for (a, nic) in shard_nics.iter().enumerate() {
+        sim.add_actor(
+            *nic,
+            Box::new(AggActor {
+                cfg: cfg.clone(),
+                layout,
+                shard: a,
+                workers: worker_ids.clone(),
+                slots: Vec::new(),
+                open_streams: 0,
+            }),
+        );
+    }
+
+    let report = sim.run();
+    let completion = worker_ids
+        .iter()
+        .map(|w| report.finished_at[w.0].expect("worker never finished"))
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let worker_tx_bytes = (0..cfg.num_workers)
+        .map(|w| report.nic_stats[w].bytes_tx)
+        .sum();
+    SimOutcome {
+        completion,
+        report,
+        worker_tx_bytes,
+    }
+}
+
+/// Builds per-worker bitmaps from [`omnireduce_tensor::gen`] block masks.
+pub fn bitmaps_from_sets(sets: &[Vec<bool>]) -> Vec<NonZeroBitmap> {
+    sets.iter()
+        .map(|mask| {
+            let mut bm = NonZeroBitmap::empty(mask.len());
+            for (i, on) in mask.iter().enumerate() {
+                if *on {
+                    bm.set(i as u32);
+                }
+            }
+            bm
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
+
+    fn spec(n: usize, len: usize, sparsity: f64, seed: u64) -> (SimSpec, Vec<NonZeroBitmap>) {
+        let cfg = OmniConfig::new(n, len)
+            .with_block_size(256)
+            .with_fusion(4)
+            .with_streams(8)
+            .with_aggregators(n);
+        let nblocks = cfg.block_spec().block_count(len);
+        let sets = worker_block_sets(n, nblocks, sparsity, OverlapMode::Random, seed);
+        let s = SimSpec::dedicated(cfg, Bandwidth::gbps(10.0), SimTime::from_micros(5));
+        (s, bitmaps_from_sets(&sets))
+    }
+
+    #[test]
+    fn higher_sparsity_is_faster() {
+        // Random overlap: the result multicast covers the union of
+        // non-zero positions (1 − 0.9⁴ ≈ 34% here), so the speedup is
+        // diluted — exactly the effect §6.1.1 reports. Expect >2×.
+        let len = 1 << 20; // 4 MB of f32
+        let (s0, b0) = spec(4, len, 0.0, 1);
+        let (s9, b9) = spec(4, len, 0.9, 1);
+        let t0 = simulate_allreduce(&s0, &b0).completion;
+        let t9 = simulate_allreduce(&s9, &b9).completion;
+        assert!(
+            t9.as_nanos() * 2 < t0.as_nanos(),
+            "90% sparse {t9} should be much faster than dense {t0}"
+        );
+    }
+
+    #[test]
+    fn full_overlap_speedup_matches_inverse_density() {
+        // With all workers' non-zero blocks overlapping, time scales with
+        // the density D (§3.4 model): 90% sparsity → ≈10× faster. The
+        // tensor must be large enough that the unconditional first-row
+        // exchange (one block per stream × column) is amortized.
+        let len = 1 << 22;
+        let cfg = OmniConfig::new(4, len)
+            .with_block_size(256)
+            .with_fusion(4)
+            .with_streams(8)
+            .with_aggregators(4);
+        let nblocks = cfg.block_spec().block_count(len);
+        let run = |sparsity| {
+            let sets = worker_block_sets(4, nblocks, sparsity, OverlapMode::All, 21);
+            let s = SimSpec::dedicated(
+                cfg.clone(),
+                Bandwidth::gbps(10.0),
+                SimTime::from_micros(5),
+            );
+            simulate_allreduce(&s, &bitmaps_from_sets(&sets))
+                .completion
+                .as_secs_f64()
+        };
+        let t0 = run(0.0);
+        let t9 = run(0.9);
+        let speedup = t0 / t9;
+        assert!(
+            (speedup - 10.0).abs() < 2.5,
+            "full-overlap speedup {speedup} should be ≈ 1/D = 10"
+        );
+    }
+
+    #[test]
+    fn dense_time_matches_bandwidth_bound() {
+        // Dense tensor, N workers, N shards: each worker sends S bytes and
+        // receives S bytes; expected time ≈ S/B plus small overheads.
+        let len = 1 << 20;
+        let (s, b) = spec(4, len, 0.0, 2);
+        let out = simulate_allreduce(&s, &b);
+        let bytes = (len * 4) as f64;
+        let ideal = bytes / Bandwidth::gbps(10.0).as_bytes_per_sec();
+        let measured = out.completion.as_secs_f64();
+        assert!(
+            measured > ideal * 0.95 && measured < ideal * 1.4,
+            "measured {measured}, ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn sparse_traffic_proportional_to_density() {
+        let len = 1 << 20;
+        let (s0, b0) = spec(4, len, 0.0, 3);
+        let (s9, b9) = spec(4, len, 0.9, 3);
+        let t0 = simulate_allreduce(&s0, &b0).worker_tx_bytes;
+        let t9 = simulate_allreduce(&s9, &b9).worker_tx_bytes;
+        let ratio = t9 as f64 / t0 as f64;
+        assert!((ratio - 0.1).abs() < 0.03, "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn overlap_ordering_at_mid_sparsity() {
+        // §6.4.2: at s ∈ [60%, 90%] all-overlap beats random beats none.
+        let len = 1 << 20;
+        let cfg = OmniConfig::new(8, len)
+            .with_block_size(256)
+            .with_fusion(4)
+            .with_streams(8)
+            .with_aggregators(8);
+        let nblocks = cfg.block_spec().block_count(len);
+        let run = |mode| {
+            let sets = worker_block_sets(8, nblocks, 0.8, mode, 5);
+            let s = SimSpec::dedicated(
+                cfg.clone(),
+                Bandwidth::gbps(10.0),
+                SimTime::from_micros(5),
+            );
+            simulate_allreduce(&s, &bitmaps_from_sets(&sets)).completion
+        };
+        let t_all = run(OverlapMode::All);
+        let t_rand = run(OverlapMode::Random);
+        let t_none = run(OverlapMode::None);
+        assert!(t_all < t_rand, "all {t_all} < random {t_rand}");
+        assert!(t_rand < t_none, "random {t_rand} < none {t_none}");
+    }
+
+    #[test]
+    fn colocated_dense_slower_than_dedicated() {
+        let len = 1 << 20;
+        let cfg = OmniConfig::new(4, len)
+            .with_block_size(256)
+            .with_fusion(4)
+            .with_streams(8)
+            .with_aggregators(4);
+        let nblocks = cfg.block_spec().block_count(len);
+        let sets = worker_block_sets(4, nblocks, 0.0, OverlapMode::All, 7);
+        let bms = bitmaps_from_sets(&sets);
+        let rate = Bandwidth::gbps(10.0);
+        let lat = SimTime::from_micros(5);
+        let t_ded = simulate_allreduce(&SimSpec::dedicated(cfg.clone(), rate, lat), &bms);
+        let t_co = simulate_allreduce(&SimSpec::colocated(cfg, rate, lat), &bms);
+        assert!(
+            t_co.completion > t_ded.completion,
+            "colocated {} should be slower than dedicated {}",
+            t_co.completion,
+            t_ded.completion
+        );
+    }
+
+    #[test]
+    fn empty_bitmaps_complete_quickly() {
+        let len = 4096; // 16 blocks of 256
+        let cfg = OmniConfig::new(2, len)
+            .with_block_size(256)
+            .with_fusion(4)
+            .with_streams(2)
+            .with_aggregators(2);
+        let bms = vec![NonZeroBitmap::empty(16), NonZeroBitmap::empty(16)];
+        let s = SimSpec::dedicated(cfg, Bandwidth::gbps(10.0), SimTime::from_micros(5));
+        let out = simulate_allreduce(&s, &bms);
+        // One first-row exchange only.
+        assert!(out.completion.as_millis_f64() < 1.0, "{}", out.completion);
+    }
+
+    #[test]
+    fn more_streams_mask_latency() {
+        // With high latency, pipeline depth (streams) should cut time.
+        let len = 1 << 20;
+        let mk = |streams| {
+            let cfg = OmniConfig::new(2, len)
+                .with_block_size(256)
+                .with_fusion(4)
+                .with_streams(streams)
+                .with_aggregators(2);
+            let nblocks = cfg.block_spec().block_count(len);
+            let sets = worker_block_sets(2, nblocks, 0.0, OverlapMode::All, 11);
+            let s = SimSpec::dedicated(
+                cfg,
+                Bandwidth::gbps(100.0),
+                SimTime::from_micros(20),
+            );
+            simulate_allreduce(&s, &bitmaps_from_sets(&sets)).completion
+        };
+        let t1 = mk(1);
+        let t16 = mk(16);
+        assert!(
+            t16.as_nanos() * 3 < t1.as_nanos(),
+            "16 streams {t16} should beat 1 stream {t1} at high BDP"
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (s, b) = spec(4, 1 << 18, 0.5, 13);
+        let a = simulate_allreduce(&s, &b).completion;
+        let c = simulate_allreduce(&s, &b).completion;
+        assert_eq!(a, c);
+    }
+}

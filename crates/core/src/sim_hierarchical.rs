@@ -1,0 +1,183 @@
+//! Two-level (multi-GPU) AllReduce timing model (§5, §6.3).
+//!
+//! A multi-GPU server runs the §5 hierarchy: an intra-server NCCL
+//! reduce+broadcast over NVLink, then the inter-server collective among
+//! the server leaders. The two layers are composed as a barrier-separated
+//! sum (the intra reduction must finish before the leader has the local
+//! sum; the final broadcast happens after the inter-server result
+//! arrives), with each layer simulated/modelled on its own fabric:
+//!
+//! * intra-server: ring among `G` GPUs over NVLink —
+//!   `2(G−1)/G · S / B_nvlink` (reduce) plus the same for the final
+//!   broadcast, halved because broadcast is a one-phase pipeline; we
+//!   charge the standard NCCL ring-allreduce figure once, which bounds
+//!   reduce+broadcast on the same links;
+//! * inter-server: the packet-level OmniReduce simulation over the
+//!   leaders' union bitmaps (8 GPUs' batches union their active rows,
+//!   so the per-server gradient is denser than a single GPU's — the
+//!   effect Fig. 13/14 measure), or ring AllReduce for the baseline.
+
+use omnireduce_simnet::{Bandwidth, SimTime};
+use omnireduce_tensor::NonZeroBitmap;
+
+use crate::config::OmniConfig;
+use crate::sim::{simulate_allreduce, SimSpec};
+
+/// Parameters of the multi-GPU testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchySpec {
+    /// Servers (inter-node workers).
+    pub servers: usize,
+    /// GPUs per server.
+    pub gpus_per_server: usize,
+    /// Effective NVLink all-reduce bandwidth within a server, bytes/s.
+    pub nvlink_bytes_per_sec: f64,
+    /// Inter-server NIC rate.
+    pub nic: Bandwidth,
+    /// Inter-server one-way latency.
+    pub latency: SimTime,
+}
+
+impl HierarchySpec {
+    /// The paper's §6.3 testbed: 6 servers × 8 V100s at 100 Gbps.
+    pub fn paper_testbed() -> Self {
+        HierarchySpec {
+            servers: 6,
+            gpus_per_server: 8,
+            nvlink_bytes_per_sec: 60e9,
+            nic: Bandwidth::gbps(100.0),
+            latency: SimTime::from_micros(5),
+        }
+    }
+
+    /// Intra-server layer time for a tensor of `bytes` (ring over
+    /// NVLink).
+    pub fn intra_time(&self, bytes: u64) -> SimTime {
+        let g = self.gpus_per_server as f64;
+        if g <= 1.0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_secs_f64(2.0 * (g - 1.0) / g * bytes as f64 / self.nvlink_bytes_per_sec)
+    }
+
+    /// Unions per-GPU bitmaps into per-server bitmaps: the leader
+    /// aggregates 8 GPUs' gradients, so a block is non-zero server-wide
+    /// iff any GPU touched it.
+    pub fn union_per_server(&self, per_gpu: &[Vec<NonZeroBitmap>]) -> Vec<NonZeroBitmap> {
+        assert_eq!(per_gpu.len(), self.servers, "one GPU set per server");
+        per_gpu
+            .iter()
+            .map(|gpus| {
+                assert_eq!(gpus.len(), self.gpus_per_server);
+                let mut union = NonZeroBitmap::empty(gpus[0].block_count());
+                for bm in gpus {
+                    assert_eq!(bm.block_count(), union.block_count());
+                    for b in bm.iter_nonzero() {
+                        union.set(b);
+                    }
+                }
+                union
+            })
+            .collect()
+    }
+
+    /// Full hierarchical OmniReduce time: intra reduce+broadcast plus the
+    /// simulated inter-server AllReduce over the servers' union bitmaps.
+    /// `cfg.num_workers` must equal `self.servers`.
+    pub fn omnireduce_time(&self, cfg: &OmniConfig, per_server: &[NonZeroBitmap]) -> SimTime {
+        assert_eq!(cfg.num_workers, self.servers);
+        let spec = SimSpec::dedicated(cfg.clone(), self.nic, self.latency);
+        let inter = simulate_allreduce(&spec, per_server).completion;
+        self.intra_time(cfg.tensor_len as u64 * 4) + inter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::bitmaps_from_sets;
+    use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
+
+    fn spec() -> HierarchySpec {
+        HierarchySpec::paper_testbed()
+    }
+
+    #[test]
+    fn intra_time_formula() {
+        let s = spec();
+        // 100 MB over 60 GB/s NVLink, 8 GPUs: 2·7/8·100e6/60e9 ≈ 2.9 ms.
+        let t = s.intra_time(100_000_000).as_millis_f64();
+        assert!((t - 2.917).abs() < 0.01, "{t}");
+        // Single GPU: no intra layer.
+        let single = HierarchySpec {
+            gpus_per_server: 1,
+            ..s
+        };
+        assert_eq!(single.intra_time(100_000_000), SimTime::ZERO);
+    }
+
+    #[test]
+    fn union_or_of_gpu_bitmaps() {
+        let s = HierarchySpec {
+            servers: 2,
+            gpus_per_server: 2,
+            ..spec()
+        };
+        let mk = |bits: &[u32]| {
+            let mut bm = NonZeroBitmap::empty(8);
+            for b in bits {
+                bm.set(*b);
+            }
+            bm
+        };
+        let per_gpu = vec![
+            vec![mk(&[0, 3]), mk(&[3, 5])],
+            vec![mk(&[7]), mk(&[])],
+        ];
+        let unions = s.union_per_server(&per_gpu);
+        assert_eq!(unions[0].iter_nonzero().collect::<Vec<_>>(), vec![0, 3, 5]);
+        assert_eq!(unions[1].iter_nonzero().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn union_makes_servers_denser_and_slower_than_single_gpu() {
+        let s = HierarchySpec {
+            servers: 4,
+            gpus_per_server: 4,
+            ..spec()
+        };
+        let elements = 1 << 20;
+        let cfg = OmniConfig::new(4, elements)
+            .with_block_size(256)
+            .with_fusion(4)
+            .with_streams(8)
+            .with_aggregators(4);
+        let nblocks = cfg.block_spec().block_count(elements);
+        // Per-GPU sparsity 95%, independent GPUs.
+        let per_gpu: Vec<Vec<NonZeroBitmap>> = (0..4)
+            .map(|srv| {
+                bitmaps_from_sets(&worker_block_sets(
+                    4,
+                    nblocks,
+                    0.95,
+                    OverlapMode::Random,
+                    100 + srv,
+                ))
+            })
+            .collect();
+        let unions = s.union_per_server(&per_gpu);
+        // Union density ≈ 1 − 0.95⁴ ≈ 18.5% > single-GPU 5%.
+        let union_density = 1.0 - unions[0].block_sparsity();
+        assert!(union_density > 0.15 && union_density < 0.25, "{union_density}");
+
+        let t_hier = s.omnireduce_time(&cfg, &unions);
+        // Compare against a hypothetical single-GPU-per-server run.
+        let single: Vec<NonZeroBitmap> = per_gpu.iter().map(|g| g[0].clone()).collect();
+        let spec1 = SimSpec::dedicated(cfg.clone(), s.nic, s.latency);
+        let t_single = simulate_allreduce(&spec1, &single).completion;
+        assert!(
+            t_hier > t_single,
+            "denser unions + intra layer must cost more: {t_hier} vs {t_single}"
+        );
+    }
+}

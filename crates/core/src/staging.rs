@@ -1,0 +1,190 @@
+//! Chunk-prefetch staging pipeline (paper Appendix B, Fig. 19).
+//!
+//! Without GPU-direct RDMA, tensor data must cross PCIe into host memory
+//! before the NIC can send it. Copying per block (<1 KB) is hopeless —
+//! small DMA transfers waste the bus — so the paper copies the whole
+//! tensor in large chunks (4 MB) asynchronously while worker threads
+//! consume completed chunks: "the memory copy operation between GPU and
+//! host is almost completely overlapped with the communication".
+//!
+//! [`StagingPipeline`] models that schedule exactly: chunk `i` becomes
+//! available at `(i+1) · chunk_bytes / pcie_rate + per_chunk_overhead`,
+//! and a block can be transmitted no earlier than its chunk's ready
+//! time. From it we derive the total completion time of a send of
+//! `wire_bytes` at a given network rate — the quantity the
+//! `ablation_staging` sweep uses to show why 4 MB chunks are a good
+//! choice: big enough to amortize the per-chunk synchronization cost,
+//! small enough that the pipeline fill (first chunk) doesn't delay the
+//! network start.
+
+/// The staging pipeline model.
+#[derive(Debug, Clone, Copy)]
+pub struct StagingPipeline {
+    /// Total tensor bytes to stage.
+    pub tensor_bytes: u64,
+    /// Chunk size (the paper uses 4 MB).
+    pub chunk_bytes: u64,
+    /// PCIe effective copy rate, bytes/second.
+    pub pcie_rate: f64,
+    /// Fixed per-chunk cost (cudaMemcpyAsync launch + event sync),
+    /// seconds.
+    pub per_chunk_overhead: f64,
+}
+
+impl StagingPipeline {
+    /// A PCIe gen3 x16 profile with the paper's 4 MB chunks.
+    pub fn pcie_gen3(tensor_bytes: u64) -> Self {
+        StagingPipeline {
+            tensor_bytes,
+            chunk_bytes: 4_000_000,
+            pcie_rate: 16e9,
+            per_chunk_overhead: 20e-6,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn chunks(&self) -> u64 {
+        self.tensor_bytes.div_ceil(self.chunk_bytes.max(1))
+    }
+
+    /// Time at which chunk `i` (0-based) is fully staged in host memory.
+    pub fn chunk_ready(&self, i: u64) -> f64 {
+        debug_assert!(i < self.chunks());
+        let copied = ((i + 1) * self.chunk_bytes).min(self.tensor_bytes) as f64;
+        copied / self.pcie_rate + (i + 1) as f64 * self.per_chunk_overhead
+    }
+
+    /// Time at which the byte at `offset` becomes sendable.
+    pub fn byte_ready(&self, offset: u64) -> f64 {
+        debug_assert!(offset < self.tensor_bytes);
+        self.chunk_ready(offset / self.chunk_bytes.max(1))
+    }
+
+    /// Completion time of transmitting `wire_bytes` (spread uniformly
+    /// over the tensor) at `net_rate` bytes/second, with sends gated on
+    /// chunk availability.
+    ///
+    /// The NIC drains staged-and-unsent data at `net_rate`; whenever it
+    /// catches up with the staging frontier it stalls until the next
+    /// chunk lands. Returns the finish time of the last byte.
+    pub fn overlapped_send_time(&self, wire_bytes: u64, net_rate: f64) -> f64 {
+        let chunks = self.chunks();
+        if chunks == 0 || wire_bytes == 0 {
+            return 0.0;
+        }
+        // Wire bytes attributable to each chunk (uniform sparsity).
+        let per_chunk_wire = wire_bytes as f64 / chunks as f64;
+        let mut t = 0.0f64;
+        for i in 0..chunks {
+            // Cannot start sending chunk i's data before it is staged.
+            t = t.max(self.chunk_ready(i));
+            t += per_chunk_wire / net_rate;
+        }
+        t
+    }
+
+    /// Lower bound: perfect overlap of copy and network
+    /// (`max(total_copy, total_send)`).
+    pub fn ideal_time(&self, wire_bytes: u64, net_rate: f64) -> f64 {
+        let copy = self.tensor_bytes as f64 / self.pcie_rate
+            + self.chunks() as f64 * self.per_chunk_overhead;
+        let send = wire_bytes as f64 / net_rate;
+        copy.max(send)
+    }
+
+    /// Upper bound: no overlap (copy everything, then send).
+    pub fn serial_time(&self, wire_bytes: u64, net_rate: f64) -> f64 {
+        let copy = self.tensor_bytes as f64 / self.pcie_rate
+            + self.chunks() as f64 * self.per_chunk_overhead;
+        copy + wire_bytes as f64 / net_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipe(chunk_mb: u64) -> StagingPipeline {
+        StagingPipeline {
+            tensor_bytes: 100_000_000,
+            chunk_bytes: chunk_mb * 1_000_000,
+            pcie_rate: 16e9,
+            per_chunk_overhead: 20e-6,
+        }
+    }
+
+    #[test]
+    fn chunk_schedule_is_monotone() {
+        let p = pipe(4);
+        let mut prev = 0.0;
+        for i in 0..p.chunks() {
+            let r = p.chunk_ready(i);
+            assert!(r > prev);
+            prev = r;
+        }
+        // Last chunk ready ≈ full copy time + per-chunk overheads.
+        let full = 100e6 / 16e9 + p.chunks() as f64 * 20e-6;
+        assert!((p.chunk_ready(p.chunks() - 1) - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_ready_maps_to_owning_chunk() {
+        let p = pipe(4);
+        assert_eq!(p.byte_ready(0), p.chunk_ready(0));
+        assert_eq!(p.byte_ready(3_999_999), p.chunk_ready(0));
+        assert_eq!(p.byte_ready(4_000_000), p.chunk_ready(1));
+    }
+
+    #[test]
+    fn overlapped_between_ideal_and_serial() {
+        let p = pipe(4);
+        for wire in [100_000_000u64, 10_000_000, 1_000_000] {
+            for rate in [1.25e9, 12.5e9] {
+                let o = p.overlapped_send_time(wire, rate);
+                let lo = p.ideal_time(wire, rate);
+                let hi = p.serial_time(wire, rate);
+                assert!(o >= lo - 1e-9 && o <= hi + 1e-9, "wire {wire} rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn network_bound_case_overlaps_almost_fully() {
+        // 10 Gbps network, dense send: the slow network hides the copy.
+        let p = pipe(4);
+        let o = p.overlapped_send_time(100_000_000, 1.25e9);
+        let ideal = p.ideal_time(100_000_000, 1.25e9);
+        assert!((o - ideal) / ideal < 0.01, "o {o} ideal {ideal}");
+    }
+
+    #[test]
+    fn copy_bound_case_hits_copy_floor() {
+        // 100 Gbps + sparse send: the copy is the floor (§6.1.1's RDMA
+        // saturation).
+        let p = pipe(4);
+        let o = p.overlapped_send_time(5_000_000, 12.5e9);
+        let copy = 100e6 / 16e9;
+        assert!(o >= copy, "o {o} below copy floor {copy}");
+        assert!(o < copy * 1.2);
+    }
+
+    #[test]
+    fn tiny_chunks_pay_overhead_big_chunks_pay_fill() {
+        // Sweep: per-chunk overhead hurts at 64 KB; at one giant chunk
+        // there is no overlap at all. A middle size wins.
+        let time = |chunk_mb_frac: f64| {
+            let p = StagingPipeline {
+                tensor_bytes: 100_000_000,
+                chunk_bytes: (chunk_mb_frac * 1e6) as u64,
+                pcie_rate: 16e9,
+                per_chunk_overhead: 20e-6,
+            };
+            p.overlapped_send_time(100_000_000, 12.5e9)
+        };
+        let tiny = time(0.064);
+        let mid = time(4.0);
+        let huge = time(100.0);
+        assert!(mid < tiny, "4 MB {mid} should beat 64 KB {tiny}");
+        assert!(mid < huge, "4 MB {mid} should beat one-shot {huge}");
+    }
+}

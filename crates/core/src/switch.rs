@@ -1,0 +1,384 @@
+//! In-network aggregation under programmable-switch constraints (§7).
+//!
+//! The paper offloads the aggregator to a Barefoot Tofino switch (Fig. 18)
+//! and notes the offload "inherits some of the limitations described by
+//! Sapio et al. (SwitchML) in terms of numeric representation and slot
+//! size". This module models those constraints so the same protocol can be
+//! exercised under them:
+//!
+//! * **Fixed-point arithmetic** — Tofino ALUs sum 32-bit integers, not
+//!   floats. [`FixedPoint`] quantizes `f32` block values to `i32` with a
+//!   shared scaling exponent and saturating accumulation, exactly the
+//!   SwitchML numeric model.
+//! * **Bounded slot memory** — switch register memory holds a fixed pool
+//!   of slots; [`SwitchAggregator`] enforces the pool bound at
+//!   construction (geometry that needs more concurrent slots than the
+//!   switch has is rejected up front).
+//! * **Small payloads** — a Tofino pipeline processes ~34 32-bit values
+//!   per packet per pass ([`TOFINO_MAX_BLOCK`]); larger blocks must be
+//!   recirculated. The aggregator accepts bigger blocks but reports the
+//!   recirculation factor so the timing model can charge for it.
+//!
+//! [`SwitchAggregator`] is a drop-in replacement for
+//! [`crate::aggregator::OmniAggregator`] over any reliable transport: same
+//! wire protocol, switch-constrained internals. Results it produces are
+//! quantized, so they differ from the float sum by at most the
+//! quantization step times the worker count.
+
+use omnireduce_tensor::{BlockIdx, INFINITY_BLOCK};
+use omnireduce_transport::{
+    Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
+
+use crate::config::OmniConfig;
+use crate::layout::StreamLayout;
+use crate::wire::{decode_next, encode_next};
+
+/// Values a Tofino-class pipeline can aggregate per packet per pass
+/// (the paper's Fig. 18 runs the P4 aggregator with block size 34).
+pub const TOFINO_MAX_BLOCK: usize = 34;
+
+/// Default register-memory slot pool of the modelled switch.
+pub const DEFAULT_SWITCH_POOL: usize = 512;
+
+/// SwitchML-style fixed-point codec: `f32 ↔ i32` with a power-of-two
+/// scaling factor and saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPoint {
+    /// Fractional bits: value `x` is stored as `round(x · 2^frac_bits)`.
+    pub frac_bits: u32,
+}
+
+impl Default for FixedPoint {
+    fn default() -> Self {
+        // 2^20 scaling: ±2047 representable range, ~1e-6 resolution —
+        // ample for unit-scale gradients.
+        FixedPoint { frac_bits: 20 }
+    }
+}
+
+impl FixedPoint {
+    /// Creates a codec with the given fractional bits (≤ 30).
+    pub fn new(frac_bits: u32) -> Self {
+        assert!(frac_bits <= 30, "frac_bits too large");
+        FixedPoint { frac_bits }
+    }
+
+    /// Quantizes a float to fixed point, saturating at the i32 range.
+    pub fn quantize(&self, x: f32) -> i32 {
+        let scaled = (x as f64) * (1u64 << self.frac_bits) as f64;
+        scaled.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32
+    }
+
+    /// Dequantizes back to float.
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q as f64 / (1u64 << self.frac_bits) as f64) as f32
+    }
+
+    /// Saturating fixed-point add — the switch ALU operation.
+    pub fn add(&self, a: i32, b: i32) -> i32 {
+        a.saturating_add(b)
+    }
+
+    /// Worst-case absolute quantization error of a single value.
+    pub fn step(&self) -> f32 {
+        1.0 / (1u64 << self.frac_bits) as f32
+    }
+}
+
+const NEG_INFINITY: i64 = -1;
+
+struct ColSlot {
+    cur: BlockIdx,
+    acc: Vec<i32>,
+    touched: bool,
+    next_of: Vec<i64>,
+}
+
+impl ColSlot {
+    fn new(first: BlockIdx, n: usize) -> Self {
+        ColSlot {
+            cur: first,
+            acc: Vec::new(),
+            touched: false,
+            next_of: vec![NEG_INFINITY; n],
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.cur != INFINITY_BLOCK
+    }
+
+    fn min_next(&self) -> Option<BlockIdx> {
+        let mut min = i64::MAX;
+        for n in &self.next_of {
+            if *n == NEG_INFINITY {
+                return None;
+            }
+            min = min.min(*n);
+        }
+        Some(min as BlockIdx)
+    }
+
+    fn complete(&self) -> bool {
+        matches!(self.min_next(), Some(m) if (self.cur as i64) < m as i64)
+    }
+}
+
+struct Slot {
+    cols: Vec<Option<ColSlot>>,
+}
+
+/// Statistics of the modelled switch data plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Pipeline passes, counting recirculation for blocks larger than
+    /// [`TOFINO_MAX_BLOCK`].
+    pub pipeline_passes: u64,
+    /// Values that saturated during accumulation.
+    pub saturations: u64,
+    /// Result multicasts.
+    pub results_sent: u64,
+}
+
+/// An aggregator with Tofino-like constraints: fixed-point slots drawn
+/// from a bounded pool. Protocol-compatible with
+/// [`crate::worker::OmniWorker`].
+pub struct SwitchAggregator<T: Transport> {
+    transport: T,
+    cfg: OmniConfig,
+    layout: StreamLayout,
+    fp: FixedPoint,
+    slots: Vec<Option<Slot>>,
+    /// Workers that sent `Shutdown` (finished; excluded from multicasts).
+    departed: Vec<bool>,
+    goodbyes: usize,
+    /// Data-plane counters.
+    pub stats: SwitchStats,
+}
+
+impl<T: Transport> SwitchAggregator<T> {
+    /// Creates the switch aggregator with the given fixed-point codec and
+    /// slot pool capacity.
+    ///
+    /// # Panics
+    /// Panics when the geometry needs more concurrent slots than
+    /// `pool_slots` — the register-memory bound of the switch. Each
+    /// stream consumes `fusion` column slots.
+    pub fn new(transport: T, cfg: OmniConfig, fp: FixedPoint, pool_slots: usize) -> Self {
+        cfg.validate();
+        let node = transport.local_id().0 as usize;
+        assert!(
+            node >= cfg.num_workers && node < cfg.mesh_size(),
+            "node {node} is not an aggregator"
+        );
+        let shard = node - cfg.num_workers;
+        let layout = StreamLayout::new(
+            cfg.block_spec(),
+            cfg.fusion,
+            cfg.total_streams(),
+            cfg.tensor_len,
+        );
+        let owned_streams = (0..layout.total_streams())
+            .filter(|g| cfg.shard_of_stream(*g) == shard)
+            .count();
+        let needed = owned_streams * cfg.fusion;
+        assert!(
+            needed <= pool_slots,
+            "geometry needs {needed} slots but the switch pool holds {pool_slots}"
+        );
+        let slots = (0..layout.total_streams())
+            .map(|g| {
+                (cfg.shard_of_stream(g) == shard).then(|| Slot {
+                    cols: (0..layout.width())
+                        .map(|c| {
+                            layout
+                                .first_block(g, c)
+                                .map(|b0| ColSlot::new(b0, cfg.num_workers))
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        let departed = vec![false; cfg.num_workers];
+        SwitchAggregator {
+            transport,
+            cfg,
+            layout,
+            fp,
+            slots,
+            departed,
+            goodbyes: 0,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Serves the group until every worker says `Shutdown`.
+    pub fn run(&mut self) -> Result<(), TransportError> {
+        loop {
+            let (from, msg) = self.transport.recv()?;
+            match msg {
+                Message::Block(p) if p.kind == PacketKind::Data => self.handle(p)?,
+                Message::Shutdown => {
+                    if !self.departed[from.index()] {
+                        self.departed[from.index()] = true;
+                        self.goodbyes += 1;
+                    }
+                    if self.goodbyes == self.cfg.num_workers {
+                        return Ok(());
+                    }
+                }
+                other => panic!("switch: unexpected {:?}", other.tag()),
+            }
+        }
+    }
+
+    fn handle(&mut self, p: Packet) -> Result<(), TransportError> {
+        let g = p.stream as usize;
+        let width = self.layout.width();
+        self.stats.packets += 1;
+        let fp = self.fp;
+        let slot = self.slots[g].as_mut().expect("stream not owned");
+        for entry in &p.entries {
+            let (col, next) = decode_next(entry.next, width);
+            let cs = slot.cols[col].as_mut().expect("invalid column");
+            if !entry.data.is_empty() {
+                debug_assert_eq!(entry.block, cs.cur);
+                self.stats.pipeline_passes +=
+                    entry.data.len().div_ceil(TOFINO_MAX_BLOCK) as u64;
+                if !cs.touched {
+                    cs.acc.clear();
+                    cs.acc.extend(entry.data.iter().map(|v| fp.quantize(*v)));
+                    cs.touched = true;
+                } else {
+                    for (a, v) in cs.acc.iter_mut().zip(&entry.data) {
+                        let q = fp.quantize(*v);
+                        let sum = fp.add(*a, q);
+                        if sum == i32::MAX || sum == i32::MIN {
+                            self.stats.saturations += 1;
+                        }
+                        *a = sum;
+                    }
+                }
+            }
+            cs.next_of[p.wid as usize] = if next == INFINITY_BLOCK {
+                INFINITY_BLOCK as i64
+            } else {
+                next as i64
+            };
+        }
+        self.check_completion(g)
+    }
+
+    fn check_completion(&mut self, g: usize) -> Result<(), TransportError> {
+        let width = self.layout.width();
+        let fp = self.fp;
+        let slot = self.slots[g].as_mut().expect("owned stream");
+        let any_active = slot.cols.iter().flatten().any(|c| c.active());
+        let all_complete = slot
+            .cols
+            .iter()
+            .flatten()
+            .filter(|c| c.active())
+            .all(|c| c.complete());
+        if !any_active || !all_complete {
+            return Ok(());
+        }
+        let mut entries = Vec::new();
+        let mut all_done = true;
+        for (col, cs) in slot.cols.iter_mut().enumerate() {
+            let Some(cs) = cs else { continue };
+            if !cs.active() {
+                continue;
+            }
+            let min_next = cs.min_next().expect("complete implies announced");
+            let data: Vec<f32> = cs.acc.iter().map(|q| fp.dequantize(*q)).collect();
+            entries.push(Entry::data(cs.cur, encode_next(min_next, col, width), data));
+            cs.acc.clear();
+            cs.touched = false;
+            cs.cur = min_next;
+            if min_next != INFINITY_BLOCK {
+                all_done = false;
+            }
+        }
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Result,
+            ver: 0,
+            stream: g as u16,
+            wid: u16::MAX,
+            entries,
+        });
+        let workers: Vec<NodeId> = (0..self.cfg.num_workers)
+            .filter(|w| !self.departed[*w])
+            .map(|w| NodeId(self.cfg.worker_node(w)))
+            .collect();
+        self.stats.results_sent += 1;
+        for w in &workers {
+            crate::wire::send_best_effort(&self.transport, *w, &msg)?;
+        }
+        if all_done {
+            let layout = self.layout;
+            let n = self.cfg.num_workers;
+            let slot = self.slots[g].as_mut().expect("owned stream");
+            for (c, cs) in slot.cols.iter_mut().enumerate() {
+                if let Some(cs) = cs {
+                    *cs = ColSlot::new(layout.first_block(g, c).expect("valid"), n);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_within_step() {
+        let fp = FixedPoint::default();
+        for x in [0.0f32, 1.0, -1.0, 0.123456, -987.654, 1e-5] {
+            let q = fp.quantize(x);
+            let back = fp.dequantize(q);
+            assert!((back - x).abs() <= fp.step(), "{x} → {back}");
+        }
+    }
+
+    #[test]
+    fn quantize_saturates_at_range() {
+        let fp = FixedPoint::new(20);
+        let max_repr = fp.dequantize(i32::MAX);
+        assert_eq!(fp.quantize(1e10), i32::MAX);
+        assert_eq!(fp.quantize(-1e10), i32::MIN);
+        assert!(max_repr > 2000.0);
+    }
+
+    #[test]
+    fn fixed_add_saturates() {
+        let fp = FixedPoint::new(0);
+        assert_eq!(fp.add(i32::MAX, 1), i32::MAX);
+        assert_eq!(fp.add(i32::MIN, -1), i32::MIN);
+        assert_eq!(fp.add(3, 4), 7);
+    }
+
+    #[test]
+    fn step_is_inverse_power_of_two() {
+        assert_eq!(FixedPoint::new(2).step(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "switch pool")]
+    fn pool_bound_is_enforced() {
+        use omnireduce_transport::{ChannelNetwork, NodeId};
+        let cfg = OmniConfig::new(2, 1 << 16)
+            .with_block_size(32)
+            .with_fusion(8)
+            .with_streams(64);
+        let mut net = ChannelNetwork::new(cfg.mesh_size());
+        let t = net.endpoint(NodeId(cfg.aggregator_node(0)));
+        // 64 streams × 8 columns = 512 slots > 256.
+        let _ = SwitchAggregator::new(t, cfg, FixedPoint::default(), 256);
+    }
+}

@@ -1,0 +1,140 @@
+//! Test and example support: spin up a full OmniReduce group in-process.
+//!
+//! Spawns one thread per worker and per aggregator shard over an
+//! in-process channel mesh (or any transport the caller provides),
+//! runs one or more AllReduce rounds, and returns every worker's
+//! resulting tensor plus traffic statistics. Used by unit, property and
+//! integration tests, and by the quickstart example.
+
+use std::thread;
+
+use omnireduce_tensor::Tensor;
+use omnireduce_transport::{ChannelNetwork, NodeId, Transport};
+
+use crate::aggregator::OmniAggregator;
+use crate::config::OmniConfig;
+use crate::recovery::{RecoveryAggregator, RecoveryWorker};
+use crate::worker::{OmniWorker, WorkerStats};
+
+/// Result of [`run_group`]: per-worker output tensors (one per round) and
+/// traffic stats.
+pub struct GroupResult {
+    /// `outputs[w][r]` = worker `w`'s tensor after round `r`.
+    pub outputs: Vec<Vec<Tensor>>,
+    /// Per-worker traffic counters.
+    pub stats: Vec<WorkerStats>,
+}
+
+/// Runs `rounds` AllReduce rounds over the lossless engine, one thread
+/// per node, with `inputs[w][r]` as worker `w`'s input for round `r`.
+///
+/// # Panics
+/// Panics when shapes don't match the config or a thread fails.
+pub fn run_group(cfg: &OmniConfig, inputs: Vec<Vec<Tensor>>) -> GroupResult {
+    assert_eq!(inputs.len(), cfg.num_workers, "one input set per worker");
+    let rounds = inputs[0].len();
+    for i in &inputs {
+        assert_eq!(i.len(), rounds, "same round count per worker");
+    }
+    let mut net = ChannelNetwork::new(cfg.mesh_size());
+
+    let mut agg_handles = Vec::new();
+    for a in 0..cfg.num_aggregators {
+        let t = net.endpoint(NodeId(cfg.aggregator_node(a)));
+        let cfg = cfg.clone();
+        agg_handles.push(thread::spawn(move || {
+            let mut agg = OmniAggregator::new(t, cfg);
+            agg.run().expect("aggregator failed");
+        }));
+    }
+
+    let mut worker_handles = Vec::new();
+    for (w, tensors) in inputs.into_iter().enumerate() {
+        let t = net.endpoint(NodeId(cfg.worker_node(w)));
+        let cfg = cfg.clone();
+        worker_handles.push(thread::spawn(move || {
+            let mut worker = OmniWorker::new(t, cfg);
+            let mut outs = Vec::with_capacity(tensors.len());
+            for mut tensor in tensors {
+                worker.allreduce(&mut tensor).expect("allreduce failed");
+                outs.push(tensor);
+            }
+            let stats = worker.stats();
+            worker.shutdown().expect("shutdown failed");
+            (outs, stats)
+        }));
+    }
+
+    let mut outputs = Vec::new();
+    let mut stats = Vec::new();
+    for h in worker_handles {
+        let (o, s) = h.join().expect("worker thread panicked");
+        outputs.push(o);
+        stats.push(s);
+    }
+    for h in agg_handles {
+        h.join().expect("aggregator thread panicked");
+    }
+    GroupResult { outputs, stats }
+}
+
+/// Result of [`run_recovery_group`].
+pub struct RecoveryGroupResult {
+    /// `outputs[w][r]` = worker `w`'s tensor after round `r`.
+    pub outputs: Vec<Vec<Tensor>>,
+    /// Per-worker traffic counters, including retransmissions.
+    pub stats: Vec<crate::recovery::RecoveryStats>,
+}
+
+/// Like [`run_group`] but over the Algorithm 2 loss-recovery engine and a
+/// caller-supplied transport mesh (typically a
+/// [`omnireduce_transport::LossyNetwork`]). `endpoints` must be indexed by
+/// node id (workers first, shards after).
+pub fn run_recovery_group<T: Transport + 'static>(
+    cfg: &OmniConfig,
+    endpoints: Vec<T>,
+    inputs: Vec<Vec<Tensor>>,
+) -> RecoveryGroupResult {
+    assert_eq!(endpoints.len(), cfg.mesh_size());
+    assert_eq!(inputs.len(), cfg.num_workers);
+    let mut endpoints: Vec<Option<T>> = endpoints.into_iter().map(Some).collect();
+
+    let mut agg_handles = Vec::new();
+    for a in 0..cfg.num_aggregators {
+        let t = endpoints[cfg.aggregator_node(a) as usize].take().unwrap();
+        let cfg = cfg.clone();
+        agg_handles.push(thread::spawn(move || {
+            let mut agg = RecoveryAggregator::new(t, cfg);
+            agg.run().expect("aggregator failed");
+        }));
+    }
+
+    let mut worker_handles = Vec::new();
+    for (w, tensors) in inputs.into_iter().enumerate() {
+        let t = endpoints[cfg.worker_node(w) as usize].take().unwrap();
+        let cfg = cfg.clone();
+        worker_handles.push(thread::spawn(move || {
+            let mut worker = RecoveryWorker::new(t, cfg);
+            let mut outs = Vec::with_capacity(tensors.len());
+            for mut tensor in tensors {
+                worker.allreduce(&mut tensor).expect("allreduce failed");
+                outs.push(tensor);
+            }
+            let stats = worker.stats();
+            worker.shutdown().expect("shutdown failed");
+            (outs, stats)
+        }));
+    }
+
+    let mut outputs = Vec::new();
+    let mut stats = Vec::new();
+    for h in worker_handles {
+        let (o, s) = h.join().expect("worker thread panicked");
+        outputs.push(o);
+        stats.push(s);
+    }
+    for h in agg_handles {
+        h.join().expect("aggregator thread panicked");
+    }
+    RecoveryGroupResult { outputs, stats }
+}

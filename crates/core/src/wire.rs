@@ -1,0 +1,67 @@
+//! Helpers bridging the fusion-layout `next` encoding and wire entries.
+
+use omnireduce_tensor::fusion::FusedNext;
+use omnireduce_tensor::{BlockIdx, INFINITY_BLOCK};
+
+/// Encodes a next-block value for `col` into the wire representation
+/// (per-column infinities for the ∞ sentinel, paper §3.2 footnote 3).
+pub fn encode_next(next: BlockIdx, col: usize, width: usize) -> u32 {
+    if next == INFINITY_BLOCK {
+        FusedNext::infinity(col, width).raw()
+    } else {
+        debug_assert_eq!(
+            next as usize % width,
+            col,
+            "next block {next} not in column {col}"
+        );
+        FusedNext::finite(next, width).raw()
+    }
+}
+
+/// Decodes a wire `next` value into `(column, next)` where `next` is
+/// [`INFINITY_BLOCK`] for the per-column sentinel.
+pub fn decode_next(raw: u32, width: usize) -> (usize, BlockIdx) {
+    FusedNext(raw).decode(width)
+}
+
+use omnireduce_transport::{Message, NodeId, Transport, TransportError};
+
+/// Sends a result toward a worker, treating a disconnected peer as
+/// delivered-nowhere: a worker that already finished and left no longer
+/// needs results, and on a real network the packet would simply be
+/// dropped on the floor. All other errors still surface.
+pub(crate) fn send_best_effort<T: Transport>(
+    transport: &T,
+    peer: NodeId,
+    msg: &Message,
+) -> Result<(), TransportError> {
+    match transport.send(peer, msg) {
+        Err(TransportError::Disconnected) => Ok(()),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_finite_and_infinite() {
+        let w = 4;
+        for (next, col) in [(0u32, 0usize), (5, 1), (14, 2), (7, 3)] {
+            let raw = encode_next(next, col, w);
+            assert_eq!(decode_next(raw, w), (col, next));
+        }
+        for col in 0..w {
+            let raw = encode_next(INFINITY_BLOCK, col, w);
+            assert_eq!(decode_next(raw, w), (col, INFINITY_BLOCK));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not in column")]
+    fn wrong_column_is_caught() {
+        let _ = encode_next(5, 0, 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! The OmniReduce worker engine for reliable transports (Algorithm 1 with
+//! Block Fusion and parallel streams).
+//!
+//! One `allreduce` call runs the full protocol for one tensor:
+//!
+//! 1. build the non-zero block bitmap (the paper does this on the GPU,
+//!    Appendix B.1);
+//! 2. for every stream it owns data in, send the stream's first row of
+//!    blocks unconditionally, each entry carrying this worker's next
+//!    non-zero block in that column;
+//! 3. loop: on each result packet, store the aggregated blocks into the
+//!    local tensor, and for every column whose newly requested block
+//!    matches this worker's next non-zero block, send it (with the
+//!    subsequent next); a stream finishes when every column's request
+//!    is ∞.
+//!
+//! All streams are outstanding concurrently — that is the fine-grained
+//! pipelining of §3.1.1; a single protocol thread multiplexes them off
+//! one receive queue.
+
+use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
+use omnireduce_transport::{
+    codec, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
+
+use crate::config::OmniConfig;
+use crate::layout::StreamLayout;
+use crate::wire::{decode_next, encode_next};
+
+/// Traffic counters for one worker, used by tests and by the Table 1
+/// "OmniReduce communication volume" reproduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Data packets sent to aggregators.
+    pub packets_sent: u64,
+    /// Wire bytes sent (codec-encoded sizes).
+    pub bytes_sent: u64,
+    /// Blocks transmitted (data entries).
+    pub blocks_sent: u64,
+    /// Result packets received.
+    pub results_received: u64,
+}
+
+/// Per-column protocol state within one stream.
+struct ColState {
+    /// This worker's next untransmitted non-zero block in the column.
+    my_next: BlockIdx,
+    /// The column finished (aggregator requested ∞).
+    done: bool,
+}
+
+/// Per-stream protocol state.
+struct StreamState {
+    cols: Vec<Option<ColState>>, // None for invalid (past-end) columns
+    remaining: usize,            // active columns not yet done
+}
+
+/// The worker engine. Generic over the transport, so the same code runs
+/// over in-process channels, TCP sockets, or tests' mocks.
+pub struct OmniWorker<T: Transport> {
+    transport: T,
+    cfg: OmniConfig,
+    layout: StreamLayout,
+    wid: u16,
+    stats: WorkerStats,
+}
+
+impl<T: Transport> OmniWorker<T> {
+    /// Creates the engine for worker `wid` (must equal the transport's
+    /// node id).
+    pub fn new(transport: T, cfg: OmniConfig) -> Self {
+        cfg.validate();
+        let wid = transport.local_id().0;
+        assert!(
+            (wid as usize) < cfg.num_workers,
+            "transport node {wid} is not a worker"
+        );
+        let layout = StreamLayout::new(
+            cfg.block_spec(),
+            cfg.fusion,
+            cfg.total_streams(),
+            cfg.tensor_len,
+        );
+        OmniWorker {
+            transport,
+            cfg,
+            layout,
+            wid,
+            stats: WorkerStats::default(),
+        }
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> WorkerStats {
+        self.stats
+    }
+
+    /// This worker's id.
+    pub fn wid(&self) -> u16 {
+        self.wid
+    }
+
+    /// Runs one AllReduce: on return, `tensor` holds the element-wise sum
+    /// across all workers.
+    pub fn allreduce(&mut self, tensor: &mut Tensor) -> Result<(), TransportError> {
+        assert_eq!(
+            tensor.len(),
+            self.cfg.tensor_len,
+            "tensor length does not match group config"
+        );
+        let bitmap = NonZeroBitmap::build(tensor, self.cfg.block_spec());
+        let skip = self.cfg.skip_zero_blocks;
+        let layout = self.layout;
+
+        // Initialize stream states and send first-row packets.
+        let mut streams: Vec<Option<StreamState>> =
+            (0..layout.total_streams()).map(|_| None).collect();
+        let mut pending = 0usize;
+        for g in layout.active_streams() {
+            let mut cols: Vec<Option<ColState>> = Vec::with_capacity(layout.width());
+            let mut entries = Vec::new();
+            let mut remaining = 0usize;
+            for c in 0..layout.width() {
+                match layout.first_block(g, c) {
+                    Some(b0) => {
+                        let my_next = layout.next_block(&bitmap, g, c, Some(b0), skip);
+                        entries.push(Entry::data(
+                            b0,
+                            encode_next(my_next, c, layout.width()),
+                            tensor[layout.block_range(b0)].to_vec(),
+                        ));
+                        cols.push(Some(ColState {
+                            my_next,
+                            done: false,
+                        }));
+                        remaining += 1;
+                    }
+                    None => cols.push(None),
+                }
+            }
+            self.send_data(g, entries)?;
+            streams[g] = Some(StreamState { cols, remaining });
+            pending += 1;
+        }
+
+        // Main loop: process results until every stream completes.
+        while pending > 0 {
+            let (_, msg) = self.transport.recv()?;
+            let packet = match msg {
+                Message::Block(p) if p.kind == PacketKind::Result => p,
+                other => panic!("worker: unexpected message {:?}", other.tag()),
+            };
+            self.stats.results_received += 1;
+            let g = packet.stream as usize;
+            let state = streams[g].as_mut().expect("result for unknown stream");
+            let mut reply = Vec::new();
+            for entry in &packet.entries {
+                let (col, requested) = decode_next(entry.next, layout.width());
+                // Store the aggregated block.
+                if !entry.data.is_empty() {
+                    tensor.copy_slice_at(layout.block_range(entry.block).start, &entry.data);
+                }
+                let cs = state.cols[col]
+                    .as_mut()
+                    .expect("result entry for invalid column");
+                if cs.done {
+                    continue;
+                }
+                if requested == INFINITY_BLOCK {
+                    cs.done = true;
+                    state.remaining -= 1;
+                    continue;
+                }
+                if cs.my_next == requested {
+                    let new_next = layout.next_block(&bitmap, g, col, Some(requested), skip);
+                    reply.push(Entry::data(
+                        requested,
+                        encode_next(new_next, col, layout.width()),
+                        tensor[layout.block_range(requested)].to_vec(),
+                    ));
+                    cs.my_next = new_next;
+                }
+                // requested < my_next: another worker owns it; stay silent
+                // (Algorithm 1 — the aggregator already has our next).
+            }
+            if !reply.is_empty() {
+                self.send_data(g, reply)?;
+            }
+            if state.remaining == 0 {
+                streams[g] = None;
+                pending -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn send_data(&mut self, stream: usize, entries: Vec<Entry>) -> Result<(), TransportError> {
+        let blocks = entries.iter().filter(|e| !e.is_ack()).count() as u64;
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: 0,
+            stream: stream as u16,
+            wid: self.wid,
+            entries,
+        });
+        self.stats.packets_sent += 1;
+        self.stats.blocks_sent += blocks;
+        self.stats.bytes_sent += codec::encoded_len(&msg) as u64;
+        let shard = self.cfg.shard_of_stream(stream);
+        self.transport
+            .send(NodeId(self.cfg.aggregator_node(shard)), &msg)
+    }
+
+    /// Tells every aggregator shard this worker is leaving; aggregators
+    /// exit once all workers have said goodbye.
+    pub fn shutdown(self) -> Result<(), TransportError> {
+        for a in 0..self.cfg.num_aggregators {
+            self.transport
+                .send(NodeId(self.cfg.aggregator_node(a)), &Message::Shutdown)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,190 @@
+//! Integration tests for the §7/§5 extensions: switch-constrained
+//! aggregation end-to-end, and hierarchical (multi-GPU) AllReduce with a
+//! real OmniReduce inter-server layer.
+
+use std::sync::Arc;
+use std::thread;
+
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::hierarchical::{hierarchical_allreduce, IntraNode};
+use omnireduce_core::switch::{FixedPoint, SwitchAggregator, DEFAULT_SWITCH_POOL};
+use omnireduce_core::worker::OmniWorker;
+use omnireduce_tensor::dense::reference_sum;
+use omnireduce_tensor::gen::{self, OverlapMode};
+use omnireduce_tensor::{BlockSpec, Tensor};
+use omnireduce_transport::{ChannelNetwork, NodeId};
+
+/// Full group with a switch aggregator instead of the server aggregator:
+/// the result must equal the float sum within quantization error.
+#[test]
+fn switch_aggregator_end_to_end() {
+    let cfg = OmniConfig::new(4, 2048)
+        .with_block_size(32)
+        .with_fusion(2)
+        .with_streams(4);
+    let fp = FixedPoint::default();
+    let inputs = gen::workers(
+        4,
+        2048,
+        BlockSpec::new(32),
+        0.6,
+        1.0,
+        OverlapMode::Random,
+        7,
+    );
+    let expect = reference_sum(&inputs);
+
+    let mut net = ChannelNetwork::new(cfg.mesh_size());
+    let agg_t = net.endpoint(NodeId(cfg.aggregator_node(0)));
+    let agg_cfg = cfg.clone();
+    let agg = thread::spawn(move || {
+        let mut sw = SwitchAggregator::new(agg_t, agg_cfg, fp, DEFAULT_SWITCH_POOL);
+        sw.run().unwrap();
+        sw.stats
+    });
+
+    let mut handles = Vec::new();
+    for (w, input) in inputs.into_iter().enumerate() {
+        let t = net.endpoint(NodeId(cfg.worker_node(w)));
+        let cfg = cfg.clone();
+        handles.push(thread::spawn(move || {
+            let mut worker = OmniWorker::new(t, cfg);
+            let mut tensor = input;
+            worker.allreduce(&mut tensor).unwrap();
+            worker.shutdown().unwrap();
+            tensor
+        }));
+    }
+    let outs: Vec<Tensor> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let stats = agg.join().unwrap();
+
+    // Quantization error bound: N workers × one step per value.
+    let tol = fp.step() * 4.0 + 1e-5;
+    for o in &outs {
+        assert!(
+            o.approx_eq(&expect, tol),
+            "switch result off by {}",
+            o.max_abs_diff(&expect)
+        );
+    }
+    assert!(stats.packets > 0);
+    assert_eq!(stats.saturations, 0, "unit-scale data must not saturate");
+    assert!(stats.pipeline_passes > 0);
+}
+
+/// Big blocks require recirculation: pipeline passes exceed data entries.
+#[test]
+fn switch_recirculates_large_blocks() {
+    let cfg = OmniConfig::new(2, 512)
+        .with_block_size(256) // 256 > 34 → 8 passes per block
+        .with_fusion(1)
+        .with_streams(1);
+    let fp = FixedPoint::default();
+    let inputs = vec![
+        Tensor::from_vec((0..512).map(|i| i as f32 * 1e-3).collect()),
+        Tensor::from_vec((0..512).map(|i| 1.0 - i as f32 * 1e-3).collect()),
+    ];
+    let expect = reference_sum(&inputs);
+
+    let mut net = ChannelNetwork::new(cfg.mesh_size());
+    let agg_t = net.endpoint(NodeId(cfg.aggregator_node(0)));
+    let agg_cfg = cfg.clone();
+    let agg = thread::spawn(move || {
+        let mut sw = SwitchAggregator::new(agg_t, agg_cfg, fp, DEFAULT_SWITCH_POOL);
+        sw.run().unwrap();
+        sw.stats
+    });
+    let mut handles = Vec::new();
+    for (w, input) in inputs.into_iter().enumerate() {
+        let t = net.endpoint(NodeId(cfg.worker_node(w)));
+        let cfg = cfg.clone();
+        handles.push(thread::spawn(move || {
+            let mut worker = OmniWorker::new(t, cfg);
+            let mut tensor = input;
+            worker.allreduce(&mut tensor).unwrap();
+            worker.shutdown().unwrap();
+            tensor
+        }));
+    }
+    let outs: Vec<Tensor> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let stats = agg.join().unwrap();
+    for o in &outs {
+        assert!(o.approx_eq(&expect, fp.step() * 2.0 + 1e-5));
+    }
+    // 256-value blocks need ceil(256/34) = 8 passes each.
+    assert!(stats.pipeline_passes >= 8 * 2, "passes {}", stats.pipeline_passes);
+}
+
+/// Two servers × three local "GPUs", full two-layer aggregation with an
+/// OmniReduce group between the server leaders.
+#[test]
+fn hierarchical_with_omnireduce_between_leaders() {
+    let servers = 2;
+    let gpus = 3;
+    let len = 1024;
+    let cfg = OmniConfig::new(servers, len)
+        .with_block_size(16)
+        .with_fusion(2)
+        .with_streams(2);
+
+    // Per-(server, gpu) inputs.
+    let inputs: Vec<Vec<Tensor>> = (0..servers)
+        .map(|s| {
+            gen::workers(
+                gpus,
+                len,
+                BlockSpec::new(16),
+                0.5,
+                1.0,
+                OverlapMode::Random,
+                (s * 100) as u64,
+            )
+        })
+        .collect();
+    let all: Vec<Tensor> = inputs.iter().flatten().cloned().collect();
+    let expect = reference_sum(&all);
+
+    let mut net = ChannelNetwork::new(cfg.mesh_size());
+    let agg_t = net.endpoint(NodeId(cfg.aggregator_node(0)));
+    let agg_cfg = cfg.clone();
+    let agg = thread::spawn(move || {
+        omnireduce_core::aggregator::OmniAggregator::new(agg_t, agg_cfg)
+            .run()
+            .unwrap();
+    });
+
+    let mut handles = Vec::new();
+    for (s, server_inputs) in inputs.into_iter().enumerate() {
+        let node = IntraNode::new(gpus);
+        let transport = Arc::new(parking_lot::Mutex::new(Some(
+            net.endpoint(NodeId(cfg.worker_node(s))),
+        )));
+        for (r, input) in server_inputs.into_iter().enumerate() {
+            let node = node.clone();
+            let cfg = cfg.clone();
+            let transport = transport.clone();
+            let expect = expect.clone();
+            handles.push(thread::spawn(move || {
+                let mut t = input;
+                hierarchical_allreduce(&node, r, &mut t, |sum| {
+                    // Leader runs the inter-server OmniReduce.
+                    let endpoint = transport.lock().take().expect("leader only");
+                    let mut worker = OmniWorker::new(endpoint, cfg.clone());
+                    let r = worker.allreduce(sum);
+                    worker.shutdown().unwrap();
+                    r
+                })
+                .unwrap();
+                assert!(
+                    t.approx_eq(&expect, 1e-4),
+                    "hierarchical result off by {}",
+                    t.max_abs_diff(&expect)
+                );
+            }));
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    agg.join().unwrap();
+}

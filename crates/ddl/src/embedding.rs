@@ -1,0 +1,330 @@
+//! A sparse-embedding classifier — the model family whose gradients
+//! motivate OmniReduce (paper §1, footnote 2: "updates to embedding
+//! weights are sparse as only a few embedding vectors from a huge
+//! dictionary are used in one batch, and only these vectors have
+//! non-zero gradients").
+//!
+//! Each example is a bag of categorical feature ids; the model embeds
+//! each id into `dim` dimensions, averages, and classifies with a linear
+//! head. The gradient of the embedding table is non-zero *only at the
+//! rows touched by the batch* — naturally block-sparse at row
+//! granularity, exactly the DeepLight/NCF structure. With a Zipfian id
+//! distribution the batch rows skew hot, reproducing the Table 2 overlap
+//! pattern across data-parallel workers.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use omnireduce_tensor::Tensor;
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// A categorical-features dataset: each example is `ids_per_example`
+/// feature ids drawn Zipf-ish from a vocabulary, plus a binary label.
+#[derive(Debug, Clone)]
+pub struct CategoricalDataset {
+    /// Vocabulary size (embedding rows).
+    pub vocab: usize,
+    /// Ids per example.
+    pub ids_per_example: usize,
+    /// Row-major ids, `n × ids_per_example`.
+    pub ids: Vec<u32>,
+    /// Labels in {0.0, 1.0}.
+    pub labels: Vec<f32>,
+}
+
+impl CategoricalDataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Ids of example `i`.
+    pub fn example(&self, i: usize) -> &[u32] {
+        &self.ids[i * self.ids_per_example..(i + 1) * self.ids_per_example]
+    }
+
+    /// Generates `n` examples. Ids are drawn with a skewed (approximately
+    /// Zipf) distribution; the label depends on a hidden subset of
+    /// "positive" ids, with `noise` label-flip probability.
+    pub fn synthetic(
+        n: usize,
+        vocab: usize,
+        ids_per_example: usize,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Hidden ground truth: each id carries a latent score.
+        let scores: Vec<f32> = (0..vocab).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut ids = Vec::with_capacity(n * ids_per_example);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut sum = 0.0f32;
+            for _ in 0..ids_per_example {
+                // Skewed draw: squaring a uniform pushes mass to low ids.
+                let u: f64 = rng.gen::<f64>();
+                let id = ((u * u) * vocab as f64) as usize % vocab;
+                ids.push(id as u32);
+                sum += scores[id];
+            }
+            let mut y = if sum > 0.0 { 1.0 } else { 0.0 };
+            if rng.gen_bool(noise) {
+                y = 1.0 - y;
+            }
+            labels.push(y);
+        }
+        CategoricalDataset {
+            vocab,
+            ids_per_example,
+            ids,
+            labels,
+        }
+    }
+}
+
+/// The embedding-bag classifier. Parameter layout (flat tensor):
+/// `vocab × dim` embedding table, then `dim` head weights, then 1 bias —
+/// so the embedding table occupies aligned runs of `dim` elements,
+/// matching the workload crate's row-run gradient model.
+#[derive(Debug, Clone)]
+pub struct EmbeddingClassifier {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension (the gradient run length).
+    pub dim: usize,
+}
+
+impl EmbeddingClassifier {
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.vocab * self.dim + self.dim + 1
+    }
+
+    /// Offset of embedding row `id`.
+    fn row(&self, id: u32) -> usize {
+        id as usize * self.dim
+    }
+
+    fn head(&self) -> std::ops::Range<usize> {
+        let s = self.vocab * self.dim;
+        s..s + self.dim
+    }
+
+    fn bias(&self) -> usize {
+        self.vocab * self.dim + self.dim
+    }
+
+    /// Deterministic initialization.
+    pub fn init_params(&self, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut t = Tensor::zeros(self.num_params());
+        let scale = (1.0 / self.dim as f32).sqrt();
+        for v in t.as_mut_slice() {
+            *v = rng.gen_range(-scale..scale);
+        }
+        t[self.bias()] = 0.0;
+        t
+    }
+
+    /// Predicted probability for one example.
+    pub fn predict(&self, params: &Tensor, ids: &[u32]) -> f32 {
+        let p = params.as_slice();
+        let head = &p[self.head()];
+        let mut pooled = vec![0.0f32; self.dim];
+        for id in ids {
+            let r = self.row(*id);
+            for (a, v) in pooled.iter_mut().zip(&p[r..r + self.dim]) {
+                *a += *v;
+            }
+        }
+        let inv = 1.0 / ids.len() as f32;
+        let z: f32 = pooled
+            .iter()
+            .zip(head)
+            .map(|(a, w)| a * inv * w)
+            .sum::<f32>()
+            + p[self.bias()];
+        sigmoid(z)
+    }
+
+    /// Mean BCE loss and gradient over a batch of examples. The returned
+    /// gradient is non-zero only at the embedding rows the batch touched
+    /// (plus the small dense head).
+    pub fn loss_grad(
+        &self,
+        params: &Tensor,
+        data: &CategoricalDataset,
+        batch: std::ops::Range<usize>,
+    ) -> (f64, Tensor) {
+        let p = params.as_slice();
+        let head_range = self.head();
+        let mut grad = Tensor::zeros(self.num_params());
+        let mut pooled = vec![0.0f32; self.dim];
+        let mut loss = 0.0f64;
+        let count = batch.len();
+        for i in batch {
+            let ids = data.example(i);
+            let inv = 1.0 / ids.len() as f32;
+            pooled.iter_mut().for_each(|v| *v = 0.0);
+            for id in ids {
+                let r = self.row(*id);
+                for (a, v) in pooled.iter_mut().zip(&p[r..r + self.dim]) {
+                    *a += *v;
+                }
+            }
+            let z: f32 = pooled
+                .iter()
+                .zip(&p[head_range.clone()])
+                .map(|(a, w)| a * inv * w)
+                .sum::<f32>()
+                + p[self.bias()];
+            let prob = sigmoid(z);
+            let y = data.labels[i];
+            let eps = 1e-7f32;
+            loss -= (y * (prob + eps).ln() + (1.0 - y) * (1.0 - prob + eps).ln()) as f64;
+            let err = prob - y;
+            // Head gradient.
+            let g = grad.as_mut_slice();
+            for (h, a) in head_range.clone().zip(pooled.iter()) {
+                g[h] += err * a * inv;
+            }
+            g[self.vocab * self.dim + self.dim] += err;
+            // Embedding rows: dL/d e_id = err · inv · head.
+            for id in ids {
+                let r = self.row(*id);
+                for (d, w) in (r..r + self.dim).zip(&p[head_range.clone()]) {
+                    g[d] += err * inv * w;
+                }
+            }
+        }
+        grad.scale(1.0 / count as f32);
+        (loss / count as f64, grad)
+    }
+
+    /// Classification accuracy over `data`.
+    pub fn accuracy(&self, params: &Tensor, data: &CategoricalDataset) -> f64 {
+        let correct = (0..data.len())
+            .filter(|i| {
+                (self.predict(params, data.example(*i)) > 0.5) == (data.labels[*i] == 1.0)
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_tensor::BlockSpec;
+
+    fn small() -> (EmbeddingClassifier, CategoricalDataset) {
+        let model = EmbeddingClassifier { vocab: 256, dim: 8 };
+        let data = CategoricalDataset::synthetic(1200, 256, 5, 0.02, 3);
+        (model, data)
+    }
+
+    #[test]
+    fn gradient_touches_only_batch_rows() {
+        let (model, data) = small();
+        let params = model.init_params(1);
+        let (_, grad) = model.loss_grad(&params, &data, 0..16);
+        // Collect ids in the batch.
+        let mut touched = vec![false; model.vocab];
+        for i in 0..16 {
+            for id in data.example(i) {
+                touched[*id as usize] = true;
+            }
+        }
+        for (row, was_touched) in touched.iter().enumerate() {
+            let r = row * model.dim..(row + 1) * model.dim;
+            let nz = grad.as_slice()[r].iter().any(|v| *v != 0.0);
+            if nz {
+                assert!(*was_touched, "row {row} has gradient but wasn't in batch");
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_gradient_is_row_block_sparse() {
+        let (model, data) = small();
+        let params = model.init_params(1);
+        let (_, grad) = model.loss_grad(&params, &data, 0..16);
+        // At most 16×5 distinct rows of 256 → ≥ ~69% row sparsity on the
+        // embedding part.
+        let emb_len = model.vocab * model.dim;
+        let emb = Tensor::from_vec(grad.as_slice()[..emb_len].to_vec());
+        let row_sparsity = BlockSpec::new(model.dim).block_sparsity(&emb);
+        assert!(row_sparsity > 0.6, "row sparsity {row_sparsity}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let model = EmbeddingClassifier { vocab: 12, dim: 3 };
+        let data = CategoricalDataset::synthetic(8, 12, 2, 0.0, 5);
+        let params = model.init_params(2);
+        let (_, analytic) = model.loss_grad(&params, &data, 0..8);
+        let h = 1e-3f32;
+        for i in 0..params.len() {
+            let mut plus = params.clone();
+            plus[i] += h;
+            let mut minus = params.clone();
+            minus[i] -= h;
+            let (lp, _) = model.loss_grad(&plus, &data, 0..8);
+            let (lm, _) = model.loss_grad(&minus, &data, 0..8);
+            let numeric = ((lp - lm) / (2.0 * h as f64)) as f32;
+            assert!(
+                (numeric - analytic[i]).abs() < 2e-2,
+                "param {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_learns_the_task() {
+        let (model, data) = small();
+        let mut params = model.init_params(0);
+        let mut first = None;
+        let mut last = 0.0;
+        for step in 0..300 {
+            let lo = (step * 32) % (data.len() - 32);
+            let (loss, grad) = model.loss_grad(&params, &data, lo..lo + 32);
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+            for (p, g) in params.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *p -= 1.0 * g;
+            }
+        }
+        assert!(last < first.unwrap() * 0.8, "{:?} → {last}", first);
+        assert!(model.accuracy(&params, &data) > 0.75);
+    }
+
+    #[test]
+    fn zipf_draw_skews_hot() {
+        let data = CategoricalDataset::synthetic(2000, 1000, 4, 0.0, 7);
+        // The bottom quarter of the id space should absorb more than half
+        // of all draws (u² skew).
+        let low = data.ids.iter().filter(|id| **id < 250).count();
+        let frac = low as f64 / data.ids.len() as f64;
+        assert!(frac > 0.45, "low-id fraction {frac}");
+    }
+
+    #[test]
+    fn dataset_shapes() {
+        let data = CategoricalDataset::synthetic(10, 50, 3, 0.0, 1);
+        assert_eq!(data.len(), 10);
+        assert_eq!(data.example(2).len(), 3);
+        assert!(!data.is_empty());
+    }
+}

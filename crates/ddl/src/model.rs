@@ -1,0 +1,275 @@
+//! Trainable models: logistic regression and a one-hidden-layer MLP.
+//!
+//! Parameters live in a flat [`Tensor`] — the same shape collective
+//! communication sees — so the trainer, compressors and collectives all
+//! operate on one representation.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use omnireduce_tensor::Tensor;
+
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// A differentiable binary classifier over flat parameters.
+pub trait Model: Send + Sync {
+    /// Total parameter count.
+    fn num_params(&self) -> usize;
+
+    /// Deterministic initial parameters.
+    fn init_params(&self, seed: u64) -> Tensor;
+
+    /// Mean binary-cross-entropy loss and its gradient over a batch.
+    /// `x` is row-major `batch × dim`, `y` the labels.
+    fn loss_grad(&self, params: &Tensor, x: &[f32], y: &[f32], dim: usize) -> (f64, Tensor);
+
+    /// Predicted probability for one example.
+    fn predict(&self, params: &Tensor, x: &[f32]) -> f32;
+}
+
+/// Logistic regression: `dim` weights + 1 bias.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Feature dimension.
+    pub dim: usize,
+}
+
+impl Model for LogisticRegression {
+    fn num_params(&self) -> usize {
+        self.dim + 1
+    }
+
+    fn init_params(&self, _seed: u64) -> Tensor {
+        Tensor::zeros(self.num_params())
+    }
+
+    fn loss_grad(&self, params: &Tensor, x: &[f32], y: &[f32], dim: usize) -> (f64, Tensor) {
+        assert_eq!(dim, self.dim);
+        let batch = y.len();
+        let w = &params.as_slice()[..dim];
+        let b = params[dim];
+        let mut grad = Tensor::zeros(self.num_params());
+        let mut loss = 0.0f64;
+        for i in 0..batch {
+            let row = &x[i * dim..(i + 1) * dim];
+            let z: f32 = row.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f32>() + b;
+            let p = sigmoid(z);
+            let eps = 1e-7f32;
+            loss -= (y[i] * (p + eps).ln() + (1.0 - y[i]) * (1.0 - p + eps).ln()) as f64;
+            let err = p - y[i];
+            for (g, xi) in grad.as_mut_slice()[..dim].iter_mut().zip(row) {
+                *g += err * xi;
+            }
+            grad[dim] += err;
+        }
+        grad.scale(1.0 / batch as f32);
+        (loss / batch as f64, grad)
+    }
+
+    fn predict(&self, params: &Tensor, x: &[f32]) -> f32 {
+        let w = &params.as_slice()[..self.dim];
+        let z: f32 = x.iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f32>() + params[self.dim];
+        sigmoid(z)
+    }
+}
+
+/// One-hidden-layer MLP with tanh activation:
+/// `dim × hidden` + `hidden` biases + `hidden` output weights + 1 bias.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Feature dimension.
+    pub dim: usize,
+    /// Hidden units.
+    pub hidden: usize,
+}
+
+impl Mlp {
+    fn w1(&self) -> std::ops::Range<usize> {
+        0..self.dim * self.hidden
+    }
+    fn b1(&self) -> std::ops::Range<usize> {
+        let s = self.dim * self.hidden;
+        s..s + self.hidden
+    }
+    fn w2(&self) -> std::ops::Range<usize> {
+        let s = self.dim * self.hidden + self.hidden;
+        s..s + self.hidden
+    }
+    fn b2(&self) -> usize {
+        self.dim * self.hidden + 2 * self.hidden
+    }
+
+    fn forward(&self, params: &Tensor, row: &[f32], hidden_out: &mut [f32]) -> f32 {
+        let p = params.as_slice();
+        let w1 = &p[self.w1()];
+        let b1 = &p[self.b1()];
+        let w2 = &p[self.w2()];
+        for h in 0..self.hidden {
+            let mut z = b1[h];
+            for (d, xi) in row.iter().enumerate() {
+                z += w1[h * self.dim + d] * xi;
+            }
+            hidden_out[h] = z.tanh();
+        }
+        let z: f32 = hidden_out
+            .iter()
+            .zip(w2)
+            .map(|(a, w)| a * w)
+            .sum::<f32>()
+            + p[self.b2()];
+        sigmoid(z)
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.dim * self.hidden + 2 * self.hidden + 1
+    }
+
+    fn init_params(&self, seed: u64) -> Tensor {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let scale = (1.0 / self.dim as f32).sqrt();
+        let mut t = Tensor::zeros(self.num_params());
+        for v in &mut t.as_mut_slice()[self.w1()] {
+            *v = rng.gen_range(-scale..scale);
+        }
+        let h_scale = (1.0 / self.hidden as f32).sqrt();
+        let w2 = self.w2();
+        for v in &mut t.as_mut_slice()[w2] {
+            *v = rng.gen_range(-h_scale..h_scale);
+        }
+        t
+    }
+
+    fn loss_grad(&self, params: &Tensor, x: &[f32], y: &[f32], dim: usize) -> (f64, Tensor) {
+        assert_eq!(dim, self.dim);
+        let batch = y.len();
+        let p = params.as_slice();
+        let w2_range = self.w2();
+        let mut grad = Tensor::zeros(self.num_params());
+        let mut hidden = vec![0.0f32; self.hidden];
+        let mut loss = 0.0f64;
+        for i in 0..batch {
+            let row = &x[i * dim..(i + 1) * dim];
+            let prob = self.forward(params, row, &mut hidden);
+            let eps = 1e-7f32;
+            loss -= (y[i] * (prob + eps).ln() + (1.0 - y[i]) * (1.0 - prob + eps).ln()) as f64;
+            let err = prob - y[i]; // dL/dz_out
+            // Output layer.
+            let g = grad.as_mut_slice();
+            for h in 0..self.hidden {
+                g[w2_range.start + h] += err * hidden[h];
+            }
+            g[self.dim * self.hidden + 2 * self.hidden] += err;
+            // Hidden layer.
+            for h in 0..self.hidden {
+                let dz = err * p[w2_range.start + h] * (1.0 - hidden[h] * hidden[h]);
+                for (d, xi) in row.iter().enumerate() {
+                    g[h * self.dim + d] += dz * xi;
+                }
+                g[self.dim * self.hidden + h] += dz;
+            }
+        }
+        grad.scale(1.0 / batch as f32);
+        (loss / batch as f64, grad)
+    }
+
+    fn predict(&self, params: &Tensor, x: &[f32]) -> f32 {
+        let mut hidden = vec![0.0f32; self.hidden];
+        self.forward(params, x, &mut hidden)
+    }
+}
+
+/// Numerically checks a model's analytic gradient against central finite
+/// differences at `params` (test helper).
+#[cfg(test)]
+fn grad_check(model: &dyn Model, params: &Tensor, x: &[f32], y: &[f32], dim: usize) -> f32 {
+    let (_, analytic) = model.loss_grad(params, x, y, dim);
+    let h = 1e-3f32;
+    let mut max_err = 0.0f32;
+    for i in 0..params.len() {
+        let mut plus = params.clone();
+        plus[i] += h;
+        let mut minus = params.clone();
+        minus[i] -= h;
+        let (lp, _) = model.loss_grad(&plus, x, y, dim);
+        let (lm, _) = model.loss_grad(&minus, x, y, dim);
+        let numeric = ((lp - lm) / (2.0 * h as f64)) as f32;
+        max_err = max_err.max((numeric - analytic[i]).abs());
+    }
+    max_err
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    #[test]
+    fn logistic_gradient_matches_finite_differences() {
+        let d = Dataset::synthetic(8, 5, 0.0, 1);
+        let model = LogisticRegression { dim: 5 };
+        let mut params = model.init_params(0);
+        for (i, v) in params.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f32 - 2.0) * 0.1;
+        }
+        let err = grad_check(&model, &params, &d.features, &d.labels, 5);
+        assert!(err < 1e-2, "gradient error {err}");
+    }
+
+    #[test]
+    fn mlp_gradient_matches_finite_differences() {
+        let d = Dataset::synthetic(6, 4, 0.0, 2);
+        let model = Mlp { dim: 4, hidden: 3 };
+        let params = model.init_params(3);
+        let err = grad_check(&model, &params, &d.features, &d.labels, 4);
+        assert!(err < 1e-2, "gradient error {err}");
+    }
+
+    #[test]
+    fn logistic_sgd_converges_on_separable_data() {
+        let d = Dataset::synthetic(800, 10, 0.0, 5);
+        let model = LogisticRegression { dim: 10 };
+        let mut params = model.init_params(0);
+        let mut last_loss = f64::MAX;
+        for epoch in 0..60 {
+            let (loss, grad) = model.loss_grad(&params, &d.features, &d.labels, 10);
+            for (p, g) in params.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *p -= 0.8 * g;
+            }
+            if epoch > 0 {
+                assert!(loss < last_loss + 1e-6, "loss rose at epoch {epoch}");
+            }
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.3, "final loss {last_loss}");
+        let correct = (0..d.len())
+            .filter(|i| (model.predict(&params, d.row(*i)) > 0.5) == (d.labels[*i] == 1.0))
+            .count();
+        assert!(correct as f64 / d.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn mlp_param_layout_covers_everything() {
+        let m = Mlp { dim: 7, hidden: 5 };
+        assert_eq!(m.num_params(), 7 * 5 + 5 + 5 + 1);
+        assert_eq!(m.w1().end, 35);
+        assert_eq!(m.b1(), 35..40);
+        assert_eq!(m.w2(), 40..45);
+        assert_eq!(m.b2(), 45);
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let d = Dataset::synthetic(20, 6, 0.0, 9);
+        let m = Mlp { dim: 6, hidden: 4 };
+        let params = m.init_params(1);
+        for i in 0..d.len() {
+            let p = m.predict(&params, d.row(i));
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

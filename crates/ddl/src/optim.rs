@@ -1,0 +1,203 @@
+//! Optimizers for the training loop: plain SGD, momentum SGD, and Adam.
+//!
+//! The paper's workloads train with momentum SGD (vision) and Adam
+//! (BERT); the convergence experiments here default to plain SGD but the
+//! trainer accepts any [`Optimizer`]. Note the interaction the EF-SGD
+//! literature points out: error feedback compresses the *gradient*, and
+//! the optimizer then transforms the aggregated result — the order
+//! implemented by [`crate::train`] matches the paper's setup
+//! (compression before aggregation, optimizer after).
+
+use omnireduce_tensor::Tensor;
+
+/// A stateful first-order optimizer: consumes the aggregated gradient
+/// and updates the parameters in place.
+pub trait Optimizer: Send {
+    /// Applies one update step.
+    fn step(&mut self, params: &mut Tensor, grad: &Tensor);
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Plain SGD: `θ ← θ − lr·g`.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Tensor, grad: &Tensor) {
+        for (p, g) in params.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+/// Momentum SGD: `v ← μ·v + g; θ ← θ − lr·v`.
+pub struct Momentum {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient μ.
+    pub mu: f32,
+    velocity: Option<Tensor>,
+}
+
+impl Momentum {
+    /// Creates the optimizer with zeroed velocity.
+    pub fn new(lr: f32, mu: f32) -> Self {
+        Momentum {
+            lr,
+            mu,
+            velocity: None,
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut Tensor, grad: &Tensor) {
+        let v = self
+            .velocity
+            .get_or_insert_with(|| Tensor::zeros(params.len()));
+        assert_eq!(v.len(), grad.len(), "gradient length changed");
+        for ((p, vi), g) in params
+            .as_mut_slice()
+            .iter_mut()
+            .zip(v.as_mut_slice())
+            .zip(grad.as_slice())
+        {
+            *vi = self.mu * *vi + *g;
+            *p -= self.lr * *vi;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "momentum"
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical guard ε.
+    pub eps: f32,
+    m: Option<Tensor>,
+    v: Option<Tensor>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults (β₁=0.9, β₂=0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: None,
+            v: None,
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Tensor, grad: &Tensor) {
+        let n = params.len();
+        let m = self.m.get_or_insert_with(|| Tensor::zeros(n));
+        let v = self.v.get_or_insert_with(|| Tensor::zeros(n));
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..n {
+            let g = grad[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / b1t;
+            let v_hat = v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::model::{LogisticRegression, Model};
+
+    fn train_with(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let data = Dataset::synthetic(1200, 12, 0.02, 4);
+        let model = LogisticRegression { dim: 12 };
+        let mut params = model.init_params(0);
+        let mut last = 0.0;
+        for step in 0..steps {
+            let lo = (step * 32) % (data.len() - 32);
+            let x = &data.features[lo * data.dim..(lo + 32) * data.dim];
+            let y = &data.labels[lo..lo + 32];
+            let (loss, grad) = model.loss_grad(&params, x, y, data.dim);
+            opt.step(&mut params, &grad);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_step_matches_formula() {
+        let mut p = Tensor::from_vec(vec![1.0, 2.0]);
+        let g = Tensor::from_vec(vec![0.5, -1.0]);
+        Sgd { lr: 0.1 }.step(&mut p, &g);
+        assert_eq!(p.as_slice(), &[0.95, 2.1]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = Tensor::from_vec(vec![0.0]);
+        let g = Tensor::from_vec(vec![1.0]);
+        let mut opt = Momentum::new(1.0, 0.5);
+        opt.step(&mut p, &g); // v=1, p=-1
+        assert_eq!(p[0], -1.0);
+        opt.step(&mut p, &g); // v=1.5, p=-2.5
+        assert!((p[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step ≈ lr·sign(g).
+        let mut p = Tensor::from_vec(vec![0.0, 0.0]);
+        let g = Tensor::from_vec(vec![0.3, -7.0]);
+        Adam::new(0.01).step(&mut p, &g);
+        assert!((p[0] + 0.01).abs() < 1e-4, "{}", p[0]);
+        assert!((p[1] - 0.01).abs() < 1e-4, "{}", p[1]);
+    }
+
+    #[test]
+    fn all_optimizers_reduce_loss() {
+        let sgd_loss = train_with(&mut Sgd { lr: 0.5 }, 200);
+        let mom_loss = train_with(&mut Momentum::new(0.1, 0.9), 200);
+        let adam_loss = train_with(&mut Adam::new(0.05), 200);
+        for (name, loss) in [("sgd", sgd_loss), ("momentum", mom_loss), ("adam", adam_loss)] {
+            assert!(loss < 0.45, "{name} final loss {loss}");
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Sgd { lr: 0.1 }.name(), "sgd");
+        assert_eq!(Momentum::new(0.1, 0.9).name(), "momentum");
+        assert_eq!(Adam::new(0.1).name(), "adam");
+    }
+}

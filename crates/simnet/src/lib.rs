@@ -1,0 +1,32 @@
+//! Packet-level discrete-event network simulator.
+//!
+//! The paper's evaluation runs on 10 Gbps and 100 Gbps testbeds that this
+//! reproduction doesn't have; `simnet` substitutes a deterministic
+//! packet-level simulation of those fabrics. Collective protocols are
+//! written as event-driven [`Process`] state machines (the same structure
+//! as their executable counterparts over real transports) and run against
+//! NICs with configurable transmit/receive rates, propagation latency and
+//! Bernoulli loss.
+//!
+//! The model is intentionally minimal but captures everything the paper's
+//! protocol comparisons depend on:
+//!
+//! * per-packet serialization at line rate on both the sender's TX port
+//!   and the receiver's RX port (store-and-forward);
+//! * FIFO queueing at both ports — so incast (many workers, one
+//!   aggregator port) and multicast fan-out (one aggregator port, many
+//!   workers) cost what they cost in a real switch fabric;
+//! * propagation latency `α`, the term that dominates for small inputs in
+//!   the §3.4 cost model;
+//! * deterministic, seedable packet loss for the Appendix A/D recovery
+//!   experiments.
+//!
+//! What it deliberately does not model: TCP congestion control dynamics,
+//! switch buffer occupancy, or cross-traffic — none of which the paper's
+//! single-tenant testbed exercises either.
+
+pub mod sim;
+pub mod time;
+
+pub use sim::{ActorId, Ctx, NicConfig, NicId, NicStats, Process, RunReport, Simulator};
+pub use time::{Bandwidth, SimTime};

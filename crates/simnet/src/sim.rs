@@ -1,0 +1,859 @@
+//! The discrete-event simulator core.
+//!
+//! Entities:
+//!
+//! * **NIC** — a full-duplex network port with independent transmit and
+//!   receive rates, a one-way propagation latency, and an optional
+//!   Bernoulli loss probability. Packets serialize on the sender's TX
+//!   port (FIFO), propagate, then serialize on the receiver's RX port
+//!   (FIFO). This two-stage store-and-forward model reproduces the two
+//!   behaviours the paper's protocols live and die by: *incast queueing*
+//!   (N workers pushing into one aggregator's RX port) and *egress
+//!   serialization* (an aggregator unicasting a result to N workers pays
+//!   N packet times on its TX port).
+//! * **Actor** — an event-driven protocol state machine implementing
+//!   [`Process`]. Several actors may share one NIC (colocated aggregator
+//!   shards, paper §6.1); messages between same-NIC actors bypass the
+//!   network and deliver after the NIC's `local_latency`.
+//! * **Events** — message deliveries and timers, processed in
+//!   deterministic time order (FIFO tie-break on insertion sequence).
+//!
+//! Actors interact with the world only through [`Ctx`], which records
+//! commands (send, timer, halt) that the simulator applies after the
+//! handler returns — the standard trick that keeps handler signatures
+//! borrow-checker-friendly without interior mutability.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::time::{Bandwidth, SimTime};
+
+/// Identifies a NIC within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NicId(pub usize);
+
+/// Identifies an actor within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+/// Configuration of one network port.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Transmit rate.
+    pub tx: Bandwidth,
+    /// Receive rate.
+    pub rx: Bandwidth,
+    /// One-way propagation latency for packets leaving this NIC
+    /// (the paper's `α`).
+    pub latency: SimTime,
+    /// Probability a transmitted packet is lost in flight.
+    pub loss: f64,
+    /// Delivery delay between actors sharing this NIC (loopback).
+    pub local_latency: SimTime,
+}
+
+impl NicConfig {
+    /// A symmetric lossless port of the given rate and latency.
+    pub fn symmetric(rate: Bandwidth, latency: SimTime) -> Self {
+        NicConfig {
+            tx: rate,
+            rx: rate,
+            latency,
+            loss: 0.0,
+            local_latency: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0,1]");
+        self.loss = loss;
+        self
+    }
+}
+
+/// An event-driven protocol state machine.
+pub trait Process<M> {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut Ctx<M>);
+
+    /// Called when a message addressed to this actor is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<M>, from: ActorId, msg: M);
+
+    /// Called when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<M>, _token: u64) {}
+}
+
+/// Handler-side view of the simulator. Commands are buffered and applied
+/// by the simulator after the handler returns.
+pub struct Ctx<M> {
+    now: SimTime,
+    id: ActorId,
+    commands: Vec<Command<M>>,
+}
+
+enum Command<M> {
+    Send {
+        to: ActorId,
+        msg: M,
+        bytes: usize,
+    },
+    Timer {
+        delay: SimTime,
+        token: u64,
+    },
+    Halt,
+    MarkDone,
+}
+
+impl<M> Ctx<M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// Sends `msg` to `to`, charging `bytes` to the network (payload plus
+    /// whatever header accounting the protocol wants).
+    pub fn send(&mut self, to: ActorId, msg: M, bytes: usize) {
+        self.commands.push(Command::Send { to, msg, bytes });
+    }
+
+    /// Arms a timer that fires `delay` from now with `token`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.commands.push(Command::Timer { delay, token });
+    }
+
+    /// Marks this actor finished; the simulator records the time and
+    /// drops any further events addressed to it.
+    pub fn halt(&mut self) {
+        self.commands.push(Command::Halt);
+    }
+
+    /// Records this actor's finish time *without* halting it: the actor
+    /// keeps receiving and forwarding events (needed by ring protocols,
+    /// where a node is done with its own data while still relaying other
+    /// nodes' tokens). The simulation then ends when the event queue
+    /// drains.
+    pub fn mark_done(&mut self) {
+        self.commands.push(Command::MarkDone);
+    }
+}
+
+struct Nic {
+    config: NicConfig,
+    tx_free: SimTime,
+    rx_free: SimTime,
+    stats: NicStats,
+}
+
+/// Per-NIC traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Bytes serialized onto the TX port (including lost packets).
+    pub bytes_tx: u64,
+    /// Bytes delivered through the RX port.
+    pub bytes_rx: u64,
+    /// Packets transmitted (including lost).
+    pub packets_tx: u64,
+    /// Packets delivered.
+    pub packets_rx: u64,
+    /// Packets lost in flight after TX.
+    pub packets_lost: u64,
+}
+
+struct ActorSlot<M> {
+    process: Box<dyn Process<M>>,
+    nic: NicId,
+    halted: bool,
+    finished_at: Option<SimTime>,
+}
+
+enum EventKind<M> {
+    /// Packet reaches the receiver's RX port (before RX serialization).
+    PortArrival {
+        to: ActorId,
+        from: ActorId,
+        msg: M,
+        bytes: usize,
+    },
+    /// Message fully received; dispatch to the actor.
+    Deliver { to: ActorId, from: ActorId, msg: M },
+    /// Timer fires.
+    Timer { actor: ActorId, token: u64 },
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Time of the last processed event.
+    pub end_time: SimTime,
+    /// Per-actor halt time (None: never halted).
+    pub finished_at: Vec<Option<SimTime>>,
+    /// Per-NIC traffic counters.
+    pub nic_stats: Vec<NicStats>,
+    /// Total events processed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Latest halt time among actors that halted — the collective's
+    /// completion time.
+    pub fn last_finish(&self) -> Option<SimTime> {
+        self.finished_at.iter().flatten().max().copied()
+    }
+}
+
+/// The simulator. `M` is the protocol's message type.
+pub struct Simulator<M> {
+    nics: Vec<Nic>,
+    actors: Vec<ActorSlot<M>>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    max_events: u64,
+    rng: ChaCha8Rng,
+}
+
+impl<M> Simulator<M> {
+    /// Creates an empty simulation; `seed` drives the loss process.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nics: Vec::new(),
+            actors: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+            max_events: 2_000_000_000,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Caps the number of events processed (guards against protocol
+    /// livelock in tests).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Adds a NIC.
+    pub fn add_nic(&mut self, config: NicConfig) -> NicId {
+        self.nics.push(Nic {
+            config,
+            tx_free: SimTime::ZERO,
+            rx_free: SimTime::ZERO,
+            stats: NicStats::default(),
+        });
+        NicId(self.nics.len() - 1)
+    }
+
+    /// Adds an actor attached to `nic`.
+    pub fn add_actor(&mut self, nic: NicId, process: Box<dyn Process<M>>) -> ActorId {
+        assert!(nic.0 < self.nics.len(), "unknown nic");
+        self.actors.push(ActorSlot {
+            process,
+            nic,
+            halted: false,
+            finished_at: None,
+        });
+        ActorId(self.actors.len() - 1)
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn apply_commands(&mut self, actor: ActorId, commands: Vec<Command<M>>) {
+        for cmd in commands {
+            match cmd {
+                Command::Send { to, msg, bytes } => self.route(actor, to, msg, bytes),
+                Command::Timer { delay, token } => {
+                    self.push(self.now + delay, EventKind::Timer { actor, token });
+                }
+                Command::Halt => {
+                    let slot = &mut self.actors[actor.0];
+                    if !slot.halted {
+                        slot.halted = true;
+                        slot.finished_at = Some(self.now);
+                    }
+                }
+                Command::MarkDone => {
+                    let slot = &mut self.actors[actor.0];
+                    if slot.finished_at.is_none() {
+                        slot.finished_at = Some(self.now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, from: ActorId, to: ActorId, msg: M, bytes: usize) {
+        assert!(to.0 < self.actors.len(), "unknown actor {to:?}");
+        let src_nic = self.actors[from.0].nic;
+        let dst_nic = self.actors[to.0].nic;
+        if src_nic == dst_nic {
+            // Loopback: no NIC bandwidth, fixed local latency.
+            let delay = self.nics[src_nic.0].config.local_latency;
+            self.push(self.now + delay, EventKind::Deliver { to, from, msg });
+            return;
+        }
+        let loss = {
+            let nic = &mut self.nics[src_nic.0];
+            let start = nic.tx_free.max(self.now);
+            let end = start + nic.config.tx.serialize(bytes);
+            nic.tx_free = end;
+            nic.stats.bytes_tx += bytes as u64;
+            nic.stats.packets_tx += 1;
+            let lost = nic.config.loss > 0.0 && self.rng.gen_bool(nic.config.loss);
+            if lost {
+                nic.stats.packets_lost += 1;
+                None
+            } else {
+                Some(end + nic.config.latency)
+            }
+        };
+        if let Some(arrival) = loss {
+            self.push(arrival, EventKind::PortArrival { to, from, msg, bytes });
+        }
+    }
+
+    /// Runs until the event queue drains (or every actor halts, whichever
+    /// comes first), returning the report.
+    ///
+    /// # Panics
+    /// Panics when the event budget is exceeded — a sign of protocol
+    /// livelock.
+    pub fn run(&mut self) -> RunReport {
+        // Start every actor.
+        for i in 0..self.actors.len() {
+            self.dispatch_start(ActorId(i));
+        }
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.max_events,
+                "event budget exceeded at t={} — protocol livelock?",
+                self.now
+            );
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::PortArrival { to, from, msg, bytes } => {
+                    let dst_nic = self.actors[to.0].nic;
+                    let nic = &mut self.nics[dst_nic.0];
+                    let start = nic.rx_free.max(self.now);
+                    let end = start + nic.config.rx.serialize(bytes);
+                    nic.rx_free = end;
+                    nic.stats.bytes_rx += bytes as u64;
+                    nic.stats.packets_rx += 1;
+                    self.push(end, EventKind::Deliver { to, from, msg });
+                }
+                EventKind::Deliver { to, from, msg } => {
+                    if self.actors[to.0].halted {
+                        continue;
+                    }
+                    self.dispatch_message(to, from, msg);
+                }
+                EventKind::Timer { actor, token } => {
+                    if self.actors[actor.0].halted {
+                        continue;
+                    }
+                    self.dispatch_timer(actor, token);
+                }
+            }
+            if self.actors.iter().all(|a| a.halted) {
+                break;
+            }
+        }
+        RunReport {
+            end_time: self.now,
+            finished_at: self.actors.iter().map(|a| a.finished_at).collect(),
+            nic_stats: self.nics.iter().map(|n| n.stats).collect(),
+            events: self.events_processed,
+        }
+    }
+
+    fn dispatch_start(&mut self, id: ActorId) {
+        let mut ctx = Ctx {
+            now: self.now,
+            id,
+            commands: Vec::new(),
+        };
+        let mut process = std::mem::replace(
+            &mut self.actors[id.0].process,
+            Box::new(NullProcess),
+        );
+        process.on_start(&mut ctx);
+        self.actors[id.0].process = process;
+        self.apply_commands(id, ctx.commands);
+    }
+
+    fn dispatch_message(&mut self, to: ActorId, from: ActorId, msg: M) {
+        let mut ctx = Ctx {
+            now: self.now,
+            id: to,
+            commands: Vec::new(),
+        };
+        let mut process = std::mem::replace(
+            &mut self.actors[to.0].process,
+            Box::new(NullProcess),
+        );
+        process.on_message(&mut ctx, from, msg);
+        self.actors[to.0].process = process;
+        self.apply_commands(to, ctx.commands);
+    }
+
+    fn dispatch_timer(&mut self, actor: ActorId, token: u64) {
+        let mut ctx = Ctx {
+            now: self.now,
+            id: actor,
+            commands: Vec::new(),
+        };
+        let mut process = std::mem::replace(
+            &mut self.actors[actor.0].process,
+            Box::new(NullProcess),
+        );
+        process.on_timer(&mut ctx, token);
+        self.actors[actor.0].process = process;
+        self.apply_commands(actor, ctx.commands);
+    }
+}
+
+/// Placeholder swapped in while an actor's real process runs (re-entrant
+/// dispatch cannot happen, so it never receives events).
+struct NullProcess;
+
+impl<M> Process<M> for NullProcess {
+    fn on_start(&mut self, _ctx: &mut Ctx<M>) {
+        unreachable!("null process started")
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<M>, _from: ActorId, _msg: M) {
+        unreachable!("null process messaged")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KB: usize = 1000;
+
+    fn nic_10g() -> NicConfig {
+        NicConfig::symmetric(Bandwidth::gbps(10.0), SimTime::from_micros(5))
+    }
+
+    /// Sends `count` packets of `bytes` to actor 1 on start, then halts.
+    struct Blaster {
+        count: usize,
+        bytes: usize,
+        to: ActorId,
+    }
+    impl Process<u64> for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            for i in 0..self.count {
+                ctx.send(self.to, i as u64, self.bytes);
+            }
+            ctx.halt();
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<u64>, _from: ActorId, _msg: u64) {}
+    }
+
+    /// Halts after receiving `expect` messages.
+    struct Sink {
+        expect: usize,
+        got: usize,
+    }
+    impl Process<u64> for Sink {
+        fn on_start(&mut self, _ctx: &mut Ctx<u64>) {}
+        fn on_message(&mut self, ctx: &mut Ctx<u64>, _from: ActorId, _msg: u64) {
+            self.got += 1;
+            if self.got >= self.expect {
+                ctx.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn single_packet_time_is_tx_plus_latency_plus_rx() {
+        let mut sim = Simulator::new(0);
+        let n0 = sim.add_nic(nic_10g());
+        let n1 = sim.add_nic(nic_10g());
+        let sink = ActorId(1);
+        sim.add_actor(
+            n0,
+            Box::new(Blaster {
+                count: 1,
+                bytes: 1250,
+                to: sink,
+            }),
+        );
+        sim.add_actor(n1, Box::new(Sink { expect: 1, got: 0 }));
+        let report = sim.run();
+        // 1250 B at 10 Gbps = 1 µs tx + 5 µs latency + 1 µs rx = 7 µs.
+        assert_eq!(report.finished_at[1], Some(SimTime::from_micros(7)));
+    }
+
+    #[test]
+    fn pipelined_stream_is_bandwidth_bound() {
+        let mut sim = Simulator::new(0);
+        let n0 = sim.add_nic(nic_10g());
+        let n1 = sim.add_nic(nic_10g());
+        let count = 1000;
+        sim.add_actor(
+            n0,
+            Box::new(Blaster {
+                count,
+                bytes: KB,
+                to: ActorId(1),
+            }),
+        );
+        sim.add_actor(n1, Box::new(Sink { expect: count, got: 0 }));
+        let report = sim.run();
+        // 1 MB at 10 Gbps = 800 µs; latency adds only ~6 µs pipeline fill.
+        let t = report.finished_at[1].unwrap().as_secs_f64();
+        assert!((t - 806e-6).abs() < 5e-6, "took {t}");
+    }
+
+    #[test]
+    fn incast_queues_at_receiver_rx_port() {
+        // 4 senders each push 100 KB simultaneously into one sink:
+        // the sink's RX port serializes 400 KB → 320 µs at 10 Gbps.
+        let mut sim = Simulator::new(0);
+        let sink_nic = sim.add_nic(nic_10g());
+        let mut nics = vec![];
+        for _ in 0..4 {
+            nics.push(sim.add_nic(nic_10g()));
+        }
+        let sink_id = ActorId(0);
+        sim.add_actor(sink_nic, Box::new(Sink { expect: 400, got: 0 }));
+        for nic in nics {
+            sim.add_actor(
+                nic,
+                Box::new(Blaster {
+                    count: 100,
+                    bytes: KB,
+                    to: sink_id,
+                }),
+            );
+        }
+        let report = sim.run();
+        let t = report.finished_at[0].unwrap().as_secs_f64();
+        assert!((t - 320e-6).abs() < 10e-6, "took {t}");
+    }
+
+    #[test]
+    fn loopback_bypasses_nic() {
+        let mut sim = Simulator::new(0);
+        let nic = sim.add_nic(nic_10g());
+        sim.add_actor(
+            nic,
+            Box::new(Blaster {
+                count: 10,
+                bytes: 10 * KB,
+                to: ActorId(1),
+            }),
+        );
+        sim.add_actor(nic, Box::new(Sink { expect: 10, got: 0 }));
+        let report = sim.run();
+        // Local latency is zero by default: everything delivers at t=0.
+        assert_eq!(report.finished_at[1], Some(SimTime::ZERO));
+        assert_eq!(report.nic_stats[nic.0].bytes_tx, 0);
+    }
+
+    #[test]
+    fn loss_drops_packets_but_charges_tx() {
+        let mut sim = Simulator::new(7);
+        let n0 = sim.add_nic(nic_10g().with_loss(1.0));
+        let n1 = sim.add_nic(nic_10g());
+        sim.add_actor(
+            n0,
+            Box::new(Blaster {
+                count: 50,
+                bytes: KB,
+                to: ActorId(1),
+            }),
+        );
+        sim.add_actor(n1, Box::new(Sink { expect: 1, got: 0 }));
+        let report = sim.run();
+        assert_eq!(report.nic_stats[0].packets_lost, 50);
+        assert_eq!(report.nic_stats[0].packets_tx, 50);
+        assert_eq!(report.nic_stats[1].packets_rx, 0);
+        assert_eq!(report.finished_at[1], None); // sink never finished
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerActor {
+            fired: Vec<u64>,
+        }
+        impl Process<u64> for TimerActor {
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.set_timer(SimTime::from_micros(30), 3);
+                ctx.set_timer(SimTime::from_micros(10), 1);
+                ctx.set_timer(SimTime::from_micros(20), 2);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<u64>, _f: ActorId, _m: u64) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<u64>, token: u64) {
+                self.fired.push(token);
+                if self.fired.len() == 3 {
+                    assert_eq!(self.fired, vec![1, 2, 3]);
+                    assert_eq!(ctx.now(), SimTime::from_micros(30));
+                    ctx.halt();
+                }
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let nic = sim.add_nic(nic_10g());
+        sim.add_actor(nic, Box::new(TimerActor { fired: vec![] }));
+        let report = sim.run();
+        assert_eq!(report.finished_at[0], Some(SimTime::from_micros(30)));
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let mut sim = Simulator::new(0);
+        let n0 = sim.add_nic(nic_10g());
+        let n1 = sim.add_nic(nic_10g());
+        sim.add_actor(
+            n0,
+            Box::new(Blaster {
+                count: 3,
+                bytes: 500,
+                to: ActorId(1),
+            }),
+        );
+        sim.add_actor(n1, Box::new(Sink { expect: 3, got: 0 }));
+        let report = sim.run();
+        assert_eq!(report.nic_stats[0].bytes_tx, 1500);
+        assert_eq!(report.nic_stats[1].bytes_rx, 1500);
+        assert_eq!(report.nic_stats[0].packets_tx, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn livelock_hits_event_budget() {
+        /// Two actors ping-pong forever.
+        struct Pinger {
+            peer: ActorId,
+        }
+        impl Process<u64> for Pinger {
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.send(self.peer, 0, 100);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<u64>, from: ActorId, msg: u64) {
+                ctx.send(from, msg + 1, 100);
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let n0 = sim.add_nic(nic_10g());
+        let n1 = sim.add_nic(nic_10g());
+        sim.add_actor(n0, Box::new(Pinger { peer: ActorId(1) }));
+        sim.add_actor(n1, Box::new(Pinger { peer: ActorId(0) }));
+        sim.set_max_events(1000);
+        let _ = sim.run();
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let run_once = |seed| {
+            let mut sim = Simulator::new(seed);
+            let n0 = sim.add_nic(nic_10g().with_loss(0.2));
+            let n1 = sim.add_nic(nic_10g());
+            sim.add_actor(
+                n0,
+                Box::new(Blaster {
+                    count: 100,
+                    bytes: KB,
+                    to: ActorId(1),
+                }),
+            );
+            sim.add_actor(n1, Box::new(Sink { expect: 50, got: 0 }));
+            let r = sim.run();
+            (r.finished_at[1], r.nic_stats[0].packets_lost)
+        };
+        assert_eq!(run_once(3), run_once(3));
+    }
+}
+
+#[cfg(test)]
+mod conservation_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Sends a fixed schedule of packets, then halts.
+    struct Script {
+        sends: Vec<(ActorId, usize)>,
+    }
+    impl Process<u8> for Script {
+        fn on_start(&mut self, ctx: &mut Ctx<u8>) {
+            for (to, bytes) in &self.sends {
+                ctx.send(*to, 0, *bytes);
+            }
+            ctx.mark_done();
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<u8>, _f: ActorId, _m: u8) {}
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Conservation: every transmitted byte is either delivered or
+        /// lost, never duplicated or invented, for arbitrary topologies
+        /// and loss rates.
+        #[test]
+        fn prop_bytes_conserved(
+            n in 2usize..5,
+            loss in 0.0f64..0.5,
+            sends in prop::collection::vec((0usize..4, 1usize..50_000), 1..40),
+            seed in 0u64..500,
+        ) {
+            let mut sim: Simulator<u8> = Simulator::new(seed);
+            let nics: Vec<_> = (0..n)
+                .map(|_| {
+                    sim.add_nic(
+                        NicConfig::symmetric(
+                            Bandwidth::gbps(10.0),
+                            SimTime::from_micros(5),
+                        )
+                        .with_loss(loss),
+                    )
+                })
+                .collect();
+            let mut schedules: Vec<Vec<(ActorId, usize)>> = vec![Vec::new(); n];
+            let mut expected_tx = vec![0u64; n];
+            for (i, (to, bytes)) in sends.into_iter().enumerate() {
+                let from = i % n;
+                let to = to % n;
+                if from == to {
+                    continue; // loopback bypasses the NICs
+                }
+                schedules[from].push((ActorId(to), bytes));
+                expected_tx[from] += bytes as u64;
+            }
+            for (i, sched) in schedules.into_iter().enumerate() {
+                sim.add_actor(nics[i], Box::new(Script { sends: sched }));
+            }
+            let report = sim.run();
+            let total_tx: u64 = report.nic_stats.iter().map(|s| s.bytes_tx).sum();
+            let total_rx: u64 = report.nic_stats.iter().map(|s| s.bytes_rx).sum();
+            prop_assert_eq!(total_tx, expected_tx.iter().sum::<u64>());
+            prop_assert!(total_rx <= total_tx);
+            let pkts_tx: u64 = report.nic_stats.iter().map(|s| s.packets_tx).sum();
+            let pkts_rx: u64 = report.nic_stats.iter().map(|s| s.packets_rx).sum();
+            let lost: u64 = report.nic_stats.iter().map(|s| s.packets_lost).sum();
+            prop_assert_eq!(pkts_tx, pkts_rx + lost);
+            if loss == 0.0 {
+                prop_assert_eq!(total_rx, total_tx);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_nic_rates_bound_by_slower_port() {
+        // Fast sender (100 Gbps TX) into slow receiver (10 Gbps RX):
+        // delivery is RX-bound.
+        let mut sim: Simulator<u8> = Simulator::new(0);
+        let fast = sim.add_nic(NicConfig {
+            tx: Bandwidth::gbps(100.0),
+            rx: Bandwidth::gbps(100.0),
+            latency: SimTime::ZERO,
+            loss: 0.0,
+            local_latency: SimTime::ZERO,
+        });
+        let slow = sim.add_nic(NicConfig {
+            tx: Bandwidth::gbps(10.0),
+            rx: Bandwidth::gbps(10.0),
+            latency: SimTime::ZERO,
+            loss: 0.0,
+            local_latency: SimTime::ZERO,
+        });
+        sim.add_actor(
+            fast,
+            Box::new(Script {
+                sends: (0..100).map(|_| (ActorId(1), 12_500usize)).collect(),
+            }),
+        );
+        struct Count {
+            got: usize,
+        }
+        impl Process<u8> for Count {
+            fn on_start(&mut self, _ctx: &mut Ctx<u8>) {}
+            fn on_message(&mut self, ctx: &mut Ctx<u8>, _f: ActorId, _m: u8) {
+                self.got += 1;
+                if self.got == 100 {
+                    ctx.halt();
+                }
+            }
+        }
+        sim.add_actor(slow, Box::new(Count { got: 0 }));
+        let report = sim.run();
+        // 1.25 MB at 10 Gbps = 1 ms (RX-bound), not 0.1 ms (TX rate).
+        let t = report.finished_at[1].unwrap().as_secs_f64();
+        assert!((t - 1e-3).abs() < 5e-5, "took {t}");
+    }
+
+    #[test]
+    fn local_latency_delays_loopback() {
+        let mut sim: Simulator<u8> = Simulator::new(0);
+        let nic = sim.add_nic(NicConfig {
+            tx: Bandwidth::gbps(10.0),
+            rx: Bandwidth::gbps(10.0),
+            latency: SimTime::ZERO,
+            loss: 0.0,
+            local_latency: SimTime::from_micros(3),
+        });
+        sim.add_actor(
+            nic,
+            Box::new(Script {
+                sends: vec![(ActorId(1), 100)],
+            }),
+        );
+        struct One;
+        impl Process<u8> for One {
+            fn on_start(&mut self, _ctx: &mut Ctx<u8>) {}
+            fn on_message(&mut self, ctx: &mut Ctx<u8>, _f: ActorId, _m: u8) {
+                ctx.halt();
+            }
+        }
+        sim.add_actor(nic, Box::new(One));
+        let report = sim.run();
+        assert_eq!(report.finished_at[1], Some(SimTime::from_micros(3)));
+    }
+}

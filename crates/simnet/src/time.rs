@@ -1,0 +1,163 @@
+//! Simulated time and link-rate units.
+//!
+//! Time is kept in integer nanoseconds so event ordering is exact and
+//! runs are bit-reproducible; bandwidths are converted to ns-per-byte at
+//! the edge.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from whole nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Builds from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Builds from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds from (possibly fractional) seconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "invalid duration {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since epoch.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since epoch as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since epoch as `f64` — the unit the paper's figures
+    /// use.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("negative sim time"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A link rate. Stored as bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// From gigabits per second (the paper's 10 Gbps / 100 Gbps fabrics).
+    pub fn gbps(g: f64) -> Self {
+        assert!(g > 0.0 && g.is_finite(), "invalid bandwidth {g}");
+        Bandwidth(g * 1e9 / 8.0)
+    }
+
+    /// From bytes per second.
+    pub fn bytes_per_sec(b: f64) -> Self {
+        assert!(b > 0.0 && b.is_finite(), "invalid bandwidth {b}");
+        Bandwidth(b)
+    }
+
+    /// Bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Time to serialize `bytes` onto this link.
+    pub fn serialize(self, bytes: usize) -> SimTime {
+        SimTime(((bytes as f64) / self.0 * 1e9).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_millis(2).as_nanos(), 2_000_000);
+        assert!((SimTime::from_secs_f64(0.5).as_secs_f64() - 0.5).abs() < 1e-12);
+        assert!((SimTime::from_millis(7).as_millis_f64() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime(100);
+        let b = SimTime(40);
+        assert_eq!(a + b, SimTime(140));
+        assert_eq!(a - b, SimTime(60));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime(140));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_sub_panics() {
+        let _ = SimTime(1) - SimTime(2);
+    }
+
+    #[test]
+    fn gbps_serialization_time() {
+        // 10 Gbps = 1.25 GB/s → 1250 bytes take 1 µs.
+        let bw = Bandwidth::gbps(10.0);
+        assert_eq!(bw.serialize(1250), SimTime::from_micros(1));
+        // 100 Gbps → 12500 bytes take 1 µs.
+        assert_eq!(Bandwidth::gbps(100.0).serialize(12500), SimTime::from_micros(1));
+    }
+
+    #[test]
+    fn zero_bytes_serialize_instantly() {
+        assert_eq!(Bandwidth::gbps(10.0).serialize(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_formats_millis() {
+        assert_eq!(format!("{}", SimTime::from_millis(12)), "12.000ms");
+    }
+}

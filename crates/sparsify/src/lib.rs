@@ -1,0 +1,811 @@
+//! Block-based gradient sparsification (paper §4).
+//!
+//! When gradients are not naturally sparse, OmniReduce can manufacture
+//! block sparsity: select a subset of blocks, zero the rest, and let the
+//! collective skip the zero blocks. This crate implements the paper's
+//! four block-based schemes and their element-wise ancestors:
+//!
+//! * [`BlockRandomK`] — sample `k` blocks uniformly;
+//! * [`BlockTopK`] — keep the `k` blocks with the largest ℓ2 norm;
+//! * [`BlockTopKRatio`] — keep the `k` blocks with the largest
+//!   update-ratio norm (gradient value over parameter value);
+//! * [`BlockThreshold`] — keep blocks whose ℓ2 norm exceeds a threshold;
+//! * [`RandomK`] / [`TopK`] / [`Threshold`] — the classic element-wise
+//!   schemes, for comparison.
+//!
+//! [`ErrorFeedback`] wraps any compressor with the Karimireddy-style
+//! memory that makes δ-compressors converge (the paper's Lemma shows
+//! Block Random-k and Block Top-k are δ-compressors with `δ = k/b`;
+//! [`Compressor::delta`] exposes the bound and the property tests verify
+//! the defining inequality `E‖x − C(x)‖² ≤ (1 − δ)‖x‖²`).
+
+use rand::seq::index::sample;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use omnireduce_tensor::{BlockSpec, Tensor};
+
+/// A (possibly randomized) gradient compressor: maps a gradient to a
+/// same-shaped tensor that is zero outside the selected support.
+pub trait Compressor {
+    /// Compresses `grad`. `params` holds the current model parameters
+    /// (used by update-ratio schemes; pass the model or an empty tensor
+    /// when unavailable).
+    fn compress(&mut self, grad: &Tensor, params: &Tensor) -> Tensor;
+
+    /// The δ of the δ-compressor bound, when one is known
+    /// (`E‖x − C(x)‖² ≤ (1 − δ)‖x‖²`).
+    fn delta(&self, grad_len: usize) -> Option<f64> {
+        let _ = grad_len;
+        None
+    }
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn block_count(spec: BlockSpec, len: usize) -> usize {
+    spec.block_count(len)
+}
+
+fn keep_blocks(grad: &Tensor, spec: BlockSpec, keep: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(grad.len());
+    for &b in keep {
+        let r = spec.range(b as u32, grad.len());
+        out.as_mut_slice()[r.clone()].copy_from_slice(&grad.as_slice()[r]);
+    }
+    out
+}
+
+fn block_l2(grad: &Tensor, spec: BlockSpec, b: usize) -> f64 {
+    grad.as_slice()[spec.range(b as u32, grad.len())]
+        .iter()
+        .map(|v| (*v as f64) * (*v as f64))
+        .sum::<f64>()
+}
+
+fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    idx.select_nth_unstable_by(k - 1, |a, b| {
+        scores[*b].partial_cmp(&scores[*a]).expect("no NaN scores")
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Number of blocks kept for a fraction `k_fraction` of `b` blocks
+/// (at least one, so compression never discards everything).
+fn k_of(b: usize, k_fraction: f64) -> usize {
+    ((b as f64 * k_fraction).round() as usize).clamp(1, b.max(1))
+}
+
+/// Block Random-k: keep `k_fraction · b` uniformly sampled blocks.
+pub struct BlockRandomK {
+    /// Fraction of blocks kept.
+    pub k_fraction: f64,
+    /// Block partitioning.
+    pub spec: BlockSpec,
+    rng: ChaCha8Rng,
+}
+
+impl BlockRandomK {
+    /// Creates the compressor with a deterministic seed.
+    pub fn new(k_fraction: f64, spec: BlockSpec, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&k_fraction));
+        BlockRandomK {
+            k_fraction,
+            spec,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Compressor for BlockRandomK {
+    fn compress(&mut self, grad: &Tensor, _params: &Tensor) -> Tensor {
+        let b = block_count(self.spec, grad.len());
+        if b == 0 {
+            return grad.clone();
+        }
+        let k = k_of(b, self.k_fraction);
+        let keep = sample(&mut self.rng, b, k).into_vec();
+        keep_blocks(grad, self.spec, &keep)
+    }
+
+    fn delta(&self, grad_len: usize) -> Option<f64> {
+        let b = block_count(self.spec, grad_len);
+        if b == 0 {
+            return None;
+        }
+        Some(k_of(b, self.k_fraction) as f64 / b as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "block-random-k"
+    }
+}
+
+/// Block Top-k: keep the `k` blocks with the largest block ℓ2 norm.
+pub struct BlockTopK {
+    /// Fraction of blocks kept.
+    pub k_fraction: f64,
+    /// Block partitioning.
+    pub spec: BlockSpec,
+}
+
+impl BlockTopK {
+    /// Creates the compressor.
+    pub fn new(k_fraction: f64, spec: BlockSpec) -> Self {
+        assert!((0.0..=1.0).contains(&k_fraction));
+        BlockTopK { k_fraction, spec }
+    }
+}
+
+impl Compressor for BlockTopK {
+    fn compress(&mut self, grad: &Tensor, _params: &Tensor) -> Tensor {
+        let b = block_count(self.spec, grad.len());
+        if b == 0 {
+            return grad.clone();
+        }
+        let scores: Vec<f64> = (0..b).map(|i| block_l2(grad, self.spec, i)).collect();
+        let keep = top_k_indices(&scores, k_of(b, self.k_fraction));
+        keep_blocks(grad, self.spec, &keep)
+    }
+
+    fn delta(&self, grad_len: usize) -> Option<f64> {
+        let b = block_count(self.spec, grad_len);
+        if b == 0 {
+            return None;
+        }
+        Some(k_of(b, self.k_fraction) as f64 / b as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "block-top-k"
+    }
+}
+
+/// Block Top-k Ratio: score blocks by the ℓ2 norm of the per-parameter
+/// update ratio `g_i / θ_i` (paper §4: "the ratio of its gradient value
+/// to parameter value"). Parameters near zero are guarded with an ε.
+pub struct BlockTopKRatio {
+    /// Fraction of blocks kept.
+    pub k_fraction: f64,
+    /// Block partitioning.
+    pub spec: BlockSpec,
+    /// Guard added to |θ| in the denominator.
+    pub epsilon: f32,
+}
+
+impl BlockTopKRatio {
+    /// Creates the compressor with the default ε = 1e-8.
+    pub fn new(k_fraction: f64, spec: BlockSpec) -> Self {
+        assert!((0.0..=1.0).contains(&k_fraction));
+        BlockTopKRatio {
+            k_fraction,
+            spec,
+            epsilon: 1e-8,
+        }
+    }
+}
+
+impl Compressor for BlockTopKRatio {
+    fn compress(&mut self, grad: &Tensor, params: &Tensor) -> Tensor {
+        let b = block_count(self.spec, grad.len());
+        if b == 0 {
+            return grad.clone();
+        }
+        assert_eq!(
+            params.len(),
+            grad.len(),
+            "ratio compressor needs parameters"
+        );
+        let scores: Vec<f64> = (0..b)
+            .map(|i| {
+                let r = self.spec.range(i as u32, grad.len());
+                grad.as_slice()[r.clone()]
+                    .iter()
+                    .zip(&params.as_slice()[r])
+                    .map(|(g, p)| {
+                        let ratio = (*g as f64) / (p.abs() as f64 + self.epsilon as f64);
+                        ratio * ratio
+                    })
+                    .sum()
+            })
+            .collect();
+        let keep = top_k_indices(&scores, k_of(b, self.k_fraction));
+        keep_blocks(grad, self.spec, &keep)
+    }
+
+    fn name(&self) -> &'static str {
+        "block-top-k-ratio"
+    }
+}
+
+/// Block Threshold: keep blocks whose ℓ2 norm exceeds `threshold`
+/// (the paper uses 0.1664 for BERT, §6.2.3).
+pub struct BlockThreshold {
+    /// ℓ2-norm threshold.
+    pub threshold: f64,
+    /// Block partitioning.
+    pub spec: BlockSpec,
+}
+
+impl BlockThreshold {
+    /// Creates the compressor.
+    pub fn new(threshold: f64, spec: BlockSpec) -> Self {
+        BlockThreshold { threshold, spec }
+    }
+}
+
+impl Compressor for BlockThreshold {
+    fn compress(&mut self, grad: &Tensor, _params: &Tensor) -> Tensor {
+        let b = block_count(self.spec, grad.len());
+        let keep: Vec<usize> = (0..b)
+            .filter(|i| block_l2(grad, self.spec, *i).sqrt() > self.threshold)
+            .collect();
+        keep_blocks(grad, self.spec, &keep)
+    }
+
+    fn name(&self) -> &'static str {
+        "block-threshold"
+    }
+}
+
+/// Element-wise Random-k.
+pub struct RandomK {
+    /// Fraction of elements kept.
+    pub k_fraction: f64,
+    rng: ChaCha8Rng,
+}
+
+impl RandomK {
+    /// Creates the compressor with a deterministic seed.
+    pub fn new(k_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&k_fraction));
+        RandomK {
+            k_fraction,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Compressor for RandomK {
+    fn compress(&mut self, grad: &Tensor, _params: &Tensor) -> Tensor {
+        let n = grad.len();
+        if n == 0 {
+            return grad.clone();
+        }
+        let k = k_of(n, self.k_fraction);
+        let mut out = Tensor::zeros(n);
+        for i in sample(&mut self.rng, n, k) {
+            out[i] = grad[i];
+        }
+        out
+    }
+
+    fn delta(&self, grad_len: usize) -> Option<f64> {
+        if grad_len == 0 {
+            return None;
+        }
+        Some(k_of(grad_len, self.k_fraction) as f64 / grad_len as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "random-k"
+    }
+}
+
+/// Element-wise Top-k by magnitude.
+pub struct TopK {
+    /// Fraction of elements kept.
+    pub k_fraction: f64,
+}
+
+impl TopK {
+    /// Creates the compressor.
+    pub fn new(k_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&k_fraction));
+        TopK { k_fraction }
+    }
+}
+
+impl Compressor for TopK {
+    fn compress(&mut self, grad: &Tensor, _params: &Tensor) -> Tensor {
+        let n = grad.len();
+        if n == 0 {
+            return grad.clone();
+        }
+        let scores: Vec<f64> = grad.as_slice().iter().map(|v| (*v as f64).abs()).collect();
+        let keep = top_k_indices(&scores, k_of(n, self.k_fraction));
+        let mut out = Tensor::zeros(n);
+        for i in keep {
+            out[i] = grad[i];
+        }
+        out
+    }
+
+    fn delta(&self, grad_len: usize) -> Option<f64> {
+        if grad_len == 0 {
+            return None;
+        }
+        Some(k_of(grad_len, self.k_fraction) as f64 / grad_len as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "top-k"
+    }
+}
+
+/// Element-wise hard threshold on |g|.
+pub struct Threshold {
+    /// Magnitude threshold.
+    pub threshold: f32,
+}
+
+impl Compressor for Threshold {
+    fn compress(&mut self, grad: &Tensor, _params: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(grad.len());
+        for (i, v) in grad.as_slice().iter().enumerate() {
+            if v.abs() > self.threshold {
+                out[i] = *v;
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+/// The identity compressor (the "No Compression" baseline of Fig. 11).
+pub struct Identity;
+
+impl Compressor for Identity {
+    fn compress(&mut self, grad: &Tensor, _params: &Tensor) -> Tensor {
+        grad.clone()
+    }
+
+    fn delta(&self, _grad_len: usize) -> Option<f64> {
+        Some(1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Error feedback (EF-SGD memory): compress `g + e`, remember the
+/// residual `e ← (g + e) − C(g + e)`. Theorem 1 of Zheng et al. \[71\]
+/// (via the paper's Lemma) guarantees convergence for any δ-compressor
+/// wrapped this way.
+pub struct ErrorFeedback<C: Compressor> {
+    inner: C,
+    memory: Option<Tensor>,
+}
+
+impl<C: Compressor> ErrorFeedback<C> {
+    /// Wraps `inner` with a fresh (zero) memory.
+    pub fn new(inner: C) -> Self {
+        ErrorFeedback {
+            inner,
+            memory: None,
+        }
+    }
+
+    /// Current residual norm — a training-health metric.
+    pub fn residual_norm(&self) -> f64 {
+        self.memory.as_ref().map_or(0.0, |m| m.norm())
+    }
+
+    /// The wrapped compressor.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Compressor> Compressor for ErrorFeedback<C> {
+    fn compress(&mut self, grad: &Tensor, params: &Tensor) -> Tensor {
+        let mut corrected = grad.clone();
+        if let Some(m) = &self.memory {
+            corrected.add_assign(m);
+        }
+        let compressed = self.inner.compress(&corrected, params);
+        // e ← corrected − compressed
+        let mut residual = corrected;
+        for (r, c) in residual
+            .as_mut_slice()
+            .iter_mut()
+            .zip(compressed.as_slice())
+        {
+            *r -= *c;
+        }
+        self.memory = Some(residual);
+        compressed
+    }
+
+    fn delta(&self, grad_len: usize) -> Option<f64> {
+        self.inner.delta(grad_len)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec4() -> BlockSpec {
+        BlockSpec::new(4)
+    }
+
+    fn grad(n: usize, seed: u64) -> Tensor {
+        omnireduce_tensor::gen::element_uniform(n, 0.0, seed)
+    }
+
+    fn support_blocks(t: &Tensor, spec: BlockSpec) -> usize {
+        spec.nonzero_blocks(t).count()
+    }
+
+    #[test]
+    fn block_topk_keeps_largest_blocks() {
+        // Blocks: [tiny][huge][mid][zero]; keep 2 → huge + mid.
+        let mut g = Tensor::zeros(16);
+        g.copy_slice_at(0, &[0.01, 0.0, 0.0, 0.0]);
+        g.copy_slice_at(4, &[5.0, 5.0, 5.0, 5.0]);
+        g.copy_slice_at(8, &[1.0, 0.0, 0.0, 0.0]);
+        let mut c = BlockTopK::new(0.5, spec4());
+        let out = c.compress(&g, &Tensor::zeros(16));
+        assert_eq!(out[4], 5.0);
+        assert_eq!(out[8], 1.0);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn block_randomk_keeps_exactly_k_blocks() {
+        let g = grad(64, 1);
+        let mut c = BlockRandomK::new(0.25, spec4(), 7);
+        let out = c.compress(&g, &Tensor::zeros(64));
+        assert_eq!(support_blocks(&out, spec4()), 4); // 16 blocks × 0.25
+    }
+
+    #[test]
+    fn block_threshold_selects_by_norm() {
+        let mut g = Tensor::zeros(8);
+        g.copy_slice_at(0, &[3.0, 4.0, 0.0, 0.0]); // norm 5
+        g.copy_slice_at(4, &[0.1, 0.0, 0.0, 0.0]); // norm 0.1
+        let mut c = BlockThreshold::new(1.0, spec4());
+        let out = c.compress(&g, &Tensor::zeros(8));
+        assert_eq!(out[0], 3.0);
+        assert_eq!(out[4], 0.0);
+    }
+
+    #[test]
+    fn ratio_compressor_prefers_small_params() {
+        // Same gradient in both blocks, but block 1's params are tiny →
+        // larger update ratio → block 1 wins at k=1 block.
+        let mut g = Tensor::zeros(8);
+        g.copy_slice_at(0, &[1.0, 1.0, 1.0, 1.0]);
+        g.copy_slice_at(4, &[1.0, 1.0, 1.0, 1.0]);
+        let mut p = Tensor::from_vec(vec![100.0; 8]);
+        p.copy_slice_at(4, &[0.1, 0.1, 0.1, 0.1]);
+        let mut c = BlockTopKRatio::new(0.5, spec4());
+        let out = c.compress(&g, &p);
+        assert_eq!(out[4], 1.0);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn elementwise_topk_keeps_largest() {
+        let g = Tensor::from_vec(vec![0.1, -5.0, 3.0, 0.2]);
+        let mut c = TopK::new(0.5);
+        let out = c.compress(&g, &Tensor::zeros(4));
+        assert_eq!(out.as_slice(), &[0.0, -5.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn threshold_elementwise() {
+        let g = Tensor::from_vec(vec![0.1, -5.0, 3.0, 0.2]);
+        let mut c = Threshold { threshold: 1.0 };
+        let out = c.compress(&g, &Tensor::zeros(4));
+        assert_eq!(out.as_slice(), &[0.0, -5.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_is_lossless() {
+        let g = grad(32, 3);
+        let mut c = Identity;
+        assert_eq!(c.compress(&g, &Tensor::zeros(32)), g);
+        assert_eq!(c.delta(32), Some(1.0));
+    }
+
+    #[test]
+    fn topk_delta_bound_holds_deterministically() {
+        // ‖x − topk(x)‖² ≤ (1 − k/b)‖x‖² for block top-k (Appendix C).
+        for seed in 0..20 {
+            let g = grad(64, seed);
+            let mut c = BlockTopK::new(0.25, spec4());
+            let out = c.compress(&g, &Tensor::zeros(64));
+            let mut diff = g.clone();
+            for (d, o) in diff.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                *d -= *o;
+            }
+            let delta = c.delta(64).unwrap();
+            assert!(
+                diff.sq_norm() <= (1.0 - delta) * g.sq_norm() + 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomk_delta_bound_holds_in_expectation() {
+        // E‖x − C(x)‖² = (1 − k/b)‖x‖² for block random-k; check the
+        // sample mean over many draws.
+        let g = grad(64, 99);
+        let mut c = BlockRandomK::new(0.25, spec4(), 5);
+        let trials = 3000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let out = c.compress(&g, &Tensor::zeros(64));
+            let mut diff = g.clone();
+            for (d, o) in diff.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                *d -= *o;
+            }
+            acc += diff.sq_norm();
+        }
+        let mean = acc / trials as f64;
+        let expect = (1.0 - 0.25) * g.sq_norm();
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} expect {expect}"
+        );
+    }
+
+    #[test]
+    fn error_feedback_preserves_mass() {
+        // Compressed output + residual = corrected gradient each step, so
+        // nothing is ever lost; over steps the memory transmits everything.
+        let mut ef = ErrorFeedback::new(BlockTopK::new(0.25, spec4()));
+        let g = grad(64, 11);
+        let params = Tensor::zeros(64);
+        let mut sent = Tensor::zeros(64);
+        for _ in 0..50 {
+            let out = ef.compress(&g, &params);
+            sent.add_assign(&out);
+        }
+        // After many steps of the same gradient, average sent ≈ g.
+        sent.scale(1.0 / 50.0);
+        assert!(
+            sent.approx_eq(&g, 0.2 * 50f32.sqrt()),
+            "EF drifts: diff {}",
+            sent.max_abs_diff(&g)
+        );
+        assert!(ef.residual_norm().is_finite());
+    }
+
+    #[test]
+    fn error_feedback_single_step_identity() {
+        // One step: compressed + residual = gradient exactly.
+        let mut ef = ErrorFeedback::new(BlockTopK::new(0.5, spec4()));
+        let g = grad(32, 13);
+        let out = ef.compress(&g, &Tensor::zeros(32));
+        // residual = g − out (memory was empty)
+        let res_norm = ef.residual_norm();
+        let mut diff = g.clone();
+        for (d, o) in diff.as_mut_slice().iter_mut().zip(out.as_slice()) {
+            *d -= *o;
+        }
+        assert!((diff.norm() - res_norm).abs() < 1e-5);
+    }
+
+    #[test]
+    fn k_of_clamps() {
+        assert_eq!(k_of(10, 0.0), 1);
+        assert_eq!(k_of(10, 1.0), 10);
+        assert_eq!(k_of(10, 0.25), 3); // rounds 2.5 → 3
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The δ-compressor inequality holds for block top-k on arbitrary
+        /// inputs (the Appendix C proof, checked numerically).
+        #[test]
+        fn prop_block_topk_is_delta_compressor(
+            values in prop::collection::vec(-100.0f32..100.0, 1..200),
+            bs in 1usize..16,
+            kf in 0.01f64..1.0,
+        ) {
+            let g = Tensor::from_vec(values);
+            let spec = BlockSpec::new(bs);
+            let mut c = BlockTopK::new(kf, spec);
+            let out = c.compress(&g, &Tensor::zeros(g.len()));
+            let delta = c.delta(g.len()).unwrap();
+            let mut diff = g.clone();
+            for (d, o) in diff.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                *d -= *o;
+            }
+            prop_assert!(diff.sq_norm() <= (1.0 - delta) * g.sq_norm() + 1e-6);
+        }
+
+        /// Compression output support is a subset of the input support,
+        /// and values on the support are unchanged.
+        #[test]
+        fn prop_compressors_subset_support(
+            values in prop::collection::vec(-10.0f32..10.0, 1..120),
+            seed in 0u64..100,
+        ) {
+            let g = Tensor::from_vec(values);
+            let p = Tensor::zeros(g.len());
+            let spec = BlockSpec::new(4);
+            let mut all: Vec<Box<dyn Compressor>> = vec![
+                Box::new(BlockRandomK::new(0.5, spec, seed)),
+                Box::new(BlockTopK::new(0.5, spec)),
+                Box::new(BlockThreshold::new(1.0, spec)),
+                Box::new(TopK::new(0.5)),
+                Box::new(RandomK::new(0.5, seed)),
+                Box::new(Threshold { threshold: 1.0 }),
+            ];
+            for c in all.iter_mut() {
+                let out = c.compress(&g, &p);
+                prop_assert_eq!(out.len(), g.len());
+                for i in 0..g.len() {
+                    prop_assert!(
+                        out[i] == 0.0 || out[i] == g[i],
+                        "{} altered element {}", c.name(), i
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Simulated half-precision (fp16) quantizer: rounds every value to the
+/// nearest f16 and back. Quantization is the paper's *other* compression
+/// axis (§2.1: "sparsification — which sends a subset of elements — and
+/// quantization — which reduces the per-element bit-width"); it composes
+/// with block sparsification and with error feedback.
+pub struct Fp16Quantizer;
+
+/// Rounds `x` through IEEE 754 half precision (software emulation:
+/// saturate to ±65504, flush subnormals' extra bits).
+fn round_f16(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let abs = f32::from_bits(bits & 0x7FFF_FFFF);
+    if abs > 65504.0 {
+        return f32::from_bits(sign | 65504.0f32.to_bits());
+    }
+    if abs < 6.103_515_6e-5 {
+        // Subnormal f16 range: quantize to multiples of 2^-24.
+        let q = (abs / 5.960_464_5e-8).round() * 5.960_464_5e-8;
+        return f32::from_bits(sign | q.to_bits());
+    }
+    // Normal range: keep 10 mantissa bits (round half up). Adding the
+    // rounded mantissa to the sign+exponent bits lets a mantissa
+    // overflow carry into the exponent, which is exactly the right
+    // behaviour because the fields are adjacent.
+    let mant_bits = bits & 0x007F_FFFF;
+    let rounded = (mant_bits + 0x0000_1000) & !0x0000_1FFF;
+    f32::from_bits((bits & 0xFF80_0000).wrapping_add(rounded))
+}
+
+impl Compressor for Fp16Quantizer {
+    fn compress(&mut self, grad: &Tensor, _params: &Tensor) -> Tensor {
+        Tensor::from_vec(grad.as_slice().iter().map(|v| round_f16(*v)).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "fp16"
+    }
+}
+
+/// A composition of two compressors applied in sequence (e.g. block
+/// sparsification then quantization — the "less aggressive compression
+/// for a given budget" combination §2.1 suggests).
+pub struct Compose<A: Compressor, B: Compressor> {
+    first: A,
+    second: B,
+}
+
+impl<A: Compressor, B: Compressor> Compose<A, B> {
+    /// Applies `first`, then `second`.
+    pub fn new(first: A, second: B) -> Self {
+        Compose { first, second }
+    }
+}
+
+impl<A: Compressor, B: Compressor> Compressor for Compose<A, B> {
+    fn compress(&mut self, grad: &Tensor, params: &Tensor) -> Tensor {
+        let mid = self.first.compress(grad, params);
+        self.second.compress(&mid, params)
+    }
+
+    fn name(&self) -> &'static str {
+        "compose"
+    }
+}
+
+#[cfg(test)]
+mod quantizer_tests {
+    use super::*;
+
+    #[test]
+    fn fp16_roundtrip_error_bounded() {
+        // Relative error of f16 rounding ≤ 2^-11 in the normal range.
+        for x in [1.0f32, -3.14758, 0.123456, 1000.5, -0.0001234] {
+            let q = round_f16(x);
+            let rel = ((q - x) / x).abs();
+            assert!(rel <= 4.9e-4, "{x} → {q} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn fp16_preserves_exact_values() {
+        for x in [0.0f32, 1.0, -2.0, 0.5, 65504.0] {
+            assert_eq!(round_f16(x), x);
+        }
+    }
+
+    #[test]
+    fn fp16_saturates() {
+        assert_eq!(round_f16(1e6), 65504.0);
+        assert_eq!(round_f16(-1e6), -65504.0);
+    }
+
+    #[test]
+    fn fp16_preserves_zero_support() {
+        // Quantization must not turn zeros into non-zeros (it would
+        // destroy block sparsity).
+        let g = Tensor::from_vec(vec![0.0, 1.0, 0.0, -0.25]);
+        let mut q = Fp16Quantizer;
+        let out = q.compress(&g, &Tensor::zeros(4));
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[2], 0.0);
+        assert_eq!(out[1], 1.0);
+        assert_eq!(out[3], -0.25);
+    }
+
+    #[test]
+    fn compose_block_topk_then_fp16() {
+        let g = omnireduce_tensor::gen::element_uniform(64, 0.0, 5);
+        let mut c = Compose::new(
+            BlockTopK::new(0.5, BlockSpec::new(4)),
+            Fp16Quantizer,
+        );
+        let out = c.compress(&g, &Tensor::zeros(64));
+        // Support shrank to ≤ half the blocks; surviving values are f16
+        // roundings of the originals.
+        let spec = BlockSpec::new(4);
+        assert!(spec.nonzero_blocks(&out).count() <= 8);
+        for i in 0..64 {
+            if out[i] != 0.0 {
+                assert_eq!(out[i], round_f16(g[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn ef_wraps_quantizer() {
+        let mut ef = ErrorFeedback::new(Fp16Quantizer);
+        let g = Tensor::from_vec(vec![1.0001, -2.0003]);
+        let out = ef.compress(&g, &Tensor::zeros(2));
+        // Residual norm equals the quantization error exactly.
+        let mut diff = g.clone();
+        for (d, o) in diff.as_mut_slice().iter_mut().zip(out.as_slice()) {
+            *d -= *o;
+        }
+        assert!((ef.residual_norm() - diff.norm()).abs() < 1e-9);
+    }
+}

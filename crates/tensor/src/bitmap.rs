@@ -1,0 +1,250 @@
+//! Non-zero block bitmap (paper Appendix B.1).
+//!
+//! The paper computes, on the GPU, a bitmap with one bit per block telling
+//! whether the block contains any non-zero value; the worker then finds its
+//! "next non-zero block" by scanning the bitmap instead of the raw tensor.
+//! We reproduce the same structure with a CPU scan: building the bitmap is
+//! a single pass over the tensor, after which every `next_nonzero` query is
+//! a word-at-a-time scan over one bit per block.
+//!
+//! The bitmap-vs-block-size cost trade-off (paper Fig. 20: tiny blocks make
+//! bitmap computation expensive) is reproduced by the `fig20_bitmap` bench.
+
+use crate::block::{BlockIdx, BlockSpec, INFINITY_BLOCK};
+use crate::dense::Tensor;
+
+/// One bit per block: set when the block holds at least one non-zero value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonZeroBitmap {
+    words: Vec<u64>,
+    nblocks: usize,
+}
+
+impl NonZeroBitmap {
+    /// Builds the bitmap for tensor `t` under partitioning `spec` with a
+    /// single pass over the data.
+    pub fn build(t: &Tensor, spec: BlockSpec) -> Self {
+        let nblocks = spec.block_count(t.len());
+        let mut words = vec![0u64; nblocks.div_ceil(64)];
+        let bs = spec.block_size();
+        let data = t.as_slice();
+        for (b, chunk) in data.chunks(bs).enumerate() {
+            if chunk.iter().any(|v| *v != 0.0) {
+                words[b / 64] |= 1u64 << (b % 64);
+            }
+        }
+        NonZeroBitmap { words, nblocks }
+    }
+
+    /// Builds an empty (all-zero-blocks) bitmap for `nblocks` blocks.
+    pub fn empty(nblocks: usize) -> Self {
+        NonZeroBitmap {
+            words: vec![0u64; nblocks.div_ceil(64)],
+            nblocks,
+        }
+    }
+
+    /// Number of blocks covered.
+    pub fn block_count(&self) -> usize {
+        self.nblocks
+    }
+
+    /// True when block `idx` holds a non-zero value.
+    pub fn is_set(&self, idx: BlockIdx) -> bool {
+        let i = idx as usize;
+        assert!(i < self.nblocks, "block {idx} out of range");
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Marks block `idx` as non-zero (used when a worker writes fresh data
+    /// into its tensor, e.g. after local sparsification).
+    pub fn set(&mut self, idx: BlockIdx) {
+        let i = idx as usize;
+        assert!(i < self.nblocks, "block {idx} out of range");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Index of the first non-zero block at or after `from`, or
+    /// [`INFINITY_BLOCK`] when none remains. Word-at-a-time scan.
+    pub fn next_nonzero(&self, from: BlockIdx) -> BlockIdx {
+        let start = from as usize;
+        if start >= self.nblocks {
+            return INFINITY_BLOCK;
+        }
+        let mut w = start / 64;
+        // Mask off bits below `start` in the first word.
+        let mut word = self.words[w] & (!0u64 << (start % 64));
+        loop {
+            if word != 0 {
+                let idx = w * 64 + word.trailing_zeros() as usize;
+                return if idx < self.nblocks {
+                    idx as BlockIdx
+                } else {
+                    INFINITY_BLOCK
+                };
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return INFINITY_BLOCK;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Number of non-zero blocks.
+    pub fn count_nonzero(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of all-zero blocks (block sparsity).
+    pub fn block_sparsity(&self) -> f64 {
+        if self.nblocks == 0 {
+            return 0.0;
+        }
+        (self.nblocks - self.count_nonzero()) as f64 / self.nblocks as f64
+    }
+
+    /// Iterator over the indices of non-zero blocks.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = BlockIdx> + '_ {
+        let mut next = 0u32;
+        std::iter::from_fn(move || {
+            let idx = self.next_nonzero(next);
+            if idx == INFINITY_BLOCK {
+                None
+            } else {
+                next = idx + 1;
+                Some(idx)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bitmap(values: &[f32], bs: usize) -> NonZeroBitmap {
+        NonZeroBitmap::build(&Tensor::from_vec(values.to_vec()), BlockSpec::new(bs))
+    }
+
+    #[test]
+    fn build_matches_blockspec_scan() {
+        let vals: Vec<f32> = (0..300)
+            .map(|i| if i % 37 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let t = Tensor::from_vec(vals);
+        let spec = BlockSpec::new(16);
+        let bm = NonZeroBitmap::build(&t, spec);
+        for b in 0..spec.block_count(t.len()) as BlockIdx {
+            assert_eq!(bm.is_set(b), !spec.is_zero_block(&t, b), "block {b}");
+        }
+    }
+
+    #[test]
+    fn next_nonzero_matches_blockspec() {
+        let vals: Vec<f32> = (0..1000)
+            .map(|i| if i % 129 == 5 { 2.0 } else { 0.0 })
+            .collect();
+        let t = Tensor::from_vec(vals);
+        let spec = BlockSpec::new(8);
+        let bm = NonZeroBitmap::build(&t, spec);
+        for from in 0..spec.block_count(t.len()) as BlockIdx + 2 {
+            assert_eq!(
+                bm.next_nonzero(from),
+                spec.next_nonzero_block(&t, from),
+                "from {from}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_nonzero_across_word_boundary() {
+        // 130 blocks, only block 128 non-zero — forces a scan past two words.
+        let mut vals = vec![0.0f32; 130];
+        vals[128] = 1.0;
+        let bm = bitmap(&vals, 1);
+        assert_eq!(bm.next_nonzero(0), 128);
+        assert_eq!(bm.next_nonzero(128), 128);
+        assert_eq!(bm.next_nonzero(129), INFINITY_BLOCK);
+    }
+
+    #[test]
+    fn empty_and_set() {
+        let mut bm = NonZeroBitmap::empty(70);
+        assert_eq!(bm.count_nonzero(), 0);
+        assert_eq!(bm.next_nonzero(0), INFINITY_BLOCK);
+        bm.set(69);
+        assert!(bm.is_set(69));
+        assert_eq!(bm.next_nonzero(0), 69);
+        assert_eq!(bm.count_nonzero(), 1);
+    }
+
+    #[test]
+    fn block_sparsity_matches() {
+        let vals = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0];
+        let bm = bitmap(&vals, 2);
+        assert!((bm.block_sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_nonzero_lists_indices() {
+        let vals = vec![1.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 1.0];
+        let bm = bitmap(&vals, 2);
+        let got: Vec<_> = bm.iter_nonzero().collect();
+        assert_eq!(got, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn from_beyond_end_returns_infinity() {
+        let bm = bitmap(&[1.0, 1.0], 1);
+        assert_eq!(bm.next_nonzero(2), INFINITY_BLOCK);
+        assert_eq!(bm.next_nonzero(1000), INFINITY_BLOCK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn is_set_out_of_range_panics() {
+        let bm = NonZeroBitmap::empty(3);
+        bm.is_set(3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The word-scan bitmap agrees with a naive tensor scan for
+        /// arbitrary contents and block sizes.
+        #[test]
+        fn prop_bitmap_matches_naive_scan(
+            values in prop::collection::vec(
+                prop_oneof![3 => Just(0.0f32), 1 => -5.0f32..5.0],
+                1..600,
+            ),
+            bs in 1usize..20,
+        ) {
+            let t = Tensor::from_vec(values);
+            let spec = BlockSpec::new(bs);
+            let bm = NonZeroBitmap::build(&t, spec);
+            let nblocks = spec.block_count(t.len());
+            prop_assert_eq!(bm.block_count(), nblocks);
+            for b in 0..nblocks as BlockIdx {
+                prop_assert_eq!(bm.is_set(b), !spec.is_zero_block(&t, b));
+            }
+            for from in 0..(nblocks as BlockIdx + 2) {
+                prop_assert_eq!(
+                    bm.next_nonzero(from),
+                    spec.next_nonzero_block(&t, from)
+                );
+            }
+            prop_assert_eq!(
+                bm.count_nonzero(),
+                spec.nonzero_blocks(&t).count()
+            );
+        }
+    }
+}

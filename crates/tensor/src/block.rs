@@ -1,0 +1,218 @@
+//! Block partitioning of a tensor (paper §3).
+//!
+//! OmniReduce splits the input tensor into fixed-size *blocks* of `bs`
+//! contiguous elements and transmits only blocks containing at least one
+//! non-zero value. [`BlockSpec`] captures the partitioning and provides the
+//! "find the next non-zero block" primitive at the heart of Algorithm 1.
+
+use crate::dense::Tensor;
+
+/// Index of a block within a tensor. `u32` on the wire; block `i` covers
+/// elements `[i*bs, (i+1)*bs)`.
+pub type BlockIdx = u32;
+
+/// The sentinel the aggregator and workers exchange to signal "no further
+/// non-zero block" — the paper's `∞` (Algorithm 1, line 12).
+pub const INFINITY_BLOCK: BlockIdx = u32::MAX;
+
+/// Fixed-size partitioning of a tensor into blocks.
+///
+/// The paper's default block size is 256 elements (§6, chosen empirically
+/// in §6.4.1); we keep it as the crate-wide default too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    block_size: usize,
+}
+
+/// The paper's default block size (elements per block).
+pub const DEFAULT_BLOCK_SIZE: usize = 256;
+
+impl Default for BlockSpec {
+    fn default() -> Self {
+        BlockSpec::new(DEFAULT_BLOCK_SIZE)
+    }
+}
+
+impl BlockSpec {
+    /// Creates a partitioning with `block_size` elements per block.
+    ///
+    /// # Panics
+    /// Panics when `block_size == 0`.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        BlockSpec { block_size }
+    }
+
+    /// Elements per block (`bs` in the paper).
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of blocks needed to cover a tensor of `len` elements.
+    /// The final block may be partial.
+    pub fn block_count(&self, len: usize) -> usize {
+        len.div_ceil(self.block_size)
+    }
+
+    /// Element range covered by block `idx` in a tensor of `len` elements
+    /// (clamped for the final partial block).
+    pub fn range(&self, idx: BlockIdx, len: usize) -> std::ops::Range<usize> {
+        let start = idx as usize * self.block_size;
+        let end = (start + self.block_size).min(len);
+        assert!(start < len, "block {idx} out of range for len {len}");
+        start..end
+    }
+
+    /// True when block `idx` of `t` contains only zeros.
+    pub fn is_zero_block(&self, t: &Tensor, idx: BlockIdx) -> bool {
+        t.as_slice()[self.range(idx, t.len())]
+            .iter()
+            .all(|v| *v == 0.0)
+    }
+
+    /// Index of the first block at or after `from` that contains a non-zero
+    /// value, or [`INFINITY_BLOCK`] when none remains.
+    ///
+    /// This is the worker-side lookahead of Algorithm 1 (line 2/12):
+    /// "next non-zero block index or else ∞".
+    pub fn next_nonzero_block(&self, t: &Tensor, from: BlockIdx) -> BlockIdx {
+        let nblocks = self.block_count(t.len()) as BlockIdx;
+        let mut idx = from;
+        while idx < nblocks {
+            if !self.is_zero_block(t, idx) {
+                return idx;
+            }
+            idx += 1;
+        }
+        INFINITY_BLOCK
+    }
+
+    /// Iterator over the indices of all non-zero blocks of `t`.
+    pub fn nonzero_blocks<'a>(&self, t: &'a Tensor) -> NonZeroBlocks<'a> {
+        NonZeroBlocks {
+            spec: *self,
+            tensor: t,
+            next: 0,
+        }
+    }
+
+    /// Fraction of blocks that are entirely zero — the paper's *block
+    /// sparsity* (§3.1.2, Fig. 16).
+    pub fn block_sparsity(&self, t: &Tensor) -> f64 {
+        let nblocks = self.block_count(t.len());
+        if nblocks == 0 {
+            return 0.0;
+        }
+        let nonzero = self.nonzero_blocks(t).count();
+        (nblocks - nonzero) as f64 / nblocks as f64
+    }
+}
+
+/// Iterator over non-zero block indices; see [`BlockSpec::nonzero_blocks`].
+pub struct NonZeroBlocks<'a> {
+    spec: BlockSpec,
+    tensor: &'a Tensor,
+    next: BlockIdx,
+}
+
+impl Iterator for NonZeroBlocks<'_> {
+    type Item = BlockIdx;
+
+    fn next(&mut self) -> Option<BlockIdx> {
+        let idx = self.spec.next_nonzero_block(self.tensor, self.next);
+        if idx == INFINITY_BLOCK {
+            None
+        } else {
+            self.next = idx + 1;
+            Some(idx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec())
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        let s = BlockSpec::new(4);
+        assert_eq!(s.block_count(0), 0);
+        assert_eq!(s.block_count(1), 1);
+        assert_eq!(s.block_count(4), 1);
+        assert_eq!(s.block_count(5), 2);
+        assert_eq!(s.block_count(8), 2);
+    }
+
+    #[test]
+    fn range_clamps_final_partial_block() {
+        let s = BlockSpec::new(4);
+        assert_eq!(s.range(0, 6), 0..4);
+        assert_eq!(s.range(1, 6), 4..6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn range_out_of_bounds_panics() {
+        let s = BlockSpec::new(4);
+        let _ = s.range(2, 6);
+    }
+
+    #[test]
+    fn zero_block_detection() {
+        let s = BlockSpec::new(2);
+        let x = t(&[0.0, 0.0, 1.0, 0.0, 0.0, 0.0]);
+        assert!(s.is_zero_block(&x, 0));
+        assert!(!s.is_zero_block(&x, 1));
+        assert!(s.is_zero_block(&x, 2));
+    }
+
+    #[test]
+    fn next_nonzero_scans_forward() {
+        let s = BlockSpec::new(2);
+        let x = t(&[0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 5.0, 5.0]);
+        assert_eq!(s.next_nonzero_block(&x, 0), 1);
+        assert_eq!(s.next_nonzero_block(&x, 1), 1);
+        assert_eq!(s.next_nonzero_block(&x, 2), 3);
+        assert_eq!(s.next_nonzero_block(&x, 4), INFINITY_BLOCK);
+    }
+
+    #[test]
+    fn next_nonzero_all_zero_tensor() {
+        let s = BlockSpec::new(3);
+        let x = Tensor::zeros(9);
+        assert_eq!(s.next_nonzero_block(&x, 0), INFINITY_BLOCK);
+    }
+
+    #[test]
+    fn nonzero_blocks_iterator_lists_all() {
+        let s = BlockSpec::new(2);
+        let x = t(&[1.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0]);
+        let idxs: Vec<_> = s.nonzero_blocks(&x).collect();
+        assert_eq!(idxs, vec![0, 2]);
+    }
+
+    #[test]
+    fn block_sparsity_fraction() {
+        let s = BlockSpec::new(2);
+        let x = t(&[1.0, 0.0, 0.0, 0.0, 0.0, 3.0, 0.0, 0.0]);
+        assert!((s.block_sparsity(&x) - 0.5).abs() < 1e-12);
+        assert_eq!(s.block_sparsity(&Tensor::zeros(0)), 0.0);
+    }
+
+    #[test]
+    fn partial_final_block_is_scanned() {
+        let s = BlockSpec::new(4);
+        let x = t(&[0.0, 0.0, 0.0, 0.0, 0.0, 7.0]);
+        assert_eq!(s.next_nonzero_block(&x, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_block_size_panics() {
+        let _ = BlockSpec::new(0);
+    }
+}

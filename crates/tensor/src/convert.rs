@@ -1,0 +1,90 @@
+//! Dense ↔ sparse format conversion with cost accounting (paper §6.1.3).
+//!
+//! AGsparse and SparCML require input in sparse (COO) format, while DNN
+//! frameworks hold gradients densely; the paper's Fig. 8 shows the
+//! conversion overhead dominating at low sparsity. These helpers perform
+//! the conversions and, for the benchmark harness, report how long each
+//! direction takes on a given tensor so the `fig08_conversion` generator
+//! can reproduce the breakdown.
+
+use std::time::{Duration, Instant};
+
+use crate::coo::CooTensor;
+use crate::dense::Tensor;
+
+/// Converts a dense tensor to COO format by scanning for non-zeros.
+pub fn dense_to_coo(t: &Tensor) -> CooTensor {
+    let mut keys = Vec::new();
+    let mut values = Vec::new();
+    for (i, v) in t.as_slice().iter().enumerate() {
+        if *v != 0.0 {
+            keys.push(i as u32);
+            values.push(*v);
+        }
+    }
+    CooTensor::from_pairs(t.len(), keys, values)
+}
+
+/// Converts a COO tensor back to a dense tensor.
+pub fn coo_to_dense(c: &CooTensor) -> Tensor {
+    let mut t = Tensor::zeros(c.len());
+    for (k, v) in c.iter() {
+        t[k as usize] = v;
+    }
+    t
+}
+
+/// Wall-clock cost of one dense→COO conversion of `t`.
+pub fn time_dense_to_coo(t: &Tensor) -> (CooTensor, Duration) {
+    let start = Instant::now();
+    let c = dense_to_coo(t);
+    (c, start.elapsed())
+}
+
+/// Wall-clock cost of one COO→dense conversion of `c`.
+pub fn time_coo_to_dense(c: &CooTensor) -> (Tensor, Duration) {
+    let start = Instant::now();
+    let t = coo_to_dense(c);
+    (t, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_tensor() {
+        let t = Tensor::from_vec(vec![0.0, 1.5, 0.0, -2.0, 0.0]);
+        let c = dense_to_coo(&t);
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.keys(), &[1, 3]);
+        assert_eq!(coo_to_dense(&c), t);
+    }
+
+    #[test]
+    fn all_zero_tensor_gives_empty_coo() {
+        let t = Tensor::zeros(7);
+        let c = dense_to_coo(&t);
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(coo_to_dense(&c), t);
+    }
+
+    #[test]
+    fn fully_dense_tensor_keeps_every_entry() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let c = dense_to_coo(&t);
+        assert_eq!(c.nnz(), 3);
+        assert_eq!(c.density(), 1.0);
+    }
+
+    #[test]
+    fn timed_variants_return_same_results() {
+        let t = Tensor::from_vec(vec![0.0, 4.0, 0.0]);
+        let (c, d1) = time_dense_to_coo(&t);
+        assert_eq!(c, dense_to_coo(&t));
+        let (back, d2) = time_coo_to_dense(&c);
+        assert_eq!(back, t);
+        // Durations are non-negative by type; just ensure they were measured.
+        assert!(d1.as_nanos() < u128::MAX && d2.as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,196 @@
+//! Coordinate-list (COO) sparse tensor format (paper §2, "Tensor data
+//! format").
+//!
+//! A COO tensor stores a sorted list of `(key, value)` pairs for the
+//! non-zero elements of a logically dense vector. The AGsparse and SparCML
+//! baselines operate on this format, and the sparse-block protocol
+//! extension (paper §3.3 / Algorithm 3) streams blocks of key-value pairs.
+
+/// Sparse tensor in coordinate-list format: parallel `keys`/`values`
+/// arrays sorted by key, plus the logical dense length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooTensor {
+    len: usize,
+    keys: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CooTensor {
+    /// Creates an empty sparse tensor of logical length `len`.
+    pub fn empty(len: usize) -> Self {
+        CooTensor {
+            len,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds from parallel key/value arrays.
+    ///
+    /// # Panics
+    /// Panics when the arrays differ in length, keys are not strictly
+    /// increasing, or a key is out of range.
+    pub fn from_pairs(len: usize, keys: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(keys.len(), values.len(), "key/value length mismatch");
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "keys must be strictly increasing");
+        }
+        if let Some(&last) = keys.last() {
+            assert!((last as usize) < len, "key {last} out of range for len {len}");
+        }
+        CooTensor { len, keys, values }
+    }
+
+    /// Logical dense length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the logical tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored (non-zero) entries (`m` in the paper's model).
+    pub fn nnz(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Sorted keys of the stored entries.
+    pub fn keys(&self) -> &[u32] {
+        &self.keys
+    }
+
+    /// Values parallel to [`CooTensor::keys`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.keys.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Bytes this tensor occupies on the wire in sparse format
+    /// (`m · (c_i + c_v)`).
+    pub fn wire_bytes(&self) -> usize {
+        self.nnz() * (crate::INDEX_BYTES + crate::VALUE_BYTES)
+    }
+
+    /// Merges `other` into `self` by summing values at equal keys —
+    /// the local reduction step of AGsparse/SparCML.
+    pub fn merge_sum(&self, other: &CooTensor) -> CooTensor {
+        assert_eq!(self.len, other.len, "logical length mismatch");
+        let mut keys = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.nnz() && j < other.nnz() {
+            match self.keys[i].cmp(&other.keys[j]) {
+                std::cmp::Ordering::Less => {
+                    keys.push(self.keys[i]);
+                    values.push(self.values[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    keys.push(other.keys[j]);
+                    values.push(other.values[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    keys.push(self.keys[i]);
+                    values.push(self.values[i] + other.values[j]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        keys.extend_from_slice(&self.keys[i..]);
+        values.extend_from_slice(&self.values[i..]);
+        keys.extend_from_slice(&other.keys[j..]);
+        values.extend_from_slice(&other.values[j..]);
+        CooTensor { len: self.len, keys, values }
+    }
+
+    /// Density of stored entries relative to the logical length
+    /// (`D` in the §3.4 model).
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        self.nnz() as f64 / self.len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert;
+
+    #[test]
+    fn from_pairs_validates() {
+        let c = CooTensor::from_pairs(10, vec![1, 3, 7], vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.nnz(), 3);
+        assert_eq!(c.len(), 10);
+        assert!((c.density() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_keys_panic() {
+        let _ = CooTensor::from_pairs(10, vec![3, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn key_out_of_range_panics() {
+        let _ = CooTensor::from_pairs(3, vec![3], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_arrays_panic() {
+        let _ = CooTensor::from_pairs(10, vec![1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn merge_sum_unions_and_sums() {
+        let a = CooTensor::from_pairs(8, vec![0, 3, 5], vec![1.0, 2.0, 3.0]);
+        let b = CooTensor::from_pairs(8, vec![3, 4], vec![10.0, 20.0]);
+        let m = a.merge_sum(&b);
+        assert_eq!(m.keys(), &[0, 3, 4, 5]);
+        assert_eq!(m.values(), &[1.0, 12.0, 20.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_sum_with_empty() {
+        let a = CooTensor::from_pairs(4, vec![2], vec![5.0]);
+        let e = CooTensor::empty(4);
+        assert_eq!(a.merge_sum(&e), a);
+        assert_eq!(e.merge_sum(&a), a);
+    }
+
+    #[test]
+    fn merge_matches_dense_sum() {
+        let a = CooTensor::from_pairs(6, vec![0, 2], vec![1.0, -1.0]);
+        let b = CooTensor::from_pairs(6, vec![2, 5], vec![1.0, 4.0]);
+        let dense_a = convert::coo_to_dense(&a);
+        let dense_b = convert::coo_to_dense(&b);
+        let mut expect = dense_a.clone();
+        expect.add_assign(&dense_b);
+        let merged = convert::coo_to_dense(&a.merge_sum(&b));
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn wire_bytes_counts_index_plus_value() {
+        let c = CooTensor::from_pairs(100, vec![1, 2, 3], vec![1.0; 3]);
+        assert_eq!(c.wire_bytes(), 3 * 8);
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let c = CooTensor::from_pairs(5, vec![1, 4], vec![9.0, 8.0]);
+        let v: Vec<_> = c.iter().collect();
+        assert_eq!(v, vec![(1, 9.0), (4, 8.0)]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Dense tensor: a flat `f32` vector.
+//!
+//! The paper treats the collective input as a one-dimensional vector of
+//! 32-bit floats (a flattened gradient). Multi-dimensional shape is
+//! irrelevant to the communication layer, so we only keep the flat buffer.
+
+use std::ops::{Index, IndexMut, Range};
+
+/// A dense, flat tensor of `f32` values.
+///
+/// This is the input and output type of every collective in the workspace.
+/// It is a thin wrapper over `Vec<f32>` that adds the block-oriented and
+/// sparsity-oriented helpers the OmniReduce protocol needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Tensor {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Tensor { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Element-wise `self += other`. Panics if lengths differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.len(), other.len(), "tensor length mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Element-wise `self += slice` starting at `offset`.
+    pub fn add_slice_at(&mut self, offset: usize, values: &[f32]) {
+        let dst = &mut self.data[offset..offset + values.len()];
+        for (a, b) in dst.iter_mut().zip(values) {
+            *a += *b;
+        }
+    }
+
+    /// Overwrites `[offset, offset+values.len())` with `values`.
+    pub fn copy_slice_at(&mut self, offset: usize, values: &[f32]) {
+        self.data[offset..offset + values.len()].copy_from_slice(values);
+    }
+
+    /// Scales every element by `factor`.
+    pub fn scale(&mut self, factor: f32) {
+        self.data.iter_mut().for_each(|v| *v *= factor);
+    }
+
+    /// Number of exactly-zero elements.
+    pub fn zero_count(&self) -> usize {
+        self.data.iter().filter(|v| **v == 0.0).count()
+    }
+
+    /// Number of non-zero elements (`m` in the paper's cost model).
+    pub fn nonzero_count(&self) -> usize {
+        self.len() - self.zero_count()
+    }
+
+    /// Fraction of zero elements in `[0, 1]` — the paper's *gradient
+    /// sparsity* (§1, Table 1).
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.zero_count() as f64 / self.len() as f64
+    }
+
+    /// Fraction of non-zero elements (`D` in the §3.4 performance model).
+    pub fn density(&self) -> f64 {
+        1.0 - self.sparsity()
+    }
+
+    /// Squared ℓ2 norm.
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|v| (*v as f64) * (*v as f64)).sum()
+    }
+
+    /// ℓ2 norm.
+    pub fn norm(&self) -> f64 {
+        self.sq_norm().sqrt()
+    }
+
+    /// Maximum absolute difference to `other` — used by tests to compare
+    /// floating-point aggregation results across collectives.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "tensor length mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// True when every element equals `other`'s within `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.len() == other.len() && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl Index<usize> for Tensor {
+    type Output = f32;
+    fn index(&self, i: usize) -> &f32 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Tensor {
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        &mut self.data[i]
+    }
+}
+
+impl Index<Range<usize>> for Tensor {
+    type Output = [f32];
+    fn index(&self, r: Range<usize>) -> &[f32] {
+        &self.data[r]
+    }
+}
+
+impl IndexMut<Range<usize>> for Tensor {
+    fn index_mut(&mut self, r: Range<usize>) -> &mut [f32] {
+        &mut self.data[r]
+    }
+}
+
+impl FromIterator<f32> for Tensor {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        Tensor {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Sums `tensors` element-wise into a fresh tensor — the reference result
+/// every AllReduce implementation must reproduce.
+pub fn reference_sum(tensors: &[Tensor]) -> Tensor {
+    assert!(!tensors.is_empty(), "need at least one tensor");
+    let mut out = tensors[0].clone();
+    for t in &tensors[1..] {
+        out.add_assign(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros(10);
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+        assert_eq!(t.zero_count(), 10);
+        assert_eq!(t.sparsity(), 1.0);
+    }
+
+    #[test]
+    fn empty_tensor_sparsity_is_zero() {
+        let t = Tensor::zeros(0);
+        assert!(t.is_empty());
+        assert_eq!(t.sparsity(), 0.0);
+        assert_eq!(t.density(), 1.0);
+    }
+
+    #[test]
+    fn add_assign_sums_elementwise() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(vec![0.5, -2.0, 1.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[1.5, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_assign_length_mismatch_panics() {
+        let mut a = Tensor::zeros(3);
+        let b = Tensor::zeros(4);
+        a.add_assign(&b);
+    }
+
+    #[test]
+    fn sparsity_counts_exact_zeros() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(t.zero_count(), 2);
+        assert_eq!(t.nonzero_count(), 2);
+        assert!((t.sparsity() - 0.5).abs() < 1e-12);
+        assert!((t.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_slice_at_accumulates_in_window() {
+        let mut t = Tensor::zeros(6);
+        t.add_slice_at(2, &[1.0, 2.0]);
+        t.add_slice_at(2, &[1.0, 2.0]);
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 2.0, 4.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_slice_at_overwrites() {
+        let mut t = Tensor::from_vec(vec![9.0; 4]);
+        t.copy_slice_at(1, &[1.0, 2.0]);
+        assert_eq!(t.as_slice(), &[9.0, 1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn reference_sum_matches_manual() {
+        let a = Tensor::from_vec(vec![1.0, 0.0]);
+        let b = Tensor::from_vec(vec![2.0, 3.0]);
+        let c = Tensor::from_vec(vec![-1.0, 1.0]);
+        let s = reference_sum(&[a, b, c]);
+        assert_eq!(s.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tensor::from_vec(vec![3.0, 4.0]);
+        assert!((t.sq_norm() - 25.0).abs() < 1e-9);
+        assert!((t.norm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_abs_diff_and_approx_eq() {
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![1.0, 2.5]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-6);
+        assert!(a.approx_eq(&b, 0.5));
+        assert!(!a.approx_eq(&b, 0.4));
+    }
+
+    #[test]
+    fn scale_and_clear() {
+        let mut t = Tensor::from_vec(vec![2.0, -4.0]);
+        t.scale(0.5);
+        assert_eq!(t.as_slice(), &[1.0, -2.0]);
+        t.clear();
+        assert_eq!(t.as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Block Fusion layout (paper §3.2, Fig. 3).
+//!
+//! Block Fusion packs `w` blocks into one packet so that a slot aggregates
+//! `w · bs` values at once, balancing block sparsity (favours small blocks)
+//! against bandwidth efficiency (favours big payloads). The key constraint
+//! is that streaming aggregation needs same-offset blocks from different
+//! workers to land in the same packet position, so the tensor is viewed as
+//! a row-major matrix of blocks with `w` columns:
+//!
+//! ```text
+//! column:      0    1    2    3        (w = 4)
+//! row 0:      b0   b1   b2   b3
+//! row 1:      b4   b5   b6   b7
+//! row 2:      b8   b9  b10  b11
+//! ```
+//!
+//! A packet carries at most one block per column, each with a per-column
+//! "next non-zero block" offset found by scanning *down the column*. Two
+//! blocks sharing a column can therefore never be fused into one packet,
+//! and the basic Algorithm 1 logic applies per column unchanged.
+//!
+//! The paper encodes the end-of-column sentinel as `w` distinct values
+//! `∞_i`, one per column, so that the aggregator can recover the column
+//! index of a fused entry purely from its `next` field (footnote 3:
+//! `i = next mod w` for finite values). [`FusedNext`] reproduces that
+//! encoding: finite block indices already satisfy `index % w == column`,
+//! and the top `w` values of the `u32` space serve as the per-column
+//! infinities.
+
+use crate::bitmap::NonZeroBitmap;
+use crate::block::{BlockIdx, BlockSpec, INFINITY_BLOCK};
+
+/// Row-major matrix view of a tensor's blocks with `width` columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionLayout {
+    spec: BlockSpec,
+    width: usize,
+}
+
+impl FusionLayout {
+    /// Creates a layout fusing `width` blocks per packet.
+    ///
+    /// # Panics
+    /// Panics when `width == 0`.
+    pub fn new(spec: BlockSpec, width: usize) -> Self {
+        assert!(width > 0, "fusion width must be positive");
+        FusionLayout { spec, width }
+    }
+
+    /// The underlying block partitioning.
+    pub fn spec(&self) -> BlockSpec {
+        self.spec
+    }
+
+    /// Blocks fused per packet (`w` in the paper).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Column of block `idx`.
+    pub fn column_of(&self, idx: BlockIdx) -> usize {
+        idx as usize % self.width
+    }
+
+    /// Row of block `idx`.
+    pub fn row_of(&self, idx: BlockIdx) -> usize {
+        idx as usize / self.width
+    }
+
+    /// Block index at `(row, col)`.
+    pub fn block_at(&self, row: usize, col: usize) -> BlockIdx {
+        debug_assert!(col < self.width);
+        (row * self.width + col) as BlockIdx
+    }
+
+    /// First non-zero block in `col` at or after block `from` (which must
+    /// belong to `col` or be the column start), scanning down the column.
+    /// Returns [`INFINITY_BLOCK`] when the column holds no further
+    /// non-zero block.
+    pub fn next_nonzero_in_column(
+        &self,
+        bitmap: &NonZeroBitmap,
+        col: usize,
+        from: BlockIdx,
+    ) -> BlockIdx {
+        debug_assert!(col < self.width, "column out of range");
+        let nblocks = bitmap.block_count() as BlockIdx;
+        // Align `from` to the column: smallest block ≥ from with index ≡ col.
+        let mut idx = if self.column_of(from) == col {
+            from
+        } else {
+            let row = if (from as usize % self.width) <= col {
+                self.row_of(from)
+            } else {
+                self.row_of(from) + 1
+            };
+            self.block_at(row, col)
+        };
+        while idx < nblocks {
+            if bitmap.is_set(idx) {
+                return idx;
+            }
+            idx += self.width as BlockIdx;
+        }
+        INFINITY_BLOCK
+    }
+}
+
+/// The per-column `next` encoding of Block Fusion packets.
+///
+/// A fused packet entry carries a single `u32` from which the receiver
+/// recovers both the column index and the next-block value:
+///
+/// * finite values are plain block indices (column = `value % w`);
+/// * the top `w` values of the `u32` range are the per-column infinities
+///   `∞_0 … ∞_{w-1}` (the paper's footnote 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedNext(pub u32);
+
+impl FusedNext {
+    /// Encodes a finite next-block index. The index's own residue is the
+    /// column, so no extra information is needed.
+    pub fn finite(next: BlockIdx, width: usize) -> Self {
+        assert!(
+            (next as u64) < u32::MAX as u64 - width as u64 + 1,
+            "block index collides with infinity range"
+        );
+        FusedNext(next)
+    }
+
+    /// Encodes the column-`col` infinity `∞_col`.
+    pub fn infinity(col: usize, width: usize) -> Self {
+        assert!(col < width, "column out of range");
+        FusedNext(u32::MAX - (width as u32 - 1) + col as u32)
+    }
+
+    /// Decodes into `(column, next)`, where `next` is
+    /// [`INFINITY_BLOCK`] for the per-column infinities.
+    pub fn decode(self, width: usize) -> (usize, BlockIdx) {
+        let inf_base = u32::MAX - (width as u32 - 1);
+        if self.0 >= inf_base {
+            ((self.0 - inf_base) as usize, INFINITY_BLOCK)
+        } else {
+            ((self.0 as usize) % width, self.0)
+        }
+    }
+
+    /// Raw wire value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Tensor;
+
+    fn bitmap(nonzero_blocks: &[BlockIdx], nblocks: usize) -> NonZeroBitmap {
+        let mut bm = NonZeroBitmap::empty(nblocks);
+        for &b in nonzero_blocks {
+            bm.set(b);
+        }
+        bm
+    }
+
+    #[test]
+    fn row_col_mapping_is_bijective() {
+        let l = FusionLayout::new(BlockSpec::new(4), 4);
+        for idx in 0..64u32 {
+            let (r, c) = (l.row_of(idx), l.column_of(idx));
+            assert_eq!(l.block_at(r, c), idx);
+        }
+    }
+
+    #[test]
+    fn next_in_column_steps_by_width() {
+        // 12 blocks, w=4. Column 1 holds blocks 1, 5, 9; only 9 non-zero.
+        let l = FusionLayout::new(BlockSpec::new(2), 4);
+        let bm = bitmap(&[9], 12);
+        assert_eq!(l.next_nonzero_in_column(&bm, 1, 1), 9);
+        assert_eq!(l.next_nonzero_in_column(&bm, 1, 5), 9);
+        assert_eq!(l.next_nonzero_in_column(&bm, 1, 9), 9);
+        // Past the last: infinity.
+        let past = l.block_at(3, 1); // block 13 ≥ nblocks
+        assert_eq!(l.next_nonzero_in_column(&bm, 1, past), INFINITY_BLOCK);
+    }
+
+    #[test]
+    fn next_in_column_aligns_unaligned_from() {
+        let l = FusionLayout::new(BlockSpec::new(2), 4);
+        let bm = bitmap(&[5, 9], 12);
+        // from=2 (column 2) asking column 1: first candidate is block 5.
+        assert_eq!(l.next_nonzero_in_column(&bm, 1, 2), 5);
+        // from=6 (column 2 > 1): must jump to the next row → block 9.
+        assert_eq!(l.next_nonzero_in_column(&bm, 1, 6), 9);
+        // from=4 (column 0 ≤ 1): same row → block 5.
+        assert_eq!(l.next_nonzero_in_column(&bm, 1, 4), 5);
+    }
+
+    #[test]
+    fn empty_column_returns_infinity() {
+        let l = FusionLayout::new(BlockSpec::new(2), 2);
+        let bm = bitmap(&[0, 2], 6); // column 1 (blocks 1,3,5) all zero
+        assert_eq!(l.next_nonzero_in_column(&bm, 1, 1), INFINITY_BLOCK);
+    }
+
+    #[test]
+    fn fused_next_roundtrip_finite() {
+        for w in [1usize, 2, 4, 8] {
+            for idx in [0u32, 1, 5, 1000, 12345] {
+                let enc = FusedNext::finite(idx, w);
+                let (col, next) = enc.decode(w);
+                assert_eq!(next, idx);
+                assert_eq!(col, idx as usize % w);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_next_roundtrip_infinity() {
+        for w in [1usize, 2, 4, 8] {
+            for col in 0..w {
+                let enc = FusedNext::infinity(col, w);
+                let (c, next) = enc.decode(w);
+                assert_eq!(c, col);
+                assert_eq!(next, INFINITY_BLOCK);
+            }
+        }
+    }
+
+    #[test]
+    fn infinities_are_distinct_per_column() {
+        let w = 8;
+        let mut raws: Vec<u32> = (0..w).map(|c| FusedNext::infinity(c, w).raw()).collect();
+        raws.dedup();
+        assert_eq!(raws.len(), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn finite_in_infinity_range_panics() {
+        let _ = FusedNext::finite(u32::MAX - 1, 4);
+    }
+
+    #[test]
+    fn column_scan_matches_full_scan() {
+        // Cross-check against a naive scan over a real tensor.
+        let bs = 2;
+        let w = 3;
+        let l = FusionLayout::new(BlockSpec::new(bs), w);
+        let vals: Vec<f32> = (0..60)
+            .map(|i| if i % 7 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let t = Tensor::from_vec(vals);
+        let bm = NonZeroBitmap::build(&t, BlockSpec::new(bs));
+        let nblocks = bm.block_count() as BlockIdx;
+        for col in 0..w {
+            for from in 0..nblocks {
+                let got = l.next_nonzero_in_column(&bm, col, from);
+                // naive: smallest non-zero block ≥ from in this column
+                let want = (0..nblocks)
+                    .filter(|b| *b >= from && (*b as usize) % w == col && bm.is_set(*b))
+                    .min()
+                    .unwrap_or(INFINITY_BLOCK);
+                assert_eq!(got, want, "col {col} from {from}");
+            }
+        }
+    }
+}

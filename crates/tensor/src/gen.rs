@@ -1,0 +1,294 @@
+//! Deterministic sparse-tensor generators for the microbenchmarks
+//! (paper §6.1, §6.4.2).
+//!
+//! The paper's microbenchmarks generate random tensors with a target
+//! sparsity `s` and control how workers' non-zero blocks overlap
+//! (Fig. 17: *random*, *none*, *all*). Two element-placement regimes
+//! matter:
+//!
+//! * [`element_uniform`] — every element is independently non-zero with
+//!   probability `1 − s`. At realistic block sizes this produces almost no
+//!   all-zero blocks (P ≈ (s)^bs), which is exactly why element-wise
+//!   sparsity alone doesn't help block-oriented systems.
+//! * [`block_structured`] — sparsity is applied at block granularity (a
+//!   fraction `s` of blocks is entirely zero), matching the embedding-
+//!   gradient structure of Table 1 / Fig. 16, where block sparsity tracks
+//!   element sparsity. This is the regime the paper's `O, s%` tensors live
+//!   in (the reported speedups at bs = 256 are only attainable when the
+//!   zeros are block-aligned) and the default for our benchmarks.
+//!
+//! All generators are deterministic given a seed (ChaCha8), so benchmark
+//! runs and property-test shrinks are reproducible.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::block::BlockSpec;
+use crate::dense::Tensor;
+
+/// How the non-zero blocks of different workers relate (paper §6.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlapMode {
+    /// Every worker holds non-zero blocks at the same positions.
+    All,
+    /// Workers' non-zero positions are disjoint (as far as capacity
+    /// allows: when `N · nnz` exceeds the block count, the surplus is
+    /// placed randomly and some overlap becomes unavoidable).
+    None,
+    /// Each worker samples its non-zero positions independently.
+    Random,
+}
+
+/// Draws a non-zero value: uniform magnitude in `[0.5, 1.5)` with random
+/// sign, guaranteeing exact-zero never occurs.
+fn nonzero_value(rng: &mut impl Rng) -> f32 {
+    let mag = rng.gen_range(0.5f32..1.5);
+    if rng.gen_bool(0.5) {
+        mag
+    } else {
+        -mag
+    }
+}
+
+/// Generates a tensor where each element is independently non-zero with
+/// probability `1 − sparsity`.
+pub fn element_uniform(len: usize, sparsity: f64, seed: u64) -> Tensor {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let density = 1.0 - sparsity;
+    let mut t = Tensor::zeros(len);
+    for v in t.as_mut_slice() {
+        if rng.gen_bool(density) {
+            *v = nonzero_value(&mut rng);
+        }
+    }
+    t
+}
+
+/// Generates a tensor where a fraction `block_sparsity` of the blocks is
+/// entirely zero; within non-zero blocks each element is non-zero with
+/// probability `density_within` (1.0 → fully dense blocks).
+pub fn block_structured(
+    len: usize,
+    spec: BlockSpec,
+    block_sparsity: f64,
+    density_within: f64,
+    seed: u64,
+) -> Tensor {
+    let sets = worker_block_sets(1, spec.block_count(len), block_sparsity, OverlapMode::All, seed);
+    fill_from_block_set(len, spec, &sets[0], density_within, seed ^ 0x9e37_79b9)
+}
+
+/// Generates `n` worker tensors with the given block sparsity and overlap
+/// mode; used by Figs. 4–7, 13, 15, 17.
+pub fn workers(
+    n: usize,
+    len: usize,
+    spec: BlockSpec,
+    block_sparsity: f64,
+    density_within: f64,
+    mode: OverlapMode,
+    seed: u64,
+) -> Vec<Tensor> {
+    let sets = worker_block_sets(n, spec.block_count(len), block_sparsity, mode, seed);
+    sets.iter()
+        .enumerate()
+        .map(|(w, set)| {
+            fill_from_block_set(len, spec, set, density_within, seed ^ ((w as u64 + 1) * 0x517c_c1b7))
+        })
+        .collect()
+}
+
+/// Chooses, for each of `n` workers, the set of non-zero block indices
+/// (`true` = non-zero) given the target block sparsity and overlap mode.
+pub fn worker_block_sets(
+    n: usize,
+    nblocks: usize,
+    block_sparsity: f64,
+    mode: OverlapMode,
+    seed: u64,
+) -> Vec<Vec<bool>> {
+    assert!(n > 0, "need at least one worker");
+    assert!(
+        (0.0..=1.0).contains(&block_sparsity),
+        "block sparsity must be in [0,1]"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let nnz = ((1.0 - block_sparsity) * nblocks as f64).round() as usize;
+    let nnz = nnz.min(nblocks);
+    match mode {
+        OverlapMode::All => {
+            let chosen = sample_indices(&mut rng, nblocks, nnz);
+            let set = indices_to_mask(&chosen, nblocks);
+            vec![set; n]
+        }
+        OverlapMode::Random => (0..n)
+            .map(|_| {
+                let chosen = sample_indices(&mut rng, nblocks, nnz);
+                indices_to_mask(&chosen, nblocks)
+            })
+            .collect(),
+        OverlapMode::None => {
+            // Deal blocks out in a random permutation, round-robin, so the
+            // first `n·nnz` assignments are disjoint; any surplus (when
+            // n·nnz > nblocks) wraps around and overlaps minimally.
+            let mut perm: Vec<usize> = (0..nblocks).collect();
+            perm.shuffle(&mut rng);
+            let mut sets = vec![vec![false; nblocks]; n];
+            let mut cursor = 0usize;
+            for set in sets.iter_mut() {
+                for _ in 0..nnz {
+                    set[perm[cursor % nblocks]] = true;
+                    cursor += 1;
+                }
+            }
+            sets
+        }
+    }
+}
+
+fn sample_indices(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    rand::seq::index::sample(rng, n, k).into_vec()
+}
+
+fn indices_to_mask(indices: &[usize], n: usize) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &i in indices {
+        mask[i] = true;
+    }
+    mask
+}
+
+/// Fills a tensor from a non-zero block mask.
+fn fill_from_block_set(
+    len: usize,
+    spec: BlockSpec,
+    mask: &[bool],
+    density_within: f64,
+    seed: u64,
+) -> Tensor {
+    assert!(
+        (0.0..=1.0).contains(&density_within),
+        "density must be in [0,1]"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = Tensor::zeros(len);
+    for (b, on) in mask.iter().enumerate() {
+        if !*on {
+            continue;
+        }
+        let r = spec.range(b as u32, len);
+        let slice = &mut t.as_mut_slice()[r];
+        // Guarantee at least one non-zero so the block really is non-zero.
+        let forced = rng.gen_range(0..slice.len());
+        for (i, v) in slice.iter_mut().enumerate() {
+            if i == forced || rng.gen_bool(density_within) {
+                *v = nonzero_value(&mut rng);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEN: usize = 4096;
+
+    #[test]
+    fn element_uniform_hits_target_sparsity() {
+        let t = element_uniform(LEN, 0.9, 7);
+        assert!((t.sparsity() - 0.9).abs() < 0.03, "got {}", t.sparsity());
+    }
+
+    #[test]
+    fn element_uniform_extremes() {
+        assert_eq!(element_uniform(LEN, 1.0, 1).nonzero_count(), 0);
+        assert_eq!(element_uniform(LEN, 0.0, 1).zero_count(), 0);
+    }
+
+    #[test]
+    fn block_structured_hits_block_sparsity() {
+        let spec = BlockSpec::new(64);
+        let t = block_structured(LEN, spec, 0.75, 1.0, 3);
+        assert!((spec.block_sparsity(&t) - 0.75).abs() < 0.02);
+        // Fully dense inside non-zero blocks.
+        assert!(
+            (crate::stats::density_within_nonzero_blocks(&t, 64) - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn block_structured_partial_density_within() {
+        let spec = BlockSpec::new(64);
+        let t = block_structured(LEN, spec, 0.5, 0.25, 9);
+        let d = crate::stats::density_within_nonzero_blocks(&t, 64);
+        assert!((d - 0.26).abs() < 0.07, "density within {d}"); // 0.25 + forced element
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = element_uniform(LEN, 0.5, 42);
+        let b = element_uniform(LEN, 0.5, 42);
+        assert_eq!(a, b);
+        let c = element_uniform(LEN, 0.5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn overlap_all_gives_identical_masks() {
+        let sets = worker_block_sets(4, 100, 0.7, OverlapMode::All, 5);
+        for s in &sets[1..] {
+            assert_eq!(*s, sets[0]);
+        }
+    }
+
+    #[test]
+    fn overlap_none_gives_disjoint_masks_when_feasible() {
+        // 4 workers × 20 blocks ≤ 100: disjoint must hold exactly.
+        let sets = worker_block_sets(4, 100, 0.8, OverlapMode::None, 5);
+        for b in 0..100 {
+            let owners = sets.iter().filter(|s| s[b]).count();
+            assert!(owners <= 1, "block {b} owned by {owners}");
+        }
+        for s in &sets {
+            assert_eq!(s.iter().filter(|x| **x).count(), 20);
+        }
+    }
+
+    #[test]
+    fn overlap_none_wraps_when_infeasible() {
+        // 3 workers × 60 blocks > 100: everyone still gets 60 blocks.
+        let sets = worker_block_sets(3, 100, 0.4, OverlapMode::None, 5);
+        for s in &sets {
+            assert_eq!(s.iter().filter(|x| **x).count(), 60);
+        }
+    }
+
+    #[test]
+    fn overlap_random_masks_differ() {
+        let sets = worker_block_sets(2, 1000, 0.5, OverlapMode::Random, 5);
+        assert_ne!(sets[0], sets[1]);
+    }
+
+    #[test]
+    fn workers_tensors_respect_masks() {
+        let spec = BlockSpec::new(32);
+        let ts = workers(3, 1024, spec, 0.6, 1.0, OverlapMode::Random, 11);
+        assert_eq!(ts.len(), 3);
+        for t in &ts {
+            let s = spec.block_sparsity(t);
+            assert!((s - 0.6).abs() < 0.05, "block sparsity {s}");
+        }
+    }
+
+    #[test]
+    fn sparsity_one_gives_all_zero_workers() {
+        let spec = BlockSpec::new(16);
+        let ts = workers(2, 256, spec, 1.0, 1.0, OverlapMode::Random, 1);
+        for t in &ts {
+            assert_eq!(t.nonzero_count(), 0);
+        }
+    }
+}

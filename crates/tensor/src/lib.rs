@@ -1,0 +1,48 @@
+//! Tensor substrate for the OmniReduce reproduction.
+//!
+//! This crate provides the data-plane types that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Tensor`] — a flat, dense `f32` vector, the unit of collective
+//!   communication (gradients in data-parallel SGD are flattened into one
+//!   such vector per bucket).
+//! * [`BlockSpec`] — partitioning of a tensor into fixed-size *blocks*, the
+//!   granularity at which OmniReduce detects and skips zeros (paper §3).
+//! * [`NonZeroBitmap`] — one bit per block marking whether the block holds
+//!   any non-zero element; the worker-side data structure the paper computes
+//!   on the GPU (Appendix B.1) and that we compute with a tight CPU scan.
+//! * [`CooTensor`] — coordinate-list sparse format (keys + values), the
+//!   input format assumed by AGsparse/SparCML baselines and by the
+//!   sparse-block protocol extension (paper §3.3 / Algorithm 3).
+//! * [`convert`] — dense ↔ COO conversion with cost accounting, used to
+//!   reproduce the format-conversion overhead breakdown (paper Fig. 8).
+//! * [`stats`] — block-sparsity and density-within-block statistics
+//!   (paper Fig. 16) and inter-worker overlap histograms (paper Table 2).
+//! * [`fusion`] — the two-dimensional block layout behind Block Fusion
+//!   (paper §3.2, Fig. 3).
+//! * [`gen`] — deterministic random generators for sparse tensors with
+//!   controlled sparsity, block structure and inter-worker overlap, used by
+//!   every microbenchmark (paper §6.1, §6.4).
+
+pub mod bitmap;
+pub mod block;
+pub mod convert;
+pub mod coo;
+pub mod dense;
+pub mod fusion;
+pub mod gen;
+pub mod stats;
+
+pub use bitmap::NonZeroBitmap;
+pub use block::{BlockIdx, BlockSpec, INFINITY_BLOCK};
+pub use coo::CooTensor;
+pub use dense::Tensor;
+pub use fusion::FusionLayout;
+
+/// Number of bytes used to store one tensor element on the wire (`c_v` in
+/// the paper's cost model, §2): 32-bit floating point.
+pub const VALUE_BYTES: usize = 4;
+
+/// Number of bytes used to store one sparse-format index on the wire
+/// (`c_i` in the paper's cost model, §2): 32-bit unsigned integer.
+pub const INDEX_BYTES: usize = 4;

@@ -1,0 +1,238 @@
+//! Sparsity statistics (paper Fig. 16 and Table 2).
+//!
+//! Two families of statistics drive the paper's analysis:
+//!
+//! * *block sparsity vs block size* and *density within non-zero blocks*
+//!   (Fig. 16) — how well a gradient's zero structure survives block
+//!   partitioning;
+//! * *inter-worker overlap* (Table 2, §6.4.2) — for each block position,
+//!   how many of the `N` workers hold a non-zero block there, which
+//!   determines how much of OmniReduce's per-position round trip is
+//!   amortized across workers.
+
+use crate::bitmap::NonZeroBitmap;
+use crate::block::BlockSpec;
+use crate::dense::Tensor;
+
+/// Block sparsity of `t` for each block size in `block_sizes`
+/// (Fig. 16, left panel).
+pub fn block_sparsity_curve(t: &Tensor, block_sizes: &[usize]) -> Vec<f64> {
+    block_sizes
+        .iter()
+        .map(|bs| BlockSpec::new(*bs).block_sparsity(t))
+        .collect()
+}
+
+/// Average fraction of non-zero elements *within* non-zero blocks
+/// (Fig. 16, right panel). Returns 1.0 for an all-zero tensor (no
+/// non-zero block exists, so the statistic is vacuous).
+pub fn density_within_nonzero_blocks(t: &Tensor, block_size: usize) -> f64 {
+    let spec = BlockSpec::new(block_size);
+    let mut blocks = 0usize;
+    let mut acc = 0.0f64;
+    for idx in spec.nonzero_blocks(t) {
+        let r = spec.range(idx, t.len());
+        let slice = &t.as_slice()[r];
+        let nz = slice.iter().filter(|v| **v != 0.0).count();
+        acc += nz as f64 / slice.len() as f64;
+        blocks += 1;
+    }
+    if blocks == 0 {
+        1.0
+    } else {
+        acc / blocks as f64
+    }
+}
+
+/// Density-within-block curve over several block sizes (Fig. 16, right).
+pub fn density_within_curve(t: &Tensor, block_sizes: &[usize]) -> Vec<f64> {
+    block_sizes
+        .iter()
+        .map(|bs| density_within_nonzero_blocks(t, *bs))
+        .collect()
+}
+
+/// Inter-worker overlap histogram (paper Table 2).
+///
+/// `by_position[k]` is the fraction of *block positions* (among positions
+/// non-zero at ≥1 worker) where exactly `k+1` workers hold a non-zero
+/// block. `by_volume[k]` weighs each position by the number of blocks
+/// actually transmitted from it (`k+1` workers each send one), i.e. the
+/// paper's "breakdown of OmniReduce communication by the number of workers
+/// that overlap non-zero blocks".
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapHistogram {
+    /// Fraction of union block positions with exactly `k+1` overlapping
+    /// workers, index `k = 0..N`.
+    pub by_position: Vec<f64>,
+    /// Fraction of transmitted blocks originating from positions with
+    /// exactly `k+1` overlapping workers.
+    pub by_volume: Vec<f64>,
+    /// Total number of blocks transmitted across all workers (the volume
+    /// OmniReduce puts on the wire, in blocks).
+    pub total_blocks_sent: usize,
+    /// Number of block positions non-zero at at least one worker (the
+    /// number of aggregation round slots OmniReduce needs).
+    pub union_positions: usize,
+}
+
+/// Computes the overlap histogram for `workers`' tensors under `spec`.
+///
+/// # Panics
+/// Panics when `workers` is empty or tensors differ in length.
+pub fn overlap_histogram(workers: &[Tensor], spec: BlockSpec) -> OverlapHistogram {
+    assert!(!workers.is_empty(), "need at least one worker");
+    let len = workers[0].len();
+    for w in workers {
+        assert_eq!(w.len(), len, "tensor length mismatch");
+    }
+    let bitmaps: Vec<NonZeroBitmap> = workers
+        .iter()
+        .map(|t| NonZeroBitmap::build(t, spec))
+        .collect();
+    overlap_histogram_from_bitmaps(&bitmaps)
+}
+
+/// Same as [`overlap_histogram`] but from pre-computed bitmaps.
+pub fn overlap_histogram_from_bitmaps(bitmaps: &[NonZeroBitmap]) -> OverlapHistogram {
+    assert!(!bitmaps.is_empty(), "need at least one worker");
+    let n = bitmaps.len();
+    let nblocks = bitmaps[0].block_count();
+    for bm in bitmaps {
+        assert_eq!(bm.block_count(), nblocks, "bitmap size mismatch");
+    }
+    let mut counts = vec![0usize; n + 1]; // counts[k] = positions with k owners
+    for b in 0..nblocks {
+        let k = bitmaps.iter().filter(|bm| bm.is_set(b as u32)).count();
+        counts[k] += 1;
+    }
+    let union_positions: usize = counts[1..].iter().sum();
+    let total_blocks_sent: usize = counts
+        .iter()
+        .enumerate()
+        .map(|(k, c)| k * c)
+        .sum();
+    let by_position = (1..=n)
+        .map(|k| {
+            if union_positions == 0 {
+                0.0
+            } else {
+                counts[k] as f64 / union_positions as f64
+            }
+        })
+        .collect();
+    let by_volume = (1..=n)
+        .map(|k| {
+            if total_blocks_sent == 0 {
+                0.0
+            } else {
+                (k * counts[k]) as f64 / total_blocks_sent as f64
+            }
+        })
+        .collect();
+    OverlapHistogram {
+        by_position,
+        by_volume,
+        total_blocks_sent,
+        union_positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec())
+    }
+
+    #[test]
+    fn block_sparsity_curve_monotone_for_clustered_data() {
+        // A tensor with one dense run: bigger blocks → lower block sparsity
+        // cannot increase.
+        let mut v = vec![0.0f32; 64];
+        for x in v.iter_mut().take(8) {
+            *x = 1.0;
+        }
+        let tensor = t(&v);
+        let curve = block_sparsity_curve(&tensor, &[1, 2, 4, 8, 16]);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "curve {curve:?}");
+        }
+    }
+
+    #[test]
+    fn density_within_blocks_full_for_dense_blocks() {
+        let v = vec![1.0f32; 16];
+        assert_eq!(density_within_nonzero_blocks(&t(&v), 4), 1.0);
+    }
+
+    #[test]
+    fn density_within_blocks_partial() {
+        // Block of 4 with 1 non-zero → 0.25; one other block fully zero.
+        let v = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert!((density_within_nonzero_blocks(&t(&v), 4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_within_blocks_all_zero_is_one() {
+        assert_eq!(density_within_nonzero_blocks(&Tensor::zeros(8), 4), 1.0);
+    }
+
+    #[test]
+    fn overlap_histogram_disjoint_workers() {
+        // 4 blocks of size 1; worker A owns {0,1}, worker B owns {2,3}.
+        let a = t(&[1.0, 1.0, 0.0, 0.0]);
+        let b = t(&[0.0, 0.0, 1.0, 1.0]);
+        let h = overlap_histogram(&[a, b], BlockSpec::new(1));
+        assert_eq!(h.union_positions, 4);
+        assert_eq!(h.total_blocks_sent, 4);
+        assert_eq!(h.by_position, vec![1.0, 0.0]);
+        assert_eq!(h.by_volume, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn overlap_histogram_full_overlap() {
+        let a = t(&[1.0, 0.0, 1.0, 0.0]);
+        let b = t(&[2.0, 0.0, 2.0, 0.0]);
+        let h = overlap_histogram(&[a, b], BlockSpec::new(1));
+        assert_eq!(h.union_positions, 2);
+        assert_eq!(h.total_blocks_sent, 4);
+        assert_eq!(h.by_position, vec![0.0, 1.0]);
+        assert_eq!(h.by_volume, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn overlap_histogram_mixed() {
+        // Position 0: both; position 1: only A; position 2: none.
+        let a = t(&[1.0, 1.0, 0.0]);
+        let b = t(&[1.0, 0.0, 0.0]);
+        let h = overlap_histogram(&[a, b], BlockSpec::new(1));
+        assert_eq!(h.union_positions, 2);
+        assert_eq!(h.total_blocks_sent, 3);
+        assert_eq!(h.by_position, vec![0.5, 0.5]);
+        // volume: 1 block from solo position, 2 from shared → 1/3, 2/3
+        assert!((h.by_volume[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.by_volume[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let a = t(&[1.0, 0.0, 3.0, 0.0, 1.0, 1.0]);
+        let b = t(&[0.0, 2.0, 3.0, 0.0, 1.0, 0.0]);
+        let c = t(&[0.0, 0.0, 3.0, 0.0, 0.0, 0.0]);
+        let h = overlap_histogram(&[a, b, c], BlockSpec::new(1));
+        let sp: f64 = h.by_position.iter().sum();
+        let sv: f64 = h.by_volume.iter().sum();
+        assert!((sp - 1.0).abs() < 1e-12);
+        assert!((sv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_workers_yield_empty_histogram() {
+        let h = overlap_histogram(&[Tensor::zeros(4), Tensor::zeros(4)], BlockSpec::new(2));
+        assert_eq!(h.union_positions, 0);
+        assert_eq!(h.total_blocks_sent, 0);
+        assert_eq!(h.by_position, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! In-process mesh transport over crossbeam channels.
+//!
+//! This is the reliable, in-order transport — the reproduction's stand-in
+//! for the paper's RDMA Reliable Connected mode ("at-most-once, in order,
+//! and without corruption delivery", §5). Each node owns one unbounded
+//! receive queue; `send` pushes `(sender, message)` onto the destination's
+//! queue. Messages are moved, not serialized, but callers that need byte
+//! accounting use [`crate::codec::encoded_len`].
+
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::message::{Message, NodeId};
+use crate::{Transport, TransportError};
+
+/// A fixed mesh of `n` in-process endpoints.
+pub struct ChannelNetwork {
+    senders: Vec<Sender<(NodeId, Message)>>,
+    receivers: Vec<Option<Receiver<(NodeId, Message)>>>,
+}
+
+impl ChannelNetwork {
+    /// Builds a mesh of `n` nodes with ids `0..n`.
+    pub fn new(n: usize) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        ChannelNetwork { senders, receivers }
+    }
+
+    /// Number of nodes in the mesh.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True when the mesh has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Takes the endpoint for node `id`. Each endpoint can be taken once;
+    /// endpoints are `Send` and are typically moved into worker threads.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range or already taken.
+    pub fn endpoint(&mut self, id: NodeId) -> ChannelTransport {
+        let rx = self.receivers[id.index()]
+            .take()
+            .expect("endpoint already taken");
+        ChannelTransport {
+            local: id,
+            peers: self.senders.clone(),
+            rx,
+        }
+    }
+
+    /// Takes all endpoints in id order.
+    pub fn endpoints(&mut self) -> Vec<ChannelTransport> {
+        (0..self.len())
+            .map(|i| self.endpoint(NodeId(i as u16)))
+            .collect()
+    }
+}
+
+/// One node's endpoint in a [`ChannelNetwork`].
+pub struct ChannelTransport {
+    local: NodeId,
+    peers: Vec<Sender<(NodeId, Message)>>,
+    rx: Receiver<(NodeId, Message)>,
+}
+
+impl Transport for ChannelTransport {
+    fn local_id(&self) -> NodeId {
+        self.local
+    }
+
+    fn send(&self, peer: NodeId, msg: &Message) -> Result<(), TransportError> {
+        let tx = self
+            .peers
+            .get(peer.index())
+            .ok_or(TransportError::UnknownPeer(peer))?;
+        tx.send((self.local, msg.clone()))
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&self) -> Result<(NodeId, Message), TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<(NodeId, Message)>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_and_recv_between_nodes() {
+        let mut net = ChannelNetwork::new(2);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), &Message::Start { seq: 5 }).unwrap();
+        let (from, msg) = b.recv().unwrap();
+        assert_eq!(from, NodeId(0));
+        assert_eq!(msg, Message::Start { seq: 5 });
+    }
+
+    #[test]
+    fn multicast_reaches_all_peers() {
+        let mut net = ChannelNetwork::new(3);
+        let eps = net.endpoints();
+        eps[0]
+            .multicast(&[NodeId(1), NodeId(2)], &Message::Shutdown)
+            .unwrap();
+        assert_eq!(eps[1].recv().unwrap().1, Message::Shutdown);
+        assert_eq!(eps[2].recv().unwrap().1, Message::Shutdown);
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let mut net = ChannelNetwork::new(1);
+        let a = net.endpoint(NodeId(0));
+        let got = a.recv_timeout(Duration::from_millis(5)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn send_to_unknown_peer_errors() {
+        let mut net = ChannelNetwork::new(1);
+        let a = net.endpoint(NodeId(0));
+        let err = a.send(NodeId(9), &Message::Shutdown).unwrap_err();
+        assert!(matches!(err, TransportError::UnknownPeer(NodeId(9))));
+    }
+
+    #[test]
+    fn self_send_is_allowed() {
+        let mut net = ChannelNetwork::new(1);
+        let a = net.endpoint(NodeId(0));
+        a.send(NodeId(0), &Message::Start { seq: 1 }).unwrap();
+        assert_eq!(a.recv().unwrap().0, NodeId(0));
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let mut net = ChannelNetwork::new(2);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        let h = thread::spawn(move || {
+            let (from, msg) = b.recv().unwrap();
+            assert_eq!(msg, Message::Start { seq: 1 });
+            b.send(from, &Message::Start { seq: 2 }).unwrap();
+        });
+        a.send(NodeId(1), &Message::Start { seq: 1 }).unwrap();
+        let (_, reply) = a.recv().unwrap();
+        assert_eq!(reply, Message::Start { seq: 2 });
+        h.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn endpoint_double_take_panics() {
+        let mut net = ChannelNetwork::new(1);
+        let _a = net.endpoint(NodeId(0));
+        let _b = net.endpoint(NodeId(0));
+    }
+}

@@ -1,0 +1,245 @@
+//! Loss-injecting transport (the DPDK/UDP environment of Appendix A/D).
+//!
+//! Wraps the in-process channel mesh and, on every `send` of a data-plane
+//! message (block or key-value packet), flips a deterministic coin to drop
+//! or duplicate it. Control messages (`Start`, `Shutdown`) are delivered
+//! reliably — they model connection setup on the control plane, which even
+//! the paper's DPDK deployment performs over TCP.
+//!
+//! Determinism: each endpoint derives its RNG from `seed ^ node_id`, so a
+//! given (seed, topology, send sequence) always produces the same drop
+//! pattern — property tests can replay failures exactly.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::channel::{ChannelNetwork, ChannelTransport};
+use crate::message::{Message, NodeId};
+use crate::{Transport, TransportError};
+
+/// Loss model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LossConfig {
+    /// Probability a data-plane message is dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered data-plane message is duplicated.
+    pub dup_prob: f64,
+    /// RNG seed; endpoints derive per-node streams from it.
+    pub seed: u64,
+}
+
+impl LossConfig {
+    /// Uniform loss at `drop_prob`, no duplication.
+    pub fn drops(drop_prob: f64, seed: u64) -> Self {
+        LossConfig {
+            drop_prob,
+            dup_prob: 0.0,
+            seed,
+        }
+    }
+}
+
+/// A mesh of loss-injecting endpoints.
+pub struct LossyNetwork {
+    inner: ChannelNetwork,
+    config: LossConfig,
+}
+
+impl LossyNetwork {
+    /// Builds a mesh of `n` nodes with the given loss model.
+    pub fn new(n: usize, config: LossConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.drop_prob));
+        assert!((0.0..=1.0).contains(&config.dup_prob));
+        LossyNetwork {
+            inner: ChannelNetwork::new(n),
+            config,
+        }
+    }
+
+    /// Takes the endpoint for node `id` (each can be taken once).
+    pub fn endpoint(&mut self, id: NodeId) -> LossyTransport {
+        LossyTransport {
+            inner: self.inner.endpoint(id),
+            config: self.config,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(
+                self.config.seed ^ ((id.0 as u64) << 32),
+            )),
+            dropped: Mutex::new(0),
+            duplicated: Mutex::new(0),
+        }
+    }
+
+    /// Takes all endpoints in id order.
+    pub fn endpoints(&mut self) -> Vec<LossyTransport> {
+        (0..self.inner.len())
+            .map(|i| self.endpoint(NodeId(i as u16)))
+            .collect()
+    }
+}
+
+/// One node's endpoint in a [`LossyNetwork`].
+pub struct LossyTransport {
+    inner: ChannelTransport,
+    config: LossConfig,
+    rng: Mutex<ChaCha8Rng>,
+    dropped: Mutex<u64>,
+    duplicated: Mutex<u64>,
+}
+
+impl LossyTransport {
+    /// Number of messages this endpoint has dropped so far.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    /// Number of messages this endpoint has duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        *self.duplicated.lock()
+    }
+
+    fn is_data_plane(msg: &Message) -> bool {
+        matches!(msg, Message::Block(_) | Message::Kv(_))
+    }
+}
+
+impl Transport for LossyTransport {
+    fn local_id(&self) -> NodeId {
+        self.inner.local_id()
+    }
+
+    fn send(&self, peer: NodeId, msg: &Message) -> Result<(), TransportError> {
+        if Self::is_data_plane(msg) {
+            let (drop, dup) = {
+                let mut rng = self.rng.lock();
+                (
+                    rng.gen_bool(self.config.drop_prob),
+                    rng.gen_bool(self.config.dup_prob),
+                )
+            };
+            if drop {
+                *self.dropped.lock() += 1;
+                return Ok(()); // silently lost, like a dropped UDP datagram
+            }
+            self.inner.send(peer, msg)?;
+            if dup {
+                *self.duplicated.lock() += 1;
+                self.inner.send(peer, msg)?;
+            }
+            Ok(())
+        } else {
+            self.inner.send(peer, msg)
+        }
+    }
+
+    fn recv(&self) -> Result<(NodeId, Message), TransportError> {
+        self.inner.recv()
+    }
+
+    fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<(NodeId, Message)>, TransportError> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Packet, PacketKind};
+
+    fn block_msg() -> Message {
+        Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: 0,
+            stream: 0,
+            wid: 0,
+            entries: vec![],
+        })
+    }
+
+    #[test]
+    fn zero_loss_delivers_everything() {
+        let mut net = LossyNetwork::new(2, LossConfig::drops(0.0, 1));
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        for _ in 0..100 {
+            a.send(NodeId(1), &block_msg()).unwrap();
+        }
+        for _ in 0..100 {
+            b.recv_timeout(Duration::from_millis(10)).unwrap().unwrap();
+        }
+        assert_eq!(a.dropped(), 0);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut net = LossyNetwork::new(2, LossConfig::drops(1.0, 1));
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        for _ in 0..50 {
+            a.send(NodeId(1), &block_msg()).unwrap();
+        }
+        assert_eq!(a.dropped(), 50);
+        assert!(b.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+    }
+
+    #[test]
+    fn control_messages_bypass_loss() {
+        let mut net = LossyNetwork::new(2, LossConfig::drops(1.0, 1));
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), &Message::Start { seq: 1 }).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(20)).unwrap().is_some());
+        assert_eq!(a.dropped(), 0);
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let mut net = LossyNetwork::new(2, LossConfig::drops(0.3, 7));
+        let a = net.endpoint(NodeId(0));
+        let _b = net.endpoint(NodeId(1));
+        let n = 2000;
+        for _ in 0..n {
+            a.send(NodeId(1), &block_msg()).unwrap();
+        }
+        let rate = a.dropped() as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn duplication_duplicates() {
+        let mut net = LossyNetwork::new(
+            2,
+            LossConfig {
+                drop_prob: 0.0,
+                dup_prob: 1.0,
+                seed: 3,
+            },
+        );
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        a.send(NodeId(1), &block_msg()).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(10)).unwrap().is_some());
+        assert!(b.recv_timeout(Duration::from_millis(10)).unwrap().is_some());
+        assert_eq!(a.duplicated(), 1);
+    }
+
+    #[test]
+    fn drop_pattern_is_deterministic() {
+        let run = |seed| {
+            let mut net = LossyNetwork::new(2, LossConfig::drops(0.5, seed));
+            let a = net.endpoint(NodeId(0));
+            let _b = net.endpoint(NodeId(1));
+            for _ in 0..100 {
+                a.send(NodeId(1), &block_msg()).unwrap();
+            }
+            a.dropped()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

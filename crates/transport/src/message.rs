@@ -1,0 +1,202 @@
+//! The OmniReduce packet vocabulary.
+//!
+//! One message type covers Algorithm 1 (basic, a single entry per packet),
+//! the Block Fusion variant of §3.2 (up to `w` entries per packet, one per
+//! column), and Algorithm 2 (the `ver` field and data-less acknowledgment
+//! entries). Algorithm 3's sparse key-value packets are a separate type.
+//!
+//! The paper's RDMA implementation packs metadata into a 32-bit immediate
+//! value — data type (2 bits), opcode (2 bits), slot id (12 bits), block
+//! count (16 bits) — with block payloads and next offsets in the message
+//! body. Our wire format ([`crate::codec`]) carries the same information
+//! in an explicit little-endian header, which keeps the protocol readable
+//! while preserving the byte-accounting used by the benchmarks.
+
+/// Identity of a node in a mesh: workers are `0..N`, aggregator shards
+/// follow. Fits the paper's 16-bit worker-id field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Direction/role of a block packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Worker → aggregator: block data (or a data-less ack under
+    /// Algorithm 2 when the requested block is zero at this worker).
+    Data,
+    /// Aggregator → worker(s): aggregated block data plus the next block
+    /// request (Algorithm 1 lines 23–27).
+    Result,
+}
+
+/// One fused block entry inside a packet.
+///
+/// In the basic protocol a packet has exactly one entry; with Block Fusion
+/// a packet has up to `w` entries, at most one per column of the fusion
+/// layout. `next` carries the `omnireduce_tensor::fusion::FusedNext`
+/// raw encoding (a plain block index, or a per-column infinity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Block index this entry's data belongs to.
+    pub block: u32,
+    /// Raw fused-next value: the sender's next non-zero block in this
+    /// entry's column, or the per-column infinity sentinel.
+    pub next: u32,
+    /// Block values; empty for pure acknowledgments (Algorithm 2 line 20,
+    /// "empty packet payload").
+    pub data: Vec<f32>,
+}
+
+impl Entry {
+    /// A data-carrying entry.
+    pub fn data(block: u32, next: u32, data: Vec<f32>) -> Self {
+        Entry { block, next, data }
+    }
+
+    /// A data-less acknowledgment entry for `block`.
+    pub fn ack(block: u32, next: u32) -> Self {
+        Entry {
+            block,
+            next,
+            data: Vec::new(),
+        }
+    }
+
+    /// True when this entry carries no payload.
+    pub fn is_ack(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A block-protocol packet (Algorithms 1 and 2, with or without fusion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Direction of the packet.
+    pub kind: PacketKind,
+    /// Two-phase slot version (Algorithm 2); always 0 in the basic
+    /// lossless protocol.
+    pub ver: u8,
+    /// Stream / slot id (the paper's 12-bit slot id; §3.1.1 pipelining).
+    pub stream: u16,
+    /// Sending worker id (meaningful on `Data` packets).
+    pub wid: u16,
+    /// Fused entries (length 1 without fusion).
+    pub entries: Vec<Entry>,
+}
+
+impl Packet {
+    /// Bytes of tensor payload carried (excludes headers).
+    pub fn payload_values(&self) -> usize {
+        self.entries.iter().map(|e| e.data.len()).sum()
+    }
+}
+
+/// A sparse key-value packet (Algorithm 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvPacket {
+    /// Direction of the packet.
+    pub kind: PacketKind,
+    /// Sending worker id (meaningful worker → aggregator).
+    pub wid: u16,
+    /// Keys of this block of pairs, strictly increasing.
+    pub keys: Vec<u32>,
+    /// Values parallel to `keys`.
+    pub values: Vec<f32>,
+    /// The sender's next non-zero key after this block
+    /// (`u64::MAX` = no further key, the paper's ∞).
+    pub nextkey: u64,
+}
+
+/// The paper's ∞ sentinel for [`KvPacket::nextkey`].
+pub const INFINITY_KEY: u64 = u64::MAX;
+
+/// Everything a transport can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Block-protocol packet (Algorithms 1/2, fused or not).
+    Block(Packet),
+    /// Sparse key-value packet (Algorithm 3).
+    Kv(KvPacket),
+    /// Control: a node announces it is about to start a collective with
+    /// the given sequence number (used to delimit tensors on a stream).
+    Start { seq: u64 },
+    /// Control: graceful shutdown of the peer.
+    Shutdown,
+}
+
+impl Message {
+    /// Short tag for logs and tests.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Block(p) => match p.kind {
+                PacketKind::Data => "block-data",
+                PacketKind::Result => "block-result",
+            },
+            Message::Kv(p) => match p.kind {
+                PacketKind::Data => "kv-data",
+                PacketKind::Result => "kv-result",
+            },
+            Message::Start { .. } => "start",
+            Message::Shutdown => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_constructors() {
+        let d = Entry::data(3, 7, vec![1.0, 2.0]);
+        assert!(!d.is_ack());
+        let a = Entry::ack(3, 7);
+        assert!(a.is_ack());
+        assert_eq!(a.block, 3);
+    }
+
+    #[test]
+    fn payload_values_sums_entries() {
+        let p = Packet {
+            kind: PacketKind::Data,
+            ver: 0,
+            stream: 0,
+            wid: 1,
+            entries: vec![Entry::data(0, 1, vec![0.0; 4]), Entry::ack(1, 2)],
+        };
+        assert_eq!(p.payload_values(), 4);
+    }
+
+    #[test]
+    fn message_tags() {
+        let p = Packet {
+            kind: PacketKind::Result,
+            ver: 0,
+            stream: 0,
+            wid: 0,
+            entries: vec![],
+        };
+        assert_eq!(Message::Block(p).tag(), "block-result");
+        assert_eq!(Message::Start { seq: 1 }.tag(), "start");
+        assert_eq!(Message::Shutdown.tag(), "shutdown");
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let n = NodeId(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(format!("{n}"), "n7");
+    }
+}

@@ -1,0 +1,283 @@
+//! TCP mesh transport with length-prefixed framing.
+//!
+//! Runs the protocol over real sockets so workers and aggregators can live
+//! in different threads or processes. Framing follows the classic
+//! pattern: each frame is a little-endian `u32` length followed by the
+//! codec payload; a reader thread per connection decodes frames and pushes
+//! them onto the endpoint's single receive queue.
+//!
+//! Mesh establishment: every node knows the full address list. Node `i`
+//! *initiates* connections to every `j < i` and *accepts* from every
+//! `j > i`; the initiator's first frame is a 2-byte hello carrying its
+//! node id. Initiators retry with backoff so startup order doesn't matter.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::codec;
+use crate::message::{Message, NodeId};
+use crate::{Transport, TransportError};
+
+/// Interval between connection retries while the mesh comes up.
+const CONNECT_RETRY: Duration = Duration::from_millis(20);
+/// Maximum connection attempts per peer (~10 s).
+const CONNECT_ATTEMPTS: usize = 500;
+
+/// Namespace for establishing TCP meshes.
+pub struct TcpNetwork;
+
+impl TcpNetwork {
+    /// Binds `addrs[local.index()]`, connects the full mesh, and returns
+    /// the local endpoint. Call from every node concurrently.
+    pub fn establish(local: NodeId, addrs: &[SocketAddr]) -> Result<TcpTransport, TransportError> {
+        let n = addrs.len();
+        assert!(local.index() < n, "local id out of range");
+        let listener = TcpListener::bind(addrs[local.index()])?;
+        let (tx, rx) = unbounded();
+
+        let mut peers: Vec<Option<Arc<Mutex<TcpStream>>>> = (0..n).map(|_| None).collect();
+
+        // Accept from higher-numbered peers.
+        let expect_inbound = n - 1 - local.index();
+        let mut accepted = 0;
+        // Run accepts in this thread while also dialing lower peers: dial
+        // first (they are already listening if started before us, and we
+        // retry anyway), then accept.
+        for j in 0..local.index() {
+            let stream = Self::dial(addrs[j], local)?;
+            peers[j] = Some(Self::install(stream, NodeId(j as u16), tx.clone()));
+        }
+        while accepted < expect_inbound {
+            let (mut stream, _) = listener.accept()?;
+            let mut hello = [0u8; 2];
+            stream.read_exact(&mut hello)?;
+            let peer = NodeId(u16::from_le_bytes(hello));
+            assert!(
+                peer.index() > local.index() && peer.index() < n,
+                "unexpected hello from {peer}"
+            );
+            peers[peer.index()] = Some(Self::install(stream, peer, tx.clone()));
+            accepted += 1;
+        }
+
+        Ok(TcpTransport {
+            local,
+            peers,
+            rx,
+            loopback: tx,
+        })
+    }
+
+    fn dial(addr: SocketAddr, local: NodeId) -> Result<TcpStream, TransportError> {
+        let mut last_err = None;
+        for _ in 0..CONNECT_ATTEMPTS {
+            match TcpStream::connect(addr) {
+                Ok(mut s) => {
+                    s.set_nodelay(true).ok();
+                    s.write_all(&local.0.to_le_bytes())?;
+                    return Ok(s);
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    thread::sleep(CONNECT_RETRY);
+                }
+            }
+        }
+        Err(TransportError::Io(last_err.unwrap()))
+    }
+
+    /// Spawns the reader thread for `stream` and returns the shared write
+    /// half.
+    fn install(
+        stream: TcpStream,
+        peer: NodeId,
+        tx: Sender<(NodeId, Message)>,
+    ) -> Arc<Mutex<TcpStream>> {
+        stream.set_nodelay(true).ok();
+        let read_half = stream.try_clone().expect("clone tcp stream");
+        let shared = Arc::new(Mutex::new(stream));
+        thread::Builder::new()
+            .name(format!("tcp-rx-{peer}"))
+            .spawn(move || Self::reader_loop(read_half, peer, tx))
+            .expect("spawn reader");
+        shared
+    }
+
+    fn reader_loop(mut stream: TcpStream, peer: NodeId, tx: Sender<(NodeId, Message)>) {
+        let mut len_buf = [0u8; 4];
+        loop {
+            if stream.read_exact(&mut len_buf).is_err() {
+                return; // peer closed; endpoint notices via Shutdown or queue drain
+            }
+            let len = u32::from_le_bytes(len_buf) as usize;
+            let mut frame = vec![0u8; len];
+            if stream.read_exact(&mut frame).is_err() {
+                return;
+            }
+            match codec::decode(&frame) {
+                Ok(msg) => {
+                    if tx.send((peer, msg)).is_err() {
+                        return; // endpoint dropped
+                    }
+                }
+                Err(_) => return, // corrupt peer; sever the connection
+            }
+        }
+    }
+}
+
+/// One node's endpoint in a TCP mesh.
+pub struct TcpTransport {
+    local: NodeId,
+    peers: Vec<Option<Arc<Mutex<TcpStream>>>>,
+    rx: Receiver<(NodeId, Message)>,
+    loopback: Sender<(NodeId, Message)>,
+}
+
+impl Transport for TcpTransport {
+    fn local_id(&self) -> NodeId {
+        self.local
+    }
+
+    fn send(&self, peer: NodeId, msg: &Message) -> Result<(), TransportError> {
+        if peer == self.local {
+            // Loopback without touching the socket layer.
+            return self
+                .loopback
+                .send((self.local, msg.clone()))
+                .map_err(|_| TransportError::Disconnected);
+        }
+        let stream = self
+            .peers
+            .get(peer.index())
+            .and_then(|p| p.as_ref())
+            .ok_or(TransportError::UnknownPeer(peer))?;
+        let frame = codec::encode(msg);
+        let mut guard = stream.lock();
+        guard.write_all(&(frame.len() as u32).to_le_bytes())?;
+        guard.write_all(&frame)?;
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<(NodeId, Message), TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<(NodeId, Message)>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Entry, Packet, PacketKind};
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::sync::atomic::{AtomicU16, Ordering};
+
+    static NEXT_PORT: AtomicU16 = AtomicU16::new(21000);
+
+    fn addrs(n: usize) -> Vec<SocketAddr> {
+        (0..n)
+            .map(|_| {
+                SocketAddr::new(
+                    IpAddr::V4(Ipv4Addr::LOCALHOST),
+                    NEXT_PORT.fetch_add(1, Ordering::SeqCst),
+                )
+            })
+            .collect()
+    }
+
+    fn establish_mesh(n: usize) -> Vec<TcpTransport> {
+        let a = addrs(n);
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let a = a.clone();
+                thread::spawn(move || TcpNetwork::establish(NodeId(i as u16), &a).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn two_node_round_trip() {
+        let mut eps = establish_mesh(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: 0,
+            stream: 3,
+            wid: 0,
+            entries: vec![Entry::data(1, 2, vec![1.0, 2.0, 3.0])],
+        });
+        a.send(NodeId(1), &msg).unwrap();
+        let (from, got) = b.recv().unwrap();
+        assert_eq!(from, NodeId(0));
+        assert_eq!(got, msg);
+        b.send(NodeId(0), &Message::Start { seq: 9 }).unwrap();
+        assert_eq!(a.recv().unwrap().1, Message::Start { seq: 9 });
+    }
+
+    #[test]
+    fn four_node_mesh_all_pairs() {
+        let eps = establish_mesh(4);
+        // Every node sends its id to every other node.
+        for (i, ep) in eps.iter().enumerate() {
+            for j in 0..eps.len() {
+                if i != j {
+                    ep.send(NodeId(j as u16), &Message::Start { seq: i as u64 })
+                        .unwrap();
+                }
+            }
+        }
+        for (j, ep) in eps.iter().enumerate() {
+            let mut seen = vec![false; eps.len()];
+            for _ in 0..eps.len() - 1 {
+                let (from, msg) = ep.recv().unwrap();
+                assert_eq!(msg, Message::Start { seq: from.0 as u64 });
+                assert!(!seen[from.index()], "dup from {from} at {j}");
+                seen[from.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn loopback_send() {
+        let mut eps = establish_mesh(2);
+        let _b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(NodeId(0), &Message::Shutdown).unwrap();
+        assert_eq!(a.recv().unwrap(), (NodeId(0), Message::Shutdown));
+    }
+
+    #[test]
+    fn large_frame_survives() {
+        let mut eps = establish_mesh(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let data: Vec<f32> = (0..16384).map(|i| i as f32).collect();
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Result,
+            ver: 1,
+            stream: 0,
+            wid: 0,
+            entries: vec![Entry::data(0, 1, data)],
+        });
+        a.send(NodeId(1), &msg).unwrap();
+        assert_eq!(b.recv().unwrap().1, msg);
+    }
+}

@@ -1,0 +1,216 @@
+//! Retransmission timer queue (Appendix A: "The worker associates a timer
+//! to every transmitted packet; if the timer fires, the worker assumes
+//! packet loss and retransmits it").
+//!
+//! A small monotonic-deadline queue with O(log n) insert and lazy
+//! cancellation: cancelling bumps a per-key generation so stale heap
+//! entries are skipped on pop. Keys identify outstanding packets — for the
+//! OmniReduce worker, the stream id.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+struct HeapItem<K> {
+    deadline: Instant,
+    key: K,
+    generation: u64,
+}
+
+impl<K> PartialEq for HeapItem<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl<K> Eq for HeapItem<K> {}
+impl<K> PartialOrd for HeapItem<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K> Ord for HeapItem<K> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest deadline first.
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+/// A deadline queue over keys of type `K`.
+pub struct TimerQueue<K> {
+    heap: BinaryHeap<HeapItem<K>>,
+    live: HashMap<K, u64>,
+    next_gen: u64,
+}
+
+impl<K: Eq + Hash + Clone> Default for TimerQueue<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> TimerQueue<K> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        TimerQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_gen: 0,
+        }
+    }
+
+    /// Arms (or re-arms) the timer for `key` to fire at `now + after`.
+    pub fn arm(&mut self, key: K, now: Instant, after: Duration) {
+        self.next_gen += 1;
+        let generation = self.next_gen;
+        self.live.insert(key.clone(), generation);
+        self.heap.push(HeapItem {
+            deadline: now + after,
+            key,
+            generation,
+        });
+    }
+
+    /// Disarms the timer for `key`; a no-op when not armed.
+    pub fn cancel(&mut self, key: &K) {
+        self.live.remove(key);
+    }
+
+    /// Number of live (armed) timers.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no timer is armed.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Earliest live deadline, if any. Pops stale heap entries as a side
+    /// effect.
+    pub fn next_deadline(&mut self) -> Option<Instant> {
+        while let Some(top) = self.heap.peek() {
+            match self.live.get(&top.key) {
+                Some(gen) if *gen == top.generation => return Some(top.deadline),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Pops one expired timer at `now`, if any. The popped key is disarmed.
+    pub fn pop_expired(&mut self, now: Instant) -> Option<K> {
+        loop {
+            let top = self.heap.peek()?;
+            let live = matches!(self.live.get(&top.key), Some(g) if *g == top.generation);
+            if !live {
+                self.heap.pop();
+                continue;
+            }
+            if top.deadline > now {
+                return None;
+            }
+            let item = self.heap.pop().expect("peeked");
+            match self.live.entry(item.key.clone()) {
+                MapEntry::Occupied(e) if *e.get() == item.generation => {
+                    e.remove();
+                    return Some(item.key);
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    /// Time from `now` until the next live deadline, clamped below by
+    /// zero; `None` when no timer is armed. Useful as a `recv_timeout`
+    /// argument.
+    pub fn until_next(&mut self, now: Instant) -> Option<Duration> {
+        self.next_deadline()
+            .map(|d| d.saturating_duration_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn arm_and_expire_in_order() {
+        let now = t0();
+        let mut q = TimerQueue::new();
+        q.arm("b", now, Duration::from_millis(20));
+        q.arm("a", now, Duration::from_millis(10));
+        let later = now + Duration::from_millis(30);
+        assert_eq!(q.pop_expired(later), Some("a"));
+        assert_eq!(q.pop_expired(later), Some("b"));
+        assert_eq!(q.pop_expired(later), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn not_expired_yet() {
+        let now = t0();
+        let mut q = TimerQueue::new();
+        q.arm(1u32, now, Duration::from_secs(10));
+        assert_eq!(q.pop_expired(now), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let now = t0();
+        let mut q = TimerQueue::new();
+        q.arm(1u32, now, Duration::from_millis(1));
+        q.cancel(&1);
+        assert_eq!(q.pop_expired(now + Duration::from_secs(1)), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rearm_supersedes_old_deadline() {
+        let now = t0();
+        let mut q = TimerQueue::new();
+        q.arm(1u32, now, Duration::from_millis(1));
+        q.arm(1u32, now, Duration::from_secs(60)); // pushed out
+        assert_eq!(q.pop_expired(now + Duration::from_secs(1)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_expired(now + Duration::from_secs(61)), Some(1));
+    }
+
+    #[test]
+    fn rearm_to_earlier_deadline_fires_early() {
+        let now = t0();
+        let mut q = TimerQueue::new();
+        q.arm(1u32, now, Duration::from_secs(60));
+        q.arm(1u32, now, Duration::from_millis(1));
+        assert_eq!(q.pop_expired(now + Duration::from_millis(5)), Some(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_skips_cancelled() {
+        let now = t0();
+        let mut q = TimerQueue::new();
+        q.arm(1u32, now, Duration::from_millis(1));
+        q.arm(2u32, now, Duration::from_millis(50));
+        q.cancel(&1);
+        let d = q.next_deadline().unwrap();
+        assert!(d >= now + Duration::from_millis(50));
+    }
+
+    #[test]
+    fn until_next_clamps_to_zero() {
+        let now = t0();
+        let mut q = TimerQueue::new();
+        q.arm(1u32, now, Duration::from_millis(1));
+        let until = q.until_next(now + Duration::from_secs(1)).unwrap();
+        assert_eq!(until, Duration::ZERO);
+        assert!(TimerQueue::<u32>::new().until_next(now).is_none());
+    }
+}

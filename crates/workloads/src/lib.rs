@@ -1,0 +1,33 @@
+//! Synthetic models of the paper's six DNN workloads (Table 1).
+//!
+//! The end-to-end experiments (Figs. 1, 9, 10, 13, 14; Tables 1–2) depend
+//! on three properties of each workload, all reproduced here without the
+//! actual datasets or GPUs:
+//!
+//! 1. **Gradient size and structure.** Each model's gradient is
+//!    `dense + embedding` bytes of f32; its zero pattern follows the
+//!    *row-run model*: non-zeros appear in aligned runs of `run_len`
+//!    contiguous elements (an embedding row — only rows touched by the
+//!    batch have non-zero gradient, and a touched row is dense). The
+//!    per-model `run_len` is fitted so that block sparsity at the
+//!    paper's default 256-element blocks reproduces Table 1's
+//!    "OmniReduce communication" fraction, while element sparsity at
+//!    `run_len`-granularity equals Table 1's gradient sparsity. For the
+//!    vision models (VGG19, ResNet152) zeros are element-scattered
+//!    (`run_len = 1`), which correctly yields ~zero block sparsity.
+//! 2. **Inter-worker overlap (Table 2).** Rows split into a *hot* set
+//!    (popular embeddings — active at every worker, e.g. frequent words
+//!    for the LSTM) and a *cold* set (independently active per worker).
+//!    `hot_fraction` is fitted to Table 2's all-overlap share via
+//!    `h = All% × density`.
+//! 3. **Compute time.** Per-step single-GPU time, calibrated so that the
+//!    NCCL 8-worker scaling factor at 10 Gbps matches Fig. 9 under the
+//!    overlap model `step = max(t_compute, t_comm)` (PyTorch DDP overlaps
+//!    backprop with communication). The baseline calibrates the one free
+//!    parameter; OmniReduce's scaling factor is then a *prediction*.
+
+pub mod profile;
+pub mod scaling;
+
+pub use profile::{Gpu, Workload, WorkloadName};
+pub use scaling::{scaling_factor, speedup, step_time};

@@ -1,0 +1,517 @@
+//! The six workload profiles and their gradient-structure generators.
+
+use omnireduce_tensor::NonZeroBitmap;
+
+/// The six benchmark DNNs of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadName {
+    /// DeepLight — click-through-rate prediction on Criteo 1TB.
+    DeepLight,
+    /// LSTM — language modeling on the One Billion Word benchmark.
+    Lstm,
+    /// NCF — recommendation on MovieLens-20m.
+    Ncf,
+    /// BERT — question answering on SQuAD.
+    Bert,
+    /// VGG19 — image classification on ImageNet-1K.
+    Vgg19,
+    /// ResNet152 — image classification on ImageNet-1K.
+    ResNet152,
+}
+
+impl std::fmt::Display for WorkloadName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorkloadName::DeepLight => "DeepLight",
+            WorkloadName::Lstm => "LSTM",
+            WorkloadName::Ncf => "NCF",
+            WorkloadName::Bert => "BERT",
+            WorkloadName::Vgg19 => "VGG19",
+            WorkloadName::ResNet152 => "ResNet152",
+        };
+        f.write_str(s)
+    }
+}
+
+/// GPU generations of the paper's two testbeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gpu {
+    /// NVIDIA P100 (10 Gbps testbed).
+    P100,
+    /// NVIDIA V100 (100 Gbps and multi-GPU testbeds).
+    V100,
+}
+
+/// One workload's full profile.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which DNN.
+    pub name: WorkloadName,
+    /// Training task (Table 1).
+    pub task: &'static str,
+    /// Dataset (Table 1).
+    pub dataset: &'static str,
+    /// Per-worker batch size (Table 1).
+    pub batch_size: usize,
+    /// Dense (non-embedding) weight bytes.
+    pub dense_bytes: u64,
+    /// Embedding weight bytes (0 for the vision models).
+    pub embedding_bytes: u64,
+    /// Element-level gradient sparsity (Table 1).
+    pub element_sparsity: f64,
+    /// Length of a non-zero run (embedding row size); 1 = scattered.
+    pub run_len: usize,
+    /// Fraction of rows active at *every* worker (popular embeddings).
+    pub hot_row_fraction: f64,
+    /// Fraction of the non-hot activation mass carried by the warm tier
+    /// (moderately popular rows; drives Table 2's intermediate levels).
+    pub warm_mass: f64,
+    /// Table 1's per-worker OmniReduce communication fraction at
+    /// 256-element blocks (for cross-checking the generator).
+    pub comm_fraction: f64,
+    /// Calibrated single-GPU step time on a P100, seconds.
+    pub compute_p100_s: f64,
+}
+
+/// V100 speedup over P100 used for the 100 Gbps testbed.
+const V100_FACTOR: f64 = 0.55;
+
+impl Workload {
+    /// All six profiles, in Table 1 order.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload {
+                name: WorkloadName::DeepLight,
+                task: "Click-through Rate Prediction",
+                dataset: "Criteo 1TB",
+                batch_size: 1 << 11,
+                dense_bytes: mb(1.8),
+                embedding_bytes: gb(2.26),
+                element_sparsity: 0.9973,
+                run_len: 160,
+                hot_row_fraction: 0.00037,
+                warm_mass: 0.30,
+                comm_fraction: 0.007,
+                compute_p100_s: 0.139,
+            },
+            Workload {
+                name: WorkloadName::Lstm,
+                task: "Language Modeling",
+                dataset: "GBW",
+                batch_size: 128,
+                dense_bytes: mb(74.0),
+                embedding_bytes: gb(1.52),
+                element_sparsity: 0.9450,
+                run_len: 1024,
+                hot_row_fraction: 0.0399,
+                warm_mass: 0.12,
+                comm_fraction: 0.055,
+                compute_p100_s: 0.270,
+            },
+            Workload {
+                name: WorkloadName::Ncf,
+                task: "Recommendation",
+                dataset: "ML-20mx4x16",
+                batch_size: 1 << 20,
+                dense_bytes: mb(0.4),
+                embedding_bytes: mb(679.0),
+                element_sparsity: 0.846,
+                run_len: 118,
+                hot_row_fraction: 0.0121,
+                warm_mass: 0.35,
+                comm_fraction: 0.41,
+                compute_p100_s: 0.166,
+            },
+            Workload {
+                name: WorkloadName::Bert,
+                task: "Question Answering",
+                dataset: "SQuAD",
+                batch_size: 4,
+                dense_bytes: gb(1.0),
+                embedding_bytes: mb(284.0),
+                element_sparsity: 0.0931,
+                run_len: 4096,
+                hot_row_fraction: 0.85,
+                warm_mass: 0.0,
+                comm_fraction: 0.88,
+                compute_p100_s: 0.516,
+            },
+            Workload {
+                name: WorkloadName::Vgg19,
+                task: "Image Classification",
+                dataset: "ImageNet-1K",
+                batch_size: 64,
+                dense_bytes: mb(548.0),
+                embedding_bytes: 0,
+                element_sparsity: 0.320,
+                run_len: 1,
+                hot_row_fraction: 0.0,
+                warm_mass: 0.0,
+                comm_fraction: 1.0,
+                compute_p100_s: 0.381,
+            },
+            Workload {
+                name: WorkloadName::ResNet152,
+                task: "Image Classification",
+                dataset: "ImageNet-1K",
+                batch_size: 64,
+                dense_bytes: mb(230.0),
+                embedding_bytes: 0,
+                element_sparsity: 0.216,
+                run_len: 1,
+                hot_row_fraction: 0.0,
+                warm_mass: 0.0,
+                comm_fraction: 1.0,
+                compute_p100_s: 0.305,
+            },
+        ]
+    }
+
+    /// Looks a profile up by name.
+    pub fn get(name: WorkloadName) -> Workload {
+        Workload::all()
+            .into_iter()
+            .find(|w| w.name == name)
+            .expect("known workload")
+    }
+
+    /// Total gradient size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.dense_bytes + self.embedding_bytes
+    }
+
+    /// Total gradient size in f32 elements.
+    pub fn total_elements(&self) -> u64 {
+        self.total_bytes() / 4
+    }
+
+    /// Single-GPU step time on `gpu`, seconds.
+    pub fn compute_seconds(&self, gpu: Gpu) -> f64 {
+        match gpu {
+            Gpu::P100 => self.compute_p100_s,
+            Gpu::V100 => self.compute_p100_s * V100_FACTOR,
+        }
+    }
+
+    /// Probability a row is active at a given worker
+    /// (`1 − element_sparsity`, since active rows are dense).
+    pub fn row_density(&self) -> f64 {
+        1.0 - self.element_sparsity
+    }
+
+    /// Analytic block sparsity under the row-run model, for
+    /// cross-checking generated bitmaps and reproducing Fig. 16.
+    pub fn expected_block_sparsity(&self, block_size: usize) -> f64 {
+        // A block of `bs` elements overlaps on average
+        // (bs + L − 1) / L rows of length L (misaligned runs).
+        let rows_per_block =
+            (block_size as f64 + self.run_len as f64 - 1.0) / self.run_len as f64;
+        self.element_sparsity.powf(rows_per_block)
+    }
+
+    /// Analytic density of non-zero elements *within* non-zero blocks
+    /// (Fig. 16, right panel): a block overlaps `k` rows, each fully
+    /// active with probability `f`; conditional on the block being
+    /// non-zero, the expected active fraction is `f / (1 − (1−f)^k)`.
+    pub fn expected_density_within(&self, block_size: usize) -> f64 {
+        let f = self.row_density();
+        if f <= 0.0 {
+            return 1.0;
+        }
+        let k = (block_size as f64 + self.run_len as f64 - 1.0) / self.run_len as f64;
+        (f / (1.0 - (1.0 - f).powf(k))).min(1.0)
+    }
+
+    /// Generates per-worker non-zero block bitmaps for an
+    /// `elements`-element slice of the gradient (pass
+    /// `self.total_elements()` for the full model, or less for a scaled
+    /// simulation), under the row-run + hot/cold overlap model.
+    pub fn worker_bitmaps(
+        &self,
+        n_workers: usize,
+        block_size: usize,
+        elements: usize,
+        seed: u64,
+    ) -> Vec<NonZeroBitmap> {
+        assert!(n_workers >= 1 && block_size >= 1 && elements >= 1);
+        let nblocks = elements.div_ceil(block_size);
+        let nrows = elements.div_ceil(self.run_len).max(1);
+
+        // Three-tier row popularity, mirroring embedding access skew:
+        //   hot  — active at every worker (the Table 2 "All" mass);
+        //   warm — moderately popular rows (activation prob WARM_P),
+        //          producing the intermediate overlap levels;
+        //   cold — long-tail rows with a small activation probability.
+        // Tier masses are calibrated so the per-worker row density is
+        // exactly `row_density` and the hot share matches Table 2.
+        let density = self.row_density();
+        let h = self.hot_row_fraction.min(density);
+        let mass = (density - h).max(0.0); // probability mass beyond hot
+        let warm_abs = self.warm_mass * mass;
+        let wf = (warm_abs / WARM_P).min(1.0 - h);
+        let cold_frac = (1.0 - h - wf).max(0.0);
+        let qc = if cold_frac > 0.0 {
+            ((mass - wf * WARM_P) / cold_frac).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+
+        let tier_of = |row: usize| -> Tier {
+            let u = hash_unit(seed ^ 0xA11CE, row as u64);
+            if u < h {
+                Tier::Hot
+            } else if u < h + wf {
+                Tier::Warm
+            } else {
+                Tier::Cold
+            }
+        };
+
+        let mut bitmaps = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let mut bm = NonZeroBitmap::empty(nblocks);
+            let wseed = seed ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mark_row = |row: usize, bm: &mut NonZeroBitmap| {
+                let start = row * self.run_len;
+                let end = ((row + 1) * self.run_len).min(elements);
+                let first_block = start / block_size;
+                let last_block = (end - 1) / block_size;
+                for b in first_block..=last_block.min(nblocks - 1) {
+                    bm.set(b as u32);
+                }
+            };
+            for row in 0..nrows {
+                let p = match tier_of(row) {
+                    Tier::Hot => 1.0,
+                    Tier::Warm => WARM_P,
+                    Tier::Cold => qc,
+                };
+                let active = p >= 1.0 || (p > 0.0 && hash_unit(wseed, row as u64) < p);
+                if active {
+                    mark_row(row, &mut bm);
+                }
+            }
+            bitmaps.push(bm);
+        }
+        bitmaps
+    }
+}
+
+impl Workload {
+    /// Materializes per-worker gradient tensors for an `elements`-element
+    /// slice: the block structure of [`Workload::worker_bitmaps`] filled
+    /// with deterministic non-zero values (executable-engine experiments
+    /// need real data, not just bitmaps).
+    pub fn worker_gradients(
+        &self,
+        n_workers: usize,
+        elements: usize,
+        seed: u64,
+    ) -> Vec<omnireduce_tensor::Tensor> {
+        let bitmaps = self.worker_bitmaps(n_workers, self.run_len, elements, seed);
+        bitmaps
+            .iter()
+            .enumerate()
+            .map(|(w, bm)| {
+                let mut t = omnireduce_tensor::Tensor::zeros(elements);
+                for row in bm.iter_nonzero() {
+                    let start = row as usize * self.run_len;
+                    let end = (start + self.run_len).min(elements);
+                    for (i, v) in t.as_mut_slice()[start..end].iter_mut().enumerate() {
+                        // Deterministic, worker-dependent, never zero.
+                        *v = 1e-3 * ((row as f32 + 1.0).ln() + 0.1)
+                            + 1e-6 * (i as f32 + 1.0)
+                            + 1e-4 * (w as f32 + 1.0);
+                    }
+                }
+                t
+            })
+            .collect()
+    }
+}
+
+/// Activation probability of a warm-tier row.
+const WARM_P: f64 = 0.35;
+
+enum Tier {
+    Hot,
+    Warm,
+    Cold,
+}
+
+/// SplitMix64-based hash of `(seed, x)` mapped to a uniform in `[0, 1)`.
+fn hash_unit(seed: u64, x: u64) -> f64 {
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn mb(x: f64) -> u64 {
+    (x * 1e6) as u64
+}
+
+fn gb(x: f64) -> u64 {
+    (x * 1e9) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnireduce_tensor::stats::overlap_histogram_from_bitmaps;
+
+    #[test]
+    fn six_profiles_with_table1_sizes() {
+        let all = Workload::all();
+        assert_eq!(all.len(), 6);
+        let dl = Workload::get(WorkloadName::DeepLight);
+        assert_eq!(dl.total_bytes(), mb(1.8) + gb(2.26));
+        let vgg = Workload::get(WorkloadName::Vgg19);
+        assert_eq!(vgg.embedding_bytes, 0);
+    }
+
+    #[test]
+    fn generated_block_sparsity_matches_table1_comm_fraction() {
+        // At bs=256, generated non-zero block fraction ≈ Table 1's
+        // communication fraction, per model.
+        for w in Workload::all() {
+            let elements = 4 << 20; // 4M-element slice is representative
+            let bms = w.worker_bitmaps(1, 256, elements, 42);
+            let nonzero_frac = 1.0 - bms[0].block_sparsity();
+            let target = w.comm_fraction.min(1.0);
+            assert!(
+                (nonzero_frac - target).abs() < 0.06,
+                "{}: generated {nonzero_frac:.3} vs Table 1 {target:.3}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn expected_block_sparsity_analytic_sanity() {
+        let dl = Workload::get(WorkloadName::DeepLight);
+        // At bs == run_len a block straddles ~2 rows on average.
+        let x = (160.0 + 159.0) / 160.0;
+        assert!((dl.expected_block_sparsity(160) - 0.9973_f64.powf(x)).abs() < 1e-9);
+        let vgg = Workload::get(WorkloadName::Vgg19);
+        // Scattered zeros: any realistic block is non-zero.
+        assert!(vgg.expected_block_sparsity(256) < 1e-40);
+    }
+
+    #[test]
+    fn vision_models_have_no_block_sparsity() {
+        for name in [WorkloadName::Vgg19, WorkloadName::ResNet152] {
+            let w = Workload::get(name);
+            let bms = w.worker_bitmaps(2, 256, 1 << 20, 7);
+            for bm in &bms {
+                assert!(bm.block_sparsity() < 0.01, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_matches_table2_all_share() {
+        // The fitted hot fractions should land near Table 2's
+        // all-overlap communication share for the sparse models.
+        let cases = [
+            (WorkloadName::DeepLight, 0.1362, 0.08),
+            (WorkloadName::Lstm, 0.7261, 0.10),
+            (WorkloadName::Ncf, 0.0785, 0.06),
+        ];
+        for (name, expect, tol) in cases {
+            let w = Workload::get(name);
+            // Element-level overlap: use run_len-sized blocks so blocks
+            // are rows.
+            let bms = w.worker_bitmaps(8, w.run_len, 8 << 20, 3);
+            let h = overlap_histogram_from_bitmaps(&bms);
+            let all_share = *h.by_volume.last().unwrap();
+            assert!(
+                (all_share - expect).abs() < tol,
+                "{name}: all-overlap share {all_share:.3} vs Table 2 {expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitmaps_are_deterministic_per_seed() {
+        let w = Workload::get(WorkloadName::Ncf);
+        let a = w.worker_bitmaps(2, 256, 1 << 18, 5);
+        let b = w.worker_bitmaps(2, 256, 1 << 18, 5);
+        assert_eq!(a[0].count_nonzero(), b[0].count_nonzero());
+        let c = w.worker_bitmaps(2, 256, 1 << 18, 6);
+        assert_ne!(a[0].count_nonzero(), c[0].count_nonzero());
+    }
+
+    #[test]
+    fn compute_times_calibrated_to_fig9() {
+        // The NCCL 8-worker scaling factor at 10 Gbps must reproduce
+        // Fig. 9 under step = max(compute, ring_comm).
+        let fig9_nccl = [
+            (WorkloadName::DeepLight, 0.044),
+            (WorkloadName::Lstm, 0.121),
+            (WorkloadName::Ncf, 0.175),
+            (WorkloadName::Bert, 0.287),
+            (WorkloadName::Vgg19, 0.497),
+            (WorkloadName::ResNet152, 0.948),
+        ];
+        let b = 10e9 / 8.0; // bytes/s
+        for (name, sf_expect) in fig9_nccl {
+            let w = Workload::get(name);
+            let t_ring = 2.0 * 7.0 / 8.0 * w.total_bytes() as f64 / b;
+            let tc = w.compute_seconds(Gpu::P100);
+            let sf = tc / tc.max(t_ring);
+            assert!(
+                (sf - sf_expect).abs() < 0.02,
+                "{name}: sf {sf:.3} vs Fig 9 {sf_expect:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn v100_is_faster_than_p100() {
+        for w in Workload::all() {
+            assert!(w.compute_seconds(Gpu::V100) < w.compute_seconds(Gpu::P100));
+        }
+    }
+}
+
+#[cfg(test)]
+mod gradient_tests {
+    use super::*;
+
+    #[test]
+    fn gradients_match_bitmaps_and_sparsity() {
+        let w = Workload::get(WorkloadName::Ncf);
+        let elements = 1 << 18;
+        let grads = w.worker_gradients(2, elements, 5);
+        assert_eq!(grads.len(), 2);
+        for g in &grads {
+            assert_eq!(g.len(), elements);
+            let s = g.sparsity();
+            assert!(
+                (s - w.element_sparsity).abs() < 0.05,
+                "gradient sparsity {s} vs profile {}",
+                w.element_sparsity
+            );
+        }
+        // Workers differ (different cold-row draws and values).
+        assert_ne!(grads[0], grads[1]);
+    }
+
+    #[test]
+    fn gradients_are_deterministic() {
+        let w = Workload::get(WorkloadName::Lstm);
+        let a = w.worker_gradients(1, 1 << 16, 7);
+        let b = w.worker_gradients(1, 1 << 16, 7);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn dense_vision_gradients_are_fully_dense_rows() {
+        // run_len = 1 and density 68%: roughly that fraction non-zero.
+        let w = Workload::get(WorkloadName::Vgg19);
+        let g = &w.worker_gradients(1, 1 << 16, 3)[0];
+        assert!((g.density() - w.row_density()).abs() < 0.05);
+    }
+}

@@ -1,0 +1,64 @@
+//! Step-time and scaling-factor arithmetic (Figs. 1, 9, 10, 13, 14).
+//!
+//! The paper defines the scaling factor as `sf = T_N / (N · T)` where `T`
+//! is single-GPU throughput and `T_N` the measured cluster throughput
+//! \[69\]. With per-step compute time `t_c` and per-step communication
+//! time `t_m`, throughput per worker is `batch / step`, so
+//! `sf = t_c / step(t_c, t_m)`.
+//!
+//! PyTorch DDP overlaps gradient communication with the backward pass,
+//! so the step time is modelled as `max(t_c, t_m)` — communication
+//! hides behind compute until it becomes the bottleneck. This single
+//! assumption plus one calibrated compute time per model reproduces the
+//! baseline column of Fig. 9 (see
+//! [`crate::profile::Workload::compute_p100_s`]).
+
+/// Per-step time given compute and communication times, under the
+/// DDP overlap model.
+pub fn step_time(compute_s: f64, comm_s: f64) -> f64 {
+    compute_s.max(comm_s)
+}
+
+/// Scaling factor `sf = t_c / step` (1.0 = perfectly hidden
+/// communication, i.e. linear scaling).
+pub fn scaling_factor(compute_s: f64, comm_s: f64) -> f64 {
+    if compute_s <= 0.0 {
+        return 0.0;
+    }
+    compute_s / step_time(compute_s, comm_s)
+}
+
+/// Training-throughput speedup of system A over system B for the same
+/// compute time: `step_B / step_A`.
+pub fn speedup(compute_s: f64, comm_a_s: f64, comm_b_s: f64) -> f64 {
+    step_time(compute_s, comm_b_s) / step_time(compute_s, comm_a_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_scales_linearly() {
+        assert_eq!(scaling_factor(1.0, 0.5), 1.0);
+        assert_eq!(step_time(1.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn network_bound_scaling_degrades() {
+        assert!((scaling_factor(0.2, 1.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_step_ratio() {
+        // Compute 0.1 s; A's comm 0.2 s, B's comm 1.0 s → 5×.
+        assert!((speedup(0.1, 0.2, 1.0) - 5.0).abs() < 1e-12);
+        // Both compute-bound → 1×.
+        assert_eq!(speedup(1.0, 0.1, 0.2), 1.0);
+    }
+
+    #[test]
+    fn zero_compute_has_zero_scaling() {
+        assert_eq!(scaling_factor(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus the ablations.
+# Console tables are printed and JSON dumps land under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  table1_workloads table2_overlap
+  fig01_scaling fig04_microbench fig05_dense_methods fig06_sparse_methods
+  fig07_sparse_scaling fig08_conversion fig09_scaling_factor
+  fig10_e2e_speedup fig11_compression_accuracy fig12_loss_curves
+  fig13_multigpu_micro fig14_multigpu_e2e fig15_block_size
+  fig16_block_stats fig17_overlap fig18_switch fig20_bitmap fig21_loss
+  model_speedup
+  ablation_streams ablation_kv_format ablation_small_messages
+  ablation_generalized ablation_loss_sim ablation_staging
+  ablation_scaling_mode planner
+)
+
+cargo build --release -p omnireduce-bench
+for bin in "${BINS[@]}"; do
+  echo "######## ${bin}"
+  cargo run --release -q -p omnireduce-bench --bin "${bin}"
+done

@@ -1,0 +1,86 @@
+//! Integration: the packet-level simulator must agree with the §3.4
+//! closed-form cost models in their asymptotic regimes — the paper's own
+//! consistency argument, turned into a test.
+
+use omnireduce::collectives::cost::{self, CostParams};
+use omnireduce::collectives::sim::{agsparse_time, ring_allreduce_time};
+use omnireduce::core::config::OmniConfig;
+use omnireduce::core::sim::{bitmaps_from_sets, simulate_allreduce, SimSpec};
+use omnireduce::simnet::{Bandwidth, NicConfig, SimTime};
+use omnireduce::tensor::gen::{worker_block_sets, OverlapMode};
+
+const MB: u64 = 1_000_000;
+
+fn nic() -> NicConfig {
+    NicConfig::symmetric(Bandwidth::gbps(10.0), SimTime::from_micros(5))
+}
+
+#[test]
+fn ring_simulation_tracks_model_across_sizes_and_workers() {
+    let p = CostParams::new_gbps(10.0, 5.0);
+    for n in [2usize, 4, 8] {
+        for s in [10 * MB, 50 * MB] {
+            let sim = ring_allreduce_time(n, s, nic()).as_secs_f64();
+            let model = cost::ring_allreduce(&p, n, s as f64);
+            let rel = (sim - model).abs() / model;
+            assert!(rel < 0.06, "n={n} s={s}: sim {sim} model {model}");
+        }
+    }
+}
+
+#[test]
+fn agsparse_simulation_tracks_model() {
+    let p = CostParams::new_gbps(10.0, 5.0);
+    for n in [2usize, 4, 8] {
+        for d in [0.02f64, 0.10] {
+            let s_bytes = 40.0 * MB as f64;
+            let nnz = (s_bytes / 4.0 * d) as u64;
+            let sim = agsparse_time(&vec![nnz; n], nic()).as_secs_f64();
+            let model = cost::agsparse_allreduce(&p, n, s_bytes, d);
+            let rel = (sim - model).abs() / model;
+            assert!(rel < 0.10, "n={n} d={d}: sim {sim} model {model}");
+        }
+    }
+}
+
+#[test]
+fn omnireduce_simulation_tracks_model_at_full_overlap() {
+    // T = α + D·S/B when the aggregator bandwidth matches N·B and block
+    // density equals element density — the §3.4 best case. Full overlap
+    // and dedicated per-worker shards realize exactly those assumptions.
+    let p = CostParams::new_gbps(10.0, 5.0);
+    let elements = 32 << 20;
+    for d in [1.0f64, 0.25, 0.05] {
+        let cfg = OmniConfig::new(4, elements)
+            .with_block_size(256)
+            .with_fusion(4)
+            .with_streams(32)
+            .with_aggregators(4);
+        let nblocks = cfg.block_spec().block_count(elements);
+        let sets = worker_block_sets(4, nblocks, 1.0 - d, OverlapMode::All, 9);
+        let spec = SimSpec::dedicated(cfg, Bandwidth::gbps(10.0), SimTime::from_micros(5));
+        let sim = simulate_allreduce(&spec, &bitmaps_from_sets(&sets))
+            .completion
+            .as_secs_f64();
+        let model = cost::omnireduce(&p, (elements * 4) as f64, d);
+        let rel = (sim - model).abs() / model;
+        // Protocol metadata and the first-row exchange cost a few percent.
+        assert!(rel < 0.15, "d={d}: sim {sim} model {model}");
+    }
+}
+
+#[test]
+fn speedup_ordering_matches_theory() {
+    // In the bandwidth regime: OmniReduce < AGsparse at any density and
+    // OmniReduce < ring; AGsparse beats ring only below D = 1/(N) ish.
+    let n = 8;
+    let s = 50 * MB;
+    let ring = ring_allreduce_time(n, s, nic());
+    let sparse_d = 0.05;
+    let nnz = (s as f64 / 4.0 * sparse_d) as u64;
+    let ag = agsparse_time(&vec![nnz; n], nic());
+    assert!(ag < ring, "5% density: AGsparse should beat ring");
+    let dense_nnz = (s as f64 / 4.0 * 0.6) as u64;
+    let ag_dense = agsparse_time(&vec![dense_nnz; n], nic());
+    assert!(ag_dense > ring, "60% density: AGsparse should lose to ring");
+}

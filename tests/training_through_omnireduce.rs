@@ -1,0 +1,102 @@
+//! Integration: compressed data-parallel training where gradient
+//! averaging runs through a *real* OmniReduce group must match the
+//! trainer's in-process aggregation bit-for-bit in structure (same
+//! compression decisions) and closely in value.
+
+use std::thread;
+
+use omnireduce::core::aggregator::OmniAggregator;
+use omnireduce::core::config::OmniConfig;
+use omnireduce::core::worker::OmniWorker;
+use omnireduce::ddl::train::accuracy;
+use omnireduce::ddl::{train_data_parallel, Dataset, LogisticRegression, Model, TrainConfig};
+use omnireduce::sparsify::{BlockTopK, Compressor, ErrorFeedback};
+use omnireduce::tensor::{BlockSpec, Tensor};
+use omnireduce::transport::{ChannelNetwork, NodeId};
+
+const WORKERS: usize = 3;
+const DIM: usize = 31; // 32 params → 8 blocks of 4
+const STEPS: usize = 60;
+const BATCH: usize = 16;
+const LR: f32 = 0.5;
+
+/// Trains with aggregation through a live OmniReduce group.
+fn train_through_group(data: &Dataset) -> Tensor {
+    let model = LogisticRegression { dim: DIM };
+    let params_len = model.num_params();
+    let cfg = OmniConfig::new(WORKERS, params_len)
+        .with_block_size(4)
+        .with_fusion(2)
+        .with_streams(2);
+    let mut net = ChannelNetwork::new(cfg.mesh_size());
+    let agg_t = net.endpoint(NodeId(cfg.aggregator_node(0)));
+    let agg_cfg = cfg.clone();
+    let agg = thread::spawn(move || OmniAggregator::new(agg_t, agg_cfg).run().unwrap());
+    let shard = data.len() / WORKERS;
+    let mut handles = Vec::new();
+    for w in 0..WORKERS {
+        let t = net.endpoint(NodeId(cfg.worker_node(w)));
+        let cfg = cfg.clone();
+        let data = data.clone();
+        let model = model.clone();
+        handles.push(thread::spawn(move || {
+            let mut worker = OmniWorker::new(t, cfg);
+            let mut comp = ErrorFeedback::new(BlockTopK::new(0.5, BlockSpec::new(4)));
+            let mut params = model.init_params(0);
+            for step in 0..STEPS {
+                let lo = w * shard + (step * BATCH) % (shard - BATCH + 1);
+                let x = &data.features[lo * data.dim..(lo + BATCH) * data.dim];
+                let y = &data.labels[lo..lo + BATCH];
+                let (_, grad) = model.loss_grad(&params, x, y, data.dim);
+                let mut sent = comp.compress(&grad, &params);
+                worker.allreduce(&mut sent).unwrap();
+                sent.scale(1.0 / WORKERS as f32);
+                for (p, g) in params.as_mut_slice().iter_mut().zip(sent.as_slice()) {
+                    *p -= LR * g;
+                }
+            }
+            worker.shutdown().unwrap();
+            params
+        }));
+    }
+    let params: Vec<Tensor> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    agg.join().unwrap();
+    for p in &params[1..] {
+        assert!(p.approx_eq(&params[0], 1e-4), "replicas diverged");
+    }
+    params.into_iter().next().unwrap()
+}
+
+#[test]
+fn training_through_group_matches_in_process_trainer() {
+    let data = Dataset::synthetic(1200, DIM, 0.02, 11);
+    let model = LogisticRegression { dim: DIM };
+
+    // Reference: the ddl trainer with identical config and compressors.
+    let cfg = TrainConfig {
+        num_workers: WORKERS,
+        batch_size: BATCH,
+        lr: LR,
+        steps: STEPS,
+        seed: 0,
+    };
+    let mut comps: Vec<Box<dyn Compressor>> = (0..WORKERS)
+        .map(|_| {
+            Box::new(ErrorFeedback::new(BlockTopK::new(0.5, BlockSpec::new(4))))
+                as Box<dyn Compressor>
+        })
+        .collect();
+    let reference = train_data_parallel(&model, &data, &cfg, &mut comps);
+
+    let through_group = train_through_group(&data);
+
+    // Both aggregate compressed gradients by summation; float ordering
+    // differs, so allow a small tolerance.
+    assert!(
+        through_group.approx_eq(&reference.params, 5e-3),
+        "network-trained params diverge by {}",
+        through_group.max_abs_diff(&reference.params)
+    );
+    let acc = accuracy(&model, &through_group, &data);
+    assert!(acc > 0.85, "accuracy {acc}");
+}
