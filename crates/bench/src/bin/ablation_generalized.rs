@@ -35,7 +35,11 @@ fn broadcast_bytes(sparsity: f64) -> (u64, u64) {
         let root_tensor = root_tensor.clone();
         handles.push(thread::spawn(move || {
             let mut worker = OmniWorker::new(t, cfg);
-            let mut tensor = if w == 0 { root_tensor } else { Tensor::zeros(ELEMENTS) };
+            let mut tensor = if w == 0 {
+                root_tensor
+            } else {
+                Tensor::zeros(ELEMENTS)
+            };
             broadcast(&mut worker, &mut tensor, 0).unwrap();
             let bytes = worker.stats().bytes_sent;
             worker.shutdown().unwrap();
@@ -50,7 +54,12 @@ fn broadcast_bytes(sparsity: f64) -> (u64, u64) {
 fn main() {
     let mut t = Table::new(
         "Ablation: sparse Broadcast traffic (4 workers, 256 KB tensor)",
-        &["sparsity", "root KB sent", "peers total KB (first rows)", "dense broadcast KB"],
+        &[
+            "sparsity",
+            "root KB sent",
+            "peers total KB (first rows)",
+            "dense broadcast KB",
+        ],
     );
     let dense_kb = (ELEMENTS * 4) as f64 / 1e3;
     for s in [0.0f64, 0.5, 0.9, 0.99] {

@@ -68,14 +68,23 @@ fn main() {
                 bytes
             }));
         }
-        let kv_bytes: u64 = handles.into_iter().map(|h| h.join().unwrap()).next().unwrap();
+        let kv_bytes: u64 = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .next()
+            .unwrap();
         agg.join().unwrap();
 
         t.row(vec![
             format!("{:.0}%", density_within * 100.0),
             format!("{:.1}", dense_bytes as f64 / 1e3),
             format!("{:.1}", kv_bytes as f64 / 1e3),
-            if dense_bytes <= kv_bytes { "dense" } else { "kv" }.into(),
+            if dense_bytes <= kv_bytes {
+                "dense"
+            } else {
+                "kv"
+            }
+            .into(),
         ]);
     }
     println!("break-even expected near 50% density within blocks (c_v/(c_i+c_v))");

@@ -10,8 +10,8 @@
 //! longer. The sweep therefore starts at 2 ms; the paper's DPDK
 //! implementation faces the same constraint.
 
-use omnireduce_bench::{micro_bitmaps, omni_config, Table, Testbed};
-use omnireduce_core::sim_recovery::simulate_recovery_allreduce;
+use omnireduce_bench::{micro_bitmaps, omni_config, telemetry, Table, Testbed};
+use omnireduce_core::sim_recovery::simulate_recovery_allreduce_with_telemetry;
 use omnireduce_simnet::SimTime;
 use omnireduce_tensor::gen::OverlapMode;
 
@@ -26,7 +26,7 @@ fn main() {
     let bms = micro_bitmaps(N, ELEMENTS, S, OverlapMode::Random, 21);
     let nic = Testbed::Dpdk10.nic();
     let run = |loss: f64, timeout_us: u64| {
-        simulate_recovery_allreduce(
+        simulate_recovery_allreduce_with_telemetry(
             &cfg,
             nic,
             nic,
@@ -34,6 +34,7 @@ fn main() {
             SimTime::from_micros(timeout_us),
             &bms,
             42,
+            Some(telemetry()),
         )
     };
     let mut t = Table::new(
@@ -51,8 +52,7 @@ fn main() {
         for loss in [0.0001f64, 0.001, 0.01] {
             let out = run(loss, timeout_us);
             let delta = out.completion.as_millis_f64() - base.completion.as_millis_f64();
-            let overhead =
-                out.worker_tx_bytes as f64 / base.worker_tx_bytes as f64 - 1.0;
+            let overhead = out.worker_tx_bytes as f64 / base.worker_tx_bytes as f64 - 1.0;
             t.row(vec![
                 format!("{:.2}%", loss * 100.0),
                 timeout_us.to_string(),

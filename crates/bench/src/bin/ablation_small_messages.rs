@@ -24,7 +24,12 @@ const BS: usize = 64;
 fn main() {
     let mut t = Table::new(
         "Ablation: small-message latency regime (8 workers, 10 Gbps, 1 shard) [us]",
-        &["tensor bytes", "ring", "recursive doubling", "OmniReduce(1 shard)"],
+        &[
+            "tensor bytes",
+            "ring",
+            "recursive doubling",
+            "OmniReduce(1 shard)",
+        ],
     );
     let nic = Testbed::Dpdk10.nic();
     for bytes in [1_024u64, 16_384, 262_144, 4_194_304] {
@@ -40,7 +45,10 @@ fn main() {
         let omni = simulate_allreduce(&spec, &bms).completion;
         t.row(vec![
             bytes.to_string(),
-            format!("{:.1}", ring_allreduce_time(N, bytes, nic).as_secs_f64() * 1e6),
+            format!(
+                "{:.1}",
+                ring_allreduce_time(N, bytes, nic).as_secs_f64() * 1e6
+            ),
             format!(
                 "{:.1}",
                 recursive_doubling_time(N, bytes, nic).as_secs_f64() * 1e6

@@ -15,7 +15,14 @@ fn main() {
         "Ablation: staging chunk size (100 MB tensor, 100 Gbps, non-GDR) [ms]",
         &["chunk", "dense send", "s=90%", "s=99%", "ideal dense"],
     );
-    for chunk in [65_536u64, 262_144, 1_000_000, 4_000_000, 16_000_000, 100_000_000] {
+    for chunk in [
+        65_536u64,
+        262_144,
+        1_000_000,
+        4_000_000,
+        16_000_000,
+        100_000_000,
+    ] {
         let p = StagingPipeline {
             tensor_bytes: TENSOR,
             chunk_bytes: chunk,

@@ -20,15 +20,20 @@ fn main() {
         let mut t = Table::new(
             &format!("Fig 4 ({}): AllReduce time [ms] on 100 MB", testbed.label()),
             &[
-                "workers", "NCCL", "O,0%", "O,60%", "O,90%", "O,99%", "ring@line-rate",
+                "workers",
+                "NCCL",
+                "O,0%",
+                "O,60%",
+                "O,90%",
+                "O,99%",
+                "ring@line-rate",
             ],
         );
         let gbps = testbed.bandwidth().as_bytes_per_sec() * 8.0 / 1e9;
         for n in WORKERS {
             // NCCL ring baseline (dense), plus the staging floor it pays
             // too on the non-GDR paths.
-            let nccl = ring_allreduce_time(n, BYTES, testbed.nic())
-                .max(testbed.copy_floor(BYTES));
+            let nccl = ring_allreduce_time(n, BYTES, testbed.nic()).max(testbed.copy_floor(BYTES));
             // Line-rate optimal ring (the dashed reference).
             let p = CostParams::new_gbps(gbps, 0.0);
             let optimal = SimTime::from_secs_f64(cost::ring_allreduce(&p, n, BYTES as f64));
@@ -36,8 +41,13 @@ fn main() {
             let mut row = vec![n.to_string(), ms(nccl)];
             for s in SPARSITIES {
                 let cfg = omni_config(n, MICROBENCH_ELEMENTS);
-                let bms =
-                    micro_bitmaps(n, MICROBENCH_ELEMENTS, s, OverlapMode::Random, 40 + n as u64);
+                let bms = micro_bitmaps(
+                    n,
+                    MICROBENCH_ELEMENTS,
+                    s,
+                    OverlapMode::Random,
+                    40 + n as u64,
+                );
                 let t_omni = omnireduce_bench::omni_time(testbed, cfg, &bms);
                 row.push(ms(t_omni));
             }

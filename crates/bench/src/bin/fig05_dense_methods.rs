@@ -33,8 +33,8 @@ fn main() {
     let nccl_gdr = ring_allreduce_time(N, BYTES, Testbed::Gdr100.nic());
     let nccl = ring_allreduce_time(N, BYTES, Testbed::Rdma100.nic())
         .max(Testbed::Rdma100.copy_floor(BYTES));
-    let byteps = ps_dense_time(N, N, BYTES, Testbed::Rdma100.nic())
-        .max(Testbed::Rdma100.copy_floor(BYTES));
+    let byteps =
+        ps_dense_time(N, N, BYTES, Testbed::Rdma100.nic()).max(Testbed::Rdma100.copy_floor(BYTES));
     // SwitchML*: streaming aggregation without sparsity detection
     // (dense-streaming OmniReduce on the RDMA path, no GDR).
     let sw_cfg = omni_config(N, MICROBENCH_ELEMENTS).dense_streaming();

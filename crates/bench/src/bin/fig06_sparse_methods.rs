@@ -8,7 +8,7 @@
 //! costs are excluded here (Fig. 8 adds them).
 
 use omnireduce_bench::{
-    micro_bitmaps, omni_config, omni_time, omni_time_colocated, Table, Testbed, x,
+    micro_bitmaps, omni_config, omni_time, omni_time_colocated, x, Table, Testbed,
     MICROBENCH_ELEMENTS,
 };
 use omnireduce_collectives::sim::{

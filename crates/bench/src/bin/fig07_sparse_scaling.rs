@@ -3,7 +3,7 @@
 //! (0%, 60%, 80%, 96%), 100 MB tensors at 10 Gbps.
 
 use omnireduce_bench::{
-    micro_bitmaps, omni_config, omni_time, Table, Testbed, x, MICROBENCH_ELEMENTS,
+    micro_bitmaps, omni_config, omni_time, x, Table, Testbed, MICROBENCH_ELEMENTS,
 };
 use omnireduce_collectives::sim::{
     agsparse_time, ps_sparse_time, ring_allreduce_time, sparcml_time,
@@ -15,7 +15,10 @@ const BYTES: u64 = (MICROBENCH_ELEMENTS as u64) * 4;
 fn main() {
     for s in [0.0f64, 0.60, 0.80, 0.96] {
         let mut t = Table::new(
-            &format!("Fig 7 (s={:.0}%): speedup vs Dense(NCCL) as workers vary", s * 100.0),
+            &format!(
+                "Fig 7 (s={:.0}%): speedup vs Dense(NCCL) as workers vary",
+                s * 100.0
+            ),
             &[
                 "workers",
                 "OmniReduce",

@@ -41,8 +41,7 @@ fn main() {
     let nic = Testbed::Dpdk10.nic();
     let d = 1.0 - S;
     let per_worker_nnz = (MICROBENCH_ELEMENTS as f64 * d) as u64;
-    let union_nnz =
-        (MICROBENCH_ELEMENTS as f64 * (1.0 - S.powi(N as i32))) as u64;
+    let union_nnz = (MICROBENCH_ELEMENTS as f64 * (1.0 - S.powi(N as i32))) as u64;
 
     let bms = micro_bitmaps(N, MICROBENCH_ELEMENTS, S, OverlapMode::Random, 80);
     let omni = omni_time(Testbed::Dpdk10, omni_config(N, MICROBENCH_ELEMENTS), &bms);
@@ -60,7 +59,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 8: AllReduce breakdown incl. conversion, s=99%, 10 Gbps [ms]",
-        &["method", "dense->sparse", "allreduce", "sparse->dense", "total"],
+        &[
+            "method",
+            "dense->sparse",
+            "allreduce",
+            "sparse->dense",
+            "total",
+        ],
     );
     let mut row = |name: &str, conv_in: f64, comm: f64, conv_out: f64| {
         t.row(vec![

@@ -4,7 +4,7 @@
 //! after 1% gradient compression (whose dense↔sparse conversion cost,
 //! measured on this machine, dominates at 100 Gbps exactly as in §6.2.2).
 
-use omnireduce_bench::{e2e, Table, Testbed, x};
+use omnireduce_bench::{e2e, x, Table, Testbed};
 use omnireduce_collectives::sim::agsparse_time;
 use omnireduce_tensor::convert::time_dense_to_coo;
 use omnireduce_tensor::BlockSpec;

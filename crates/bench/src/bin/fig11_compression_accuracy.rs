@@ -72,7 +72,10 @@ fn main() {
         for run in 0..RUNS {
             let data = Dataset::synthetic(4000, 24, 0.05, 1000 + run as u64);
             let (train, test) = data.split(0.25);
-            let model = Mlp { dim: 24, hidden: 16 };
+            let model = Mlp {
+                dim: 24,
+                hidden: 16,
+            };
             let cfg = TrainConfig {
                 num_workers: WORKERS,
                 batch_size: 25,

@@ -52,7 +52,10 @@ fn main() {
         for run in 0..RUNS {
             let data = Dataset::synthetic(4000, 24, 0.05, 2000 + run as u64);
             let (train, _) = data.split(0.25);
-            let model = Mlp { dim: 24, hidden: 16 };
+            let model = Mlp {
+                dim: 24,
+                hidden: 16,
+            };
             let cfg = TrainConfig {
                 num_workers: WORKERS,
                 batch_size: 25,
@@ -71,7 +74,14 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 12: median training loss (EMA α=0.5), 10 runs",
-        &["step", "none", "random-k", "top-k", "top-k-ratio", "threshold"],
+        &[
+            "step",
+            "none",
+            "random-k",
+            "top-k",
+            "top-k-ratio",
+            "threshold",
+        ],
     );
     for step in (0..STEPS).step_by(25).chain([STEPS - 1]) {
         let mut row = vec![step.to_string()];

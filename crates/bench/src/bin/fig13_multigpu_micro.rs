@@ -17,8 +17,8 @@ fn main() {
     );
     let intra = h.intra_time(BYTES);
     let copy_floor = Testbed::Rdma100.copy_floor(BYTES);
-    let nccl = ring_allreduce_time(h.servers, BYTES, Testbed::Rdma100.nic()).max(copy_floor)
-        + intra;
+    let nccl =
+        ring_allreduce_time(h.servers, BYTES, Testbed::Rdma100.nic()).max(copy_floor) + intra;
     t.row(vec!["NCCL".into(), ms(nccl)]);
     for s in [0.0f64, 0.20, 0.60, 0.80, 0.90, 0.92, 0.96, 0.98, 0.99] {
         let cfg = omni_config(h.servers, MICROBENCH_ELEMENTS);

@@ -3,7 +3,7 @@
 //! model of `omnireduce_core::sim_hierarchical`. Per-server gradients
 //! are the union of 8 GPUs' activity (8× batch → denser gradients).
 
-use omnireduce_bench::{e2e, omni_config, Table, Testbed, x, BLOCK_SIZE};
+use omnireduce_bench::{e2e, omni_config, x, Table, Testbed, BLOCK_SIZE};
 use omnireduce_collectives::sim::ring_allreduce_time;
 use omnireduce_core::sim_hierarchical::HierarchySpec;
 use omnireduce_tensor::NonZeroBitmap;
@@ -46,9 +46,8 @@ fn main() {
             .completion
             .as_secs_f64()
             * scale;
-        let omni = inter.max(copy_floor)
-            + intra
-            + 0.5e-3 * (w.total_bytes() / e2e::BUCKET_BYTES) as f64;
+        let omni =
+            inter.max(copy_floor) + intra + 0.5e-3 * (w.total_bytes() / e2e::BUCKET_BYTES) as f64;
 
         t.row(vec![w.name.to_string(), x(speedup(tc, omni, ring))]);
     }

@@ -4,7 +4,9 @@
 //! overlap regime barely matters; in the 60–90% band all-overlap is
 //! clearly fastest (§6.4.2).
 
-use omnireduce_bench::{micro_bitmaps, omni_config, omni_time, Table, Testbed, MICROBENCH_ELEMENTS};
+use omnireduce_bench::{
+    micro_bitmaps, omni_config, omni_time, Table, Testbed, MICROBENCH_ELEMENTS,
+};
 use omnireduce_tensor::gen::OverlapMode;
 
 fn main() {

@@ -9,7 +9,7 @@
 //! block size 256. Both speedups are relative to ring AllReduce on the
 //! same fabric.
 
-use omnireduce_bench::{Table, Testbed, x, MICROBENCH_ELEMENTS, STREAMS};
+use omnireduce_bench::{x, Table, Testbed, MICROBENCH_ELEMENTS, STREAMS};
 use omnireduce_collectives::sim::ring_allreduce_time;
 use omnireduce_core::config::OmniConfig;
 use omnireduce_core::sim::{bitmaps_from_sets, simulate_allreduce, SimSpec};
@@ -33,6 +33,7 @@ fn omni(bs: usize, fusion: usize, sparsity: f64, agg_nic: NicConfig, shards: usi
         worker_nic: Testbed::Dpdk10.nic(),
         agg_nic,
         colocated: false,
+        telemetry: Some(omnireduce_bench::telemetry().clone()),
     };
     simulate_allreduce(&spec, &bms).completion.as_secs_f64()
 }

@@ -42,7 +42,11 @@ fn measure(sparsity: f64, loss: f64) -> f64 {
     let mut net = LossyNetwork::new(cfg.mesh_size(), LossConfig::drops(loss, 77));
     let endpoints = net.endpoints();
     let start = Instant::now();
-    let _ = run_recovery_group(&cfg, endpoints, inputs.into_iter().map(|t| vec![t]).collect());
+    let _ = run_recovery_group(
+        &cfg,
+        endpoints,
+        inputs.into_iter().map(|t| vec![t]).collect(),
+    );
     start.elapsed().as_secs_f64()
 }
 

@@ -44,7 +44,10 @@ fn main() {
         sparsity * 100.0
     );
 
-    let mut t = Table::new("Predicted AllReduce time", &["system", "time [ms]", "notes"]);
+    let mut t = Table::new(
+        "Predicted AllReduce time",
+        &["system", "time [ms]", "notes"],
+    );
     let mut best: Option<(String, f64)> = None;
     let mut push = |t: &mut Table, name: &str, secs: f64, notes: &str| {
         t.row(vec![
@@ -61,7 +64,12 @@ fn main() {
     let bms = micro_bitmaps(workers, elements, sparsity, OverlapMode::Random, 7);
     let spec = SimSpec::dedicated(cfg.clone(), Bandwidth::gbps(gbps), SimTime::from_micros(10));
     let omni = simulate_allreduce(&spec, &bms).completion.as_secs_f64();
-    push(&mut t, "OmniReduce (N shards)", omni, "dedicated aggregators");
+    push(
+        &mut t,
+        "OmniReduce (N shards)",
+        omni,
+        "dedicated aggregators",
+    );
     let co_spec = SimSpec::colocated(cfg, Bandwidth::gbps(gbps), SimTime::from_micros(10));
     let co = simulate_allreduce(&co_spec, &bms).completion.as_secs_f64();
     push(&mut t, "OmniReduce (colocated)", co, "no extra nodes");

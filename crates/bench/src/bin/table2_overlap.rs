@@ -34,7 +34,14 @@ fn main() {
     let mut t = Table::new(
         "Table 2: communication share [%] by overlap count (8 workers)",
         &[
-            "Overlap", "DeepLight", "LSTM", "NCF", "BERT", "VGG19", "ResNet152", "sBERT",
+            "Overlap",
+            "DeepLight",
+            "LSTM",
+            "NCF",
+            "BERT",
+            "VGG19",
+            "ResNet152",
+            "sBERT",
         ],
     );
     let mut columns: Vec<Vec<f64>> = Vec::new();
@@ -44,7 +51,10 @@ fn main() {
         // 256-element block for the dense-ish models; for the embedding
         // models, whose natural unit is a row, measure at run length
         // (capped at the paper's block size so the unit stays a block).
-        let bs = w.run_len.clamp(1, 256).max(if w.run_len == 1 { 256 } else { 1 });
+        let bs = w
+            .run_len
+            .clamp(1, 256)
+            .max(if w.run_len == 1 { 256 } else { 1 });
         let bms = w.worker_bitmaps(N, bs, elements, 11);
         let h = overlap_histogram_from_bitmaps(&bms);
         columns.push(h.by_volume);

@@ -22,10 +22,13 @@
 
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::OnceLock;
 
 use omnireduce_core::config::OmniConfig;
 use omnireduce_core::sim::{bitmaps_from_sets, simulate_allreduce, SimSpec};
 use omnireduce_simnet::{Bandwidth, NicConfig, SimTime};
+use omnireduce_telemetry::json::JsonValue;
+use omnireduce_telemetry::Telemetry;
 use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
 use omnireduce_tensor::NonZeroBitmap;
 
@@ -95,6 +98,26 @@ impl Testbed {
     }
 }
 
+/// The process-wide telemetry registry shared by every figure binary.
+///
+/// Every simulation entry point in this crate ([`omni_time`],
+/// [`omni_time_colocated`]) registers its counters here, and
+/// [`Table::emit`] snapshots it into `results/<slug>.metrics.json`
+/// alongside the table JSON. Setting the `OMNIREDUCE_TRACE` environment
+/// variable (any value) additionally enables the bounded trace recorder
+/// (64 Ki events) and makes `emit` drop a Chrome-trace
+/// `results/<slug>.trace.json` loadable in `chrome://tracing` / Perfetto.
+pub fn telemetry() -> &'static Telemetry {
+    static TELEMETRY: OnceLock<Telemetry> = OnceLock::new();
+    TELEMETRY.get_or_init(|| {
+        if std::env::var_os("OMNIREDUCE_TRACE").is_some() {
+            Telemetry::with_tracing(65_536)
+        } else {
+            Telemetry::new()
+        }
+    })
+}
+
 /// Standard OmniReduce geometry for `n` workers over `elements`
 /// (dedicated shards, one per worker — the paper's testbed).
 pub fn omni_config(n: usize, elements: usize) -> OmniConfig {
@@ -122,7 +145,8 @@ pub fn micro_bitmaps(
 /// aggregators), including the host-copy floor.
 pub fn omni_time(testbed: Testbed, cfg: OmniConfig, bitmaps: &[NonZeroBitmap]) -> SimTime {
     let bytes = cfg.tensor_len as u64 * 4;
-    let spec = SimSpec::dedicated(cfg, testbed.bandwidth(), testbed.latency());
+    let spec = SimSpec::dedicated(cfg, testbed.bandwidth(), testbed.latency())
+        .with_telemetry(telemetry().clone());
     let t = simulate_allreduce(&spec, bitmaps).completion;
     t.max(testbed.copy_floor(bytes))
 }
@@ -134,7 +158,8 @@ pub fn omni_time_colocated(
     bitmaps: &[NonZeroBitmap],
 ) -> SimTime {
     let bytes = cfg.tensor_len as u64 * 4;
-    let spec = SimSpec::colocated(cfg, testbed.bandwidth(), testbed.latency());
+    let spec = SimSpec::colocated(cfg, testbed.bandwidth(), testbed.latency())
+        .with_telemetry(telemetry().clone());
     let t = simulate_allreduce(&spec, bitmaps).completion;
     t.max(testbed.copy_floor(bytes))
 }
@@ -181,7 +206,10 @@ impl Table {
                 .join("  ")
         };
         println!("{}", line(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }
@@ -193,21 +221,49 @@ impl Table {
         if std::fs::create_dir_all(dir).is_err() {
             return; // read-only checkout: console output is enough
         }
-        #[derive(serde::Serialize)]
-        struct Dump<'a> {
-            title: &'a str,
-            headers: &'a [String],
-            rows: &'a [Vec<String>],
+        let mut dump = JsonValue::obj();
+        dump.push("title", JsonValue::Str(self.title.clone()));
+        dump.push(
+            "headers",
+            JsonValue::Arr(
+                self.headers
+                    .iter()
+                    .map(|h| JsonValue::Str(h.clone()))
+                    .collect(),
+            ),
+        );
+        dump.push(
+            "rows",
+            JsonValue::Arr(
+                self.rows
+                    .iter()
+                    .map(|row| {
+                        JsonValue::Arr(row.iter().map(|c| JsonValue::Str(c.clone())).collect())
+                    })
+                    .collect(),
+            ),
+        );
+        let path = dir.join(format!("{slug}.json"));
+        if let Ok(mut f) = std::fs::File::create(path) {
+            let _ = f.write_all(dump.to_string_pretty().as_bytes());
         }
-        let dump = Dump {
-            title: &self.title,
-            headers: &self.headers,
-            rows: &self.rows,
-        };
-        if let Ok(json) = serde_json::to_string_pretty(&dump) {
-            let path = dir.join(format!("{slug}.json"));
+        self.write_telemetry(dir, slug);
+    }
+
+    /// Dumps the process-wide telemetry registry next to the table:
+    /// `<slug>.metrics.json` always, `<slug>.trace.json` when tracing is
+    /// enabled (`OMNIREDUCE_TRACE`) and events were recorded.
+    fn write_telemetry(&self, dir: &Path, slug: &str) {
+        let snapshot = telemetry().snapshot();
+        let path = dir.join(format!("{slug}.metrics.json"));
+        if let Ok(mut f) = std::fs::File::create(path) {
+            let _ = f.write_all(snapshot.to_json().as_bytes());
+        }
+        let trace = telemetry().trace();
+        if trace.is_enabled() && !trace.is_empty() {
+            let path = dir.join(format!("{slug}.trace.json"));
             if let Ok(mut f) = std::fs::File::create(path) {
-                let _ = f.write_all(json.as_bytes());
+                let _ = f.write_all(trace.to_chrome_json().as_bytes());
             }
         }
     }

@@ -44,11 +44,8 @@ pub fn allreduce<T: Transport>(
                 other => panic!("agsparse: unexpected {:?}", other.tag()),
             };
             debug_assert_eq!(p.wid as usize, (me + n - step - 1) % n);
-            gathered[p.wid as usize] = Some(CooTensor::from_pairs(
-                p.nextkey as usize,
-                p.keys,
-                p.values,
-            ));
+            gathered[p.wid as usize] =
+                Some(CooTensor::from_pairs(p.nextkey as usize, p.keys, p.values));
         }
     }
 

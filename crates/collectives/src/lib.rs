@@ -32,8 +32,8 @@
 
 pub mod agsparse;
 pub mod cost;
-pub mod recursive;
 pub mod ps;
+pub mod recursive;
 pub mod ring;
 pub mod sim;
 pub mod sparcml;

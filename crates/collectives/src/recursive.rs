@@ -135,7 +135,12 @@ pub fn allreduce<T: Transport>(
 
     // Post-fold: partners return the final result to surplus nodes.
     if me < surplus {
-        send_dense(transport, NodeId((me + core) as u16), ROUND_POSTFOLD, tensor)?;
+        send_dense(
+            transport,
+            NodeId((me + core) as u16),
+            ROUND_POSTFOLD,
+            tensor,
+        )?;
     } else if me >= core {
         *tensor = buf.recv_round(transport, len, ROUND_POSTFOLD)?;
     }

@@ -13,9 +13,7 @@
 //! deterministic schedule.
 
 use omnireduce_tensor::Tensor;
-use omnireduce_transport::{
-    Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
-};
+use omnireduce_transport::{Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError};
 
 /// Maximum values per message (bounded by the codec's u16 entry length).
 pub const MAX_CHUNK_VALUES: usize = 16_384;

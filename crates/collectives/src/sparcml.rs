@@ -18,6 +18,8 @@
 //! representation once its non-zero count `m` exceeds the break-even
 //! `ρ = len · c_v / (c_i + c_v)` — the paper's `m > ρ` condition.
 
+use std::collections::VecDeque;
+
 use omnireduce_tensor::{convert, CooTensor, Tensor, INDEX_BYTES, VALUE_BYTES};
 use omnireduce_transport::{
     Entry, KvPacket, Message, NodeId, Packet, PacketKind, Transport, TransportError,
@@ -98,16 +100,26 @@ pub fn allreduce<T: Transport>(
         });
         transport.send(NodeId(r as u16), &msg)?;
     }
-    // Merge own contribution plus n−1 incoming.
+    // Merge own contribution plus n−1 incoming. A fast ring predecessor
+    // may already be in phase 2, so its AllGather traffic (`Result`-kind
+    // KV or dense `Block` packets) can arrive while we still wait for
+    // phase-1 contributions (`Data`-kind KV). Stash early phase-2
+    // messages instead of misreading them as contributions — the mixup
+    // both corrupts the merge and desynchronises the ring (deadlock).
+    let mut early: VecDeque<Message> = VecDeque::new();
     let mut reduced = parts[me].clone();
-    for _ in 0..n - 1 {
+    let mut remaining = n - 1;
+    while remaining > 0 {
         let (_, msg) = transport.recv()?;
-        let p = match msg {
-            Message::Kv(p) => p,
+        match msg {
+            Message::Kv(p) if p.kind == PacketKind::Data => {
+                let incoming = CooTensor::from_pairs(p.nextkey as usize, p.keys, p.values);
+                reduced = reduced.merge_sum(&incoming);
+                remaining -= 1;
+            }
+            m @ (Message::Kv(_) | Message::Block(_)) => early.push_back(m),
             other => panic!("sparcml phase 1: unexpected {:?}", other.tag()),
-        };
-        let incoming = CooTensor::from_pairs(p.nextkey as usize, p.keys, p.values);
-        reduced = reduced.merge_sum(&incoming);
+        }
     }
 
     // Choose the phase-2 representation for my partition.
@@ -155,7 +167,12 @@ pub fn allreduce<T: Transport>(
             }),
         };
         transport.send(next, &msg)?;
-        let (_, got) = transport.recv()?;
+        // Drain phase-2 messages stashed during phase 1 before reading
+        // the wire; per-sender FIFO keeps them in ring order.
+        let got = match early.pop_front() {
+            Some(m) => m,
+            None => transport.recv()?.1,
+        };
         let (origin_got, part) = match got {
             Message::Kv(p) => (
                 p.wid as usize,

@@ -15,10 +15,7 @@ const TOL: f32 = 1e-2;
 fn arb_inputs() -> impl Strategy<Value = Vec<Vec<f32>>> {
     (1usize..6, 1usize..120).prop_flat_map(|(n, len)| {
         prop::collection::vec(
-            prop::collection::vec(
-                prop_oneof![3 => Just(0.0f32), 2 => -100.0f32..100.0],
-                len,
-            ),
+            prop::collection::vec(prop_oneof![3 => Just(0.0f32), 2 => -100.0f32..100.0], len),
             n,
         )
     })

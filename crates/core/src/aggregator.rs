@@ -12,10 +12,9 @@
 //!
 //! The shard runs until every worker has sent a `Shutdown`.
 
+use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, INFINITY_BLOCK};
-use omnireduce_transport::{
-    Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
-};
+use omnireduce_transport::{Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError};
 
 use crate::config::OmniConfig;
 use crate::layout::StreamLayout;
@@ -100,7 +99,9 @@ impl ColSlot {
     /// `cur < min(next)` with −∞ blocking completion.
     fn complete(&self) -> bool {
         match self.min_next() {
-            Some(m) => (self.cur as i64) < m as i64 || m == INFINITY_BLOCK && self.cur != INFINITY_BLOCK,
+            Some(m) => {
+                (self.cur as i64) < m as i64 || m == INFINITY_BLOCK && self.cur != INFINITY_BLOCK
+            }
             None => false,
         }
     }
@@ -124,6 +125,41 @@ pub struct AggregatorStats {
     pub slots_completed: u64,
     /// AllReduce rounds fully served (every owned stream reset).
     pub rounds_completed: u64,
+    /// Result packets multicast to the workers.
+    pub results_sent: u64,
+}
+
+/// Fleet-wide `core.aggregator.*` registry mirrors of
+/// [`AggregatorStats`] (detached no-ops unless built via
+/// [`OmniAggregator::with_telemetry`]).
+struct AggregatorCounters {
+    packets: Counter,
+    blocks_received: Counter,
+    slots_completed: Counter,
+    rounds_completed: Counter,
+    results_sent: Counter,
+}
+
+impl AggregatorCounters {
+    fn detached() -> Self {
+        AggregatorCounters {
+            packets: Counter::detached(),
+            blocks_received: Counter::detached(),
+            slots_completed: Counter::detached(),
+            rounds_completed: Counter::detached(),
+            results_sent: Counter::detached(),
+        }
+    }
+
+    fn registered(telemetry: &Telemetry) -> Self {
+        AggregatorCounters {
+            packets: telemetry.counter("core.aggregator.packets"),
+            blocks_received: telemetry.counter("core.aggregator.blocks_received"),
+            slots_completed: telemetry.counter("core.aggregator.slots_completed"),
+            rounds_completed: telemetry.counter("core.aggregator.rounds_completed"),
+            results_sent: telemetry.counter("core.aggregator.results_sent"),
+        }
+    }
 }
 
 /// The aggregator shard engine.
@@ -136,10 +172,9 @@ pub struct OmniAggregator<T: Transport> {
     /// Workers that sent `Shutdown` (finished; excluded from multicasts).
     departed: Vec<bool>,
     goodbyes: usize,
-    /// Result packets multicast (exposed for tests).
-    pub results_sent: u64,
     /// Data-plane counters.
     pub stats: AggregatorStats,
+    counters: AggregatorCounters,
     streams_open_this_round: usize,
 }
 
@@ -165,9 +200,9 @@ impl<T: Transport> OmniAggregator<T> {
                 (cfg.shard_of_stream(g) == shard).then(|| Slot {
                     cols: (0..layout.width())
                         .map(|c| {
-                            layout.first_block(g, c).map(|b0| {
-                                ColSlot::new(b0, cfg.num_workers, cfg.deterministic)
-                            })
+                            layout
+                                .first_block(g, c)
+                                .map(|b0| ColSlot::new(b0, cfg.num_workers, cfg.deterministic))
                         })
                         .collect(),
                 })
@@ -185,10 +220,18 @@ impl<T: Transport> OmniAggregator<T> {
             slots,
             departed,
             goodbyes: 0,
-            results_sent: 0,
             stats: AggregatorStats::default(),
+            counters: AggregatorCounters::detached(),
             streams_open_this_round,
         }
+    }
+
+    /// Like [`OmniAggregator::new`], but mirrors data-plane counters into
+    /// `telemetry`'s `core.aggregator.*` counters.
+    pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
+        let mut a = Self::new(transport, cfg);
+        a.counters = AggregatorCounters::registered(telemetry);
+        a
     }
 
     /// Shard index of this aggregator.
@@ -224,9 +267,11 @@ impl<T: Transport> OmniAggregator<T> {
     fn handle_data(&mut self, p: Packet) -> Result<(), TransportError> {
         let g = p.stream as usize;
         let width = self.layout.width();
+        let blocks = p.entries.iter().filter(|e| !e.data.is_empty()).count() as u64;
         self.stats.packets += 1;
-        self.stats.blocks_received +=
-            p.entries.iter().filter(|e| !e.data.is_empty()).count() as u64;
+        self.stats.blocks_received += blocks;
+        self.counters.packets.inc();
+        self.counters.blocks_received.add(blocks);
         let slot = self.slots[g]
             .as_mut()
             .unwrap_or_else(|| panic!("stream {g} not owned by shard"));
@@ -238,10 +283,7 @@ impl<T: Transport> OmniAggregator<T> {
             if !entry.data.is_empty() {
                 debug_assert_eq!(entry.block, cs.cur, "entry for wrong block");
                 if self.cfg.deterministic {
-                    debug_assert!(
-                        cs.contribs[p.wid as usize].is_none(),
-                        "double contribution"
-                    );
+                    debug_assert!(cs.contribs[p.wid as usize].is_none(), "double contribution");
                     cs.contribs[p.wid as usize] = Some(entry.data.clone());
                     cs.touched = true;
                 } else if !cs.touched {
@@ -293,11 +335,7 @@ impl<T: Transport> OmniAggregator<T> {
             let min_next = cs.min_next().expect("complete implies announced");
             debug_assert!(cs.touched, "completed block with no data");
             let data = cs.take_aggregate(deterministic);
-            entries.push(Entry::data(
-                cs.cur,
-                encode_next(min_next, col, width),
-                data,
-            ));
+            entries.push(Entry::data(cs.cur, encode_next(min_next, col, width), data));
             cs.cur = min_next; // INFINITY_BLOCK deactivates the column
             if min_next != INFINITY_BLOCK {
                 all_done = false;
@@ -315,8 +353,10 @@ impl<T: Transport> OmniAggregator<T> {
             .filter(|w| !self.departed[*w])
             .map(|w| NodeId(self.cfg.worker_node(w)))
             .collect();
-        self.results_sent += 1;
+        self.stats.results_sent += 1;
         self.stats.slots_completed += 1;
+        self.counters.results_sent.inc();
+        self.counters.slots_completed.inc();
         for w in &workers {
             crate::wire::send_best_effort(&self.transport, *w, &msg)?;
         }
@@ -340,6 +380,7 @@ impl<T: Transport> OmniAggregator<T> {
             self.streams_open_this_round -= 1;
             if self.streams_open_this_round == 0 {
                 self.stats.rounds_completed += 1;
+                self.counters.rounds_completed.inc();
                 self.streams_open_this_round = (0..layout.total_streams())
                     .filter(|g| {
                         self.cfg.shard_of_stream(*g) == self.shard

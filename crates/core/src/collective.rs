@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn broadcast_delivers_root_tensor() {
-        let cfg = OmniConfig::new(3, 64).with_block_size(4).with_fusion(2).with_streams(2);
+        let cfg = OmniConfig::new(3, 64)
+            .with_block_size(4)
+            .with_fusion(2)
+            .with_streams(2);
         let root_data: Vec<f32> = (0..64)
             .map(|i| if i % 3 == 0 { i as f32 } else { 0.0 })
             .collect();
@@ -118,7 +121,10 @@ mod tests {
 
     #[test]
     fn broadcast_of_sparse_tensor_skips_zero_blocks() {
-        let cfg = OmniConfig::new(2, 64).with_block_size(4).with_fusion(1).with_streams(1);
+        let cfg = OmniConfig::new(2, 64)
+            .with_block_size(4)
+            .with_fusion(1)
+            .with_streams(1);
         let mut root_data = vec![0.0f32; 64];
         root_data[17] = 5.0; // a single non-zero block
         let outs = spawn_group(&cfg, move |mut worker| {
@@ -137,8 +143,16 @@ mod tests {
         }
         // Root sends first row (1 block) + the 1 non-zero block at most;
         // non-root sends only the unconditional first row.
-        assert!(outs[0].1.blocks_sent <= 2, "root sent {}", outs[0].1.blocks_sent);
-        assert!(outs[1].1.blocks_sent <= 1, "peer sent {}", outs[1].1.blocks_sent);
+        assert!(
+            outs[0].1.blocks_sent <= 2,
+            "root sent {}",
+            outs[0].1.blocks_sent
+        );
+        assert!(
+            outs[1].1.blocks_sent <= 1,
+            "peer sent {}",
+            outs[1].1.blocks_sent
+        );
     }
 
     #[test]
@@ -150,8 +164,11 @@ mod tests {
             .with_fusion(2)
             .with_streams(2);
         let outs = spawn_group(&cfg, move |mut worker| {
-            let local =
-                Tensor::from_vec((0..local_len).map(|i| (worker.wid() as f32) * 100.0 + i as f32).collect());
+            let local = Tensor::from_vec(
+                (0..local_len)
+                    .map(|i| (worker.wid() as f32) * 100.0 + i as f32)
+                    .collect(),
+            );
             let r = allgather(&mut worker, &local, n).unwrap();
             worker.shutdown().unwrap();
             r

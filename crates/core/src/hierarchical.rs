@@ -70,11 +70,7 @@ impl IntraNode {
             *self.result.lock() = Some(global.expect("leader provides result"));
         }
         self.barrier.wait();
-        let out = self
-            .result
-            .lock()
-            .clone()
-            .expect("leader deposited result");
+        let out = self.result.lock().clone().expect("leader deposited result");
         // Second barrier so the leader doesn't clear/overwrite the slot
         // for a subsequent round before everyone copied it out.
         self.barrier.wait();
@@ -130,10 +126,8 @@ mod tests {
             let expect = expect.clone();
             handles.push(thread::spawn(move || {
                 let mut t = input;
-                hierarchical_allreduce(&node, r, &mut t, |_global| {
-                    Ok::<(), Infallible>(())
-                })
-                .unwrap();
+                hierarchical_allreduce(&node, r, &mut t, |_global| Ok::<(), Infallible>(()))
+                    .unwrap();
                 assert!(t.approx_eq(&expect, 1e-5));
             }));
         }
@@ -160,8 +154,7 @@ mod tests {
             t
         });
         let mut t1 = b;
-        hierarchical_allreduce(&node, 1, &mut t1, |_| Ok::<(), Infallible>(()))
-            .unwrap();
+        hierarchical_allreduce(&node, 1, &mut t1, |_| Ok::<(), Infallible>(())).unwrap();
         let t0 = h.join().unwrap();
         assert_eq!(t0.as_slice(), &[22.0, 44.0]);
         assert_eq!(t1.as_slice(), &[22.0, 44.0]);
@@ -176,10 +169,7 @@ mod tests {
             handles.push(thread::spawn(move || {
                 for round in 0..5 {
                     let mut t = Tensor::from_vec(vec![(r + round) as f32; 4]);
-                    hierarchical_allreduce(&node, r, &mut t, |_| {
-                        Ok::<(), Infallible>(())
-                    })
-                    .unwrap();
+                    hierarchical_allreduce(&node, r, &mut t, |_| Ok::<(), Infallible>(())).unwrap();
                     let expect = (0..3).map(|x| (x + round) as f32).sum::<f32>();
                     assert_eq!(t[0], expect, "round {round}");
                 }

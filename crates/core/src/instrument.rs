@@ -1,0 +1,63 @@
+//! Internal glue between protocol engines and `omnireduce-telemetry`.
+//!
+//! Engines keep their plain-old-data stats structs (per-instance counts,
+//! cheap to copy out of threads) and additionally mirror increments into
+//! fleet-wide registry counters when constructed with a shared
+//! [`Telemetry`] handle. Engines built without one get
+//! [`Counter::detached`] handles, so the hot-path increments cost a
+//! single relaxed atomic either way.
+//!
+//! [`EngineTrace`] is the span side of the same story: a per-engine trace
+//! track plus a wall clock, recording nothing unless the registry's
+//! recorder is enabled.
+
+use omnireduce_telemetry::{Clock, Telemetry, TrackId, WallClock};
+
+/// A per-engine timeline row in the trace recorder.
+///
+/// Disabled instances are free: `start` returns 0 and `span`/`instant`
+/// are no-ops without touching any shared state.
+pub(crate) struct EngineTrace {
+    inner: Option<(Telemetry, TrackId, WallClock)>,
+}
+
+impl EngineTrace {
+    /// A trace handle that records nothing.
+    pub fn disabled() -> Self {
+        EngineTrace { inner: None }
+    }
+
+    /// Registers a track named `track` on `telemetry`'s recorder.
+    pub fn new(telemetry: &Telemetry, track: &str) -> Self {
+        let id = telemetry.trace().track(track);
+        EngineTrace {
+            inner: Some((telemetry.clone(), id, WallClock::new())),
+        }
+    }
+
+    /// Timestamp for a later [`EngineTrace::span`] call.
+    pub fn start(&self) -> u64 {
+        match &self.inner {
+            Some((_, _, clock)) => clock.now_ns(),
+            None => 0,
+        }
+    }
+
+    /// Records a span from `start_ns` (a [`EngineTrace::start`] result)
+    /// to now.
+    pub fn span(&self, name: &'static str, start_ns: u64) {
+        if let Some((telemetry, track, clock)) = &self.inner {
+            telemetry
+                .trace()
+                .span(*track, name, start_ns, clock.now_ns());
+        }
+    }
+
+    /// Records a point event at the current time.
+    #[allow(dead_code)]
+    pub fn instant(&self, name: &'static str) {
+        if let Some((telemetry, track, clock)) = &self.inner {
+            telemetry.trace().instant(*track, name, clock.now_ns());
+        }
+    }
+}

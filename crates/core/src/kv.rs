@@ -16,6 +16,7 @@
 
 use std::collections::BTreeMap;
 
+use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::CooTensor;
 use omnireduce_transport::message::INFINITY_KEY;
 use omnireduce_transport::{
@@ -65,25 +66,64 @@ pub struct KvStats {
     pub bytes_sent: u64,
 }
 
+/// Fleet-wide `core.kv.*` registry mirrors of [`KvStats`] (detached
+/// no-ops unless built via [`KvWorker::with_telemetry`]).
+struct KvCounters {
+    packets_sent: Counter,
+    pairs_sent: Counter,
+    bytes_sent: Counter,
+}
+
+impl KvCounters {
+    fn detached() -> Self {
+        KvCounters {
+            packets_sent: Counter::detached(),
+            pairs_sent: Counter::detached(),
+            bytes_sent: Counter::detached(),
+        }
+    }
+
+    fn registered(telemetry: &Telemetry) -> Self {
+        KvCounters {
+            packets_sent: telemetry.counter("core.kv.packets_sent"),
+            pairs_sent: telemetry.counter("core.kv.pairs_sent"),
+            bytes_sent: telemetry.counter("core.kv.bytes_sent"),
+        }
+    }
+}
+
 /// Worker side of Algorithm 3.
 pub struct KvWorker<T: Transport> {
     transport: T,
     cfg: KvConfig,
     wid: u16,
     stats: KvStats,
+    counters: KvCounters,
 }
 
 impl<T: Transport> KvWorker<T> {
     /// Creates the engine; the transport's node id is the worker id.
     pub fn new(transport: T, cfg: KvConfig) -> Self {
         let wid = transport.local_id().0;
-        assert!((wid as usize) < cfg.num_workers, "node {wid} is not a worker");
+        assert!(
+            (wid as usize) < cfg.num_workers,
+            "node {wid} is not a worker"
+        );
         KvWorker {
             transport,
             cfg,
             wid,
             stats: KvStats::default(),
+            counters: KvCounters::detached(),
         }
+    }
+
+    /// Like [`KvWorker::new`], but mirrors traffic counters into
+    /// `telemetry`'s `core.kv.*` counters.
+    pub fn with_telemetry(transport: T, cfg: KvConfig, telemetry: &Telemetry) -> Self {
+        let mut w = Self::new(transport, cfg);
+        w.counters = KvCounters::registered(telemetry);
+        w
     }
 
     /// Traffic counters so far.
@@ -143,9 +183,13 @@ impl<T: Transport> KvWorker<T> {
             values: values.to_vec(),
             nextkey,
         });
+        let wire_bytes = codec::encoded_len(&msg) as u64;
         self.stats.packets_sent += 1;
         self.stats.pairs_sent += keys.len() as u64;
-        self.stats.bytes_sent += codec::encoded_len(&msg) as u64;
+        self.stats.bytes_sent += wire_bytes;
+        self.counters.packets_sent.inc();
+        self.counters.pairs_sent.add(keys.len() as u64);
+        self.counters.bytes_sent.add(wire_bytes);
         self.transport
             .send(NodeId(self.cfg.aggregator_node()), &msg)
     }
@@ -220,10 +264,16 @@ impl<T: Transport> KvAggregator<T> {
             *self.acc.entry(*k).or_insert(0.0) += *v;
         }
         self.nextkey[p.wid as usize] = Some(p.nextkey);
-        let Some(send_up_to) = self.nextkey.iter().copied().reduce(|a, b| match (a, b) {
-            (Some(x), Some(y)) => Some(x.min(y)),
-            _ => None,
-        }).flatten() else {
+        let Some(send_up_to) = self
+            .nextkey
+            .iter()
+            .copied()
+            .reduce(|a, b| match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                _ => None,
+            })
+            .flatten()
+        else {
             return Ok(()); // someone still at −∞
         };
         if send_up_to > self.sent {
@@ -378,8 +428,7 @@ mod tests {
         for w in 0..2 {
             let t = net.endpoint(NodeId(w as u16));
             let cfg = cfg.clone();
-            let my_inputs: Vec<CooTensor> =
-                inputs.iter().map(|round| round[w].clone()).collect();
+            let my_inputs: Vec<CooTensor> = inputs.iter().map(|round| round[w].clone()).collect();
             handles.push(thread::spawn(move || {
                 let mut worker = KvWorker::new(t, cfg);
                 let outs: Vec<CooTensor> = my_inputs
@@ -390,8 +439,7 @@ mod tests {
                 outs
             }));
         }
-        let results: Vec<Vec<CooTensor>> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<Vec<CooTensor>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         agg.join().unwrap();
         let expect0 = inputs[0][0].merge_sum(&inputs[0][1]);
         let expect1 = inputs[1][0].merge_sum(&inputs[1][1]);

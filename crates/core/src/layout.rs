@@ -227,9 +227,9 @@ mod tests {
     #[test]
     fn next_block_skips_zero_blocks_within_column() {
         let l = layout(2, 2, 2, 32); // 16 blocks, T=2, w=2
-        // Stream 0, column 0 owns blocks: rows 0,2 → blocks 0, 8 (row r: r*2)
-        // rows of stream 0: 0, 2 → blocks 0,1 (row0) and 4,5?? row 2 → blocks 4,5.
-        // Careful: row r covers blocks r*w .. r*w+w. Stream 0 rows: 0, 2.
+                                     // Stream 0, column 0 owns blocks: rows 0,2 → blocks 0, 8 (row r: r*2)
+                                     // rows of stream 0: 0, 2 → blocks 0,1 (row0) and 4,5?? row 2 → blocks 4,5.
+                                     // Careful: row r covers blocks r*w .. r*w+w. Stream 0 rows: 0, 2.
         let mut bm = NonZeroBitmap::empty(16);
         bm.set(4); // row 2, col 0 → stream 0
         assert_eq!(l.next_block(&bm, 0, 0, None, true), 4);

@@ -32,6 +32,7 @@ pub mod aggregator;
 pub mod collective;
 pub mod config;
 pub mod hierarchical;
+mod instrument;
 pub mod kv;
 pub mod layout;
 pub mod recovery;

@@ -28,6 +28,7 @@
 
 use std::time::{Duration, Instant};
 
+use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
 use omnireduce_transport::timer::TimerQueue;
 use omnireduce_transport::{
@@ -49,6 +50,46 @@ pub struct RecoveryStats {
     pub bytes_sent: u64,
     /// Blocks transmitted as data entries (excluding retransmissions).
     pub blocks_sent: u64,
+    /// Retransmission-timer expirations handled.
+    pub timer_fires: u64,
+    /// Results ignored because they were stale (finished stream) or
+    /// carried an already-processed phase version.
+    pub stale_results_ignored: u64,
+}
+
+/// Fleet-wide `core.recovery.*` registry mirrors of [`RecoveryStats`]
+/// (detached no-ops unless built via [`RecoveryWorker::with_telemetry`]).
+struct RecoveryCounters {
+    packets_sent: Counter,
+    retransmissions: Counter,
+    bytes_sent: Counter,
+    blocks_sent: Counter,
+    timer_fires: Counter,
+    stale_results_ignored: Counter,
+}
+
+impl RecoveryCounters {
+    fn detached() -> Self {
+        RecoveryCounters {
+            packets_sent: Counter::detached(),
+            retransmissions: Counter::detached(),
+            bytes_sent: Counter::detached(),
+            blocks_sent: Counter::detached(),
+            timer_fires: Counter::detached(),
+            stale_results_ignored: Counter::detached(),
+        }
+    }
+
+    fn registered(telemetry: &Telemetry) -> Self {
+        RecoveryCounters {
+            packets_sent: telemetry.counter("core.recovery.packets_sent"),
+            retransmissions: telemetry.counter("core.recovery.retransmissions"),
+            bytes_sent: telemetry.counter("core.recovery.bytes_sent"),
+            blocks_sent: telemetry.counter("core.recovery.blocks_sent"),
+            timer_fires: telemetry.counter("core.recovery.timer_fires"),
+            stale_results_ignored: telemetry.counter("core.recovery.stale_results_ignored"),
+        }
+    }
 }
 
 struct WorkerCol {
@@ -72,6 +113,7 @@ pub struct RecoveryWorker<T: Transport> {
     /// Per-stream protocol phase, persists across AllReduce rounds.
     ver: Vec<u8>,
     stats: RecoveryStats,
+    counters: RecoveryCounters,
 }
 
 impl<T: Transport> RecoveryWorker<T> {
@@ -79,7 +121,10 @@ impl<T: Transport> RecoveryWorker<T> {
     pub fn new(transport: T, cfg: OmniConfig) -> Self {
         cfg.validate();
         let wid = transport.local_id().0;
-        assert!((wid as usize) < cfg.num_workers, "node {wid} is not a worker");
+        assert!(
+            (wid as usize) < cfg.num_workers,
+            "node {wid} is not a worker"
+        );
         let layout = StreamLayout::new(
             cfg.block_spec(),
             cfg.fusion,
@@ -94,7 +139,16 @@ impl<T: Transport> RecoveryWorker<T> {
             wid,
             ver,
             stats: RecoveryStats::default(),
+            counters: RecoveryCounters::detached(),
         }
+    }
+
+    /// Like [`RecoveryWorker::new`], but mirrors loss-path counters into
+    /// `telemetry`'s `core.recovery.*` counters.
+    pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
+        let mut w = Self::new(transport, cfg);
+        w.counters = RecoveryCounters::registered(telemetry);
+        w
     }
 
     /// Traffic counters so far.
@@ -150,17 +204,21 @@ impl<T: Transport> RecoveryWorker<T> {
 
         while pending > 0 {
             let now = Instant::now();
-            let timeout = timers
-                .until_next(now)
-                .unwrap_or(Duration::from_secs(3600));
+            let timeout = timers.until_next(now).unwrap_or(Duration::from_secs(3600));
             match self.transport.recv_timeout(timeout)? {
                 Some((_, Message::Block(p))) if p.kind == PacketKind::Result => {
                     let g = p.stream as usize;
                     let Some(state) = streams[g].as_mut() else {
-                        continue; // stale result for a finished stream
+                        // Stale result for a finished stream.
+                        self.stats.stale_results_ignored += 1;
+                        self.counters.stale_results_ignored.inc();
+                        continue;
                     };
                     if p.ver != self.ver[g] {
-                        continue; // duplicate of an already-processed phase
+                        // Duplicate of an already-processed phase.
+                        self.stats.stale_results_ignored += 1;
+                        self.counters.stale_results_ignored.inc();
+                        continue;
                     }
                     timers.cancel(&g);
                     // Phase advances.
@@ -169,10 +227,8 @@ impl<T: Transport> RecoveryWorker<T> {
                     for entry in &p.entries {
                         let (col, requested) = decode_next(entry.next, width);
                         if !entry.data.is_empty() {
-                            tensor.copy_slice_at(
-                                layout.block_range(entry.block).start,
-                                &entry.data,
-                            );
+                            tensor
+                                .copy_slice_at(layout.block_range(entry.block).start, &entry.data);
                         }
                         let cs = state.cols[col].as_mut().expect("invalid column");
                         if cs.done {
@@ -194,10 +250,7 @@ impl<T: Transport> RecoveryWorker<T> {
                             cs.my_next = new_next;
                         } else {
                             // Data-less acknowledgment (Algorithm 2 l.19–21).
-                            reply.push(Entry::ack(
-                                requested,
-                                encode_next(cs.my_next, col, width),
-                            ));
+                            reply.push(Entry::ack(requested, encode_next(cs.my_next, col, width)));
                         }
                     }
                     if state.remaining == 0 {
@@ -216,10 +269,15 @@ impl<T: Transport> RecoveryWorker<T> {
                     // Timer expiry: retransmit outstanding packets.
                     let now = Instant::now();
                     while let Some(g) = timers.pop_expired(now) {
+                        self.stats.timer_fires += 1;
+                        self.counters.timer_fires.inc();
                         if let Some(state) = streams[g].as_ref() {
                             if let Some(msg) = &state.outstanding {
+                                let wire_bytes = codec::encoded_len(msg) as u64;
                                 self.stats.retransmissions += 1;
-                                self.stats.bytes_sent += codec::encoded_len(msg) as u64;
+                                self.stats.bytes_sent += wire_bytes;
+                                self.counters.retransmissions.inc();
+                                self.counters.bytes_sent.add(wire_bytes);
                                 let shard = self.cfg.shard_of_stream(g);
                                 self.transport
                                     .send(NodeId(self.cfg.aggregator_node(shard)), msg)?;
@@ -245,10 +303,15 @@ impl<T: Transport> RecoveryWorker<T> {
 
     fn send_tracked(&mut self, stream: usize, msg: &Message) -> Result<(), TransportError> {
         if let Message::Block(p) = msg {
-            self.stats.blocks_sent += p.entries.iter().filter(|e| !e.is_ack()).count() as u64;
+            let blocks = p.entries.iter().filter(|e| !e.is_ack()).count() as u64;
+            self.stats.blocks_sent += blocks;
+            self.counters.blocks_sent.add(blocks);
         }
+        let wire_bytes = codec::encoded_len(msg) as u64;
         self.stats.packets_sent += 1;
-        self.stats.bytes_sent += codec::encoded_len(msg) as u64;
+        self.stats.bytes_sent += wire_bytes;
+        self.counters.packets_sent.inc();
+        self.counters.bytes_sent.add(wire_bytes);
         let shard = self.cfg.shard_of_stream(stream);
         self.transport
             .send(NodeId(self.cfg.aggregator_node(shard)), msg)
@@ -294,6 +357,45 @@ struct VersionedSlot {
     result: [Option<Message>; 2],
 }
 
+/// Loss-path counters of the recovery aggregator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryAggregatorStats {
+    /// Result multicasts performed.
+    pub results_sent: u64,
+    /// Duplicate packets that triggered a result retransmission.
+    pub result_retransmissions: u64,
+    /// Duplicate or retransmitted packets discarded by the seen-bit
+    /// check without being aggregated (includes the ones that triggered
+    /// a result retransmission).
+    pub duplicates_ignored: u64,
+}
+
+/// Fleet-wide `core.recovery.agg.*` registry mirrors of
+/// [`RecoveryAggregatorStats`].
+struct RecoveryAggCounters {
+    results_sent: Counter,
+    result_retransmissions: Counter,
+    duplicates_ignored: Counter,
+}
+
+impl RecoveryAggCounters {
+    fn detached() -> Self {
+        RecoveryAggCounters {
+            results_sent: Counter::detached(),
+            result_retransmissions: Counter::detached(),
+            duplicates_ignored: Counter::detached(),
+        }
+    }
+
+    fn registered(telemetry: &Telemetry) -> Self {
+        RecoveryAggCounters {
+            results_sent: telemetry.counter("core.recovery.agg.results_sent"),
+            result_retransmissions: telemetry.counter("core.recovery.agg.result_retransmissions"),
+            duplicates_ignored: telemetry.counter("core.recovery.agg.duplicates_ignored"),
+        }
+    }
+}
+
 /// Aggregator engine with Algorithm 2 loss recovery.
 pub struct RecoveryAggregator<T: Transport> {
     transport: T,
@@ -303,10 +405,9 @@ pub struct RecoveryAggregator<T: Transport> {
     /// Workers that sent `Shutdown` (finished; excluded from multicasts).
     departed: Vec<bool>,
     goodbyes: usize,
-    /// Result multicasts performed (for tests).
-    pub results_sent: u64,
-    /// Duplicate packets that triggered a result retransmission.
-    pub result_retransmissions: u64,
+    /// Loss-path counters.
+    pub stats: RecoveryAggregatorStats,
+    counters: RecoveryAggCounters,
 }
 
 impl<T: Transport> RecoveryAggregator<T> {
@@ -331,7 +432,10 @@ impl<T: Transport> RecoveryAggregator<T> {
         let slots = (0..layout.total_streams())
             .map(|g| {
                 (cfg.shard_of_stream(g) == shard).then(|| VersionedSlot {
-                    cols: [vec![ColPhase::fresh(); width], vec![ColPhase::fresh(); width]],
+                    cols: [
+                        vec![ColPhase::fresh(); width],
+                        vec![ColPhase::fresh(); width],
+                    ],
                     seen: [vec![false; n], vec![false; n]],
                     count: [0, 0],
                     result: [None, None],
@@ -346,9 +450,17 @@ impl<T: Transport> RecoveryAggregator<T> {
             slots,
             departed,
             goodbyes: 0,
-            results_sent: 0,
-            result_retransmissions: 0,
+            stats: RecoveryAggregatorStats::default(),
+            counters: RecoveryAggCounters::detached(),
         }
+    }
+
+    /// Like [`RecoveryAggregator::new`], but mirrors loss-path counters
+    /// into `telemetry`'s `core.recovery.agg.*` counters.
+    pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
+        let mut a = Self::new(transport, cfg);
+        a.counters = RecoveryAggCounters::registered(telemetry);
+        a
     }
 
     /// Serves until every worker says `Shutdown`.
@@ -386,9 +498,12 @@ impl<T: Transport> RecoveryAggregator<T> {
             // Duplicate (network dup or worker retransmission). If the
             // phase is complete, the worker evidently missed the result:
             // unicast it back (Algorithm 2 lines 47–49).
+            self.stats.duplicates_ignored += 1;
+            self.counters.duplicates_ignored.inc();
             if slot.count[v] == 0 {
                 if let Some(result) = slot.result[v].clone() {
-                    self.result_retransmissions += 1;
+                    self.stats.result_retransmissions += 1;
+                    self.counters.result_retransmissions.inc();
                     crate::wire::send_best_effort(
                         &self.transport,
                         NodeId(self.cfg.worker_node(wid)),
@@ -464,7 +579,8 @@ impl<T: Transport> RecoveryAggregator<T> {
                 .filter(|w| !self.departed[*w])
                 .map(|w| NodeId(self.cfg.worker_node(w)))
                 .collect();
-            self.results_sent += 1;
+            self.stats.results_sent += 1;
+            self.counters.results_sent.inc();
             for w in &workers {
                 crate::wire::send_best_effort(&self.transport, *w, &result)?;
             }

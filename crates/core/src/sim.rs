@@ -26,6 +26,7 @@ use std::sync::Arc;
 use omnireduce_simnet::{
     ActorId, Bandwidth, Ctx, NicConfig, Process, RunReport, SimTime, Simulator,
 };
+use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
 use omnireduce_transport::codec::{BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
 
@@ -84,6 +85,10 @@ pub struct SimSpec {
     pub agg_nic: NicConfig,
     /// Shard `i` shares worker `i`'s NIC instead of its own.
     pub colocated: bool,
+    /// Telemetry registry the run reports into (`core.sim.*` protocol
+    /// counters, `simnet.nic.*` fabric counters, and — when the
+    /// registry's trace recorder is enabled — per-NIC timeline spans).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl SimSpec {
@@ -94,6 +99,7 @@ impl SimSpec {
             worker_nic: NicConfig::symmetric(rate, latency),
             agg_nic: NicConfig::symmetric(rate, latency),
             colocated: false,
+            telemetry: None,
         }
     }
 
@@ -104,6 +110,69 @@ impl SimSpec {
             worker_nic: NicConfig::symmetric(rate, latency),
             agg_nic: NicConfig::symmetric(rate, latency),
             colocated: true,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry registry to the spec (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
+/// `core.sim.worker.*` counter handles shared by every worker actor.
+#[derive(Clone)]
+struct SimWorkerCounters {
+    packets_sent: Counter,
+    bytes_sent: Counter,
+    results_received: Counter,
+    rounds_completed: Counter,
+}
+
+impl SimWorkerCounters {
+    fn from_spec(spec: &SimSpec) -> Self {
+        match &spec.telemetry {
+            Some(t) => SimWorkerCounters {
+                packets_sent: t.counter("core.sim.worker.packets_sent"),
+                bytes_sent: t.counter("core.sim.worker.bytes_sent"),
+                results_received: t.counter("core.sim.worker.results_received"),
+                rounds_completed: t.counter("core.sim.worker.rounds_completed"),
+            },
+            None => SimWorkerCounters {
+                packets_sent: Counter::detached(),
+                bytes_sent: Counter::detached(),
+                results_received: Counter::detached(),
+                rounds_completed: Counter::detached(),
+            },
+        }
+    }
+}
+
+/// `core.sim.aggregator.*` counter handles shared by every shard actor.
+#[derive(Clone)]
+struct SimAggCounters {
+    packets_received: Counter,
+    results_sent: Counter,
+    bytes_sent: Counter,
+    slots_completed: Counter,
+}
+
+impl SimAggCounters {
+    fn from_spec(spec: &SimSpec) -> Self {
+        match &spec.telemetry {
+            Some(t) => SimAggCounters {
+                packets_received: t.counter("core.sim.aggregator.packets_received"),
+                results_sent: t.counter("core.sim.aggregator.results_sent"),
+                bytes_sent: t.counter("core.sim.aggregator.bytes_sent"),
+                slots_completed: t.counter("core.sim.aggregator.slots_completed"),
+            },
+            None => SimAggCounters {
+                packets_received: Counter::detached(),
+                results_sent: Counter::detached(),
+                bytes_sent: Counter::detached(),
+                slots_completed: Counter::detached(),
+            },
         }
     }
 }
@@ -128,12 +197,15 @@ struct WorkerActor {
     shards: Vec<ActorId>,
     streams: Vec<Option<WStream>>,
     pending: usize,
+    counters: SimWorkerCounters,
 }
 
 impl WorkerActor {
     fn send_data(&self, ctx: &mut Ctx<SimMsg>, stream: usize, entries: Vec<SimEntry>) {
         let bytes = msg_bytes(&entries);
         let shard = self.shards[self.cfg.shard_of_stream(stream)];
+        self.counters.packets_sent.inc();
+        self.counters.bytes_sent.add(bytes as u64);
         ctx.send(
             shard,
             SimMsg::Data {
@@ -179,6 +251,7 @@ impl Process<SimMsg> for WorkerActor {
             self.pending += 1;
         }
         if self.pending == 0 {
+            self.counters.rounds_completed.inc();
             ctx.halt();
         }
     }
@@ -187,6 +260,7 @@ impl Process<SimMsg> for WorkerActor {
         let SimMsg::Result { stream: g, entries } = msg else {
             panic!("worker received non-result message");
         };
+        self.counters.results_received.inc();
         let layout = self.layout;
         let skip = self.cfg.skip_zero_blocks;
         let state = self.streams[g].as_mut().expect("unknown stream");
@@ -221,6 +295,7 @@ impl Process<SimMsg> for WorkerActor {
             self.streams[g] = None;
             self.pending -= 1;
             if self.pending == 0 {
+                self.counters.rounds_completed.inc();
                 ctx.halt();
             }
         }
@@ -269,6 +344,7 @@ struct AggActor {
     workers: Vec<ActorId>,
     slots: Vec<Option<ASlot>>,
     open_streams: usize,
+    counters: SimAggCounters,
 }
 
 impl Process<SimMsg> for AggActor {
@@ -276,18 +352,17 @@ impl Process<SimMsg> for AggActor {
         let layout = self.layout;
         self.slots = (0..layout.total_streams())
             .map(|g| {
-                (self.cfg.shard_of_stream(g) == self.shard
-                    && layout.first_block(g, 0).is_some())
-                .then(|| ASlot {
-                    cols: (0..layout.width())
-                        .map(|c| {
-                            layout.first_block(g, c).map(|b0| ACol {
-                                cur: b0,
-                                next_of: vec![NEG_INF; self.cfg.num_workers],
+                (self.cfg.shard_of_stream(g) == self.shard && layout.first_block(g, 0).is_some())
+                    .then(|| ASlot {
+                        cols: (0..layout.width())
+                            .map(|c| {
+                                layout.first_block(g, c).map(|b0| ACol {
+                                    cur: b0,
+                                    next_of: vec![NEG_INF; self.cfg.num_workers],
+                                })
                             })
-                        })
-                        .collect(),
-                })
+                            .collect(),
+                    })
             })
             .collect();
         self.open_streams = self.slots.iter().flatten().count();
@@ -297,9 +372,15 @@ impl Process<SimMsg> for AggActor {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<SimMsg>, _from: ActorId, msg: SimMsg) {
-        let SimMsg::Data { stream: g, wid, entries } = msg else {
+        let SimMsg::Data {
+            stream: g,
+            wid,
+            entries,
+        } = msg
+        else {
             panic!("aggregator received non-data message");
         };
+        self.counters.packets_received.inc();
         let slot = self.slots[g].as_mut().expect("stream not owned");
         for e in &entries {
             let cs = slot.cols[e.col].as_mut().expect("invalid column");
@@ -341,7 +422,10 @@ impl Process<SimMsg> for AggActor {
             }
         }
         let bytes = msg_bytes(&result);
+        self.counters.slots_completed.inc();
         for w in &self.workers {
+            self.counters.results_sent.inc();
+            self.counters.bytes_sent.add(bytes as u64);
             ctx.send(
                 *w,
                 SimMsg::Result {
@@ -399,6 +483,11 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
     }
 
     let mut sim: Simulator<SimMsg> = Simulator::new(0xC0FFEE);
+    if let Some(telemetry) = &spec.telemetry {
+        sim.attach_telemetry(telemetry.clone());
+    }
+    let worker_counters = SimWorkerCounters::from_spec(spec);
+    let agg_counters = SimAggCounters::from_spec(spec);
     // NICs: one per worker; one per shard unless colocated.
     let worker_nics: Vec<_> = (0..cfg.num_workers)
         .map(|_| sim.add_nic(spec.worker_nic))
@@ -430,6 +519,7 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
                 shards: shard_ids.clone(),
                 streams: Vec::new(),
                 pending: 0,
+                counters: worker_counters.clone(),
             }),
         );
     }
@@ -443,6 +533,7 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
                 workers: worker_ids.clone(),
                 slots: Vec::new(),
                 open_streams: 0,
+                counters: agg_counters.clone(),
             }),
         );
     }
@@ -526,11 +617,7 @@ mod tests {
         let nblocks = cfg.block_spec().block_count(len);
         let run = |sparsity| {
             let sets = worker_block_sets(4, nblocks, sparsity, OverlapMode::All, 21);
-            let s = SimSpec::dedicated(
-                cfg.clone(),
-                Bandwidth::gbps(10.0),
-                SimTime::from_micros(5),
-            );
+            let s = SimSpec::dedicated(cfg.clone(), Bandwidth::gbps(10.0), SimTime::from_micros(5));
             simulate_allreduce(&s, &bitmaps_from_sets(&sets))
                 .completion
                 .as_secs_f64()
@@ -583,11 +670,7 @@ mod tests {
         let nblocks = cfg.block_spec().block_count(len);
         let run = |mode| {
             let sets = worker_block_sets(8, nblocks, 0.8, mode, 5);
-            let s = SimSpec::dedicated(
-                cfg.clone(),
-                Bandwidth::gbps(10.0),
-                SimTime::from_micros(5),
-            );
+            let s = SimSpec::dedicated(cfg.clone(), Bandwidth::gbps(10.0), SimTime::from_micros(5));
             simulate_allreduce(&s, &bitmaps_from_sets(&sets)).completion
         };
         let t_all = run(OverlapMode::All);
@@ -647,11 +730,7 @@ mod tests {
                 .with_aggregators(2);
             let nblocks = cfg.block_spec().block_count(len);
             let sets = worker_block_sets(2, nblocks, 0.0, OverlapMode::All, 11);
-            let s = SimSpec::dedicated(
-                cfg,
-                Bandwidth::gbps(100.0),
-                SimTime::from_micros(20),
-            );
+            let s = SimSpec::dedicated(cfg, Bandwidth::gbps(100.0), SimTime::from_micros(20));
             simulate_allreduce(&s, &bitmaps_from_sets(&sets)).completion
         };
         let t1 = mk(1);

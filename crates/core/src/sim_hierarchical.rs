@@ -130,10 +130,7 @@ mod tests {
             }
             bm
         };
-        let per_gpu = vec![
-            vec![mk(&[0, 3]), mk(&[3, 5])],
-            vec![mk(&[7]), mk(&[])],
-        ];
+        let per_gpu = vec![vec![mk(&[0, 3]), mk(&[3, 5])], vec![mk(&[7]), mk(&[])]];
         let unions = s.union_per_server(&per_gpu);
         assert_eq!(unions[0].iter_nonzero().collect::<Vec<_>>(), vec![0, 3, 5]);
         assert_eq!(unions[1].iter_nonzero().collect::<Vec<_>>(), vec![7]);
@@ -168,7 +165,10 @@ mod tests {
         let unions = s.union_per_server(&per_gpu);
         // Union density ≈ 1 − 0.95⁴ ≈ 18.5% > single-GPU 5%.
         let union_density = 1.0 - unions[0].block_sparsity();
-        assert!(union_density > 0.15 && union_density < 0.25, "{union_density}");
+        assert!(
+            union_density > 0.15 && union_density < 0.25,
+            "{union_density}"
+        );
 
         let t_hier = s.omnireduce_time(&cfg, &unions);
         // Compare against a hypothetical single-GPU-per-server run.

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 
 use omnireduce_simnet::{ActorId, Ctx, NicConfig, Process, SimTime, Simulator};
+use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
 use omnireduce_transport::codec::{BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
 
@@ -59,6 +60,38 @@ fn msg_bytes(entries: &[SimEntry]) -> usize {
             .sum::<usize>()
 }
 
+/// `core.sim_recovery.*` loss-path counter handles shared by every actor
+/// of one run (detached when the run carries no telemetry registry).
+#[derive(Clone)]
+struct RecCounters {
+    retransmissions: Counter,
+    timer_fires: Counter,
+    stale_results_ignored: Counter,
+    duplicates_ignored: Counter,
+    result_retransmissions: Counter,
+}
+
+impl RecCounters {
+    fn new(telemetry: Option<&Telemetry>) -> Self {
+        match telemetry {
+            Some(t) => RecCounters {
+                retransmissions: t.counter("core.sim_recovery.retransmissions"),
+                timer_fires: t.counter("core.sim_recovery.timer_fires"),
+                stale_results_ignored: t.counter("core.sim_recovery.stale_results_ignored"),
+                duplicates_ignored: t.counter("core.sim_recovery.duplicates_ignored"),
+                result_retransmissions: t.counter("core.sim_recovery.result_retransmissions"),
+            },
+            None => RecCounters {
+                retransmissions: Counter::detached(),
+                timer_fires: Counter::detached(),
+                stale_results_ignored: Counter::detached(),
+                duplicates_ignored: Counter::detached(),
+                result_retransmissions: Counter::detached(),
+            },
+        }
+    }
+}
+
 struct WCol {
     my_next: BlockIdx,
     done: bool,
@@ -85,6 +118,7 @@ struct RecWorker {
     /// Retransmissions performed (surfaced through `finished` stats by
     /// the driver via closure capture — kept for debug assertions).
     retransmissions: u64,
+    counters: RecCounters,
 }
 
 fn timer_token(stream: usize, epoch: u32) -> u64 {
@@ -156,16 +190,25 @@ impl Process<RecMsg> for RecWorker {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<RecMsg>, _from: ActorId, msg: RecMsg) {
-        let RecMsg::Result { stream: g, ver, entries } = msg else {
+        let RecMsg::Result {
+            stream: g,
+            ver,
+            entries,
+        } = msg
+        else {
             panic!("worker got non-result");
         };
         let layout = self.layout;
         let skip = self.cfg.skip_zero_blocks;
         let Some(state) = self.streams[g].as_mut() else {
-            return; // stream already finished; stale retransmission
+            // Stream already finished; stale retransmission.
+            self.counters.stale_results_ignored.inc();
+            return;
         };
         if ver != state.ver {
-            return; // duplicate of a processed phase
+            // Duplicate of a processed phase.
+            self.counters.stale_results_ignored.inc();
+            return;
         }
         // Phase advances; invalidate the outstanding packet and timer.
         state.ver ^= 1;
@@ -214,6 +257,7 @@ impl Process<RecMsg> for RecWorker {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<RecMsg>, token: u64) {
+        self.counters.timer_fires.inc();
         let g = (token >> 32) as usize;
         let epoch = token as u32;
         let timeout = self.timeout;
@@ -229,6 +273,7 @@ impl Process<RecMsg> for RecWorker {
         };
         // Retransmit and re-arm.
         self.retransmissions += 1;
+        self.counters.retransmissions.inc();
         ctx.send(
             shard,
             RecMsg::Data {
@@ -274,6 +319,7 @@ struct RecAgg {
     shard: usize,
     workers: Vec<ActorId>,
     slots: Vec<Option<VSlot>>,
+    counters: RecCounters,
 }
 
 impl Process<RecMsg> for RecAgg {
@@ -283,14 +329,16 @@ impl Process<RecMsg> for RecAgg {
         let width = layout.width();
         self.slots = (0..layout.total_streams())
             .map(|g| {
-                (self.cfg.shard_of_stream(g) == self.shard
-                    && layout.first_block(g, 0).is_some())
-                .then(|| VSlot {
-                    cols: [vec![ColPhase::fresh(); width], vec![ColPhase::fresh(); width]],
-                    seen: [vec![false; n], vec![false; n]],
-                    count: [0, 0],
-                    result: [None, None],
-                })
+                (self.cfg.shard_of_stream(g) == self.shard && layout.first_block(g, 0).is_some())
+                    .then(|| VSlot {
+                        cols: [
+                            vec![ColPhase::fresh(); width],
+                            vec![ColPhase::fresh(); width],
+                        ],
+                        seen: [vec![false; n], vec![false; n]],
+                        count: [0, 0],
+                        result: [None, None],
+                    })
             })
             .collect();
         // Never halts: stays able to retransmit results. The run ends
@@ -298,7 +346,13 @@ impl Process<RecMsg> for RecAgg {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<RecMsg>, _from: ActorId, msg: RecMsg) {
-        let RecMsg::Data { stream: g, ver, wid, entries } = msg else {
+        let RecMsg::Data {
+            stream: g,
+            ver,
+            wid,
+            entries,
+        } = msg
+        else {
             panic!("aggregator got non-data");
         };
         let v = (ver & 1) as usize;
@@ -308,8 +362,10 @@ impl Process<RecMsg> for RecAgg {
         if slot.seen[v][wid] {
             // Duplicate: if the phase completed, the worker missed the
             // result — unicast it back.
+            self.counters.duplicates_ignored.inc();
             if slot.count[v] == 0 {
                 if let Some(result) = slot.result[v].clone() {
+                    self.counters.result_retransmissions.inc();
                     let bytes = msg_bytes(&result);
                     ctx.send(
                         self.workers[wid],
@@ -351,12 +407,11 @@ impl Process<RecMsg> for RecAgg {
             let mut result = Vec::new();
             for (c, cp) in slot.cols[v].iter().enumerate() {
                 let Some(block) = cp.block else { continue };
-                let min_next =
-                    if cp.min_next == i64::MAX || cp.min_next == INFINITY_BLOCK as i64 {
-                        INFINITY_BLOCK
-                    } else {
-                        cp.min_next as BlockIdx
-                    };
+                let min_next = if cp.min_next == i64::MAX || cp.min_next == INFINITY_BLOCK as i64 {
+                    INFINITY_BLOCK
+                } else {
+                    cp.min_next as BlockIdx
+                };
                 result.push(SimEntry {
                     block,
                     col: c,
@@ -395,6 +450,25 @@ pub fn simulate_recovery_allreduce(
     bitmaps: &[NonZeroBitmap],
     seed: u64,
 ) -> SimOutcome {
+    simulate_recovery_allreduce_with_telemetry(
+        cfg, worker_nic, agg_nic, loss, timeout, bitmaps, seed, None,
+    )
+}
+
+/// Like [`simulate_recovery_allreduce`], but reports loss-path counters
+/// (`core.sim_recovery.*`) and fabric counters (`simnet.*`) into
+/// `telemetry` when one is given.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_recovery_allreduce_with_telemetry(
+    cfg: &OmniConfig,
+    worker_nic: NicConfig,
+    agg_nic: NicConfig,
+    loss: f64,
+    timeout: SimTime,
+    bitmaps: &[NonZeroBitmap],
+    seed: u64,
+    telemetry: Option<&Telemetry>,
+) -> SimOutcome {
     cfg.validate();
     assert_eq!(bitmaps.len(), cfg.num_workers);
     let layout = StreamLayout::new(
@@ -404,6 +478,10 @@ pub fn simulate_recovery_allreduce(
         cfg.tensor_len,
     );
     let mut sim: Simulator<RecMsg> = Simulator::new(seed);
+    if let Some(t) = telemetry {
+        sim.attach_telemetry(t.clone());
+    }
+    let counters = RecCounters::new(telemetry);
     let worker_nics: Vec<_> = (0..cfg.num_workers)
         .map(|_| sim.add_nic(worker_nic.with_loss(loss)))
         .collect();
@@ -427,6 +505,7 @@ pub fn simulate_recovery_allreduce(
                 streams: Vec::new(),
                 pending: 0,
                 retransmissions: 0,
+                counters: counters.clone(),
             }),
         );
     }
@@ -439,6 +518,7 @@ pub fn simulate_recovery_allreduce(
                 shard: a,
                 workers: worker_ids.clone(),
                 slots: Vec::new(),
+                counters: counters.clone(),
             }),
         );
     }

@@ -25,10 +25,9 @@
 //! quantized, so they differ from the float sum by at most the
 //! quantization step times the worker count.
 
+use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, INFINITY_BLOCK};
-use omnireduce_transport::{
-    Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
-};
+use omnireduce_transport::{Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError};
 
 use crate::config::OmniConfig;
 use crate::layout::StreamLayout;
@@ -143,6 +142,36 @@ pub struct SwitchStats {
     pub results_sent: u64,
 }
 
+/// Fleet-wide `core.switch.*` registry mirrors of [`SwitchStats`]
+/// (detached no-ops unless built via
+/// [`SwitchAggregator::with_telemetry`]).
+struct SwitchCounters {
+    packets: Counter,
+    pipeline_passes: Counter,
+    saturations: Counter,
+    results_sent: Counter,
+}
+
+impl SwitchCounters {
+    fn detached() -> Self {
+        SwitchCounters {
+            packets: Counter::detached(),
+            pipeline_passes: Counter::detached(),
+            saturations: Counter::detached(),
+            results_sent: Counter::detached(),
+        }
+    }
+
+    fn registered(telemetry: &Telemetry) -> Self {
+        SwitchCounters {
+            packets: telemetry.counter("core.switch.packets"),
+            pipeline_passes: telemetry.counter("core.switch.pipeline_passes"),
+            saturations: telemetry.counter("core.switch.saturations"),
+            results_sent: telemetry.counter("core.switch.results_sent"),
+        }
+    }
+}
+
 /// An aggregator with Tofino-like constraints: fixed-point slots drawn
 /// from a bounded pool. Protocol-compatible with
 /// [`crate::worker::OmniWorker`].
@@ -157,6 +186,7 @@ pub struct SwitchAggregator<T: Transport> {
     goodbyes: usize,
     /// Data-plane counters.
     pub stats: SwitchStats,
+    counters: SwitchCounters,
 }
 
 impl<T: Transport> SwitchAggregator<T> {
@@ -212,7 +242,22 @@ impl<T: Transport> SwitchAggregator<T> {
             departed,
             goodbyes: 0,
             stats: SwitchStats::default(),
+            counters: SwitchCounters::detached(),
         }
+    }
+
+    /// Like [`SwitchAggregator::new`], but mirrors data-plane counters
+    /// into `telemetry`'s `core.switch.*` counters.
+    pub fn with_telemetry(
+        transport: T,
+        cfg: OmniConfig,
+        fp: FixedPoint,
+        pool_slots: usize,
+        telemetry: &Telemetry,
+    ) -> Self {
+        let mut a = Self::new(transport, cfg, fp, pool_slots);
+        a.counters = SwitchCounters::registered(telemetry);
+        a
     }
 
     /// Serves the group until every worker says `Shutdown`.
@@ -239,6 +284,7 @@ impl<T: Transport> SwitchAggregator<T> {
         let g = p.stream as usize;
         let width = self.layout.width();
         self.stats.packets += 1;
+        self.counters.packets.inc();
         let fp = self.fp;
         let slot = self.slots[g].as_mut().expect("stream not owned");
         for entry in &p.entries {
@@ -246,8 +292,9 @@ impl<T: Transport> SwitchAggregator<T> {
             let cs = slot.cols[col].as_mut().expect("invalid column");
             if !entry.data.is_empty() {
                 debug_assert_eq!(entry.block, cs.cur);
-                self.stats.pipeline_passes +=
-                    entry.data.len().div_ceil(TOFINO_MAX_BLOCK) as u64;
+                let passes = entry.data.len().div_ceil(TOFINO_MAX_BLOCK) as u64;
+                self.stats.pipeline_passes += passes;
+                self.counters.pipeline_passes.add(passes);
                 if !cs.touched {
                     cs.acc.clear();
                     cs.acc.extend(entry.data.iter().map(|v| fp.quantize(*v)));
@@ -258,6 +305,7 @@ impl<T: Transport> SwitchAggregator<T> {
                         let sum = fp.add(*a, q);
                         if sum == i32::MAX || sum == i32::MIN {
                             self.stats.saturations += 1;
+                            self.counters.saturations.inc();
                         }
                         *a = sum;
                     }
@@ -315,6 +363,7 @@ impl<T: Transport> SwitchAggregator<T> {
             .map(|w| NodeId(self.cfg.worker_node(w)))
             .collect();
         self.stats.results_sent += 1;
+        self.counters.results_sent.inc();
         for w in &workers {
             crate::wire::send_best_effort(&self.transport, *w, &msg)?;
         }

@@ -18,12 +18,14 @@
 //! pipelining of §3.1.1; a single protocol thread multiplexes them off
 //! one receive queue.
 
+use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
 use omnireduce_transport::{
     codec, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
 };
 
 use crate::config::OmniConfig;
+use crate::instrument::EngineTrace;
 use crate::layout::StreamLayout;
 use crate::wire::{decode_next, encode_next};
 
@@ -39,6 +41,40 @@ pub struct WorkerStats {
     pub blocks_sent: u64,
     /// Result packets received.
     pub results_received: u64,
+    /// AllReduce rounds driven to completion.
+    pub rounds_completed: u64,
+}
+
+/// Fleet-wide `core.worker.*` registry mirrors of [`WorkerStats`]
+/// (detached no-ops unless built via [`OmniWorker::with_telemetry`]).
+struct WorkerCounters {
+    packets_sent: Counter,
+    bytes_sent: Counter,
+    blocks_sent: Counter,
+    results_received: Counter,
+    rounds_completed: Counter,
+}
+
+impl WorkerCounters {
+    fn detached() -> Self {
+        WorkerCounters {
+            packets_sent: Counter::detached(),
+            bytes_sent: Counter::detached(),
+            blocks_sent: Counter::detached(),
+            results_received: Counter::detached(),
+            rounds_completed: Counter::detached(),
+        }
+    }
+
+    fn registered(telemetry: &Telemetry) -> Self {
+        WorkerCounters {
+            packets_sent: telemetry.counter("core.worker.packets_sent"),
+            bytes_sent: telemetry.counter("core.worker.bytes_sent"),
+            blocks_sent: telemetry.counter("core.worker.blocks_sent"),
+            results_received: telemetry.counter("core.worker.results_received"),
+            rounds_completed: telemetry.counter("core.worker.rounds_completed"),
+        }
+    }
 }
 
 /// Per-column protocol state within one stream.
@@ -63,6 +99,8 @@ pub struct OmniWorker<T: Transport> {
     layout: StreamLayout,
     wid: u16,
     stats: WorkerStats,
+    counters: WorkerCounters,
+    trace: EngineTrace,
 }
 
 impl<T: Transport> OmniWorker<T> {
@@ -87,7 +125,20 @@ impl<T: Transport> OmniWorker<T> {
             layout,
             wid,
             stats: WorkerStats::default(),
+            counters: WorkerCounters::detached(),
+            trace: EngineTrace::disabled(),
         }
+    }
+
+    /// Like [`OmniWorker::new`], but mirrors traffic counters into
+    /// `telemetry`'s `core.worker.*` counters and records an
+    /// `allreduce` span per round on a `worker{wid}` track when the
+    /// registry's trace recorder is enabled.
+    pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
+        let mut w = Self::new(transport, cfg);
+        w.counters = WorkerCounters::registered(telemetry);
+        w.trace = EngineTrace::new(telemetry, &format!("worker{}", w.wid));
+        w
     }
 
     /// Traffic counters so far.
@@ -108,6 +159,7 @@ impl<T: Transport> OmniWorker<T> {
             self.cfg.tensor_len,
             "tensor length does not match group config"
         );
+        let round_start = self.trace.start();
         let bitmap = NonZeroBitmap::build(tensor, self.cfg.block_spec());
         let skip = self.cfg.skip_zero_blocks;
         let layout = self.layout;
@@ -151,6 +203,7 @@ impl<T: Transport> OmniWorker<T> {
                 other => panic!("worker: unexpected message {:?}", other.tag()),
             };
             self.stats.results_received += 1;
+            self.counters.results_received.inc();
             let g = packet.stream as usize;
             let state = streams[g].as_mut().expect("result for unknown stream");
             let mut reply = Vec::new();
@@ -191,6 +244,9 @@ impl<T: Transport> OmniWorker<T> {
                 pending -= 1;
             }
         }
+        self.stats.rounds_completed += 1;
+        self.counters.rounds_completed.inc();
+        self.trace.span("allreduce", round_start);
         Ok(())
     }
 
@@ -203,9 +259,13 @@ impl<T: Transport> OmniWorker<T> {
             wid: self.wid,
             entries,
         });
+        let wire_bytes = codec::encoded_len(&msg) as u64;
         self.stats.packets_sent += 1;
         self.stats.blocks_sent += blocks;
-        self.stats.bytes_sent += codec::encoded_len(&msg) as u64;
+        self.stats.bytes_sent += wire_bytes;
+        self.counters.packets_sent.inc();
+        self.counters.blocks_sent.add(blocks);
+        self.counters.bytes_sent.add(wire_bytes);
         let shard = self.cfg.shard_of_stream(stream);
         self.transport
             .send(NodeId(self.cfg.aggregator_node(shard)), &msg)

@@ -112,7 +112,11 @@ fn switch_recirculates_large_blocks() {
         assert!(o.approx_eq(&expect, fp.step() * 2.0 + 1e-5));
     }
     // 256-value blocks need ceil(256/34) = 8 passes each.
-    assert!(stats.pipeline_passes >= 8 * 2, "passes {}", stats.pipeline_passes);
+    assert!(
+        stats.pipeline_passes >= 8 * 2,
+        "passes {}",
+        stats.pipeline_passes
+    );
 }
 
 /// Two servers × three local "GPUs", full two-layer aggregation with an

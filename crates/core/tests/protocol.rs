@@ -27,7 +27,14 @@ fn check_allreduce(cfg: &OmniConfig, inputs: Vec<Tensor>) {
     }
 }
 
-fn gen_inputs(n: usize, len: usize, bs: usize, sparsity: f64, mode: OverlapMode, seed: u64) -> Vec<Tensor> {
+fn gen_inputs(
+    n: usize,
+    len: usize,
+    bs: usize,
+    sparsity: f64,
+    mode: OverlapMode,
+    seed: u64,
+) -> Vec<Tensor> {
     gen::workers(n, len, BlockSpec::new(bs), sparsity, 1.0, mode, seed)
 }
 
@@ -37,8 +44,16 @@ fn basic_two_workers_no_fusion_single_stream() {
         .with_block_size(4)
         .with_fusion(1)
         .with_streams(1);
-    let a = Tensor::from_vec((0..64).map(|i| if i % 5 == 0 { i as f32 } else { 0.0 }).collect());
-    let b = Tensor::from_vec((0..64).map(|i| if i % 7 == 0 { 1.0 } else { 0.0 }).collect());
+    let a = Tensor::from_vec(
+        (0..64)
+            .map(|i| if i % 5 == 0 { i as f32 } else { 0.0 })
+            .collect(),
+    );
+    let b = Tensor::from_vec(
+        (0..64)
+            .map(|i| if i % 7 == 0 { 1.0 } else { 0.0 })
+            .collect(),
+    );
     check_allreduce(&cfg, vec![a, b]);
 }
 
@@ -57,13 +72,19 @@ fn fig2_example_two_workers() {
 
 #[test]
 fn all_zero_inputs() {
-    let cfg = OmniConfig::new(3, 128).with_block_size(8).with_fusion(2).with_streams(2);
+    let cfg = OmniConfig::new(3, 128)
+        .with_block_size(8)
+        .with_fusion(2)
+        .with_streams(2);
     check_allreduce(&cfg, vec![Tensor::zeros(128); 3]);
 }
 
 #[test]
 fn fully_dense_inputs() {
-    let cfg = OmniConfig::new(2, 100).with_block_size(8).with_fusion(4).with_streams(2);
+    let cfg = OmniConfig::new(2, 100)
+        .with_block_size(8)
+        .with_fusion(4)
+        .with_streams(2);
     let a = Tensor::from_vec((0..100).map(|i| i as f32 * 0.5).collect());
     let b = Tensor::from_vec((0..100).map(|i| 100.0 - i as f32).collect());
     check_allreduce(&cfg, vec![a, b]);
@@ -72,7 +93,10 @@ fn fully_dense_inputs() {
 #[test]
 fn tensor_not_multiple_of_block_size() {
     // 103 elements, bs=8 → 13 blocks, last partial.
-    let cfg = OmniConfig::new(2, 103).with_block_size(8).with_fusion(4).with_streams(2);
+    let cfg = OmniConfig::new(2, 103)
+        .with_block_size(8)
+        .with_fusion(4)
+        .with_streams(2);
     let inputs = gen_inputs(2, 103, 8, 0.5, OverlapMode::Random, 7);
     check_allreduce(&cfg, inputs);
 }
@@ -80,7 +104,10 @@ fn tensor_not_multiple_of_block_size() {
 #[test]
 fn tensor_smaller_than_one_fused_row() {
     // 3 blocks < fusion width 8: some columns invalid, one stream active.
-    let cfg = OmniConfig::new(2, 12).with_block_size(4).with_fusion(8).with_streams(4);
+    let cfg = OmniConfig::new(2, 12)
+        .with_block_size(4)
+        .with_fusion(8)
+        .with_streams(4);
     let a = Tensor::from_vec((0..12).map(|i| i as f32).collect());
     let b = Tensor::from_vec((0..12).map(|i| -(i as f32)).collect());
     check_allreduce(&cfg, vec![a, b]);
@@ -88,14 +115,20 @@ fn tensor_smaller_than_one_fused_row() {
 
 #[test]
 fn single_worker_group() {
-    let cfg = OmniConfig::new(1, 64).with_block_size(4).with_fusion(2).with_streams(2);
+    let cfg = OmniConfig::new(1, 64)
+        .with_block_size(4)
+        .with_fusion(2)
+        .with_streams(2);
     let inputs = gen_inputs(1, 64, 4, 0.5, OverlapMode::Random, 3);
     check_allreduce(&cfg, inputs);
 }
 
 #[test]
 fn eight_workers_high_sparsity() {
-    let cfg = OmniConfig::new(8, 4096).with_block_size(32).with_fusion(4).with_streams(4);
+    let cfg = OmniConfig::new(8, 4096)
+        .with_block_size(32)
+        .with_fusion(4)
+        .with_streams(4);
     let inputs = gen_inputs(8, 4096, 32, 0.95, OverlapMode::Random, 11);
     check_allreduce(&cfg, inputs);
 }
@@ -114,7 +147,10 @@ fn multiple_aggregator_shards() {
 #[test]
 fn overlap_none_and_all() {
     for mode in [OverlapMode::None, OverlapMode::All] {
-        let cfg = OmniConfig::new(4, 1024).with_block_size(16).with_fusion(2).with_streams(2);
+        let cfg = OmniConfig::new(4, 1024)
+            .with_block_size(16)
+            .with_fusion(2)
+            .with_streams(2);
         let inputs = gen_inputs(4, 1024, 16, 0.8, mode, 17);
         check_allreduce(&cfg, inputs);
     }
@@ -136,7 +172,10 @@ fn dense_streaming_mode_matches_sum() {
 fn dense_streaming_sends_all_blocks() {
     let len = 512;
     let bs = 16;
-    let cfg = OmniConfig::new(2, len).with_block_size(bs).with_fusion(1).with_streams(1);
+    let cfg = OmniConfig::new(2, len)
+        .with_block_size(bs)
+        .with_fusion(1)
+        .with_streams(1);
     let sparse_inputs = gen_inputs(2, len, bs, 0.9, OverlapMode::Random, 23);
     let sparse = run_group(
         &cfg,
@@ -164,14 +203,20 @@ fn dense_streaming_sends_all_blocks() {
 fn sparsity_reduces_bytes_sent() {
     let len = 8192;
     let bs = 64;
-    let cfg = OmniConfig::new(2, len).with_block_size(bs).with_fusion(4).with_streams(2);
+    let cfg = OmniConfig::new(2, len)
+        .with_block_size(bs)
+        .with_fusion(4)
+        .with_streams(2);
     let mut bytes = Vec::new();
     for sparsity in [0.0, 0.5, 0.9] {
         let inputs = gen_inputs(2, len, bs, sparsity, OverlapMode::All, 29);
         let r = run_group(&cfg, inputs.into_iter().map(|t| vec![t]).collect());
         bytes.push(r.stats[0].bytes_sent);
     }
-    assert!(bytes[0] > bytes[1] && bytes[1] > bytes[2], "bytes {bytes:?}");
+    assert!(
+        bytes[0] > bytes[1] && bytes[1] > bytes[2],
+        "bytes {bytes:?}"
+    );
     // At 90% sparsity the payload should be ≈10% of dense (+ metadata).
     let ratio = bytes[2] as f64 / bytes[0] as f64;
     assert!(ratio < 0.2, "90% sparsity sent {ratio} of dense bytes");
@@ -179,7 +224,10 @@ fn sparsity_reduces_bytes_sent() {
 
 #[test]
 fn back_to_back_rounds() {
-    let cfg = OmniConfig::new(3, 1024).with_block_size(16).with_fusion(4).with_streams(4);
+    let cfg = OmniConfig::new(3, 1024)
+        .with_block_size(16)
+        .with_fusion(4)
+        .with_streams(4);
     let rounds = 3;
     let mut per_worker: Vec<Vec<Tensor>> = vec![Vec::new(); 3];
     let mut expects = Vec::new();
@@ -222,21 +270,30 @@ fn check_recovery(cfg: &OmniConfig, inputs: Vec<Tensor>, loss: f64, seed: u64) {
 
 #[test]
 fn recovery_without_loss_matches() {
-    let cfg = OmniConfig::new(3, 512).with_block_size(16).with_fusion(2).with_streams(2);
+    let cfg = OmniConfig::new(3, 512)
+        .with_block_size(16)
+        .with_fusion(2)
+        .with_streams(2);
     let inputs = gen_inputs(3, 512, 16, 0.6, OverlapMode::Random, 31);
     check_recovery(&cfg, inputs, 0.0, 1);
 }
 
 #[test]
 fn recovery_under_one_percent_loss() {
-    let cfg = OmniConfig::new(3, 1024).with_block_size(16).with_fusion(2).with_streams(2);
+    let cfg = OmniConfig::new(3, 1024)
+        .with_block_size(16)
+        .with_fusion(2)
+        .with_streams(2);
     let inputs = gen_inputs(3, 1024, 16, 0.5, OverlapMode::Random, 37);
     check_recovery(&cfg, inputs, 0.01, 2);
 }
 
 #[test]
 fn recovery_under_heavy_loss() {
-    let mut cfg = OmniConfig::new(2, 256).with_block_size(16).with_fusion(2).with_streams(2);
+    let mut cfg = OmniConfig::new(2, 256)
+        .with_block_size(16)
+        .with_fusion(2)
+        .with_streams(2);
     cfg.retransmit_timeout = std::time::Duration::from_millis(5);
     let inputs = gen_inputs(2, 256, 16, 0.5, OverlapMode::Random, 41);
     check_recovery(&cfg, inputs, 0.2, 3);
@@ -244,7 +301,10 @@ fn recovery_under_heavy_loss() {
 
 #[test]
 fn recovery_with_duplication() {
-    let cfg = OmniConfig::new(3, 512).with_block_size(16).with_fusion(2).with_streams(2);
+    let cfg = OmniConfig::new(3, 512)
+        .with_block_size(16)
+        .with_fusion(2)
+        .with_streams(2);
     let inputs = gen_inputs(3, 512, 16, 0.5, OverlapMode::Random, 43);
     let expect = reference_sum(&inputs);
     let mut net = LossyNetwork::new(
@@ -272,7 +332,10 @@ fn recovery_with_duplication() {
 
 #[test]
 fn recovery_multi_round_under_loss() {
-    let mut cfg = OmniConfig::new(2, 256).with_block_size(16).with_fusion(2).with_streams(2);
+    let mut cfg = OmniConfig::new(2, 256)
+        .with_block_size(16)
+        .with_fusion(2)
+        .with_streams(2);
     cfg.retransmit_timeout = std::time::Duration::from_millis(5);
     let rounds = 3;
     let mut per_worker: Vec<Vec<Tensor>> = vec![Vec::new(); 2];
@@ -295,7 +358,10 @@ fn recovery_multi_round_under_loss() {
 
 #[test]
 fn recovery_retransmits_under_loss() {
-    let mut cfg = OmniConfig::new(2, 512).with_block_size(16).with_fusion(2).with_streams(2);
+    let mut cfg = OmniConfig::new(2, 512)
+        .with_block_size(16)
+        .with_fusion(2)
+        .with_streams(2);
     cfg.retransmit_timeout = std::time::Duration::from_millis(5);
     let inputs = gen_inputs(2, 512, 16, 0.3, OverlapMode::Random, 47);
     let mut net = LossyNetwork::new(cfg.mesh_size(), LossConfig::drops(0.1, 17));
@@ -409,7 +475,11 @@ fn deterministic_mode_is_bit_reproducible() {
     let mut first: Option<Vec<Tensor>> = None;
     for _ in 0..3 {
         let result = run_group(&cfg, inputs.iter().map(|t| vec![t.clone()]).collect());
-        let outs: Vec<Tensor> = result.outputs.into_iter().map(|mut o| o.remove(0)).collect();
+        let outs: Vec<Tensor> = result
+            .outputs
+            .into_iter()
+            .map(|mut o| o.remove(0))
+            .collect();
         for out in &outs {
             assert_eq!(
                 out.as_slice(),

@@ -213,9 +213,7 @@ impl EmbeddingClassifier {
     /// Classification accuracy over `data`.
     pub fn accuracy(&self, params: &Tensor, data: &CategoricalDataset) -> f64 {
         let correct = (0..data.len())
-            .filter(|i| {
-                (self.predict(params, data.example(*i)) > 0.5) == (data.labels[*i] == 1.0)
-            })
+            .filter(|i| (self.predict(params, data.example(*i)) > 0.5) == (data.labels[*i] == 1.0))
             .count();
         correct as f64 / data.len() as f64
     }

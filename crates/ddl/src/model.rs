@@ -114,12 +114,7 @@ impl Mlp {
             }
             hidden_out[h] = z.tanh();
         }
-        let z: f32 = hidden_out
-            .iter()
-            .zip(w2)
-            .map(|(a, w)| a * w)
-            .sum::<f32>()
-            + p[self.b2()];
+        let z: f32 = hidden_out.iter().zip(w2).map(|(a, w)| a * w).sum::<f32>() + p[self.b2()];
         sigmoid(z)
     }
 }
@@ -158,7 +153,7 @@ impl Model for Mlp {
             let eps = 1e-7f32;
             loss -= (y[i] * (prob + eps).ln() + (1.0 - y[i]) * (1.0 - prob + eps).ln()) as f64;
             let err = prob - y[i]; // dL/dz_out
-            // Output layer.
+                                   // Output layer.
             let g = grad.as_mut_slice();
             for h in 0..self.hidden {
                 g[w2_range.start + h] += err * hidden[h];

@@ -189,7 +189,11 @@ mod tests {
         let sgd_loss = train_with(&mut Sgd { lr: 0.5 }, 200);
         let mom_loss = train_with(&mut Momentum::new(0.1, 0.9), 200);
         let adam_loss = train_with(&mut Adam::new(0.05), 200);
-        for (name, loss) in [("sgd", sgd_loss), ("momentum", mom_loss), ("adam", adam_loss)] {
+        for (name, loss) in [
+            ("sgd", sgd_loss),
+            ("momentum", mom_loss),
+            ("adam", adam_loss),
+        ] {
             assert!(loss < 0.45, "{name} final loss {loss}");
         }
     }

@@ -233,10 +233,7 @@ mod tests {
     #[test]
     fn mlp_trains_data_parallel() {
         let data = Dataset::synthetic(1600, 10, 0.02, 4);
-        let model = Mlp {
-            dim: 10,
-            hidden: 8,
-        };
+        let model = Mlp { dim: 10, hidden: 8 };
         let cfg = TrainConfig {
             num_workers: 4,
             batch_size: 25,
@@ -247,7 +244,11 @@ mod tests {
         let mut comps = boxes(4, |_| Box::new(Identity) as Box<dyn Compressor>);
         let r = train_data_parallel(&model, &data, &cfg, &mut comps);
         let first = r.loss_history[0];
-        assert!(final_loss(&r) < first * 0.7, "no learning: {first} → {}", final_loss(&r));
+        assert!(
+            final_loss(&r) < first * 0.7,
+            "no learning: {first} → {}",
+            final_loss(&r)
+        );
     }
 
     #[test]

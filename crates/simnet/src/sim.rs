@@ -26,6 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use omnireduce_telemetry::{Counter, Histogram, Telemetry, TrackId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -97,15 +98,8 @@ pub struct Ctx<M> {
 }
 
 enum Command<M> {
-    Send {
-        to: ActorId,
-        msg: M,
-        bytes: usize,
-    },
-    Timer {
-        delay: SimTime,
-        token: u64,
-    },
+    Send { to: ActorId, msg: M, bytes: usize },
+    Timer { delay: SimTime, token: u64 },
     Halt,
     MarkDone,
 }
@@ -168,6 +162,60 @@ pub struct NicStats {
     pub packets_rx: u64,
     /// Packets lost in flight after TX.
     pub packets_lost: u64,
+    /// Total nanoseconds packets spent queued waiting for a free port
+    /// (TX head-of-line wait plus RX incast wait).
+    pub queue_delay_sum: u64,
+    /// Largest single-packet queueing wait observed, nanoseconds.
+    pub queue_delay_max: u64,
+}
+
+impl NicStats {
+    fn record_wait(&mut self, wait_ns: u64) {
+        self.queue_delay_sum += wait_ns;
+        self.queue_delay_max = self.queue_delay_max.max(wait_ns);
+    }
+}
+
+/// Telemetry handles the simulator updates while it runs (fleet-wide
+/// aggregates; per-NIC detail stays in [`NicStats`]).
+struct SimTelemetry {
+    telemetry: Telemetry,
+    bytes_tx: Counter,
+    bytes_rx: Counter,
+    packets_tx: Counter,
+    packets_rx: Counter,
+    packets_lost: Counter,
+    queue_delay: Histogram,
+    timer_fires: Counter,
+    /// Per-NIC (tx, rx) trace tracks, created lazily.
+    tracks: Vec<(TrackId, TrackId)>,
+}
+
+impl SimTelemetry {
+    fn new(telemetry: Telemetry) -> Self {
+        SimTelemetry {
+            bytes_tx: telemetry.counter("simnet.nic.bytes_tx"),
+            bytes_rx: telemetry.counter("simnet.nic.bytes_rx"),
+            packets_tx: telemetry.counter("simnet.nic.packets_tx"),
+            packets_rx: telemetry.counter("simnet.nic.packets_rx"),
+            packets_lost: telemetry.counter("simnet.nic.packets_lost"),
+            queue_delay: telemetry.histogram("simnet.nic.queue_delay_ns"),
+            timer_fires: telemetry.counter("simnet.timer.fires"),
+            tracks: Vec::new(),
+            telemetry,
+        }
+    }
+
+    /// Trace tracks for NIC `i` (`nicI.tx` / `nicI.rx` timeline rows).
+    fn nic_tracks(&mut self, i: usize) -> (TrackId, TrackId) {
+        while self.tracks.len() <= i {
+            let n = self.tracks.len();
+            let tx = self.telemetry.trace().track(&format!("nic{n}.tx"));
+            let rx = self.telemetry.trace().track(&format!("nic{n}.rx"));
+            self.tracks.push((tx, rx));
+        }
+        self.tracks[i]
+    }
 }
 
 struct ActorSlot<M> {
@@ -245,6 +293,7 @@ pub struct Simulator<M> {
     events_processed: u64,
     max_events: u64,
     rng: ChaCha8Rng,
+    telemetry: Option<SimTelemetry>,
 }
 
 impl<M> Simulator<M> {
@@ -259,6 +308,7 @@ impl<M> Simulator<M> {
             events_processed: 0,
             max_events: 2_000_000_000,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            telemetry: None,
         }
     }
 
@@ -266,6 +316,15 @@ impl<M> Simulator<M> {
     /// livelock in tests).
     pub fn set_max_events(&mut self, max: u64) {
         self.max_events = max;
+    }
+
+    /// Attaches a telemetry registry: the simulator then updates
+    /// `simnet.nic.*` counters and the `simnet.nic.queue_delay_ns`
+    /// histogram while it runs, and — when the registry's trace recorder
+    /// is enabled — records per-NIC TX/RX serialization spans and loss
+    /// instants (one Perfetto row per port).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(SimTelemetry::new(telemetry));
     }
 
     /// Adds a NIC.
@@ -334,23 +393,48 @@ impl<M> Simulator<M> {
             self.push(self.now + delay, EventKind::Deliver { to, from, msg });
             return;
         }
-        let loss = {
-            let nic = &mut self.nics[src_nic.0];
-            let start = nic.tx_free.max(self.now);
-            let end = start + nic.config.tx.serialize(bytes);
-            nic.tx_free = end;
-            nic.stats.bytes_tx += bytes as u64;
-            nic.stats.packets_tx += 1;
-            let lost = nic.config.loss > 0.0 && self.rng.gen_bool(nic.config.loss);
+        let nic = &mut self.nics[src_nic.0];
+        let start = nic.tx_free.max(self.now);
+        let end = start + nic.config.tx.serialize(bytes);
+        nic.tx_free = end;
+        nic.stats.bytes_tx += bytes as u64;
+        nic.stats.packets_tx += 1;
+        let wait_ns = start.saturating_sub(self.now).as_nanos();
+        nic.stats.record_wait(wait_ns);
+        let lost = nic.config.loss > 0.0 && self.rng.gen_bool(nic.config.loss);
+        if lost {
+            nic.stats.packets_lost += 1;
+        }
+        let latency = nic.config.latency;
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.bytes_tx.add(bytes as u64);
+            tel.packets_tx.inc();
+            tel.queue_delay.record(wait_ns);
             if lost {
-                nic.stats.packets_lost += 1;
-                None
-            } else {
-                Some(end + nic.config.latency)
+                tel.packets_lost.inc();
             }
-        };
-        if let Some(arrival) = loss {
-            self.push(arrival, EventKind::PortArrival { to, from, msg, bytes });
+            if tel.telemetry.trace().is_enabled() {
+                let (tx_track, _) = tel.nic_tracks(src_nic.0);
+                tel.telemetry
+                    .trace()
+                    .span(tx_track, "tx", start.as_nanos(), end.as_nanos());
+                if lost {
+                    tel.telemetry
+                        .trace()
+                        .instant(tx_track, "loss", end.as_nanos());
+                }
+            }
+        }
+        if !lost {
+            self.push(
+                end + latency,
+                EventKind::PortArrival {
+                    to,
+                    from,
+                    msg,
+                    bytes,
+                },
+            );
         }
     }
 
@@ -375,7 +459,12 @@ impl<M> Simulator<M> {
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             match ev.kind {
-                EventKind::PortArrival { to, from, msg, bytes } => {
+                EventKind::PortArrival {
+                    to,
+                    from,
+                    msg,
+                    bytes,
+                } => {
                     let dst_nic = self.actors[to.0].nic;
                     let nic = &mut self.nics[dst_nic.0];
                     let start = nic.rx_free.max(self.now);
@@ -383,6 +472,22 @@ impl<M> Simulator<M> {
                     nic.rx_free = end;
                     nic.stats.bytes_rx += bytes as u64;
                     nic.stats.packets_rx += 1;
+                    let wait_ns = start.saturating_sub(self.now).as_nanos();
+                    nic.stats.record_wait(wait_ns);
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.bytes_rx.add(bytes as u64);
+                        tel.packets_rx.inc();
+                        tel.queue_delay.record(wait_ns);
+                        if tel.telemetry.trace().is_enabled() {
+                            let (_, rx_track) = tel.nic_tracks(dst_nic.0);
+                            tel.telemetry.trace().span(
+                                rx_track,
+                                "rx",
+                                start.as_nanos(),
+                                end.as_nanos(),
+                            );
+                        }
+                    }
                     self.push(end, EventKind::Deliver { to, from, msg });
                 }
                 EventKind::Deliver { to, from, msg } => {
@@ -416,10 +521,7 @@ impl<M> Simulator<M> {
             id,
             commands: Vec::new(),
         };
-        let mut process = std::mem::replace(
-            &mut self.actors[id.0].process,
-            Box::new(NullProcess),
-        );
+        let mut process = std::mem::replace(&mut self.actors[id.0].process, Box::new(NullProcess));
         process.on_start(&mut ctx);
         self.actors[id.0].process = process;
         self.apply_commands(id, ctx.commands);
@@ -431,25 +533,23 @@ impl<M> Simulator<M> {
             id: to,
             commands: Vec::new(),
         };
-        let mut process = std::mem::replace(
-            &mut self.actors[to.0].process,
-            Box::new(NullProcess),
-        );
+        let mut process = std::mem::replace(&mut self.actors[to.0].process, Box::new(NullProcess));
         process.on_message(&mut ctx, from, msg);
         self.actors[to.0].process = process;
         self.apply_commands(to, ctx.commands);
     }
 
     fn dispatch_timer(&mut self, actor: ActorId, token: u64) {
+        if let Some(tel) = self.telemetry.as_ref() {
+            tel.timer_fires.inc();
+        }
         let mut ctx = Ctx {
             now: self.now,
             id: actor,
             commands: Vec::new(),
         };
-        let mut process = std::mem::replace(
-            &mut self.actors[actor.0].process,
-            Box::new(NullProcess),
-        );
+        let mut process =
+            std::mem::replace(&mut self.actors[actor.0].process, Box::new(NullProcess));
         process.on_timer(&mut ctx, token);
         self.actors[actor.0].process = process;
         self.apply_commands(actor, ctx.commands);
@@ -544,7 +644,13 @@ mod tests {
                 to: ActorId(1),
             }),
         );
-        sim.add_actor(n1, Box::new(Sink { expect: count, got: 0 }));
+        sim.add_actor(
+            n1,
+            Box::new(Sink {
+                expect: count,
+                got: 0,
+            }),
+        );
         let report = sim.run();
         // 1 MB at 10 Gbps = 800 µs; latency adds only ~6 µs pipeline fill.
         let t = report.finished_at[1].unwrap().as_secs_f64();
@@ -562,7 +668,13 @@ mod tests {
             nics.push(sim.add_nic(nic_10g()));
         }
         let sink_id = ActorId(0);
-        sim.add_actor(sink_nic, Box::new(Sink { expect: 400, got: 0 }));
+        sim.add_actor(
+            sink_nic,
+            Box::new(Sink {
+                expect: 400,
+                got: 0,
+            }),
+        );
         for nic in nics {
             sim.add_actor(
                 nic,
@@ -664,6 +776,58 @@ mod tests {
         assert_eq!(report.nic_stats[0].bytes_tx, 1500);
         assert_eq!(report.nic_stats[1].bytes_rx, 1500);
         assert_eq!(report.nic_stats[0].packets_tx, 3);
+    }
+
+    #[test]
+    fn queue_delay_accumulates_on_busy_ports() {
+        // 10 back-to-back packets on one TX port: packet k waits
+        // k * serialize(1 KB) = k * 800 ns, so the sum is 36 µs.
+        let mut sim = Simulator::new(0);
+        let n0 = sim.add_nic(nic_10g());
+        let n1 = sim.add_nic(nic_10g());
+        sim.add_actor(
+            n0,
+            Box::new(Blaster {
+                count: 10,
+                bytes: KB,
+                to: ActorId(1),
+            }),
+        );
+        sim.add_actor(n1, Box::new(Sink { expect: 10, got: 0 }));
+        let report = sim.run();
+        let tx = report.nic_stats[0];
+        assert_eq!(tx.queue_delay_sum, 36_000);
+        assert_eq!(tx.queue_delay_max, 7_200);
+    }
+
+    #[test]
+    fn telemetry_counters_match_nic_stats() {
+        use omnireduce_telemetry::Telemetry;
+        let telemetry = Telemetry::with_tracing(256);
+        let mut sim = Simulator::new(7);
+        sim.attach_telemetry(telemetry.clone());
+        let n0 = sim.add_nic(nic_10g().with_loss(0.3));
+        let n1 = sim.add_nic(nic_10g());
+        sim.add_actor(
+            n0,
+            Box::new(Blaster {
+                count: 40,
+                bytes: KB,
+                to: ActorId(1),
+            }),
+        );
+        sim.add_actor(n1, Box::new(Sink { expect: 1, got: 0 }));
+        let report = sim.run();
+        let snap = telemetry.snapshot();
+        let tx_bytes: u64 = report.nic_stats.iter().map(|s| s.bytes_tx).sum();
+        let rx_bytes: u64 = report.nic_stats.iter().map(|s| s.bytes_rx).sum();
+        let lost: u64 = report.nic_stats.iter().map(|s| s.packets_lost).sum();
+        assert_eq!(snap.counter("simnet.nic.bytes_tx"), tx_bytes);
+        assert_eq!(snap.counter("simnet.nic.bytes_rx"), rx_bytes);
+        assert_eq!(snap.counter("simnet.nic.packets_lost"), lost);
+        assert!(lost > 0, "expected the lossy NIC to drop something");
+        // Every TX/RX serialization left a span; losses left instants.
+        assert!(!telemetry.trace().is_empty());
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
         let bw = Bandwidth::gbps(10.0);
         assert_eq!(bw.serialize(1250), SimTime::from_micros(1));
         // 100 Gbps → 12500 bytes take 1 µs.
-        assert_eq!(Bandwidth::gbps(100.0).serialize(12500), SimTime::from_micros(1));
+        assert_eq!(
+            Bandwidth::gbps(100.0).serialize(12500),
+            SimTime::from_micros(1)
+        );
     }
 
     #[test]

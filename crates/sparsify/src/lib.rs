@@ -780,10 +780,7 @@ mod quantizer_tests {
     #[test]
     fn compose_block_topk_then_fp16() {
         let g = omnireduce_tensor::gen::element_uniform(64, 0.0, 5);
-        let mut c = Compose::new(
-            BlockTopK::new(0.5, BlockSpec::new(4)),
-            Fp16Quantizer,
-        );
+        let mut c = Compose::new(BlockTopK::new(0.5, BlockSpec::new(4)), Fp16Quantizer);
         let out = c.compress(&g, &Tensor::zeros(64));
         // Support shrank to ≤ half the blocks; surviving values are f16
         // roundings of the originals.

@@ -1,0 +1,46 @@
+//! Workspace-wide telemetry: metrics, clocks, spans and exporters.
+//!
+//! The paper's claims (bytes on the wire, blocks skipped, rounds,
+//! retransmissions, queueing) are statements about *observable protocol
+//! behaviour*. This crate gives every layer of the workspace one way to
+//! observe it:
+//!
+//! * [`clock`] — a [`Clock`] trait unifying wall-clock time
+//!   ([`WallClock`], monotonic `Instant`) and simulated time
+//!   ([`ManualClock`], driven by the `simnet` event loop), so the same
+//!   instrumentation works in protocol engines over real transports and
+//!   in discrete-event simulations.
+//! * [`metrics`] — a cheap registry of atomic [`Counter`]s, [`Gauge`]s
+//!   and log2-bucketed [`Histogram`]s, snapshotted into a
+//!   [`TelemetrySnapshot`] that serializes to JSON and Prometheus text
+//!   exposition and merges across processes/runs.
+//! * [`trace`] — a bounded ring-buffer [`TraceRecorder`] of spans and
+//!   instant events, exported as Chrome trace-event JSON (loadable in
+//!   Perfetto or `chrome://tracing`), one track per actor/NIC.
+//! * [`json`] — the minimal JSON value model backing the exporters (the
+//!   build environment has no serde, so serialization is hand-rolled).
+//!
+//! # Metric naming
+//!
+//! Names are dot-separated paths: `<crate>.<component>[.<entity>].<metric>`,
+//! e.g. `core.worker.0.packets_sent` or `simnet.nic.bytes_tx`. Aggregate
+//! metrics (no entity segment) sum over all instances attached to the
+//! same [`Telemetry`]; per-entity metrics carry the instance id in the
+//! path. The Prometheus exporter rewrites dots to underscores.
+//!
+//! # Cost model
+//!
+//! Handles are `Arc<AtomicU64>`: one relaxed atomic add per event on the
+//! hot path. Span recording behind a disabled recorder is a single
+//! atomic load. Engines that are never attached to a shared [`Telemetry`]
+//! still count into a private registry, so their public `stats()`
+//! accessors keep working with zero configuration.
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot};
+pub use trace::{TraceRecorder, TrackId};

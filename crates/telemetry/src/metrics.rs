@@ -1,0 +1,592 @@
+//! The metrics registry: counters, gauges, log2 histograms, snapshots.
+//!
+//! A [`Telemetry`] is a cheaply-cloneable handle to a shared registry.
+//! Components ask it for named instruments once (at construction) and
+//! then update them lock-free on the hot path:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (relaxed atomic add);
+//! * [`Gauge`] — last-written `u64` value;
+//! * [`Histogram`] — log2-bucketed distribution with exact `count`,
+//!   `sum` and `max`: a value `v` lands in bucket `bit_length(v)`
+//!   (bucket 0 holds only zero, bucket `k >= 1` holds
+//!   `[2^(k-1), 2^k - 1]`).
+//!
+//! Instrument names are dot-separated paths (see the crate docs).
+//! Re-requesting a name returns a handle to the *same* instrument, which
+//! is what makes aggregate metrics work: every worker bumping
+//! `core.worker.packets_sent` adds into one cell.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{JsonError, JsonValue};
+use crate::trace::TraceRecorder;
+
+/// Number of log2 buckets: bit lengths 0..=64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (counts are still shared
+    /// among clones of this handle).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge to `value` if it exceeds the current value.
+    #[inline]
+    pub fn set_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+/// Bucket index for a value: its bit length (0 for 0).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        k => (1u64 << k) - 1,
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCells::new()))
+    }
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let cells = &*self.0;
+        cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+        cells.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cells = &*self.0;
+        let mut buckets: Vec<u64> = cells
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Trim trailing empty buckets; the snapshot records the length.
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            buckets,
+            count: cells.count.load(Ordering::Relaxed),
+            sum: cells.sum.load(Ordering::Relaxed),
+            max: cells.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, trailing zero buckets trimmed.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of all recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another snapshot's samples into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+struct TelemetryInner {
+    registry: Mutex<RegistryInner>,
+    trace: TraceRecorder,
+}
+
+/// Handle to a shared metrics registry plus its trace recorder.
+///
+/// Cloning is cheap (one `Arc`); all clones observe the same
+/// instruments. `Telemetry::new()` creates an isolated registry with
+/// tracing disabled — the zero-configuration default for engines that
+/// were not attached to anything.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<TelemetryInner>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// A fresh registry; span recording disabled.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                registry: Mutex::new(RegistryInner::default()),
+                trace: TraceRecorder::disabled(),
+            }),
+        }
+    }
+
+    /// A fresh registry whose trace recorder keeps up to `capacity`
+    /// events in a ring buffer.
+    pub fn with_tracing(capacity: usize) -> Self {
+        Telemetry {
+            inner: Arc::new(TelemetryInner {
+                registry: Mutex::new(RegistryInner::default()),
+                trace: TraceRecorder::bounded(capacity),
+            }),
+        }
+    }
+
+    /// Returns (creating on first use) the counter with this name.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut reg = self.lock();
+        reg.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (creating on first use) the gauge with this name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut reg = self.lock();
+        reg.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns (creating on first use) the histogram with this name.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut reg = self.lock();
+        reg.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The span/event recorder sharing this registry's lifetime.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.inner.trace
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner
+            .registry
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copies every instrument's current value.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let reg = self.lock();
+        TelemetrySnapshot {
+            counters: reg
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: reg
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a whole registry; serializable and mergeable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Folds another snapshot into this one: counters and histogram
+    /// samples add, gauges take the maximum.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += *v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// The snapshot as a JSON document.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut counters = JsonValue::obj();
+        for (k, v) in &self.counters {
+            counters.push(k, JsonValue::Uint(*v));
+        }
+        let mut gauges = JsonValue::obj();
+        for (k, v) in &self.gauges {
+            gauges.push(k, JsonValue::Uint(*v));
+        }
+        let mut histograms = JsonValue::obj();
+        for (k, h) in &self.histograms {
+            let mut node = JsonValue::obj();
+            node.push("count", JsonValue::Uint(h.count));
+            node.push("sum", JsonValue::Uint(h.sum));
+            node.push("max", JsonValue::Uint(h.max));
+            node.push(
+                "buckets",
+                JsonValue::Arr(h.buckets.iter().map(|b| JsonValue::Uint(*b)).collect()),
+            );
+            histograms.push(k, node);
+        }
+        let mut doc = JsonValue::obj();
+        doc.push("counters", counters);
+        doc.push("gauges", gauges);
+        doc.push("histograms", histograms);
+        doc
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// Parses a snapshot previously produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, JsonError> {
+        let doc = JsonValue::parse(text)?;
+        let bad = |message| JsonError { offset: 0, message };
+        let mut snap = TelemetrySnapshot::default();
+        if let Some(JsonValue::Obj(fields)) = doc.get("counters") {
+            for (k, v) in fields {
+                snap.counters
+                    .insert(k.clone(), v.as_u64().ok_or(bad("counter is not a u64"))?);
+            }
+        }
+        if let Some(JsonValue::Obj(fields)) = doc.get("gauges") {
+            for (k, v) in fields {
+                snap.gauges
+                    .insert(k.clone(), v.as_u64().ok_or(bad("gauge is not a u64"))?);
+            }
+        }
+        if let Some(JsonValue::Obj(fields)) = doc.get("histograms") {
+            for (k, v) in fields {
+                let mut h = HistogramSnapshot {
+                    count: v
+                        .get("count")
+                        .and_then(|x| x.as_u64())
+                        .ok_or(bad("histogram count"))?,
+                    sum: v
+                        .get("sum")
+                        .and_then(|x| x.as_u64())
+                        .ok_or(bad("histogram sum"))?,
+                    max: v
+                        .get("max")
+                        .and_then(|x| x.as_u64())
+                        .ok_or(bad("histogram max"))?,
+                    buckets: Vec::new(),
+                };
+                if let Some(items) = v.get("buckets").and_then(|b| b.as_arr()) {
+                    for item in items {
+                        h.buckets
+                            .push(item.as_u64().ok_or(bad("histogram bucket"))?);
+                    }
+                }
+                snap.histograms.insert(k.clone(), h);
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Prometheus text exposition (format 0.0.4). Dots in metric names
+    /// become underscores; histograms emit cumulative `_bucket{le=..}`
+    /// series plus `_count` and `_sum`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = sanitize(k);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let name = sanitize(k);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let name = sanitize(k);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, b) in h.buckets.iter().enumerate() {
+                cumulative += *b;
+                if *b == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper_bound(i)
+                );
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_shared_by_name() {
+        let t = Telemetry::new();
+        let a = t.counter("x.calls");
+        let b = t.counter("x.calls");
+        a.add(3);
+        b.inc();
+        assert_eq!(t.counter("x.calls").get(), 4);
+        assert_eq!(t.snapshot().counter("x.calls"), 4);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let t = Telemetry::new();
+        let g = t.gauge("depth");
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn snapshot_is_point_in_time() {
+        let t = Telemetry::new();
+        let c = t.counter("c");
+        c.add(1);
+        let snap = t.snapshot();
+        c.add(10);
+        assert_eq!(snap.counter("c"), 1);
+        assert_eq!(t.snapshot().counter("c"), 11);
+    }
+
+    #[test]
+    fn counter_sum_by_prefix() {
+        let t = Telemetry::new();
+        t.counter("nic.0.bytes").add(5);
+        t.counter("nic.1.bytes").add(7);
+        t.counter("other").add(100);
+        assert_eq!(t.snapshot().counter_sum("nic."), 12);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let t = Telemetry::new();
+        t.counter("core.worker.packets_sent").add(2);
+        t.histogram("simnet.queue_delay_ns").record(5);
+        let text = t.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE core_worker_packets_sent counter"));
+        assert!(text.contains("core_worker_packets_sent 2"));
+        assert!(text.contains("simnet_queue_delay_ns_bucket{le=\"7\"} 1"));
+        assert!(text.contains("simnet_queue_delay_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("simnet_queue_delay_ns_count 1"));
+        assert!(text.contains("simnet_queue_delay_ns_sum 5"));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // bucket k holds values with bit length k: [2^(k-1), 2^k - 1].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        for k in 1..64 {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(bucket_index(lo), k as usize, "low edge of bucket {k}");
+            assert_eq!(bucket_index(hi), k as usize, "high edge of bucket {k}");
+            assert_eq!(bucket_upper_bound(k as usize), hi);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // And record() lands samples where bucket_index says.
+        let h = Histogram::detached();
+        for v in [0u64, 1, 2, 3, 4, 7, 8] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![1, 1, 2, 2, 1]);
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 25);
+        assert_eq!(snap.max, 8);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_histograms() {
+        let a = Telemetry::new();
+        a.counter("pkts").add(3);
+        a.gauge("depth").set(5);
+        a.histogram("lat").record(2);
+        let b = Telemetry::new();
+        b.counter("pkts").add(4);
+        b.counter("only_b").add(1);
+        b.gauge("depth").set(2);
+        b.histogram("lat").record(100);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("pkts"), 7);
+        assert_eq!(merged.counter("only_b"), 1);
+        assert_eq!(merged.gauges["depth"], 5, "gauges merge by max");
+        let h = &merged.histograms["lat"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 102);
+        assert_eq!(h.max, 100);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let t = Telemetry::new();
+        t.counter("core.worker.packets_sent").add(42);
+        t.gauge("inflight").set(9);
+        let h = t.histogram("queue_delay_ns");
+        h.record(0);
+        h.record(1000);
+        h.record(u64::MAX);
+        let snap = t.snapshot();
+        let text = snap.to_json();
+        let parsed = TelemetrySnapshot::from_json(&text).expect("round trip parses");
+        assert_eq!(parsed, snap);
+        // Malformed documents fail loudly instead of silently zeroing.
+        assert!(TelemetrySnapshot::from_json("{\"counters\":{\"x\":-1}}").is_err());
+        assert!(TelemetrySnapshot::from_json("not json").is_err());
+    }
+}

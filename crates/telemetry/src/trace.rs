@@ -1,0 +1,281 @@
+//! Bounded span/event recorder with Chrome trace-event export.
+//!
+//! A [`TraceRecorder`] keeps the most recent N spans and instant events
+//! in a ring buffer. Each event belongs to a *track* (an actor, NIC, or
+//! protocol engine) registered up front via [`TraceRecorder::track`];
+//! tracks become named rows in Perfetto / `chrome://tracing`.
+//!
+//! Timestamps are nanoseconds from whichever [`crate::Clock`] the
+//! instrumented component uses — wall-clock in real runs, simulated time
+//! in `simnet` runs. The exporter converts to the microsecond floats the
+//! Chrome trace-event format expects.
+//!
+//! Recording against a disabled recorder is a single atomic load, so
+//! instrumentation can stay in hot paths unconditionally.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::json::JsonValue;
+
+/// Identifies one track (row) in the exported timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(pub u32);
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// A complete span: `[start_ns, end_ns)` on a track.
+    Span {
+        track: TrackId,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+    },
+    /// A point event.
+    Instant {
+        track: TrackId,
+        name: &'static str,
+        ts_ns: u64,
+    },
+}
+
+#[derive(Default)]
+struct TraceInner {
+    tracks: Vec<String>,
+    ring: Vec<Event>,
+    /// Next write position in `ring` once it reaches capacity.
+    head: usize,
+    dropped: u64,
+}
+
+/// Ring-buffer recorder of spans and instant events.
+pub struct TraceRecorder {
+    enabled: AtomicBool,
+    capacity: usize,
+    inner: Mutex<TraceInner>,
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder that drops everything (the zero-cost default).
+    pub fn disabled() -> Self {
+        TraceRecorder {
+            enabled: AtomicBool::new(false),
+            capacity: 0,
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// A recorder keeping the most recent `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        TraceRecorder {
+            enabled: AtomicBool::new(capacity > 0),
+            capacity,
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Registers (or finds) a named track and returns its id.
+    ///
+    /// Safe to call on a disabled recorder; returns a valid id so
+    /// callers can cache it unconditionally.
+    pub fn track(&self, name: &str) -> TrackId {
+        let mut inner = self.lock();
+        if let Some(pos) = inner.tracks.iter().position(|t| t == name) {
+            return TrackId(pos as u32);
+        }
+        inner.tracks.push(name.to_string());
+        TrackId((inner.tracks.len() - 1) as u32)
+    }
+
+    /// Records a complete span `[start_ns, end_ns)`.
+    #[inline]
+    pub fn span(&self, track: TrackId, name: &'static str, start_ns: u64, end_ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(Event::Span {
+            track,
+            name,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+    }
+
+    /// Records an instantaneous event.
+    #[inline]
+    pub fn instant(&self, track: TrackId, name: &'static str, ts_ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(Event::Instant { track, name, ts_ns });
+    }
+
+    fn push(&self, ev: Event) {
+        let mut inner = self.lock();
+        if inner.ring.len() < self.capacity {
+            inner.ring.push(ev);
+        } else if self.capacity > 0 {
+            let head = inner.head;
+            inner.ring[head] = ev;
+            inner.head = (head + 1) % self.capacity;
+            inner.dropped += 1;
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exports the buffer as a Chrome trace-event JSON document.
+    ///
+    /// One process (`pid` 0) with one thread per track; each track gets
+    /// a `thread_name` metadata event so Perfetto shows readable rows.
+    /// Spans become `"ph":"X"` complete events, instants `"ph":"i"`
+    /// thread-scoped events; timestamps are microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        let inner = self.lock();
+        let mut events: Vec<JsonValue> = Vec::with_capacity(inner.ring.len() + inner.tracks.len());
+        for (tid, name) in inner.tracks.iter().enumerate() {
+            let mut args = JsonValue::obj();
+            args.push("name", JsonValue::Str(name.clone()));
+            let mut meta = JsonValue::obj();
+            meta.push("name", JsonValue::Str("thread_name".into()));
+            meta.push("ph", JsonValue::Str("M".into()));
+            meta.push("pid", JsonValue::Uint(0));
+            meta.push("tid", JsonValue::Uint(tid as u64));
+            meta.push("args", args);
+            events.push(meta);
+        }
+        // Emit in chronological order (ring order is oldest-first from
+        // `head`).
+        let n = inner.ring.len();
+        for i in 0..n {
+            let ev = &inner.ring[(inner.head + i) % n.max(1)];
+            events.push(match ev {
+                Event::Span {
+                    track,
+                    name,
+                    start_ns,
+                    end_ns,
+                } => {
+                    let mut e = JsonValue::obj();
+                    e.push("name", JsonValue::Str((*name).into()));
+                    e.push("ph", JsonValue::Str("X".into()));
+                    e.push("pid", JsonValue::Uint(0));
+                    e.push("tid", JsonValue::Uint(track.0 as u64));
+                    e.push("ts", JsonValue::Float(*start_ns as f64 / 1_000.0));
+                    e.push(
+                        "dur",
+                        JsonValue::Float((*end_ns - *start_ns) as f64 / 1_000.0),
+                    );
+                    e
+                }
+                Event::Instant { track, name, ts_ns } => {
+                    let mut e = JsonValue::obj();
+                    e.push("name", JsonValue::Str((*name).into()));
+                    e.push("ph", JsonValue::Str("i".into()));
+                    e.push("s", JsonValue::Str("t".into()));
+                    e.push("pid", JsonValue::Uint(0));
+                    e.push("tid", JsonValue::Uint(track.0 as u64));
+                    e.push("ts", JsonValue::Float(*ts_ns as f64 / 1_000.0));
+                    e
+                }
+            });
+        }
+        let mut doc = JsonValue::obj();
+        doc.push("traceEvents", JsonValue::Arr(events));
+        doc.push("displayTimeUnit", JsonValue::Str("ms".into()));
+        doc.to_string_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let tr = TraceRecorder::disabled();
+        let t = tr.track("a");
+        tr.span(t, "x", 0, 10);
+        tr.instant(t, "y", 5);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let tr = TraceRecorder::bounded(2);
+        let t = tr.track("a");
+        tr.instant(t, "e1", 1);
+        tr.instant(t, "e2", 2);
+        tr.instant(t, "e3", 3);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 1);
+        let doc = JsonValue::parse(&tr.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        // 1 metadata + 2 ring events; e1 was evicted.
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"e2") && names.contains(&"e3"));
+        assert!(!names.contains(&"e1"));
+    }
+
+    #[test]
+    fn track_ids_are_stable_and_deduplicated() {
+        let tr = TraceRecorder::bounded(8);
+        let a = tr.track("worker0");
+        let b = tr.track("worker1");
+        assert_ne!(a, b);
+        assert_eq!(tr.track("worker0"), a);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_well_formed() {
+        let tr = TraceRecorder::bounded(16);
+        let w = tr.track("worker0");
+        let n = tr.track("nic0");
+        tr.span(w, "round", 1_000, 5_000);
+        tr.instant(n, "loss", 2_500);
+        let text = tr.to_chrome_json();
+        let doc = JsonValue::parse(&text).expect("valid json");
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(events.len(), 2 + 2); // 2 thread_name metas + 2 events
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("ts").and_then(|t| t.as_f64()), Some(1.0));
+        assert_eq!(span.get("dur").and_then(|t| t.as_f64()), Some(4.0));
+        assert_eq!(span.get("tid").and_then(|t| t.as_u64()), Some(w.0 as u64));
+    }
+}

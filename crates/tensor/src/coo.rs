@@ -36,7 +36,10 @@ impl CooTensor {
             assert!(w[0] < w[1], "keys must be strictly increasing");
         }
         if let Some(&last) = keys.last() {
-            assert!((last as usize) < len, "key {last} out of range for len {len}");
+            assert!(
+                (last as usize) < len,
+                "key {last} out of range for len {len}"
+            );
         }
         CooTensor { len, keys, values }
     }
@@ -108,7 +111,11 @@ impl CooTensor {
         values.extend_from_slice(&self.values[i..]);
         keys.extend_from_slice(&other.keys[j..]);
         values.extend_from_slice(&other.values[j..]);
-        CooTensor { len: self.len, keys, values }
+        CooTensor {
+            len: self.len,
+            keys,
+            values,
+        }
     }
 
     /// Density of stored entries relative to the logical length

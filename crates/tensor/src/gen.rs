@@ -75,7 +75,13 @@ pub fn block_structured(
     density_within: f64,
     seed: u64,
 ) -> Tensor {
-    let sets = worker_block_sets(1, spec.block_count(len), block_sparsity, OverlapMode::All, seed);
+    let sets = worker_block_sets(
+        1,
+        spec.block_count(len),
+        block_sparsity,
+        OverlapMode::All,
+        seed,
+    );
     fill_from_block_set(len, spec, &sets[0], density_within, seed ^ 0x9e37_79b9)
 }
 
@@ -94,7 +100,13 @@ pub fn workers(
     sets.iter()
         .enumerate()
         .map(|(w, set)| {
-            fill_from_block_set(len, spec, set, density_within, seed ^ ((w as u64 + 1) * 0x517c_c1b7))
+            fill_from_block_set(
+                len,
+                spec,
+                set,
+                density_within,
+                seed ^ ((w as u64 + 1) * 0x517c_c1b7),
+            )
         })
         .collect()
 }
@@ -214,9 +226,7 @@ mod tests {
         let t = block_structured(LEN, spec, 0.75, 1.0, 3);
         assert!((spec.block_sparsity(&t) - 0.75).abs() < 0.02);
         // Fully dense inside non-zero blocks.
-        assert!(
-            (crate::stats::density_within_nonzero_blocks(&t, 64) - 1.0).abs() < 1e-12
-        );
+        assert!((crate::stats::density_within_nonzero_blocks(&t, 64) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -107,11 +107,7 @@ pub fn overlap_histogram_from_bitmaps(bitmaps: &[NonZeroBitmap]) -> OverlapHisto
         counts[k] += 1;
     }
     let union_positions: usize = counts[1..].iter().sum();
-    let total_blocks_sent: usize = counts
-        .iter()
-        .enumerate()
-        .map(|(k, c)| k * c)
-        .sum();
+    let total_blocks_sent: usize = counts.iter().enumerate().map(|(k, c)| k * c).sum();
     let by_position = (1..=n)
         .map(|k| {
             if union_positions == 0 {

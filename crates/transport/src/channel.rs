@@ -92,10 +92,7 @@ impl Transport for ChannelTransport {
         self.rx.recv().map_err(|_| TransportError::Disconnected)
     }
 
-    fn recv_timeout(
-        &self,
-        timeout: Duration,
-    ) -> Result<Option<(NodeId, Message)>, TransportError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(NodeId, Message)>, TransportError> {
         match self.rx.recv_timeout(timeout) {
             Ok(m) => Ok(Some(m)),
             Err(RecvTimeoutError::Timeout) => Ok(None),

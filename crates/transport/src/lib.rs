@@ -98,10 +98,7 @@ pub trait Transport: Send {
     fn recv(&self) -> Result<(NodeId, Message), TransportError>;
 
     /// Waits up to `timeout` for a message; `Ok(None)` on timeout.
-    fn recv_timeout(
-        &self,
-        timeout: Duration,
-    ) -> Result<Option<(NodeId, Message)>, TransportError>;
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(NodeId, Message)>, TransportError>;
 
     /// Sends `msg` to every peer in `peers` (the aggregator's multicast of
     /// result packets, Algorithm 1 line 27).

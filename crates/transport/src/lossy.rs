@@ -12,6 +12,7 @@
 
 use std::time::Duration;
 
+use omnireduce_telemetry::{Counter, Telemetry};
 use parking_lot::Mutex;
 use rand::Rng;
 use rand::SeedableRng;
@@ -47,6 +48,10 @@ impl LossConfig {
 pub struct LossyNetwork {
     inner: ChannelNetwork,
     config: LossConfig,
+    /// Fleet-wide `transport.lossy.*` mirrors shared by every endpoint
+    /// (detached unless [`LossyNetwork::with_telemetry`] is used).
+    tel_dropped: Counter,
+    tel_duplicated: Counter,
 }
 
 impl LossyNetwork {
@@ -57,7 +62,19 @@ impl LossyNetwork {
         LossyNetwork {
             inner: ChannelNetwork::new(n),
             config,
+            tel_dropped: Counter::detached(),
+            tel_duplicated: Counter::detached(),
         }
+    }
+
+    /// Mirrors every endpoint's drop/duplication events into
+    /// `telemetry`'s `transport.lossy.dropped` / `transport.lossy.duplicated`
+    /// counters (builder style; per-endpoint accessors keep reporting
+    /// per-endpoint counts).
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.tel_dropped = telemetry.counter("transport.lossy.dropped");
+        self.tel_duplicated = telemetry.counter("transport.lossy.duplicated");
+        self
     }
 
     /// Takes the endpoint for node `id` (each can be taken once).
@@ -68,8 +85,10 @@ impl LossyNetwork {
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(
                 self.config.seed ^ ((id.0 as u64) << 32),
             )),
-            dropped: Mutex::new(0),
-            duplicated: Mutex::new(0),
+            dropped: Counter::detached(),
+            duplicated: Counter::detached(),
+            tel_dropped: self.tel_dropped.clone(),
+            tel_duplicated: self.tel_duplicated.clone(),
         }
     }
 
@@ -86,19 +105,23 @@ pub struct LossyTransport {
     inner: ChannelTransport,
     config: LossConfig,
     rng: Mutex<ChaCha8Rng>,
-    dropped: Mutex<u64>,
-    duplicated: Mutex<u64>,
+    /// Per-endpoint counts (always live; lock-free relaxed atomics).
+    dropped: Counter,
+    duplicated: Counter,
+    /// Shared registry mirrors (no-ops when detached).
+    tel_dropped: Counter,
+    tel_duplicated: Counter,
 }
 
 impl LossyTransport {
     /// Number of messages this endpoint has dropped so far.
     pub fn dropped(&self) -> u64 {
-        *self.dropped.lock()
+        self.dropped.get()
     }
 
     /// Number of messages this endpoint has duplicated so far.
     pub fn duplicated(&self) -> u64 {
-        *self.duplicated.lock()
+        self.duplicated.get()
     }
 
     fn is_data_plane(msg: &Message) -> bool {
@@ -121,12 +144,14 @@ impl Transport for LossyTransport {
                 )
             };
             if drop {
-                *self.dropped.lock() += 1;
+                self.dropped.inc();
+                self.tel_dropped.inc();
                 return Ok(()); // silently lost, like a dropped UDP datagram
             }
             self.inner.send(peer, msg)?;
             if dup {
-                *self.duplicated.lock() += 1;
+                self.duplicated.inc();
+                self.tel_duplicated.inc();
                 self.inner.send(peer, msg)?;
             }
             Ok(())
@@ -139,10 +164,7 @@ impl Transport for LossyTransport {
         self.inner.recv()
     }
 
-    fn recv_timeout(
-        &self,
-        timeout: Duration,
-    ) -> Result<Option<(NodeId, Message)>, TransportError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(NodeId, Message)>, TransportError> {
         self.inner.recv_timeout(timeout)
     }
 }
@@ -227,6 +249,28 @@ mod tests {
         assert!(b.recv_timeout(Duration::from_millis(10)).unwrap().is_some());
         assert!(b.recv_timeout(Duration::from_millis(10)).unwrap().is_some());
         assert_eq!(a.duplicated(), 1);
+    }
+
+    #[test]
+    fn telemetry_mirrors_fleet_wide_counts() {
+        let telemetry = Telemetry::new();
+        let mut net = LossyNetwork::new(3, LossConfig::drops(1.0, 1)).with_telemetry(&telemetry);
+        let a = net.endpoint(NodeId(0));
+        let b = net.endpoint(NodeId(1));
+        let _c = net.endpoint(NodeId(2));
+        for _ in 0..20 {
+            a.send(NodeId(2), &block_msg()).unwrap();
+        }
+        for _ in 0..30 {
+            b.send(NodeId(2), &block_msg()).unwrap();
+        }
+        // Per-endpoint accessors stay per-endpoint; the registry counter
+        // aggregates across the mesh.
+        assert_eq!(a.dropped(), 20);
+        assert_eq!(b.dropped(), 30);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("transport.lossy.dropped"), 50);
+        assert_eq!(snap.counter("transport.lossy.duplicated"), 0);
     }
 
     #[test]

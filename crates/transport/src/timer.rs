@@ -41,6 +41,7 @@ pub struct TimerQueue<K> {
     heap: BinaryHeap<HeapItem<K>>,
     live: HashMap<K, u64>,
     next_gen: u64,
+    fired: u64,
 }
 
 impl<K: Eq + Hash + Clone> Default for TimerQueue<K> {
@@ -56,7 +57,15 @@ impl<K: Eq + Hash + Clone> TimerQueue<K> {
             heap: BinaryHeap::new(),
             live: HashMap::new(),
             next_gen: 0,
+            fired: 0,
         }
+    }
+
+    /// Number of timers that have fired (successfully popped via
+    /// [`TimerQueue::pop_expired`]) over this queue's lifetime. Cancelled
+    /// and superseded timers never count.
+    pub fn fires(&self) -> u64 {
+        self.fired
     }
 
     /// Arms (or re-arms) the timer for `key` to fire at `now + after`.
@@ -116,6 +125,7 @@ impl<K: Eq + Hash + Clone> TimerQueue<K> {
             match self.live.entry(item.key.clone()) {
                 MapEntry::Occupied(e) if *e.get() == item.generation => {
                     e.remove();
+                    self.fired += 1;
                     return Some(item.key);
                 }
                 _ => continue,
@@ -151,6 +161,7 @@ mod tests {
         assert_eq!(q.pop_expired(later), Some("b"));
         assert_eq!(q.pop_expired(later), None);
         assert!(q.is_empty());
+        assert_eq!(q.fires(), 2);
     }
 
     #[test]
@@ -170,6 +181,7 @@ mod tests {
         q.cancel(&1);
         assert_eq!(q.pop_expired(now + Duration::from_secs(1)), None);
         assert!(q.is_empty());
+        assert_eq!(q.fires(), 0, "cancelled timers never count as fires");
     }
 
     #[test]

@@ -204,8 +204,7 @@ impl Workload {
     pub fn expected_block_sparsity(&self, block_size: usize) -> f64 {
         // A block of `bs` elements overlaps on average
         // (bs + L − 1) / L rows of length L (misaligned runs).
-        let rows_per_block =
-            (block_size as f64 + self.run_len as f64 - 1.0) / self.run_len as f64;
+        let rows_per_block = (block_size as f64 + self.run_len as f64 - 1.0) / self.run_len as f64;
         self.element_sparsity.powf(rows_per_block)
     }
 

@@ -24,11 +24,7 @@ use omnireduce::transport::{ChannelNetwork, NodeId};
 const WORKERS: usize = 4;
 const ELEMENTS: usize = 8192;
 
-fn run_workers(
-    net: &mut ChannelNetwork,
-    cfg: &OmniConfig,
-    inputs: &[Tensor],
-) -> Vec<Tensor> {
+fn run_workers(net: &mut ChannelNetwork, cfg: &OmniConfig, inputs: &[Tensor]) -> Vec<Tensor> {
     let mut handles = Vec::new();
     for (w, input) in inputs.iter().enumerate() {
         let t = net.endpoint(NodeId(cfg.worker_node(w)));
@@ -83,7 +79,11 @@ fn main() {
     );
     println!(
         "  worst quantization error {worst:.2e} (bound {bound:.2e}) — {}",
-        if worst <= bound { "within bound ✓" } else { "VIOLATION" }
+        if worst <= bound {
+            "within bound ✓"
+        } else {
+            "VIOLATION"
+        }
     );
     assert!(worst <= bound);
 

@@ -1,0 +1,665 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the property-testing surface the workspace uses:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, doc
+//!   comments and multiple `#[test]` functions per block);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * strategies: numeric ranges, [`strategy::Just`], [`arbitrary::any`],
+//!   tuples, [`collection::vec`], [`collection::btree_set`],
+//!   [`prop_oneof!`] (weighted and unweighted) and
+//!   [`strategy::Strategy::prop_flat_map`].
+//!
+//! Unlike the real crate it performs no shrinking: a failing case
+//! reports its deterministic seed and case index instead of a minimized
+//! input. Generation is uniform (no bias toward edge values), which the
+//! workspace's properties do not depend on.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG handed to strategies while generating one test case.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    pub fn inner(&mut self) -> &mut ChaCha8Rng {
+        &mut self.0
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration and the per-case error type.
+
+    /// Subset of proptest's config: the number of random cases per test.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion (carried out of the test body by the
+    /// `prop_assert*` macros).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+/// Drives one property: runs `body` for `config.cases` deterministic
+/// seeds and panics (with the reproducing seed) on the first failure.
+pub fn run_proptest<F>(config: test_runner::ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    // Deterministic per-test seeding: FNV-1a over the test name.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    for case in 0..config.cases {
+        let seed = h ^ (0x9E3779B97F4A7C15u64.wrapping_mul(case as u64 + 1));
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{} (seed {seed:#x}): {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object safe: only [`Strategy::sample`] is required, so
+    /// `Box<dyn Strategy<Value = T>>` works (used by `prop_oneof!`).
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Derives a dependent strategy from each sampled value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Transforms each sampled value.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { base: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `Range<T>` is a strategy wherever the rand shim can sample it.
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Clone,
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            use rand::Rng as _;
+            rng.inner().gen_range(self.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            let inner = self.base.sample(rng);
+            (self.f)(inner).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.base.sample(rng))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+    /// Weighted choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    /// Boxes one `prop_oneof!` arm (avoids `as` casts in macro output).
+    pub fn union_arm<S>(weight: u32, s: S) -> (u32, BoxedStrategy<S::Value>)
+    where
+        S: Strategy + 'static,
+    {
+        (weight, Box::new(s))
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy for a primitive type.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait ArbValue {
+        fn arb(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl ArbValue for $t {
+                fn arb(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbValue for bool {
+        fn arb(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbValue for f32 {
+        fn arb(rng: &mut TestRng) -> Self {
+            // Finite, sign-balanced, spanning several orders of
+            // magnitude; the codec and tensor properties only need
+            // "arbitrary finite floats".
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let mag = (unit * 2.0 - 1.0) * 1.0e6;
+            mag as f32
+        }
+    }
+
+    impl ArbValue for f64 {
+        fn arb(rng: &mut TestRng) -> Self {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            (unit * 2.0 - 1.0) * 1.0e9
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: ArbValue> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arb(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: ArbValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_set`.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Size specification: an exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + (rng.next_u64() % (self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` of a size drawn from the range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Bounded retries: duplicates may make the set smaller than
+            // `target`, which proptest itself also permits for narrow
+            // element domains.
+            for _ in 0..target * 4 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+
+    /// `BTreeSet` of values from `element`, size drawn from `size`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop` (e.g. `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(..)]`, doc comments / attributes (including
+/// `#[test]`), and `arg in strategy` parameter lists.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_proptest(__config, stringify!($name), |__rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);
+                )+
+                let mut __case = move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&($a), &($b));
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    __a,
+                    __b
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&($a), &($b));
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}` ({}): left {:?}, right {:?}",
+                    stringify!($a),
+                    stringify!($b),
+                    format!($($fmt)+),
+                    __a,
+                    __b
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&($a), &($b));
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+}
+
+/// Weighted (or uniform) choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $($crate::strategy::union_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $($crate::strategy::union_arm(1u32, $strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(1);
+        let strat = (1usize..6, -2.0f32..2.0);
+        for _ in 0..200 {
+            let (n, f) = strat.sample(&mut rng);
+            assert!((1..6).contains(&n));
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let mut rng = crate::TestRng::from_seed(2);
+        let strat = prop_oneof![3 => Just(0u8), 1 => Just(1u8)];
+        let ones: u32 = (0..4000).map(|_| strat.sample(&mut rng) as u32).sum();
+        // Expect ~1000 ones out of 4000.
+        assert!((600..1400).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn vec_strategy_length_in_range() {
+        let mut rng = crate::TestRng::from_seed(3);
+        let strat = prop::collection::vec(any::<u32>(), 2..5);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let mut rng = crate::TestRng::from_seed(4);
+        let strat = prop::collection::vec(any::<bool>(), 7usize);
+        assert_eq!(strat.sample(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn flat_map_dependent_lengths() {
+        let mut rng = crate::TestRng::from_seed(5);
+        let strat = (1usize..4).prop_flat_map(|n| prop::collection::vec(any::<u8>(), n));
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro surface itself: args, config, assertions.
+        #[test]
+        fn macro_roundtrip(
+            n in 1usize..10,
+            values in prop::collection::vec(0u32..100, 1..20),
+        ) {
+            prop_assert!(n >= 1);
+            prop_assert!(n < 10, "n was {}", n);
+            prop_assert_eq!(values.len(), values.len());
+            for v in &values {
+                prop_assert!(*v < 100);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failing_property_panics_with_seed() {
+        crate::run_proptest(ProptestConfig::with_cases(3), "always_fails", |_rng| {
+            Err(TestCaseError::fail("boom".to_string()))
+        });
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the exact subset of the rand 0.8 API the workspace uses:
+//! [`RngCore`], [`Rng::gen_range`] / [`Rng::gen_bool`], [`SeedableRng`],
+//! [`seq::SliceRandom::shuffle`] and [`seq::index::sample`].
+//!
+//! Distributions are uniform and deterministic given the generator state;
+//! they do not bit-match the real rand crate (nothing in the workspace
+//! depends on the exact stream, only on determinism per seed).
+
+use std::ops::Range;
+
+/// Core of every generator: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range (or other set) values can be uniformly sampled from.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform f64 in `[0, 1)` from 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * unit_f64(rng) as f32
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * unit_f64(rng)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is < 2^-40 for every span the workspace
+                // uses; acceptable for tests and simulation seeding.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Types producible by [`Rng::gen`] (stands in for rand's
+/// `Standard: Distribution<T>` bound).
+pub trait Standard: Sized {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A value from the type's standard distribution (floats: `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            unit_f64(self) < p
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod seq {
+    //! Sequence utilities: slice shuffling and index sampling.
+
+    use super::{Rng as _, RngCore};
+
+    /// Extension trait adding `shuffle` to slices.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    pub mod index {
+        //! `sample(rng, length, amount)` — `amount` distinct indices in
+        //! `0..length`, in random order.
+
+        use super::super::RngCore;
+
+        /// Result of [`sample`]: a set of distinct indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` via a
+        /// partial Fisher–Yates shuffle.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} from {length} items"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = i + (rng.next_u64() % (length - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob-import surface.
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::seq::index::sample;
+
+    struct Lcg(u64);
+    impl super::RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Lcg(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn sample_returns_distinct_indices() {
+        let mut rng = Lcg(3);
+        let idx = sample(&mut rng, 100, 10).into_vec();
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(idx.iter().all(|i| *i < 100));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Lcg(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

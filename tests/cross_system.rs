@@ -82,7 +82,9 @@ fn run_ps(inputs: &[Tensor]) -> Vec<Tensor> {
     for s in 0..cfg.num_servers {
         let ep = net.endpoint(NodeId(cfg.server_node(s)));
         let cfg = cfg.clone();
-        servers.push(thread::spawn(move || ps::dense_server(&ep, &cfg, 1).unwrap()));
+        servers.push(thread::spawn(move || {
+            ps::dense_server(&ep, &cfg, 1).unwrap()
+        }));
     }
     let handles: Vec<_> = inputs
         .iter()
