@@ -11,7 +11,7 @@
 //! implementation faces the same constraint.
 
 use omnireduce_bench::{micro_bitmaps, omni_config, telemetry, Table, Testbed};
-use omnireduce_core::sim_recovery::simulate_recovery_allreduce_with_telemetry;
+use omnireduce_core::sim_recovery::{simulate_recovery_allreduce_with_telemetry, SimRtoConfig};
 use omnireduce_simnet::SimTime;
 use omnireduce_tensor::gen::OverlapMode;
 
@@ -31,7 +31,7 @@ fn main() {
             nic,
             nic,
             loss,
-            SimTime::from_micros(timeout_us),
+            SimRtoConfig::fixed(SimTime::from_micros(timeout_us)),
             &bms,
             42,
             Some(telemetry()),

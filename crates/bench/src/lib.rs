@@ -128,6 +128,125 @@ pub fn omni_config(n: usize, elements: usize) -> OmniConfig {
         .with_aggregators(n)
 }
 
+/// `OMNIREDUCE_*` environment overrides for the recovery-path knobs,
+/// applied by every bench binary that exercises the loss-recovery
+/// engines (see README "Environment variables").
+///
+/// | Variable | Effect |
+/// |---|---|
+/// | `OMNIREDUCE_RETRANSMIT_TIMEOUT_MS` | Initial (adaptive) or fixed RTO, integer ms |
+/// | `OMNIREDUCE_ADAPTIVE_RTO` | `1`/`true`/`on` or `0`/`false`/`off` |
+/// | `OMNIREDUCE_RTO_MIN_MS` | Adaptive RTO floor, integer ms |
+/// | `OMNIREDUCE_RTO_MAX_MS` | Adaptive RTO ceiling, integer ms |
+/// | `OMNIREDUCE_MAX_RETRANSMITS` | Retry budget before `PeerUnresponsive` |
+/// | `OMNIREDUCE_EVICTION_TIMEOUT_MS` | Aggregator worker-eviction timeout, integer ms |
+/// | `OMNIREDUCE_DEGRADED_MODE` | `abort` or `drop_worker` |
+///
+/// Unset or unparsable variables leave the config untouched.
+pub mod env_knobs {
+    use std::time::Duration;
+
+    use omnireduce_core::config::{DegradedMode, OmniConfig};
+
+    /// Applies the `OMNIREDUCE_*` overrides from the process
+    /// environment. See the module docs for the variable table.
+    pub fn apply(cfg: OmniConfig) -> OmniConfig {
+        apply_from(cfg, |name| std::env::var(name).ok())
+    }
+
+    /// Pure core of [`apply`]: reads variables through `lookup` so tests
+    /// can drive it without mutating the (process-global, thread-unsafe)
+    /// environment.
+    pub fn apply_from(mut cfg: OmniConfig, lookup: impl Fn(&str) -> Option<String>) -> OmniConfig {
+        let dur = |name: &str| -> Option<Duration> {
+            lookup(name)?
+                .trim()
+                .parse::<u64>()
+                .ok()
+                .map(Duration::from_millis)
+        };
+        if let Some(t) = dur("OMNIREDUCE_RETRANSMIT_TIMEOUT_MS") {
+            cfg.retransmit_timeout = t;
+        }
+        if let Some(b) = lookup("OMNIREDUCE_ADAPTIVE_RTO").and_then(|v| parse_bool(&v)) {
+            cfg.adaptive_rto = b;
+        }
+        if let Some(t) = dur("OMNIREDUCE_RTO_MIN_MS") {
+            cfg.rto_min = t;
+        }
+        if let Some(t) = dur("OMNIREDUCE_RTO_MAX_MS") {
+            cfg.rto_max = t;
+        }
+        if let Some(n) = lookup("OMNIREDUCE_MAX_RETRANSMITS").and_then(|v| v.trim().parse().ok()) {
+            cfg.max_retransmits = n;
+        }
+        if let Some(t) = dur("OMNIREDUCE_EVICTION_TIMEOUT_MS") {
+            cfg.worker_eviction_timeout = t;
+        }
+        if let Some(m) =
+            lookup("OMNIREDUCE_DEGRADED_MODE").and_then(|v| v.trim().parse::<DegradedMode>().ok())
+        {
+            cfg.degraded_mode = m;
+        }
+        cfg
+    }
+
+    fn parse_bool(v: &str) -> Option<bool> {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" | "yes" => Some(true),
+            "0" | "false" | "off" | "no" => Some(false),
+            _ => None,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn overrides_every_knob() {
+            let cfg = OmniConfig::new(2, 1024);
+            let out = apply_from(cfg, |name| {
+                Some(
+                    match name {
+                        "OMNIREDUCE_RETRANSMIT_TIMEOUT_MS" => "7",
+                        "OMNIREDUCE_ADAPTIVE_RTO" => "off",
+                        "OMNIREDUCE_RTO_MIN_MS" => "3",
+                        "OMNIREDUCE_RTO_MAX_MS" => "900",
+                        "OMNIREDUCE_MAX_RETRANSMITS" => "5",
+                        "OMNIREDUCE_EVICTION_TIMEOUT_MS" => "1234",
+                        "OMNIREDUCE_DEGRADED_MODE" => "drop_worker",
+                        _ => return None,
+                    }
+                    .to_string(),
+                )
+            });
+            assert_eq!(out.retransmit_timeout, Duration::from_millis(7));
+            assert!(!out.adaptive_rto);
+            assert_eq!(out.rto_min, Duration::from_millis(3));
+            assert_eq!(out.rto_max, Duration::from_millis(900));
+            assert_eq!(out.max_retransmits, 5);
+            assert_eq!(out.worker_eviction_timeout, Duration::from_millis(1234));
+            assert_eq!(out.degraded_mode, DegradedMode::DropWorker);
+        }
+
+        #[test]
+        fn unset_and_garbage_leave_defaults() {
+            let cfg = OmniConfig::new(2, 1024);
+            let defaults = cfg.clone();
+            let out = apply_from(cfg, |name| match name {
+                "OMNIREDUCE_MAX_RETRANSMITS" => Some("not-a-number".to_string()),
+                "OMNIREDUCE_DEGRADED_MODE" => Some("explode".to_string()),
+                _ => None,
+            });
+            assert_eq!(out.max_retransmits, defaults.max_retransmits);
+            assert_eq!(out.degraded_mode, defaults.degraded_mode);
+            assert_eq!(out.retransmit_timeout, defaults.retransmit_timeout);
+            assert!(out.adaptive_rto);
+        }
+    }
+}
+
 /// Generates per-worker non-zero block bitmaps for a microbenchmark
 /// tensor: block-structured sparsity `s` with the given overlap mode.
 pub fn micro_bitmaps(

@@ -4,6 +4,36 @@ use std::time::Duration;
 
 use omnireduce_tensor::BlockSpec;
 
+/// What an aggregator does when it evicts an unresponsive worker
+/// mid-collective (the fail-fast degradation policy of the robustness
+/// layer; see DESIGN.md "Fault model & degradation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Abort the collective with [`crate::ProtocolError::WorkerEvicted`].
+    /// The conservative default: surviving workers observe a disconnect
+    /// and the job scheduler restarts the job from a checkpoint.
+    Abort,
+    /// Complete the collective without the evicted workers' remaining
+    /// contributions: the aggregator renormalizes the per-phase
+    /// completion count to the survivors and the result simply omits the
+    /// dead workers' gradients (acceptable for SGD-style workloads where
+    /// a dropped contribution is equivalent to a skipped micro-batch).
+    DropWorker,
+}
+
+impl std::str::FromStr for DegradedMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "abort" => Ok(DegradedMode::Abort),
+            "drop" | "drop_worker" | "dropworker" => Ok(DegradedMode::DropWorker),
+            other => Err(format!(
+                "unknown degraded mode {other:?} (expected \"abort\" or \"drop_worker\")"
+            )),
+        }
+    }
+}
+
 /// Static configuration of an OmniReduce deployment. Every worker and
 /// aggregator in a group must be constructed from an identical config
 /// (like an MPI communicator, membership and geometry are agreed out of
@@ -37,8 +67,33 @@ pub struct OmniConfig {
     /// per slot instead of one).
     pub deterministic: bool,
     /// Retransmission timeout for the loss-recovery protocol
-    /// (Algorithm 2); unused by the lossless engines.
+    /// (Algorithm 2); unused by the lossless engines. With
+    /// [`OmniConfig::adaptive_rto`] enabled this is only the *initial*
+    /// RTO, before the first RTT sample arrives.
     pub retransmit_timeout: Duration,
+    /// When true (default), the recovery worker estimates the RTO from
+    /// observed RTTs (RFC 6298 SRTT/RTTVAR with Karn's rule and
+    /// exponential backoff) instead of using the fixed
+    /// [`OmniConfig::retransmit_timeout`].
+    pub adaptive_rto: bool,
+    /// Lower clamp for the adaptive RTO (also the floor after backoff
+    /// reset).
+    pub rto_min: Duration,
+    /// Upper clamp for the adaptive RTO, including backoff. Together
+    /// with [`OmniConfig::max_retransmits`] this bounds how long a
+    /// worker can wait on a dead peer.
+    pub rto_max: Duration,
+    /// Retry budget: after this many *consecutive unanswered*
+    /// retransmissions of the same slot, the worker declares the peer
+    /// dead and returns [`crate::ProtocolError::PeerUnresponsive`]
+    /// instead of retransmitting forever.
+    pub max_retransmits: u32,
+    /// How long an aggregator waits without hearing from a worker it
+    /// still needs before evicting it (the symmetric fail-fast bound on
+    /// the aggregator side).
+    pub worker_eviction_timeout: Duration,
+    /// What the aggregator does after evicting a worker.
+    pub degraded_mode: DegradedMode,
 }
 
 impl OmniConfig {
@@ -56,7 +111,53 @@ impl OmniConfig {
             skip_zero_blocks: true,
             deterministic: false,
             retransmit_timeout: Duration::from_millis(20),
+            adaptive_rto: true,
+            rto_min: Duration::from_millis(2),
+            rto_max: Duration::from_millis(500),
+            max_retransmits: 10,
+            worker_eviction_timeout: Duration::from_secs(2),
+            degraded_mode: DegradedMode::Abort,
         }
+    }
+
+    /// Sets a *fixed* retransmission timeout (disables adaptive RTO) —
+    /// the pre-robustness behaviour, kept for ablations.
+    pub fn with_fixed_rto(mut self, t: Duration) -> Self {
+        self.retransmit_timeout = t;
+        self.adaptive_rto = false;
+        self
+    }
+
+    /// Sets the initial RTO used before the first RTT sample (adaptive
+    /// mode stays on).
+    pub fn with_initial_rto(mut self, t: Duration) -> Self {
+        self.retransmit_timeout = t;
+        self
+    }
+
+    /// Sets the adaptive-RTO clamp range.
+    pub fn with_rto_bounds(mut self, floor: Duration, ceiling: Duration) -> Self {
+        self.rto_min = floor;
+        self.rto_max = ceiling;
+        self
+    }
+
+    /// Sets the retry budget before a peer is declared dead.
+    pub fn with_max_retransmits(mut self, n: u32) -> Self {
+        self.max_retransmits = n;
+        self
+    }
+
+    /// Sets the aggregator-side worker eviction timeout.
+    pub fn with_eviction_timeout(mut self, t: Duration) -> Self {
+        self.worker_eviction_timeout = t;
+        self
+    }
+
+    /// Sets the post-eviction degradation policy.
+    pub fn with_degraded_mode(mut self, m: DegradedMode) -> Self {
+        self.degraded_mode = m;
+        self
     }
 
     /// Sets the block size.
@@ -111,6 +212,15 @@ impl OmniConfig {
         assert!(
             self.total_streams() <= u16::MAX as usize,
             "stream id must fit u16"
+        );
+        assert!(self.max_retransmits >= 1, "retry budget must be positive");
+        assert!(
+            self.rto_min <= self.rto_max,
+            "rto floor must not exceed ceiling"
+        );
+        assert!(
+            self.rto_max > Duration::ZERO,
+            "rto ceiling must be positive"
         );
     }
 

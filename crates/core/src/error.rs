@@ -1,0 +1,114 @@
+//! Typed failure vocabulary for the recovery engines.
+//!
+//! The lossless engines run over reliable transports and only ever see
+//! [`TransportError`]; the Algorithm 2 recovery engines own their
+//! reliability and therefore own their *failure semantics* too. The
+//! robustness layer (DESIGN.md "Fault model & degradation") bounds every
+//! wait: a worker that exhausts its retry budget returns
+//! [`ProtocolError::PeerUnresponsive`] instead of retransmitting into a
+//! dead aggregator forever, and an aggregator in
+//! [`DegradedMode::Abort`](crate::config::DegradedMode::Abort) surfaces
+//! an evicted worker as [`ProtocolError::WorkerEvicted`].
+
+use std::time::Duration;
+
+use omnireduce_transport::TransportError;
+
+/// Errors surfaced by the recovery protocol engines.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying transport failed (or was torn down).
+    Transport(TransportError),
+    /// The retry budget for one slot was exhausted: `retransmits`
+    /// consecutive retransmissions to `peer` went unanswered over
+    /// `elapsed`. The peer is presumed crashed or partitioned.
+    PeerUnresponsive {
+        /// Transport node id of the unresponsive peer.
+        peer: u16,
+        /// Stream whose slot exhausted the budget.
+        stream: usize,
+        /// Consecutive unanswered retransmissions of that slot.
+        retransmits: u32,
+        /// Wall time from the first (re)transmission of the slot until
+        /// the budget ran out.
+        elapsed: Duration,
+    },
+    /// The aggregator evicted worker `worker` after hearing nothing for
+    /// `idle` while still needing its contribution, and the configured
+    /// degraded mode was `Abort`.
+    WorkerEvicted {
+        /// Worker index (not transport node id) of the evicted worker.
+        worker: usize,
+        /// How long the aggregator waited before evicting.
+        idle: Duration,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Transport(e) => write!(f, "transport error: {e}"),
+            ProtocolError::PeerUnresponsive {
+                peer,
+                stream,
+                retransmits,
+                elapsed,
+            } => write!(
+                f,
+                "peer {peer} unresponsive: {retransmits} consecutive retransmissions \
+                 of stream {stream} unanswered over {elapsed:?}"
+            ),
+            ProtocolError::WorkerEvicted { worker, idle } => write!(
+                f,
+                "worker {worker} evicted after {idle:?} without progress \
+                 (degraded mode: abort)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for ProtocolError {
+    fn from(e: TransportError) -> Self {
+        ProtocolError::Transport(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::PeerUnresponsive {
+            peer: 8,
+            stream: 3,
+            retransmits: 10,
+            elapsed: Duration::from_millis(640),
+        };
+        let s = e.to_string();
+        assert!(s.contains("peer 8"), "{s}");
+        assert!(s.contains("10 consecutive"), "{s}");
+
+        let e = ProtocolError::WorkerEvicted {
+            worker: 2,
+            idle: Duration::from_secs(2),
+        };
+        assert!(e.to_string().contains("worker 2"), "{e}");
+    }
+
+    #[test]
+    fn transport_error_converts() {
+        let e: ProtocolError = TransportError::Disconnected.into();
+        assert!(matches!(e, ProtocolError::Transport(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

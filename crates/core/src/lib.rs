@@ -31,6 +31,7 @@
 pub mod aggregator;
 pub mod collective;
 pub mod config;
+pub mod error;
 pub mod hierarchical;
 mod instrument;
 pub mod kv;
@@ -46,8 +47,9 @@ pub mod wire;
 pub mod worker;
 
 pub use aggregator::OmniAggregator;
-pub use config::OmniConfig;
+pub use config::{DegradedMode, OmniConfig};
+pub use error::ProtocolError;
 pub use kv::{KvAggregator, KvConfig, KvWorker};
 pub use layout::StreamLayout;
-pub use recovery::{RecoveryAggregator, RecoveryWorker};
+pub use recovery::{RecoveryAggregator, RecoveryAggregatorStats, RecoveryStats, RecoveryWorker};
 pub use worker::{OmniWorker, WorkerStats};

@@ -28,14 +28,15 @@
 
 use std::time::{Duration, Instant};
 
-use omnireduce_telemetry::{Counter, Telemetry};
+use omnireduce_telemetry::{Counter, Histogram, Telemetry};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
-use omnireduce_transport::timer::TimerQueue;
+use omnireduce_transport::timer::{RttEstimator, TimerQueue};
 use omnireduce_transport::{
     codec, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
 };
 
-use crate::config::OmniConfig;
+use crate::config::{DegradedMode, OmniConfig};
+use crate::error::ProtocolError;
 use crate::layout::StreamLayout;
 use crate::wire::{decode_next, encode_next};
 
@@ -55,6 +56,13 @@ pub struct RecoveryStats {
     /// Results ignored because they were stale (finished stream) or
     /// carried an already-processed phase version.
     pub stale_results_ignored: u64,
+    /// Exponential-backoff events: timer expirations that doubled the
+    /// RTO before retransmitting (adaptive mode only).
+    pub backoffs: u64,
+    /// Retransmissions solicited by an aggregator NACK (the shard told
+    /// us our contribution to a stalled phase is missing). Also counted
+    /// in [`RecoveryStats::retransmissions`].
+    pub solicited_retransmissions: u64,
 }
 
 /// Fleet-wide `core.recovery.*` registry mirrors of [`RecoveryStats`]
@@ -66,6 +74,11 @@ struct RecoveryCounters {
     blocks_sent: Counter,
     timer_fires: Counter,
     stale_results_ignored: Counter,
+    backoffs: Counter,
+    peer_unresponsive: Counter,
+    solicited_retransmissions: Counter,
+    /// `core.recovery.rto`: the RTO armed for each sent packet, in µs.
+    rto: Histogram,
 }
 
 impl RecoveryCounters {
@@ -77,6 +90,10 @@ impl RecoveryCounters {
             blocks_sent: Counter::detached(),
             timer_fires: Counter::detached(),
             stale_results_ignored: Counter::detached(),
+            backoffs: Counter::detached(),
+            peer_unresponsive: Counter::detached(),
+            solicited_retransmissions: Counter::detached(),
+            rto: Histogram::detached(),
         }
     }
 
@@ -88,6 +105,10 @@ impl RecoveryCounters {
             blocks_sent: telemetry.counter("core.recovery.blocks_sent"),
             timer_fires: telemetry.counter("core.recovery.timer_fires"),
             stale_results_ignored: telemetry.counter("core.recovery.stale_results_ignored"),
+            backoffs: telemetry.counter("core.recovery.backoffs"),
+            peer_unresponsive: telemetry.counter("core.recovery.peer_unresponsive"),
+            solicited_retransmissions: telemetry.counter("core.recovery.solicited_retransmissions"),
+            rto: telemetry.histogram("core.recovery.rto"),
         }
     }
 }
@@ -97,11 +118,24 @@ struct WorkerCol {
     done: bool,
 }
 
+/// The packet a worker is waiting to see answered on one stream.
+struct Outstanding {
+    msg: Message,
+    /// When the packet was first sent (for RTT sampling and for the
+    /// `elapsed` field of [`ProtocolError::PeerUnresponsive`]).
+    sent_at: Instant,
+    /// Karn's rule: once a packet has been retransmitted, its eventual
+    /// answer is ambiguous and must not feed the RTT estimator.
+    retransmitted: bool,
+    /// Consecutive unanswered retransmissions of this packet.
+    retx: u32,
+}
+
 struct WorkerStream {
     cols: Vec<Option<WorkerCol>>,
     remaining: usize,
     /// Last packet sent; retransmitted on timeout.
-    outstanding: Option<Message>,
+    outstanding: Option<Outstanding>,
 }
 
 /// Worker engine with Algorithm 2 loss recovery.
@@ -112,6 +146,9 @@ pub struct RecoveryWorker<T: Transport> {
     wid: u16,
     /// Per-stream protocol phase, persists across AllReduce rounds.
     ver: Vec<u8>,
+    /// Per-shard RTT estimator (adaptive mode); persists across rounds
+    /// so later rounds start from a converged RTO.
+    rtt: Vec<RttEstimator>,
     stats: RecoveryStats,
     counters: RecoveryCounters,
 }
@@ -132,12 +169,24 @@ impl<T: Transport> RecoveryWorker<T> {
             cfg.tensor_len,
         );
         let ver = vec![0u8; layout.total_streams()];
+        let rtt = (0..cfg.num_aggregators)
+            .map(|a| {
+                RttEstimator::new(
+                    cfg.retransmit_timeout,
+                    cfg.rto_min,
+                    cfg.rto_max,
+                    // Deterministic per-(worker, shard) jitter stream.
+                    0x9E37_79B9_7F4A_7C15 ^ ((wid as u64) << 16) ^ a as u64,
+                )
+            })
+            .collect();
         RecoveryWorker {
             transport,
             cfg,
             layout,
             wid,
             ver,
+            rtt,
             stats: RecoveryStats::default(),
             counters: RecoveryCounters::detached(),
         }
@@ -156,8 +205,26 @@ impl<T: Transport> RecoveryWorker<T> {
         self.stats
     }
 
+    /// The RTO to arm for the next packet to `shard`: adaptive
+    /// (SRTT/RTTVAR with backoff and jitter) or the fixed configured
+    /// timeout. Recorded into the `core.recovery.rto` histogram (µs).
+    fn next_rto(&mut self, shard: usize) -> Duration {
+        let rto = if self.cfg.adaptive_rto {
+            self.rtt[shard].next_rto()
+        } else {
+            self.cfg.retransmit_timeout
+        };
+        self.counters.rto.record(rto.as_micros() as u64);
+        rto
+    }
+
     /// Runs one AllReduce with loss recovery.
-    pub fn allreduce(&mut self, tensor: &mut Tensor) -> Result<(), TransportError> {
+    ///
+    /// Fails fast instead of hanging: if `max_retransmits` consecutive
+    /// retransmissions of any slot go unanswered, returns
+    /// [`ProtocolError::PeerUnresponsive`] (the aggregator for that
+    /// shard is presumed dead).
+    pub fn allreduce(&mut self, tensor: &mut Tensor) -> Result<(), ProtocolError> {
         assert_eq!(tensor.len(), self.cfg.tensor_len, "tensor length mismatch");
         let bitmap = NonZeroBitmap::build(tensor, self.cfg.block_spec());
         let skip = self.cfg.skip_zero_blocks;
@@ -193,11 +260,17 @@ impl<T: Transport> RecoveryWorker<T> {
             }
             let msg = self.make_packet(g, entries);
             self.send_tracked(g, &msg)?;
-            timers.arm(g, Instant::now(), self.cfg.retransmit_timeout);
+            let rto = self.next_rto(self.cfg.shard_of_stream(g));
+            timers.arm(g, Instant::now(), rto);
             streams[g] = Some(WorkerStream {
                 cols,
                 remaining,
-                outstanding: Some(msg),
+                outstanding: Some(Outstanding {
+                    msg,
+                    sent_at: Instant::now(),
+                    retransmitted: false,
+                    retx: 0,
+                }),
             });
             pending += 1;
         }
@@ -221,6 +294,18 @@ impl<T: Transport> RecoveryWorker<T> {
                         continue;
                     }
                     timers.cancel(&g);
+                    if self.cfg.adaptive_rto {
+                        let shard = self.cfg.shard_of_stream(g);
+                        match &state.outstanding {
+                            Some(o) if !o.retransmitted => {
+                                self.rtt[shard].sample(o.sent_at.elapsed());
+                            }
+                            // Karn's rule: an answer to a retransmitted
+                            // packet is ambiguous — reset the backoff
+                            // but contribute no RTT sample.
+                            _ => self.rtt[shard].ack(),
+                        }
+                    }
                     // Phase advances.
                     self.ver[g] ^= 1;
                     let mut reply = Vec::new();
@@ -260,30 +345,92 @@ impl<T: Transport> RecoveryWorker<T> {
                     } else {
                         let msg = self.make_packet(g, reply);
                         self.send_tracked(g, &msg)?;
-                        timers.arm(g, Instant::now(), self.cfg.retransmit_timeout);
-                        streams[g].as_mut().unwrap().outstanding = Some(msg);
+                        let rto = self.next_rto(self.cfg.shard_of_stream(g));
+                        timers.arm(g, Instant::now(), rto);
+                        streams[g].as_mut().unwrap().outstanding = Some(Outstanding {
+                            msg,
+                            sent_at: Instant::now(),
+                            retransmitted: false,
+                            retx: 0,
+                        });
                     }
+                }
+                Some((_, Message::Block(p))) if p.kind == PacketKind::Nack => {
+                    // Solicited retransmission: the shard is alive but
+                    // missing our contribution to this phase — resend
+                    // immediately instead of waiting for our timer.
+                    let g = p.stream as usize;
+                    let Some(state) = streams[g].as_mut() else {
+                        continue; // finished stream: stale NACK
+                    };
+                    if p.ver != self.ver[g] {
+                        continue; // previous phase: stale NACK
+                    }
+                    let Some(o) = state.outstanding.as_mut() else {
+                        continue;
+                    };
+                    // Hearing from the shard proves it is alive: the
+                    // "consecutive unanswered" budget restarts. Karn's
+                    // rule still applies (the eventual answer must not
+                    // feed the estimator).
+                    o.retx = 0;
+                    o.retransmitted = true;
+                    let wire_bytes = codec::encoded_len(&o.msg) as u64;
+                    self.stats.retransmissions += 1;
+                    self.stats.solicited_retransmissions += 1;
+                    self.stats.bytes_sent += wire_bytes;
+                    self.counters.retransmissions.inc();
+                    self.counters.solicited_retransmissions.inc();
+                    self.counters.bytes_sent.add(wire_bytes);
+                    let shard = self.cfg.shard_of_stream(g);
+                    self.transport
+                        .send(NodeId(self.cfg.aggregator_node(shard)), &o.msg)?;
+                    let rto = self.next_rto(shard);
+                    timers.arm(g, Instant::now(), rto);
                 }
                 Some(_) => {} // ignore anything else
                 None => {
-                    // Timer expiry: retransmit outstanding packets.
+                    // Timer expiry: retransmit outstanding packets,
+                    // within the retry budget.
                     let now = Instant::now();
                     while let Some(g) = timers.pop_expired(now) {
                         self.stats.timer_fires += 1;
                         self.counters.timer_fires.inc();
-                        if let Some(state) = streams[g].as_ref() {
-                            if let Some(msg) = &state.outstanding {
-                                let wire_bytes = codec::encoded_len(msg) as u64;
-                                self.stats.retransmissions += 1;
-                                self.stats.bytes_sent += wire_bytes;
-                                self.counters.retransmissions.inc();
-                                self.counters.bytes_sent.add(wire_bytes);
-                                let shard = self.cfg.shard_of_stream(g);
-                                self.transport
-                                    .send(NodeId(self.cfg.aggregator_node(shard)), msg)?;
-                                timers.arm(g, now, self.cfg.retransmit_timeout);
-                            }
+                        let shard = self.cfg.shard_of_stream(g);
+                        let Some(state) = streams[g].as_mut() else {
+                            continue;
+                        };
+                        let Some(o) = state.outstanding.as_mut() else {
+                            continue;
+                        };
+                        if o.retx >= self.cfg.max_retransmits {
+                            // Retry budget exhausted: the shard's
+                            // aggregator is unresponsive. Fail fast
+                            // instead of retransmitting forever.
+                            self.counters.peer_unresponsive.inc();
+                            return Err(ProtocolError::PeerUnresponsive {
+                                peer: self.cfg.aggregator_node(shard),
+                                stream: g,
+                                retransmits: o.retx,
+                                elapsed: o.sent_at.elapsed(),
+                            });
                         }
+                        if self.cfg.adaptive_rto {
+                            self.rtt[shard].on_timeout();
+                            self.stats.backoffs += 1;
+                            self.counters.backoffs.inc();
+                        }
+                        o.retx += 1;
+                        o.retransmitted = true;
+                        let wire_bytes = codec::encoded_len(&o.msg) as u64;
+                        self.stats.retransmissions += 1;
+                        self.stats.bytes_sent += wire_bytes;
+                        self.counters.retransmissions.inc();
+                        self.counters.bytes_sent.add(wire_bytes);
+                        self.transport
+                            .send(NodeId(self.cfg.aggregator_node(shard)), &o.msg)?;
+                        let rto = self.next_rto(shard);
+                        timers.arm(g, now, rto);
                     }
                 }
             }
@@ -333,6 +480,12 @@ struct ColPhase {
     acc: Vec<f32>,
     block: Option<BlockIdx>,
     min_next: i64,
+    /// Per-worker buffered contributions ([`OmniConfig::deterministic`]
+    /// mode, §7): reduced in ascending worker-id order at phase
+    /// completion so the float result is bit-reproducible regardless of
+    /// packet arrival (and retransmission) order. Allocated lazily on
+    /// the first contribution.
+    contribs: Vec<Option<Vec<f32>>>,
 }
 
 impl ColPhase {
@@ -341,7 +494,29 @@ impl ColPhase {
             acc: Vec::new(),
             block: None,
             min_next: i64::MAX,
+            contribs: Vec::new(),
         }
+    }
+
+    /// Drains this column's aggregate for the result packet.
+    fn take_aggregate(&mut self, deterministic: bool) -> Vec<f32> {
+        if !deterministic {
+            return std::mem::take(&mut self.acc);
+        }
+        // Reduce buffered contributions in ascending worker-id order.
+        let mut out: Option<Vec<f32>> = None;
+        for c in self.contribs.iter_mut() {
+            let Some(data) = c.take() else { continue };
+            match &mut out {
+                None => out = Some(data),
+                Some(acc) => {
+                    for (a, v) in acc.iter_mut().zip(&data) {
+                        *a += *v;
+                    }
+                }
+            }
+        }
+        out.expect("completed column with no data")
     }
 }
 
@@ -368,6 +543,17 @@ pub struct RecoveryAggregatorStats {
     /// check without being aggregated (includes the ones that triggered
     /// a result retransmission).
     pub duplicates_ignored: u64,
+    /// Workers evicted for unresponsiveness.
+    pub evictions: u64,
+    /// Phases completed without one or more evicted workers'
+    /// contributions ([`DegradedMode::DropWorker`]).
+    pub degraded_completions: u64,
+    /// Data packets from already-evicted workers, dropped on arrival.
+    pub evicted_packets_dropped: u64,
+    /// Solicited-retransmission requests sent to workers whose
+    /// contribution a stalled phase was missing (receiver-driven
+    /// recovery).
+    pub nacks_sent: u64,
 }
 
 /// Fleet-wide `core.recovery.agg.*` registry mirrors of
@@ -376,6 +562,9 @@ struct RecoveryAggCounters {
     results_sent: Counter,
     result_retransmissions: Counter,
     duplicates_ignored: Counter,
+    evictions: Counter,
+    degraded_completions: Counter,
+    nacks_sent: Counter,
 }
 
 impl RecoveryAggCounters {
@@ -384,6 +573,9 @@ impl RecoveryAggCounters {
             results_sent: Counter::detached(),
             result_retransmissions: Counter::detached(),
             duplicates_ignored: Counter::detached(),
+            evictions: Counter::detached(),
+            degraded_completions: Counter::detached(),
+            nacks_sent: Counter::detached(),
         }
     }
 
@@ -392,6 +584,9 @@ impl RecoveryAggCounters {
             results_sent: telemetry.counter("core.recovery.agg.results_sent"),
             result_retransmissions: telemetry.counter("core.recovery.agg.result_retransmissions"),
             duplicates_ignored: telemetry.counter("core.recovery.agg.duplicates_ignored"),
+            evictions: telemetry.counter("core.recovery.agg.evictions"),
+            degraded_completions: telemetry.counter("core.recovery.agg.degraded_completions"),
+            nacks_sent: telemetry.counter("core.recovery.agg.nacks_sent"),
         }
     }
 }
@@ -405,6 +600,12 @@ pub struct RecoveryAggregator<T: Transport> {
     /// Workers that sent `Shutdown` (finished; excluded from multicasts).
     departed: Vec<bool>,
     goodbyes: usize,
+    /// Workers evicted for unresponsiveness (packets dropped, excluded
+    /// from multicasts and from phase-completion counts).
+    evicted: Vec<bool>,
+    evicted_count: usize,
+    /// Last time each worker was heard from (data or shutdown).
+    last_heard: Vec<Instant>,
     /// Loss-path counters.
     pub stats: RecoveryAggregatorStats,
     counters: RecoveryAggCounters,
@@ -443,6 +644,8 @@ impl<T: Transport> RecoveryAggregator<T> {
             })
             .collect();
         let departed = vec![false; cfg.num_workers];
+        let evicted = vec![false; cfg.num_workers];
+        let last_heard = vec![Instant::now(); cfg.num_workers];
         RecoveryAggregator {
             transport,
             cfg,
@@ -450,6 +653,9 @@ impl<T: Transport> RecoveryAggregator<T> {
             slots,
             departed,
             goodbyes: 0,
+            evicted,
+            evicted_count: 0,
+            last_heard,
             stats: RecoveryAggregatorStats::default(),
             counters: RecoveryAggCounters::detached(),
         }
@@ -463,34 +669,118 @@ impl<T: Transport> RecoveryAggregator<T> {
         a
     }
 
-    /// Serves until every worker says `Shutdown`.
-    pub fn run(&mut self) -> Result<(), TransportError> {
+    /// Serves until every worker says `Shutdown` or has been evicted.
+    ///
+    /// A worker the shard is still waiting on that stays silent for
+    /// [`OmniConfig::worker_eviction_timeout`] is evicted: in
+    /// [`DegradedMode::DropWorker`] the collective completes without it
+    /// (the phase-completion count is renormalized to the survivors);
+    /// in [`DegradedMode::Abort`] this returns
+    /// [`ProtocolError::WorkerEvicted`].
+    pub fn run(&mut self) -> Result<(), ProtocolError> {
+        // Poll granularity for the eviction sweep: fine enough to
+        // detect eviction promptly, coarse enough to stay off the hot
+        // path.
+        let tick = (self.cfg.worker_eviction_timeout / 4)
+            .clamp(Duration::from_millis(1), Duration::from_millis(100));
+        let now = Instant::now();
+        for t in self.last_heard.iter_mut() {
+            *t = now;
+        }
         loop {
-            let (from, msg) = self.transport.recv()?;
-            match msg {
-                Message::Block(p) if p.kind == PacketKind::Data => self.handle_data(p)?,
-                Message::Shutdown => {
-                    // Finished worker: stop multicasting to it (its
-                    // endpoint may already be gone).
-                    if !self.departed[from.index()] {
-                        self.departed[from.index()] = true;
-                        self.goodbyes += 1;
+            if let Some((from, msg)) = self.transport.recv_timeout(tick)? {
+                match msg {
+                    Message::Block(p) if p.kind == PacketKind::Data => {
+                        let wid = p.wid as usize;
+                        if wid < self.last_heard.len() {
+                            self.last_heard[wid] = Instant::now();
+                        }
+                        self.handle_data(p)?;
                     }
-                    if self.goodbyes == self.cfg.num_workers {
-                        return Ok(());
+                    Message::Shutdown => {
+                        // Finished worker: stop multicasting to it (its
+                        // endpoint may already be gone).
+                        let w = from.index();
+                        if !self.departed[w] && !self.evicted[w] {
+                            self.departed[w] = true;
+                            self.goodbyes += 1;
+                            self.last_heard[w] = Instant::now();
+                        }
                     }
+                    _ => {} // tolerate anything else on a lossy fabric
                 }
-                _ => {} // tolerate anything else on a lossy fabric
+            }
+            self.sweep_evictions()?;
+            if self.goodbyes + self.evicted_count == self.cfg.num_workers {
+                return Ok(());
             }
         }
+    }
+
+    /// True if version `v` of slot `g` has an aggregation phase in
+    /// flight that worker `w` has not yet contributed to.
+    fn waiting_on(&self, w: usize) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|slot| (0..2).any(|v| slot.count[v] > 0 && !slot.seen[v][w]))
+    }
+
+    /// Evicts workers the shard is waiting on that have been silent for
+    /// longer than the eviction timeout.
+    fn sweep_evictions(&mut self) -> Result<(), ProtocolError> {
+        let now = Instant::now();
+        for w in 0..self.cfg.num_workers {
+            if self.departed[w] || self.evicted[w] {
+                continue;
+            }
+            let idle = now.duration_since(self.last_heard[w]);
+            if idle <= self.cfg.worker_eviction_timeout || !self.waiting_on(w) {
+                continue;
+            }
+            self.stats.evictions += 1;
+            self.counters.evictions.inc();
+            if self.cfg.degraded_mode == DegradedMode::Abort {
+                return Err(ProtocolError::WorkerEvicted { worker: w, idle });
+            }
+            self.evicted[w] = true;
+            self.evicted_count += 1;
+            // Renormalize: phases already in flight may now be
+            // complete without `w`'s contribution; idle versions must
+            // forget `w`'s stale seen bit so the *next* phase does not
+            // wait for it either.
+            for g in 0..self.layout.total_streams() {
+                if self.slots[g].is_none() {
+                    continue;
+                }
+                for v in 0..2 {
+                    let slot = self.slots[g].as_mut().unwrap();
+                    if slot.count[v] == 0 {
+                        slot.seen[v][w] = false;
+                    } else {
+                        self.complete_if_ready(g, v)?;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn handle_data(&mut self, p: Packet) -> Result<(), TransportError> {
         let g = p.stream as usize;
         let v = (p.ver & 1) as usize;
         let wid = p.wid as usize;
-        let n = self.cfg.num_workers;
         let width = self.layout.width();
+
+        if wid < self.evicted.len() && self.evicted[wid] {
+            // A zombie: evicted, but packets still in flight (or the
+            // worker is alive behind a healed partition). Its phase
+            // accounting has been renormalized without it, so its
+            // contributions must not be aggregated; the worker itself
+            // fails fast via its own retry budget.
+            self.stats.evicted_packets_dropped += 1;
+            return Ok(());
+        }
 
         let slot = self.slots[g].as_mut().expect("stream not owned by shard");
 
@@ -510,6 +800,33 @@ impl<T: Transport> RecoveryAggregator<T> {
                         &result,
                     )?;
                 }
+            } else {
+                // Phase in progress and a worker is already
+                // retransmitting: the stall is real, and this shard
+                // knows *exactly* whose contribution it lacks.
+                // Receiver-driven recovery: solicit the missing workers
+                // directly instead of letting every worker's timer race
+                // (the retransmission-storm path — see DESIGN.md "Fault
+                // model & degradation").
+                let nack = Message::Block(Packet {
+                    kind: PacketKind::Nack,
+                    ver: v as u8,
+                    stream: g as u16,
+                    wid: u16::MAX,
+                    entries: Vec::new(),
+                });
+                for w in 0..self.cfg.num_workers {
+                    if slot.seen[v][w] || self.departed[w] || self.evicted[w] {
+                        continue;
+                    }
+                    self.stats.nacks_sent += 1;
+                    self.counters.nacks_sent.inc();
+                    crate::wire::send_best_effort(
+                        &self.transport,
+                        NodeId(self.cfg.worker_node(w)),
+                        &nack,
+                    )?;
+                }
             }
             return Ok(());
         }
@@ -526,6 +843,7 @@ impl<T: Transport> RecoveryAggregator<T> {
             slot.result[v] = None;
         }
 
+        let n = self.cfg.num_workers;
         for entry in &p.entries {
             let (col, next) = decode_next(entry.next, width);
             let cp = &mut slot.cols[v][col];
@@ -533,15 +851,27 @@ impl<T: Transport> RecoveryAggregator<T> {
                 match cp.block {
                     None => {
                         cp.block = Some(entry.block);
-                        cp.acc.clear();
-                        cp.acc.extend_from_slice(&entry.data);
+                        if !self.cfg.deterministic {
+                            cp.acc.clear();
+                            cp.acc.extend_from_slice(&entry.data);
+                        }
                     }
                     Some(b) => {
                         debug_assert_eq!(b, entry.block, "phase mixes blocks");
-                        for (a, x) in cp.acc.iter_mut().zip(&entry.data) {
-                            *a += *x;
+                        if !self.cfg.deterministic {
+                            for (a, x) in cp.acc.iter_mut().zip(&entry.data) {
+                                *a += *x;
+                            }
                         }
                     }
+                }
+                if self.cfg.deterministic {
+                    // Buffer instead of accumulating: the reduction
+                    // happens in worker-id order at completion.
+                    if cp.contribs.is_empty() {
+                        cp.contribs = vec![None; n];
+                    }
+                    cp.contribs[wid] = Some(entry.data.clone());
                 }
             }
             cp.min_next = cp.min_next.min(if next == INFINITY_BLOCK {
@@ -551,41 +881,78 @@ impl<T: Transport> RecoveryAggregator<T> {
             });
         }
 
-        if slot.count[v] == n {
-            // Phase complete (the count wraps to 0, Algorithm 2 l.42).
-            slot.count[v] = 0;
-            let mut entries = Vec::new();
-            for (c, cp) in slot.cols[v].iter_mut().enumerate() {
-                let Some(block) = cp.block else { continue };
-                let min_next = if cp.min_next == i64::MAX || cp.min_next == INFINITY_BLOCK as i64 {
-                    INFINITY_BLOCK
-                } else {
-                    cp.min_next as BlockIdx
-                };
-                entries.push(Entry::data(
-                    block,
-                    encode_next(min_next, c, width),
-                    std::mem::take(&mut cp.acc),
-                ));
-            }
-            let result = Message::Block(Packet {
-                kind: PacketKind::Result,
-                ver: v as u8,
-                stream: g as u16,
-                wid: u16::MAX,
-                entries,
-            });
-            let workers: Vec<NodeId> = (0..n)
-                .filter(|w| !self.departed[*w])
-                .map(|w| NodeId(self.cfg.worker_node(w)))
-                .collect();
-            self.stats.results_sent += 1;
-            self.counters.results_sent.inc();
-            for w in &workers {
-                crate::wire::send_best_effort(&self.transport, *w, &result)?;
-            }
-            self.slots[g].as_mut().unwrap().result[v] = Some(result);
+        self.complete_if_ready(g, v)?;
+        Ok(())
+    }
+
+    /// Number of contributions version `v` of slot `g` needs before its
+    /// phase completes: all workers, minus the evicted ones that have
+    /// not already contributed to this phase.
+    fn needed(&self, g: usize, v: usize) -> usize {
+        let slot = self.slots[g].as_ref().expect("stream not owned by shard");
+        let missing_evicted = (0..self.cfg.num_workers)
+            .filter(|&w| self.evicted[w] && !slot.seen[v][w])
+            .count();
+        self.cfg.num_workers - missing_evicted
+    }
+
+    /// Completes version `v` of slot `g` if its in-flight phase has all
+    /// the contributions it needs (Algorithm 2 l.42, with the count
+    /// renormalized past evicted workers), multicasting the result to
+    /// the surviving workers.
+    fn complete_if_ready(&mut self, g: usize, v: usize) -> Result<(), TransportError> {
+        let n = self.cfg.num_workers;
+        let width = self.layout.width();
+        let needed = self.needed(g, v);
+        let slot = self.slots[g].as_mut().expect("stream not owned by shard");
+        if slot.count[v] == 0 || slot.count[v] < needed {
+            return Ok(());
         }
+        // Phase complete (the count wraps to 0, Algorithm 2 l.42).
+        slot.count[v] = 0;
+        if needed < n {
+            self.stats.degraded_completions += 1;
+            self.counters.degraded_completions.inc();
+        }
+        let deterministic = self.cfg.deterministic;
+        let mut entries = Vec::new();
+        for (c, cp) in slot.cols[v].iter_mut().enumerate() {
+            let Some(block) = cp.block else { continue };
+            let min_next = if cp.min_next == i64::MAX || cp.min_next == INFINITY_BLOCK as i64 {
+                INFINITY_BLOCK
+            } else {
+                cp.min_next as BlockIdx
+            };
+            entries.push(Entry::data(
+                block,
+                encode_next(min_next, c, width),
+                cp.take_aggregate(deterministic),
+            ));
+        }
+        // Forget evicted workers' seen bits so the *next* phase of this
+        // version does not count them as pending contributors.
+        for w in 0..n {
+            if self.evicted[w] {
+                slot.seen[v][w] = false;
+            }
+        }
+        let result = Message::Block(Packet {
+            kind: PacketKind::Result,
+            ver: v as u8,
+            stream: g as u16,
+            wid: u16::MAX,
+            entries,
+        });
+        let workers: Vec<NodeId> = (0..n)
+            .filter(|w| !self.departed[*w] && !self.evicted[*w])
+            .map(|w| NodeId(self.cfg.worker_node(w)))
+            .collect();
+        self.stats.results_sent += 1;
+        self.counters.results_sent.inc();
+        for w in &workers {
+            crate::wire::send_best_effort(&self.transport, *w, &result)?;
+        }
+        self.slots[g].as_mut().unwrap().result[v] = Some(result);
         Ok(())
     }
 }

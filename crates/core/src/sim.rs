@@ -454,6 +454,11 @@ pub struct SimOutcome {
     pub report: RunReport,
     /// Total bytes workers transmitted.
     pub worker_tx_bytes: u64,
+    /// Workers that gave up (retry budget exhausted against an
+    /// unreachable peer) instead of finishing. Always empty for the
+    /// lossless engines; see
+    /// [`crate::sim_recovery::SimRtoConfig::max_retransmits`].
+    pub failed_workers: Vec<usize>,
 }
 
 /// Simulates one OmniReduce AllReduce over the given per-worker non-zero
@@ -551,6 +556,7 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
         completion,
         report,
         worker_tx_bytes,
+        failed_workers: Vec::new(),
     }
 }
 

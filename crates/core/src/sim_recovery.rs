@@ -16,16 +16,71 @@
 //! event queue drains — i.e. when every worker has finished and no timer
 //! remains armed.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use omnireduce_simnet::{ActorId, Ctx, NicConfig, Process, SimTime, Simulator};
-use omnireduce_telemetry::{Counter, Telemetry};
+use omnireduce_telemetry::{Counter, Histogram, Telemetry};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
 use omnireduce_transport::codec::{BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
+use omnireduce_transport::timer::RttEstimator;
 
 use crate::config::OmniConfig;
 use crate::layout::StreamLayout;
 use crate::sim::{SimEntry, SimOutcome};
+
+/// Retransmission-timer policy for the simulated recovery protocol —
+/// the simulated mirror of the `adaptive_rto`/`rto_min`/`rto_max`/
+/// `max_retransmits` knobs of [`OmniConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimRtoConfig {
+    /// When true, estimate the RTO from observed (simulated) RTTs;
+    /// when false, always arm `initial`.
+    pub adaptive: bool,
+    /// Initial RTO (and the fixed RTO when `adaptive` is false).
+    pub initial: SimTime,
+    /// Lower clamp for the adaptive RTO.
+    pub min: SimTime,
+    /// Upper clamp for the adaptive RTO (including backoff).
+    pub max: SimTime,
+    /// Consecutive unanswered retransmissions of one slot before the
+    /// worker gives up on the shard and halts as *failed* (reported in
+    /// [`SimOutcome::failed_workers`]). Keeps a simulation with a dead
+    /// or unreachable peer bounded instead of re-arming timers forever.
+    pub max_retransmits: u32,
+}
+
+impl SimRtoConfig {
+    /// The pre-robustness policy: a fixed timeout, with a large (but
+    /// finite — simulations must drain) retry budget.
+    pub fn fixed(t: SimTime) -> Self {
+        SimRtoConfig {
+            adaptive: false,
+            initial: t,
+            min: t,
+            max: t,
+            max_retransmits: 1000,
+        }
+    }
+
+    /// Adaptive RTO with the given initial value and clamp range.
+    pub fn adaptive(initial: SimTime, min: SimTime, max: SimTime) -> Self {
+        SimRtoConfig {
+            adaptive: true,
+            initial,
+            min,
+            max,
+            max_retransmits: 10,
+        }
+    }
+
+    /// Sets the retry budget.
+    pub fn with_max_retransmits(mut self, n: u32) -> Self {
+        assert!(n >= 1, "retry budget must be positive");
+        self.max_retransmits = n;
+        self
+    }
+}
 
 /// Simulated recovery-protocol message.
 #[derive(Debug, Clone)]
@@ -69,6 +124,10 @@ struct RecCounters {
     stale_results_ignored: Counter,
     duplicates_ignored: Counter,
     result_retransmissions: Counter,
+    backoffs: Counter,
+    peer_unresponsive: Counter,
+    /// `core.sim_recovery.rto`: armed RTO per sent packet, in µs.
+    rto: Histogram,
 }
 
 impl RecCounters {
@@ -80,6 +139,9 @@ impl RecCounters {
                 stale_results_ignored: t.counter("core.sim_recovery.stale_results_ignored"),
                 duplicates_ignored: t.counter("core.sim_recovery.duplicates_ignored"),
                 result_retransmissions: t.counter("core.sim_recovery.result_retransmissions"),
+                backoffs: t.counter("core.sim_recovery.backoffs"),
+                peer_unresponsive: t.counter("core.sim_recovery.peer_unresponsive"),
+                rto: t.histogram("core.sim_recovery.rto"),
             },
             None => RecCounters {
                 retransmissions: Counter::detached(),
@@ -87,6 +149,9 @@ impl RecCounters {
                 stale_results_ignored: Counter::detached(),
                 duplicates_ignored: Counter::detached(),
                 result_retransmissions: Counter::detached(),
+                backoffs: Counter::detached(),
+                peer_unresponsive: Counter::detached(),
+                rto: Histogram::detached(),
             },
         }
     }
@@ -104,6 +169,12 @@ struct WStream {
     outstanding: Option<Vec<SimEntry>>,
     /// Bumps on every (re)send; stale timer tokens are ignored.
     timer_epoch: u32,
+    /// When the outstanding packet was first sent (for RTT sampling).
+    sent_at: SimTime,
+    /// Karn's rule: a retransmitted packet's answer feeds no RTT sample.
+    retransmitted: bool,
+    /// Consecutive unanswered retransmissions of the outstanding packet.
+    retx: u32,
 }
 
 struct RecWorker {
@@ -112,12 +183,19 @@ struct RecWorker {
     wid: usize,
     bitmap: Arc<NonZeroBitmap>,
     shards: Vec<ActorId>,
-    timeout: SimTime,
+    rto_cfg: SimRtoConfig,
+    /// Per-shard RTT estimator (adaptive mode).
+    rtt: Vec<RttEstimator>,
     streams: Vec<Option<WStream>>,
     pending: usize,
     /// Retransmissions performed (surfaced through `finished` stats by
     /// the driver via closure capture — kept for debug assertions).
     retransmissions: u64,
+    /// Set when the retry budget ran out: the worker has halted as
+    /// failed and ignores everything from then on.
+    failed: bool,
+    /// Shared sink for failed worker ids, read by the driver.
+    failed_sink: Arc<Mutex<Vec<usize>>>,
     counters: RecCounters,
 }
 
@@ -126,23 +204,44 @@ fn timer_token(stream: usize, epoch: u32) -> u64 {
 }
 
 impl RecWorker {
+    /// RTO to arm for the next packet to `shard` (adaptive or fixed),
+    /// recorded into the `core.sim_recovery.rto` histogram (µs).
+    fn next_rto(&mut self, shard: usize) -> SimTime {
+        let rto = if self.rto_cfg.adaptive {
+            SimTime::from_nanos(self.rtt[shard].next_rto().as_nanos() as u64)
+        } else {
+            self.rto_cfg.initial
+        };
+        self.counters.rto.record(rto.as_nanos() / 1_000);
+        rto
+    }
+
     fn send(&mut self, ctx: &mut Ctx<RecMsg>, g: usize, entries: Vec<SimEntry>) {
         let bytes = msg_bytes(&entries);
-        let shard = self.shards[self.cfg.shard_of_stream(g)];
+        let shard_idx = self.cfg.shard_of_stream(g);
+        let shard = self.shards[shard_idx];
+        let now = ctx.now();
+        {
+            let state = self.streams[g].as_mut().expect("stream");
+            ctx.send(
+                shard,
+                RecMsg::Data {
+                    stream: g,
+                    ver: state.ver,
+                    wid: self.wid,
+                    entries: entries.clone(),
+                },
+                bytes,
+            );
+            state.outstanding = Some(entries);
+            state.timer_epoch += 1;
+            state.sent_at = now;
+            state.retransmitted = false;
+            state.retx = 0;
+        }
+        let rto = self.next_rto(shard_idx);
         let state = self.streams[g].as_mut().expect("stream");
-        ctx.send(
-            shard,
-            RecMsg::Data {
-                stream: g,
-                ver: state.ver,
-                wid: self.wid,
-                entries: entries.clone(),
-            },
-            bytes,
-        );
-        state.outstanding = Some(entries);
-        state.timer_epoch += 1;
-        ctx.set_timer(self.timeout, timer_token(g, state.timer_epoch));
+        ctx.set_timer(rto, timer_token(g, state.timer_epoch));
     }
 }
 
@@ -180,6 +279,9 @@ impl Process<RecMsg> for RecWorker {
                 ver: 0,
                 outstanding: None,
                 timer_epoch: 0,
+                sent_at: SimTime::ZERO,
+                retransmitted: false,
+                retx: 0,
             });
             self.pending += 1;
             self.send(ctx, g, entries);
@@ -198,8 +300,12 @@ impl Process<RecMsg> for RecWorker {
         else {
             panic!("worker got non-result");
         };
+        if self.failed {
+            return;
+        }
         let layout = self.layout;
         let skip = self.cfg.skip_zero_blocks;
+        let now = ctx.now();
         let Some(state) = self.streams[g].as_mut() else {
             // Stream already finished; stale retransmission.
             self.counters.stale_results_ignored.inc();
@@ -209,6 +315,17 @@ impl Process<RecMsg> for RecWorker {
             // Duplicate of a processed phase.
             self.counters.stale_results_ignored.inc();
             return;
+        }
+        if self.rto_cfg.adaptive {
+            let shard = self.cfg.shard_of_stream(g);
+            if state.outstanding.is_some() && !state.retransmitted {
+                let rtt =
+                    Duration::from_nanos(now.as_nanos().saturating_sub(state.sent_at.as_nanos()));
+                self.rtt[shard].sample(rtt);
+            } else {
+                // Karn's rule: ambiguous answer, reset backoff only.
+                self.rtt[shard].ack();
+            }
         }
         // Phase advances; invalidate the outstanding packet and timer.
         state.ver ^= 1;
@@ -257,11 +374,14 @@ impl Process<RecMsg> for RecWorker {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<RecMsg>, token: u64) {
+        if self.failed {
+            return;
+        }
         self.counters.timer_fires.inc();
         let g = (token >> 32) as usize;
         let epoch = token as u32;
-        let timeout = self.timeout;
-        let shard = self.shards[self.cfg.shard_of_stream(g)];
+        let shard_idx = self.cfg.shard_of_stream(g);
+        let shard = self.shards[shard_idx];
         let Some(state) = self.streams.get_mut(g).and_then(|s| s.as_mut()) else {
             return;
         };
@@ -271,6 +391,25 @@ impl Process<RecMsg> for RecWorker {
         let Some(entries) = state.outstanding.clone() else {
             return;
         };
+        if state.retx >= self.rto_cfg.max_retransmits {
+            // Retry budget exhausted: the shard is unreachable. Halt as
+            // failed so the simulation drains instead of re-arming
+            // timers forever.
+            self.failed = true;
+            self.counters.peer_unresponsive.inc();
+            self.failed_sink
+                .lock()
+                .expect("failed sink poisoned")
+                .push(self.wid);
+            ctx.halt();
+            return;
+        }
+        if self.rto_cfg.adaptive {
+            self.rtt[shard_idx].on_timeout();
+            self.counters.backoffs.inc();
+        }
+        state.retx += 1;
+        state.retransmitted = true;
         // Retransmit and re-arm.
         self.retransmissions += 1;
         self.counters.retransmissions.inc();
@@ -285,7 +424,9 @@ impl Process<RecMsg> for RecWorker {
             msg_bytes(&entries),
         );
         state.timer_epoch += 1;
-        ctx.set_timer(timeout, timer_token(g, state.timer_epoch));
+        let epoch = state.timer_epoch;
+        let rto = self.next_rto(shard_idx);
+        ctx.set_timer(rto, timer_token(g, epoch));
     }
 }
 
@@ -439,8 +580,10 @@ impl Process<RecMsg> for RecAgg {
 /// Simulates one Algorithm 2 AllReduce over a lossy fabric.
 ///
 /// `loss` is the per-packet drop probability applied on every NIC;
-/// `timeout` the workers' retransmission timeout; `seed` drives the loss
-/// process (runs are deterministic per seed).
+/// `timeout` the workers' (fixed) retransmission timeout; `seed` drives
+/// the loss process (runs are deterministic per seed). For the adaptive
+/// RTO policy use [`simulate_recovery_allreduce_with_telemetry`] with a
+/// [`SimRtoConfig`].
 pub fn simulate_recovery_allreduce(
     cfg: &OmniConfig,
     worker_nic: NicConfig,
@@ -451,20 +594,28 @@ pub fn simulate_recovery_allreduce(
     seed: u64,
 ) -> SimOutcome {
     simulate_recovery_allreduce_with_telemetry(
-        cfg, worker_nic, agg_nic, loss, timeout, bitmaps, seed, None,
+        cfg,
+        worker_nic,
+        agg_nic,
+        loss,
+        SimRtoConfig::fixed(timeout),
+        bitmaps,
+        seed,
+        None,
     )
 }
 
-/// Like [`simulate_recovery_allreduce`], but reports loss-path counters
-/// (`core.sim_recovery.*`) and fabric counters (`simnet.*`) into
-/// `telemetry` when one is given.
+/// Like [`simulate_recovery_allreduce`], but takes the full
+/// retransmission policy ([`SimRtoConfig`]) and reports loss-path
+/// counters (`core.sim_recovery.*`) and fabric counters (`simnet.*`)
+/// into `telemetry` when one is given.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_recovery_allreduce_with_telemetry(
     cfg: &OmniConfig,
     worker_nic: NicConfig,
     agg_nic: NicConfig,
     loss: f64,
-    timeout: SimTime,
+    rto: SimRtoConfig,
     bitmaps: &[NonZeroBitmap],
     seed: u64,
     telemetry: Option<&Telemetry>,
@@ -492,6 +643,7 @@ pub fn simulate_recovery_allreduce_with_telemetry(
     let shard_ids: Vec<ActorId> = (0..cfg.num_aggregators)
         .map(|a| ActorId(cfg.num_workers + a))
         .collect();
+    let failed_sink: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
     for (w, bm) in bitmaps.iter().enumerate() {
         sim.add_actor(
             worker_nics[w],
@@ -501,10 +653,23 @@ pub fn simulate_recovery_allreduce_with_telemetry(
                 wid: w,
                 bitmap: Arc::new(bm.clone()),
                 shards: shard_ids.clone(),
-                timeout,
+                rto_cfg: rto,
+                rtt: (0..cfg.num_aggregators)
+                    .map(|a| {
+                        RttEstimator::new(
+                            Duration::from_nanos(rto.initial.as_nanos()),
+                            Duration::from_nanos(rto.min.as_nanos()),
+                            Duration::from_nanos(rto.max.as_nanos()),
+                            // Deterministic per-(worker, shard) jitter.
+                            0x9E37_79B9_7F4A_7C15 ^ ((w as u64) << 16) ^ a as u64,
+                        )
+                    })
+                    .collect(),
                 streams: Vec::new(),
                 pending: 0,
                 retransmissions: 0,
+                failed: false,
+                failed_sink: failed_sink.clone(),
                 counters: counters.clone(),
             }),
         );
@@ -531,10 +696,13 @@ pub fn simulate_recovery_allreduce_with_telemetry(
     let worker_tx_bytes = (0..cfg.num_workers)
         .map(|w| report.nic_stats[w].bytes_tx)
         .sum();
+    let mut failed_workers = failed_sink.lock().expect("failed sink poisoned").clone();
+    failed_workers.sort_unstable();
     SimOutcome {
         completion,
         report,
         worker_tx_bytes,
+        failed_workers,
     }
 }
 

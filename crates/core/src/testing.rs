@@ -6,7 +6,9 @@
 //! resulting tensor plus traffic statistics. Used by unit, property and
 //! integration tests, and by the quickstart example.
 
+use std::sync::mpsc;
 use std::thread;
+use std::time::Duration;
 
 use omnireduce_tensor::Tensor;
 use omnireduce_transport::{ChannelNetwork, NodeId, Transport};
@@ -15,6 +17,61 @@ use crate::aggregator::OmniAggregator;
 use crate::config::OmniConfig;
 use crate::recovery::{RecoveryAggregator, RecoveryWorker};
 use crate::worker::{OmniWorker, WorkerStats};
+
+/// Deadlock watchdog for tests: runs `f` on a helper thread and panics
+/// if it has not finished within `deadline` — a stalled collective
+/// fails fast with a diagnosable message instead of hanging CI until
+/// the job-level timeout kills it with no context.
+///
+/// If `f` itself panics, the panic is resumed on the caller's thread so
+/// assertion messages surface normally. On deadline expiry the stalled
+/// thread is left running (threads cannot be killed safely); the test
+/// process exits when the harness finishes.
+///
+/// ```no_run
+/// use std::time::Duration;
+/// omnireduce_core::testing::with_deadline(Duration::from_secs(30), || {
+///     // run a collective that must terminate
+/// });
+/// ```
+///
+/// # Panics
+/// Panics when `f` does not complete within `deadline`, or when `f`
+/// panics.
+pub fn with_deadline<R, F>(deadline: Duration, f: F) -> R
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<()>();
+    let handle = thread::Builder::new()
+        .name("with-deadline-body".into())
+        .spawn(move || {
+            let r = f();
+            let _ = tx.send(());
+            r
+        })
+        .expect("failed to spawn watchdog body thread");
+    match rx.recv_timeout(deadline) {
+        Ok(()) => match handle.join() {
+            Ok(r) => r,
+            Err(e) => std::panic::resume_unwind(e),
+        },
+        // Channel closed without a completion signal: the body panicked.
+        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Ok(r) => r,
+            Err(e) => std::panic::resume_unwind(e),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => panic!(
+            "with_deadline: test body still running after {deadline:?} — \
+             the collective appears stalled (suspects: a retransmission \
+             loop against a dead peer without a retry budget, a phase \
+             waiting for an evicted/crashed worker, or a partition that \
+             never heals). Thread 'with-deadline-body' is wedged; \
+             failing fast instead of hanging CI."
+        ),
+    }
+}
 
 /// Result of [`run_group`]: per-worker output tensors (one per round) and
 /// traffic stats.
@@ -137,4 +194,28 @@ pub fn run_recovery_group<T: Transport + 'static>(
         h.join().expect("aggregator thread panicked");
     }
     RecoveryGroupResult { outputs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_deadline_returns_the_value() {
+        assert_eq!(with_deadline(Duration::from_secs(5), || 41 + 1), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "still running after")]
+    fn with_deadline_detects_a_stall() {
+        with_deadline(Duration::from_millis(50), || {
+            thread::sleep(Duration::from_secs(600));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "inner assertion fired")]
+    fn with_deadline_propagates_body_panics() {
+        with_deadline(Duration::from_secs(5), || panic!("inner assertion fired"));
+    }
 }

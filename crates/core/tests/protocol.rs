@@ -5,7 +5,7 @@
 //! injected packet loss.
 
 use omnireduce_core::config::OmniConfig;
-use omnireduce_core::testing::{run_group, run_recovery_group};
+use omnireduce_core::testing::{run_group, run_recovery_group, with_deadline};
 use omnireduce_tensor::dense::reference_sum;
 use omnireduce_tensor::gen::{self, OverlapMode};
 use omnireduce_tensor::{BlockSpec, Tensor};
@@ -251,21 +251,25 @@ fn back_to_back_rounds() {
 // ---------------------------------------------------------------------
 
 fn check_recovery(cfg: &OmniConfig, inputs: Vec<Tensor>, loss: f64, seed: u64) {
-    let expect = reference_sum(&inputs);
-    let mut net = LossyNetwork::new(cfg.mesh_size(), LossConfig::drops(loss, seed));
-    let endpoints = net.endpoints();
-    let result = run_recovery_group(
-        cfg,
-        endpoints,
-        inputs.into_iter().map(|t| vec![t]).collect(),
-    );
-    for (w, outs) in result.outputs.iter().enumerate() {
-        assert!(
-            outs[0].approx_eq(&expect, TOL),
-            "worker {w} diverges by {} under loss {loss}",
-            outs[0].max_abs_diff(&expect)
+    // Watchdog: a stalled recovery collective must fail fast, not hang.
+    let cfg = cfg.clone();
+    with_deadline(std::time::Duration::from_secs(120), move || {
+        let expect = reference_sum(&inputs);
+        let mut net = LossyNetwork::new(cfg.mesh_size(), LossConfig::drops(loss, seed));
+        let endpoints = net.endpoints();
+        let result = run_recovery_group(
+            &cfg,
+            endpoints,
+            inputs.into_iter().map(|t| vec![t]).collect(),
         );
-    }
+        for (w, outs) in result.outputs.iter().enumerate() {
+            assert!(
+                outs[0].approx_eq(&expect, TOL),
+                "worker {w} diverges by {} under loss {loss}",
+                outs[0].max_abs_diff(&expect)
+            );
+        }
+    });
 }
 
 #[test]
@@ -307,14 +311,7 @@ fn recovery_with_duplication() {
         .with_streams(2);
     let inputs = gen_inputs(3, 512, 16, 0.5, OverlapMode::Random, 43);
     let expect = reference_sum(&inputs);
-    let mut net = LossyNetwork::new(
-        cfg.mesh_size(),
-        LossConfig {
-            drop_prob: 0.05,
-            dup_prob: 0.1,
-            seed: 5,
-        },
-    );
+    let mut net = LossyNetwork::new(cfg.mesh_size(), LossConfig::uniform(0.05, 0.1, 5));
     let endpoints = net.endpoints();
     let result = run_recovery_group(
         &cfg,
@@ -430,7 +427,7 @@ proptest! {
         let expect = reference_sum(&inputs);
         let mut net = LossyNetwork::new(
             cfg.mesh_size(),
-            LossConfig { drop_prob: drop, dup_prob: dup, seed },
+            LossConfig::uniform(drop, dup, seed),
         );
         let result = run_recovery_group(
             &cfg,

@@ -99,7 +99,7 @@ fn recovery_sim_counts_retransmissions_under_loss() {
         nic,
         nic,
         0.05,
-        SimTime::from_micros(4000),
+        omnireduce_core::sim_recovery::SimRtoConfig::fixed(SimTime::from_micros(4000)),
         &bms,
         42,
         Some(&telemetry),

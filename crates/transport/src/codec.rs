@@ -70,6 +70,7 @@ fn kind_byte(k: PacketKind) -> u8 {
     match k {
         PacketKind::Data => 0,
         PacketKind::Result => 1,
+        PacketKind::Nack => 2,
     }
 }
 
@@ -77,6 +78,7 @@ fn kind_from(b: u8) -> Result<PacketKind, CodecError> {
     match b {
         0 => Ok(PacketKind::Data),
         1 => Ok(PacketKind::Result),
+        2 => Ok(PacketKind::Nack),
         d => Err(CodecError::BadDiscriminant(d)),
     }
 }
@@ -302,6 +304,20 @@ mod tests {
     }
 
     #[test]
+    fn nack_roundtrip() {
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Nack,
+            ver: 1,
+            stream: 17,
+            wid: u16::MAX,
+            entries: vec![],
+        });
+        let enc = encode(&msg);
+        assert_eq!(enc.len(), encoded_len(&msg));
+        assert_eq!(decode(&enc).unwrap(), msg);
+    }
+
+    #[test]
     fn empty_entries_block_roundtrip() {
         let msg = Message::Block(Packet {
             kind: PacketKind::Result,
@@ -316,7 +332,11 @@ mod tests {
     proptest! {
         #[test]
         fn prop_block_roundtrip(
-            kind in prop_oneof![Just(PacketKind::Data), Just(PacketKind::Result)],
+            kind in prop_oneof![
+                Just(PacketKind::Data),
+                Just(PacketKind::Result),
+                Just(PacketKind::Nack),
+            ],
             ver in 0u8..2,
             stream in any::<u16>(),
             wid in any::<u16>(),

@@ -31,6 +31,7 @@
 
 pub mod channel;
 pub mod codec;
+pub mod fault;
 pub mod lossy;
 pub mod message;
 pub mod tcp;
@@ -38,7 +39,8 @@ pub mod timer;
 pub mod udp;
 
 pub use channel::ChannelNetwork;
-pub use lossy::{LossConfig, LossyNetwork};
+pub use fault::{ChaosNetwork, ChaosTransport, FaultPlan, KeyedLoss};
+pub use lossy::{GilbertElliott, LossConfig, LossyNetwork};
 pub use message::{Entry, KvPacket, Message, NodeId, Packet, PacketKind};
 pub use tcp::TcpNetwork;
 pub use udp::UdpNetwork;

@@ -39,6 +39,13 @@ pub enum PacketKind {
     /// Aggregator → worker(s): aggregated block data plus the next block
     /// request (Algorithm 1 lines 23–27).
     Result,
+    /// Aggregator → worker: solicited retransmission (receiver-driven
+    /// recovery, Algorithm 2 extension). Sent to exactly the workers
+    /// whose contribution to a stalled phase is missing when a
+    /// duplicate reveals the stall; entries are empty, `ver`/`stream`
+    /// name the phase. The receiver resends its outstanding packet
+    /// immediately instead of waiting for its own timer.
+    Nack,
 }
 
 /// One fused block entry inside a packet.
@@ -143,10 +150,12 @@ impl Message {
             Message::Block(p) => match p.kind {
                 PacketKind::Data => "block-data",
                 PacketKind::Result => "block-result",
+                PacketKind::Nack => "block-nack",
             },
             Message::Kv(p) => match p.kind {
                 PacketKind::Data => "kv-data",
                 PacketKind::Result => "kv-result",
+                PacketKind::Nack => "kv-nack",
             },
             Message::Start { .. } => "start",
             Message::Shutdown => "shutdown",

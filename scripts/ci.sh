@@ -39,6 +39,20 @@ if [[ "$FAST" -eq 0 ]]; then
 fi
 step "test" cargo test "${CARGO_FLAGS[@]}" --workspace -q
 
+# Fault-injection suite, run explicitly and under a step-level timeout:
+# these tests exercise crash/partition/straggler recovery, so a
+# regression here can present as a *hang* rather than a failure. Each
+# test body already runs under testing::with_deadline; the outer
+# `timeout` is the belt to that suspenders (e.g. a deadlock outside the
+# watchdogged region). 300 s is ~20× the suite's normal runtime.
+if command -v timeout >/dev/null 2>&1; then
+  step "fault suite (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test fault -q
+else
+  step "fault suite" cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test fault -q
+fi
+
 if cargo fmt --version >/dev/null 2>&1; then
   step "fmt" cargo fmt --all -- --check
 else

@@ -14,7 +14,7 @@ BINS=(
   model_speedup
   ablation_streams ablation_kv_format ablation_small_messages
   ablation_generalized ablation_loss_sim ablation_staging
-  ablation_scaling_mode planner
+  ablation_scaling_mode ablation_fault_recovery planner
 )
 
 cargo build --release -p omnireduce-bench

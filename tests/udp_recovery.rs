@@ -9,6 +9,7 @@ use std::thread;
 
 use omnireduce::core::config::OmniConfig;
 use omnireduce::core::recovery::{RecoveryAggregator, RecoveryWorker};
+use omnireduce::core::testing::with_deadline;
 use omnireduce::tensor::dense::reference_sum;
 use omnireduce::tensor::gen::{self, OverlapMode};
 use omnireduce::tensor::{BlockSpec, Tensor};
@@ -17,6 +18,12 @@ use omnireduce::transport::NodeId;
 
 #[test]
 fn recovery_group_over_real_udp() {
+    // Watchdog: a regression that reintroduces unbounded retransmission
+    // must fail fast, not wedge CI.
+    with_deadline(std::time::Duration::from_secs(120), run_recovery_over_udp);
+}
+
+fn run_recovery_over_udp() {
     let workers = 3;
     let elements = 1 << 14;
     let mut cfg = OmniConfig::new(workers, elements)

@@ -5,13 +5,22 @@
 //! communication fraction must match the profile's Table 1 column.
 
 use omnireduce::core::config::OmniConfig;
-use omnireduce::core::testing::{run_group, run_recovery_group};
+use omnireduce::core::testing::{run_group, run_recovery_group, with_deadline};
 use omnireduce::tensor::dense::reference_sum;
 use omnireduce::transport::{LossConfig, LossyNetwork};
 use omnireduce::workloads::{Workload, WorkloadName};
 
 #[test]
 fn deeplight_gradients_through_recovery_engines() {
+    // Watchdog: a stalled recovery collective fails fast instead of
+    // wedging CI.
+    with_deadline(
+        std::time::Duration::from_secs(120),
+        deeplight_gradients_through_recovery_engines_body,
+    );
+}
+
+fn deeplight_gradients_through_recovery_engines_body() {
     let profile = Workload::get(WorkloadName::DeepLight);
     let workers = 3;
     let elements = 1 << 18; // 1 MB slice of the embedding table
