@@ -1,0 +1,355 @@
+//! Ablation: the zero-allocation data plane (DESIGN §9).
+//!
+//! Replays the aggregator-side hot path for one fused column — encode a
+//! data packet per worker, decode it, fold the payload into the column
+//! accumulator, drain the aggregate, encode/decode the result, store it —
+//! in two implementations:
+//!
+//! * **legacy** — what the engines did before ISSUE 3: a fresh `Vec` per
+//!   encode, `decode` cloning every payload, a `clone` per contribution,
+//!   a scalar zip-loop reduction, and everything dropped at block end;
+//! * **pooled+vectorized** — what they do now: [`BufferPool`] checkouts,
+//!   `encode_into`/`decode_into` over persistent scratch,
+//!   [`ColAccumulator`] with in-place buffers, and the unrolled
+//!   [`reduce_into`] kernel.
+//!
+//! The binary registers [`CountingAllocator`] as the global allocator so
+//! it can report *measured* allocations per steady-state round next to
+//! ns/block. `--check` turns it into a CI regression gate:
+//!
+//! * fails (exit 1) if the pooled path performs any steady-state
+//!   allocation;
+//! * fails if pooled ns/block regresses more than 2× against the
+//!   committed baseline `results/ablation_hotpath.baseline.json`
+//!   (written on first run, kept in the repo thereafter).
+
+use std::time::Instant;
+
+use omnireduce_bench::Table;
+use omnireduce_core::ColAccumulator;
+use omnireduce_telemetry::alloc::CountingAllocator;
+use omnireduce_telemetry::json::JsonValue;
+use omnireduce_transport::codec::{decode_into, encode_into, BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
+use omnireduce_transport::{BufferPool, Entry, Message, Packet, PacketKind};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const N_WORKERS: usize = 4;
+const BLOCK: usize = 256;
+/// Blocks per "round" (one streamed column advancing 64 times).
+const BLOCKS_PER_ROUND: usize = 64;
+const WARMUP_ROUNDS: usize = 20;
+const MEASURE_ROUNDS: usize = 200;
+const BASELINE_PATH: &str = "results/ablation_hotpath.baseline.json";
+/// `--check` fails when pooled ns/block exceeds baseline by this factor.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn data_packet(wid: usize, block: u32, payload: Vec<f32>) -> Message {
+    Message::Block(Packet {
+        kind: PacketKind::Data,
+        ver: 0,
+        stream: 0,
+        wid: wid as u16,
+        entries: vec![Entry::data(block, 0, payload)],
+    })
+}
+
+/// The pre-ISSUE-3 encoder: fresh frame buffer, one `extend_from_slice`
+/// per value (the old `codec::encode` body, kept here as the baseline).
+fn legacy_encode(msg: &Message) -> Vec<u8> {
+    let Message::Block(p) = msg else { unreachable!() };
+    let len = BLOCK_HEADER_BYTES
+        + p.entries
+            .iter()
+            .map(|e| ENTRY_HEADER_BYTES + 4 * e.data.len())
+            .sum::<usize>();
+    let mut out = Vec::with_capacity(len);
+    out.push(0u8); // MSG_BLOCK
+    out.push(match p.kind {
+        PacketKind::Data => 0,
+        PacketKind::Result => 1,
+        PacketKind::Nack => 2,
+    });
+    out.push(p.ver);
+    out.push(0);
+    out.extend_from_slice(&p.stream.to_le_bytes());
+    out.extend_from_slice(&p.wid.to_le_bytes());
+    out.extend_from_slice(&(p.entries.len() as u16).to_le_bytes());
+    for e in &p.entries {
+        out.extend_from_slice(&e.block.to_le_bytes());
+        out.extend_from_slice(&e.next.to_le_bytes());
+        out.extend_from_slice(&(e.data.len() as u16).to_le_bytes());
+        for v in &e.data {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// The pre-ISSUE-3 decoder: fresh `Message`, fresh payload `Vec` per
+/// entry, one push per value (the old `codec::decode` body).
+fn legacy_decode(buf: &[u8]) -> Message {
+    let kind = match buf[1] {
+        0 => PacketKind::Data,
+        1 => PacketKind::Result,
+        _ => PacketKind::Nack,
+    };
+    let ver = buf[2];
+    let stream = u16::from_le_bytes([buf[4], buf[5]]);
+    let wid = u16::from_le_bytes([buf[6], buf[7]]);
+    let n = u16::from_le_bytes([buf[8], buf[9]]) as usize;
+    let mut off = BLOCK_HEADER_BYTES;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let block = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+        let next = u32::from_le_bytes(buf[off + 4..off + 8].try_into().unwrap());
+        let len = u16::from_le_bytes([buf[off + 8], buf[off + 9]]) as usize;
+        off += ENTRY_HEADER_BYTES;
+        let mut data = Vec::with_capacity(len);
+        for chunk in buf[off..off + 4 * len].chunks_exact(4) {
+            data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        off += 4 * len;
+        entries.push(Entry { block, next, data });
+    }
+    Message::Block(Packet {
+        kind,
+        ver,
+        stream,
+        wid,
+        entries,
+    })
+}
+
+/// The pre-ISSUE-3 hot path: allocate-per-packet, clone-per-payload,
+/// scalar reduction.
+fn legacy_round(payloads: &[Vec<f32>], tensor: &mut [f32]) {
+    for b in 0..BLOCKS_PER_ROUND {
+        let mut contribs: Vec<Vec<f32>> = Vec::new();
+        for (w, p) in payloads.iter().enumerate() {
+            // Worker side: fresh payload copy, fresh wire buffer.
+            let msg = data_packet(w, b as u32, p.clone());
+            let wire = legacy_encode(&msg);
+            // Aggregator side: `decode` allocates the payload out of the
+            // frame; ingest clones it again into the contribution list.
+            let Message::Block(pkt) = legacy_decode(&wire) else {
+                unreachable!()
+            };
+            contribs.push(pkt.entries[0].data.clone());
+        }
+        // Scalar worker-id-order reduction.
+        let mut acc = contribs[0].clone();
+        for c in &contribs[1..] {
+            for (a, v) in acc.iter_mut().zip(c) {
+                *a += *v;
+            }
+        }
+        // Result: fresh vec, fresh wire buffer, decode allocates again.
+        let result = data_packet(usize::from(u16::MAX), b as u32, acc);
+        let wire = legacy_encode(&result);
+        let Message::Block(pkt) = legacy_decode(&wire) else {
+            unreachable!()
+        };
+        let dst = &mut tensor[..BLOCK];
+        dst.copy_from_slice(&pkt.entries[0].data);
+    }
+}
+
+/// Persistent scratch for the pooled path — everything the engines keep
+/// across packets.
+struct PooledScratch {
+    pool: BufferPool,
+    acc: ColAccumulator,
+    wire: Vec<u8>,
+    decoded: Message,
+}
+
+impl PooledScratch {
+    fn new() -> Self {
+        PooledScratch {
+            pool: BufferPool::for_block_size(BLOCK),
+            acc: ColAccumulator::new(N_WORKERS, false),
+            wire: Vec::new(),
+            decoded: Message::Shutdown,
+        }
+    }
+}
+
+/// The ISSUE-3 hot path: pooled buffers, borrow-based codec, vectorized
+/// in-place reduction. Zero heap allocations after warm-up.
+fn pooled_round(payloads: &[Vec<f32>], tensor: &mut [f32], s: &mut PooledScratch) {
+    for b in 0..BLOCKS_PER_ROUND {
+        for (w, p) in payloads.iter().enumerate() {
+            // Worker side: pooled payload + entry list, scratch wire
+            // buffer reused across packets.
+            let mut entries = s.pool.checkout_entries();
+            let mut data = s.pool.checkout_f32();
+            data.extend_from_slice(p);
+            entries.push(Entry::data(b as u32, 0, data));
+            let msg = Message::Block(Packet {
+                kind: PacketKind::Data,
+                ver: 0,
+                stream: 0,
+                wid: w as u16,
+                entries,
+            });
+            encode_into(&msg, &mut s.wire);
+            s.pool.recycle_message(msg);
+            // Aggregator side: decode into persistent scratch (steals
+            // the previous message's buffers), fold into the
+            // accumulator with the vectorized kernel.
+            decode_into(&s.wire, &mut s.decoded).expect("valid frame");
+            let Message::Block(pkt) = &s.decoded else {
+                unreachable!()
+            };
+            s.acc.store(w, &pkt.entries[0].data);
+        }
+        // Result: the aggregate swaps into a pooled buffer; wire scratch
+        // is reused; the result message's buffers recycle afterwards.
+        let mut out = s.pool.checkout_f32();
+        s.acc.take_into(&mut out);
+        let mut entries = s.pool.checkout_entries();
+        entries.push(Entry::data(b as u32, 0, out));
+        let result = Message::Block(Packet {
+            kind: PacketKind::Result,
+            ver: 0,
+            stream: 0,
+            wid: u16::MAX,
+            entries,
+        });
+        encode_into(&result, &mut s.wire);
+        decode_into(&s.wire, &mut s.decoded).expect("valid frame");
+        let Message::Block(pkt) = &s.decoded else {
+            unreachable!()
+        };
+        tensor[..BLOCK].copy_from_slice(&pkt.entries[0].data);
+        s.pool.recycle_message(result);
+    }
+}
+
+struct Measurement {
+    ns_per_block: f64,
+    allocs_per_round: f64,
+}
+
+fn measure(mut round: impl FnMut(&[Vec<f32>], &mut [f32])) -> Measurement {
+    // Deterministic pseudo-random payloads (no RNG allocation in the loop).
+    let payloads: Vec<Vec<f32>> = (0..N_WORKERS)
+        .map(|w| {
+            (0..BLOCK)
+                .map(|i| ((w * BLOCK + i) as f32 * 0.37).sin())
+                .collect()
+        })
+        .collect();
+    let mut tensor = vec![0.0f32; BLOCK];
+    for _ in 0..WARMUP_ROUNDS {
+        round(&payloads, &mut tensor);
+    }
+    let allocs_before = CountingAllocator::thread_allocations();
+    let start = Instant::now();
+    for _ in 0..MEASURE_ROUNDS {
+        round(&payloads, &mut tensor);
+    }
+    let elapsed = start.elapsed();
+    let allocs = CountingAllocator::thread_allocations() - allocs_before;
+    std::hint::black_box(&tensor);
+    Measurement {
+        ns_per_block: elapsed.as_nanos() as f64 / (MEASURE_ROUNDS * BLOCKS_PER_ROUND) as f64,
+        allocs_per_round: allocs as f64 / MEASURE_ROUNDS as f64,
+    }
+}
+
+fn read_baseline() -> Option<f64> {
+    let text = std::fs::read_to_string(BASELINE_PATH).ok()?;
+    let v = JsonValue::parse(&text).ok()?;
+    v.get("pooled_ns_per_block")?.as_f64()
+}
+
+fn write_baseline(ns_per_block: f64) {
+    if std::fs::create_dir_all("results").is_err() {
+        return;
+    }
+    let mut obj = JsonValue::obj();
+    obj.push("pooled_ns_per_block", JsonValue::Float(ns_per_block));
+    obj.push(
+        "note",
+        JsonValue::Str(
+            "committed perf floor for `ablation_hotpath --check`; regenerate by deleting this \
+             file and re-running the bench on the reference machine"
+                .to_string(),
+        ),
+    );
+    let _ = std::fs::write(BASELINE_PATH, obj.to_string_pretty());
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
+    let legacy = measure(legacy_round);
+    let mut scratch = PooledScratch::new();
+    let pooled = measure(|p, t| pooled_round(p, t, &mut scratch));
+    let speedup = legacy.ns_per_block / pooled.ns_per_block;
+
+    let mut t = Table::new(
+        "Ablation: data-plane hot path — legacy vs pooled+vectorized (DESIGN §9)",
+        &["variant", "ns/block", "allocs/round", "speedup"],
+    );
+    t.row(vec![
+        "legacy (alloc + clone + scalar)".into(),
+        format!("{:.0}", legacy.ns_per_block),
+        format!("{:.1}", legacy.allocs_per_round),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "pooled + vectorized".into(),
+        format!("{:.0}", pooled.ns_per_block),
+        format!("{:.1}", pooled.allocs_per_round),
+        format!("{speedup:.2}x"),
+    ]);
+    t.emit("ablation_hotpath");
+
+    if !check {
+        return;
+    }
+    let mut failed = false;
+    if pooled.allocs_per_round > 0.0 {
+        eprintln!(
+            "CHECK FAIL: pooled path allocated {:.1} times/round in steady state (expected 0)",
+            pooled.allocs_per_round
+        );
+        failed = true;
+    }
+    match read_baseline() {
+        Some(base) => {
+            let limit = base * REGRESSION_FACTOR;
+            if pooled.ns_per_block > limit {
+                eprintln!(
+                    "CHECK FAIL: pooled {:.0} ns/block exceeds {REGRESSION_FACTOR}x baseline \
+                     ({base:.0} ns/block)",
+                    pooled.ns_per_block
+                );
+                failed = true;
+            } else {
+                println!(
+                    "check: pooled {:.0} ns/block within {REGRESSION_FACTOR}x of baseline \
+                     {base:.0}",
+                    pooled.ns_per_block
+                );
+            }
+        }
+        None => {
+            println!(
+                "check: no baseline at {BASELINE_PATH}; writing {:.0} ns/block",
+                pooled.ns_per_block
+            );
+            write_baseline(pooled.ns_per_block);
+        }
+    }
+    if pooled.allocs_per_round == 0.0 {
+        println!("check: pooled path steady state performs 0 allocations/round");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

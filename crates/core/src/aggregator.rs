@@ -14,10 +14,13 @@
 
 use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, INFINITY_BLOCK};
-use omnireduce_transport::{Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError};
+use omnireduce_transport::{
+    BufferPool, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
 
 use crate::config::OmniConfig;
 use crate::layout::StreamLayout;
+use crate::slot::ColAccumulator;
 use crate::wire::{decode_next, encode_next};
 
 /// Sentinel for "worker has not announced a next yet" — the paper's −∞
@@ -29,14 +32,9 @@ struct ColSlot {
     /// Block currently being aggregated ([`INFINITY_BLOCK`] once the
     /// column is exhausted).
     cur: BlockIdx,
-    /// Accumulated values for `cur` (arrival-order mode).
-    acc: Vec<f32>,
-    /// Whether any worker contributed data to `cur` yet (sizes `acc`).
-    touched: bool,
-    /// Per-worker buffered contributions (deterministic mode, §7):
-    /// reduced in worker-id order at completion so the float result is
-    /// bit-reproducible.
-    contribs: Vec<Option<Vec<f32>>>,
+    /// Block accumulator (arrival-order or deterministic §7; buffers
+    /// reused in place across blocks and rounds — DESIGN §9).
+    acc: ColAccumulator,
     /// Per-worker next non-zero block (−1 = not yet announced).
     next_of: Vec<i64>,
 }
@@ -45,38 +43,16 @@ impl ColSlot {
     fn new(first: BlockIdx, num_workers: usize, deterministic: bool) -> Self {
         ColSlot {
             cur: first,
-            acc: Vec::new(),
-            touched: false,
-            contribs: if deterministic {
-                vec![None; num_workers]
-            } else {
-                Vec::new()
-            },
+            acc: ColAccumulator::new(num_workers, deterministic),
             next_of: vec![NEG_INFINITY; num_workers],
         }
     }
 
-    /// Drains this column's aggregate for the result packet.
-    fn take_aggregate(&mut self, deterministic: bool) -> Vec<f32> {
-        if !deterministic {
-            self.touched = false;
-            return std::mem::take(&mut self.acc);
-        }
-        // Reduce buffered contributions in ascending worker-id order.
-        let mut out: Option<Vec<f32>> = None;
-        for c in self.contribs.iter_mut() {
-            let Some(data) = c.take() else { continue };
-            match &mut out {
-                None => out = Some(data),
-                Some(acc) => {
-                    for (a, v) in acc.iter_mut().zip(&data) {
-                        *a += *v;
-                    }
-                }
-            }
-        }
-        self.touched = false;
-        out.expect("completed block with no data")
+    /// Rearms the column for a new round, keeping every buffer.
+    fn reset(&mut self, first: BlockIdx) {
+        self.cur = first;
+        self.acc.reset();
+        self.next_of.fill(NEG_INFINITY);
     }
 
     fn active(&self) -> bool {
@@ -176,6 +152,11 @@ pub struct OmniAggregator<T: Transport> {
     pub stats: AggregatorStats,
     counters: AggregatorCounters,
     streams_open_this_round: usize,
+    /// Freelists for result-packet buffers (checked out at completion,
+    /// recycled after the multicast — DESIGN §9).
+    pool: BufferPool,
+    /// Multicast destination scratch, refilled per completion.
+    workers_scratch: Vec<NodeId>,
 }
 
 impl<T: Transport> OmniAggregator<T> {
@@ -212,6 +193,7 @@ impl<T: Transport> OmniAggregator<T> {
         let streams_open_this_round = (0..layout.total_streams())
             .filter(|g| cfg.shard_of_stream(*g) == shard && layout.first_block(*g, 0).is_some())
             .count();
+        let pool = BufferPool::for_block_size(cfg.block_size);
         OmniAggregator {
             transport,
             cfg,
@@ -223,14 +205,18 @@ impl<T: Transport> OmniAggregator<T> {
             stats: AggregatorStats::default(),
             counters: AggregatorCounters::detached(),
             streams_open_this_round,
+            pool,
+            workers_scratch: Vec::new(),
         }
     }
 
     /// Like [`OmniAggregator::new`], but mirrors data-plane counters into
-    /// `telemetry`'s `core.aggregator.*` counters.
+    /// `telemetry`'s `core.aggregator.*` counters (and the buffer pool's
+    /// hit/miss counters under `transport.pool.aggregator.*`).
     pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
         let mut a = Self::new(transport, cfg);
         a.counters = AggregatorCounters::registered(telemetry);
+        a.pool = BufferPool::for_block_size(a.cfg.block_size).with_telemetry("aggregator", telemetry);
         a
     }
 
@@ -282,20 +268,10 @@ impl<T: Transport> OmniAggregator<T> {
                 .expect("data entry for invalid column");
             if !entry.data.is_empty() {
                 debug_assert_eq!(entry.block, cs.cur, "entry for wrong block");
-                if self.cfg.deterministic {
-                    debug_assert!(cs.contribs[p.wid as usize].is_none(), "double contribution");
-                    cs.contribs[p.wid as usize] = Some(entry.data.clone());
-                    cs.touched = true;
-                } else if !cs.touched {
-                    cs.acc.clear();
-                    cs.acc.extend_from_slice(&entry.data);
-                    cs.touched = true;
-                } else {
-                    debug_assert_eq!(cs.acc.len(), entry.data.len());
-                    for (a, v) in cs.acc.iter_mut().zip(&entry.data) {
-                        *a += *v;
-                    }
-                }
+                debug_assert!(!cs.acc.has_contrib(p.wid as usize), "double contribution");
+                // Copy into the accumulator's persistent buffers (no
+                // per-block allocation; vectorized reduction kernel).
+                cs.acc.store(p.wid as usize, &entry.data);
             }
             cs.next_of[p.wid as usize] = if next == INFINITY_BLOCK {
                 INFINITY_BLOCK as i64
@@ -310,7 +286,6 @@ impl<T: Transport> OmniAggregator<T> {
     /// and advance the slot.
     fn check_completion(&mut self, g: usize) -> Result<(), TransportError> {
         let width = self.layout.width();
-        let deterministic = self.cfg.deterministic;
         let slot = self.slots[g].as_mut().expect("owned stream");
         let all_complete = slot
             .cols
@@ -325,7 +300,11 @@ impl<T: Transport> OmniAggregator<T> {
             return Ok(());
         }
 
-        let mut entries = Vec::new();
+        // Build the result packet from pooled buffers (DESIGN §9): the
+        // entry list and each payload come from the freelists and return
+        // to them right after the multicast, so the steady state
+        // allocates nothing.
+        let mut entries = self.pool.checkout_entries();
         let mut all_done = true;
         for (col, cs) in slot.cols.iter_mut().enumerate() {
             let Some(cs) = cs else { continue };
@@ -333,8 +312,9 @@ impl<T: Transport> OmniAggregator<T> {
                 continue;
             }
             let min_next = cs.min_next().expect("complete implies announced");
-            debug_assert!(cs.touched, "completed block with no data");
-            let data = cs.take_aggregate(deterministic);
+            debug_assert!(cs.acc.touched(), "completed block with no data");
+            let mut data = self.pool.checkout_f32();
+            cs.acc.take_into(&mut data);
             entries.push(Entry::data(cs.cur, encode_next(min_next, col, width), data));
             cs.cur = min_next; // INFINITY_BLOCK deactivates the column
             if min_next != INFINITY_BLOCK {
@@ -349,30 +329,31 @@ impl<T: Transport> OmniAggregator<T> {
             wid: u16::MAX,
             entries,
         });
-        let workers: Vec<NodeId> = (0..self.cfg.num_workers)
-            .filter(|w| !self.departed[*w])
-            .map(|w| NodeId(self.cfg.worker_node(w)))
-            .collect();
+        self.workers_scratch.clear();
+        for w in 0..self.cfg.num_workers {
+            if !self.departed[w] {
+                self.workers_scratch.push(NodeId(self.cfg.worker_node(w)));
+            }
+        }
         self.stats.results_sent += 1;
         self.stats.slots_completed += 1;
         self.counters.results_sent.inc();
         self.counters.slots_completed.inc();
-        for w in &workers {
+        for w in &self.workers_scratch {
             crate::wire::send_best_effort(&self.transport, *w, &msg)?;
         }
+        // Transports borrow `&Message`: we still own it, so its buffers
+        // go back to the freelists for the next completion.
+        self.pool.recycle_message(msg);
 
         if all_done {
             // Round over for this stream: reset for the next tensor
-            // (Algorithm 1 line 26).
+            // (Algorithm 1 line 26) — in place, keeping every buffer.
             let layout = self.layout;
             let slot = self.slots[g].as_mut().expect("owned stream");
             for (c, cs) in slot.cols.iter_mut().enumerate() {
                 if let Some(cs) = cs {
-                    *cs = ColSlot::new(
-                        layout.first_block(g, c).expect("valid column"),
-                        self.cfg.num_workers,
-                        self.cfg.deterministic,
-                    );
+                    cs.reset(layout.first_block(g, c).expect("valid column"));
                 }
             }
             // Round bookkeeping: when the last open stream of this round

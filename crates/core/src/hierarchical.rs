@@ -181,6 +181,34 @@ mod tests {
     }
 
     #[test]
+    fn inter_node_error_propagates_to_the_leader() {
+        // Single-rank node so no peer is left stranded at the barrier.
+        let node = IntraNode::new(1);
+        let mut t = Tensor::from_vec(vec![1.0]);
+        let err = hierarchical_allreduce(&node, 0, &mut t, |_| Err::<(), &str>("link down"));
+        assert_eq!(err, Err("link down"));
+    }
+
+    #[test]
+    fn broadcast_copies_are_independent() {
+        // Each rank owns its copy of the result: mutating one must not
+        // leak into another (the result is cloned out of the shared slot).
+        let node = IntraNode::new(2);
+        let n0 = node.clone();
+        let h = thread::spawn(move || {
+            let mut t = Tensor::from_vec(vec![1.0, 1.0]);
+            hierarchical_allreduce(&n0, 0, &mut t, |_| Ok::<(), Infallible>(())).unwrap();
+            t.scale(100.0); // must stay local to rank 0
+            t
+        });
+        let mut t1 = Tensor::from_vec(vec![2.0, 2.0]);
+        hierarchical_allreduce(&node, 1, &mut t1, |_| Ok::<(), Infallible>(())).unwrap();
+        let t0 = h.join().unwrap();
+        assert_eq!(t1.as_slice(), &[3.0, 3.0]);
+        assert_eq!(t0.as_slice(), &[300.0, 300.0]);
+    }
+
+    #[test]
     fn single_rank_node_is_identity_plus_global() {
         let node = IntraNode::new(1);
         let mut t = Tensor::from_vec(vec![1.0, 2.0]);

@@ -40,6 +40,7 @@ pub mod recovery;
 pub mod sim;
 pub mod sim_hierarchical;
 pub mod sim_recovery;
+pub mod slot;
 pub mod staging;
 pub mod switch;
 pub mod testing;
@@ -52,4 +53,5 @@ pub use error::ProtocolError;
 pub use kv::{KvAggregator, KvConfig, KvWorker};
 pub use layout::StreamLayout;
 pub use recovery::{RecoveryAggregator, RecoveryAggregatorStats, RecoveryStats, RecoveryWorker};
+pub use slot::ColAccumulator;
 pub use worker::{OmniWorker, WorkerStats};

@@ -32,12 +32,13 @@ use omnireduce_telemetry::{Counter, Histogram, Telemetry};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
 use omnireduce_transport::timer::{RttEstimator, TimerQueue};
 use omnireduce_transport::{
-    codec, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+    codec, BufferPool, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
 };
 
 use crate::config::{DegradedMode, OmniConfig};
 use crate::error::ProtocolError;
 use crate::layout::StreamLayout;
+use crate::slot::ColAccumulator;
 use crate::wire::{decode_next, encode_next};
 
 /// Traffic counters for the recovery worker.
@@ -151,6 +152,10 @@ pub struct RecoveryWorker<T: Transport> {
     rtt: Vec<RttEstimator>,
     stats: RecoveryStats,
     counters: RecoveryCounters,
+    /// Freelists for outgoing packet buffers (payloads and entry lists
+    /// are checked out per packet and recycled when the packet's phase
+    /// is answered — DESIGN §9).
+    pool: BufferPool,
 }
 
 impl<T: Transport> RecoveryWorker<T> {
@@ -180,6 +185,7 @@ impl<T: Transport> RecoveryWorker<T> {
                 )
             })
             .collect();
+        let pool = BufferPool::for_block_size(cfg.block_size);
         RecoveryWorker {
             transport,
             cfg,
@@ -189,6 +195,7 @@ impl<T: Transport> RecoveryWorker<T> {
             rtt,
             stats: RecoveryStats::default(),
             counters: RecoveryCounters::detached(),
+            pool,
         }
     }
 
@@ -238,17 +245,15 @@ impl<T: Transport> RecoveryWorker<T> {
 
         for g in layout.active_streams() {
             let mut cols: Vec<Option<WorkerCol>> = Vec::with_capacity(width);
-            let mut entries = Vec::new();
+            let mut entries = self.pool.checkout_entries();
             let mut remaining = 0usize;
             for c in 0..width {
                 match layout.first_block(g, c) {
                     Some(b0) => {
                         let my_next = layout.next_block(&bitmap, g, c, Some(b0), skip);
-                        entries.push(Entry::data(
-                            b0,
-                            encode_next(my_next, c, width),
-                            tensor[layout.block_range(b0)].to_vec(),
-                        ));
+                        let mut data = self.pool.checkout_f32();
+                        data.extend_from_slice(&tensor[layout.block_range(b0)]);
+                        entries.push(Entry::data(b0, encode_next(my_next, c, width), data));
                         cols.push(Some(WorkerCol {
                             my_next,
                             done: false,
@@ -306,9 +311,13 @@ impl<T: Transport> RecoveryWorker<T> {
                             _ => self.rtt[shard].ack(),
                         }
                     }
-                    // Phase advances.
+                    // Phase advances: the answered packet's buffers come
+                    // back to the pool before the reply is built.
+                    if let Some(o) = state.outstanding.take() {
+                        self.pool.recycle_message(o.msg);
+                    }
                     self.ver[g] ^= 1;
-                    let mut reply = Vec::new();
+                    let mut reply = self.pool.checkout_entries();
                     for entry in &p.entries {
                         let (col, requested) = decode_next(entry.next, width);
                         if !entry.data.is_empty() {
@@ -327,10 +336,12 @@ impl<T: Transport> RecoveryWorker<T> {
                         if cs.my_next == requested {
                             let new_next =
                                 layout.next_block(&bitmap, g, col, Some(requested), skip);
+                            let mut data = self.pool.checkout_f32();
+                            data.extend_from_slice(&tensor[layout.block_range(requested)]);
                             reply.push(Entry::data(
                                 requested,
                                 encode_next(new_next, col, width),
-                                tensor[layout.block_range(requested)].to_vec(),
+                                data,
                             ));
                             cs.my_next = new_next;
                         } else {
@@ -340,6 +351,7 @@ impl<T: Transport> RecoveryWorker<T> {
                     }
                     if state.remaining == 0 {
                         debug_assert!(reply.is_empty(), "reply for a finished stream");
+                        self.pool.checkin_entries(reply);
                         streams[g] = None;
                         pending -= 1;
                     } else {
@@ -477,46 +489,28 @@ impl<T: Transport> RecoveryWorker<T> {
 /// Per-column, per-version aggregation state.
 #[derive(Clone)]
 struct ColPhase {
-    acc: Vec<f32>,
+    /// Block accumulator (arrival-order, or deterministic §7 worker-id
+    /// order). Buffers are allocated once and reused in place across
+    /// phases — DESIGN §9.
+    acc: ColAccumulator,
     block: Option<BlockIdx>,
     min_next: i64,
-    /// Per-worker buffered contributions ([`OmniConfig::deterministic`]
-    /// mode, §7): reduced in ascending worker-id order at phase
-    /// completion so the float result is bit-reproducible regardless of
-    /// packet arrival (and retransmission) order. Allocated lazily on
-    /// the first contribution.
-    contribs: Vec<Option<Vec<f32>>>,
 }
 
 impl ColPhase {
-    fn fresh() -> Self {
+    fn new(num_workers: usize, deterministic: bool) -> Self {
         ColPhase {
-            acc: Vec::new(),
+            acc: ColAccumulator::new(num_workers, deterministic),
             block: None,
             min_next: i64::MAX,
-            contribs: Vec::new(),
         }
     }
 
-    /// Drains this column's aggregate for the result packet.
-    fn take_aggregate(&mut self, deterministic: bool) -> Vec<f32> {
-        if !deterministic {
-            return std::mem::take(&mut self.acc);
-        }
-        // Reduce buffered contributions in ascending worker-id order.
-        let mut out: Option<Vec<f32>> = None;
-        for c in self.contribs.iter_mut() {
-            let Some(data) = c.take() else { continue };
-            match &mut out {
-                None => out = Some(data),
-                Some(acc) => {
-                    for (a, v) in acc.iter_mut().zip(&data) {
-                        *a += *v;
-                    }
-                }
-            }
-        }
-        out.expect("completed column with no data")
+    /// Rearms the column for a new phase, keeping every buffer.
+    fn reset(&mut self) {
+        self.acc.reset();
+        self.block = None;
+        self.min_next = i64::MAX;
     }
 }
 
@@ -609,6 +603,9 @@ pub struct RecoveryAggregator<T: Transport> {
     /// Loss-path counters.
     pub stats: RecoveryAggregatorStats,
     counters: RecoveryAggCounters,
+    /// Freelists for result-packet buffers (DESIGN §9): retired results
+    /// are recycled when their version's state is reused.
+    pool: BufferPool,
 }
 
 impl<T: Transport> RecoveryAggregator<T> {
@@ -634,8 +631,8 @@ impl<T: Transport> RecoveryAggregator<T> {
             .map(|g| {
                 (cfg.shard_of_stream(g) == shard).then(|| VersionedSlot {
                     cols: [
-                        vec![ColPhase::fresh(); width],
-                        vec![ColPhase::fresh(); width],
+                        vec![ColPhase::new(n, cfg.deterministic); width],
+                        vec![ColPhase::new(n, cfg.deterministic); width],
                     ],
                     seen: [vec![false; n], vec![false; n]],
                     count: [0, 0],
@@ -646,6 +643,7 @@ impl<T: Transport> RecoveryAggregator<T> {
         let departed = vec![false; cfg.num_workers];
         let evicted = vec![false; cfg.num_workers];
         let last_heard = vec![Instant::now(); cfg.num_workers];
+        let pool = BufferPool::for_block_size(cfg.block_size);
         RecoveryAggregator {
             transport,
             cfg,
@@ -658,6 +656,7 @@ impl<T: Transport> RecoveryAggregator<T> {
             last_heard,
             stats: RecoveryAggregatorStats::default(),
             counters: RecoveryAggCounters::detached(),
+            pool,
         }
     }
 
@@ -666,6 +665,8 @@ impl<T: Transport> RecoveryAggregator<T> {
     pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
         let mut a = Self::new(transport, cfg);
         a.counters = RecoveryAggCounters::registered(telemetry);
+        a.pool =
+            BufferPool::for_block_size(a.cfg.block_size).with_telemetry("recovery_agg", telemetry);
         a
     }
 
@@ -791,13 +792,13 @@ impl<T: Transport> RecoveryAggregator<T> {
             self.stats.duplicates_ignored += 1;
             self.counters.duplicates_ignored.inc();
             if slot.count[v] == 0 {
-                if let Some(result) = slot.result[v].clone() {
+                if let Some(result) = slot.result[v].as_ref() {
                     self.stats.result_retransmissions += 1;
                     self.counters.result_retransmissions.inc();
                     crate::wire::send_best_effort(
                         &self.transport,
                         NodeId(self.cfg.worker_node(wid)),
-                        &result,
+                        result,
                     )?;
                 }
             } else {
@@ -837,42 +838,31 @@ impl<T: Transport> RecoveryAggregator<T> {
         slot.seen[v ^ 1][wid] = false;
         slot.count[v] += 1;
         if slot.count[v] == 1 {
+            // First packet of a fresh phase: reset the columns in place
+            // (keeping their buffers) and recycle the retired result's
+            // buffers — its retransmission window is over (DESIGN §9).
             for col in slot.cols[v].iter_mut() {
-                *col = ColPhase::fresh();
+                col.reset();
             }
-            slot.result[v] = None;
+            if let Some(old) = slot.result[v].take() {
+                self.pool.recycle_message(old);
+            }
         }
 
-        let n = self.cfg.num_workers;
+        let slot = self.slots[g].as_mut().expect("stream not owned by shard");
         for entry in &p.entries {
             let (col, next) = decode_next(entry.next, width);
             let cp = &mut slot.cols[v][col];
             if !entry.data.is_empty() {
                 match cp.block {
-                    None => {
-                        cp.block = Some(entry.block);
-                        if !self.cfg.deterministic {
-                            cp.acc.clear();
-                            cp.acc.extend_from_slice(&entry.data);
-                        }
-                    }
-                    Some(b) => {
-                        debug_assert_eq!(b, entry.block, "phase mixes blocks");
-                        if !self.cfg.deterministic {
-                            for (a, x) in cp.acc.iter_mut().zip(&entry.data) {
-                                *a += *x;
-                            }
-                        }
-                    }
+                    None => cp.block = Some(entry.block),
+                    Some(b) => debug_assert_eq!(b, entry.block, "phase mixes blocks"),
                 }
-                if self.cfg.deterministic {
-                    // Buffer instead of accumulating: the reduction
-                    // happens in worker-id order at completion.
-                    if cp.contribs.is_empty() {
-                        cp.contribs = vec![None; n];
-                    }
-                    cp.contribs[wid] = Some(entry.data.clone());
-                }
+                // Arrival-order mode reduces immediately (vectorized
+                // kernel); deterministic §7 mode copies into the
+                // worker's persistent buffer, reduced in worker-id
+                // order at completion. No per-block allocation.
+                cp.acc.store(wid, &entry.data);
             }
             cp.min_next = cp.min_next.min(if next == INFINITY_BLOCK {
                 INFINITY_BLOCK as i64
@@ -914,8 +904,7 @@ impl<T: Transport> RecoveryAggregator<T> {
             self.stats.degraded_completions += 1;
             self.counters.degraded_completions.inc();
         }
-        let deterministic = self.cfg.deterministic;
-        let mut entries = Vec::new();
+        let mut entries = self.pool.checkout_entries();
         for (c, cp) in slot.cols[v].iter_mut().enumerate() {
             let Some(block) = cp.block else { continue };
             let min_next = if cp.min_next == i64::MAX || cp.min_next == INFINITY_BLOCK as i64 {
@@ -923,11 +912,9 @@ impl<T: Transport> RecoveryAggregator<T> {
             } else {
                 cp.min_next as BlockIdx
             };
-            entries.push(Entry::data(
-                block,
-                encode_next(min_next, c, width),
-                cp.take_aggregate(deterministic),
-            ));
+            let mut data = self.pool.checkout_f32();
+            cp.acc.take_into(&mut data);
+            entries.push(Entry::data(block, encode_next(min_next, c, width), data));
         }
         // Forget evicted workers' seen bits so the *next* phase of this
         // version does not count them as pending contributors.

@@ -225,7 +225,7 @@ impl Process<SimMsg> for WorkerActor {
         self.streams = (0..layout.total_streams()).map(|_| None).collect();
         for g in layout.active_streams() {
             let mut cols: Vec<Option<WCol>> = Vec::with_capacity(layout.width());
-            let mut entries = Vec::new();
+            let mut entries = Vec::with_capacity(layout.width());
             let mut remaining = 0;
             for c in 0..layout.width() {
                 match layout.first_block(g, c) {
@@ -264,7 +264,7 @@ impl Process<SimMsg> for WorkerActor {
         let layout = self.layout;
         let skip = self.cfg.skip_zero_blocks;
         let state = self.streams[g].as_mut().expect("unknown stream");
-        let mut reply = Vec::new();
+        let mut reply = Vec::with_capacity(entries.len());
         for e in &entries {
             let cs = state.cols[e.col].as_mut().expect("invalid column");
             if cs.done {
@@ -402,7 +402,7 @@ impl Process<SimMsg> for AggActor {
             return;
         }
         let layout = self.layout;
-        let mut result = Vec::new();
+        let mut result = Vec::with_capacity(layout.width());
         let mut all_done = true;
         for (c, cs) in slot.cols.iter_mut().enumerate() {
             let Some(cs) = cs else { continue };

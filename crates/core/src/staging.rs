@@ -169,6 +169,50 @@ mod tests {
     }
 
     #[test]
+    fn zero_wire_bytes_is_free() {
+        let p = pipe(4);
+        assert_eq!(p.overlapped_send_time(0, 1.25e9), 0.0);
+        let empty = StagingPipeline {
+            tensor_bytes: 0,
+            ..pipe(4)
+        };
+        assert_eq!(empty.overlapped_send_time(1_000, 1.25e9), 0.0);
+    }
+
+    #[test]
+    fn one_giant_chunk_degenerates_to_serial() {
+        // chunk ≥ tensor: no overlap is possible — the overlapped time
+        // equals copy-then-send exactly.
+        let p = pipe(100); // single 100 MB chunk
+        assert_eq!(p.chunks(), 1);
+        let o = p.overlapped_send_time(50_000_000, 1.25e9);
+        let serial = p.serial_time(50_000_000, 1.25e9);
+        assert!((o - serial).abs() < 1e-12, "o {o} serial {serial}");
+    }
+
+    #[test]
+    fn chunk_count_rounds_up_for_partial_tail() {
+        let p = StagingPipeline {
+            tensor_bytes: 9_000_001,
+            chunk_bytes: 4_000_000,
+            pcie_rate: 16e9,
+            per_chunk_overhead: 0.0,
+        };
+        assert_eq!(p.chunks(), 3);
+        // The tail chunk's ready time is capped at the real tensor size.
+        let full_copy = 9_000_001f64 / 16e9;
+        assert!((p.chunk_ready(2) - full_copy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcie_gen3_profile_matches_paper_constants() {
+        let p = StagingPipeline::pcie_gen3(100_000_000);
+        assert_eq!(p.chunk_bytes, 4_000_000, "the paper stages in 4 MB chunks");
+        assert_eq!(p.pcie_rate, 16e9, "PCIe gen3 x16 effective rate");
+        assert_eq!(p.chunks(), 25);
+    }
+
+    #[test]
     fn tiny_chunks_pay_overhead_big_chunks_pay_fill() {
         // Sweep: per-chunk overhead hurts at 64 KB; at one giant chunk
         // there is no overlap at all. A middle size wins.

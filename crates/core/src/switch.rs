@@ -27,7 +27,9 @@
 
 use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, INFINITY_BLOCK};
-use omnireduce_transport::{Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError};
+use omnireduce_transport::{
+    BufferPool, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+};
 
 use crate::config::OmniConfig;
 use crate::layout::StreamLayout;
@@ -122,6 +124,15 @@ impl ColSlot {
     fn complete(&self) -> bool {
         matches!(self.min_next(), Some(m) if (self.cur as i64) < m as i64)
     }
+
+    /// Clears the slot for a new round in place, keeping the `acc` and
+    /// `next_of` allocations (DESIGN §9: no per-round allocation).
+    fn reset(&mut self, first: BlockIdx) {
+        self.cur = first;
+        self.acc.clear();
+        self.touched = false;
+        self.next_of.fill(NEG_INFINITY);
+    }
 }
 
 struct Slot {
@@ -187,6 +198,12 @@ pub struct SwitchAggregator<T: Transport> {
     /// Data-plane counters.
     pub stats: SwitchStats,
     counters: SwitchCounters,
+    /// Freelists for outgoing result buffers (DESIGN §9): dequantized
+    /// payloads and entry lists are checked out here and recycled after
+    /// the multicast instead of reallocated per completion.
+    pool: BufferPool,
+    /// Multicast fan-out scratch, reused across completions.
+    workers_scratch: Vec<NodeId>,
 }
 
 impl<T: Transport> SwitchAggregator<T> {
@@ -233,6 +250,7 @@ impl<T: Transport> SwitchAggregator<T> {
             })
             .collect();
         let departed = vec![false; cfg.num_workers];
+        let pool = BufferPool::for_block_size(cfg.block_size);
         SwitchAggregator {
             transport,
             cfg,
@@ -243,6 +261,8 @@ impl<T: Transport> SwitchAggregator<T> {
             goodbyes: 0,
             stats: SwitchStats::default(),
             counters: SwitchCounters::detached(),
+            pool,
+            workers_scratch: Vec::new(),
         }
     }
 
@@ -257,6 +277,7 @@ impl<T: Transport> SwitchAggregator<T> {
     ) -> Self {
         let mut a = Self::new(transport, cfg, fp, pool_slots);
         a.counters = SwitchCounters::registered(telemetry);
+        a.pool = BufferPool::for_block_size(a.cfg.block_size).with_telemetry("switch", telemetry);
         a
     }
 
@@ -334,7 +355,7 @@ impl<T: Transport> SwitchAggregator<T> {
         if !any_active || !all_complete {
             return Ok(());
         }
-        let mut entries = Vec::new();
+        let mut entries = self.pool.checkout_entries();
         let mut all_done = true;
         for (col, cs) in slot.cols.iter_mut().enumerate() {
             let Some(cs) = cs else { continue };
@@ -342,7 +363,9 @@ impl<T: Transport> SwitchAggregator<T> {
                 continue;
             }
             let min_next = cs.min_next().expect("complete implies announced");
-            let data: Vec<f32> = cs.acc.iter().map(|q| fp.dequantize(*q)).collect();
+            // Pooled dequantized payload (no fresh Vec per completion).
+            let mut data = self.pool.checkout_f32();
+            data.extend(cs.acc.iter().map(|q| fp.dequantize(*q)));
             entries.push(Entry::data(cs.cur, encode_next(min_next, col, width), data));
             cs.acc.clear();
             cs.touched = false;
@@ -358,22 +381,25 @@ impl<T: Transport> SwitchAggregator<T> {
             wid: u16::MAX,
             entries,
         });
-        let workers: Vec<NodeId> = (0..self.cfg.num_workers)
-            .filter(|w| !self.departed[*w])
-            .map(|w| NodeId(self.cfg.worker_node(w)))
-            .collect();
+        self.workers_scratch.clear();
+        for w in 0..self.cfg.num_workers {
+            if !self.departed[w] {
+                self.workers_scratch.push(NodeId(self.cfg.worker_node(w)));
+            }
+        }
         self.stats.results_sent += 1;
         self.counters.results_sent.inc();
-        for w in &workers {
+        for w in &self.workers_scratch {
             crate::wire::send_best_effort(&self.transport, *w, &msg)?;
         }
+        // The multicast borrowed the message; its buffers come back.
+        self.pool.recycle_message(msg);
         if all_done {
             let layout = self.layout;
-            let n = self.cfg.num_workers;
             let slot = self.slots[g].as_mut().expect("owned stream");
             for (c, cs) in slot.cols.iter_mut().enumerate() {
                 if let Some(cs) = cs {
-                    *cs = ColSlot::new(layout.first_block(g, c).expect("valid"), n);
+                    cs.reset(layout.first_block(g, c).expect("valid"));
                 }
             }
         }

@@ -21,7 +21,7 @@
 use omnireduce_telemetry::{Counter, Telemetry};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
 use omnireduce_transport::{
-    codec, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+    codec, BufferPool, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
 };
 
 use crate::config::OmniConfig;
@@ -101,6 +101,10 @@ pub struct OmniWorker<T: Transport> {
     stats: WorkerStats,
     counters: WorkerCounters,
     trace: EngineTrace,
+    /// Freelists for outgoing packet buffers: each data entry's payload
+    /// is checked out here instead of `to_vec()`-ing the block, and
+    /// returns after the send (DESIGN §9).
+    pool: BufferPool,
 }
 
 impl<T: Transport> OmniWorker<T> {
@@ -119,6 +123,7 @@ impl<T: Transport> OmniWorker<T> {
             cfg.total_streams(),
             cfg.tensor_len,
         );
+        let pool = BufferPool::for_block_size(cfg.block_size);
         OmniWorker {
             transport,
             cfg,
@@ -127,6 +132,7 @@ impl<T: Transport> OmniWorker<T> {
             stats: WorkerStats::default(),
             counters: WorkerCounters::detached(),
             trace: EngineTrace::disabled(),
+            pool,
         }
     }
 
@@ -138,6 +144,8 @@ impl<T: Transport> OmniWorker<T> {
         let mut w = Self::new(transport, cfg);
         w.counters = WorkerCounters::registered(telemetry);
         w.trace = EngineTrace::new(telemetry, &format!("worker{}", w.wid));
+        w.pool = BufferPool::for_block_size(w.cfg.block_size)
+            .with_telemetry(&format!("worker{}", w.wid), telemetry);
         w
     }
 
@@ -170,16 +178,19 @@ impl<T: Transport> OmniWorker<T> {
         let mut pending = 0usize;
         for g in layout.active_streams() {
             let mut cols: Vec<Option<ColState>> = Vec::with_capacity(layout.width());
-            let mut entries = Vec::new();
+            let mut entries = self.pool.checkout_entries();
             let mut remaining = 0usize;
             for c in 0..layout.width() {
                 match layout.first_block(g, c) {
                     Some(b0) => {
                         let my_next = layout.next_block(&bitmap, g, c, Some(b0), skip);
+                        // Pooled copy of the block (no `to_vec` per block).
+                        let mut data = self.pool.checkout_f32();
+                        data.extend_from_slice(&tensor[layout.block_range(b0)]);
                         entries.push(Entry::data(
                             b0,
                             encode_next(my_next, c, layout.width()),
-                            tensor[layout.block_range(b0)].to_vec(),
+                            data,
                         ));
                         cols.push(Some(ColState {
                             my_next,
@@ -206,7 +217,7 @@ impl<T: Transport> OmniWorker<T> {
             self.counters.results_received.inc();
             let g = packet.stream as usize;
             let state = streams[g].as_mut().expect("result for unknown stream");
-            let mut reply = Vec::new();
+            let mut reply = self.pool.checkout_entries();
             for entry in &packet.entries {
                 let (col, requested) = decode_next(entry.next, layout.width());
                 // Store the aggregated block.
@@ -226,10 +237,12 @@ impl<T: Transport> OmniWorker<T> {
                 }
                 if cs.my_next == requested {
                     let new_next = layout.next_block(&bitmap, g, col, Some(requested), skip);
+                    let mut data = self.pool.checkout_f32();
+                    data.extend_from_slice(&tensor[layout.block_range(requested)]);
                     reply.push(Entry::data(
                         requested,
                         encode_next(new_next, col, layout.width()),
-                        tensor[layout.block_range(requested)].to_vec(),
+                        data,
                     ));
                     cs.my_next = new_next;
                 }
@@ -238,6 +251,8 @@ impl<T: Transport> OmniWorker<T> {
             }
             if !reply.is_empty() {
                 self.send_data(g, reply)?;
+            } else {
+                self.pool.checkin_entries(reply);
             }
             if state.remaining == 0 {
                 streams[g] = None;
@@ -267,8 +282,13 @@ impl<T: Transport> OmniWorker<T> {
         self.counters.blocks_sent.add(blocks);
         self.counters.bytes_sent.add(wire_bytes);
         let shard = self.cfg.shard_of_stream(stream);
-        self.transport
-            .send(NodeId(self.cfg.aggregator_node(shard)), &msg)
+        let sent = self
+            .transport
+            .send(NodeId(self.cfg.aggregator_node(shard)), &msg);
+        // `send` borrows the message; its pooled buffers come back for
+        // the next packet (DESIGN §9).
+        self.pool.recycle_message(msg);
+        sent
     }
 
     /// Tells every aggregator shard this worker is leaving; aggregators

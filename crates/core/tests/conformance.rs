@@ -1,0 +1,413 @@
+//! Cross-engine differential conformance suite (ISSUE 3 / DESIGN §9).
+//!
+//! One seeded scenario generator — workers × sparsity × block size ×
+//! fusion × deterministic flag × loss plan — runs every scenario through
+//! the executable engines (lossless Algorithm 1, loss-recovery
+//! Algorithm 2 over clean and lossy meshes) and asserts **bit-identical**
+//! outputs against a scalar reference reduction.
+//!
+//! Bit-exactness across arrival orders is made meaningful by quantizing
+//! every input to multiples of 0.25: f32 addition of such values (at
+//! these magnitudes) is exact, so *any* reduction order must produce the
+//! same bits — a reordering bug, a buffer-reuse bug, or a vectorization
+//! bug all surface as a bit mismatch, not as "within tolerance".
+//!
+//! The binary also registers the counting allocator and locks in the
+//! zero-allocation property of the pooled hot path (the
+//! `aggregator.rs` clone-per-block regression).
+
+use std::time::Duration;
+
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::testing::{run_group, run_recovery_group, with_deadline};
+use omnireduce_core::ColAccumulator;
+use omnireduce_telemetry::alloc::CountingAllocator;
+use omnireduce_tensor::gen::{self, OverlapMode};
+use omnireduce_tensor::{BlockSpec, Tensor};
+use omnireduce_transport::codec::{decode_into, encode_into};
+use omnireduce_transport::{
+    BufferPool, ChannelNetwork, Entry, LossConfig, LossyNetwork, Message, NodeId, Packet,
+    PacketKind,
+};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// One point of the scenario matrix.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    workers: usize,
+    elements: usize,
+    block_size: usize,
+    fusion: usize,
+    streams: usize,
+    aggregators: usize,
+    sparsity: f64,
+    density_within: f64,
+    overlap: OverlapMode,
+    deterministic: bool,
+    /// Per-packet drop probability for the lossy recovery run.
+    loss: f64,
+    rounds: usize,
+    seed: u64,
+}
+
+/// The seeded scenario matrix: every axis of the data plane that the
+/// pooling/vectorization rewrite touched.
+fn scenarios() -> Vec<Scenario> {
+    let mut v = Vec::new();
+    let base = Scenario {
+        workers: 2,
+        elements: 1 << 12,
+        block_size: 64,
+        fusion: 2,
+        streams: 2,
+        aggregators: 1,
+        sparsity: 0.5,
+        density_within: 1.0,
+        overlap: OverlapMode::Random,
+        deterministic: false,
+        loss: 0.0,
+        rounds: 1,
+        seed: 1,
+    };
+    // Sparsity sweep (dense, half, highly sparse).
+    for (i, s) in [0.0, 0.5, 0.9].into_iter().enumerate() {
+        v.push(Scenario {
+            sparsity: s,
+            seed: 10 + i as u64,
+            ..base
+        });
+    }
+    // Geometry sweep: block size × fusion × shards × workers.
+    v.push(Scenario {
+        workers: 3,
+        block_size: 128,
+        fusion: 4,
+        streams: 4,
+        aggregators: 2,
+        seed: 20,
+        ..base
+    });
+    v.push(Scenario {
+        workers: 4,
+        block_size: 32,
+        fusion: 1,
+        streams: 8,
+        aggregators: 4,
+        sparsity: 0.75,
+        seed: 21,
+        ..base
+    });
+    // Tail geometry: tensor length not a multiple of block×fusion×streams.
+    v.push(Scenario {
+        elements: (1 << 12) + 257,
+        block_size: 96,
+        fusion: 3,
+        streams: 2,
+        seed: 22,
+        ..base
+    });
+    // Deterministic (§7 worker-id-order) reduction.
+    v.push(Scenario {
+        workers: 3,
+        deterministic: true,
+        aggregators: 2,
+        seed: 30,
+        ..base
+    });
+    // Overlap modes exercise different min-next interleavings.
+    v.push(Scenario {
+        overlap: OverlapMode::All,
+        sparsity: 0.8,
+        seed: 40,
+        ..base
+    });
+    v.push(Scenario {
+        overlap: OverlapMode::None,
+        sparsity: 0.8,
+        workers: 3,
+        seed: 41,
+        ..base
+    });
+    // Partially-dense blocks (zeros inside non-zero blocks).
+    v.push(Scenario {
+        density_within: 0.4,
+        seed: 42,
+        ..base
+    });
+    // Loss plans: the recovery engine must still be bit-identical under
+    // drops and duplicates (idempotent two-phase slots).
+    v.push(Scenario {
+        loss: 0.1,
+        seed: 50,
+        ..base
+    });
+    v.push(Scenario {
+        loss: 0.25,
+        workers: 3,
+        deterministic: true,
+        seed: 51,
+        ..base
+    });
+    // Multi-round: pooled buffers and in-place slot resets must carry no
+    // state across rounds.
+    v.push(Scenario {
+        rounds: 3,
+        sparsity: 0.6,
+        seed: 60,
+        ..base
+    });
+    v
+}
+
+fn config_of(s: &Scenario) -> OmniConfig {
+    let mut cfg = OmniConfig::new(s.workers, s.elements)
+        .with_block_size(s.block_size)
+        .with_fusion(s.fusion)
+        .with_streams(s.streams)
+        .with_aggregators(s.aggregators);
+    if s.deterministic {
+        cfg = cfg.with_deterministic();
+    }
+    cfg
+}
+
+/// Quantizes every element to a multiple of 0.25. Generated magnitudes
+/// are in [0.5, 1.5), so quantization never creates a new zero (the
+/// non-zero block structure is preserved) and all sums are exact.
+fn quantize(t: &mut Tensor) {
+    for v in t.as_mut_slice() {
+        *v = (*v * 4.0).round() * 0.25;
+    }
+}
+
+/// Per-round quantized inputs: `inputs[w][r]`.
+fn gen_inputs(s: &Scenario) -> Vec<Vec<Tensor>> {
+    let mut per_worker: Vec<Vec<Tensor>> = vec![Vec::new(); s.workers];
+    for r in 0..s.rounds {
+        let mut round = gen::workers(
+            s.workers,
+            s.elements,
+            BlockSpec::new(s.block_size),
+            s.sparsity,
+            s.density_within,
+            s.overlap,
+            s.seed + 1000 * r as u64,
+        );
+        for (w, t) in round.iter_mut().enumerate() {
+            quantize(t);
+            per_worker[w].push(t.clone());
+        }
+    }
+    per_worker
+}
+
+/// The oracle: a plain scalar loop, element by element, in worker-id
+/// order. No vectorized kernel, no engine machinery.
+fn scalar_oracle(inputs: &[Vec<Tensor>], round: usize) -> Tensor {
+    let len = inputs[0][round].len();
+    let mut out = vec![0.0f32; len];
+    for w in inputs {
+        for (o, v) in out.iter_mut().zip(w[round].as_slice()) {
+            *o += *v;
+        }
+    }
+    Tensor::from_vec(out)
+}
+
+fn assert_bits_eq(got: &Tensor, want: &Tensor, ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{ctx}: element {i} differs: {g} vs {w}"
+        );
+    }
+}
+
+#[test]
+fn lossless_engine_matches_scalar_oracle_across_matrix() {
+    with_deadline(Duration::from_secs(180), || {
+        for s in scenarios() {
+            if s.loss > 0.0 {
+                continue; // lossy plans target the recovery engine
+            }
+            let cfg = config_of(&s);
+            let inputs = gen_inputs(&s);
+            let result = run_group(&cfg, inputs.clone());
+            for r in 0..s.rounds {
+                let oracle = scalar_oracle(&inputs, r);
+                for (w, outs) in result.outputs.iter().enumerate() {
+                    assert_bits_eq(&outs[r], &oracle, &format!("{s:?} lossless w{w} r{r}"));
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn recovery_engine_matches_scalar_oracle_on_clean_mesh() {
+    with_deadline(Duration::from_secs(180), || {
+        for s in scenarios() {
+            if s.loss > 0.0 {
+                continue;
+            }
+            // Large fixed RTO: on a lossless mesh no timer should fire.
+            let cfg = config_of(&s).with_fixed_rto(Duration::from_secs(30));
+            let inputs = gen_inputs(&s);
+            let mut net = ChannelNetwork::new(cfg.mesh_size());
+            let endpoints = (0..cfg.mesh_size())
+                .map(|i| net.endpoint(NodeId(i as u16)))
+                .collect();
+            let result = run_recovery_group(&cfg, endpoints, inputs.clone());
+            for r in 0..s.rounds {
+                let oracle = scalar_oracle(&inputs, r);
+                for (w, outs) in result.outputs.iter().enumerate() {
+                    assert_bits_eq(&outs[r], &oracle, &format!("{s:?} recovery w{w} r{r}"));
+                }
+                for st in &result.stats {
+                    assert_eq!(st.retransmissions, 0, "{s:?}: clean mesh retransmitted");
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn recovery_engine_matches_scalar_oracle_under_loss() {
+    with_deadline(Duration::from_secs(300), || {
+        for s in scenarios() {
+            if s.loss == 0.0 {
+                continue;
+            }
+            let cfg = config_of(&s).with_fixed_rto(Duration::from_millis(25));
+            let inputs = gen_inputs(&s);
+            // Drops and duplicates: retransmissions and replays must fold
+            // idempotently (two-phase versioned slots).
+            let mut net = LossyNetwork::new(
+                cfg.mesh_size(),
+                LossConfig::uniform(s.loss, s.loss / 2.0, s.seed),
+            );
+            let endpoints = net.endpoints();
+            let result = run_recovery_group(&cfg, endpoints, inputs.clone());
+            for r in 0..s.rounds {
+                let oracle = scalar_oracle(&inputs, r);
+                for (w, outs) in result.outputs.iter().enumerate() {
+                    assert_bits_eq(
+                        &outs[r],
+                        &oracle,
+                        &format!("{s:?} lossy recovery w{w} r{r}"),
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn deterministic_mode_is_bitwise_reproducible_across_runs() {
+    // Non-quantized inputs (order-sensitive float sums): deterministic
+    // mode must still give the same bits on every run, regardless of
+    // thread scheduling.
+    with_deadline(Duration::from_secs(120), || {
+        let cfg = OmniConfig::new(3, 1 << 12)
+            .with_block_size(64)
+            .with_fusion(2)
+            .with_streams(2)
+            .with_aggregators(2)
+            .with_deterministic();
+        let inputs: Vec<Vec<Tensor>> = gen::workers(
+            3,
+            1 << 12,
+            BlockSpec::new(64),
+            0.4,
+            1.0,
+            OverlapMode::Random,
+            77,
+        )
+        .into_iter()
+        .map(|t| vec![t])
+        .collect();
+        let a = run_group(&cfg, inputs.clone());
+        let b = run_group(&cfg, inputs);
+        for (wa, wb) in a.outputs.iter().zip(&b.outputs) {
+            assert_bits_eq(&wa[0], &wb[0], "deterministic reruns");
+        }
+    });
+}
+
+/// The allocation-regression lock for satellite 3 (`ColSlot::contribs`
+/// clone-per-block) and the pooled codec path: after one warm-up block,
+/// a full block cycle — pooled checkout, encode, decode into scratch,
+/// accumulate for every worker, drain, result encode/decode, recycle —
+/// performs **zero** heap allocations. Runs single-threaded under the
+/// counting global allocator registered by this test binary.
+#[test]
+fn steady_state_block_cycle_allocates_nothing() {
+    const WORKERS: usize = 4;
+    const BLOCK: usize = 256;
+
+    let payloads: Vec<Vec<f32>> = (0..WORKERS)
+        .map(|w| (0..BLOCK).map(|i| (w * BLOCK + i) as f32 * 0.25).collect())
+        .collect();
+    let mut tensor = vec![0.0f32; BLOCK];
+
+    // Both reduction modes must be allocation-free after warm-up.
+    for deterministic in [false, true] {
+        let mut pool = BufferPool::for_block_size(BLOCK);
+        let mut acc = ColAccumulator::new(WORKERS, deterministic);
+        let mut wire: Vec<u8> = Vec::new();
+        let mut decoded = Message::Shutdown;
+
+        let cycle = |pool: &mut BufferPool,
+                         acc: &mut ColAccumulator,
+                         wire: &mut Vec<u8>,
+                         decoded: &mut Message,
+                         tensor: &mut [f32]| {
+            for (w, p) in payloads.iter().enumerate() {
+                let mut entries = pool.checkout_entries();
+                let mut data = pool.checkout_f32();
+                data.extend_from_slice(p);
+                entries.push(Entry::data(0, 0, data));
+                let msg = Message::Block(Packet {
+                    kind: PacketKind::Data,
+                    ver: 0,
+                    stream: 0,
+                    wid: w as u16,
+                    entries,
+                });
+                encode_into(&msg, wire);
+                pool.recycle_message(msg);
+                decode_into(wire, decoded).expect("valid frame");
+                let Message::Block(pkt) = &*decoded else {
+                    unreachable!()
+                };
+                acc.store(w, &pkt.entries[0].data);
+            }
+            let mut out = pool.checkout_f32();
+            acc.take_into(&mut out);
+            tensor.copy_from_slice(&out);
+            pool.checkin_f32(out);
+        };
+
+        // Warm-up: populates freelists, scratch capacities, accumulator
+        // buffers.
+        cycle(&mut pool, &mut acc, &mut wire, &mut decoded, &mut tensor);
+
+        let before = CountingAllocator::thread_allocations();
+        for _ in 0..100 {
+            cycle(&mut pool, &mut acc, &mut wire, &mut decoded, &mut tensor);
+        }
+        let allocs = CountingAllocator::thread_allocations() - before;
+        assert_eq!(
+            allocs, 0,
+            "steady-state block cycle (deterministic={deterministic}) allocated {allocs} times \
+             over 100 rounds"
+        );
+        let expect: f32 = (0..WORKERS).map(|w| (w * BLOCK) as f32 * 0.25).sum();
+        assert_eq!(tensor[0], expect);
+        assert!(pool.hits() > 0, "pool must be serving from freelists");
+    }
+}

@@ -1,0 +1,110 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The zero-allocation claim of the data plane (ISSUE 3 / DESIGN §9) is
+//! only worth making if it is *measured*: this module wraps
+//! [`std::alloc::System`] and counts every `alloc`/`realloc` call on a
+//! per-thread basis, so a test (or the `ablation_hotpath` bench) can
+//! assert that a warmed-up steady-state round performs **zero** heap
+//! allocations, regardless of what other test threads are doing
+//! concurrently.
+//!
+//! # Usage
+//!
+//! ```ignore
+//! use omnireduce_telemetry::alloc::CountingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator;
+//!
+//! let before = CountingAllocator::thread_allocations();
+//! hot_path();
+//! assert_eq!(CountingAllocator::thread_allocations() - before, 0);
+//! ```
+//!
+//! The counters are `thread_local!` [`Cell`]s with *const* initializers,
+//! so reading or bumping them never allocates (a lazily-initialized
+//! thread-local would recurse into the allocator). Registering the
+//! allocator is the embedder's choice — the telemetry crate itself never
+//! installs it, so production binaries pay nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Global allocator that forwards to [`System`] while counting
+/// allocation events per thread. See the module docs for usage.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Number of allocation events (alloc + realloc) performed by the
+    /// *current thread* since it started.
+    pub fn thread_allocations() -> u64 {
+        ALLOCS.with(|c| c.get())
+    }
+
+    /// Total bytes requested by allocation events on the current thread.
+    pub fn thread_alloc_bytes() -> u64 {
+        BYTES.with(|c| c.get())
+    }
+
+    /// Convenience: run `f` and return `(result, allocation_events)` for
+    /// the current thread.
+    pub fn count<R>(f: impl FnOnce() -> R) -> (R, u64) {
+        let before = Self::thread_allocations();
+        let out = f();
+        (out, Self::thread_allocations() - before)
+    }
+}
+
+// SAFETY: pure forwarding to `System`; the counter updates are plain
+// thread-local `Cell` writes with const initializers, which perform no
+// allocation and cannot re-enter the allocator.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + new_size as u64));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: the test binary does NOT register CountingAllocator as the
+    // global allocator (that would perturb every other test in this
+    // crate), so counters stay at 0 here; the real end-to-end exercise
+    // lives in `crates/core/tests/conformance.rs` and the
+    // `ablation_hotpath` bench, which do register it.
+    #[test]
+    fn counters_are_monotonic_and_thread_local() {
+        let a0 = CountingAllocator::thread_allocations();
+        let b0 = CountingAllocator::thread_alloc_bytes();
+        let (v, n) = CountingAllocator::count(|| vec![0u8; 128]);
+        assert_eq!(v.len(), 128);
+        // Not installed as #[global_allocator] in this binary → no events.
+        assert_eq!(n, 0);
+        assert!(CountingAllocator::thread_allocations() >= a0);
+        assert!(CountingAllocator::thread_alloc_bytes() >= b0);
+    }
+}

@@ -36,10 +36,13 @@
 //! still count into a private registry, so their public `stats()`
 //! accessors keep working with zero configuration.
 
+pub mod alloc;
 pub mod clock;
 pub mod json;
 pub mod metrics;
 pub mod trace;
+
+pub use alloc::CountingAllocator;
 
 pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot};

@@ -108,6 +108,74 @@ impl BlockSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Block reduction kernels (ISSUE 3: one kernel shared by every engine).
+// ---------------------------------------------------------------------------
+
+/// Scalar reference reduction: `acc[i] += src[i]`.
+///
+/// This is the pre-optimisation kernel, kept as the *oracle* for the
+/// differential conformance suite and the `ablation_hotpath` baseline.
+/// [`reduce_into`] must stay bit-identical to it.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn reduce_scalar_into(acc: &mut [f32], src: &[f32]) {
+    assert_eq!(acc.len(), src.len(), "block length mismatch in reduce");
+    for (a, s) in acc.iter_mut().zip(src.iter()) {
+        *a += *s;
+    }
+}
+
+/// Vectorized block reduction: `acc[i] += src[i]`, unrolled 8-wide with a
+/// scalar tail.
+///
+/// Every output element is produced by exactly one independent `f32` add,
+/// in the same element order as [`reduce_scalar_into`] — the unrolling
+/// only changes instruction scheduling, not the arithmetic — so the
+/// result is **bit-identical** to the scalar kernel. That property is
+/// what lets the differential suite use a scalar reference as a
+/// bit-exact oracle. The 8-wide `chunks_exact` bodies are free of
+/// bounds checks and autovectorize to SIMD adds.
+///
+/// Used by the aggregator, recovery, sim and switch engines (and
+/// [`crate::dense::Tensor::add_assign`]) so all hot paths share one
+/// kernel.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn reduce_into(acc: &mut [f32], src: &[f32]) {
+    assert_eq!(acc.len(), src.len(), "block length mismatch in reduce");
+    let mut a_it = acc.chunks_exact_mut(8);
+    let mut s_it = src.chunks_exact(8);
+    for (a, s) in (&mut a_it).zip(&mut s_it) {
+        a[0] += s[0];
+        a[1] += s[1];
+        a[2] += s[2];
+        a[3] += s[3];
+        a[4] += s[4];
+        a[5] += s[5];
+        a[6] += s[6];
+        a[7] += s[7];
+    }
+    for (a, s) in a_it.into_remainder().iter_mut().zip(s_it.remainder()) {
+        *a += *s;
+    }
+}
+
+/// Copies `src` into `dst`, reusing `dst`'s existing capacity.
+///
+/// The allocation-free replacement for `src.to_vec()` on the hot path:
+/// after warm-up the destination buffer has capacity for any block size
+/// in flight and `clear` + `extend_from_slice` performs no allocation.
+#[inline]
+pub fn copy_into(dst: &mut Vec<f32>, src: &[f32]) {
+    dst.clear();
+    dst.extend_from_slice(src);
+}
+
 /// Iterator over non-zero block indices; see [`BlockSpec::nonzero_blocks`].
 pub struct NonZeroBlocks<'a> {
     spec: BlockSpec,
@@ -214,5 +282,63 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_block_size_panics() {
         let _ = BlockSpec::new(0);
+    }
+
+    /// A deterministic pseudo-random f32 stream (no external deps needed).
+    fn lcg_floats(seed: u64, n: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                // Map to a wide range incl. negatives & subnormal-ish values.
+                let bits = ((s >> 33) as u32) & 0x3FFF_FFFF;
+                f32::from_bits(bits | 0x3000_0000) * if s & 1 == 0 { 1.0 } else { -1.0 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reduce_into_bit_identical_to_scalar() {
+        for len in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 256, 257, 1000] {
+            let src = lcg_floats(len as u64 + 1, len);
+            let base = lcg_floats(len as u64 + 7777, len);
+            let mut a = base.clone();
+            let mut b = base.clone();
+            reduce_scalar_into(&mut a, &src);
+            reduce_into(&mut b, &src);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_into_handles_nan_and_inf_like_scalar() {
+        let src = vec![f32::NAN, f32::INFINITY, -f32::INFINITY, 1.0e38, 1.0];
+        let mut a = vec![1.0, 1.0, 1.0, 3.0e38, -1.0];
+        let mut b = a.clone();
+        reduce_scalar_into(&mut a, &src);
+        reduce_into(&mut b, &src);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn reduce_into_length_mismatch_panics() {
+        let mut a = vec![0.0; 4];
+        reduce_into(&mut a, &[1.0; 5]);
+    }
+
+    #[test]
+    fn copy_into_reuses_capacity() {
+        let mut dst = Vec::with_capacity(16);
+        copy_into(&mut dst, &[1.0, 2.0, 3.0]);
+        assert_eq!(dst, vec![1.0, 2.0, 3.0]);
+        let ptr = dst.as_ptr();
+        copy_into(&mut dst, &[4.0; 8]);
+        assert_eq!(dst, vec![4.0; 8]);
+        assert_eq!(ptr, dst.as_ptr(), "capacity must be reused");
     }
 }

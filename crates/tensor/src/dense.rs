@@ -60,19 +60,17 @@ impl Tensor {
     }
 
     /// Element-wise `self += other`. Panics if lengths differ.
+    ///
+    /// Delegates to the shared vectorized kernel
+    /// [`crate::block::reduce_into`]; bit-identical to the scalar loop.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.len(), other.len(), "tensor length mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += *b;
-        }
+        crate::block::reduce_into(&mut self.data, &other.data);
     }
 
     /// Element-wise `self += slice` starting at `offset`.
     pub fn add_slice_at(&mut self, offset: usize, values: &[f32]) {
-        let dst = &mut self.data[offset..offset + values.len()];
-        for (a, b) in dst.iter_mut().zip(values) {
-            *a += *b;
-        }
+        crate::block::reduce_into(&mut self.data[offset..offset + values.len()], values);
     }
 
     /// Overwrites `[offset, offset+values.len())` with `values`.

@@ -34,7 +34,7 @@ pub mod gen;
 pub mod stats;
 
 pub use bitmap::NonZeroBitmap;
-pub use block::{BlockIdx, BlockSpec, INFINITY_BLOCK};
+pub use block::{copy_into, reduce_into, reduce_scalar_into, BlockIdx, BlockSpec, INFINITY_BLOCK};
 pub use coo::CooTensor;
 pub use dense::Tensor;
 pub use fusion::FusionLayout;

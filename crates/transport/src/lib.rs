@@ -34,6 +34,7 @@ pub mod codec;
 pub mod fault;
 pub mod lossy;
 pub mod message;
+pub mod pool;
 pub mod tcp;
 pub mod timer;
 pub mod udp;
@@ -42,6 +43,7 @@ pub use channel::ChannelNetwork;
 pub use fault::{ChaosNetwork, ChaosTransport, FaultPlan, KeyedLoss};
 pub use lossy::{GilbertElliott, LossConfig, LossyNetwork};
 pub use message::{Entry, KvPacket, Message, NodeId, Packet, PacketKind};
+pub use pool::BufferPool;
 pub use tcp::TcpNetwork;
 pub use udp::UdpNetwork;
 

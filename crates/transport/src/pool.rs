@@ -1,0 +1,312 @@
+//! Buffer pooling for the zero-allocation data plane (DESIGN §9).
+//!
+//! The hot loops of Algorithm 1/2 move one block payload (`Vec<f32>`),
+//! one encoded frame (`Vec<u8>`) and one entry list (`Vec<Entry>`) per
+//! packet. Allocating those per packet is what keeps a software
+//! aggregator from sustaining line rate on small blocks (the paper's
+//! §6.4.1 regime), so every protocol engine owns a [`BufferPool`]: a
+//! trio of freelists from which buffers are checked out per packet and
+//! to which they are returned once the packet is sent or reduced. After
+//! a warm-up round the freelists cover the engine's working set and the
+//! steady state performs **zero** heap allocations on the reliable path
+//! (asserted by `crates/core/tests/conformance.rs` and measured by the
+//! `ablation_hotpath` bench).
+//!
+//! The pool is single-owner (`&mut self` methods, no locking): each
+//! engine runs on one protocol thread and owns its pool, so checkout /
+//! checkin are a `Vec::pop` / `Vec::push`. Telemetry reports hits,
+//! misses and freelist depths under `transport.pool.<name>.*`.
+
+use crate::message::{Entry, Message};
+use omnireduce_telemetry::{Counter, Gauge, Telemetry};
+
+/// Default element capacity of a fresh `f32` buffer (one default-sized
+/// block; see `omnireduce_tensor::block::DEFAULT_BLOCK_SIZE`).
+pub const DEFAULT_F32_CAPACITY: usize = 256;
+
+/// Default byte capacity of a fresh frame buffer (covers a fused packet
+/// of a few default-sized blocks).
+pub const DEFAULT_BYTE_CAPACITY: usize = 4096;
+
+/// Default cap on buffers retained per freelist.
+pub const DEFAULT_MAX_FREE: usize = 1024;
+
+/// A freelist pool of fixed-capacity buffers; see the module docs.
+pub struct BufferPool {
+    f32_free: Vec<Vec<f32>>,
+    byte_free: Vec<Vec<u8>>,
+    entry_free: Vec<Vec<Entry>>,
+    f32_capacity: usize,
+    byte_capacity: usize,
+    max_free: usize,
+    hits: Counter,
+    misses: Counter,
+    free_f32: Gauge,
+    free_bytes: Gauge,
+    free_entries: Gauge,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("f32_free", &self.f32_free.len())
+            .field("byte_free", &self.byte_free.len())
+            .field("entry_free", &self.entry_free.len())
+            .field("hits", &self.hits.get())
+            .field("misses", &self.misses.get())
+            .finish()
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new(DEFAULT_F32_CAPACITY, DEFAULT_BYTE_CAPACITY, DEFAULT_MAX_FREE)
+    }
+}
+
+impl BufferPool {
+    /// Creates an empty pool. Fresh `f32` buffers are allocated with
+    /// `f32_capacity` elements, fresh byte buffers with `byte_capacity`
+    /// bytes; each freelist retains at most `max_free` buffers (excess
+    /// checkins are dropped so a burst cannot pin memory forever).
+    pub fn new(f32_capacity: usize, byte_capacity: usize, max_free: usize) -> Self {
+        BufferPool {
+            f32_free: Vec::new(),
+            byte_free: Vec::new(),
+            entry_free: Vec::new(),
+            f32_capacity,
+            byte_capacity,
+            max_free,
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            free_f32: Gauge::default(),
+            free_bytes: Gauge::default(),
+            free_entries: Gauge::default(),
+        }
+    }
+
+    /// Creates a pool sized for `block_size`-element payloads.
+    pub fn for_block_size(block_size: usize) -> Self {
+        BufferPool::new(
+            block_size.max(1),
+            crate::codec::BLOCK_HEADER_BYTES + 8 * (crate::codec::ENTRY_HEADER_BYTES + 4 * block_size.max(1)),
+            DEFAULT_MAX_FREE,
+        )
+    }
+
+    /// Attaches this pool's hit/miss counters and freelist-depth gauges
+    /// to `telemetry` under `transport.pool.<name>.*`.
+    pub fn with_telemetry(mut self, name: &str, telemetry: &Telemetry) -> Self {
+        self.hits = telemetry.counter(&format!("transport.pool.{name}.hits"));
+        self.misses = telemetry.counter(&format!("transport.pool.{name}.misses"));
+        self.free_f32 = telemetry.gauge(&format!("transport.pool.{name}.free_f32"));
+        self.free_bytes = telemetry.gauge(&format!("transport.pool.{name}.free_bytes"));
+        self.free_entries = telemetry.gauge(&format!("transport.pool.{name}.free_entries"));
+        self
+    }
+
+    /// Checkout hits (buffer served from a freelist) so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Checkout misses (freelist empty → fresh allocation) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Checks out an empty `f32` payload buffer.
+    #[inline]
+    pub fn checkout_f32(&mut self) -> Vec<f32> {
+        match self.f32_free.pop() {
+            Some(buf) => {
+                self.hits.inc();
+                self.free_f32.set(self.f32_free.len() as u64);
+                buf
+            }
+            None => {
+                self.misses.inc();
+                Vec::with_capacity(self.f32_capacity)
+            }
+        }
+    }
+
+    /// Returns an `f32` buffer to the pool (cleared, capacity kept).
+    #[inline]
+    pub fn checkin_f32(&mut self, mut buf: Vec<f32>) {
+        if self.f32_free.len() < self.max_free && buf.capacity() > 0 {
+            buf.clear();
+            self.f32_free.push(buf);
+            self.free_f32.set(self.f32_free.len() as u64);
+        }
+    }
+
+    /// Checks out an empty byte buffer (for encoded frames).
+    #[inline]
+    pub fn checkout_bytes(&mut self) -> Vec<u8> {
+        match self.byte_free.pop() {
+            Some(buf) => {
+                self.hits.inc();
+                self.free_bytes.set(self.byte_free.len() as u64);
+                buf
+            }
+            None => {
+                self.misses.inc();
+                Vec::with_capacity(self.byte_capacity)
+            }
+        }
+    }
+
+    /// Returns a byte buffer to the pool (cleared, capacity kept).
+    #[inline]
+    pub fn checkin_bytes(&mut self, mut buf: Vec<u8>) {
+        if self.byte_free.len() < self.max_free && buf.capacity() > 0 {
+            buf.clear();
+            self.byte_free.push(buf);
+            self.free_bytes.set(self.byte_free.len() as u64);
+        }
+    }
+
+    /// Checks out an empty entry list.
+    #[inline]
+    pub fn checkout_entries(&mut self) -> Vec<Entry> {
+        match self.entry_free.pop() {
+            Some(buf) => {
+                self.hits.inc();
+                self.free_entries.set(self.entry_free.len() as u64);
+                buf
+            }
+            None => {
+                self.misses.inc();
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns an entry list, first recycling every entry's payload into
+    /// the `f32` freelist.
+    #[inline]
+    pub fn checkin_entries(&mut self, mut entries: Vec<Entry>) {
+        for e in entries.drain(..) {
+            self.checkin_f32(e.data);
+        }
+        if self.entry_free.len() < self.max_free {
+            self.entry_free.push(entries);
+            self.free_entries.set(self.entry_free.len() as u64);
+        }
+    }
+
+    /// Recycles the payload buffers of `entries` in place (the list keeps
+    /// its own capacity with the caller).
+    #[inline]
+    pub fn recycle_entries(&mut self, entries: &mut Vec<Entry>) {
+        for e in entries.drain(..) {
+            self.checkin_f32(e.data);
+        }
+    }
+
+    /// Consumes a message that has been sent (transports borrow
+    /// `&Message`, so the sender still owns it afterwards) and returns
+    /// its buffers to the pool.
+    pub fn recycle_message(&mut self, msg: Message) {
+        match msg {
+            Message::Block(p) => self.checkin_entries(p.entries),
+            Message::Kv(_) | Message::Start { .. } | Message::Shutdown => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Packet, PacketKind};
+
+    #[test]
+    fn checkout_miss_then_hit() {
+        let mut pool = BufferPool::new(8, 64, 4);
+        let b = pool.checkout_f32();
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(b.capacity(), 8);
+        pool.checkin_f32(b);
+        let b2 = pool.checkout_f32();
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(b2.capacity(), 8);
+        assert!(b2.is_empty());
+    }
+
+    #[test]
+    fn checkin_clears_and_reuses_allocation() {
+        let mut pool = BufferPool::new(4, 64, 4);
+        let mut b = pool.checkout_f32();
+        b.extend_from_slice(&[1.0, 2.0]);
+        let ptr = b.as_ptr();
+        pool.checkin_f32(b);
+        let b2 = pool.checkout_f32();
+        assert!(b2.is_empty());
+        assert_eq!(b2.as_ptr(), ptr, "same allocation must come back");
+    }
+
+    #[test]
+    fn max_free_caps_retention() {
+        let mut pool = BufferPool::new(4, 64, 2);
+        for _ in 0..5 {
+            let b = pool.checkout_f32();
+            // Cannot checkin inside the loop without hits; checkout fresh each time.
+            drop(b);
+        }
+        for _ in 0..5 {
+            pool.checkin_f32(Vec::with_capacity(4));
+        }
+        assert_eq!(pool.f32_free.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_not_retained() {
+        let mut pool = BufferPool::new(4, 64, 4);
+        pool.checkin_f32(Vec::new());
+        assert_eq!(pool.f32_free.len(), 0);
+    }
+
+    #[test]
+    fn entries_recycle_payloads() {
+        let mut pool = BufferPool::new(4, 64, 8);
+        let mut entries = pool.checkout_entries();
+        entries.push(Entry::data(0, 1, vec![1.0; 4]));
+        entries.push(Entry::ack(1, 2));
+        pool.checkin_entries(entries);
+        assert_eq!(pool.entry_free.len(), 1);
+        // ack's empty Vec is dropped (no capacity), data Vec is kept.
+        assert_eq!(pool.f32_free.len(), 1);
+        let b = pool.checkout_f32();
+        assert_eq!(b.capacity(), 4);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn recycle_message_returns_block_buffers() {
+        let mut pool = BufferPool::new(4, 64, 8);
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Result,
+            ver: 0,
+            stream: 0,
+            wid: 0,
+            entries: vec![Entry::data(0, 1, vec![0.5; 4])],
+        });
+        pool.recycle_message(msg);
+        assert_eq!(pool.f32_free.len(), 1);
+        assert_eq!(pool.entry_free.len(), 1);
+        pool.recycle_message(Message::Shutdown);
+    }
+
+    #[test]
+    fn telemetry_wiring() {
+        let t = Telemetry::new();
+        let mut pool = BufferPool::new(4, 64, 4).with_telemetry("test", &t);
+        let b = pool.checkout_f32();
+        pool.checkin_f32(b);
+        let _ = pool.checkout_f32();
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("transport.pool.test.misses"), 1);
+        assert_eq!(snap.counter("transport.pool.test.hits"), 1);
+    }
+}

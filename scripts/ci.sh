@@ -53,6 +53,24 @@ else
   step "fault suite" cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test fault -q
 fi
 
+# Cross-engine differential suite: every protocol implementation
+# (lossless, recovery clean/lossy, hierarchical, both simulators) against
+# the scalar oracle, bit-identical / wire-byte-exact. Runs as part of
+# `cargo test --workspace` above too; called out explicitly so a
+# correctness divergence is named in the CI log.
+step "differential (core conformance)" \
+  cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test conformance -q
+step "differential (workspace engines)" \
+  cargo test "${CARGO_FLAGS[@]}" -p omnireduce --test differential -q
+
+# Zero-allocation hot-path gate: fails if a steady-state round allocates
+# or if ns/block regresses >2x past the committed baseline.
+if [[ "$FAST" -eq 0 ]]; then
+  step "hotpath allocation gate" \
+    cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+    --bin ablation_hotpath -- --check
+fi
+
 if cargo fmt --version >/dev/null 2>&1; then
   step "fmt" cargo fmt --all -- --check
 else
