@@ -18,7 +18,8 @@
 //! ns/block. `--check` turns it into a CI regression gate:
 //!
 //! * fails (exit 1) if the pooled path performs any steady-state
-//!   allocation;
+//!   allocation — in the single-shard loop or in the 2-shard variant
+//!   that routes blocks round-robin across per-lane scratch (§4);
 //! * fails if pooled ns/block regresses more than 2× against the
 //!   committed baseline `results/ablation_hotpath.baseline.json`
 //!   (written on first run, kept in the repo thereafter).
@@ -29,7 +30,9 @@ use omnireduce_bench::Table;
 use omnireduce_core::ColAccumulator;
 use omnireduce_telemetry::alloc::CountingAllocator;
 use omnireduce_telemetry::json::JsonValue;
-use omnireduce_transport::codec::{decode_into, encode_into, BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
+use omnireduce_transport::codec::{
+    decode_into, encode_into, BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES,
+};
 use omnireduce_transport::{BufferPool, Entry, Message, Packet, PacketKind};
 
 #[global_allocator]
@@ -58,7 +61,9 @@ fn data_packet(wid: usize, block: u32, payload: Vec<f32>) -> Message {
 /// The pre-ISSUE-3 encoder: fresh frame buffer, one `extend_from_slice`
 /// per value (the old `codec::encode` body, kept here as the baseline).
 fn legacy_encode(msg: &Message) -> Vec<u8> {
-    let Message::Block(p) = msg else { unreachable!() };
+    let Message::Block(p) = msg else {
+        unreachable!()
+    };
     let len = BLOCK_HEADER_BYTES
         + p.entries
             .iter()
@@ -228,6 +233,77 @@ fn pooled_round(payloads: &[Vec<f32>], tensor: &mut [f32], s: &mut PooledScratch
     }
 }
 
+/// Aggregator shard lanes in the sharded steady state (§4).
+const SHARDS: usize = 2;
+
+/// Per-lane persistent scratch of the sharded data plane: the sharded
+/// worker keeps one wire buffer and one accumulator per aggregator
+/// lane, all fed from a single pool.
+struct ShardedScratch {
+    pool: BufferPool,
+    lanes: Vec<(ColAccumulator, Vec<u8>)>,
+    decoded: Message,
+}
+
+impl ShardedScratch {
+    fn new() -> Self {
+        ShardedScratch {
+            pool: BufferPool::for_block_size(BLOCK),
+            lanes: (0..SHARDS)
+                .map(|_| (ColAccumulator::new(N_WORKERS, false), Vec::new()))
+                .collect(),
+            decoded: Message::Shutdown,
+        }
+    }
+}
+
+/// The pooled hot path with blocks routed round-robin across two shard
+/// lanes, each with its own wire scratch and accumulator. Sharding must
+/// not reintroduce steady-state allocations.
+fn sharded_round(payloads: &[Vec<f32>], tensor: &mut [f32], s: &mut ShardedScratch) {
+    for b in 0..BLOCKS_PER_ROUND {
+        let (acc, wire) = &mut s.lanes[b % SHARDS];
+        for (w, p) in payloads.iter().enumerate() {
+            let mut entries = s.pool.checkout_entries();
+            let mut data = s.pool.checkout_f32();
+            data.extend_from_slice(p);
+            entries.push(Entry::data(b as u32, 0, data));
+            let msg = Message::Block(Packet {
+                kind: PacketKind::Data,
+                ver: 0,
+                stream: (b % SHARDS) as u16,
+                wid: w as u16,
+                entries,
+            });
+            encode_into(&msg, wire);
+            s.pool.recycle_message(msg);
+            decode_into(wire, &mut s.decoded).expect("valid frame");
+            let Message::Block(pkt) = &s.decoded else {
+                unreachable!()
+            };
+            acc.store(w, &pkt.entries[0].data);
+        }
+        let mut out = s.pool.checkout_f32();
+        acc.take_into(&mut out);
+        let mut entries = s.pool.checkout_entries();
+        entries.push(Entry::data(b as u32, 0, out));
+        let result = Message::Block(Packet {
+            kind: PacketKind::Result,
+            ver: 0,
+            stream: (b % SHARDS) as u16,
+            wid: u16::MAX,
+            entries,
+        });
+        encode_into(&result, wire);
+        decode_into(wire, &mut s.decoded).expect("valid frame");
+        let Message::Block(pkt) = &s.decoded else {
+            unreachable!()
+        };
+        tensor[..BLOCK].copy_from_slice(&pkt.entries[0].data);
+        s.pool.recycle_message(result);
+    }
+}
+
 struct Measurement {
     ns_per_block: f64,
     allocs_per_round: f64,
@@ -289,7 +365,10 @@ fn main() {
     let legacy = measure(legacy_round);
     let mut scratch = PooledScratch::new();
     let pooled = measure(|p, t| pooled_round(p, t, &mut scratch));
+    let mut sharded_scratch = ShardedScratch::new();
+    let sharded = measure(|p, t| sharded_round(p, t, &mut sharded_scratch));
     let speedup = legacy.ns_per_block / pooled.ns_per_block;
+    let sharded_speedup = legacy.ns_per_block / sharded.ns_per_block;
 
     let mut t = Table::new(
         "Ablation: data-plane hot path — legacy vs pooled+vectorized (DESIGN §9)",
@@ -307,6 +386,12 @@ fn main() {
         format!("{:.1}", pooled.allocs_per_round),
         format!("{speedup:.2}x"),
     ]);
+    t.row(vec![
+        format!("pooled, {SHARDS}-shard lanes (§4)"),
+        format!("{:.0}", sharded.ns_per_block),
+        format!("{:.1}", sharded.allocs_per_round),
+        format!("{sharded_speedup:.2}x"),
+    ]);
     t.emit("ablation_hotpath");
 
     if !check {
@@ -317,6 +402,14 @@ fn main() {
         eprintln!(
             "CHECK FAIL: pooled path allocated {:.1} times/round in steady state (expected 0)",
             pooled.allocs_per_round
+        );
+        failed = true;
+    }
+    if sharded.allocs_per_round > 0.0 {
+        eprintln!(
+            "CHECK FAIL: {SHARDS}-shard pooled path allocated {:.1} times/round in steady state \
+             (expected 0)",
+            sharded.allocs_per_round
         );
         failed = true;
     }
@@ -346,8 +439,11 @@ fn main() {
             write_baseline(pooled.ns_per_block);
         }
     }
-    if pooled.allocs_per_round == 0.0 {
-        println!("check: pooled path steady state performs 0 allocations/round");
+    if pooled.allocs_per_round == 0.0 && sharded.allocs_per_round == 0.0 {
+        println!(
+            "check: pooled path steady state performs 0 allocations/round \
+             (single-shard and {SHARDS}-shard)"
+        );
     }
     if failed {
         std::process::exit(1);

@@ -1,0 +1,136 @@
+//! Ablation: multi-aggregator sharding (§4).
+//!
+//! OmniReduce scales aggregation bandwidth by round-robin-sharding
+//! blocks across N parallel aggregators. With dedicated shard NICs the
+//! single-aggregator bottleneck (one NIC absorbing every worker's
+//! traffic) splits N ways, so goodput should scale until the workers'
+//! own NICs become the limit.
+//!
+//! Two artefacts:
+//!
+//! * **Goodput scaling** — completion time and goodput at 1% block
+//!   density and fully dense, for 1/2/4/8 aggregators. Acceptance: the
+//!   sparse goodput is strictly monotone from 1 → 4 aggregators
+//!   (`--check` enforces this and exits non-zero otherwise).
+//! * **Dense/sparse crossover** — OmniReduce time relative to dense
+//!   streaming at the same shard count, across block densities: the
+//!   density where sparse aggregation stops paying (ratio crosses 1.0)
+//!   shifts as sharding removes the aggregation bottleneck.
+
+use omnireduce_bench::{micro_bitmaps, ms, Table, Testbed, BLOCK_SIZE, FUSION};
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::sim::{simulate_allreduce, SimSpec};
+use omnireduce_simnet::SimTime;
+use omnireduce_tensor::gen::OverlapMode;
+use omnireduce_tensor::NonZeroBitmap;
+
+const N: usize = 4;
+const ELEMENTS: usize = 6_250_000; // 25 MB
+const STREAMS_PER_SHARD: usize = 8;
+const AGGREGATORS: [usize; 4] = [1, 2, 4, 8];
+/// The acceptance gate's block density: 1% non-zero blocks.
+const SPARSE_DENSITY: f64 = 0.01;
+
+fn config(aggregators: usize) -> OmniConfig {
+    OmniConfig::new(N, ELEMENTS)
+        .with_block_size(BLOCK_SIZE)
+        .with_fusion(FUSION)
+        .with_streams(STREAMS_PER_SHARD)
+        .with_aggregators(aggregators)
+}
+
+/// Completion time and goodput (aggregate worker tx bytes over
+/// completion) on the DPDK testbed with dedicated shard NICs. No
+/// host-copy floor: this ablation isolates aggregation bandwidth.
+fn run(cfg: OmniConfig, bms: &[NonZeroBitmap]) -> (SimTime, f64) {
+    let spec = SimSpec::dedicated(cfg, Testbed::Dpdk10.bandwidth(), Testbed::Dpdk10.latency());
+    let out = simulate_allreduce(&spec, bms);
+    let gbps = out.worker_tx_bytes as f64 * 8.0 / out.completion.as_secs_f64() / 1e9;
+    (out.completion, gbps)
+}
+
+fn density_bitmaps(density: f64, seed: u64) -> Vec<NonZeroBitmap> {
+    if density >= 1.0 {
+        micro_bitmaps(N, ELEMENTS, 0.0, OverlapMode::All, seed)
+    } else {
+        micro_bitmaps(N, ELEMENTS, 1.0 - density, OverlapMode::Random, seed)
+    }
+}
+
+/// Sparse goodput series over the acceptance shard counts, in sweep
+/// order.
+fn sparse_goodput(counts: &[usize]) -> Vec<f64> {
+    let bms = density_bitmaps(SPARSE_DENSITY, 3);
+    counts.iter().map(|&a| run(config(a), &bms).1).collect()
+}
+
+fn check() {
+    let counts = [1usize, 2, 4];
+    let goodput = sparse_goodput(&counts);
+    for i in 1..counts.len() {
+        assert!(
+            goodput[i] > goodput[i - 1],
+            "goodput must scale monotonically at {SPARSE_DENSITY} density: \
+             {} aggregators gave {:.3} Gbps, {} gave {:.3} Gbps",
+            counts[i - 1],
+            goodput[i - 1],
+            counts[i],
+            goodput[i],
+        );
+    }
+    println!(
+        "ablation_sharding --check OK: goodput {:.3} -> {:.3} -> {:.3} Gbps across 1/2/4 shards",
+        goodput[0], goodput[1], goodput[2]
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check();
+        return;
+    }
+
+    let sparse = density_bitmaps(SPARSE_DENSITY, 3);
+    let dense = density_bitmaps(1.0, 3);
+    let mut scaling = Table::new(
+        "Ablation: aggregator sharding, 25 MB, DPDK-10G dedicated NICs",
+        &[
+            "aggregators",
+            "sparse-1% [ms]",
+            "sparse goodput [Gbps]",
+            "dense [ms]",
+            "dense goodput [Gbps]",
+        ],
+    );
+    for a in AGGREGATORS {
+        let (ts, gs) = run(config(a), &sparse);
+        let (td, gd) = run(config(a).dense_streaming(), &dense);
+        scaling.row(vec![
+            a.to_string(),
+            ms(ts),
+            format!("{gs:.3}"),
+            ms(td),
+            format!("{gd:.3}"),
+        ]);
+    }
+    scaling.emit("ablation_sharding");
+
+    let mut crossover = Table::new(
+        "Sharding crossover: OmniReduce time / dense-streaming time (same shards)",
+        &["density", "A=1", "A=2", "A=4", "A=8"],
+    );
+    for density in [0.01, 0.10, 0.25, 0.50, 0.75, 1.0] {
+        let bms = density_bitmaps(density, 5);
+        let mut cells = vec![format!("{:.0}%", density * 100.0)];
+        for a in AGGREGATORS {
+            let (t_sparse, _) = run(config(a), &bms);
+            let (t_dense, _) = run(config(a).dense_streaming(), &dense);
+            cells.push(format!(
+                "{:.2}",
+                t_sparse.as_secs_f64() / t_dense.as_secs_f64()
+            ));
+        }
+        crossover.row(cells);
+    }
+    crossover.emit("ablation_sharding_crossover");
+}

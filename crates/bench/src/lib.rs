@@ -141,6 +141,7 @@ pub fn omni_config(n: usize, elements: usize) -> OmniConfig {
 /// | `OMNIREDUCE_MAX_RETRANSMITS` | Retry budget before `PeerUnresponsive` |
 /// | `OMNIREDUCE_EVICTION_TIMEOUT_MS` | Aggregator worker-eviction timeout, integer ms |
 /// | `OMNIREDUCE_DEGRADED_MODE` | `abort` or `drop_worker` |
+/// | `OMNIREDUCE_NUM_AGGREGATORS` | Aggregator shard count (§4 round-robin sharding), ≥ 1 |
 ///
 /// Unset or unparsable variables leave the config untouched.
 pub mod env_knobs {
@@ -188,6 +189,12 @@ pub mod env_knobs {
         {
             cfg.degraded_mode = m;
         }
+        if let Some(a) = lookup("OMNIREDUCE_NUM_AGGREGATORS")
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&a| a >= 1)
+        {
+            cfg.num_aggregators = a;
+        }
         cfg
     }
 
@@ -216,6 +223,7 @@ pub mod env_knobs {
                         "OMNIREDUCE_MAX_RETRANSMITS" => "5",
                         "OMNIREDUCE_EVICTION_TIMEOUT_MS" => "1234",
                         "OMNIREDUCE_DEGRADED_MODE" => "drop_worker",
+                        "OMNIREDUCE_NUM_AGGREGATORS" => "4",
                         _ => return None,
                     }
                     .to_string(),
@@ -228,6 +236,17 @@ pub mod env_knobs {
             assert_eq!(out.max_retransmits, 5);
             assert_eq!(out.worker_eviction_timeout, Duration::from_millis(1234));
             assert_eq!(out.degraded_mode, DegradedMode::DropWorker);
+            assert_eq!(out.num_aggregators, 4);
+        }
+
+        #[test]
+        fn rejects_a_zero_aggregator_count() {
+            let cfg = OmniConfig::new(2, 1024);
+            let out = apply_from(cfg, |name| match name {
+                "OMNIREDUCE_NUM_AGGREGATORS" => Some("0".to_string()),
+                _ => None,
+            });
+            assert_eq!(out.num_aggregators, 1, "zero shards must be ignored");
         }
 
         #[test]

@@ -216,7 +216,8 @@ impl<T: Transport> OmniAggregator<T> {
     pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
         let mut a = Self::new(transport, cfg);
         a.counters = AggregatorCounters::registered(telemetry);
-        a.pool = BufferPool::for_block_size(a.cfg.block_size).with_telemetry("aggregator", telemetry);
+        a.pool =
+            BufferPool::for_block_size(a.cfg.block_size).with_telemetry("aggregator", telemetry);
         a
     }
 

@@ -37,6 +37,7 @@ mod instrument;
 pub mod kv;
 pub mod layout;
 pub mod recovery;
+pub mod shard;
 pub mod sim;
 pub mod sim_hierarchical;
 pub mod sim_recovery;
@@ -53,5 +54,6 @@ pub use error::ProtocolError;
 pub use kv::{KvAggregator, KvConfig, KvWorker};
 pub use layout::StreamLayout;
 pub use recovery::{RecoveryAggregator, RecoveryAggregatorStats, RecoveryStats, RecoveryWorker};
+pub use shard::{ShardJoin, ShardMap, ShardedAllReduce, ShardedWorker};
 pub use slot::ColAccumulator;
 pub use worker::{OmniWorker, WorkerStats};

@@ -151,6 +151,10 @@ pub struct RecoveryWorker<T: Transport> {
     /// so later rounds start from a converged RTO.
     rtt: Vec<RttEstimator>,
     stats: RecoveryStats,
+    /// Wire bytes sent per destination shard (index = shard), so
+    /// multi-aggregator deployments can account each shard's traffic
+    /// independently (DESIGN §10).
+    shard_bytes: Vec<u64>,
     counters: RecoveryCounters,
     /// Freelists for outgoing packet buffers (payloads and entry lists
     /// are checked out per packet and recycled when the packet's phase
@@ -186,6 +190,7 @@ impl<T: Transport> RecoveryWorker<T> {
             })
             .collect();
         let pool = BufferPool::for_block_size(cfg.block_size);
+        let shard_bytes = vec![0; cfg.num_aggregators];
         RecoveryWorker {
             transport,
             cfg,
@@ -194,6 +199,7 @@ impl<T: Transport> RecoveryWorker<T> {
             ver,
             rtt,
             stats: RecoveryStats::default(),
+            shard_bytes,
             counters: RecoveryCounters::detached(),
             pool,
         }
@@ -210,6 +216,12 @@ impl<T: Transport> RecoveryWorker<T> {
     /// Traffic counters so far.
     pub fn stats(&self) -> RecoveryStats {
         self.stats
+    }
+
+    /// Wire bytes sent to each aggregator shard (index = shard). Sums
+    /// to [`RecoveryStats::bytes_sent`].
+    pub fn shard_bytes(&self) -> &[u64] {
+        &self.shard_bytes
     }
 
     /// The RTO to arm for the next packet to `shard`: adaptive
@@ -395,6 +407,7 @@ impl<T: Transport> RecoveryWorker<T> {
                     self.counters.solicited_retransmissions.inc();
                     self.counters.bytes_sent.add(wire_bytes);
                     let shard = self.cfg.shard_of_stream(g);
+                    self.shard_bytes[shard] += wire_bytes;
                     self.transport
                         .send(NodeId(self.cfg.aggregator_node(shard)), &o.msg)?;
                     let rto = self.next_rto(shard);
@@ -439,6 +452,7 @@ impl<T: Transport> RecoveryWorker<T> {
                         self.stats.bytes_sent += wire_bytes;
                         self.counters.retransmissions.inc();
                         self.counters.bytes_sent.add(wire_bytes);
+                        self.shard_bytes[shard] += wire_bytes;
                         self.transport
                             .send(NodeId(self.cfg.aggregator_node(shard)), &o.msg)?;
                         let rto = self.next_rto(shard);
@@ -472,6 +486,7 @@ impl<T: Transport> RecoveryWorker<T> {
         self.counters.packets_sent.inc();
         self.counters.bytes_sent.add(wire_bytes);
         let shard = self.cfg.shard_of_stream(stream);
+        self.shard_bytes[shard] += wire_bytes;
         self.transport
             .send(NodeId(self.cfg.aggregator_node(shard)), msg)
     }

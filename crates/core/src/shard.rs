@@ -1,0 +1,897 @@
+//! Multi-aggregator sharding (§4): block-index round-robin across N
+//! parallel aggregator engines, each on its own OS thread.
+//!
+//! The paper scales aggregation bandwidth by running several aggregator
+//! processes and assigning blocks to them round-robin by block index.
+//! This reproduction expresses the assignment through the stream
+//! geometry: block `b` belongs to stream `(b / w) % T` (width `w`,
+//! `T = streams_per_shard × num_aggregators` total streams), and stream
+//! `g` belongs to shard `g % num_aggregators`. Because the aggregator
+//! count always divides `T`, the composition collapses — with `w = 1`,
+//! `shard_of_block(b) = b % num_aggregators`, exactly the paper's
+//! round-robin; with Block Fusion the unit of assignment becomes the
+//! fused row, preserving the same interleaving at row granularity.
+//! [`ShardMap`] makes the mapping first-class and testable.
+//!
+//! * [`ShardedWorker`] runs Algorithm 1 with **one transport lane and
+//!   one set of next-nonzero-block cursors per shard**, instead of one
+//!   multiplexed connection. Lanes are polled fairly; per-shard traffic
+//!   counters feed the wire-byte differential suite.
+//! * [`ShardJoin`] is the explicit completion join: a round finishes
+//!   when every shard's streams have finished, and a shard owning no
+//!   blocks (possible for short tensors) completes immediately rather
+//!   than wedging the round.
+//! * [`ShardedAllReduce`] deploys the whole group — N aggregator
+//!   engines and M workers on real OS threads — for the lossless and
+//!   the Algorithm 2 recovery engines, with optional per-shard fault
+//!   plans ([`ShardedChaosMesh`]).
+//!
+//! **Determinism.** Every block is owned by exactly one shard, and
+//! workers write result blocks into disjoint tensor ranges, so
+//! cross-shard thread interleaving cannot affect *which* values land
+//! where. With [`OmniConfig::deterministic`] each shard reduces every
+//! block in worker-id order (§7), so the bits of each block are also
+//! interleaving-independent: a sharded run's output is bit-identical to
+//! the single-aggregator reference. The conformance suite asserts this
+//! across seeded interleavings (DESIGN §10).
+
+use std::thread;
+use std::time::Duration;
+
+use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
+use omnireduce_transport::{
+    codec, BufferPool, Entry, FaultPlan, Message, NodeId, Packet, PacketKind, ShardedChannelMesh,
+    ShardedChaosMesh, Transport, TransportError,
+};
+
+use omnireduce_telemetry::Telemetry;
+
+use crate::aggregator::{AggregatorStats, OmniAggregator};
+use crate::config::OmniConfig;
+use crate::error::ProtocolError;
+use crate::layout::StreamLayout;
+use crate::recovery::{RecoveryAggregator, RecoveryAggregatorStats, RecoveryStats, RecoveryWorker};
+use crate::wire::{decode_next, encode_next};
+use crate::worker::WorkerStats;
+
+/// How long one lane is polled before rotating while waiting for
+/// results (mirrors the bond's fairness slice).
+const LANE_POLL: Duration = Duration::from_micros(200);
+
+/// The block → shard assignment induced by the stream geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMap {
+    layout: StreamLayout,
+    num_shards: usize,
+}
+
+impl ShardMap {
+    /// Builds the map for a config (shard count =
+    /// [`OmniConfig::num_aggregators`]).
+    pub fn new(cfg: &OmniConfig) -> Self {
+        let layout = StreamLayout::new(
+            cfg.block_spec(),
+            cfg.fusion,
+            cfg.total_streams(),
+            cfg.tensor_len,
+        );
+        Self::from_layout(layout, cfg.num_aggregators)
+    }
+
+    /// Builds the map from an explicit layout. `num_shards` must divide
+    /// the layout's stream count (the config builder guarantees this).
+    pub fn from_layout(layout: StreamLayout, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        assert_eq!(
+            layout.total_streams() % num_shards,
+            0,
+            "shard count must divide the stream count"
+        );
+        ShardMap { layout, num_shards }
+    }
+
+    /// Number of shards (aggregators).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The stream geometry the map derives from.
+    pub fn layout(&self) -> &StreamLayout {
+        &self.layout
+    }
+
+    /// Shard owning stream `g`.
+    pub fn shard_of_stream(&self, g: usize) -> usize {
+        g % self.num_shards
+    }
+
+    /// Shard owning block `b`: round-robin by fused row. With fusion
+    /// width 1 this is exactly the paper's `b % num_aggregators`.
+    pub fn shard_of_block(&self, b: BlockIdx) -> usize {
+        self.shard_of_stream(self.layout.stream_of(b))
+    }
+
+    /// The streams shard `s` owns (active or not).
+    pub fn streams_of(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(s < self.num_shards, "shard out of range");
+        (s..self.layout.total_streams()).step_by(self.num_shards)
+    }
+
+    /// Number of *active* streams (streams owning ≥ 1 block) shard `s`
+    /// serves. Streams past the end of a short tensor own nothing.
+    pub fn active_streams_of(&self, s: usize) -> usize {
+        self.streams_of(s)
+            .filter(|&g| self.layout.first_block(g, 0).is_some())
+            .count()
+    }
+
+    /// True when shard `s` owns no blocks at all — its block range is
+    /// entirely absent, so it must complete every round immediately.
+    pub fn is_empty(&self, s: usize) -> bool {
+        self.active_streams_of(s) == 0
+    }
+}
+
+/// What one stream completion did to the join state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinEvent {
+    /// The shard the completed stream belongs to.
+    pub shard: usize,
+    /// This completion finished the shard.
+    pub shard_done: bool,
+    /// This completion finished the round (every shard done).
+    pub round_done: bool,
+}
+
+/// Per-shard completion join: tracks how many active streams each shard
+/// still owes, and when the whole round is complete.
+///
+/// A shard with zero active streams is born complete — the empty-shard
+/// edge case: the round must not wait for an aggregator that will never
+/// send anything.
+#[derive(Debug, Clone)]
+pub struct ShardJoin {
+    map: ShardMap,
+    /// Active streams not yet complete, per shard.
+    open: Vec<usize>,
+    /// Shards with `open > 0`.
+    open_shards: usize,
+}
+
+impl ShardJoin {
+    /// Builds the join for one round over `map`.
+    pub fn new(map: ShardMap) -> Self {
+        let open: Vec<usize> = (0..map.num_shards())
+            .map(|s| map.active_streams_of(s))
+            .collect();
+        let open_shards = open.iter().filter(|&&n| n > 0).count();
+        ShardJoin {
+            map,
+            open,
+            open_shards,
+        }
+    }
+
+    /// Streams shard `s` still owes this round.
+    pub fn open_streams(&self, s: usize) -> usize {
+        self.open[s]
+    }
+
+    /// True when shard `s` has completed (including born-empty shards).
+    pub fn shard_done(&self, s: usize) -> bool {
+        self.open[s] == 0
+    }
+
+    /// True when every shard has completed.
+    pub fn round_done(&self) -> bool {
+        self.open_shards == 0
+    }
+
+    /// Records stream `g` completing and reports what that did.
+    ///
+    /// # Panics
+    /// Panics when `g`'s shard has no open streams left — a
+    /// double-completion is a protocol bug, not a race to paper over.
+    pub fn on_stream_complete(&mut self, g: usize) -> JoinEvent {
+        let shard = self.map.shard_of_stream(g);
+        assert!(
+            self.open[shard] > 0,
+            "stream {g} completed but shard {shard} has no open streams"
+        );
+        self.open[shard] -= 1;
+        let shard_done = self.open[shard] == 0;
+        if shard_done {
+            self.open_shards -= 1;
+        }
+        JoinEvent {
+            shard,
+            shard_done,
+            round_done: self.open_shards == 0,
+        }
+    }
+}
+
+/// Per-column protocol state within one stream (the per-shard
+/// next-nonzero-block cursor lives in `my_next`).
+struct ColState {
+    my_next: BlockIdx,
+    done: bool,
+}
+
+/// Per-stream protocol state.
+struct StreamState {
+    cols: Vec<Option<ColState>>,
+    remaining: usize,
+}
+
+/// Algorithm 1 worker with one transport lane per aggregator shard.
+///
+/// Protocol-identical to [`crate::worker::OmniWorker`] — the same
+/// packets flow to the same aggregators — but the transport is split:
+/// stream `g`'s traffic rides lane `shard_of_stream(g)`, receives poll
+/// the lanes fairly, and traffic counters are kept **per shard** so the
+/// differential suite can check each shard's wire bytes independently.
+pub struct ShardedWorker<T: Transport> {
+    lanes: Vec<T>,
+    cfg: OmniConfig,
+    layout: StreamLayout,
+    map: ShardMap,
+    wid: u16,
+    /// Per-shard traffic counters; `stats()` aggregates them.
+    shard_stats: Vec<WorkerStats>,
+    rounds: u64,
+    /// Fair-poll rotation over lanes.
+    cursor: usize,
+    pool: BufferPool,
+}
+
+impl<T: Transport> ShardedWorker<T> {
+    /// Creates the engine from one lane per shard (index = shard). All
+    /// lanes must agree on the local worker id.
+    pub fn new(lanes: Vec<T>, cfg: OmniConfig) -> Self {
+        cfg.validate();
+        assert_eq!(
+            lanes.len(),
+            cfg.num_aggregators,
+            "one lane per aggregator shard"
+        );
+        let wid = lanes[0].local_id().0;
+        for l in &lanes {
+            assert_eq!(l.local_id().0, wid, "lanes must share the worker id");
+        }
+        assert!(
+            (wid as usize) < cfg.num_workers,
+            "transport node {wid} is not a worker"
+        );
+        let map = ShardMap::new(&cfg);
+        let layout = *map.layout();
+        let pool = BufferPool::for_block_size(cfg.block_size);
+        ShardedWorker {
+            shard_stats: vec![WorkerStats::default(); lanes.len()],
+            lanes,
+            cfg,
+            layout,
+            map,
+            wid,
+            rounds: 0,
+            cursor: 0,
+            pool,
+        }
+    }
+
+    /// This worker's id.
+    pub fn wid(&self) -> u16 {
+        self.wid
+    }
+
+    /// Aggregate traffic counters across all shards.
+    pub fn stats(&self) -> WorkerStats {
+        let mut total = WorkerStats {
+            rounds_completed: self.rounds,
+            ..WorkerStats::default()
+        };
+        for s in &self.shard_stats {
+            total.packets_sent += s.packets_sent;
+            total.bytes_sent += s.bytes_sent;
+            total.blocks_sent += s.blocks_sent;
+            total.results_received += s.results_received;
+        }
+        total
+    }
+
+    /// Per-shard traffic counters (index = shard).
+    pub fn shard_stats(&self) -> &[WorkerStats] {
+        &self.shard_stats
+    }
+
+    /// Wire bytes sent to each shard (index = shard).
+    pub fn shard_bytes(&self) -> Vec<u64> {
+        self.shard_stats.iter().map(|s| s.bytes_sent).collect()
+    }
+
+    /// Runs one AllReduce: on return, `tensor` holds the element-wise
+    /// sum across all workers, joined across every shard.
+    pub fn allreduce(&mut self, tensor: &mut Tensor) -> Result<(), TransportError> {
+        assert_eq!(
+            tensor.len(),
+            self.cfg.tensor_len,
+            "tensor length does not match group config"
+        );
+        let bitmap = NonZeroBitmap::build(tensor, self.cfg.block_spec());
+        let skip = self.cfg.skip_zero_blocks;
+        let layout = self.layout;
+
+        let mut streams: Vec<Option<StreamState>> =
+            (0..layout.total_streams()).map(|_| None).collect();
+        let mut join = ShardJoin::new(self.map);
+        for g in layout.active_streams() {
+            let mut cols: Vec<Option<ColState>> = Vec::with_capacity(layout.width());
+            let mut entries = self.pool.checkout_entries();
+            let mut remaining = 0usize;
+            for c in 0..layout.width() {
+                match layout.first_block(g, c) {
+                    Some(b0) => {
+                        let my_next = layout.next_block(&bitmap, g, c, Some(b0), skip);
+                        let mut data = self.pool.checkout_f32();
+                        data.extend_from_slice(&tensor[layout.block_range(b0)]);
+                        entries.push(Entry::data(
+                            b0,
+                            encode_next(my_next, c, layout.width()),
+                            data,
+                        ));
+                        cols.push(Some(ColState {
+                            my_next,
+                            done: false,
+                        }));
+                        remaining += 1;
+                    }
+                    None => cols.push(None),
+                }
+            }
+            self.send_data(g, entries)?;
+            streams[g] = Some(StreamState { cols, remaining });
+        }
+
+        while !join.round_done() {
+            let (shard, msg) = self.poll_lanes()?;
+            let packet = match msg {
+                Message::Block(p) if p.kind == PacketKind::Result => p,
+                other => panic!("sharded worker: unexpected message {:?}", other.tag()),
+            };
+            self.shard_stats[shard].results_received += 1;
+            let g = packet.stream as usize;
+            debug_assert_eq!(
+                self.map.shard_of_stream(g),
+                shard,
+                "result for stream {g} arrived on the wrong lane"
+            );
+            let state = streams[g].as_mut().expect("result for unknown stream");
+            let mut reply = self.pool.checkout_entries();
+            for entry in &packet.entries {
+                let (col, requested) = decode_next(entry.next, layout.width());
+                if !entry.data.is_empty() {
+                    tensor.copy_slice_at(layout.block_range(entry.block).start, &entry.data);
+                }
+                let cs = state.cols[col]
+                    .as_mut()
+                    .expect("result entry for invalid column");
+                if cs.done {
+                    continue;
+                }
+                if requested == INFINITY_BLOCK {
+                    cs.done = true;
+                    state.remaining -= 1;
+                    continue;
+                }
+                if cs.my_next == requested {
+                    let new_next = layout.next_block(&bitmap, g, col, Some(requested), skip);
+                    let mut data = self.pool.checkout_f32();
+                    data.extend_from_slice(&tensor[layout.block_range(requested)]);
+                    reply.push(Entry::data(
+                        requested,
+                        encode_next(new_next, col, layout.width()),
+                        data,
+                    ));
+                    cs.my_next = new_next;
+                }
+            }
+            if !reply.is_empty() {
+                self.send_data(g, reply)?;
+            } else {
+                self.pool.checkin_entries(reply);
+            }
+            if state.remaining == 0 {
+                streams[g] = None;
+                join.on_stream_complete(g);
+            }
+        }
+        self.rounds += 1;
+        for s in &mut self.shard_stats {
+            s.rounds_completed += 1;
+        }
+        Ok(())
+    }
+
+    /// One fair polling sweep over the lanes, blocking until a message
+    /// arrives on any of them.
+    fn poll_lanes(&mut self) -> Result<(usize, Message), TransportError> {
+        let n = self.lanes.len();
+        loop {
+            for i in 0..n {
+                let lane = (self.cursor + i) % n;
+                if let Some((_, msg)) = self.lanes[lane].recv_timeout(LANE_POLL)? {
+                    self.cursor = (lane + 1) % n;
+                    return Ok((lane, msg));
+                }
+            }
+        }
+    }
+
+    fn send_data(&mut self, stream: usize, entries: Vec<Entry>) -> Result<(), TransportError> {
+        let blocks = entries.iter().filter(|e| !e.is_ack()).count() as u64;
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: 0,
+            stream: stream as u16,
+            wid: self.wid,
+            entries,
+        });
+        let wire_bytes = codec::encoded_len(&msg) as u64;
+        let shard = self.map.shard_of_stream(stream);
+        let st = &mut self.shard_stats[shard];
+        st.packets_sent += 1;
+        st.blocks_sent += blocks;
+        st.bytes_sent += wire_bytes;
+        let sent = self.lanes[shard].send(NodeId(self.cfg.aggregator_node(shard)), &msg);
+        self.pool.recycle_message(msg);
+        sent
+    }
+
+    /// Says goodbye to every shard's aggregator on its own lane.
+    pub fn shutdown(self) -> Result<(), TransportError> {
+        for (s, lane) in self.lanes.iter().enumerate() {
+            lane.send(NodeId(self.cfg.aggregator_node(s)), &Message::Shutdown)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a sharded lossless deployment.
+pub struct ShardedRunResult {
+    /// `outputs[w][r]` = worker `w`'s tensor after round `r`.
+    pub outputs: Vec<Vec<Tensor>>,
+    /// Per-worker aggregate traffic counters.
+    pub stats: Vec<WorkerStats>,
+    /// `shard_bytes[w][s]` = wire bytes worker `w` sent to shard `s`.
+    pub shard_bytes: Vec<Vec<u64>>,
+    /// Per-shard aggregator counters (index = shard).
+    pub agg_stats: Vec<AggregatorStats>,
+}
+
+/// Result of a sharded recovery deployment on a healthy mesh.
+pub struct ShardedRecoveryResult {
+    /// `outputs[w][r]` = worker `w`'s tensor after round `r`.
+    pub outputs: Vec<Vec<Tensor>>,
+    /// Per-worker recovery counters.
+    pub stats: Vec<RecoveryStats>,
+    /// `shard_bytes[w][s]` = wire bytes worker `w` sent to shard `s`.
+    pub shard_bytes: Vec<Vec<u64>>,
+    /// Per-shard recovery-aggregator counters.
+    pub agg_stats: Vec<RecoveryAggregatorStats>,
+}
+
+/// One worker's outcome under a sharded chaos deployment.
+pub struct ShardedChaosWorker {
+    /// `Ok` when every round completed; typed protocol error otherwise.
+    pub result: Result<(), ProtocolError>,
+    /// Recovery counters up to completion or failure.
+    pub stats: RecoveryStats,
+    /// Wire bytes sent per shard.
+    pub shard_bytes: Vec<u64>,
+    /// The tensor after the last attempted round.
+    pub output: Tensor,
+}
+
+/// Outcome of a sharded recovery deployment under per-shard fault plans.
+pub struct ShardedChaosOutcome {
+    /// Per-worker outcomes (no panics — failures are data).
+    pub workers: Vec<ShardedChaosWorker>,
+    /// Per-shard aggregator results and counters.
+    pub aggs: Vec<(Result<(), ProtocolError>, RecoveryAggregatorStats)>,
+}
+
+/// Deploys sharded groups: N aggregator engines + M workers, each on
+/// its own OS thread, over per-shard channel meshes.
+pub struct ShardedAllReduce;
+
+impl ShardedAllReduce {
+    /// Runs `inputs[w]` rounds of the **lossless** engine over
+    /// `cfg.num_aggregators` shards.
+    ///
+    /// # Panics
+    /// Panics when shapes don't match the config or any thread fails.
+    pub fn run(cfg: &OmniConfig, inputs: Vec<Vec<Tensor>>) -> ShardedRunResult {
+        let mut mesh = ShardedChannelMesh::new(cfg.num_workers, cfg.num_aggregators);
+        let lanes = (0..cfg.num_workers).map(|w| mesh.worker_lanes(w)).collect();
+        let aggs = (0..cfg.num_aggregators)
+            .map(|s| mesh.aggregator_endpoint(s))
+            .collect();
+        Self::run_lossless_over(cfg, inputs, lanes, aggs)
+    }
+
+    /// Like [`ShardedAllReduce::run`], but wraps shard `s`'s mesh in
+    /// `plans[s]`. Intended for *reliability-preserving* plans
+    /// (stragglers, delays): the lossless engine has no retransmission,
+    /// so plans that drop data packets will wedge it.
+    pub fn run_with_plans(
+        cfg: &OmniConfig,
+        plans: &[FaultPlan],
+        inputs: Vec<Vec<Tensor>>,
+    ) -> ShardedRunResult {
+        assert_eq!(plans.len(), cfg.num_aggregators, "one plan per shard");
+        let mut mesh = ShardedChaosMesh::wrap(cfg.num_workers, plans);
+        let lanes = (0..cfg.num_workers).map(|w| mesh.worker_lanes(w)).collect();
+        let aggs = (0..cfg.num_aggregators)
+            .map(|s| mesh.aggregator_endpoint(s))
+            .collect();
+        Self::run_lossless_over(cfg, inputs, lanes, aggs)
+    }
+
+    fn run_lossless_over<T: Transport + 'static>(
+        cfg: &OmniConfig,
+        inputs: Vec<Vec<Tensor>>,
+        worker_lanes: Vec<Vec<T>>,
+        agg_endpoints: Vec<T>,
+    ) -> ShardedRunResult {
+        assert_eq!(inputs.len(), cfg.num_workers, "one input set per worker");
+        let rounds = inputs[0].len();
+        for i in &inputs {
+            assert_eq!(i.len(), rounds, "same round count per worker");
+        }
+
+        let mut agg_handles = Vec::new();
+        for (s, t) in agg_endpoints.into_iter().enumerate() {
+            let cfg = cfg.clone();
+            agg_handles.push(
+                thread::Builder::new()
+                    .name(format!("shard{s}-aggregator"))
+                    .spawn(move || {
+                        let mut agg = OmniAggregator::new(t, cfg);
+                        agg.run().expect("aggregator failed");
+                        agg.stats
+                    })
+                    .expect("failed to spawn aggregator thread"),
+            );
+        }
+
+        let mut worker_handles = Vec::new();
+        for (w, (lanes, tensors)) in worker_lanes.into_iter().zip(inputs).enumerate() {
+            let cfg = cfg.clone();
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("sharded-worker{w}"))
+                    .spawn(move || {
+                        let mut worker = ShardedWorker::new(lanes, cfg);
+                        let mut outs = Vec::with_capacity(tensors.len());
+                        for mut tensor in tensors {
+                            worker.allreduce(&mut tensor).expect("allreduce failed");
+                            outs.push(tensor);
+                        }
+                        let stats = worker.stats();
+                        let shard_bytes = worker.shard_bytes();
+                        worker.shutdown().expect("shutdown failed");
+                        (outs, stats, shard_bytes)
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+
+        let mut outputs = Vec::new();
+        let mut stats = Vec::new();
+        let mut shard_bytes = Vec::new();
+        for h in worker_handles {
+            let (o, s, b) = h.join().expect("worker thread panicked");
+            outputs.push(o);
+            stats.push(s);
+            shard_bytes.push(b);
+        }
+        let agg_stats = agg_handles
+            .into_iter()
+            .map(|h| h.join().expect("aggregator thread panicked"))
+            .collect();
+        ShardedRunResult {
+            outputs,
+            stats,
+            shard_bytes,
+            agg_stats,
+        }
+    }
+
+    /// Runs the **Algorithm 2 recovery** engine sharded: every worker
+    /// holds per-shard endpoints bonded by
+    /// [`omnireduce_transport::ShardBond`], every shard runs its own
+    /// [`RecoveryAggregator`] thread.
+    ///
+    /// # Panics
+    /// Panics when any worker fails — use
+    /// [`ShardedAllReduce::run_recovery_chaos`] when failure is the
+    /// point.
+    pub fn run_recovery(cfg: &OmniConfig, inputs: Vec<Vec<Tensor>>) -> ShardedRecoveryResult {
+        assert_eq!(inputs.len(), cfg.num_workers, "one input set per worker");
+        let mut mesh = ShardedChannelMesh::new(cfg.num_workers, cfg.num_aggregators);
+
+        let mut agg_handles = Vec::new();
+        for s in 0..cfg.num_aggregators {
+            let t = mesh.aggregator_endpoint(s);
+            let cfg = cfg.clone();
+            agg_handles.push(
+                thread::Builder::new()
+                    .name(format!("shard{s}-aggregator"))
+                    .spawn(move || {
+                        let mut agg = RecoveryAggregator::new(t, cfg);
+                        agg.run().expect("aggregator failed");
+                        agg.stats
+                    })
+                    .expect("failed to spawn aggregator thread"),
+            );
+        }
+
+        let mut worker_handles = Vec::new();
+        for (w, tensors) in inputs.into_iter().enumerate() {
+            let bond = mesh.worker_bond(w);
+            let cfg = cfg.clone();
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("sharded-worker{w}"))
+                    .spawn(move || {
+                        let mut worker = RecoveryWorker::new(bond, cfg);
+                        let mut outs = Vec::with_capacity(tensors.len());
+                        for mut tensor in tensors {
+                            worker.allreduce(&mut tensor).expect("allreduce failed");
+                            outs.push(tensor);
+                        }
+                        let stats = worker.stats();
+                        let shard_bytes = worker.shard_bytes().to_vec();
+                        worker.shutdown().expect("shutdown failed");
+                        (outs, stats, shard_bytes)
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+
+        let mut outputs = Vec::new();
+        let mut stats = Vec::new();
+        let mut shard_bytes = Vec::new();
+        for h in worker_handles {
+            let (o, s, b) = h.join().expect("worker thread panicked");
+            outputs.push(o);
+            stats.push(s);
+            shard_bytes.push(b);
+        }
+        let agg_stats = agg_handles
+            .into_iter()
+            .map(|h| h.join().expect("aggregator thread panicked"))
+            .collect();
+        ShardedRecoveryResult {
+            outputs,
+            stats,
+            shard_bytes,
+            agg_stats,
+        }
+    }
+
+    /// Runs one round of the recovery engine with shard `s`'s mesh
+    /// wrapped in `plans[s]`, collecting per-thread outcomes instead of
+    /// panicking: per-shard drops, a straggling shard, or a crashed
+    /// non-primary aggregator all surface as data.
+    ///
+    /// A crashed shard's endpoint is kept alive until every worker has
+    /// been joined, so the dead aggregator looks like a black hole (UDP
+    /// semantics), not a closed connection.
+    pub fn run_recovery_chaos(
+        cfg: &OmniConfig,
+        plans: &[FaultPlan],
+        inputs: &[Tensor],
+        telemetry: Option<&Telemetry>,
+    ) -> ShardedChaosOutcome {
+        assert_eq!(plans.len(), cfg.num_aggregators, "one plan per shard");
+        assert_eq!(inputs.len(), cfg.num_workers, "one input per worker");
+        let mut mesh = match telemetry {
+            Some(t) => ShardedChaosMesh::wrap_with_telemetry(cfg.num_workers, plans, t),
+            None => ShardedChaosMesh::wrap(cfg.num_workers, plans),
+        };
+
+        let mut agg_handles = Vec::new();
+        for s in 0..cfg.num_aggregators {
+            let t = mesh.aggregator_endpoint(s);
+            let cfg = cfg.clone();
+            let telemetry = telemetry.cloned();
+            agg_handles.push(
+                thread::Builder::new()
+                    .name(format!("shard{s}-aggregator"))
+                    .spawn(move || {
+                        let mut agg = match &telemetry {
+                            Some(tl) => RecoveryAggregator::with_telemetry(t, cfg, tl),
+                            None => RecoveryAggregator::new(t, cfg),
+                        };
+                        let res = agg.run();
+                        let stats = agg.stats;
+                        // Keep `agg` (and its endpoint) alive inside the
+                        // handle so a crashed shard black-holes instead
+                        // of closing the channel under the workers.
+                        (res, stats, agg)
+                    })
+                    .expect("failed to spawn aggregator thread"),
+            );
+        }
+
+        let mut worker_handles = Vec::new();
+        for (w, tensor) in inputs.iter().enumerate() {
+            let bond = mesh.worker_bond(w);
+            let cfg = cfg.clone();
+            let telemetry = telemetry.cloned();
+            let mut tensor = tensor.clone();
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("sharded-worker{w}"))
+                    .spawn(move || {
+                        let mut worker = match &telemetry {
+                            Some(tl) => RecoveryWorker::with_telemetry(bond, cfg, tl),
+                            None => RecoveryWorker::new(bond, cfg),
+                        };
+                        let result = worker.allreduce(&mut tensor);
+                        let stats = worker.stats();
+                        let shard_bytes = worker.shard_bytes().to_vec();
+                        // Say goodbye even after a failure (best effort:
+                        // parts of the fabric may be gone). A worker that
+                        // gave up on one shard must still let *surviving*
+                        // shards wind down — a shard whose round already
+                        // completed is not waiting on anyone, so it would
+                        // otherwise idle forever for this goodbye.
+                        let _ = worker.shutdown();
+                        ShardedChaosWorker {
+                            result,
+                            stats,
+                            shard_bytes,
+                            output: tensor,
+                        }
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+
+        let workers: Vec<ShardedChaosWorker> = worker_handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        let aggs = agg_handles
+            .into_iter()
+            .map(|h| {
+                let (res, stats, agg) = h.join().expect("aggregator thread panicked");
+                drop(agg);
+                (res, stats)
+            })
+            .collect();
+        ShardedChaosOutcome { workers, aggs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(workers: usize, elements: usize, shards: usize) -> OmniConfig {
+        OmniConfig::new(workers, elements)
+            .with_block_size(4)
+            .with_streams(2)
+            .with_aggregators(shards)
+    }
+
+    #[test]
+    fn shard_of_block_is_round_robin_when_width_is_one() {
+        // Fusion width 1: the stream geometry collapses to the paper's
+        // `shard = block % num_aggregators` (§4).
+        for shards in [1usize, 2, 4] {
+            let c = OmniConfig::new(2, 256)
+                .with_block_size(4)
+                .with_fusion(1)
+                .with_streams(2)
+                .with_aggregators(shards);
+            let map = ShardMap::new(&c);
+            for b in 0..map.layout().nblocks() as u32 {
+                assert_eq!(
+                    map.shard_of_block(b),
+                    b as usize % shards,
+                    "block {b} with {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_block_matches_stream_ownership_under_fusion() {
+        let c = OmniConfig::new(2, 512)
+            .with_block_size(4)
+            .with_fusion(4)
+            .with_streams(2)
+            .with_aggregators(2);
+        let map = ShardMap::new(&c);
+        for b in 0..map.layout().nblocks() as u32 {
+            let g = map.layout().stream_of(b);
+            assert_eq!(map.shard_of_block(b), map.shard_of_stream(g));
+        }
+    }
+
+    #[test]
+    fn join_completes_round_only_after_every_shard() {
+        let c = cfg(2, 256, 2);
+        let map = ShardMap::new(&c);
+        let mut join = ShardJoin::new(map);
+        assert!(!join.round_done());
+        let active: Vec<usize> = map.layout().active_streams().collect();
+        for (i, &g) in active.iter().enumerate() {
+            let ev = join.on_stream_complete(g);
+            assert_eq!(ev.round_done, i + 1 == active.len());
+        }
+        assert!(join.round_done());
+    }
+
+    #[test]
+    fn join_reports_empty_shards_complete_at_birth() {
+        // 2 shards × 2 streams/shard × width 1 × block 4 = rows of 4
+        // blocks; a 17-element tensor has 5 blocks → streams 0..4 get
+        // one block each via round-robin... shrink further: 1 block
+        // total → only stream 0 (shard 0) active; shard 1 empty.
+        let c = OmniConfig::new(2, 4)
+            .with_block_size(4)
+            .with_fusion(1)
+            .with_streams(1)
+            .with_aggregators(2);
+        let map = ShardMap::new(&c);
+        assert!(!map.is_empty(0));
+        assert!(map.is_empty(1));
+        let mut join = ShardJoin::new(map);
+        assert!(join.shard_done(1), "empty shard must be born complete");
+        assert!(!join.round_done());
+        let ev = join.on_stream_complete(0);
+        assert!(ev.shard_done && ev.round_done);
+    }
+
+    #[test]
+    #[should_panic(expected = "no open streams")]
+    fn join_panics_on_double_completion() {
+        let c = cfg(2, 256, 2);
+        let map = ShardMap::new(&c);
+        let mut join = ShardJoin::new(map);
+        let g = map.layout().active_streams().next().unwrap();
+        let n = map.active_streams_of(map.shard_of_stream(g));
+        for _ in 0..n {
+            join.on_stream_complete(g);
+        }
+        join.on_stream_complete(g); // one too many
+    }
+
+    #[test]
+    fn sharded_group_reduces_across_threads() {
+        let c = cfg(3, 256, 2);
+        let inputs: Vec<Vec<Tensor>> = (0..3)
+            .map(|w| vec![Tensor::from_vec(vec![w as f32 + 1.0; 256])])
+            .collect();
+        let res = ShardedAllReduce::run(&c, inputs);
+        for outs in &res.outputs {
+            for v in outs[0].as_slice() {
+                assert_eq!(*v, 6.0);
+            }
+        }
+        // Every shard served traffic and completed the round.
+        for (s, a) in res.agg_stats.iter().enumerate() {
+            assert!(a.packets > 0, "shard {s} saw no packets");
+            assert_eq!(a.rounds_completed, 1, "shard {s} rounds");
+        }
+        // Per-shard bytes decompose the aggregate counter.
+        for (w, st) in res.stats.iter().enumerate() {
+            let per_shard: u64 = res.shard_bytes[w].iter().sum();
+            assert_eq!(per_shard, st.bytes_sent, "worker {w} byte split");
+        }
+    }
+}

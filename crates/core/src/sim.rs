@@ -454,6 +454,12 @@ pub struct SimOutcome {
     pub report: RunReport,
     /// Total bytes workers transmitted.
     pub worker_tx_bytes: u64,
+    /// Bytes received by each aggregator shard's NIC (index = shard) —
+    /// the per-shard half of the wire-byte differential (DESIGN §10).
+    /// Exact only with dedicated shard NICs: in colocated mode a shard
+    /// shares its NIC with a worker, so the counter also contains that
+    /// worker's inbound result traffic.
+    pub shard_rx_bytes: Vec<u64>,
     /// Workers that gave up (retry budget exhausted against an
     /// unreachable peer) instead of finishing. Always empty for the
     /// lossless engines; see
@@ -552,10 +558,15 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
     let worker_tx_bytes = (0..cfg.num_workers)
         .map(|w| report.nic_stats[w].bytes_tx)
         .sum();
+    let shard_rx_bytes = shard_nics
+        .iter()
+        .map(|n| report.nic_stats[n.0].bytes_rx)
+        .collect();
     SimOutcome {
         completion,
         report,
         worker_tx_bytes,
+        shard_rx_bytes,
         failed_workers: Vec::new(),
     }
 }

@@ -696,12 +696,17 @@ pub fn simulate_recovery_allreduce_with_telemetry(
     let worker_tx_bytes = (0..cfg.num_workers)
         .map(|w| report.nic_stats[w].bytes_tx)
         .sum();
+    let shard_rx_bytes = shard_nics
+        .iter()
+        .map(|n| report.nic_stats[n.0].bytes_rx)
+        .collect();
     let mut failed_workers = failed_sink.lock().expect("failed sink poisoned").clone();
     failed_workers.sort_unstable();
     SimOutcome {
         completion,
         report,
         worker_tx_bytes,
+        shard_rx_bytes,
         failed_workers,
     }
 }

@@ -197,7 +197,11 @@ mod tests {
         let mut out = Vec::with_capacity(8);
         a.take_into(&mut out);
         a.store(0, &[3.0; 8]);
-        assert_eq!(a.contribs[0].as_ptr(), ptr0, "contrib buffer must be reused");
+        assert_eq!(
+            a.contribs[0].as_ptr(),
+            ptr0,
+            "contrib buffer must be reused"
+        );
         a.reset();
         assert_eq!(a.contribs[0].as_ptr(), ptr0);
         assert!(!a.touched());

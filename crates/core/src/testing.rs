@@ -80,6 +80,9 @@ pub struct GroupResult {
     pub outputs: Vec<Vec<Tensor>>,
     /// Per-worker traffic counters.
     pub stats: Vec<WorkerStats>,
+    /// `shard_bytes[w][s]` = wire bytes worker `w` sent to aggregator
+    /// shard `s`; row-sums equal `stats[w].bytes_sent`.
+    pub shard_bytes: Vec<Vec<u64>>,
 }
 
 /// Runs `rounds` AllReduce rounds over the lossless engine, one thread
@@ -117,22 +120,29 @@ pub fn run_group(cfg: &OmniConfig, inputs: Vec<Vec<Tensor>>) -> GroupResult {
                 outs.push(tensor);
             }
             let stats = worker.stats();
+            let shard_bytes = worker.shard_bytes().to_vec();
             worker.shutdown().expect("shutdown failed");
-            (outs, stats)
+            (outs, stats, shard_bytes)
         }));
     }
 
     let mut outputs = Vec::new();
     let mut stats = Vec::new();
+    let mut shard_bytes = Vec::new();
     for h in worker_handles {
-        let (o, s) = h.join().expect("worker thread panicked");
+        let (o, s, b) = h.join().expect("worker thread panicked");
         outputs.push(o);
         stats.push(s);
+        shard_bytes.push(b);
     }
     for h in agg_handles {
         h.join().expect("aggregator thread panicked");
     }
-    GroupResult { outputs, stats }
+    GroupResult {
+        outputs,
+        stats,
+        shard_bytes,
+    }
 }
 
 /// Result of [`run_recovery_group`].
@@ -141,6 +151,9 @@ pub struct RecoveryGroupResult {
     pub outputs: Vec<Vec<Tensor>>,
     /// Per-worker traffic counters, including retransmissions.
     pub stats: Vec<crate::recovery::RecoveryStats>,
+    /// `shard_bytes[w][s]` = wire bytes worker `w` sent to aggregator
+    /// shard `s`; row-sums equal `stats[w].bytes_sent`.
+    pub shard_bytes: Vec<Vec<u64>>,
 }
 
 /// Like [`run_group`] but over the Algorithm 2 loss-recovery engine and a
@@ -178,22 +191,29 @@ pub fn run_recovery_group<T: Transport + 'static>(
                 outs.push(tensor);
             }
             let stats = worker.stats();
+            let shard_bytes = worker.shard_bytes().to_vec();
             worker.shutdown().expect("shutdown failed");
-            (outs, stats)
+            (outs, stats, shard_bytes)
         }));
     }
 
     let mut outputs = Vec::new();
     let mut stats = Vec::new();
+    let mut shard_bytes = Vec::new();
     for h in worker_handles {
-        let (o, s) = h.join().expect("worker thread panicked");
+        let (o, s, b) = h.join().expect("worker thread panicked");
         outputs.push(o);
         stats.push(s);
+        shard_bytes.push(b);
     }
     for h in agg_handles {
         h.join().expect("aggregator thread panicked");
     }
-    RecoveryGroupResult { outputs, stats }
+    RecoveryGroupResult {
+        outputs,
+        stats,
+        shard_bytes,
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,10 @@ pub struct OmniWorker<T: Transport> {
     layout: StreamLayout,
     wid: u16,
     stats: WorkerStats,
+    /// Wire bytes sent per destination shard (index = shard); sums to
+    /// `stats.bytes_sent`. Multi-aggregator deployments account each
+    /// shard's traffic independently (DESIGN §10).
+    shard_bytes: Vec<u64>,
     counters: WorkerCounters,
     trace: EngineTrace,
     /// Freelists for outgoing packet buffers: each data entry's payload
@@ -124,12 +128,14 @@ impl<T: Transport> OmniWorker<T> {
             cfg.tensor_len,
         );
         let pool = BufferPool::for_block_size(cfg.block_size);
+        let shard_bytes = vec![0; cfg.num_aggregators];
         OmniWorker {
             transport,
             cfg,
             layout,
             wid,
             stats: WorkerStats::default(),
+            shard_bytes,
             counters: WorkerCounters::detached(),
             trace: EngineTrace::disabled(),
             pool,
@@ -152,6 +158,12 @@ impl<T: Transport> OmniWorker<T> {
     /// Traffic counters so far.
     pub fn stats(&self) -> WorkerStats {
         self.stats
+    }
+
+    /// Wire bytes sent to each aggregator shard (index = shard). Sums
+    /// to [`WorkerStats::bytes_sent`].
+    pub fn shard_bytes(&self) -> &[u64] {
+        &self.shard_bytes
     }
 
     /// This worker's id.
@@ -282,6 +294,7 @@ impl<T: Transport> OmniWorker<T> {
         self.counters.blocks_sent.add(blocks);
         self.counters.bytes_sent.add(wire_bytes);
         let shard = self.cfg.shard_of_stream(stream);
+        self.shard_bytes[shard] += wire_bytes;
         let sent = self
             .transport
             .send(NodeId(self.cfg.aggregator_node(shard)), &msg);

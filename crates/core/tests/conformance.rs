@@ -19,6 +19,7 @@
 use std::time::Duration;
 
 use omnireduce_core::config::OmniConfig;
+use omnireduce_core::shard::ShardedAllReduce;
 use omnireduce_core::testing::{run_group, run_recovery_group, with_deadline};
 use omnireduce_core::ColAccumulator;
 use omnireduce_telemetry::alloc::CountingAllocator;
@@ -26,8 +27,8 @@ use omnireduce_tensor::gen::{self, OverlapMode};
 use omnireduce_tensor::{BlockSpec, Tensor};
 use omnireduce_transport::codec::{decode_into, encode_into};
 use omnireduce_transport::{
-    BufferPool, ChannelNetwork, Entry, LossConfig, LossyNetwork, Message, NodeId, Packet,
-    PacketKind,
+    BufferPool, ChannelNetwork, Entry, FaultPlan, KeyedLoss, LossConfig, LossyNetwork, Message,
+    NodeId, Packet, PacketKind,
 };
 
 #[global_allocator]
@@ -306,6 +307,198 @@ fn recovery_engine_matches_scalar_oracle_under_loss() {
     });
 }
 
+/// The shard counts of the sharded conformance column. Every scenario
+/// in the matrix runs at each of these, threaded over per-shard meshes.
+const SHARD_COLUMN: [usize; 3] = [1, 2, 4];
+
+/// `cfg` for scenario `s` re-based onto `shards` aggregators (stream
+/// count per shard is preserved, so total streams scale with shards).
+fn sharded_config_of(s: &Scenario, shards: usize) -> OmniConfig {
+    let mut cfg = OmniConfig::new(s.workers, s.elements)
+        .with_block_size(s.block_size)
+        .with_fusion(s.fusion)
+        .with_streams(s.streams)
+        .with_aggregators(shards);
+    if s.deterministic {
+        cfg = cfg.with_deterministic();
+    }
+    cfg
+}
+
+#[test]
+fn sharded_lossless_engine_matches_scalar_oracle_across_matrix() {
+    with_deadline(Duration::from_secs(300), || {
+        for s in scenarios() {
+            if s.loss > 0.0 {
+                continue;
+            }
+            let inputs = gen_inputs(&s);
+            for shards in SHARD_COLUMN {
+                let cfg = sharded_config_of(&s, shards);
+                let result = ShardedAllReduce::run(&cfg, inputs.clone());
+                for r in 0..s.rounds {
+                    let oracle = scalar_oracle(&inputs, r);
+                    for (w, outs) in result.outputs.iter().enumerate() {
+                        assert_bits_eq(
+                            &outs[r],
+                            &oracle,
+                            &format!("{s:?} sharded×{shards} lossless w{w} r{r}"),
+                        );
+                    }
+                }
+                // Per-shard byte counters decompose the aggregate, and
+                // every aggregator thread joined with its shard served.
+                for (w, st) in result.stats.iter().enumerate() {
+                    let split: u64 = result.shard_bytes[w].iter().sum();
+                    assert_eq!(split, st.bytes_sent, "{s:?}×{shards} w{w} byte split");
+                }
+                assert_eq!(result.agg_stats.len(), shards, "{s:?} aggregator join");
+            }
+        }
+    });
+}
+
+#[test]
+fn sharded_recovery_engine_matches_scalar_oracle_on_clean_mesh() {
+    with_deadline(Duration::from_secs(300), || {
+        for s in scenarios() {
+            if s.loss > 0.0 {
+                continue;
+            }
+            let inputs = gen_inputs(&s);
+            for shards in SHARD_COLUMN {
+                // Large fixed RTO: any timer fire on the clean per-shard
+                // meshes is a protocol bug in the bonded transport path.
+                let cfg = sharded_config_of(&s, shards).with_fixed_rto(Duration::from_secs(30));
+                let result = ShardedAllReduce::run_recovery(&cfg, inputs.clone());
+                for r in 0..s.rounds {
+                    let oracle = scalar_oracle(&inputs, r);
+                    for (w, outs) in result.outputs.iter().enumerate() {
+                        assert_bits_eq(
+                            &outs[r],
+                            &oracle,
+                            &format!("{s:?} sharded×{shards} recovery w{w} r{r}"),
+                        );
+                    }
+                }
+                for (w, st) in result.stats.iter().enumerate() {
+                    assert_eq!(
+                        st.retransmissions, 0,
+                        "{s:?}×{shards} w{w}: clean sharded mesh retransmitted"
+                    );
+                    let split: u64 = result.shard_bytes[w].iter().sum();
+                    assert_eq!(split, st.bytes_sent, "{s:?}×{shards} w{w} byte split");
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn sharded_recovery_engine_matches_scalar_oracle_under_per_shard_loss() {
+    with_deadline(Duration::from_secs(300), || {
+        for s in scenarios() {
+            if s.loss == 0.0 || s.rounds != 1 {
+                continue;
+            }
+            let inputs = gen_inputs(&s);
+            let flat: Vec<Tensor> = inputs.iter().map(|w| w[0].clone()).collect();
+            for shards in SHARD_COLUMN {
+                let cfg = sharded_config_of(&s, shards).with_fixed_rto(Duration::from_millis(25));
+                // Fault plans keyed by shard: each shard's mesh drops and
+                // duplicates under its own seeded keyed-loss process.
+                let plans: Vec<FaultPlan> = (0..shards)
+                    .map(|sh| {
+                        FaultPlan::new(s.seed + 31 * sh as u64)
+                            .loss(KeyedLoss::uniform(s.loss, s.loss / 2.0))
+                    })
+                    .collect();
+                let outcome = ShardedAllReduce::run_recovery_chaos(&cfg, &plans, &flat, None);
+                let oracle = scalar_oracle(&inputs, 0);
+                for (w, wo) in outcome.workers.iter().enumerate() {
+                    wo.result
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("{s:?}×{shards} w{w} failed: {e}"));
+                    assert_bits_eq(
+                        &wo.output,
+                        &oracle,
+                        &format!("{s:?} sharded×{shards} lossy recovery w{w}"),
+                    );
+                    let split: u64 = wo.shard_bytes.iter().sum();
+                    assert_eq!(split, wo.stats.bytes_sent, "{s:?}×{shards} w{w} byte split");
+                }
+            }
+        }
+    });
+}
+
+/// The determinism acceptance gate: with the deterministic flag set and
+/// **non-quantized** inputs (order-sensitive float sums), a sharded
+/// run's output must be bit-identical to the single-aggregator
+/// reference, across ≥ 3 distinct seeded thread interleavings. Each
+/// seed perturbs the schedule differently — per-shard straggler plans
+/// delay different lanes by different amounts — so shard completions
+/// and result arrivals interleave differently on every run; the bits
+/// must not move.
+#[test]
+fn sharded_deterministic_output_is_bit_identical_to_single_aggregator_reference() {
+    with_deadline(Duration::from_secs(180), || {
+        let scenario = Scenario {
+            workers: 3,
+            deterministic: true,
+            sparsity: 0.4,
+            seed: 70,
+            ..scenarios()[0]
+        };
+        let inputs: Vec<Vec<Tensor>> = gen::workers(
+            scenario.workers,
+            scenario.elements,
+            BlockSpec::new(scenario.block_size),
+            scenario.sparsity,
+            1.0,
+            OverlapMode::Random,
+            scenario.seed,
+        )
+        .into_iter()
+        .map(|t| vec![t])
+        .collect();
+
+        // Single-aggregator reference (the paper's baseline deployment).
+        let reference = ShardedAllReduce::run(&sharded_config_of(&scenario, 1), inputs.clone());
+
+        for shards in [2usize, 4] {
+            let cfg = sharded_config_of(&scenario, shards);
+            for interleave_seed in [1u64, 2, 3] {
+                // Straggle each shard's worker→aggregator links by a
+                // seed-dependent amount (µs-scale, different per shard
+                // and per seed) to force distinct thread interleavings.
+                let plans: Vec<FaultPlan> = (0..shards)
+                    .map(|sh| {
+                        let delay = 200 * ((interleave_seed + sh as u64 * 7) % 5 + 1);
+                        let mut plan = FaultPlan::new(interleave_seed);
+                        for w in 0..scenario.workers {
+                            plan = plan.straggle_link(
+                                w as u16,
+                                cfg.aggregator_node(sh),
+                                Duration::from_micros(delay),
+                            );
+                        }
+                        plan
+                    })
+                    .collect();
+                let run = ShardedAllReduce::run_with_plans(&cfg, &plans, inputs.clone());
+                for (w, outs) in run.outputs.iter().enumerate() {
+                    assert_bits_eq(
+                        &outs[0],
+                        &reference.outputs[w][0],
+                        &format!("shards={shards} seed={interleave_seed} w{w}"),
+                    );
+                }
+            }
+        }
+    });
+}
+
 #[test]
 fn deterministic_mode_is_bitwise_reproducible_across_runs() {
     // Non-quantized inputs (order-sensitive float sums): deterministic
@@ -362,10 +555,10 @@ fn steady_state_block_cycle_allocates_nothing() {
         let mut decoded = Message::Shutdown;
 
         let cycle = |pool: &mut BufferPool,
-                         acc: &mut ColAccumulator,
-                         wire: &mut Vec<u8>,
-                         decoded: &mut Message,
-                         tensor: &mut [f32]| {
+                     acc: &mut ColAccumulator,
+                     wire: &mut Vec<u8>,
+                     decoded: &mut Message,
+                     tensor: &mut [f32]| {
             for (w, p) in payloads.iter().enumerate() {
                 let mut entries = pool.checkout_entries();
                 let mut data = pool.checkout_f32();

@@ -289,7 +289,9 @@ mod tests {
         let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 // Map to a wide range incl. negatives & subnormal-ish values.
                 let bits = ((s >> 33) as u32) & 0x3FFF_FFFF;
                 f32::from_bits(bits | 0x3000_0000) * if s & 1 == 0 { 1.0 } else { -1.0 }

@@ -234,10 +234,11 @@ pub fn decode_into(mut buf: &[u8], msg: &mut Message) -> Result<(), CodecError> 
                 e.block = block;
                 e.next = next;
                 e.data.clear();
-                e.data
-                    .extend(payload.chunks_exact(4).map(|c| {
-                        f32::from_le_bytes(c.try_into().unwrap())
-                    }));
+                e.data.extend(
+                    payload
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+                );
             }
             *msg = Message::Block(Packet {
                 kind,
@@ -481,7 +482,12 @@ mod tests {
         ] {
             let mut enc = encode(&msg).as_ref().to_vec();
             enc.push(0xAB);
-            assert_eq!(decode(&enc), Err(CodecError::TrailingBytes), "{}", msg.tag());
+            assert_eq!(
+                decode(&enc),
+                Err(CodecError::TrailingBytes),
+                "{}",
+                msg.tag()
+            );
         }
     }
 

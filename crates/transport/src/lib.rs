@@ -35,6 +35,7 @@ pub mod fault;
 pub mod lossy;
 pub mod message;
 pub mod pool;
+pub mod shard;
 pub mod tcp;
 pub mod timer;
 pub mod udp;
@@ -44,6 +45,7 @@ pub use fault::{ChaosNetwork, ChaosTransport, FaultPlan, KeyedLoss};
 pub use lossy::{GilbertElliott, LossConfig, LossyNetwork};
 pub use message::{Entry, KvPacket, Message, NodeId, Packet, PacketKind};
 pub use pool::BufferPool;
+pub use shard::{ShardBond, ShardedChannelMesh, ShardedChaosMesh};
 pub use tcp::TcpNetwork;
 pub use udp::UdpNetwork;
 

@@ -60,7 +60,11 @@ impl std::fmt::Debug for BufferPool {
 
 impl Default for BufferPool {
     fn default() -> Self {
-        BufferPool::new(DEFAULT_F32_CAPACITY, DEFAULT_BYTE_CAPACITY, DEFAULT_MAX_FREE)
+        BufferPool::new(
+            DEFAULT_F32_CAPACITY,
+            DEFAULT_BYTE_CAPACITY,
+            DEFAULT_MAX_FREE,
+        )
     }
 }
 
@@ -89,7 +93,8 @@ impl BufferPool {
     pub fn for_block_size(block_size: usize) -> Self {
         BufferPool::new(
             block_size.max(1),
-            crate::codec::BLOCK_HEADER_BYTES + 8 * (crate::codec::ENTRY_HEADER_BYTES + 4 * block_size.max(1)),
+            crate::codec::BLOCK_HEADER_BYTES
+                + 8 * (crate::codec::ENTRY_HEADER_BYTES + 4 * block_size.max(1)),
             DEFAULT_MAX_FREE,
         )
     }

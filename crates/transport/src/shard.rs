@@ -1,0 +1,381 @@
+//! Per-shard transport lanes for multi-aggregator sharding (§4).
+//!
+//! The paper's testbed runs the workers against N parallel aggregators,
+//! each serving a round-robin slice of the block index space, so the
+//! aggregation bandwidth scales with the aggregator count. At the
+//! transport layer that means every worker holds **one endpoint per
+//! shard** — in the real system one RDMA QP / UDP socket per
+//! aggregator — instead of a single connection to a single aggregator.
+//!
+//! Two pieces live here:
+//!
+//! * [`ShardedChannelMesh`] / [`ShardedChaosMesh`] build one independent
+//!   full mesh per shard (so per-shard queues, and fault plans keyed by
+//!   shard) and hand out each worker's per-shard lanes plus each shard's
+//!   aggregator endpoint.
+//! * [`ShardBond`] bonds a worker's per-shard lanes back into one
+//!   [`Transport`]: sends are routed to the lane owning the destination
+//!   aggregator, receives poll the lanes fairly. This lets engines
+//!   written against a single transport (e.g. the Algorithm 2 recovery
+//!   worker) run sharded unchanged, while engines that want per-shard
+//!   control (the sharded lossless worker) take the raw lanes.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use omnireduce_telemetry::Telemetry;
+
+use crate::channel::{ChannelNetwork, ChannelTransport};
+use crate::fault::{ChaosNetwork, ChaosTransport, FaultPlan};
+use crate::message::{Message, NodeId};
+use crate::{Transport, TransportError};
+
+/// How long one lane is polled before rotating to the next while a
+/// bonded receive waits for traffic. Small enough that a quiet lane
+/// cannot starve a busy one by more than a fraction of a millisecond.
+const LANE_POLL: Duration = Duration::from_micros(200);
+
+/// Bonds one endpoint per shard into a single [`Transport`].
+///
+/// Sends to aggregator node `first_aggregator + s` are routed onto lane
+/// `s` (each lane is a different mesh, whose aggregator endpoint is
+/// owned by a different engine thread). Sends to worker nodes are
+/// routed onto lane 0 — every shard mesh carries all worker node ids,
+/// and a worker's bond receives from all of its lanes, so any lane
+/// reaches it. Receives poll the lanes round-robin starting after the
+/// lane that last delivered, so a chatty shard cannot starve the rest.
+pub struct ShardBond<T: Transport> {
+    lanes: Vec<T>,
+    first_aggregator: u16,
+    /// Next lane to poll first (fairness rotation). `Cell` because
+    /// [`Transport::recv`] takes `&self`; the bond is `Send` but not
+    /// shared across threads.
+    cursor: Cell<usize>,
+}
+
+impl<T: Transport> ShardBond<T> {
+    /// Bonds `lanes` (index = shard) owned by the node whose aggregator
+    /// ids start at `first_aggregator`.
+    ///
+    /// # Panics
+    /// Panics when `lanes` is empty or the lanes disagree on the local
+    /// node id.
+    pub fn new(lanes: Vec<T>, first_aggregator: u16) -> Self {
+        assert!(!lanes.is_empty(), "bond needs at least one lane");
+        let local = lanes[0].local_id();
+        for l in &lanes {
+            assert_eq!(l.local_id(), local, "lanes must share a local id");
+        }
+        ShardBond {
+            lanes,
+            first_aggregator,
+            cursor: Cell::new(0),
+        }
+    }
+
+    /// Number of shards bonded.
+    pub fn num_shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane a message to `peer` is routed onto.
+    fn lane_of(&self, peer: NodeId) -> Result<usize, TransportError> {
+        if peer.0 < self.first_aggregator {
+            return Ok(0);
+        }
+        let s = (peer.0 - self.first_aggregator) as usize;
+        if s < self.lanes.len() {
+            Ok(s)
+        } else {
+            Err(TransportError::UnknownPeer(peer))
+        }
+    }
+
+    /// One fair polling sweep: every lane once, `slice` each.
+    fn poll_once(&self, slice: Duration) -> Result<Option<(NodeId, Message)>, TransportError> {
+        let n = self.lanes.len();
+        let start = self.cursor.get();
+        for i in 0..n {
+            let lane = (start + i) % n;
+            if let Some(m) = self.lanes[lane].recv_timeout(slice)? {
+                self.cursor.set((lane + 1) % n);
+                return Ok(Some(m));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl<T: Transport> Transport for ShardBond<T> {
+    fn local_id(&self) -> NodeId {
+        self.lanes[0].local_id()
+    }
+
+    fn send(&self, peer: NodeId, msg: &Message) -> Result<(), TransportError> {
+        self.lanes[self.lane_of(peer)?].send(peer, msg)
+    }
+
+    fn recv(&self) -> Result<(NodeId, Message), TransportError> {
+        loop {
+            if let Some(m) = self.poll_once(LANE_POLL)? {
+                return Ok(m);
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(NodeId, Message)>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            if let Some(m) = self.poll_once(remaining.min(LANE_POLL))? {
+                return Ok(Some(m));
+            }
+        }
+    }
+}
+
+/// One independent [`ChannelNetwork`] per shard, all sharing the node-id
+/// layout of the unsharded mesh (workers `0..W`, aggregator of shard `s`
+/// at node `W + s`), so engines keep their node ids unchanged.
+///
+/// In shard `s`'s mesh only the worker endpoints and aggregator `W + s`
+/// are ever taken; the other aggregator ids exist but stay silent.
+pub struct ShardedChannelMesh {
+    nets: Vec<ChannelNetwork>,
+    num_workers: usize,
+}
+
+impl ShardedChannelMesh {
+    /// Builds `num_shards` meshes for `num_workers` workers.
+    pub fn new(num_workers: usize, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let nets = (0..num_shards)
+            .map(|_| ChannelNetwork::new(num_workers + num_shards))
+            .collect();
+        ShardedChannelMesh { nets, num_workers }
+    }
+
+    /// Number of shards (aggregators).
+    pub fn num_shards(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Takes worker `w`'s lane into every shard mesh, index = shard.
+    pub fn worker_lanes(&mut self, w: usize) -> Vec<ChannelTransport> {
+        assert!(w < self.num_workers, "node {w} is not a worker");
+        self.nets
+            .iter_mut()
+            .map(|n| n.endpoint(NodeId(w as u16)))
+            .collect()
+    }
+
+    /// Takes worker `w`'s lanes bonded into a single transport.
+    pub fn worker_bond(&mut self, w: usize) -> ShardBond<ChannelTransport> {
+        let first_agg = self.num_workers as u16;
+        ShardBond::new(self.worker_lanes(w), first_agg)
+    }
+
+    /// Takes shard `s`'s aggregator endpoint (node `W + s` in mesh `s`).
+    pub fn aggregator_endpoint(&mut self, s: usize) -> ChannelTransport {
+        let id = NodeId((self.num_workers + s) as u16);
+        self.nets[s].endpoint(id)
+    }
+}
+
+/// [`ShardedChannelMesh`] with each shard's mesh wrapped by its **own**
+/// [`FaultPlan`] — faults are keyed by shard, so a chaos schedule can
+/// drop only shard 1's packets, straggle only shard 2's links, or crash
+/// a single non-primary aggregator while the other shards stay healthy.
+pub struct ShardedChaosMesh {
+    /// `shards[s][node]` = node's endpoint in shard `s`'s mesh.
+    shards: Vec<Vec<Option<ChaosTransport<ChannelTransport>>>>,
+    num_workers: usize,
+}
+
+impl ShardedChaosMesh {
+    /// Builds `plans.len()` shard meshes, wrapping shard `s`'s endpoints
+    /// with `plans[s]`.
+    pub fn wrap(num_workers: usize, plans: &[FaultPlan]) -> Self {
+        Self::build(num_workers, plans, None)
+    }
+
+    /// Like [`ShardedChaosMesh::wrap`], mirroring every shard's fault
+    /// counters into `telemetry` (`transport.fault.*`).
+    pub fn wrap_with_telemetry(
+        num_workers: usize,
+        plans: &[FaultPlan],
+        telemetry: &Telemetry,
+    ) -> Self {
+        Self::build(num_workers, plans, Some(telemetry))
+    }
+
+    fn build(num_workers: usize, plans: &[FaultPlan], telemetry: Option<&Telemetry>) -> Self {
+        assert!(!plans.is_empty(), "need one fault plan per shard");
+        let n = num_workers + plans.len();
+        let shards = plans
+            .iter()
+            .map(|plan| {
+                let mut net = ChannelNetwork::new(n);
+                let wrapped = match telemetry {
+                    Some(t) => ChaosNetwork::wrap_with_telemetry(net.endpoints(), plan, t),
+                    None => ChaosNetwork::wrap(net.endpoints(), plan),
+                };
+                wrapped.into_iter().map(Some).collect()
+            })
+            .collect();
+        ShardedChaosMesh {
+            shards,
+            num_workers,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Takes worker `w`'s lane into every shard mesh, index = shard.
+    pub fn worker_lanes(&mut self, w: usize) -> Vec<ChaosTransport<ChannelTransport>> {
+        assert!(w < self.num_workers, "node {w} is not a worker");
+        self.shards
+            .iter_mut()
+            .map(|mesh| mesh[w].take().expect("endpoint already taken"))
+            .collect()
+    }
+
+    /// Takes worker `w`'s lanes bonded into a single transport.
+    pub fn worker_bond(&mut self, w: usize) -> ShardBond<ChaosTransport<ChannelTransport>> {
+        let first_agg = self.num_workers as u16;
+        ShardBond::new(self.worker_lanes(w), first_agg)
+    }
+
+    /// Takes shard `s`'s aggregator endpoint.
+    pub fn aggregator_endpoint(&mut self, s: usize) -> ChaosTransport<ChannelTransport> {
+        self.shards[s][self.num_workers + s]
+            .take()
+            .expect("endpoint already taken")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bond_routes_sends_by_aggregator_node() {
+        let mut mesh = ShardedChannelMesh::new(2, 3);
+        let bond = mesh.worker_bond(0);
+        let aggs: Vec<_> = (0..3).map(|s| mesh.aggregator_endpoint(s)).collect();
+        for (s, agg) in aggs.iter().enumerate() {
+            bond.send(NodeId((2 + s) as u16), &Message::Start { seq: s as u64 })
+                .unwrap();
+            let (from, msg) = agg.recv().unwrap();
+            assert_eq!(from, NodeId(0));
+            assert_eq!(msg, Message::Start { seq: s as u64 });
+        }
+    }
+
+    #[test]
+    fn bond_receives_from_every_lane() {
+        let mut mesh = ShardedChannelMesh::new(1, 4);
+        let bond = mesh.worker_bond(0);
+        let aggs: Vec<_> = (0..4).map(|s| mesh.aggregator_endpoint(s)).collect();
+        for (s, agg) in aggs.iter().enumerate() {
+            agg.send(NodeId(0), &Message::Start { seq: s as u64 })
+                .unwrap();
+        }
+        let mut seen: Vec<u64> = (0..4)
+            .map(|_| match bond.recv().unwrap() {
+                (_, Message::Start { seq }) => seq,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bond_send_to_unknown_shard_errors() {
+        let mut mesh = ShardedChannelMesh::new(1, 2);
+        let bond = mesh.worker_bond(0);
+        let err = bond.send(NodeId(9), &Message::Shutdown).unwrap_err();
+        assert!(matches!(err, TransportError::UnknownPeer(NodeId(9))));
+    }
+
+    #[test]
+    fn bond_recv_timeout_expires_across_lanes() {
+        let mut mesh = ShardedChannelMesh::new(1, 3);
+        let bond = mesh.worker_bond(0);
+        let got = bond.recv_timeout(Duration::from_millis(5)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn bond_cross_thread_round_trip_per_shard() {
+        let mut mesh = ShardedChannelMesh::new(1, 2);
+        let bond = mesh.worker_bond(0);
+        let mut handles = Vec::new();
+        for s in 0..2usize {
+            let agg = mesh.aggregator_endpoint(s);
+            handles.push(thread::spawn(move || {
+                let (from, msg) = agg.recv().unwrap();
+                assert_eq!(msg, Message::Start { seq: s as u64 });
+                agg.send(from, &Message::Start { seq: 10 + s as u64 })
+                    .unwrap();
+            }));
+        }
+        for s in 0..2u64 {
+            bond.send(NodeId(1 + s as u16), &Message::Start { seq: s })
+                .unwrap();
+        }
+        let mut seen: Vec<u64> = (0..2)
+            .map(|_| match bond.recv().unwrap() {
+                (_, Message::Start { seq }) => seq,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![10, 11]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn chaos_mesh_wraps_each_shard_with_its_own_plan() {
+        // Shard 0 clean, shard 1's aggregator crashes on its first
+        // data-plane send: shard 0's results arrive at the worker,
+        // shard 1's black-hole (fault plans are keyed by shard).
+        use crate::message::{Entry, Packet, PacketKind};
+        let data = |stream: u16| {
+            Message::Block(Packet {
+                kind: PacketKind::Result,
+                ver: 0,
+                stream,
+                wid: 0,
+                entries: vec![Entry::data(0, 0, vec![1.0])],
+            })
+        };
+        let plans = vec![FaultPlan::new(7), FaultPlan::new(7).crash_after(2, 0)];
+        let mut mesh = ShardedChaosMesh::wrap(1, &plans);
+        let bond = mesh.worker_bond(0);
+        let agg0 = mesh.aggregator_endpoint(0);
+        let agg1 = mesh.aggregator_endpoint(1);
+        agg0.send(NodeId(0), &data(0)).unwrap();
+        agg1.send(NodeId(0), &data(1)).unwrap();
+        let (_, got) = bond.recv().unwrap();
+        match got {
+            Message::Block(p) => assert_eq!(p.stream, 0, "only shard 0 may deliver"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(bond
+            .recv_timeout(Duration::from_millis(20))
+            .unwrap()
+            .is_none());
+        assert!(agg1.is_crashed());
+    }
+}

@@ -53,22 +53,46 @@ else
   step "fault suite" cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test fault -q
 fi
 
+# Sharded interleaving suite (§4 multi-aggregator): per-shard chaos,
+# join-schedule invariance, one-shard stragglers and a non-primary
+# aggregator crash. Same hang risk as the fault suite (a survivor that
+# never winds down presents as a stall), so it gets the same outer
+# timeout belt.
+if command -v timeout >/dev/null 2>&1; then
+  step "sharded interleave suite (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test shard_interleave -q
+else
+  step "sharded interleave suite" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test shard_interleave -q
+fi
+
 # Cross-engine differential suite: every protocol implementation
-# (lossless, recovery clean/lossy, hierarchical, both simulators) against
-# the scalar oracle, bit-identical / wire-byte-exact. Runs as part of
-# `cargo test --workspace` above too; called out explicitly so a
-# correctness divergence is named in the CI log.
-step "differential (core conformance)" \
+# (lossless, recovery clean/lossy, sharded {1,2,4}-aggregator columns,
+# hierarchical, both simulators) against the scalar oracle,
+# bit-identical / wire-byte-exact with per-shard byte aggregation. Runs
+# as part of `cargo test --workspace` above too; called out explicitly
+# so a correctness divergence is named in the CI log.
+step "differential (core conformance, incl. sharded column)" \
   cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test conformance -q
-step "differential (workspace engines)" \
+step "differential (workspace engines, per-shard bytes)" \
   cargo test "${CARGO_FLAGS[@]}" -p omnireduce --test differential -q
 
-# Zero-allocation hot-path gate: fails if a steady-state round allocates
-# or if ns/block regresses >2x past the committed baseline.
+# Zero-allocation hot-path gate (single-shard and 2-shard lanes): fails
+# if a steady-state round allocates or if ns/block regresses >2x past
+# the committed baseline.
 if [[ "$FAST" -eq 0 ]]; then
   step "hotpath allocation gate" \
     cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
     --bin ablation_hotpath -- --check
+fi
+
+# Sharding scaling gate: goodput at 1% block density must grow strictly
+# monotonically from 1 to 4 aggregators (§4).
+if [[ "$FAST" -eq 0 ]]; then
+  step "sharding scaling gate" \
+    cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+    --bin ablation_sharding -- --check
 fi
 
 if cargo fmt --version >/dev/null 2>&1; then

@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use omnireduce::core::config::OmniConfig;
 use omnireduce::core::hierarchical::{hierarchical_allreduce, IntraNode};
+use omnireduce::core::shard::ShardedAllReduce;
 use omnireduce::core::sim::{simulate_allreduce, SimSpec};
 use omnireduce::core::sim_recovery::simulate_recovery_allreduce;
 use omnireduce::core::testing::{run_group, run_recovery_group, with_deadline};
@@ -113,6 +114,14 @@ fn executable_engines_agree_bitwise_with_scalar_oracle() {
             assert_bits_eq(&outs[0], &want, &format!("lossless w{w}"));
         }
 
+        // 1b. Sharded lossless engines: per-shard lanes and threaded
+        //     aggregators must not change a single bit.
+        let sharded =
+            ShardedAllReduce::run(&config(), ins.iter().map(|t| vec![t.clone()]).collect());
+        for (w, outs) in sharded.outputs.iter().enumerate() {
+            assert_bits_eq(&outs[0], &want, &format!("sharded lossless w{w}"));
+        }
+
         // 2. Recovery executable engines (Algorithm 2) on a clean mesh:
         //    a huge fixed RTO means any timer fire is a protocol bug.
         let rec_cfg = config().with_fixed_rto(Duration::from_secs(30));
@@ -136,10 +145,8 @@ fn executable_engines_agree_bitwise_with_scalar_oracle() {
         //    replays must fold idempotently (two-phase versioned slots) —
         //    the result is still bit-identical, not merely close.
         let lossy_cfg = config().with_fixed_rto(Duration::from_millis(25));
-        let mut lossy = LossyNetwork::new(
-            lossy_cfg.mesh_size(),
-            LossConfig::uniform(0.12, 0.06, SEED),
-        );
+        let mut lossy =
+            LossyNetwork::new(lossy_cfg.mesh_size(), LossConfig::uniform(0.12, 0.06, SEED));
         let lossy_result = run_recovery_group(
             &lossy_cfg,
             lossy.endpoints(),
@@ -185,7 +192,9 @@ fn hierarchical_engine_agrees_bitwise_with_scalar_oracle() {
             let t = net.endpoint(NodeId(cfg.aggregator_node(a)));
             let cfg = cfg.clone();
             agg_handles.push(thread::spawn(move || {
-                OmniAggregator::new(t, cfg).run().expect("aggregator failed");
+                OmniAggregator::new(t, cfg)
+                    .run()
+                    .expect("aggregator failed");
             }));
         }
 
@@ -222,15 +231,59 @@ fn hierarchical_engine_agrees_bitwise_with_scalar_oracle() {
     });
 }
 
+/// Folds `shard_bytes[w][s]` rows into one per-shard column sum, after
+/// asserting each row decomposes its worker's aggregate counter. The
+/// config runs multiple aggregator shards, so every wire-byte equality
+/// below must aggregate the per-shard counters first — a single
+/// "one transport, one counter" sum would paper over a shard imbalance.
+fn fold_shard_bytes(
+    per_worker: &[Vec<u64>],
+    totals: impl Iterator<Item = u64>,
+    ctx: &str,
+) -> Vec<u64> {
+    let shards = per_worker[0].len();
+    let mut per_shard = vec![0u64; shards];
+    for ((w, row), total) in per_worker.iter().enumerate().zip(totals) {
+        assert_eq!(row.len(), shards, "{ctx}: worker {w} shard column count");
+        let split: u64 = row.iter().sum();
+        assert_eq!(split, total, "{ctx}: worker {w} per-shard split");
+        for (s, b) in row.iter().enumerate() {
+            per_shard[s] += b;
+        }
+    }
+    per_shard
+}
+
 #[test]
 fn simulators_charge_exactly_the_executable_engines_bytes() {
     with_deadline(Duration::from_secs(120), || {
         let ins = inputs();
         let bms = worker_bitmaps(&ins);
 
-        // Executable byte counters (lossless + clean-mesh recovery).
+        // Executable byte counters (lossless + clean-mesh recovery),
+        // aggregated per aggregator shard.
         let lossless = run_group(&config(), ins.iter().map(|t| vec![t.clone()]).collect());
-        let exec_bytes: u64 = lossless.stats.iter().map(|s| s.bytes_sent).sum();
+        let exec_shard_bytes = fold_shard_bytes(
+            &lossless.shard_bytes,
+            lossless.stats.iter().map(|s| s.bytes_sent),
+            "lossless",
+        );
+        let exec_bytes: u64 = exec_shard_bytes.iter().sum();
+
+        // The sharded deployment (per-shard lanes, threaded aggregators)
+        // is protocol-identical: its per-shard byte split must match the
+        // single-transport engines' split exactly, shard by shard.
+        let sharded =
+            ShardedAllReduce::run(&config(), ins.iter().map(|t| vec![t.clone()]).collect());
+        let sharded_shard_bytes = fold_shard_bytes(
+            &sharded.shard_bytes,
+            sharded.stats.iter().map(|s| s.bytes_sent),
+            "sharded lossless",
+        );
+        assert_eq!(
+            sharded_shard_bytes, exec_shard_bytes,
+            "sharded lanes must charge the same bytes per shard"
+        );
 
         let rec_cfg = config().with_fixed_rto(Duration::from_secs(30));
         let mut net = ChannelNetwork::new(rec_cfg.mesh_size());
@@ -242,18 +295,28 @@ fn simulators_charge_exactly_the_executable_engines_bytes() {
             endpoints,
             ins.iter().map(|t| vec![t.clone()]).collect(),
         );
-        let rec_bytes: u64 = recovery.stats.iter().map(|s| s.bytes_sent).sum();
+        let rec_shard_bytes = fold_shard_bytes(
+            &recovery.shard_bytes,
+            recovery.stats.iter().map(|s| s.bytes_sent),
+            "recovery",
+        );
+        let rec_bytes: u64 = rec_shard_bytes.iter().sum();
 
-        // Algorithm 1 mirror: exact wire-byte equality.
+        // Algorithm 1 mirror: exact wire-byte equality, in aggregate and
+        // per dedicated shard NIC.
         let spec = SimSpec::dedicated(config(), Bandwidth::gbps(10.0), SimTime::from_micros(5));
         let sim = simulate_allreduce(&spec, &bms);
         assert_eq!(
             sim.worker_tx_bytes, exec_bytes,
             "sim worker bytes must equal executable lossless bytes"
         );
+        assert_eq!(
+            sim.shard_rx_bytes, exec_shard_bytes,
+            "each sim shard NIC must receive exactly its executable shard's bytes"
+        );
 
         // Algorithm 2 mirror at zero loss: exact wire-byte equality with
-        // the executable recovery engines.
+        // the executable recovery engines, again per shard.
         let nic = NicConfig::symmetric(Bandwidth::gbps(10.0), SimTime::from_micros(5));
         let simrec = simulate_recovery_allreduce(
             &config(),
@@ -268,6 +331,10 @@ fn simulators_charge_exactly_the_executable_engines_bytes() {
         assert_eq!(
             simrec.worker_tx_bytes, rec_bytes,
             "sim_recovery worker bytes must equal executable recovery bytes"
+        );
+        assert_eq!(
+            simrec.shard_rx_bytes, rec_shard_bytes,
+            "each sim_recovery shard NIC must receive exactly its shard's bytes"
         );
     });
 }
