@@ -28,7 +28,7 @@ use omnireduce_core::config::OmniConfig;
 use omnireduce_core::sim::{bitmaps_from_sets, simulate_allreduce, SimSpec};
 use omnireduce_simnet::{Bandwidth, NicConfig, SimTime};
 use omnireduce_telemetry::json::JsonValue;
-use omnireduce_telemetry::Telemetry;
+use omnireduce_telemetry::{AttributionConfig, IntrospectionServer, RoundAttribution, Telemetry};
 use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
 use omnireduce_tensor::NonZeroBitmap;
 
@@ -103,19 +103,66 @@ impl Testbed {
 /// Every simulation entry point in this crate ([`omni_time`],
 /// [`omni_time_colocated`]) registers its counters here, and
 /// [`Table::emit`] snapshots it into `results/<slug>.metrics.json`
-/// alongside the table JSON. Setting the `OMNIREDUCE_TRACE` environment
-/// variable (any value) additionally enables the bounded trace recorder
-/// (64 Ki events) and makes `emit` drop a Chrome-trace
-/// `results/<slug>.trace.json` loadable in `chrome://tracing` / Perfetto.
+/// alongside the table JSON. Environment gates:
+///
+/// * `OMNIREDUCE_TRACE` (any value) enables the bounded trace recorder
+///   (64 Ki events) and makes `emit` drop a Chrome-trace
+///   `results/<slug>.trace.json` loadable in `chrome://tracing` /
+///   Perfetto.
+/// * `OMNIREDUCE_FLIGHT` enables the protocol flight recorder — the
+///   value is the per-lane event capacity (`1` or a non-numeric value
+///   gets the 64 Ki default; see [`flight_capacity_from_env`]) — and
+///   makes `emit` drop `results/<slug>.flight.json`
+///   (the raw recording, `omnistat`'s input format) and
+///   `results/<slug>.rounds.json` (the reconstructed per-round latency
+///   attribution).
+/// * `OMNIREDUCE_SERVE_ADDR` starts the live introspection endpoint on
+///   that address for the lifetime of the process (see
+///   [`omnireduce_telemetry::IntrospectionServer`]).
 pub fn telemetry() -> &'static Telemetry {
     static TELEMETRY: OnceLock<Telemetry> = OnceLock::new();
     TELEMETRY.get_or_init(|| {
-        if std::env::var_os("OMNIREDUCE_TRACE").is_some() {
-            Telemetry::with_tracing(65_536)
+        let trace_cap = if std::env::var_os("OMNIREDUCE_TRACE").is_some() {
+            65_536
         } else {
-            Telemetry::new()
+            0
+        };
+        let flight_cap = flight_capacity_from_env();
+        let t = Telemetry::with_observability(trace_cap, flight_cap);
+        match IntrospectionServer::from_env(&t) {
+            Some(Ok(server)) => {
+                eprintln!(
+                    "omnireduce: introspection on http://{}",
+                    server.local_addr()
+                );
+                // Keep serving until the process exits.
+                std::mem::forget(server);
+            }
+            Some(Err(e)) => eprintln!("omnireduce: introspection bind failed: {e}"),
+            None => {}
         }
+        t
     })
+}
+
+/// Flight-recorder per-lane capacity from `OMNIREDUCE_FLIGHT`: unset,
+/// empty, `0`, `off`, `false` or `no` → disabled; an integer ≥ 2 → that
+/// capacity; anything else (`1`, `true`, `on`, …) → the 64 Ki default.
+/// `1` is deliberately "on", not "capacity 1" — it is the idiomatic
+/// enable value and a one-event ring records nothing useful.
+pub fn flight_capacity_from_env() -> usize {
+    flight_capacity_from(std::env::var("OMNIREDUCE_FLIGHT").ok().as_deref())
+}
+
+fn flight_capacity_from(value: Option<&str>) -> usize {
+    let v = value.unwrap_or("").trim();
+    if v.is_empty() || ["0", "off", "false", "no"].contains(&v.to_ascii_lowercase().as_str()) {
+        return 0;
+    }
+    match v.parse::<usize>() {
+        Ok(c) if c >= 2 => c,
+        _ => 65_536,
+    }
 }
 
 /// Standard OmniReduce geometry for `n` workers over `elements`
@@ -390,7 +437,11 @@ impl Table {
 
     /// Dumps the process-wide telemetry registry next to the table:
     /// `<slug>.metrics.json` always, `<slug>.trace.json` when tracing is
-    /// enabled (`OMNIREDUCE_TRACE`) and events were recorded.
+    /// enabled (`OMNIREDUCE_TRACE`) and events were recorded, and —
+    /// when the flight recorder is enabled (`OMNIREDUCE_FLIGHT`) and
+    /// events were recorded — `<slug>.flight.json` (the raw recording,
+    /// `omnistat`'s input) plus `<slug>.rounds.json` (the reconstructed
+    /// per-round latency attribution).
     fn write_telemetry(&self, dir: &Path, slug: &str) {
         let snapshot = telemetry().snapshot();
         let path = dir.join(format!("{slug}.metrics.json"));
@@ -402,6 +453,21 @@ impl Table {
             let path = dir.join(format!("{slug}.trace.json"));
             if let Ok(mut f) = std::fs::File::create(path) {
                 let _ = f.write_all(trace.to_chrome_json().as_bytes());
+            }
+        }
+        let flight = telemetry().flight();
+        if flight.is_enabled() {
+            let rec = flight.snapshot();
+            if !rec.is_empty() {
+                let path = dir.join(format!("{slug}.flight.json"));
+                if let Ok(mut f) = std::fs::File::create(path) {
+                    let _ = f.write_all(rec.to_json().as_bytes());
+                }
+                let attrib = RoundAttribution::from_recording(&rec, &AttributionConfig::default());
+                let path = dir.join(format!("{slug}.rounds.json"));
+                if let Ok(mut f) = std::fs::File::create(path) {
+                    let _ = f.write_all(attrib.rounds_json().to_string_pretty().as_bytes());
+                }
             }
         }
     }
@@ -420,6 +486,30 @@ pub fn x(f: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flight_capacity_parsing() {
+        // Off: unset, empty, and the conventional disable spellings.
+        for v in [
+            None,
+            Some(""),
+            Some("  "),
+            Some("0"),
+            Some("off"),
+            Some("False"),
+            Some("no"),
+        ] {
+            assert_eq!(flight_capacity_from(v), 0, "{v:?}");
+        }
+        // On with the default capacity: enable spellings and the
+        // degenerate "1" (a one-event ring records nothing useful).
+        for v in [Some("1"), Some("true"), Some("on"), Some("yes")] {
+            assert_eq!(flight_capacity_from(v), 65_536, "{v:?}");
+        }
+        // Explicit capacities pass through.
+        assert_eq!(flight_capacity_from(Some("2")), 2);
+        assert_eq!(flight_capacity_from(Some("4096")), 4096);
+    }
 
     #[test]
     fn testbed_parameters() {

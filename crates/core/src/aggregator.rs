@@ -12,7 +12,7 @@
 //!
 //! The shard runs until every worker has sent a `Shutdown`.
 
-use omnireduce_telemetry::{Counter, Telemetry};
+use omnireduce_telemetry::{Counter, FlightEventKind, FlightLane, LaneRole, Telemetry};
 use omnireduce_tensor::{BlockIdx, INFINITY_BLOCK};
 use omnireduce_transport::{
     BufferPool, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
@@ -151,6 +151,9 @@ pub struct OmniAggregator<T: Transport> {
     /// Data-plane counters.
     pub stats: AggregatorStats,
     counters: AggregatorCounters,
+    /// Protocol flight lane (no-op unless the registry's flight
+    /// recorder is enabled).
+    flight: FlightLane,
     streams_open_this_round: usize,
     /// Freelists for result-packet buffers (checked out at completion,
     /// recycled after the multicast — DESIGN §9).
@@ -204,6 +207,7 @@ impl<T: Transport> OmniAggregator<T> {
             goodbyes: 0,
             stats: AggregatorStats::default(),
             counters: AggregatorCounters::detached(),
+            flight: FlightLane::disabled(),
             streams_open_this_round,
             pool,
             workers_scratch: Vec::new(),
@@ -216,6 +220,11 @@ impl<T: Transport> OmniAggregator<T> {
     pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
         let mut a = Self::new(transport, cfg);
         a.counters = AggregatorCounters::registered(telemetry);
+        a.flight = telemetry.flight().lane(
+            &format!("agg{}", a.shard),
+            LaneRole::Aggregator,
+            a.shard as u16,
+        );
         a.pool =
             BufferPool::for_block_size(a.cfg.block_size).with_telemetry("aggregator", telemetry);
         a
@@ -259,6 +268,18 @@ impl<T: Transport> OmniAggregator<T> {
         self.stats.blocks_received += blocks;
         self.counters.packets.inc();
         self.counters.blocks_received.add(blocks);
+        // Keyed by the first entry's block, mirroring the sender's
+        // PacketTx key so the reconstructor can pair tx with rx.
+        if let Some(first) = p.entries.first() {
+            self.flight.record(
+                FlightEventKind::PacketRx,
+                0,
+                first.block as u64,
+                self.shard as u16,
+                p.wid,
+                blocks,
+            );
+        }
         let slot = self.slots[g]
             .as_mut()
             .unwrap_or_else(|| panic!("stream {g} not owned by shard"));
@@ -270,6 +291,17 @@ impl<T: Transport> OmniAggregator<T> {
             if !entry.data.is_empty() {
                 debug_assert_eq!(entry.block, cs.cur, "entry for wrong block");
                 debug_assert!(!cs.acc.has_contrib(p.wid as usize), "double contribution");
+                if !cs.acc.touched() {
+                    // First contribution claims the column's slot.
+                    self.flight.record(
+                        FlightEventKind::SlotOccupy,
+                        0,
+                        cs.cur as u64,
+                        self.shard as u16,
+                        p.wid,
+                        col as u64,
+                    );
+                }
                 // Copy into the accumulator's persistent buffers (no
                 // per-block allocation; vectorized reduction kernel).
                 cs.acc.store(p.wid as usize, &entry.data);
@@ -340,6 +372,26 @@ impl<T: Transport> OmniAggregator<T> {
         self.stats.slots_completed += 1;
         self.counters.results_sent.inc();
         self.counters.slots_completed.inc();
+        if let Message::Block(pkt) = &msg {
+            if let Some(first) = pkt.entries.first() {
+                self.flight.record(
+                    FlightEventKind::SlotRelease,
+                    0,
+                    first.block as u64,
+                    self.shard as u16,
+                    0,
+                    pkt.entries.len() as u64,
+                );
+                self.flight.record(
+                    FlightEventKind::ResultTx,
+                    0,
+                    first.block as u64,
+                    self.shard as u16,
+                    0,
+                    pkt.entries.len() as u64,
+                );
+            }
+        }
         for w in &self.workers_scratch {
             crate::wire::send_best_effort(&self.transport, *w, &msg)?;
         }

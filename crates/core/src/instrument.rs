@@ -11,7 +11,7 @@
 //! track plus a wall clock, recording nothing unless the registry's
 //! recorder is enabled.
 
-use omnireduce_telemetry::{Clock, Telemetry, TrackId, WallClock};
+use omnireduce_telemetry::{Clock, ClockDomain, Telemetry, TrackId, WallClock};
 
 /// A per-engine timeline row in the trace recorder.
 ///
@@ -28,10 +28,16 @@ impl EngineTrace {
     }
 
     /// Registers a track named `track` on `telemetry`'s recorder.
+    ///
+    /// The track is unique (suffixed on name collision): sharded runs
+    /// spawn many engines against one registry, and sharing a row would
+    /// interleave unrelated engines' spans. The clock is the registry's
+    /// shared wall clock, so spans from different engines — and flight
+    /// events — land on one comparable timeline.
     pub fn new(telemetry: &Telemetry, track: &str) -> Self {
-        let id = telemetry.trace().track(track);
+        let id = telemetry.trace().unique_track(track, ClockDomain::Wall);
         EngineTrace {
-            inner: Some((telemetry.clone(), id, WallClock::new())),
+            inner: Some((telemetry.clone(), id, telemetry.wall_clock())),
         }
     }
 

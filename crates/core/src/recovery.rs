@@ -28,7 +28,9 @@
 
 use std::time::{Duration, Instant};
 
-use omnireduce_telemetry::{Counter, Histogram, Telemetry};
+use omnireduce_telemetry::{
+    Counter, FlightEventKind, FlightLane, Histogram, LaneRole, Telemetry, NO_BLOCK,
+};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
 use omnireduce_transport::timer::{RttEstimator, TimerQueue};
 use omnireduce_transport::{
@@ -114,6 +116,20 @@ impl RecoveryCounters {
     }
 }
 
+/// Flight-recorder pairing key for a fused message: its first entry's
+/// block ([`NO_BLOCK`] for empty/control messages). Sender and receiver
+/// derive the key from the same packet, so tx and rx events match.
+fn first_block(msg: &Message) -> u64 {
+    match msg {
+        Message::Block(p) => p
+            .entries
+            .first()
+            .map(|e| e.block as u64)
+            .unwrap_or(NO_BLOCK),
+        _ => NO_BLOCK,
+    }
+}
+
 struct WorkerCol {
     my_next: BlockIdx,
     done: bool,
@@ -156,6 +172,13 @@ pub struct RecoveryWorker<T: Transport> {
     /// independently (DESIGN §10).
     shard_bytes: Vec<u64>,
     counters: RecoveryCounters,
+    /// Protocol flight lane (no-op unless the registry's flight
+    /// recorder is enabled).
+    flight: FlightLane,
+    /// AllReduce rounds completed — the flight recorder's round key.
+    /// Private (not part of [`RecoveryStats`]) so chaos-replay equality
+    /// on stats stays byte-exact.
+    rounds: u64,
     /// Freelists for outgoing packet buffers (payloads and entry lists
     /// are checked out per packet and recycled when the packet's phase
     /// is answered — DESIGN §9).
@@ -201,15 +224,22 @@ impl<T: Transport> RecoveryWorker<T> {
             stats: RecoveryStats::default(),
             shard_bytes,
             counters: RecoveryCounters::detached(),
+            flight: FlightLane::disabled(),
+            rounds: 0,
             pool,
         }
     }
 
     /// Like [`RecoveryWorker::new`], but mirrors loss-path counters into
-    /// `telemetry`'s `core.recovery.*` counters.
+    /// `telemetry`'s `core.recovery.*` counters and records protocol
+    /// flight events on a `worker{wid}` lane when the registry's flight
+    /// recorder is enabled.
     pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
         let mut w = Self::new(transport, cfg);
         w.counters = RecoveryCounters::registered(telemetry);
+        w.flight = telemetry
+            .flight()
+            .lane(&format!("worker{}", w.wid), LaneRole::Worker, w.wid);
         w
     }
 
@@ -245,6 +275,10 @@ impl<T: Transport> RecoveryWorker<T> {
     /// shard is presumed dead).
     pub fn allreduce(&mut self, tensor: &mut Tensor) -> Result<(), ProtocolError> {
         assert_eq!(tensor.len(), self.cfg.tensor_len, "tensor length mismatch");
+        let round = self.rounds as u32;
+        self.flight
+            .record(FlightEventKind::RoundStart, round, NO_BLOCK, 0, self.wid, 0);
+        let encode_t0 = self.flight.now_ns();
         let bitmap = NonZeroBitmap::build(tensor, self.cfg.block_spec());
         let skip = self.cfg.skip_zero_blocks;
         let layout = self.layout;
@@ -291,6 +325,14 @@ impl<T: Transport> RecoveryWorker<T> {
             });
             pending += 1;
         }
+        self.flight.record(
+            FlightEventKind::Encode,
+            round,
+            NO_BLOCK,
+            0,
+            self.wid,
+            self.flight.now_ns().saturating_sub(encode_t0),
+        );
 
         while pending > 0 {
             let now = Instant::now();
@@ -298,6 +340,14 @@ impl<T: Transport> RecoveryWorker<T> {
             match self.transport.recv_timeout(timeout)? {
                 Some((_, Message::Block(p))) if p.kind == PacketKind::Result => {
                     let g = p.stream as usize;
+                    self.flight.record(
+                        FlightEventKind::ResultRx,
+                        round,
+                        NO_BLOCK,
+                        self.cfg.shard_of_stream(g) as u16,
+                        self.wid,
+                        p.entries.len() as u64,
+                    );
                     let Some(state) = streams[g].as_mut() else {
                         // Stale result for a finished stream.
                         self.stats.stale_results_ignored += 1;
@@ -408,6 +458,33 @@ impl<T: Transport> RecoveryWorker<T> {
                     self.counters.bytes_sent.add(wire_bytes);
                     let shard = self.cfg.shard_of_stream(g);
                     self.shard_bytes[shard] += wire_bytes;
+                    let block = first_block(&o.msg);
+                    self.flight.record(
+                        FlightEventKind::NackRx,
+                        round,
+                        block,
+                        shard as u16,
+                        self.wid,
+                        0,
+                    );
+                    self.flight.record(
+                        FlightEventKind::SolicitedResend,
+                        round,
+                        block,
+                        shard as u16,
+                        self.wid,
+                        wire_bytes,
+                    );
+                    // Re-keyed PacketTx so the aggregator's eventual rx
+                    // pairs with this resend, not the lost original.
+                    self.flight.record(
+                        FlightEventKind::PacketTx,
+                        round,
+                        block,
+                        shard as u16,
+                        self.wid,
+                        wire_bytes,
+                    );
                     self.transport
                         .send(NodeId(self.cfg.aggregator_node(shard)), &o.msg)?;
                     let rto = self.next_rto(shard);
@@ -453,6 +530,33 @@ impl<T: Transport> RecoveryWorker<T> {
                         self.counters.retransmissions.inc();
                         self.counters.bytes_sent.add(wire_bytes);
                         self.shard_bytes[shard] += wire_bytes;
+                        let block = first_block(&o.msg);
+                        // aux = time burnt waiting on this packet so
+                        // far — the recovery-overhead component.
+                        self.flight.record(
+                            FlightEventKind::RtoFire,
+                            round,
+                            block,
+                            shard as u16,
+                            self.wid,
+                            o.sent_at.elapsed().as_nanos() as u64,
+                        );
+                        self.flight.record(
+                            FlightEventKind::Retransmit,
+                            round,
+                            block,
+                            shard as u16,
+                            self.wid,
+                            wire_bytes,
+                        );
+                        self.flight.record(
+                            FlightEventKind::PacketTx,
+                            round,
+                            block,
+                            shard as u16,
+                            self.wid,
+                            wire_bytes,
+                        );
                         self.transport
                             .send(NodeId(self.cfg.aggregator_node(shard)), &o.msg)?;
                         let rto = self.next_rto(shard);
@@ -461,6 +565,9 @@ impl<T: Transport> RecoveryWorker<T> {
                 }
             }
         }
+        self.rounds += 1;
+        self.flight
+            .record(FlightEventKind::RoundEnd, round, NO_BLOCK, 0, self.wid, 0);
         Ok(())
     }
 
@@ -487,6 +594,16 @@ impl<T: Transport> RecoveryWorker<T> {
         self.counters.bytes_sent.add(wire_bytes);
         let shard = self.cfg.shard_of_stream(stream);
         self.shard_bytes[shard] += wire_bytes;
+        // One flight event per fused message, keyed by the first
+        // entry's block (the aggregator mirrors the key on PacketRx).
+        self.flight.record(
+            FlightEventKind::PacketTx,
+            self.rounds as u32,
+            first_block(msg),
+            shard as u16,
+            self.wid,
+            wire_bytes,
+        );
         self.transport
             .send(NodeId(self.cfg.aggregator_node(shard)), msg)
     }
@@ -605,6 +722,7 @@ pub struct RecoveryAggregator<T: Transport> {
     transport: T,
     cfg: OmniConfig,
     layout: StreamLayout,
+    shard: usize,
     slots: Vec<Option<VersionedSlot>>,
     /// Workers that sent `Shutdown` (finished; excluded from multicasts).
     departed: Vec<bool>,
@@ -618,6 +736,9 @@ pub struct RecoveryAggregator<T: Transport> {
     /// Loss-path counters.
     pub stats: RecoveryAggregatorStats,
     counters: RecoveryAggCounters,
+    /// Protocol flight lane (no-op unless the registry's flight
+    /// recorder is enabled).
+    flight: FlightLane,
     /// Freelists for result-packet buffers (DESIGN §9): retired results
     /// are recycled when their version's state is reused.
     pool: BufferPool,
@@ -663,6 +784,7 @@ impl<T: Transport> RecoveryAggregator<T> {
             transport,
             cfg,
             layout,
+            shard,
             slots,
             departed,
             goodbyes: 0,
@@ -671,15 +793,23 @@ impl<T: Transport> RecoveryAggregator<T> {
             last_heard,
             stats: RecoveryAggregatorStats::default(),
             counters: RecoveryAggCounters::detached(),
+            flight: FlightLane::disabled(),
             pool,
         }
     }
 
     /// Like [`RecoveryAggregator::new`], but mirrors loss-path counters
-    /// into `telemetry`'s `core.recovery.agg.*` counters.
+    /// into `telemetry`'s `core.recovery.agg.*` counters and records
+    /// protocol flight events on an `agg{shard}` lane when the
+    /// registry's flight recorder is enabled.
     pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
         let mut a = Self::new(transport, cfg);
         a.counters = RecoveryAggCounters::registered(telemetry);
+        a.flight = telemetry.flight().lane(
+            &format!("agg{}", a.shard),
+            LaneRole::Aggregator,
+            a.shard as u16,
+        );
         a.pool =
             BufferPool::for_block_size(a.cfg.block_size).with_telemetry("recovery_agg", telemetry);
         a
@@ -756,6 +886,14 @@ impl<T: Transport> RecoveryAggregator<T> {
             }
             self.stats.evictions += 1;
             self.counters.evictions.inc();
+            self.flight.record(
+                FlightEventKind::Eviction,
+                0,
+                NO_BLOCK,
+                self.shard as u16,
+                w as u16,
+                idle.as_nanos() as u64,
+            );
             if self.cfg.degraded_mode == DegradedMode::Abort {
                 return Err(ProtocolError::WorkerEvicted { worker: w, idle });
             }
@@ -798,6 +936,19 @@ impl<T: Transport> RecoveryAggregator<T> {
             return Ok(());
         }
 
+        // Keyed by the first entry's block, mirroring the sender's
+        // PacketTx key so the reconstructor can pair tx with rx.
+        if let Some(first) = p.entries.first() {
+            self.flight.record(
+                FlightEventKind::PacketRx,
+                0,
+                first.block as u64,
+                self.shard as u16,
+                p.wid,
+                p.entries.len() as u64,
+            );
+        }
+
         let slot = self.slots[g].as_mut().expect("stream not owned by shard");
 
         if slot.seen[v][wid] {
@@ -837,6 +988,14 @@ impl<T: Transport> RecoveryAggregator<T> {
                     }
                     self.stats.nacks_sent += 1;
                     self.counters.nacks_sent.inc();
+                    self.flight.record(
+                        FlightEventKind::NackTx,
+                        0,
+                        NO_BLOCK,
+                        self.shard as u16,
+                        w as u16,
+                        0,
+                    );
                     crate::wire::send_best_effort(
                         &self.transport,
                         NodeId(self.cfg.worker_node(w)),
@@ -861,6 +1020,18 @@ impl<T: Transport> RecoveryAggregator<T> {
             }
             if let Some(old) = slot.result[v].take() {
                 self.pool.recycle_message(old);
+            }
+            // First contribution claims the phase's slot; released in
+            // `complete_if_ready` under the same (block, shard) key.
+            if let Some(first) = p.entries.first() {
+                self.flight.record(
+                    FlightEventKind::SlotOccupy,
+                    0,
+                    first.block as u64,
+                    self.shard as u16,
+                    p.wid,
+                    v as u64,
+                );
             }
         }
 
@@ -951,6 +1122,26 @@ impl<T: Transport> RecoveryAggregator<T> {
             .collect();
         self.stats.results_sent += 1;
         self.counters.results_sent.inc();
+        if let Message::Block(ref pkt) = result {
+            if let Some(first) = pkt.entries.first() {
+                self.flight.record(
+                    FlightEventKind::SlotRelease,
+                    0,
+                    first.block as u64,
+                    self.shard as u16,
+                    u16::MAX,
+                    v as u64,
+                );
+                self.flight.record(
+                    FlightEventKind::ResultTx,
+                    0,
+                    first.block as u64,
+                    self.shard as u16,
+                    u16::MAX,
+                    pkt.entries.len() as u64,
+                );
+            }
+        }
         for w in &workers {
             crate::wire::send_best_effort(&self.transport, *w, &result)?;
         }

@@ -44,7 +44,7 @@ use omnireduce_transport::{
     ShardedChaosMesh, Transport, TransportError,
 };
 
-use omnireduce_telemetry::Telemetry;
+use omnireduce_telemetry::{FlightEventKind, FlightLane, LaneRole, Telemetry, NO_BLOCK};
 
 use crate::aggregator::{AggregatorStats, OmniAggregator};
 use crate::config::OmniConfig;
@@ -243,6 +243,9 @@ pub struct ShardedWorker<T: Transport> {
     /// Fair-poll rotation over lanes.
     cursor: usize,
     pool: BufferPool,
+    /// Protocol flight lane (no-op unless the registry's flight
+    /// recorder is enabled).
+    flight: FlightLane,
 }
 
 impl<T: Transport> ShardedWorker<T> {
@@ -276,7 +279,20 @@ impl<T: Transport> ShardedWorker<T> {
             rounds: 0,
             cursor: 0,
             pool,
+            flight: FlightLane::disabled(),
         }
+    }
+
+    /// Like [`ShardedWorker::new`], but records protocol flight events
+    /// on a `worker{wid}` lane when `telemetry`'s flight recorder is
+    /// enabled. Events carry the destination shard, so the reconstructor
+    /// attributes wire time per shard.
+    pub fn with_telemetry(lanes: Vec<T>, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
+        let mut w = Self::new(lanes, cfg);
+        w.flight = telemetry
+            .flight()
+            .lane(&format!("worker{}", w.wid), LaneRole::Worker, w.wid);
+        w
     }
 
     /// This worker's id.
@@ -317,6 +333,10 @@ impl<T: Transport> ShardedWorker<T> {
             self.cfg.tensor_len,
             "tensor length does not match group config"
         );
+        let round = self.rounds as u32;
+        self.flight
+            .record(FlightEventKind::RoundStart, round, NO_BLOCK, 0, self.wid, 0);
+        let encode_t0 = self.flight.now_ns();
         let bitmap = NonZeroBitmap::build(tensor, self.cfg.block_spec());
         let skip = self.cfg.skip_zero_blocks;
         let layout = self.layout;
@@ -351,6 +371,14 @@ impl<T: Transport> ShardedWorker<T> {
             self.send_data(g, entries)?;
             streams[g] = Some(StreamState { cols, remaining });
         }
+        self.flight.record(
+            FlightEventKind::Encode,
+            round,
+            NO_BLOCK,
+            0,
+            self.wid,
+            self.flight.now_ns().saturating_sub(encode_t0),
+        );
 
         while !join.round_done() {
             let (shard, msg) = self.poll_lanes()?;
@@ -359,6 +387,14 @@ impl<T: Transport> ShardedWorker<T> {
                 other => panic!("sharded worker: unexpected message {:?}", other.tag()),
             };
             self.shard_stats[shard].results_received += 1;
+            self.flight.record(
+                FlightEventKind::ResultRx,
+                round,
+                NO_BLOCK,
+                shard as u16,
+                self.wid,
+                packet.entries.len() as u64,
+            );
             let g = packet.stream as usize;
             debug_assert_eq!(
                 self.map.shard_of_stream(g),
@@ -409,6 +445,8 @@ impl<T: Transport> ShardedWorker<T> {
         for s in &mut self.shard_stats {
             s.rounds_completed += 1;
         }
+        self.flight
+            .record(FlightEventKind::RoundEnd, round, NO_BLOCK, 0, self.wid, 0);
         Ok(())
     }
 
@@ -442,6 +480,20 @@ impl<T: Transport> ShardedWorker<T> {
         st.packets_sent += 1;
         st.blocks_sent += blocks;
         st.bytes_sent += wire_bytes;
+        // One flight event per fused message, keyed by the first entry's
+        // block — mirrored by the aggregator's PacketRx for pairing.
+        if let Message::Block(p) = &msg {
+            if let Some(first) = p.entries.first() {
+                self.flight.record(
+                    FlightEventKind::PacketTx,
+                    self.rounds as u32,
+                    first.block as u64,
+                    shard as u16,
+                    self.wid,
+                    wire_bytes,
+                );
+            }
+        }
         let sent = self.lanes[shard].send(NodeId(self.cfg.aggregator_node(shard)), &msg);
         self.pool.recycle_message(msg);
         sent
@@ -516,7 +568,23 @@ impl ShardedAllReduce {
         let aggs = (0..cfg.num_aggregators)
             .map(|s| mesh.aggregator_endpoint(s))
             .collect();
-        Self::run_lossless_over(cfg, inputs, lanes, aggs)
+        Self::run_lossless_over(cfg, inputs, lanes, aggs, None)
+    }
+
+    /// Like [`ShardedAllReduce::run`], but attaches every engine to
+    /// `telemetry`, so runs record flight events (and registry counters)
+    /// for offline attribution.
+    pub fn run_traced(
+        cfg: &OmniConfig,
+        inputs: Vec<Vec<Tensor>>,
+        telemetry: &Telemetry,
+    ) -> ShardedRunResult {
+        let mut mesh = ShardedChannelMesh::new(cfg.num_workers, cfg.num_aggregators);
+        let lanes = (0..cfg.num_workers).map(|w| mesh.worker_lanes(w)).collect();
+        let aggs = (0..cfg.num_aggregators)
+            .map(|s| mesh.aggregator_endpoint(s))
+            .collect();
+        Self::run_lossless_over(cfg, inputs, lanes, aggs, Some(telemetry))
     }
 
     /// Like [`ShardedAllReduce::run`], but wraps shard `s`'s mesh in
@@ -534,7 +602,7 @@ impl ShardedAllReduce {
         let aggs = (0..cfg.num_aggregators)
             .map(|s| mesh.aggregator_endpoint(s))
             .collect();
-        Self::run_lossless_over(cfg, inputs, lanes, aggs)
+        Self::run_lossless_over(cfg, inputs, lanes, aggs, None)
     }
 
     fn run_lossless_over<T: Transport + 'static>(
@@ -542,6 +610,7 @@ impl ShardedAllReduce {
         inputs: Vec<Vec<Tensor>>,
         worker_lanes: Vec<Vec<T>>,
         agg_endpoints: Vec<T>,
+        telemetry: Option<&Telemetry>,
     ) -> ShardedRunResult {
         assert_eq!(inputs.len(), cfg.num_workers, "one input set per worker");
         let rounds = inputs[0].len();
@@ -552,11 +621,15 @@ impl ShardedAllReduce {
         let mut agg_handles = Vec::new();
         for (s, t) in agg_endpoints.into_iter().enumerate() {
             let cfg = cfg.clone();
+            let telemetry = telemetry.cloned();
             agg_handles.push(
                 thread::Builder::new()
                     .name(format!("shard{s}-aggregator"))
                     .spawn(move || {
-                        let mut agg = OmniAggregator::new(t, cfg);
+                        let mut agg = match &telemetry {
+                            Some(tl) => OmniAggregator::with_telemetry(t, cfg, tl),
+                            None => OmniAggregator::new(t, cfg),
+                        };
                         agg.run().expect("aggregator failed");
                         agg.stats
                     })
@@ -567,11 +640,15 @@ impl ShardedAllReduce {
         let mut worker_handles = Vec::new();
         for (w, (lanes, tensors)) in worker_lanes.into_iter().zip(inputs).enumerate() {
             let cfg = cfg.clone();
+            let telemetry = telemetry.cloned();
             worker_handles.push(
                 thread::Builder::new()
                     .name(format!("sharded-worker{w}"))
                     .spawn(move || {
-                        let mut worker = ShardedWorker::new(lanes, cfg);
+                        let mut worker = match &telemetry {
+                            Some(tl) => ShardedWorker::with_telemetry(lanes, cfg, tl),
+                            None => ShardedWorker::new(lanes, cfg),
+                        };
                         let mut outs = Vec::with_capacity(tensors.len());
                         for mut tensor in tensors {
                             worker.allreduce(&mut tensor).expect("allreduce failed");

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use omnireduce_simnet::{
     ActorId, Bandwidth, Ctx, NicConfig, Process, RunReport, SimTime, Simulator,
 };
-use omnireduce_telemetry::{Counter, Telemetry};
+use omnireduce_telemetry::{Counter, FlightEventKind, FlightLane, LaneRole, Telemetry, NO_BLOCK};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
 use omnireduce_transport::codec::{BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
 
@@ -198,14 +198,29 @@ struct WorkerActor {
     streams: Vec<Option<WStream>>,
     pending: usize,
     counters: SimWorkerCounters,
+    /// Flight lane recording simulated-time protocol events
+    /// (`record_at` with sim ns — never the wall clock).
+    flight: FlightLane,
 }
 
 impl WorkerActor {
     fn send_data(&self, ctx: &mut Ctx<SimMsg>, stream: usize, entries: Vec<SimEntry>) {
         let bytes = msg_bytes(&entries);
-        let shard = self.shards[self.cfg.shard_of_stream(stream)];
+        let shard_no = self.cfg.shard_of_stream(stream);
+        let shard = self.shards[shard_no];
         self.counters.packets_sent.inc();
         self.counters.bytes_sent.add(bytes as u64);
+        if let Some(first) = entries.first() {
+            self.flight.record_at(
+                ctx.now().as_nanos(),
+                FlightEventKind::PacketTx,
+                0,
+                first.block as u64,
+                shard_no as u16,
+                self.wid as u16,
+                bytes as u64,
+            );
+        }
         ctx.send(
             shard,
             SimMsg::Data {
@@ -220,6 +235,15 @@ impl WorkerActor {
 
 impl Process<SimMsg> for WorkerActor {
     fn on_start(&mut self, ctx: &mut Ctx<SimMsg>) {
+        self.flight.record_at(
+            ctx.now().as_nanos(),
+            FlightEventKind::RoundStart,
+            0,
+            NO_BLOCK,
+            0,
+            self.wid as u16,
+            0,
+        );
         let layout = self.layout;
         let skip = self.cfg.skip_zero_blocks;
         self.streams = (0..layout.total_streams()).map(|_| None).collect();
@@ -252,6 +276,15 @@ impl Process<SimMsg> for WorkerActor {
         }
         if self.pending == 0 {
             self.counters.rounds_completed.inc();
+            self.flight.record_at(
+                ctx.now().as_nanos(),
+                FlightEventKind::RoundEnd,
+                0,
+                NO_BLOCK,
+                0,
+                self.wid as u16,
+                0,
+            );
             ctx.halt();
         }
     }
@@ -261,6 +294,15 @@ impl Process<SimMsg> for WorkerActor {
             panic!("worker received non-result message");
         };
         self.counters.results_received.inc();
+        self.flight.record_at(
+            ctx.now().as_nanos(),
+            FlightEventKind::ResultRx,
+            0,
+            NO_BLOCK,
+            self.cfg.shard_of_stream(g) as u16,
+            self.wid as u16,
+            entries.len() as u64,
+        );
         let layout = self.layout;
         let skip = self.cfg.skip_zero_blocks;
         let state = self.streams[g].as_mut().expect("unknown stream");
@@ -296,6 +338,15 @@ impl Process<SimMsg> for WorkerActor {
             self.pending -= 1;
             if self.pending == 0 {
                 self.counters.rounds_completed.inc();
+                self.flight.record_at(
+                    ctx.now().as_nanos(),
+                    FlightEventKind::RoundEnd,
+                    0,
+                    NO_BLOCK,
+                    0,
+                    self.wid as u16,
+                    0,
+                );
                 ctx.halt();
             }
         }
@@ -345,6 +396,8 @@ struct AggActor {
     slots: Vec<Option<ASlot>>,
     open_streams: usize,
     counters: SimAggCounters,
+    /// Flight lane recording simulated-time protocol events.
+    flight: FlightLane,
 }
 
 impl Process<SimMsg> for AggActor {
@@ -381,6 +434,19 @@ impl Process<SimMsg> for AggActor {
             panic!("aggregator received non-data message");
         };
         self.counters.packets_received.inc();
+        // Keyed by the first entry's block, mirroring the sender's
+        // PacketTx so the reconstructor pairs tx with rx.
+        if let Some(first) = entries.first() {
+            self.flight.record_at(
+                ctx.now().as_nanos(),
+                FlightEventKind::PacketRx,
+                0,
+                first.block as u64,
+                self.shard as u16,
+                wid as u16,
+                entries.len() as u64,
+            );
+        }
         let slot = self.slots[g].as_mut().expect("stream not owned");
         for e in &entries {
             let cs = slot.cols[e.col].as_mut().expect("invalid column");
@@ -423,6 +489,17 @@ impl Process<SimMsg> for AggActor {
         }
         let bytes = msg_bytes(&result);
         self.counters.slots_completed.inc();
+        if let Some(first) = result.first() {
+            self.flight.record_at(
+                ctx.now().as_nanos(),
+                FlightEventKind::ResultTx,
+                0,
+                first.block as u64,
+                self.shard as u16,
+                u16::MAX,
+                result.len() as u64,
+            );
+        }
         for w in &self.workers {
             self.counters.results_sent.inc();
             self.counters.bytes_sent.add(bytes as u64);
@@ -519,6 +596,13 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
         .map(|a| ActorId(cfg.num_workers + a))
         .collect();
 
+    // Flight lanes carry *simulated* nanoseconds (`record_at`), so a
+    // recording from a sim run feeds the same reconstructor as a live
+    // run — just in the sim clock domain.
+    let flight_lane = |name: &str, role, actor| match &spec.telemetry {
+        Some(t) => t.flight().lane(name, role, actor),
+        None => FlightLane::disabled(),
+    };
     for (w, bm) in bitmaps.iter().enumerate() {
         sim.add_actor(
             worker_nics[w],
@@ -531,6 +615,7 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
                 streams: Vec::new(),
                 pending: 0,
                 counters: worker_counters.clone(),
+                flight: flight_lane(&format!("worker{w}"), LaneRole::Worker, w as u16),
             }),
         );
     }
@@ -545,6 +630,7 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
                 slots: Vec::new(),
                 open_streams: 0,
                 counters: agg_counters.clone(),
+                flight: flight_lane(&format!("agg{a}"), LaneRole::Aggregator, a as u16),
             }),
         );
     }

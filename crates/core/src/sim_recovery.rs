@@ -20,7 +20,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use omnireduce_simnet::{ActorId, Ctx, NicConfig, Process, SimTime, Simulator};
-use omnireduce_telemetry::{Counter, Histogram, Telemetry};
+use omnireduce_telemetry::{
+    Counter, FlightEventKind, FlightLane, Histogram, LaneRole, Telemetry, NO_BLOCK,
+};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
 use omnireduce_transport::codec::{BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
 use omnireduce_transport::timer::RttEstimator;
@@ -197,6 +199,9 @@ struct RecWorker {
     /// Shared sink for failed worker ids, read by the driver.
     failed_sink: Arc<Mutex<Vec<usize>>>,
     counters: RecCounters,
+    /// Flight lane recording simulated-time protocol events
+    /// (`record_at` with sim ns — never the wall clock).
+    flight: FlightLane,
 }
 
 fn timer_token(stream: usize, epoch: u32) -> u64 {
@@ -223,6 +228,17 @@ impl RecWorker {
         let now = ctx.now();
         {
             let state = self.streams[g].as_mut().expect("stream");
+            if let Some(first) = entries.first() {
+                self.flight.record_at(
+                    now.as_nanos(),
+                    FlightEventKind::PacketTx,
+                    0,
+                    first.block as u64,
+                    shard_idx as u16,
+                    self.wid as u16,
+                    bytes as u64,
+                );
+            }
             ctx.send(
                 shard,
                 RecMsg::Data {
@@ -247,6 +263,15 @@ impl RecWorker {
 
 impl Process<RecMsg> for RecWorker {
     fn on_start(&mut self, ctx: &mut Ctx<RecMsg>) {
+        self.flight.record_at(
+            ctx.now().as_nanos(),
+            FlightEventKind::RoundStart,
+            0,
+            NO_BLOCK,
+            0,
+            self.wid as u16,
+            0,
+        );
         let layout = self.layout;
         let skip = self.cfg.skip_zero_blocks;
         self.streams = (0..layout.total_streams()).map(|_| None).collect();
@@ -316,6 +341,15 @@ impl Process<RecMsg> for RecWorker {
             self.counters.stale_results_ignored.inc();
             return;
         }
+        self.flight.record_at(
+            now.as_nanos(),
+            FlightEventKind::ResultRx,
+            0,
+            NO_BLOCK,
+            self.cfg.shard_of_stream(g) as u16,
+            self.wid as u16,
+            entries.len() as u64,
+        );
         if self.rto_cfg.adaptive {
             let shard = self.cfg.shard_of_stream(g);
             if state.outstanding.is_some() && !state.retransmitted {
@@ -366,6 +400,15 @@ impl Process<RecMsg> for RecWorker {
             self.streams[g] = None;
             self.pending -= 1;
             if self.pending == 0 {
+                self.flight.record_at(
+                    ctx.now().as_nanos(),
+                    FlightEventKind::RoundEnd,
+                    0,
+                    NO_BLOCK,
+                    0,
+                    self.wid as u16,
+                    0,
+                );
                 ctx.halt();
             }
         } else {
@@ -413,6 +456,38 @@ impl Process<RecMsg> for RecWorker {
         // Retransmit and re-arm.
         self.retransmissions += 1;
         self.counters.retransmissions.inc();
+        let now = ctx.now().as_nanos();
+        self.flight.record_at(
+            now,
+            FlightEventKind::RtoFire,
+            0,
+            NO_BLOCK,
+            shard_idx as u16,
+            self.wid as u16,
+            now.saturating_sub(state.sent_at.as_nanos()),
+        );
+        self.flight.record_at(
+            now,
+            FlightEventKind::Retransmit,
+            0,
+            NO_BLOCK,
+            shard_idx as u16,
+            self.wid as u16,
+            state.retx as u64,
+        );
+        // Extra PacketTx so the aggregator's eventual rx pairs with this
+        // resend, not the lost original.
+        if let Some(first) = entries.first() {
+            self.flight.record_at(
+                now,
+                FlightEventKind::PacketTx,
+                0,
+                first.block as u64,
+                shard_idx as u16,
+                self.wid as u16,
+                msg_bytes(&entries) as u64,
+            );
+        }
         ctx.send(
             shard,
             RecMsg::Data {
@@ -461,6 +536,8 @@ struct RecAgg {
     workers: Vec<ActorId>,
     slots: Vec<Option<VSlot>>,
     counters: RecCounters,
+    /// Flight lane recording simulated-time protocol events.
+    flight: FlightLane,
 }
 
 impl Process<RecMsg> for RecAgg {
@@ -498,6 +575,19 @@ impl Process<RecMsg> for RecAgg {
         };
         let v = (ver & 1) as usize;
         let n = self.cfg.num_workers;
+        // Keyed by the first entry's block, mirroring the sender's
+        // PacketTx so the reconstructor pairs tx with rx.
+        if let Some(first) = entries.first() {
+            self.flight.record_at(
+                ctx.now().as_nanos(),
+                FlightEventKind::PacketRx,
+                0,
+                first.block as u64,
+                self.shard as u16,
+                wid as u16,
+                entries.len() as u64,
+            );
+        }
         let slot = self.slots[g].as_mut().expect("owned stream");
 
         if slot.seen[v][wid] {
@@ -561,6 +651,17 @@ impl Process<RecMsg> for RecAgg {
                 });
             }
             let bytes = msg_bytes(&result);
+            if let Some(first) = result.first() {
+                self.flight.record_at(
+                    ctx.now().as_nanos(),
+                    FlightEventKind::ResultTx,
+                    0,
+                    first.block as u64,
+                    self.shard as u16,
+                    u16::MAX,
+                    result.len() as u64,
+                );
+            }
             for w in &self.workers {
                 ctx.send(
                     *w,
@@ -644,6 +745,13 @@ pub fn simulate_recovery_allreduce_with_telemetry(
         .map(|a| ActorId(cfg.num_workers + a))
         .collect();
     let failed_sink: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+    // Flight lanes carry *simulated* nanoseconds (`record_at`), so a
+    // recording from a lossy sim run feeds the same reconstructor as a
+    // live chaos run.
+    let flight_lane = |name: &str, role, actor| match telemetry {
+        Some(t) => t.flight().lane(name, role, actor),
+        None => FlightLane::disabled(),
+    };
     for (w, bm) in bitmaps.iter().enumerate() {
         sim.add_actor(
             worker_nics[w],
@@ -671,6 +779,7 @@ pub fn simulate_recovery_allreduce_with_telemetry(
                 failed: false,
                 failed_sink: failed_sink.clone(),
                 counters: counters.clone(),
+                flight: flight_lane(&format!("worker{w}"), LaneRole::Worker, w as u16),
             }),
         );
     }
@@ -684,6 +793,7 @@ pub fn simulate_recovery_allreduce_with_telemetry(
                 workers: worker_ids.clone(),
                 slots: Vec::new(),
                 counters: counters.clone(),
+                flight: flight_lane(&format!("agg{a}"), LaneRole::Aggregator, a as u16),
             }),
         );
     }

@@ -18,7 +18,7 @@
 //! pipelining of §3.1.1; a single protocol thread multiplexes them off
 //! one receive queue.
 
-use omnireduce_telemetry::{Counter, Telemetry};
+use omnireduce_telemetry::{Counter, FlightEventKind, FlightLane, LaneRole, Telemetry, NO_BLOCK};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
 use omnireduce_transport::{
     codec, BufferPool, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
@@ -105,6 +105,9 @@ pub struct OmniWorker<T: Transport> {
     shard_bytes: Vec<u64>,
     counters: WorkerCounters,
     trace: EngineTrace,
+    /// Protocol flight lane (no-op unless the registry's flight
+    /// recorder is enabled).
+    flight: FlightLane,
     /// Freelists for outgoing packet buffers: each data entry's payload
     /// is checked out here instead of `to_vec()`-ing the block, and
     /// returns after the send (DESIGN §9).
@@ -138,6 +141,7 @@ impl<T: Transport> OmniWorker<T> {
             shard_bytes,
             counters: WorkerCounters::detached(),
             trace: EngineTrace::disabled(),
+            flight: FlightLane::disabled(),
             pool,
         }
     }
@@ -150,6 +154,9 @@ impl<T: Transport> OmniWorker<T> {
         let mut w = Self::new(transport, cfg);
         w.counters = WorkerCounters::registered(telemetry);
         w.trace = EngineTrace::new(telemetry, &format!("worker{}", w.wid));
+        w.flight = telemetry
+            .flight()
+            .lane(&format!("worker{}", w.wid), LaneRole::Worker, w.wid);
         w.pool = BufferPool::for_block_size(w.cfg.block_size)
             .with_telemetry(&format!("worker{}", w.wid), telemetry);
         w
@@ -180,6 +187,10 @@ impl<T: Transport> OmniWorker<T> {
             "tensor length does not match group config"
         );
         let round_start = self.trace.start();
+        let round = self.stats.rounds_completed as u32;
+        self.flight
+            .record(FlightEventKind::RoundStart, round, NO_BLOCK, 0, self.wid, 0);
+        let encode_t0 = self.flight.now_ns();
         let bitmap = NonZeroBitmap::build(tensor, self.cfg.block_spec());
         let skip = self.cfg.skip_zero_blocks;
         let layout = self.layout;
@@ -217,6 +228,14 @@ impl<T: Transport> OmniWorker<T> {
             streams[g] = Some(StreamState { cols, remaining });
             pending += 1;
         }
+        self.flight.record(
+            FlightEventKind::Encode,
+            round,
+            NO_BLOCK,
+            0,
+            self.wid,
+            self.flight.now_ns().saturating_sub(encode_t0),
+        );
 
         // Main loop: process results until every stream completes.
         while pending > 0 {
@@ -228,6 +247,14 @@ impl<T: Transport> OmniWorker<T> {
             self.stats.results_received += 1;
             self.counters.results_received.inc();
             let g = packet.stream as usize;
+            self.flight.record(
+                FlightEventKind::ResultRx,
+                round,
+                NO_BLOCK,
+                self.cfg.shard_of_stream(g) as u16,
+                self.wid,
+                packet.entries.len() as u64,
+            );
             let state = streams[g].as_mut().expect("result for unknown stream");
             let mut reply = self.pool.checkout_entries();
             for entry in &packet.entries {
@@ -273,6 +300,8 @@ impl<T: Transport> OmniWorker<T> {
         }
         self.stats.rounds_completed += 1;
         self.counters.rounds_completed.inc();
+        self.flight
+            .record(FlightEventKind::RoundEnd, round, NO_BLOCK, 0, self.wid, 0);
         self.trace.span("allreduce", round_start);
         Ok(())
     }
@@ -295,6 +324,21 @@ impl<T: Transport> OmniWorker<T> {
         self.counters.bytes_sent.add(wire_bytes);
         let shard = self.cfg.shard_of_stream(stream);
         self.shard_bytes[shard] += wire_bytes;
+        // One flight event per fused message (not per block), keyed by
+        // the first entry's block — the aggregator mirrors the key on
+        // its PacketRx so the reconstructor can pair them.
+        if let Message::Block(p) = &msg {
+            if let Some(first) = p.entries.first() {
+                self.flight.record(
+                    FlightEventKind::PacketTx,
+                    self.stats.rounds_completed as u32,
+                    first.block as u64,
+                    shard as u16,
+                    self.wid,
+                    wire_bytes,
+                );
+            }
+        }
         let sent = self
             .transport
             .send(NodeId(self.cfg.aggregator_node(shard)), &msg);

@@ -26,7 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use omnireduce_telemetry::{Counter, Histogram, Telemetry, TrackId};
+use omnireduce_telemetry::{ClockDomain, Counter, Histogram, Telemetry, TrackId};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -207,11 +207,23 @@ impl SimTelemetry {
     }
 
     /// Trace tracks for NIC `i` (`nicI.tx` / `nicI.rx` timeline rows).
+    ///
+    /// NIC spans carry *simulated* nanoseconds, so the tracks live in
+    /// the [`ClockDomain::Sim`] process of the Chrome export — mixing
+    /// them onto wall-clock rows would interleave incomparable
+    /// timestamps. `unique_track` keeps repeated simulations in one
+    /// registry on separate rows.
     fn nic_tracks(&mut self, i: usize) -> (TrackId, TrackId) {
         while self.tracks.len() <= i {
             let n = self.tracks.len();
-            let tx = self.telemetry.trace().track(&format!("nic{n}.tx"));
-            let rx = self.telemetry.trace().track(&format!("nic{n}.rx"));
+            let tx = self
+                .telemetry
+                .trace()
+                .unique_track(&format!("nic{n}.tx"), ClockDomain::Sim);
+            let rx = self
+                .telemetry
+                .trace()
+                .unique_track(&format!("nic{n}.rx"), ClockDomain::Sim);
             self.tracks.push((tx, rx));
         }
         self.tracks[i]

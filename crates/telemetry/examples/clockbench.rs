@@ -1,0 +1,44 @@
+//! Micro-diagnostic for the flight recorder's per-event cost.
+//!
+//! Prints the cost of a raw `Instant`-backed clock read, a
+//! TSC-calibrated read, and a full `FlightLane::record` call. Useful
+//! when tuning the recorder against the ≤10% hot-path overhead budget
+//! (`ablation_hotpath --check` is the enforced gate; this isolates the
+//! clock's share of it).
+//!
+//! ```text
+//! cargo run -p omnireduce-telemetry --example clockbench --release
+//! ```
+
+use std::time::Instant;
+
+use omnireduce_telemetry::{Clock, FlightEventKind, FlightRecorder, LaneRole, WallClock};
+
+fn main() {
+    let instant_backed = WallClock::new();
+    let calibrated = WallClock::new().calibrated();
+    let n = 2_000_000u64;
+    for (name, clk) in [("instant", &instant_backed), ("calibrated", &calibrated)] {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..n {
+            acc = acc.wrapping_add(clk.now_ns());
+        }
+        std::hint::black_box(acc);
+        println!(
+            "{name}: {:.1} ns/read",
+            start.elapsed().as_nanos() as f64 / n as f64
+        );
+    }
+
+    let recorder = FlightRecorder::bounded(1 << 16);
+    let lane = recorder.lane("bench", LaneRole::Worker, 0);
+    let start = Instant::now();
+    for i in 0..n {
+        lane.record(FlightEventKind::PacketTx, 0, i, 0, 0, 64);
+    }
+    println!(
+        "record: {:.1} ns/call",
+        start.elapsed().as_nanos() as f64 / n as f64
+    );
+}

@@ -1,0 +1,790 @@
+//! Causal round reconstruction: joins worker- and aggregator-side
+//! flight lanes into per-round latency breakdowns with critical-path
+//! attribution, plus the two online detectors (straggler skew, loss
+//! bursts) the health endpoint serves.
+//!
+//! # Join model
+//!
+//! Worker lanes carry authoritative round numbers (`RoundStart` /
+//! `RoundEnd` bracket each round; every worker-side event is stamped
+//! with its round). Aggregator lanes do not know the global round — a
+//! versioned slot only sees phase bits — so their events are assigned
+//! to rounds by timestamp: round `r`'s window is
+//! `[min RoundStart, max RoundEnd]` over all workers. Wire latency
+//! needs no window at all: each aggregator `PacketRx` is paired with
+//! the latest worker `PacketTx` for the same `(block, shard, worker)`
+//! key with `ts_tx <= ts_rx`, and inherits the round of the `tx`.
+//!
+//! # Components
+//!
+//! Per round, time is attributed to five components:
+//!
+//! * **encode** — serialization work, the per-round maximum over
+//!   workers of their summed [`FlightEventKind::Encode`] durations
+//!   (the critical-path worker's cost);
+//! * **wire** — mean matched tx→rx latency;
+//! * **slot-wait** — mean slot occupancy ([`FlightEventKind::SlotOccupy`]
+//!   paired with the next [`FlightEventKind::SlotRelease`] on the same
+//!   `(block, shard)`);
+//! * **straggler** — mean over `(block, shard)` groups of
+//!   `last contribution − first contribution` (how long complete slots
+//!   waited for the slowest worker);
+//! * **recovery** — summed [`FlightEventKind::RtoFire`] elapsed-RTO
+//!   time (round-stamped on the worker lane).
+//!
+//! The **critical path** of a round is simply the largest component.
+//!
+//! # Detectors
+//!
+//! * **Straggler**: per worker, the p99 of its contribution delays
+//!   (its `rx` minus the group's first `rx`) is compared against the
+//!   median of the *other* workers' p99s; a worker is flagged when its
+//!   p99 exceeds `factor × peer median` and an absolute floor (so an
+//!   all-fast group never flags noise).
+//! * **Loss**: a sliding window of consecutive rounds is flagged when
+//!   retransmissions + NACKs in the window reach a threshold;
+//!   overlapping flagged windows merge into one reported burst.
+
+use std::collections::BTreeMap;
+
+use crate::flight::{FlightEventKind, FlightRecording, LaneRole};
+use crate::json::JsonValue;
+use crate::metrics::{Histogram, HistogramSnapshot};
+
+/// Thresholds for the online detectors; `Default` suits both simulated
+/// and executable runs.
+#[derive(Debug, Clone)]
+pub struct AttributionConfig {
+    /// A worker is a straggler when its p99 contribution delay exceeds
+    /// this multiple of the peer median p99...
+    pub straggler_factor: f64,
+    /// ...and this absolute floor (ns), so uniformly fast groups never
+    /// flag measurement noise.
+    pub straggler_floor_ns: u64,
+    /// Sliding-window length (consecutive rounds) for the loss detector.
+    pub loss_window_rounds: usize,
+    /// Retransmissions + NACKs within one window that constitute a
+    /// burst.
+    pub loss_threshold: u64,
+}
+
+impl Default for AttributionConfig {
+    fn default() -> Self {
+        AttributionConfig {
+            straggler_factor: 3.0,
+            straggler_floor_ns: 20_000,
+            loss_window_rounds: 8,
+            loss_threshold: 4,
+        }
+    }
+}
+
+/// The five places a round's time can go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoundComponent {
+    Encode,
+    Wire,
+    SlotWait,
+    Straggler,
+    Recovery,
+}
+
+impl RoundComponent {
+    pub const ALL: [RoundComponent; 5] = [
+        RoundComponent::Encode,
+        RoundComponent::Wire,
+        RoundComponent::SlotWait,
+        RoundComponent::Straggler,
+        RoundComponent::Recovery,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RoundComponent::Encode => "encode",
+            RoundComponent::Wire => "wire",
+            RoundComponent::SlotWait => "slot_wait",
+            RoundComponent::Straggler => "straggler",
+            RoundComponent::Recovery => "recovery",
+        }
+    }
+}
+
+/// One reconstructed round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundBreakdown {
+    pub round: u32,
+    /// Earliest `RoundStart` over all workers (ns).
+    pub start_ns: u64,
+    /// Latest `RoundEnd` over all workers (ns).
+    pub end_ns: u64,
+    /// `end_ns - start_ns`.
+    pub total_ns: u64,
+    pub encode_ns: u64,
+    pub wire_ns: u64,
+    pub slot_wait_ns: u64,
+    pub straggler_ns: u64,
+    pub recovery_ns: u64,
+    pub retransmits: u64,
+    pub nacks: u64,
+    pub evictions: u64,
+    /// The largest component — where this round's time went.
+    pub critical: RoundComponent,
+}
+
+impl RoundBreakdown {
+    pub fn component_ns(&self, c: RoundComponent) -> u64 {
+        match c {
+            RoundComponent::Encode => self.encode_ns,
+            RoundComponent::Wire => self.wire_ns,
+            RoundComponent::SlotWait => self.slot_wait_ns,
+            RoundComponent::Straggler => self.straggler_ns,
+            RoundComponent::Recovery => self.recovery_ns,
+        }
+    }
+}
+
+/// Per-worker contribution-delay summary from the straggler detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSkew {
+    /// Worker id (the lane's actor).
+    pub actor: u16,
+    /// p99 of this worker's contribution delays (ns behind the first
+    /// contributor of the same block).
+    pub p99_delay_ns: u64,
+    /// Median of the other workers' p99s (0 with fewer than 2 workers).
+    pub peer_p99_ns: u64,
+    /// Number of delay samples behind the p99.
+    pub samples: u64,
+    /// Whether the detector flagged this worker.
+    pub flagged: bool,
+}
+
+/// One merged loss burst from the sliding-window detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossWindow {
+    pub first_round: u32,
+    pub last_round: u32,
+    pub retransmits: u64,
+    pub nacks: u64,
+}
+
+/// The reconstruction output: rounds, detector verdicts, join quality.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundAttribution {
+    /// Ascending by round number.
+    pub rounds: Vec<RoundBreakdown>,
+    /// One entry per worker that contributed packets, ascending actor.
+    pub workers: Vec<WorkerSkew>,
+    /// Merged flagged loss bursts, ascending.
+    pub loss_windows: Vec<LossWindow>,
+    /// Aggregator receives that matched no worker transmit (join
+    /// quality signal; nonzero when rings wrapped or lanes are partial).
+    pub unmatched_rx: u64,
+}
+
+/// Key for tx→rx pairing: `(block, shard, worker)`.
+type WireKey = (u64, u16, u16);
+
+struct RoundWindow {
+    start_ns: u64,
+    end_ns: u64,
+}
+
+impl RoundAttribution {
+    /// Reconstructs per-round attribution from a (merged) recording.
+    pub fn from_recording(rec: &FlightRecording, cfg: &AttributionConfig) -> RoundAttribution {
+        // Pass 1 — worker lanes: round windows, per-round encode sums,
+        // round-stamped recovery events, and the tx index for pairing.
+        let mut windows: BTreeMap<u32, RoundWindow> = BTreeMap::new();
+        // (worker, round) -> summed encode ns.
+        let mut encode: BTreeMap<(u16, u32), u64> = BTreeMap::new();
+        let mut recovery: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut retransmits: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut nacks: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut tx_index: BTreeMap<WireKey, Vec<(u64, u32)>> = BTreeMap::new();
+        for lane in rec.lanes.iter().filter(|l| l.role == LaneRole::Worker) {
+            for ev in &lane.events {
+                match ev.kind {
+                    FlightEventKind::RoundStart => {
+                        let w = windows.entry(ev.round).or_insert(RoundWindow {
+                            start_ns: ev.ts_ns,
+                            end_ns: ev.ts_ns,
+                        });
+                        w.start_ns = w.start_ns.min(ev.ts_ns);
+                        w.end_ns = w.end_ns.max(ev.ts_ns);
+                    }
+                    FlightEventKind::RoundEnd => {
+                        let w = windows.entry(ev.round).or_insert(RoundWindow {
+                            start_ns: ev.ts_ns,
+                            end_ns: ev.ts_ns,
+                        });
+                        w.end_ns = w.end_ns.max(ev.ts_ns);
+                    }
+                    FlightEventKind::Encode => {
+                        *encode.entry((lane.actor, ev.round)).or_insert(0) += ev.aux;
+                    }
+                    FlightEventKind::PacketTx => {
+                        tx_index
+                            .entry((ev.block, ev.shard, lane.actor))
+                            .or_default()
+                            .push((ev.ts_ns, ev.round));
+                    }
+                    FlightEventKind::RtoFire => {
+                        *recovery.entry(ev.round).or_insert(0) += ev.aux;
+                    }
+                    FlightEventKind::Retransmit | FlightEventKind::SolicitedResend => {
+                        *retransmits.entry(ev.round).or_insert(0) += 1;
+                    }
+                    FlightEventKind::NackRx => {
+                        *nacks.entry(ev.round).or_insert(0) += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for txs in tx_index.values_mut() {
+            txs.sort_unstable_by_key(|&(ts, _)| ts);
+        }
+
+        // Window lookup for aggregator events: last round whose start
+        // precedes the timestamp (rounds are sequential per engine).
+        let starts: Vec<(u64, u32)> = windows.iter().map(|(&r, w)| (w.start_ns, r)).collect();
+        let round_of_ts = |ts: u64| -> Option<u32> {
+            if starts.is_empty() {
+                return None;
+            }
+            let i = starts.partition_point(|&(s, _)| s <= ts);
+            Some(if i == 0 { starts[0].1 } else { starts[i - 1].1 })
+        };
+
+        // Pass 2 — aggregator lanes: pair rx with tx, pair slot
+        // occupy/release, count NACK solicitations and evictions.
+        // (round, block, shard) -> contribution (worker, rx ts) list.
+        let mut contribs: BTreeMap<(u32, u64, u16), Vec<(u16, u64)>> = BTreeMap::new();
+        let mut wire_sum: BTreeMap<u32, (u64, u64)> = BTreeMap::new(); // round -> (sum, n)
+        let mut slot_sum: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        let mut evictions: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut unmatched_rx = 0u64;
+        for lane in rec.lanes.iter().filter(|l| l.role == LaneRole::Aggregator) {
+            // (block, shard) -> occupy ts, for slot-wait pairing.
+            let mut occupied: BTreeMap<(u64, u16), u64> = BTreeMap::new();
+            for ev in &lane.events {
+                match ev.kind {
+                    FlightEventKind::PacketRx => {
+                        let key = (ev.block, ev.shard, ev.actor);
+                        let round = tx_index.get(&key).and_then(|txs| {
+                            let i = txs.partition_point(|&(ts, _)| ts <= ev.ts_ns);
+                            if i == 0 {
+                                None
+                            } else {
+                                let (tx_ts, round) = txs[i - 1];
+                                let (sum, n) = wire_sum.entry(round).or_insert((0, 0));
+                                *sum += ev.ts_ns - tx_ts;
+                                *n += 1;
+                                Some(round)
+                            }
+                        });
+                        match round.or_else(|| round_of_ts(ev.ts_ns)) {
+                            Some(r) => contribs
+                                .entry((r, ev.block, ev.shard))
+                                .or_default()
+                                .push((ev.actor, ev.ts_ns)),
+                            None => unmatched_rx += 1,
+                        }
+                    }
+                    FlightEventKind::SlotOccupy => {
+                        occupied.insert((ev.block, ev.shard), ev.ts_ns);
+                    }
+                    FlightEventKind::SlotRelease => {
+                        if let Some(t0) = occupied.remove(&(ev.block, ev.shard)) {
+                            if let Some(r) = round_of_ts(ev.ts_ns) {
+                                let (sum, n) = slot_sum.entry(r).or_insert((0, 0));
+                                *sum += ev.ts_ns.saturating_sub(t0);
+                                *n += 1;
+                            }
+                        }
+                    }
+                    FlightEventKind::NackTx => {
+                        if let Some(r) = round_of_ts(ev.ts_ns) {
+                            *nacks.entry(r).or_insert(0) += 1;
+                        }
+                    }
+                    FlightEventKind::Eviction => {
+                        if let Some(r) = round_of_ts(ev.ts_ns) {
+                            *evictions.entry(r).or_insert(0) += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Straggler skew per round and per-worker delay samples.
+        let mut skew_sum: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        let mut worker_delays: BTreeMap<u16, Histogram> = BTreeMap::new();
+        for (&(round, _block, _shard), list) in &contribs {
+            let first = list.iter().map(|&(_, ts)| ts).min().unwrap_or(0);
+            let last = list.iter().map(|&(_, ts)| ts).max().unwrap_or(0);
+            let (sum, n) = skew_sum.entry(round).or_insert((0, 0));
+            *sum += last - first;
+            *n += 1;
+            for &(worker, ts) in list {
+                worker_delays.entry(worker).or_default().record(ts - first);
+            }
+        }
+
+        let mean = |m: &BTreeMap<u32, (u64, u64)>, r: u32| -> u64 {
+            match m.get(&r) {
+                Some(&(sum, n)) if n > 0 => sum / n,
+                _ => 0,
+            }
+        };
+        let mut rounds = Vec::with_capacity(windows.len());
+        for (&round, w) in &windows {
+            let encode_ns = encode
+                .iter()
+                .filter(|((_, r), _)| *r == round)
+                .map(|(_, &ns)| ns)
+                .max()
+                .unwrap_or(0);
+            let mut b = RoundBreakdown {
+                round,
+                start_ns: w.start_ns,
+                end_ns: w.end_ns,
+                total_ns: w.end_ns.saturating_sub(w.start_ns),
+                encode_ns,
+                wire_ns: mean(&wire_sum, round),
+                slot_wait_ns: mean(&slot_sum, round),
+                straggler_ns: mean(&skew_sum, round),
+                recovery_ns: recovery.get(&round).copied().unwrap_or(0),
+                retransmits: retransmits.get(&round).copied().unwrap_or(0),
+                nacks: nacks.get(&round).copied().unwrap_or(0),
+                evictions: evictions.get(&round).copied().unwrap_or(0),
+                critical: RoundComponent::Wire,
+            };
+            b.critical = RoundComponent::ALL
+                .into_iter()
+                .max_by_key(|&c| b.component_ns(c))
+                .unwrap_or(RoundComponent::Wire);
+            rounds.push(b);
+        }
+
+        let workers = Self::detect_stragglers(&worker_delays, cfg);
+        let loss_windows = Self::detect_loss(&rounds, cfg);
+        RoundAttribution {
+            rounds,
+            workers,
+            loss_windows,
+            unmatched_rx,
+        }
+    }
+
+    fn detect_stragglers(
+        delays: &BTreeMap<u16, Histogram>,
+        cfg: &AttributionConfig,
+    ) -> Vec<WorkerSkew> {
+        let snaps: Vec<(u16, HistogramSnapshot)> =
+            delays.iter().map(|(&w, h)| (w, h.snapshot())).collect();
+        let p99s: Vec<(u16, u64)> = snaps
+            .iter()
+            .map(|(w, s)| (*w, s.percentile(0.99)))
+            .collect();
+        snaps
+            .iter()
+            .map(|(worker, snap)| {
+                let p99 = snap.percentile(0.99);
+                let mut peers: Vec<u64> = p99s
+                    .iter()
+                    .filter(|(w, _)| w != worker)
+                    .map(|&(_, p)| p)
+                    .collect();
+                peers.sort_unstable();
+                let peer_p99 = if peers.is_empty() {
+                    0
+                } else {
+                    peers[peers.len() / 2]
+                };
+                let threshold =
+                    ((peer_p99 as f64) * cfg.straggler_factor).max(cfg.straggler_floor_ns as f64);
+                WorkerSkew {
+                    actor: *worker,
+                    p99_delay_ns: p99,
+                    peer_p99_ns: peer_p99,
+                    samples: snap.count,
+                    flagged: !peers.is_empty() && (p99 as f64) > threshold,
+                }
+            })
+            .collect()
+    }
+
+    fn detect_loss(rounds: &[RoundBreakdown], cfg: &AttributionConfig) -> Vec<LossWindow> {
+        let mut out: Vec<LossWindow> = Vec::new();
+        if rounds.is_empty() || cfg.loss_window_rounds == 0 {
+            return out;
+        }
+        for i in 0..rounds.len() {
+            let end = (i + cfg.loss_window_rounds).min(rounds.len());
+            let window = &rounds[i..end];
+            let retx: u64 = window.iter().map(|r| r.retransmits).sum();
+            let nk: u64 = window.iter().map(|r| r.nacks).sum();
+            if retx + nk < cfg.loss_threshold {
+                continue;
+            }
+            let first = window[0].round;
+            let last = window[window.len() - 1].round;
+            match out.last_mut() {
+                // Overlapping or adjacent flagged windows merge; counts
+                // are recomputed over the merged span below.
+                Some(prev) if first <= prev.last_round.saturating_add(1) => {
+                    prev.last_round = prev.last_round.max(last);
+                }
+                _ => out.push(LossWindow {
+                    first_round: first,
+                    last_round: last,
+                    retransmits: 0,
+                    nacks: 0,
+                }),
+            }
+        }
+        for w in &mut out {
+            w.retransmits = rounds
+                .iter()
+                .filter(|r| (w.first_round..=w.last_round).contains(&r.round))
+                .map(|r| r.retransmits)
+                .sum();
+            w.nacks = rounds
+                .iter()
+                .filter(|r| (w.first_round..=w.last_round).contains(&r.round))
+                .map(|r| r.nacks)
+                .sum();
+        }
+        out
+    }
+
+    /// Workers the straggler detector flagged.
+    pub fn stragglers(&self) -> impl Iterator<Item = &WorkerSkew> {
+        self.workers.iter().filter(|w| w.flagged)
+    }
+
+    /// Percentile summary (p50/p90/p99/mean) of one component across
+    /// rounds, via the log2-histogram estimator.
+    fn component_stats(&self, f: impl Fn(&RoundBreakdown) -> u64) -> JsonValue {
+        let h = Histogram::detached();
+        for r in &self.rounds {
+            h.record(f(r));
+        }
+        let s = h.snapshot();
+        let mut node = JsonValue::obj();
+        node.push("p50", JsonValue::Uint(s.percentile(0.50)));
+        node.push("p90", JsonValue::Uint(s.percentile(0.90)));
+        node.push("p99", JsonValue::Uint(s.percentile(0.99)));
+        node.push("max", JsonValue::Uint(s.max));
+        node.push("mean", JsonValue::Float(s.mean()));
+        node
+    }
+
+    /// The `results/<slug>.rounds.json` document: per-component
+    /// percentiles across rounds, critical-path counts, and the
+    /// per-round breakdown as positional arrays
+    /// `[round, total, encode, wire, slot_wait, straggler, recovery,
+    /// retransmits, nacks]`.
+    pub fn rounds_json(&self) -> JsonValue {
+        let mut doc = JsonValue::obj();
+        doc.push("rounds", JsonValue::Uint(self.rounds.len() as u64));
+        let mut components = JsonValue::obj();
+        components.push("total_ns", self.component_stats(|r| r.total_ns));
+        for c in RoundComponent::ALL {
+            components.push(
+                &format!("{}_ns", c.name()),
+                self.component_stats(|r| r.component_ns(c)),
+            );
+        }
+        doc.push("components", components);
+        let mut critical = JsonValue::obj();
+        for c in RoundComponent::ALL {
+            let n = self.rounds.iter().filter(|r| r.critical == c).count();
+            critical.push(c.name(), JsonValue::Uint(n as u64));
+        }
+        doc.push("critical_path", critical);
+        doc.push(
+            "per_round",
+            JsonValue::Arr(
+                self.rounds
+                    .iter()
+                    .map(|r| {
+                        JsonValue::Arr(vec![
+                            JsonValue::Uint(r.round as u64),
+                            JsonValue::Uint(r.total_ns),
+                            JsonValue::Uint(r.encode_ns),
+                            JsonValue::Uint(r.wire_ns),
+                            JsonValue::Uint(r.slot_wait_ns),
+                            JsonValue::Uint(r.straggler_ns),
+                            JsonValue::Uint(r.recovery_ns),
+                            JsonValue::Uint(r.retransmits),
+                            JsonValue::Uint(r.nacks),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        doc
+    }
+
+    /// The `/health.json` document: detector verdicts as
+    /// machine-readable health signals.
+    pub fn health_json(&self) -> JsonValue {
+        let mut doc = JsonValue::obj();
+        doc.push("rounds_analyzed", JsonValue::Uint(self.rounds.len() as u64));
+        doc.push("unmatched_rx", JsonValue::Uint(self.unmatched_rx));
+        let mut workers = Vec::new();
+        for w in &self.workers {
+            let mut node = JsonValue::obj();
+            node.push("worker", JsonValue::Uint(w.actor as u64));
+            node.push("p99_delay_ns", JsonValue::Uint(w.p99_delay_ns));
+            node.push("peer_p99_ns", JsonValue::Uint(w.peer_p99_ns));
+            node.push("samples", JsonValue::Uint(w.samples));
+            node.push("straggler", JsonValue::Bool(w.flagged));
+            workers.push(node);
+        }
+        doc.push("workers", JsonValue::Arr(workers));
+        let mut bursts = Vec::new();
+        for w in &self.loss_windows {
+            let mut node = JsonValue::obj();
+            node.push("first_round", JsonValue::Uint(w.first_round as u64));
+            node.push("last_round", JsonValue::Uint(w.last_round as u64));
+            node.push("retransmits", JsonValue::Uint(w.retransmits));
+            node.push("nacks", JsonValue::Uint(w.nacks));
+            bursts.push(node);
+        }
+        doc.push("loss_bursts", JsonValue::Arr(bursts));
+        doc.push(
+            "healthy",
+            JsonValue::Bool(self.stragglers().next().is_none() && self.loss_windows.is_empty()),
+        );
+        doc
+    }
+
+    /// Human-readable attribution report (the `omnistat` output).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "rounds reconstructed: {}", self.rounds.len());
+        if self.unmatched_rx > 0 {
+            let _ = writeln!(out, "unmatched rx (partial lanes): {}", self.unmatched_rx);
+        }
+        if self.rounds.is_empty() {
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12} {:>12} {:>8}",
+            "component", "p50 ns", "p99 ns", "max ns", "critical"
+        );
+        let stats = |f: &dyn Fn(&RoundBreakdown) -> u64| {
+            let h = Histogram::detached();
+            for r in &self.rounds {
+                h.record(f(r));
+            }
+            h.snapshot()
+        };
+        let total = stats(&|r| r.total_ns);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>12} {:>12} {:>8}",
+            "total",
+            total.percentile(0.50),
+            total.percentile(0.99),
+            total.max,
+            "-"
+        );
+        for c in RoundComponent::ALL {
+            let s = stats(&|r| r.component_ns(c));
+            let n = self.rounds.iter().filter(|r| r.critical == c).count();
+            let _ = writeln!(
+                out,
+                "{:<14} {:>12} {:>12} {:>12} {:>8}",
+                c.name(),
+                s.percentile(0.50),
+                s.percentile(0.99),
+                s.max,
+                n
+            );
+        }
+        for w in &self.workers {
+            if w.flagged {
+                let _ = writeln!(
+                    out,
+                    "STRAGGLER worker{}: p99 contribution delay {} ns vs peer median {} ns \
+                     ({} samples)",
+                    w.actor, w.p99_delay_ns, w.peer_p99_ns, w.samples
+                );
+            }
+        }
+        for b in &self.loss_windows {
+            let _ = writeln!(
+                out,
+                "LOSS BURST rounds {}..={}: {} retransmits, {} nacks",
+                b.first_round, b.last_round, b.retransmits, b.nacks
+            );
+        }
+        if self.stragglers().next().is_none() && self.loss_windows.is_empty() {
+            let _ = writeln!(out, "health: ok (no stragglers, no loss bursts)");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{FlightRecorder, NO_BLOCK};
+
+    /// Builds a clean two-worker, one-aggregator recording of `rounds`
+    /// rounds: round r spans [r*1000, r*1000+400]; worker 1 contributes
+    /// `skew_ns` later than worker 0 every round.
+    fn synthetic(rounds: u32, skew_ns: u64, lossy_rounds: &[u32]) -> FlightRecording {
+        let rec = FlightRecorder::bounded(4096);
+        let w0 = rec.lane("w0", LaneRole::Worker, 0);
+        let w1 = rec.lane("w1", LaneRole::Worker, 1);
+        let ag = rec.lane("agg0", LaneRole::Aggregator, 0);
+        for r in 0..rounds {
+            let t0 = r as u64 * 1000;
+            w0.record_at(t0, FlightEventKind::RoundStart, r, NO_BLOCK, 0, 0, 0);
+            w1.record_at(t0, FlightEventKind::RoundStart, r, NO_BLOCK, 0, 0, 0);
+            w0.record_at(t0 + 1, FlightEventKind::Encode, r, NO_BLOCK, 0, 0, 30);
+            w1.record_at(t0 + 1, FlightEventKind::Encode, r, NO_BLOCK, 0, 0, 35);
+            let block = r as u64;
+            w0.record_at(t0 + 10, FlightEventKind::PacketTx, r, block, 0, 0, 64);
+            w1.record_at(t0 + 10, FlightEventKind::PacketTx, r, block, 0, 1, 64);
+            ag.record_at(t0 + 20, FlightEventKind::PacketRx, 0, block, 0, 0, 64);
+            ag.record_at(t0 + 20, FlightEventKind::SlotOccupy, 0, block, 0, 0, 0);
+            ag.record_at(
+                t0 + 20 + skew_ns,
+                FlightEventKind::PacketRx,
+                0,
+                block,
+                0,
+                1,
+                64,
+            );
+            ag.record_at(
+                t0 + 21 + skew_ns,
+                FlightEventKind::SlotRelease,
+                0,
+                block,
+                0,
+                0,
+                0,
+            );
+            ag.record_at(
+                t0 + 22 + skew_ns,
+                FlightEventKind::ResultTx,
+                0,
+                block,
+                0,
+                0,
+                64,
+            );
+            if lossy_rounds.contains(&r) {
+                w0.record_at(t0 + 200, FlightEventKind::RtoFire, r, block, 0, 0, 150);
+                w0.record_at(t0 + 201, FlightEventKind::Retransmit, r, block, 0, 0, 64);
+                w0.record_at(t0 + 230, FlightEventKind::NackRx, r, NO_BLOCK, 0, 0, 0);
+            }
+            let end = t0 + 400;
+            w0.record_at(end, FlightEventKind::RoundEnd, r, NO_BLOCK, 0, 0, 0);
+            w1.record_at(end, FlightEventKind::RoundEnd, r, NO_BLOCK, 0, 0, 0);
+        }
+        rec.snapshot()
+    }
+
+    fn cfg() -> AttributionConfig {
+        AttributionConfig {
+            straggler_factor: 3.0,
+            straggler_floor_ns: 10,
+            loss_window_rounds: 4,
+            loss_threshold: 3,
+        }
+    }
+
+    #[test]
+    fn reconstructs_rounds_and_components() {
+        let rec = synthetic(5, 2, &[]);
+        let attr = RoundAttribution::from_recording(&rec, &cfg());
+        assert_eq!(attr.rounds.len(), 5);
+        assert_eq!(attr.unmatched_rx, 0);
+        for (i, r) in attr.rounds.iter().enumerate() {
+            assert_eq!(r.round, i as u32);
+            assert_eq!(r.total_ns, 400);
+            assert_eq!(r.encode_ns, 35, "max over workers");
+            // w0: rx-tx = 10; w1: rx-tx = 12 → mean 11.
+            assert_eq!(r.wire_ns, 11);
+            assert_eq!(r.straggler_ns, 2, "last - first contribution");
+            assert_eq!(r.slot_wait_ns, 3, "occupy→release");
+            assert_eq!(r.recovery_ns, 0);
+        }
+    }
+
+    #[test]
+    fn clean_run_is_healthy() {
+        let rec = synthetic(10, 2, &[]);
+        let attr = RoundAttribution::from_recording(&rec, &cfg());
+        assert!(attr.stragglers().next().is_none(), "{:?}", attr.workers);
+        assert!(attr.loss_windows.is_empty());
+        assert_eq!(
+            attr.health_json().get("healthy").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn straggler_detector_flags_the_slow_worker() {
+        // Worker 1 is 500 ns behind every block; worker 0 leads.
+        let rec = synthetic(20, 500, &[]);
+        let attr = RoundAttribution::from_recording(&rec, &cfg());
+        let flagged: Vec<u16> = attr.stragglers().map(|w| w.actor).collect();
+        assert_eq!(flagged, vec![1], "workers: {:?}", attr.workers);
+        let w1 = attr.workers.iter().find(|w| w.actor == 1).unwrap();
+        assert!(
+            w1.p99_delay_ns >= 256,
+            "p99 {} in bucket of 500",
+            w1.p99_delay_ns
+        );
+    }
+
+    #[test]
+    fn loss_detector_flags_the_burst_window() {
+        // Rounds 10..=13 each retransmit + NACK: 8 events in any
+        // 4-round window covering them, past the threshold of 3.
+        let rec = synthetic(30, 2, &[10, 11, 12, 13]);
+        let attr = RoundAttribution::from_recording(&rec, &cfg());
+        assert_eq!(attr.loss_windows.len(), 1, "{:?}", attr.loss_windows);
+        let b = attr.loss_windows[0];
+        assert!(b.first_round <= 10 && b.last_round >= 13, "{b:?}");
+        assert_eq!(b.retransmits, 4);
+        assert_eq!(b.nacks, 4);
+        // And per-round counts landed on the right rounds.
+        let r10 = attr.rounds.iter().find(|r| r.round == 10).unwrap();
+        assert_eq!(r10.retransmits, 1);
+        assert_eq!(r10.recovery_ns, 150);
+        assert_eq!(r10.critical, RoundComponent::Recovery);
+    }
+
+    #[test]
+    fn rounds_json_and_report_render() {
+        let rec = synthetic(8, 2, &[3]);
+        let attr = RoundAttribution::from_recording(&rec, &cfg());
+        let doc = attr.rounds_json();
+        assert_eq!(doc.get("rounds").and_then(|v| v.as_u64()), Some(8));
+        let per_round = doc.get("per_round").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(per_round.len(), 8);
+        assert_eq!(per_round[0].as_arr().unwrap().len(), 9);
+        assert!(doc
+            .get("components")
+            .and_then(|c| c.get("wire_ns"))
+            .and_then(|w| w.get("p50"))
+            .is_some());
+        let report = attr.report();
+        assert!(report.contains("rounds reconstructed: 8"), "{report}");
+        assert!(report.contains("wire"), "{report}");
+    }
+}

@@ -22,16 +22,102 @@ pub trait Clock: Send + Sync {
 
 /// Wall-clock time: nanoseconds since the clock was created, measured on
 /// the OS monotonic clock.
+///
+/// By default every read goes through [`Instant`] (a vDSO
+/// `clock_gettime`, ~25ns). [`WallClock::calibrated`] attaches a TSC
+/// anchor on x86_64 so subsequent reads are a `rdtsc` plus a fixed-point
+/// multiply (~10ns) — the difference between the flight recorder fitting
+/// its per-event budget (DESIGN §11) or not. Calibrated reads report
+/// nanoseconds since the *same* epoch, so trace spans and flight events
+/// sharing one clock stay on one time base.
 #[derive(Debug, Clone)]
 pub struct WallClock {
     epoch: Instant,
+    tsc: Option<TscAnchor>,
+}
+
+/// Fixed-point TSC→ns mapping anchored to the owning clock's epoch:
+/// `ns = ns0 + ((rdtsc() - ticks0) * mult) >> TSC_SHIFT`.
+#[derive(Debug, Clone, Copy)]
+struct TscAnchor {
+    ticks0: u64,
+    ns0: u64,
+    mult: u64,
+}
+
+const TSC_SHIFT: u32 = 24;
+
+#[cfg(target_arch = "x86_64")]
+mod tsc {
+    #[inline]
+    pub fn read() -> u64 {
+        // rdtsc is unprivileged and present on every x86_64 CPU.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    pub const AVAILABLE: bool = true;
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod tsc {
+    #[inline]
+    pub fn read() -> u64 {
+        0
+    }
+
+    pub const AVAILABLE: bool = false;
+}
+
+/// Process-wide TSC rate as a `>> TSC_SHIFT` fixed-point ns/tick
+/// multiplier, calibrated against [`Instant`] over a ~2ms spin on first
+/// use. `None` when there is no usable TSC (non-x86_64, or a rate
+/// outside the plausible band for an invariant counter).
+fn tsc_mult() -> Option<u64> {
+    static MULT: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *MULT.get_or_init(|| {
+        if !tsc::AVAILABLE {
+            return None;
+        }
+        let i0 = Instant::now();
+        let t0 = tsc::read();
+        while i0.elapsed() < std::time::Duration::from_millis(2) {
+            std::hint::spin_loop();
+        }
+        let dns = i0.elapsed().as_nanos() as u64;
+        let dticks = tsc::read().wrapping_sub(t0);
+        if dns == 0 || dticks == 0 {
+            return None;
+        }
+        let ticks_per_ns = dticks as f64 / dns as f64;
+        if !(0.05..=100.0).contains(&ticks_per_ns) {
+            return None;
+        }
+        Some((((dns as u128) << TSC_SHIFT) / dticks as u128) as u64)
+    })
 }
 
 impl WallClock {
     pub fn new() -> Self {
         WallClock {
             epoch: Instant::now(),
+            tsc: None,
         }
+    }
+
+    /// Returns this clock with a TSC fast path attached (same epoch).
+    ///
+    /// First call per process blocks ~2ms to calibrate the TSC rate;
+    /// a no-op where no usable TSC exists. Intended for clocks feeding
+    /// hot recording paths, not for every engine's default clock.
+    pub fn calibrated(mut self) -> Self {
+        if let Some(mult) = tsc_mult() {
+            self.tsc = Some(TscAnchor {
+                ticks0: tsc::read(),
+                ns0: self.epoch.elapsed().as_nanos() as u64,
+                mult,
+            });
+        }
+        self
     }
 }
 
@@ -42,8 +128,15 @@ impl Default for WallClock {
 }
 
 impl Clock for WallClock {
+    #[inline]
     fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+        match self.tsc {
+            Some(a) => {
+                let ticks = tsc::read().wrapping_sub(a.ticks0);
+                a.ns0 + ((ticks as u128 * a.mult as u128) >> TSC_SHIFT) as u64
+            }
+            None => self.epoch.elapsed().as_nanos() as u64,
+        }
     }
 }
 
@@ -89,6 +182,19 @@ mod tests {
         let a = c.now_ns();
         let b = c.now_ns();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn calibrated_clock_tracks_elapsed_time() {
+        let c = WallClock::new().calibrated();
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let b = c.now_ns();
+        assert!(b > a);
+        // Loose band: the 5ms sleep must register as a plausible delta
+        // whichever backend (TSC or Instant) the platform selected.
+        let d = b - a;
+        assert!((2_000_000..500_000_000).contains(&d), "delta {d} ns");
     }
 
     #[test]

@@ -1,0 +1,753 @@
+//! Protocol-aware flight recorder: bounded, lock-free per-lane event
+//! rings for causal round reconstruction.
+//!
+//! The metrics registry ([`crate::metrics`]) answers *how much* — bytes,
+//! rounds, retransmissions — but not *why round N was slow*. The flight
+//! recorder answers that: every protocol engine (worker, aggregator,
+//! simulated or executable) owns a [`FlightLane`] and records typed
+//! [`FlightEvent`]s — packet tx/rx keyed by `(round, block, shard,
+//! worker)`, slot occupancy transitions, RTO fires, NACK
+//! solicit/resend, evictions — at nanosecond resolution. The
+//! reconstructor in [`crate::attrib`] joins worker- and aggregator-side
+//! lanes into per-round latency breakdowns.
+//!
+//! # Cost model (the PR 3 discipline)
+//!
+//! * **Disabled** (the default): recording is one branch on an
+//!   `Option` — no atomics, no clock read.
+//! * **Enabled**: each event is four relaxed atomic stores into a ring
+//!   pre-allocated at lane creation plus one `fetch_add` on the lane
+//!   head and one clock read. **Zero allocations in steady state**;
+//!   only [`FlightRecorder::lane`] (engine construction) and
+//!   [`FlightRecorder::snapshot`] (post-run) allocate. The
+//!   `flight_alloc` regression test gates this with the counting
+//!   allocator.
+//!
+//! # Concurrency model
+//!
+//! A lane is a single-producer ring: one engine, one thread. Slots are
+//! `AtomicU64` words, so a concurrent [`FlightRecorder::snapshot`]
+//! (e.g. from the [`crate::serve`] introspection thread) never sees a
+//! torn word; a snapshot raced against a live writer is
+//! observability-grade (an event may mix words from two writes), while
+//! a quiescent snapshot — the normal join-then-export flow — is exact.
+//!
+//! # Clocks
+//!
+//! All wall-clock lanes of one recorder share the recorder's epoch
+//! ([`WallClock`] cloned at lane creation), so cross-lane timestamps
+//! are directly comparable. Simulators stamp simulated nanoseconds
+//! explicitly via [`FlightLane::record_at`], producing event streams
+//! comparable in shape to executable runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, WallClock};
+use crate::json::{JsonError, JsonValue};
+
+/// Sentinel for events that are not about a specific block.
+pub const NO_BLOCK: u64 = u64::MAX;
+
+/// What happened. Packed into one byte on the wire/ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FlightEventKind {
+    /// Worker entered round `round` (first send of the round).
+    RoundStart = 0,
+    /// Worker finished round `round` (result applied / stream closed).
+    RoundEnd = 1,
+    /// Serialization work for one message; `aux` = duration in ns.
+    Encode = 2,
+    /// Data packet handed to the transport; `aux` = payload bytes.
+    PacketTx = 3,
+    /// Data packet received by an aggregator; `actor` = source worker,
+    /// `aux` = payload bytes.
+    PacketRx = 4,
+    /// Result multicast sent by an aggregator; `aux` = payload bytes.
+    ResultTx = 5,
+    /// Result received by a worker; `aux` = payload bytes.
+    ResultRx = 6,
+    /// Aggregation slot transitioned empty → occupied; `aux` = column.
+    SlotOccupy = 7,
+    /// Aggregation slot completed and was released; `aux` = occupancy
+    /// duration in ns when the engine tracks it, else 0.
+    SlotRelease = 8,
+    /// A retransmission timer fired; `aux` = the RTO that elapsed (ns).
+    RtoFire = 9,
+    /// A data packet was retransmitted (timer-driven).
+    Retransmit = 10,
+    /// NACK solicitation sent by an aggregator; `actor` = target worker.
+    NackTx = 11,
+    /// NACK received by a worker.
+    NackRx = 12,
+    /// Retransmission answering a NACK (solicited, not timer-driven).
+    SolicitedResend = 13,
+    /// Aggregator evicted a worker; `actor` = evicted worker,
+    /// `aux` = idle ns.
+    Eviction = 14,
+}
+
+impl FlightEventKind {
+    pub const ALL: [FlightEventKind; 15] = [
+        FlightEventKind::RoundStart,
+        FlightEventKind::RoundEnd,
+        FlightEventKind::Encode,
+        FlightEventKind::PacketTx,
+        FlightEventKind::PacketRx,
+        FlightEventKind::ResultTx,
+        FlightEventKind::ResultRx,
+        FlightEventKind::SlotOccupy,
+        FlightEventKind::SlotRelease,
+        FlightEventKind::RtoFire,
+        FlightEventKind::Retransmit,
+        FlightEventKind::NackTx,
+        FlightEventKind::NackRx,
+        FlightEventKind::SolicitedResend,
+        FlightEventKind::Eviction,
+    ];
+
+    pub fn from_u8(v: u8) -> Option<FlightEventKind> {
+        FlightEventKind::ALL.get(v as usize).copied()
+    }
+
+    /// Stable lower-snake name (used in JSON exports and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightEventKind::RoundStart => "round_start",
+            FlightEventKind::RoundEnd => "round_end",
+            FlightEventKind::Encode => "encode",
+            FlightEventKind::PacketTx => "packet_tx",
+            FlightEventKind::PacketRx => "packet_rx",
+            FlightEventKind::ResultTx => "result_tx",
+            FlightEventKind::ResultRx => "result_rx",
+            FlightEventKind::SlotOccupy => "slot_occupy",
+            FlightEventKind::SlotRelease => "slot_release",
+            FlightEventKind::RtoFire => "rto_fire",
+            FlightEventKind::Retransmit => "retransmit",
+            FlightEventKind::NackTx => "nack_tx",
+            FlightEventKind::NackRx => "nack_rx",
+            FlightEventKind::SolicitedResend => "solicited_resend",
+            FlightEventKind::Eviction => "eviction",
+        }
+    }
+}
+
+/// Which side of the protocol a lane records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneRole {
+    Worker,
+    Aggregator,
+}
+
+impl LaneRole {
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneRole::Worker => "worker",
+            LaneRole::Aggregator => "aggregator",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<LaneRole> {
+        match name {
+            "worker" => Some(LaneRole::Worker),
+            "aggregator" => Some(LaneRole::Aggregator),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the recorder's epoch (wall lanes) or since
+    /// simulation start ([`FlightLane::record_at`]).
+    pub ts_ns: u64,
+    pub kind: FlightEventKind,
+    /// Protocol round the event belongs to.
+    pub round: u32,
+    /// Global block id, or [`NO_BLOCK`].
+    pub block: u64,
+    /// Shard (aggregator index) the event concerns.
+    pub shard: u16,
+    /// The *other* actor when relevant (source worker for `PacketRx`,
+    /// evicted worker for `Eviction`, …); the recording actor is the
+    /// lane itself.
+    pub actor: u16,
+    /// Kind-specific payload (bytes, duration ns, column, …).
+    pub aux: u64,
+}
+
+/// Events are packed into four `u64` ring words:
+/// `[ts, kind<<56|shard<<48|actor<<32|round, block, aux]`.
+const WORDS_PER_EVENT: usize = 4;
+
+fn pack_meta(kind: FlightEventKind, shard: u16, actor: u16, round: u32) -> u64 {
+    ((kind as u64) << 56) | (((shard & 0xFF) as u64) << 48) | ((actor as u64) << 32) | round as u64
+}
+
+fn unpack_meta(meta: u64) -> Option<(FlightEventKind, u16, u16, u32)> {
+    let kind = FlightEventKind::from_u8((meta >> 56) as u8)?;
+    let shard = ((meta >> 48) & 0xFF) as u16;
+    let actor = ((meta >> 32) & 0xFFFF) as u16;
+    let round = meta as u32;
+    Some((kind, shard, actor, round))
+}
+
+struct LaneInner {
+    name: String,
+    role: LaneRole,
+    actor: u16,
+    /// `capacity * WORDS_PER_EVENT` atomic words; `capacity` is a power
+    /// of two so the wrap is a mask, not a division.
+    words: Box<[AtomicU64]>,
+    capacity: usize,
+    /// Total events ever written (wraps the ring at `capacity`).
+    head: AtomicU64,
+}
+
+impl LaneInner {
+    #[inline]
+    fn push(&self, ts_ns: u64, meta: u64, block: u64, aux: u64) {
+        // Single-producer ring (one engine owns each lane): head is
+        // published with a plain load + Release store, not an atomic
+        // RMW — the RMW is the single most expensive instruction on
+        // this path. Concurrent misuse of a cloned lane can at worst
+        // drop or duplicate an event (observability-grade damage,
+        // never UB); the Release store means `drain` only observes
+        // fully-written slots.
+        let seq = self.head.load(Ordering::Relaxed) as usize;
+        let base = (seq & (self.capacity - 1)) * WORDS_PER_EVENT;
+        let slot = &self.words[base..base + WORDS_PER_EVENT];
+        slot[0].store(ts_ns, Ordering::Relaxed);
+        slot[1].store(meta, Ordering::Relaxed);
+        slot[2].store(block, Ordering::Relaxed);
+        slot[3].store(aux, Ordering::Relaxed);
+        self.head.store(seq as u64 + 1, Ordering::Release);
+    }
+
+    fn drain(&self) -> (Vec<FlightEvent>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let filled = (head as usize).min(self.capacity);
+        let start = if (head as usize) > self.capacity {
+            head as usize % self.capacity
+        } else {
+            0
+        };
+        let mut events = Vec::with_capacity(filled);
+        for i in 0..filled {
+            let base = ((start + i) % self.capacity) * WORDS_PER_EVENT;
+            let ts_ns = self.words[base].load(Ordering::Relaxed);
+            let meta = self.words[base + 1].load(Ordering::Relaxed);
+            let block = self.words[base + 2].load(Ordering::Relaxed);
+            let aux = self.words[base + 3].load(Ordering::Relaxed);
+            if let Some((kind, shard, actor, round)) = unpack_meta(meta) {
+                events.push(FlightEvent {
+                    ts_ns,
+                    kind,
+                    round,
+                    block,
+                    shard,
+                    actor,
+                    aux,
+                });
+            }
+        }
+        // Ring order is already oldest-first; the sort is a cheap
+        // belt for snapshots raced against a live writer.
+        events.sort_by_key(|e| e.ts_ns);
+        (events, head.saturating_sub(self.capacity as u64))
+    }
+}
+
+struct RecorderInner {
+    capacity_per_lane: usize,
+    epoch: WallClock,
+    lanes: Mutex<Vec<Arc<LaneInner>>>,
+}
+
+/// Factory and registry for [`FlightLane`]s.
+///
+/// Owned by a [`crate::Telemetry`]; disabled by default (capacity 0).
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("capacity_per_lane", &self.inner.capacity_per_lane)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder that records nothing: every lane it hands out is
+    /// disabled (one-branch no-ops).
+    pub fn disabled() -> Self {
+        Self::bounded(0)
+    }
+
+    /// A recorder whose lanes each keep the most recent
+    /// `capacity_per_lane` events.
+    pub fn bounded(capacity_per_lane: usize) -> Self {
+        Self::bounded_with_epoch(capacity_per_lane, WallClock::new())
+    }
+
+    /// Like [`Self::bounded`], but stamping lanes against a caller-owned
+    /// epoch clock — so flight events and trace spans recorded through
+    /// one [`crate::Telemetry`] share a time base.
+    ///
+    /// An enabled recorder calibrates the clock's TSC fast path (same
+    /// epoch, ~2ms once per process) so per-event stamping fits the
+    /// hot-path budget; disabled recorders skip it.
+    pub fn bounded_with_epoch(capacity_per_lane: usize, epoch: WallClock) -> Self {
+        let enabled = capacity_per_lane > 0;
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                // Round up (0 stays 0) so lane rings wrap with a mask.
+                capacity_per_lane: if enabled {
+                    capacity_per_lane.next_power_of_two()
+                } else {
+                    0
+                },
+                epoch: if enabled { epoch.calibrated() } else { epoch },
+                lanes: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.capacity_per_lane > 0
+    }
+
+    /// The shared epoch clock: all wall lanes stamp nanoseconds since
+    /// this recorder was created, so cross-lane deltas are meaningful.
+    pub fn epoch_clock(&self) -> WallClock {
+        self.inner.epoch.clone()
+    }
+
+    /// Registers a new lane. Call once per engine at construction (it
+    /// allocates the ring); the returned handle records without
+    /// allocating. On a disabled recorder the lane is a no-op handle.
+    pub fn lane(&self, name: &str, role: LaneRole, actor: u16) -> FlightLane {
+        if !self.is_enabled() {
+            return FlightLane::disabled();
+        }
+        let lane = Arc::new(LaneInner {
+            name: name.to_string(),
+            role,
+            actor,
+            words: (0..self.inner.capacity_per_lane * WORDS_PER_EVENT)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            capacity: self.inner.capacity_per_lane,
+            head: AtomicU64::new(0),
+        });
+        self.lock().push(lane.clone());
+        FlightLane {
+            inner: Some(lane),
+            clock: self.inner.epoch.clone(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Arc<LaneInner>>> {
+        self.inner.lanes.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copies every lane's buffered events. Exact when all writers are
+    /// quiescent (the join-then-export flow); observability-grade when
+    /// raced against live writers.
+    pub fn snapshot(&self) -> FlightRecording {
+        let lanes = self.lock();
+        FlightRecording {
+            lanes: lanes
+                .iter()
+                .map(|lane| {
+                    let (events, dropped) = lane.drain();
+                    LaneRecording {
+                        name: lane.name.clone(),
+                        role: lane.role,
+                        actor: lane.actor,
+                        dropped,
+                        events,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A single-producer event ring owned by one protocol engine.
+///
+/// Cheap to move into the engine's thread; recording on a disabled lane
+/// is one branch.
+#[derive(Clone)]
+pub struct FlightLane {
+    inner: Option<Arc<LaneInner>>,
+    clock: WallClock,
+}
+
+impl std::fmt::Debug for FlightLane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightLane")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl FlightLane {
+    /// A lane that records nothing (the zero-configuration default).
+    pub fn disabled() -> Self {
+        FlightLane {
+            inner: None,
+            clock: WallClock::new(),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records an event stamped with the recorder's wall clock.
+    #[inline]
+    pub fn record(
+        &self,
+        kind: FlightEventKind,
+        round: u32,
+        block: u64,
+        shard: u16,
+        actor: u16,
+        aux: u64,
+    ) {
+        if let Some(lane) = &self.inner {
+            lane.push(
+                self.clock.now_ns(),
+                pack_meta(kind, shard, actor, round),
+                block,
+                aux,
+            );
+        }
+    }
+
+    /// Records an event with an explicit timestamp (simulated time).
+    // `record`'s six dimensions plus the caller's timestamp: a struct
+    // would force hot-path callers to build one per event.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn record_at(
+        &self,
+        ts_ns: u64,
+        kind: FlightEventKind,
+        round: u32,
+        block: u64,
+        shard: u16,
+        actor: u16,
+        aux: u64,
+    ) {
+        if let Some(lane) = &self.inner {
+            lane.push(ts_ns, pack_meta(kind, shard, actor, round), block, aux);
+        }
+    }
+
+    /// Timestamp (ns since the recorder epoch) for duration-valued
+    /// events; 0 on a disabled lane.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        if self.inner.is_some() {
+            self.clock.now_ns()
+        } else {
+            0
+        }
+    }
+}
+
+/// One lane's drained events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneRecording {
+    pub name: String,
+    pub role: LaneRole,
+    pub actor: u16,
+    /// Events overwritten because the ring wrapped.
+    pub dropped: u64,
+    /// Oldest-first.
+    pub events: Vec<FlightEvent>,
+}
+
+/// A point-in-time copy of every lane; serializable and mergeable
+/// across nodes/processes (the `omnistat` input format).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightRecording {
+    pub lanes: Vec<LaneRecording>,
+}
+
+impl FlightRecording {
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.events.is_empty())
+    }
+
+    pub fn total_events(&self) -> usize {
+        self.lanes.iter().map(|l| l.events.len()).sum()
+    }
+
+    /// Appends another recording's lanes (multi-node merge). Lane names
+    /// are kept as-is; `omnistat` prefixes them per input file.
+    pub fn merge(&mut self, other: FlightRecording) {
+        self.lanes.extend(other.lanes);
+    }
+
+    /// Rebases every timestamp so the earliest event lands at 0.
+    /// Recordings from different processes have unrelated epochs; rebase
+    /// each before merging so their timelines align at the origin.
+    pub fn rebase(&mut self) {
+        let min_ts = self
+            .lanes
+            .iter()
+            .flat_map(|l| l.events.iter().map(|e| e.ts_ns))
+            .min()
+            .unwrap_or(0);
+        for lane in &mut self.lanes {
+            for ev in &mut lane.events {
+                ev.ts_ns -= min_ts;
+            }
+        }
+    }
+
+    /// JSON document: `{"lanes":[{name, role, actor, dropped,
+    /// events:[[ts, kind, round, block, shard, actor, aux], ...]}]}`.
+    /// Events are positional arrays to keep multi-node recordings small.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut lanes = Vec::with_capacity(self.lanes.len());
+        for lane in &self.lanes {
+            let mut node = JsonValue::obj();
+            node.push("name", JsonValue::Str(lane.name.clone()));
+            node.push("role", JsonValue::Str(lane.role.name().into()));
+            node.push("actor", JsonValue::Uint(lane.actor as u64));
+            node.push("dropped", JsonValue::Uint(lane.dropped));
+            node.push(
+                "events",
+                JsonValue::Arr(
+                    lane.events
+                        .iter()
+                        .map(|e| {
+                            JsonValue::Arr(vec![
+                                JsonValue::Uint(e.ts_ns),
+                                JsonValue::Uint(e.kind as u64),
+                                JsonValue::Uint(e.round as u64),
+                                JsonValue::Uint(e.block),
+                                JsonValue::Uint(e.shard as u64),
+                                JsonValue::Uint(e.actor as u64),
+                                JsonValue::Uint(e.aux),
+                            ])
+                        })
+                        .collect(),
+                ),
+            );
+            lanes.push(node);
+        }
+        let mut doc = JsonValue::obj();
+        doc.push("lanes", JsonValue::Arr(lanes));
+        doc
+    }
+
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_compact()
+    }
+
+    /// Parses a recording previously produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<FlightRecording, JsonError> {
+        let doc = JsonValue::parse(text)?;
+        Self::from_json_value(&doc)
+    }
+
+    pub fn from_json_value(doc: &JsonValue) -> Result<FlightRecording, JsonError> {
+        let bad = |message| JsonError { offset: 0, message };
+        let mut rec = FlightRecording::default();
+        let lanes = doc
+            .get("lanes")
+            .and_then(|l| l.as_arr())
+            .ok_or(bad("missing lanes array"))?;
+        for lane in lanes {
+            let name = lane
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or(bad("lane name"))?
+                .to_string();
+            let role = lane
+                .get("role")
+                .and_then(|r| r.as_str())
+                .and_then(LaneRole::from_name)
+                .ok_or(bad("lane role"))?;
+            let actor = lane
+                .get("actor")
+                .and_then(|a| a.as_u64())
+                .ok_or(bad("lane actor"))? as u16;
+            let dropped = lane
+                .get("dropped")
+                .and_then(|d| d.as_u64())
+                .ok_or(bad("lane dropped"))?;
+            let mut events = Vec::new();
+            for ev in lane
+                .get("events")
+                .and_then(|e| e.as_arr())
+                .ok_or(bad("lane events"))?
+            {
+                let fields = ev.as_arr().ok_or(bad("event is not an array"))?;
+                if fields.len() != 7 {
+                    return Err(bad("event arity"));
+                }
+                let get = |i: usize| fields[i].as_u64().ok_or(bad("event field"));
+                let kind =
+                    FlightEventKind::from_u8(get(1)? as u8).ok_or(bad("unknown event kind"))?;
+                events.push(FlightEvent {
+                    ts_ns: get(0)?,
+                    kind,
+                    round: get(2)? as u32,
+                    block: get(3)?,
+                    shard: get(4)? as u16,
+                    actor: get(5)? as u16,
+                    aux: get(6)?,
+                });
+            }
+            rec.lanes.push(LaneRecording {
+                name,
+                role,
+                actor,
+                dropped,
+                events,
+            });
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_hands_out_noop_lanes() {
+        let rec = FlightRecorder::disabled();
+        let lane = rec.lane("worker0", LaneRole::Worker, 0);
+        assert!(!lane.is_enabled());
+        lane.record(FlightEventKind::PacketTx, 0, 1, 0, 0, 64);
+        assert!(rec.snapshot().is_empty());
+    }
+
+    #[test]
+    fn events_round_trip_through_the_ring() {
+        let rec = FlightRecorder::bounded(16);
+        let lane = rec.lane("worker0", LaneRole::Worker, 0);
+        lane.record_at(100, FlightEventKind::RoundStart, 3, NO_BLOCK, 0, 0, 0);
+        lane.record_at(200, FlightEventKind::PacketTx, 3, 42, 1, 0, 4096);
+        lane.record_at(300, FlightEventKind::Eviction, 3, NO_BLOCK, 1, 7, 5_000);
+        let snap = rec.snapshot();
+        assert_eq!(snap.lanes.len(), 1);
+        let lane = &snap.lanes[0];
+        assert_eq!(lane.name, "worker0");
+        assert_eq!(lane.role, LaneRole::Worker);
+        assert_eq!(lane.dropped, 0);
+        assert_eq!(lane.events.len(), 3);
+        assert_eq!(
+            lane.events[1],
+            FlightEvent {
+                ts_ns: 200,
+                kind: FlightEventKind::PacketTx,
+                round: 3,
+                block: 42,
+                shard: 1,
+                actor: 0,
+                aux: 4096,
+            }
+        );
+        assert_eq!(lane.events[2].actor, 7);
+        assert_eq!(lane.events[2].kind, FlightEventKind::Eviction);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let rec = FlightRecorder::bounded(4);
+        let lane = rec.lane("w", LaneRole::Worker, 0);
+        for i in 0..10u64 {
+            lane.record_at(i, FlightEventKind::PacketTx, i as u32, i, 0, 0, 0);
+        }
+        let snap = rec.snapshot();
+        let l = &snap.lanes[0];
+        assert_eq!(l.events.len(), 4);
+        assert_eq!(l.dropped, 6);
+        let rounds: Vec<u32> = l.events.iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn wall_lanes_share_the_recorder_epoch() {
+        let rec = FlightRecorder::bounded(8);
+        let a = rec.lane("a", LaneRole::Worker, 0);
+        let b = rec.lane("b", LaneRole::Aggregator, 0);
+        a.record(FlightEventKind::PacketTx, 0, 0, 0, 0, 0);
+        b.record(FlightEventKind::PacketRx, 0, 0, 0, 0, 0);
+        let snap = rec.snapshot();
+        let ta = snap.lanes[0].events[0].ts_ns;
+        let tb = snap.lanes[1].events[0].ts_ns;
+        // Same epoch: the receive stamped after the send must not be
+        // earlier (both clocks count from recorder creation).
+        assert!(tb >= ta, "tx {ta} > rx {tb}: epochs differ");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let rec = FlightRecorder::bounded(8);
+        let w = rec.lane("node0/worker0", LaneRole::Worker, 0);
+        let a = rec.lane("node0/agg1", LaneRole::Aggregator, 1);
+        w.record_at(5, FlightEventKind::Encode, 1, NO_BLOCK, 0, 0, 900);
+        w.record_at(10, FlightEventKind::PacketTx, 1, 7, 1, 0, 128);
+        a.record_at(20, FlightEventKind::PacketRx, 1, 7, 1, 0, 128);
+        a.record_at(25, FlightEventKind::NackTx, 1, NO_BLOCK, 1, 0, 0);
+        let snap = rec.snapshot();
+        let parsed = FlightRecording::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(parsed, snap);
+        // Garbage fails loudly.
+        assert!(FlightRecording::from_json("{}").is_err());
+        assert!(FlightRecording::from_json("{\"lanes\":[{}]}").is_err());
+    }
+
+    #[test]
+    fn merge_and_rebase_align_multi_node_recordings() {
+        let mk = |base: u64, name: &str| {
+            let rec = FlightRecorder::bounded(4);
+            let lane = rec.lane(name, LaneRole::Worker, 0);
+            lane.record_at(base, FlightEventKind::RoundStart, 0, NO_BLOCK, 0, 0, 0);
+            lane.record_at(base + 50, FlightEventKind::RoundEnd, 0, NO_BLOCK, 0, 0, 0);
+            let mut snap = rec.snapshot();
+            snap.rebase();
+            snap
+        };
+        let mut merged = mk(1_000_000, "node0/w0");
+        merged.merge(mk(77, "node1/w0"));
+        assert_eq!(merged.lanes.len(), 2);
+        for lane in &merged.lanes {
+            assert_eq!(lane.events[0].ts_ns, 0, "lane {} not rebased", lane.name);
+            assert_eq!(lane.events[1].ts_ns, 50);
+        }
+    }
+
+    #[test]
+    fn all_kinds_round_trip_through_packing() {
+        for kind in FlightEventKind::ALL {
+            let meta = pack_meta(kind, 3, 9, 0xABCD);
+            let (k, s, a, r) = unpack_meta(meta).unwrap();
+            assert_eq!(k, kind);
+            assert_eq!(s, 3);
+            assert_eq!(a, 9);
+            assert_eq!(r, 0xABCD);
+            assert_eq!(FlightEventKind::from_u8(kind as u8), Some(kind));
+            assert_eq!(
+                LaneRole::from_name(LaneRole::Worker.name()),
+                Some(LaneRole::Worker)
+            );
+        }
+    }
+}

@@ -17,6 +17,17 @@
 //! * [`trace`] — a bounded ring-buffer [`TraceRecorder`] of spans and
 //!   instant events, exported as Chrome trace-event JSON (loadable in
 //!   Perfetto or `chrome://tracing`), one track per actor/NIC.
+//! * [`flight`] — the protocol flight recorder: bounded lock-free
+//!   per-engine event rings of typed protocol events (packet tx/rx,
+//!   slot transitions, RTO/NACK/eviction) at nanosecond resolution,
+//!   with zero steady-state allocations.
+//! * [`attrib`] — the causal round reconstructor joining worker- and
+//!   aggregator-side flight lanes into per-round latency breakdowns
+//!   (encode / wire / slot-wait / straggler / recovery) with
+//!   critical-path attribution and online straggler/loss detectors.
+//! * [`serve`] — a std-only HTTP introspection endpoint (env-gated via
+//!   `OMNIREDUCE_SERVE_ADDR`) serving Prometheus text, JSON snapshots,
+//!   the flight recording, and live health/attribution documents.
 //! * [`json`] — the minimal JSON value model backing the exporters (the
 //!   build environment has no serde, so serialization is hand-rolled).
 //!
@@ -37,13 +48,25 @@
 //! accessors keep working with zero configuration.
 
 pub mod alloc;
+pub mod attrib;
 pub mod clock;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod serve;
 pub mod trace;
 
 pub use alloc::CountingAllocator;
 
+pub use attrib::{
+    AttributionConfig, LossWindow, RoundAttribution, RoundBreakdown, RoundComponent, WorkerSkew,
+};
 pub use clock::{Clock, ManualClock, WallClock};
+pub use flight::{
+    FlightEvent, FlightEventKind, FlightLane, FlightRecorder, FlightRecording, LaneRecording,
+    LaneRole, NO_BLOCK,
+};
+pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot};
-pub use trace::{TraceRecorder, TrackId};
+pub use serve::{IntrospectionServer, SERVE_ADDR_ENV};
+pub use trace::{ClockDomain, TraceRecorder, TrackId};

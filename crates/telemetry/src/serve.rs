@@ -1,0 +1,273 @@
+//! Live introspection: a std-only HTTP endpoint over one [`Telemetry`].
+//!
+//! No HTTP framework — the workspace builds offline with no network
+//! deps — just a [`std::net::TcpListener`] accept loop on a background
+//! thread answering `GET`s with pre-rendered documents:
+//!
+//! | path             | content                                        |
+//! |------------------|------------------------------------------------|
+//! | `/metrics`       | Prometheus 0.0.4 text exposition               |
+//! | `/snapshot.json` | full [`TelemetrySnapshot`] (counters/gauges/histograms) |
+//! | `/flight.json`   | the flight recording ([`crate::FlightRecording`] format, `omnistat` input) |
+//! | `/rounds.json`   | per-round latency attribution percentiles      |
+//! | `/health.json`   | straggler / loss-burst detector verdicts       |
+//!
+//! Production wiring is env-gated: [`IntrospectionServer::from_env`]
+//! binds `OMNIREDUCE_SERVE_ADDR` (e.g. `127.0.0.1:9109`) when set and
+//! is a no-op otherwise. Binding port 0 picks a free port —
+//! [`IntrospectionServer::local_addr`] reports it — which keeps tests
+//! hermetic.
+//!
+//! Reconstruction (`/rounds.json`, `/health.json`) runs per request on
+//! the serving thread; the engines' hot paths only ever touch the
+//! lock-free recorders.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::attrib::{AttributionConfig, RoundAttribution};
+use crate::metrics::Telemetry;
+
+/// Environment variable naming the listen address (`host:port`).
+pub const SERVE_ADDR_ENV: &str = "OMNIREDUCE_SERVE_ADDR";
+
+/// A running introspection endpoint; dropping it leaves the thread
+/// serving until [`IntrospectionServer::stop`] or process exit.
+pub struct IntrospectionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for IntrospectionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntrospectionServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl IntrospectionServer {
+    /// Binds `addr` and starts serving `telemetry` on a background
+    /// thread. Use port 0 to let the OS pick.
+    pub fn bind(addr: &str, telemetry: Telemetry) -> std::io::Result<IntrospectionServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("omnireduce-serve".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One request per connection, bounded I/O: an
+                        // introspection endpoint must never wedge on a
+                        // slow or hostile client.
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                        let _ = serve_one(stream, &telemetry);
+                    }
+                }
+            })?;
+        Ok(IntrospectionServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Starts a server iff [`SERVE_ADDR_ENV`] is set; `None` otherwise.
+    pub fn from_env(telemetry: &Telemetry) -> Option<std::io::Result<IntrospectionServer>> {
+        let addr = std::env::var(SERVE_ADDR_ENV).ok()?;
+        if addr.is_empty() {
+            return None;
+        }
+        Some(Self::bind(&addr, telemetry.clone()))
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop only observes the flag on a connection;
+        // nudge it with one.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()> {
+    // Read until the end of the request head (or 8 KiB, whichever
+    // comes first); the body, if any, is ignored.
+    let mut buf = [0u8; 8192];
+    let mut len = 0usize;
+    loop {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    let attribution = || {
+        RoundAttribution::from_recording(
+            &telemetry.flight().snapshot(),
+            &AttributionConfig::default(),
+        )
+    };
+    match path {
+        "/" => respond(
+            &mut stream,
+            200,
+            "text/plain",
+            "omnireduce introspection\n\
+             /metrics        prometheus exposition\n\
+             /snapshot.json  metrics snapshot\n\
+             /flight.json    flight recording (omnistat input)\n\
+             /rounds.json    per-round latency attribution\n\
+             /health.json    straggler / loss detector verdicts\n",
+        ),
+        "/metrics" => {
+            let body = telemetry.snapshot().to_prometheus();
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/snapshot.json" => {
+            let body = telemetry.snapshot().to_json();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/flight.json" => {
+            let body = telemetry.flight().snapshot().to_json();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/rounds.json" => {
+            let body = attribution().rounds_json().to_string_compact();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/health.json" => {
+            let body = attribution().health_json().to_string_compact();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{FlightEventKind, LaneRole, NO_BLOCK};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        let status: u16 = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_snapshot_flight_and_health() {
+        let telemetry = Telemetry::with_observability(0, 64);
+        telemetry.counter("core.worker.packets_sent").add(7);
+        let lane = telemetry.flight().lane("w0", LaneRole::Worker, 0);
+        lane.record_at(0, FlightEventKind::RoundStart, 0, NO_BLOCK, 0, 0, 0);
+        lane.record_at(100, FlightEventKind::RoundEnd, 0, NO_BLOCK, 0, 0, 0);
+
+        let server =
+            IntrospectionServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind port 0");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("core_worker_packets_sent 7"), "{body}");
+
+        let (status, body) = get(addr, "/snapshot.json");
+        assert_eq!(status, 200);
+        assert!(body.contains("core.worker.packets_sent"), "{body}");
+
+        let (status, body) = get(addr, "/flight.json");
+        assert_eq!(status, 200);
+        let rec = crate::FlightRecording::from_json(&body).expect("flight json parses");
+        assert_eq!(rec.total_events(), 2);
+
+        let (status, body) = get(addr, "/rounds.json");
+        assert_eq!(status, 200);
+        let doc = crate::JsonValue::parse(&body).unwrap();
+        assert_eq!(doc.get("rounds").and_then(|v| v.as_u64()), Some(1));
+
+        let (status, body) = get(addr, "/health.json");
+        assert_eq!(status, 200);
+        let doc = crate::JsonValue::parse(&body).unwrap();
+        assert_eq!(doc.get("healthy").and_then(|v| v.as_bool()), Some(true));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.stop();
+    }
+
+    #[test]
+    fn from_env_is_a_noop_when_unset() {
+        // Uses the real environment: the variable must not leak in from
+        // the test harness.
+        if std::env::var(SERVE_ADDR_ENV).is_ok() {
+            return; // respect an operator-set address
+        }
+        assert!(IntrospectionServer::from_env(&Telemetry::new()).is_none());
+    }
+}

@@ -22,6 +22,45 @@ use crate::json::JsonValue;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TrackId(pub u32);
 
+/// Which time base a track's timestamps come from.
+///
+/// Wall-clock nanoseconds (engines over real transports) and simulated
+/// nanoseconds (the `simnet` event loop) are incommensurable: a sim
+/// span at t = 3 µs must not be drawn next to an engine span stamped
+/// 3 µs after process start. The exporter keeps the domains apart —
+/// one Chrome-trace *process* per domain — so a registry shared by
+/// engines and a simulator stays readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ClockDomain {
+    /// Nanoseconds from a monotonic [`crate::WallClock`].
+    #[default]
+    Wall,
+    /// Simulated nanoseconds from a [`crate::ManualClock`] / event loop.
+    Sim,
+}
+
+impl ClockDomain {
+    fn pid(self) -> u64 {
+        match self {
+            ClockDomain::Wall => 0,
+            ClockDomain::Sim => 1,
+        }
+    }
+
+    fn process_name(self) -> &'static str {
+        match self {
+            ClockDomain::Wall => "wall-clock",
+            ClockDomain::Sim => "sim-time",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    name: String,
+    domain: ClockDomain,
+}
+
 #[derive(Debug, Clone)]
 enum Event {
     /// A complete span: `[start_ns, end_ns)` on a track.
@@ -41,7 +80,7 @@ enum Event {
 
 #[derive(Default)]
 struct TraceInner {
-    tracks: Vec<String>,
+    tracks: Vec<Track>,
     ring: Vec<Event>,
     /// Next write position in `ring` once it reaches capacity.
     head: usize,
@@ -87,16 +126,58 @@ impl TraceRecorder {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Registers (or finds) a named track and returns its id.
+    /// Registers (or finds) a named track in the wall-clock domain and
+    /// returns its id.
     ///
     /// Safe to call on a disabled recorder; returns a valid id so
-    /// callers can cache it unconditionally.
+    /// callers can cache it unconditionally. Re-requesting a name
+    /// returns the *same* track — use [`TraceRecorder::unique_track`]
+    /// when each caller must own its own row.
     pub fn track(&self, name: &str) -> TrackId {
         let mut inner = self.lock();
-        if let Some(pos) = inner.tracks.iter().position(|t| t == name) {
+        if let Some(pos) = inner
+            .tracks
+            .iter()
+            .position(|t| t.name == name && t.domain == ClockDomain::Wall)
+        {
             return TrackId(pos as u32);
         }
-        inner.tracks.push(name.to_string());
+        inner.tracks.push(Track {
+            name: name.to_string(),
+            domain: ClockDomain::Wall,
+        });
+        TrackId((inner.tracks.len() - 1) as u32)
+    }
+
+    /// Registers a track that is **never shared**: if `name` is taken,
+    /// the new track is suffixed `#2`, `#3`, … instead of reusing the
+    /// existing id.
+    ///
+    /// This is the constructor for per-engine rows. `ShardedAllReduce`
+    /// spawns N aggregators × M workers on their own threads, and a
+    /// process can deploy several groups against one registry (the
+    /// bench differential does); name-deduplicated ids would interleave
+    /// unrelated engines' spans on a single row of the merged Chrome
+    /// trace.
+    pub fn unique_track(&self, name: &str, domain: ClockDomain) -> TrackId {
+        let mut inner = self.lock();
+        let taken = |tracks: &[Track], candidate: &str| tracks.iter().any(|t| t.name == candidate);
+        let unique = if taken(&inner.tracks, name) {
+            let mut n = 2usize;
+            loop {
+                let candidate = format!("{name}#{n}");
+                if !taken(&inner.tracks, &candidate) {
+                    break candidate;
+                }
+                n += 1;
+            }
+        } else {
+            name.to_string()
+        };
+        inner.tracks.push(Track {
+            name: unique,
+            domain,
+        });
         TrackId((inner.tracks.len() - 1) as u32)
     }
 
@@ -155,24 +236,49 @@ impl TraceRecorder {
 
     /// Exports the buffer as a Chrome trace-event JSON document.
     ///
-    /// One process (`pid` 0) with one thread per track; each track gets
-    /// a `thread_name` metadata event so Perfetto shows readable rows.
-    /// Spans become `"ph":"X"` complete events, instants `"ph":"i"`
-    /// thread-scoped events; timestamps are microseconds.
+    /// One Chrome-trace process per [`ClockDomain`] (`pid` 0 =
+    /// wall-clock, `pid` 1 = sim-time) with one thread per track; each
+    /// process gets a `process_name` and each track a `thread_name`
+    /// metadata event so Perfetto shows readable rows. Keeping the
+    /// domains in separate processes stops simulated nanoseconds from
+    /// being drawn on the wall-clock timeline. Spans become `"ph":"X"`
+    /// complete events, instants `"ph":"i"` thread-scoped events;
+    /// timestamps are microseconds.
     pub fn to_chrome_json(&self) -> String {
         let inner = self.lock();
         let mut events: Vec<JsonValue> = Vec::with_capacity(inner.ring.len() + inner.tracks.len());
-        for (tid, name) in inner.tracks.iter().enumerate() {
+        let mut domains: Vec<ClockDomain> = inner.tracks.iter().map(|t| t.domain).collect();
+        domains.sort_by_key(|d| d.pid());
+        domains.dedup();
+        for domain in domains {
             let mut args = JsonValue::obj();
-            args.push("name", JsonValue::Str(name.clone()));
+            args.push("name", JsonValue::Str(domain.process_name().into()));
+            let mut meta = JsonValue::obj();
+            meta.push("name", JsonValue::Str("process_name".into()));
+            meta.push("ph", JsonValue::Str("M".into()));
+            meta.push("pid", JsonValue::Uint(domain.pid()));
+            meta.push("tid", JsonValue::Uint(0));
+            meta.push("args", args);
+            events.push(meta);
+        }
+        for (tid, track) in inner.tracks.iter().enumerate() {
+            let mut args = JsonValue::obj();
+            args.push("name", JsonValue::Str(track.name.clone()));
             let mut meta = JsonValue::obj();
             meta.push("name", JsonValue::Str("thread_name".into()));
             meta.push("ph", JsonValue::Str("M".into()));
-            meta.push("pid", JsonValue::Uint(0));
+            meta.push("pid", JsonValue::Uint(track.domain.pid()));
             meta.push("tid", JsonValue::Uint(tid as u64));
             meta.push("args", args);
             events.push(meta);
         }
+        let pid_of = |track: &TrackId| {
+            inner
+                .tracks
+                .get(track.0 as usize)
+                .map(|t| t.domain.pid())
+                .unwrap_or(0)
+        };
         // Emit in chronological order (ring order is oldest-first from
         // `head`).
         let n = inner.ring.len();
@@ -188,7 +294,7 @@ impl TraceRecorder {
                     let mut e = JsonValue::obj();
                     e.push("name", JsonValue::Str((*name).into()));
                     e.push("ph", JsonValue::Str("X".into()));
-                    e.push("pid", JsonValue::Uint(0));
+                    e.push("pid", JsonValue::Uint(pid_of(track)));
                     e.push("tid", JsonValue::Uint(track.0 as u64));
                     e.push("ts", JsonValue::Float(*start_ns as f64 / 1_000.0));
                     e.push(
@@ -202,7 +308,7 @@ impl TraceRecorder {
                     e.push("name", JsonValue::Str((*name).into()));
                     e.push("ph", JsonValue::Str("i".into()));
                     e.push("s", JsonValue::Str("t".into()));
-                    e.push("pid", JsonValue::Uint(0));
+                    e.push("pid", JsonValue::Uint(pid_of(track)));
                     e.push("tid", JsonValue::Uint(track.0 as u64));
                     e.push("ts", JsonValue::Float(*ts_ns as f64 / 1_000.0));
                     e
@@ -269,7 +375,8 @@ mod tests {
         let text = tr.to_chrome_json();
         let doc = JsonValue::parse(&text).expect("valid json");
         let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
-        assert_eq!(events.len(), 2 + 2); // 2 thread_name metas + 2 events
+        // 1 process_name + 2 thread_name metas + 2 events.
+        assert_eq!(events.len(), 1 + 2 + 2);
         let span = events
             .iter()
             .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
@@ -277,5 +384,67 @@ mod tests {
         assert_eq!(span.get("ts").and_then(|t| t.as_f64()), Some(1.0));
         assert_eq!(span.get("dur").and_then(|t| t.as_f64()), Some(4.0));
         assert_eq!(span.get("tid").and_then(|t| t.as_u64()), Some(w.0 as u64));
+        assert_eq!(span.get("pid").and_then(|t| t.as_u64()), Some(0));
+    }
+
+    #[test]
+    fn unique_tracks_never_collide() {
+        let tr = TraceRecorder::bounded(8);
+        let a = tr.unique_track("worker0", ClockDomain::Wall);
+        let b = tr.unique_track("worker0", ClockDomain::Wall);
+        let c = tr.unique_track("worker0", ClockDomain::Wall);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        // A later name-deduped lookup must not steal a unique row either:
+        // "worker0" resolves to the first track (same name), but ids a/b/c
+        // stay distinct rows in the export.
+        tr.instant(a, "ea", 1);
+        tr.instant(b, "eb", 2);
+        let doc = JsonValue::parse(&tr.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+            })
+            .collect();
+        assert_eq!(thread_names, vec!["worker0", "worker0#2", "worker0#3"]);
+    }
+
+    #[test]
+    fn sim_and_wall_tracks_export_as_separate_processes() {
+        let tr = TraceRecorder::bounded(8);
+        let w = tr.unique_track("worker0", ClockDomain::Wall);
+        let s = tr.unique_track("nic0.tx", ClockDomain::Sim);
+        tr.span(w, "round", 0, 10);
+        tr.span(s, "tx", 0, 10);
+        let doc = JsonValue::parse(&tr.to_chrome_json()).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        let process_names: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .filter_map(|e| {
+                let pid = e.get("pid").and_then(|p| p.as_u64())?;
+                let name = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())?;
+                Some((pid, name))
+            })
+            .collect();
+        assert_eq!(process_names, vec![(0, "wall-clock"), (1, "sim-time")]);
+        let pid_of_span = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .and_then(|e| e.get("pid"))
+                .and_then(|p| p.as_u64())
+                .unwrap()
+        };
+        assert_eq!(pid_of_span("round"), 0);
+        assert_eq!(pid_of_span("tx"), 1);
     }
 }

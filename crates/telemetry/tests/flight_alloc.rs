@@ -1,0 +1,71 @@
+//! Allocation regression for the flight-recorder hot path.
+//!
+//! The recorder's claim (DESIGN §11) is that steady-state event
+//! recording performs **zero** heap allocations: a lane is a
+//! preallocated ring of atomics, and `record` only does a fetch_add
+//! plus four word stores. This binary installs [`CountingAllocator`]
+//! as the global allocator and measures the claim directly — if a
+//! future change sneaks a `format!`, `Vec::push`, or boxing into
+//! `record`/`record_at`/`now_ns`, this test fails.
+
+use omnireduce_telemetry::{
+    CountingAllocator, FlightEventKind, FlightRecorder, LaneRole, NO_BLOCK,
+};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_recording_allocates_nothing() {
+    // Setup MAY allocate: the recorder and its lanes are built once per
+    // engine, outside the data path.
+    let recorder = FlightRecorder::bounded(1024);
+    let lane = recorder.lane("worker0", LaneRole::Worker, 0);
+
+    // Warm up: first records after construction must already be clean,
+    // but run a few to let any lazy thread-locals initialize.
+    for i in 0..8 {
+        lane.record(FlightEventKind::PacketTx, 0, i, 0, 0, 64);
+    }
+
+    let ((), allocs) = CountingAllocator::count(|| {
+        for round in 0..64u32 {
+            lane.record(FlightEventKind::RoundStart, round, NO_BLOCK, 0, 0, 0);
+            let t0 = lane.now_ns();
+            for b in 0..8u64 {
+                lane.record(FlightEventKind::PacketTx, round, b * 16, 0, 0, 512);
+                lane.record(FlightEventKind::ResultRx, round, NO_BLOCK, 0, 0, 4);
+            }
+            lane.record(
+                FlightEventKind::Encode,
+                round,
+                NO_BLOCK,
+                0,
+                0,
+                lane.now_ns().saturating_sub(t0),
+            );
+            lane.record_at(t0, FlightEventKind::RoundEnd, round, NO_BLOCK, 0, 0, 0);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "flight-recorder hot path must not allocate in steady state"
+    );
+
+    // Ring wrap-around (the loop above overflows 1024 events) must not
+    // allocate either — eviction is an index wrap, not a reallocation.
+    let total = recorder.snapshot().total_events();
+    assert!(total <= 1024, "ring must stay bounded, got {total}");
+}
+
+#[test]
+fn disabled_lane_record_allocates_nothing() {
+    let recorder = FlightRecorder::disabled();
+    let lane = recorder.lane("worker0", LaneRole::Worker, 0);
+    let ((), allocs) = CountingAllocator::count(|| {
+        for i in 0..1024u64 {
+            lane.record(FlightEventKind::PacketTx, 0, i, 0, 0, 64);
+        }
+    });
+    assert_eq!(allocs, 0, "disabled lanes must be free");
+}

@@ -78,9 +78,45 @@ step "differential (core conformance, incl. sharded column)" \
 step "differential (workspace engines, per-shard bytes)" \
   cargo test "${CARGO_FLAGS[@]}" -p omnireduce --test differential -q
 
-# Zero-allocation hot-path gate (single-shard and 2-shard lanes): fails
-# if a steady-state round allocates or if ns/block regresses >2x past
-# the committed baseline.
+# Flight-recorder suite (§11 observability): chaos runs with the
+# recorder on must stay bit-identical to recorder-off runs, the
+# reconstructor must recover every round, and the seeded straggler /
+# loss faults must trip their detectors. Same outer timeout belt as the
+# fault suite — these tests drive real lossy multi-thread runs.
+if command -v timeout >/dev/null 2>&1; then
+  step "flight recorder suite (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test flight -q
+else
+  step "flight recorder suite" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test flight -q
+fi
+
+# Recorder hot path must not allocate: CountingAllocator-backed
+# regression over record/record_at/now_ns.
+step "flight recorder allocation gate" \
+  cargo test "${CARGO_FLAGS[@]}" -p omnireduce-telemetry --test flight_alloc -q
+
+# End-to-end analyzer: omnistat runs a sharded recovery deployment
+# under packet loss, merges its own recording and gates on the
+# reconstructor producing a non-degenerate latency attribution.
+if [[ "$FAST" -eq 0 ]]; then
+  if command -v timeout >/dev/null 2>&1; then
+    step "omnistat attribution gate (timeout 300s)" \
+      timeout --signal=KILL 300 \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin omnistat -- --demo --check
+  else
+    step "omnistat attribution gate" \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin omnistat -- --demo --check
+  fi
+fi
+
+# Zero-allocation hot-path gate (single-shard, 2-shard and
+# flight-recorder lanes): fails if a steady-state round allocates, if
+# ns/block regresses >2x past the committed baseline, or if the live
+# recorder costs more than 10% over the disabled-lane loop.
 if [[ "$FAST" -eq 0 ]]; then
   step "hotpath allocation gate" \
     cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
