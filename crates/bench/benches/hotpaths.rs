@@ -70,6 +70,7 @@ fn bench_codec(c: &mut Criterion) {
         ver: 0,
         stream: 3,
         wid: 1,
+        epoch: 0,
         entries: (0..4)
             .map(|i| Entry::data(i * 4, i * 4 + 4, vec![1.5; 256]))
             .collect(),

@@ -65,6 +65,7 @@ fn data_packet(wid: usize, block: u32, payload: Vec<f32>) -> Message {
         ver: 0,
         stream: 0,
         wid: wid as u16,
+        epoch: 0,
         entries: vec![Entry::data(block, 0, payload)],
     })
 }
@@ -134,6 +135,7 @@ fn legacy_decode(buf: &[u8]) -> Message {
         ver,
         stream,
         wid,
+        epoch: 0,
         entries,
     })
 }
@@ -219,6 +221,7 @@ fn pooled_round(
                 ver: 0,
                 stream: 0,
                 wid: w as u16,
+                epoch: 0,
                 entries,
             });
             encode_into(&msg, &mut s.wire);
@@ -256,6 +259,7 @@ fn pooled_round(
             ver: 0,
             stream: 0,
             wid: u16::MAX,
+            epoch: 0,
             entries,
         });
         encode_into(&result, &mut s.wire);
@@ -317,6 +321,7 @@ fn sharded_round(payloads: &[Vec<f32>], tensor: &mut [f32], s: &mut ShardedScrat
                 ver: 0,
                 stream: (b % SHARDS) as u16,
                 wid: w as u16,
+                epoch: 0,
                 entries,
             });
             encode_into(&msg, wire);
@@ -336,6 +341,7 @@ fn sharded_round(payloads: &[Vec<f32>], tensor: &mut [f32], s: &mut ShardedScrat
             ver: 0,
             stream: (b % SHARDS) as u16,
             wid: u16::MAX,
+            epoch: 0,
             entries,
         });
         encode_into(&result, wire);

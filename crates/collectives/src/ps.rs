@@ -68,6 +68,7 @@ fn send_dense_slice<T: Transport>(
             ver: 0,
             stream: 0,
             wid,
+            epoch: 0,
             entries: vec![Entry::data(
                 (start + offset) as u32,
                 (data.len() - end) as u32,
@@ -157,6 +158,7 @@ pub fn dense_server<T: Transport>(
                     ver: 0,
                     stream: 0,
                     wid: u16::MAX,
+                    epoch: 0,
                     entries: vec![Entry::data(
                         (range.start + offset) as u32,
                         (acc.len() - end) as u32,

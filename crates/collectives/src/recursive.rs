@@ -38,6 +38,7 @@ fn send_dense<T: Transport>(
             ver: 0,
             stream: round,
             wid: 0,
+            epoch: 0,
             entries: vec![Entry::data(
                 offset as u32,
                 (data.len() - end) as u32,

@@ -44,6 +44,7 @@ fn send_segment<T: Transport>(
             ver: 0,
             stream: step as u16,
             wid: seg as u16,
+            epoch: 0,
             entries: vec![Entry::data(
                 offset as u32,
                 (data.len() - end) as u32, // remaining values after this chunk

@@ -153,6 +153,7 @@ pub fn allreduce<T: Transport>(
                 ver: 0,
                 stream: origin as u16,
                 wid: origin as u16,
+                epoch: 0,
                 entries: values
                     .chunks(crate::ring::MAX_CHUNK_VALUES)
                     .enumerate()

@@ -360,6 +360,7 @@ impl<T: Transport> OmniAggregator<T> {
             ver: 0,
             stream: g as u16,
             wid: u16::MAX,
+            epoch: 0,
             entries,
         });
         self.workers_scratch.clear();

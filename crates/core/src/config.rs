@@ -19,6 +19,13 @@ pub enum DegradedMode {
     /// dead workers' gradients (acceptable for SGD-style workloads where
     /// a dropped contribution is equivalent to a skipped micro-batch).
     DropWorker,
+    /// Like [`DegradedMode::DropWorker`], but an evicted worker that is
+    /// still alive is told so immediately: the aggregator answers its
+    /// stale data packets with a `Welcome` carrying the current epoch,
+    /// so the worker fails fast with
+    /// [`crate::ProtocolError::Evicted`] (instead of burning its whole
+    /// retry budget) and can re-`join()` at the bumped epoch.
+    Rejoin,
 }
 
 impl std::str::FromStr for DegradedMode {
@@ -27,8 +34,9 @@ impl std::str::FromStr for DegradedMode {
         match s.to_ascii_lowercase().as_str() {
             "abort" => Ok(DegradedMode::Abort),
             "drop" | "drop_worker" | "dropworker" => Ok(DegradedMode::DropWorker),
+            "rejoin" => Ok(DegradedMode::Rejoin),
             other => Err(format!(
-                "unknown degraded mode {other:?} (expected \"abort\" or \"drop_worker\")"
+                "unknown degraded mode {other:?} (expected \"abort\", \"drop_worker\" or \"rejoin\")"
             )),
         }
     }
@@ -94,6 +102,11 @@ pub struct OmniConfig {
     pub worker_eviction_timeout: Duration,
     /// What the aggregator does after evicting a worker.
     pub degraded_mode: DegradedMode,
+    /// When true, every aggregator shard has a hot-standby twin (node
+    /// `W + A + a` for shard `a`) receiving checkpoint deltas over the
+    /// replication lane; workers that exhaust their retry budget against
+    /// the primary re-target the standby instead of failing.
+    pub hot_standby: bool,
 }
 
 impl OmniConfig {
@@ -117,6 +130,7 @@ impl OmniConfig {
             max_retransmits: 10,
             worker_eviction_timeout: Duration::from_secs(2),
             degraded_mode: DegradedMode::Abort,
+            hot_standby: false,
         }
     }
 
@@ -157,6 +171,13 @@ impl OmniConfig {
     /// Sets the post-eviction degradation policy.
     pub fn with_degraded_mode(mut self, m: DegradedMode) -> Self {
         self.degraded_mode = m;
+        self
+    }
+
+    /// Enables hot-standby aggregator failover: one standby node per
+    /// shard, fed by checkpoint deltas.
+    pub fn with_hot_standby(mut self) -> Self {
+        self.hot_standby = true;
         self
     }
 
@@ -251,9 +272,21 @@ impl OmniConfig {
         (self.num_workers + a) as u16
     }
 
-    /// Total mesh size (workers + aggregator shards).
+    /// Transport node id of shard `a`'s hot standby (only meaningful
+    /// when [`OmniConfig::hot_standby`] is set).
+    pub fn standby_node(&self, a: usize) -> u16 {
+        debug_assert!(a < self.num_aggregators);
+        (self.num_workers + self.num_aggregators + a) as u16
+    }
+
+    /// Total mesh size (workers + aggregator shards + standbys).
     pub fn mesh_size(&self) -> usize {
-        self.num_workers + self.num_aggregators
+        let standbys = if self.hot_standby {
+            self.num_aggregators
+        } else {
+            0
+        };
+        self.num_workers + self.num_aggregators + standbys
     }
 }
 
@@ -293,6 +326,30 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_invalid() {
         OmniConfig::new(0, 10).validate();
+    }
+
+    #[test]
+    fn hot_standby_extends_the_mesh() {
+        let c = OmniConfig::new(4, 1024).with_aggregators(2);
+        assert_eq!(c.mesh_size(), 6);
+        let c = c.with_hot_standby();
+        assert_eq!(c.mesh_size(), 8);
+        assert_eq!(c.standby_node(0), 6);
+        assert_eq!(c.standby_node(1), 7);
+    }
+
+    #[test]
+    fn degraded_mode_parses() {
+        use std::str::FromStr;
+        assert_eq!(DegradedMode::from_str("abort"), Ok(DegradedMode::Abort));
+        for s in ["drop", "drop_worker", "DropWorker"] {
+            assert_eq!(DegradedMode::from_str(s), Ok(DegradedMode::DropWorker));
+        }
+        for s in ["rejoin", "Rejoin", "REJOIN"] {
+            assert_eq!(DegradedMode::from_str(s), Ok(DegradedMode::Rejoin));
+        }
+        let err = DegradedMode::from_str("bogus").unwrap_err();
+        assert!(err.contains("rejoin"), "{err}");
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub enum ProtocolError {
         /// How long the aggregator waited before evicting.
         idle: Duration,
     },
+    /// This worker learned (from an unsolicited `Welcome` under
+    /// [`DegradedMode::Rejoin`](crate::config::DegradedMode::Rejoin))
+    /// that the aggregator evicted it: the group has moved on to
+    /// `epoch`. The worker may `join()` again and retry the collective.
+    Evicted {
+        /// Worker index of this (evicted) worker.
+        worker: usize,
+        /// The membership epoch the group is now at.
+        epoch: u8,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -62,6 +72,11 @@ impl std::fmt::Display for ProtocolError {
                 f,
                 "worker {worker} evicted after {idle:?} without progress \
                  (degraded mode: abort)"
+            ),
+            ProtocolError::Evicted { worker, epoch } => write!(
+                f,
+                "worker {worker} was evicted; the group is now at \
+                 membership epoch {epoch} (rejoin to continue)"
             ),
         }
     }
@@ -103,6 +118,14 @@ mod tests {
             idle: Duration::from_secs(2),
         };
         assert!(e.to_string().contains("worker 2"), "{e}");
+
+        let e = ProtocolError::Evicted {
+            worker: 1,
+            epoch: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("worker 1"), "{s}");
+        assert!(s.contains("epoch 3"), "{s}");
     }
 
     #[test]

@@ -34,11 +34,20 @@ use omnireduce_telemetry::{
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
 use omnireduce_transport::timer::{RttEstimator, TimerQueue};
 use omnireduce_transport::{
-    codec, BufferPool, Entry, Message, NodeId, Packet, PacketKind, Transport, TransportError,
+    codec, BufferPool, CheckpointDelta, Entry, Message, NodeId, Packet, PacketKind, Transport,
+    TransportError, MEMBERSHIP_ONLY,
 };
 
 use crate::config::{DegradedMode, OmniConfig};
 use crate::error::ProtocolError;
+
+/// True if membership epoch `a` precedes `b` in wrapping (mod 256)
+/// order. Epochs only ever move forward, one bump per membership
+/// change, so any two live epochs are within half the ring of each
+/// other and the comparison is unambiguous.
+pub(crate) fn epoch_before(a: u8, b: u8) -> bool {
+    a != b && b.wrapping_sub(a) < 128
+}
 use crate::layout::StreamLayout;
 use crate::slot::ColAccumulator;
 use crate::wire::{decode_next, encode_next};
@@ -66,6 +75,10 @@ pub struct RecoveryStats {
     /// us our contribution to a stalled phase is missing). Also counted
     /// in [`RecoveryStats::retransmissions`].
     pub solicited_retransmissions: u64,
+    /// Shards re-targeted from the primary aggregator to its hot
+    /// standby after the retry budget ran out (at most one per shard
+    /// per run).
+    pub failovers: u64,
 }
 
 /// Fleet-wide `core.recovery.*` registry mirrors of [`RecoveryStats`]
@@ -80,6 +93,11 @@ struct RecoveryCounters {
     backoffs: Counter,
     peer_unresponsive: Counter,
     solicited_retransmissions: Counter,
+    failovers: Counter,
+    /// `core.recovery.shutdown_errors`: departure announcements that
+    /// failed to send (the wind-down path keeps going instead of
+    /// aborting on the first dead lane).
+    shutdown_errors: Counter,
     /// `core.recovery.rto`: the RTO armed for each sent packet, in µs.
     rto: Histogram,
 }
@@ -96,6 +114,8 @@ impl RecoveryCounters {
             backoffs: Counter::detached(),
             peer_unresponsive: Counter::detached(),
             solicited_retransmissions: Counter::detached(),
+            failovers: Counter::detached(),
+            shutdown_errors: Counter::detached(),
             rto: Histogram::detached(),
         }
     }
@@ -111,6 +131,8 @@ impl RecoveryCounters {
             backoffs: telemetry.counter("core.recovery.backoffs"),
             peer_unresponsive: telemetry.counter("core.recovery.peer_unresponsive"),
             solicited_retransmissions: telemetry.counter("core.recovery.solicited_retransmissions"),
+            failovers: telemetry.counter("core.recovery.failovers"),
+            shutdown_errors: telemetry.counter("core.recovery.shutdown_errors"),
             rto: telemetry.histogram("core.recovery.rto"),
         }
     }
@@ -161,6 +183,18 @@ pub struct RecoveryWorker<T: Transport> {
     cfg: OmniConfig,
     layout: StreamLayout,
     wid: u16,
+    /// Current membership epoch, adopted from results and `Welcome`
+    /// replies (DESIGN §12). Stamped into every outgoing packet.
+    epoch: u8,
+    /// Per-shard aggregator target node. Starts at the primary and is
+    /// re-pointed at the hot standby on failover.
+    agg: Vec<u16>,
+    /// Per-shard: already failed over to the standby (one failover per
+    /// shard per run — a dead standby is fatal).
+    failed_over: Vec<bool>,
+    /// Per-shard failover start, pending the first post-failover
+    /// result (`FailoverBegin`..`FailoverEnd` downtime window).
+    failover_at: Vec<Option<Instant>>,
     /// Per-stream protocol phase, persists across AllReduce rounds.
     ver: Vec<u8>,
     /// Per-shard RTT estimator (adaptive mode); persists across rounds
@@ -214,11 +248,20 @@ impl<T: Transport> RecoveryWorker<T> {
             .collect();
         let pool = BufferPool::for_block_size(cfg.block_size);
         let shard_bytes = vec![0; cfg.num_aggregators];
+        let agg = (0..cfg.num_aggregators)
+            .map(|a| cfg.aggregator_node(a))
+            .collect();
+        let failed_over = vec![false; cfg.num_aggregators];
+        let failover_at = vec![None; cfg.num_aggregators];
         RecoveryWorker {
             transport,
             cfg,
             layout,
             wid,
+            epoch: 0,
+            agg,
+            failed_over,
+            failover_at,
             ver,
             rtt,
             stats: RecoveryStats::default(),
@@ -340,11 +383,26 @@ impl<T: Transport> RecoveryWorker<T> {
             match self.transport.recv_timeout(timeout)? {
                 Some((_, Message::Block(p))) if p.kind == PacketKind::Result => {
                     let g = p.stream as usize;
+                    let shard = self.cfg.shard_of_stream(g);
+                    // Any result reveals the group's current epoch;
+                    // adopt it before the staleness checks so even a
+                    // duplicate result keeps us current.
+                    if epoch_before(self.epoch, p.epoch) {
+                        self.epoch = p.epoch;
+                        self.flight.record(
+                            FlightEventKind::EpochChange,
+                            round,
+                            NO_BLOCK,
+                            shard as u16,
+                            self.wid,
+                            p.epoch as u64,
+                        );
+                    }
                     self.flight.record(
                         FlightEventKind::ResultRx,
                         round,
                         NO_BLOCK,
-                        self.cfg.shard_of_stream(g) as u16,
+                        shard as u16,
                         self.wid,
                         p.entries.len() as u64,
                     );
@@ -361,8 +419,19 @@ impl<T: Transport> RecoveryWorker<T> {
                         continue;
                     }
                     timers.cancel(&g);
+                    // First valid result after a failover: the standby
+                    // answered, the shard has recovered. aux = downtime.
+                    if let Some(t0) = self.failover_at[shard].take() {
+                        self.flight.record(
+                            FlightEventKind::FailoverEnd,
+                            round,
+                            NO_BLOCK,
+                            shard as u16,
+                            self.wid,
+                            t0.elapsed().as_nanos() as u64,
+                        );
+                    }
                     if self.cfg.adaptive_rto {
-                        let shard = self.cfg.shard_of_stream(g);
                         match &state.outstanding {
                             Some(o) if !o.retransmitted => {
                                 self.rtt[shard].sample(o.sent_at.elapsed());
@@ -485,10 +554,23 @@ impl<T: Transport> RecoveryWorker<T> {
                         self.wid,
                         wire_bytes,
                     );
-                    self.transport
-                        .send(NodeId(self.cfg.aggregator_node(shard)), &o.msg)?;
+                    self.transport.send(NodeId(self.agg[shard]), &o.msg)?;
                     let rto = self.next_rto(shard);
                     timers.arm(g, Instant::now(), rto);
+                }
+                Some((_, Message::Welcome { epoch, .. })) => {
+                    // An unsolicited `Welcome` mid-collective carrying a
+                    // newer epoch is the aggregator's zombie answer
+                    // ([`DegradedMode::Rejoin`]): we were evicted and the
+                    // group has moved on. Fail fast so the caller can
+                    // `join()` and retry. A `Welcome` at our own epoch is
+                    // a duplicate of a join reply — ignore it.
+                    if epoch_before(self.epoch, epoch) {
+                        return Err(ProtocolError::Evicted {
+                            worker: self.wid as usize,
+                            epoch,
+                        });
+                    }
                 }
                 Some(_) => {} // ignore anything else
                 None => {
@@ -506,12 +588,83 @@ impl<T: Transport> RecoveryWorker<T> {
                             continue;
                         };
                         if o.retx >= self.cfg.max_retransmits {
+                            if self.cfg.hot_standby && !self.failed_over[shard] {
+                                // Retry budget exhausted but the shard
+                                // has a hot standby: re-target it,
+                                // reset every outstanding packet's
+                                // budget on this shard, and resend them
+                                // all to the standby (DESIGN §12). The
+                                // standby answers from its replicated
+                                // state: completed phases with the
+                                // retained result, in-flight phases by
+                                // re-aggregating the retransmissions.
+                                let old = self.agg[shard];
+                                self.agg[shard] = self.cfg.standby_node(shard);
+                                self.failed_over[shard] = true;
+                                self.failover_at[shard] = Some(Instant::now());
+                                self.stats.failovers += 1;
+                                self.counters.failovers.inc();
+                                self.flight.record(
+                                    FlightEventKind::FailoverBegin,
+                                    round,
+                                    NO_BLOCK,
+                                    shard as u16,
+                                    old,
+                                    0,
+                                );
+                                for (g2, slot2) in streams.iter_mut().enumerate() {
+                                    if self.cfg.shard_of_stream(g2) != shard {
+                                        continue;
+                                    }
+                                    let Some(st2) = slot2.as_mut() else {
+                                        continue;
+                                    };
+                                    let Some(o2) = st2.outstanding.as_mut() else {
+                                        continue;
+                                    };
+                                    o2.retx = 0;
+                                    o2.retransmitted = true;
+                                    let wire_bytes = codec::encoded_len(&o2.msg) as u64;
+                                    self.stats.retransmissions += 1;
+                                    self.stats.bytes_sent += wire_bytes;
+                                    self.counters.retransmissions.inc();
+                                    self.counters.bytes_sent.add(wire_bytes);
+                                    self.shard_bytes[shard] += wire_bytes;
+                                    let block = first_block(&o2.msg);
+                                    self.flight.record(
+                                        FlightEventKind::Retransmit,
+                                        round,
+                                        block,
+                                        shard as u16,
+                                        self.wid,
+                                        wire_bytes,
+                                    );
+                                    self.flight.record(
+                                        FlightEventKind::PacketTx,
+                                        round,
+                                        block,
+                                        shard as u16,
+                                        self.wid,
+                                        wire_bytes,
+                                    );
+                                    self.transport.send(NodeId(self.agg[shard]), &o2.msg)?;
+                                    let rto = if self.cfg.adaptive_rto {
+                                        self.rtt[shard].next_rto()
+                                    } else {
+                                        self.cfg.retransmit_timeout
+                                    };
+                                    self.counters.rto.record(rto.as_micros() as u64);
+                                    timers.arm(g2, now, rto);
+                                }
+                                continue;
+                            }
                             // Retry budget exhausted: the shard's
-                            // aggregator is unresponsive. Fail fast
-                            // instead of retransmitting forever.
+                            // aggregator (and standby, if any) is
+                            // unresponsive. Fail fast instead of
+                            // retransmitting forever.
                             self.counters.peer_unresponsive.inc();
                             return Err(ProtocolError::PeerUnresponsive {
-                                peer: self.cfg.aggregator_node(shard),
+                                peer: self.agg[shard],
                                 stream: g,
                                 retransmits: o.retx,
                                 elapsed: o.sent_at.elapsed(),
@@ -577,6 +730,7 @@ impl<T: Transport> RecoveryWorker<T> {
             ver: self.ver[stream],
             stream: stream as u16,
             wid: self.wid,
+            epoch: self.epoch,
             entries,
         })
     }
@@ -604,17 +758,145 @@ impl<T: Transport> RecoveryWorker<T> {
             self.wid,
             wire_bytes,
         );
-        self.transport
-            .send(NodeId(self.cfg.aggregator_node(shard)), msg)
+        self.transport.send(NodeId(self.agg[shard]), msg)
     }
 
-    /// Announces departure to every shard.
-    pub fn shutdown(self) -> Result<(), TransportError> {
+    /// Negotiates (re)admission with every shard: sends `Join` and
+    /// blocks until the matching `Welcome` installs the group's current
+    /// membership epoch and this shard's per-stream phase cursors.
+    ///
+    /// Implicit initial membership makes this optional at startup (a
+    /// fresh group is at epoch 0 with all cursors 0, which is exactly
+    /// how the engine initializes); it is required after this worker
+    /// has been evicted ([`ProtocolError::Evicted`]) or restarted,
+    /// because by then the cursors have moved on.
+    ///
+    /// The aggregator defers admission to the next full-idle round
+    /// boundary, so this can block for up to a round. Retries follow
+    /// the same budget/failover rules as the data path.
+    pub fn join(&mut self) -> Result<(), ProtocolError> {
+        // Drain queued traffic first: everything received before the
+        // (re)join — results from phases we were evicted out of, and
+        // zombie-data `Welcome` replies — belongs to a membership state
+        // we are about to supersede. Leaving an old `Welcome` queued
+        // would let `join_shard` adopt its epoch and return while the
+        // real admission reply (a strictly newer epoch) stays buffered,
+        // aborting the next round with a spurious `Evicted`.
+        while self.transport.recv_timeout(Duration::ZERO)?.is_some() {}
         for a in 0..self.cfg.num_aggregators {
-            self.transport
-                .send(NodeId(self.cfg.aggregator_node(a)), &Message::Shutdown)?;
+            self.join_shard(a)?;
         }
         Ok(())
+    }
+
+    fn join_shard(&mut self, shard: usize) -> Result<(), ProtocolError> {
+        let msg = Message::Join { wid: self.wid };
+        let mut retx: u32 = 0;
+        loop {
+            self.transport.send(NodeId(self.agg[shard]), &msg)?;
+            let rto = self.next_rto(shard);
+            let deadline = Instant::now() + rto;
+            loop {
+                let now = Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                match self.transport.recv_timeout(left)? {
+                    Some((_, Message::Welcome { epoch, vers })) => {
+                        if epoch_before(self.epoch, epoch) {
+                            self.epoch = epoch;
+                            self.flight.record(
+                                FlightEventKind::EpochChange,
+                                self.rounds as u32,
+                                NO_BLOCK,
+                                shard as u16,
+                                self.wid,
+                                epoch as u64,
+                            );
+                        }
+                        // Install the shard's phase cursors so our next
+                        // data packet lands in the phase the group will
+                        // actually run next.
+                        let mut k = 0usize;
+                        for g in 0..self.layout.total_streams() {
+                            if self.cfg.shard_of_stream(g) != shard {
+                                continue;
+                            }
+                            if let Some(&v) = vers.get(k) {
+                                self.ver[g] = v & 1;
+                            }
+                            k += 1;
+                        }
+                        return Ok(());
+                    }
+                    // Stale traffic from phases we are no longer part
+                    // of; the cursor install supersedes all of it.
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            retx += 1;
+            if retx > self.cfg.max_retransmits {
+                if self.cfg.hot_standby && !self.failed_over[shard] {
+                    let old = self.agg[shard];
+                    self.agg[shard] = self.cfg.standby_node(shard);
+                    self.failed_over[shard] = true;
+                    self.failover_at[shard] = Some(Instant::now());
+                    self.stats.failovers += 1;
+                    self.counters.failovers.inc();
+                    self.flight.record(
+                        FlightEventKind::FailoverBegin,
+                        self.rounds as u32,
+                        NO_BLOCK,
+                        shard as u16,
+                        old,
+                        0,
+                    );
+                    retx = 0;
+                    continue;
+                }
+                self.counters.peer_unresponsive.inc();
+                return Err(ProtocolError::PeerUnresponsive {
+                    peer: self.agg[shard],
+                    stream: shard,
+                    retransmits: retx - 1,
+                    elapsed: rto,
+                });
+            }
+        }
+    }
+
+    /// Announces departure to every shard — and, when a hot standby is
+    /// configured, to the standbys too (they track goodbyes so they can
+    /// wind down without ever being promoted).
+    ///
+    /// Wind-down is symmetric: every lane is attempted even if an
+    /// earlier one fails, failed announcements are counted in
+    /// `core.recovery.shutdown_errors`, and the first error is returned
+    /// after all attempts.
+    pub fn shutdown(self) -> Result<(), TransportError> {
+        let mut first_err = None;
+        for a in 0..self.cfg.num_aggregators {
+            let mut targets = vec![self.agg[a]];
+            if self.cfg.hot_standby && !self.failed_over[a] {
+                targets.push(self.cfg.standby_node(a));
+            }
+            for t in targets {
+                if let Err(e) = self.transport.send(NodeId(t), &Message::Shutdown) {
+                    self.counters.shutdown_errors.inc();
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -680,6 +962,17 @@ pub struct RecoveryAggregatorStats {
     /// contribution a stalled phase was missing (receiver-driven
     /// recovery).
     pub nacks_sent: u64,
+    /// Data packets rejected because they carried a membership epoch
+    /// older than the sender's admission epoch (a rejoined worker's
+    /// pre-eviction stragglers, dropped deterministically — DESIGN §12).
+    pub stale_epoch_dropped: u64,
+    /// Workers admitted (or re-admitted) at a round boundary via
+    /// `Join`/`Welcome`; each admission bumps the membership epoch.
+    pub joins_admitted: u64,
+    /// Checkpoint deltas replicated to the hot standby (primaries only).
+    pub checkpoints_sent: u64,
+    /// Checkpoint deltas applied from the primary (standbys only).
+    pub checkpoints_applied: u64,
 }
 
 /// Fleet-wide `core.recovery.agg.*` registry mirrors of
@@ -691,6 +984,10 @@ struct RecoveryAggCounters {
     evictions: Counter,
     degraded_completions: Counter,
     nacks_sent: Counter,
+    stale_epoch_dropped: Counter,
+    joins_admitted: Counter,
+    checkpoints_sent: Counter,
+    checkpoints_applied: Counter,
 }
 
 impl RecoveryAggCounters {
@@ -702,6 +999,10 @@ impl RecoveryAggCounters {
             evictions: Counter::detached(),
             degraded_completions: Counter::detached(),
             nacks_sent: Counter::detached(),
+            stale_epoch_dropped: Counter::detached(),
+            joins_admitted: Counter::detached(),
+            checkpoints_sent: Counter::detached(),
+            checkpoints_applied: Counter::detached(),
         }
     }
 
@@ -713,6 +1014,10 @@ impl RecoveryAggCounters {
             evictions: telemetry.counter("core.recovery.agg.evictions"),
             degraded_completions: telemetry.counter("core.recovery.agg.degraded_completions"),
             nacks_sent: telemetry.counter("core.recovery.agg.nacks_sent"),
+            stale_epoch_dropped: telemetry.counter("core.recovery.agg.stale_epoch_dropped"),
+            joins_admitted: telemetry.counter("core.recovery.agg.joins_admitted"),
+            checkpoints_sent: telemetry.counter("core.recovery.agg.checkpoints_sent"),
+            checkpoints_applied: telemetry.counter("core.recovery.agg.checkpoints_applied"),
         }
     }
 }
@@ -723,6 +1028,31 @@ pub struct RecoveryAggregator<T: Transport> {
     cfg: OmniConfig,
     layout: StreamLayout,
     shard: usize,
+    /// True for a hot-standby replica (node `W + A + shard`): it applies
+    /// checkpoint deltas instead of producing them and stays passive —
+    /// no eviction sweeps — until the first data packet arrives, which
+    /// means the workers have failed over to it.
+    standby: bool,
+    /// Primaries are active from the start; a standby activates on its
+    /// first data packet.
+    active: bool,
+    /// Current membership epoch; bumped on every eviction and admission.
+    epoch: u8,
+    /// Per-worker admission epoch: the epoch at which the worker (last)
+    /// became a member. Data packets stamped with an older epoch are a
+    /// rejoined worker's pre-eviction stragglers and are dropped.
+    member_epoch: Vec<u8>,
+    /// Per-stream phase cursor: the version the *next* fresh phase of
+    /// the stream will run (handed to joiners in `Welcome`).
+    next_ver: Vec<u8>,
+    /// Join requests deferred to the next full-idle round boundary.
+    pending_joins: Vec<u16>,
+    /// Whether any phase is currently in flight. The idle→busy edge
+    /// (first accepted packet of a round) refreshes every worker's
+    /// liveness clock: eviction measures silence *while the group is
+    /// waiting*, so idle time between rounds must not count against a
+    /// worker that simply had nothing to send yet.
+    busy: bool,
     slots: Vec<Option<VersionedSlot>>,
     /// Workers that sent `Shutdown` (finished; excluded from multicasts).
     departed: Vec<bool>,
@@ -746,7 +1076,9 @@ pub struct RecoveryAggregator<T: Transport> {
 
 impl<T: Transport> RecoveryAggregator<T> {
     /// Creates the engine for the shard whose node id matches the
-    /// transport's.
+    /// transport's. Nodes `W..W+A` are primaries; with
+    /// [`OmniConfig::hot_standby`], nodes `W+A..W+2A` are the matching
+    /// standbys (standby `s` shares primary `s`'s shard).
     pub fn new(transport: T, cfg: OmniConfig) -> Self {
         cfg.validate();
         let node = transport.local_id().0 as usize;
@@ -754,7 +1086,9 @@ impl<T: Transport> RecoveryAggregator<T> {
             node >= cfg.num_workers && node < cfg.mesh_size(),
             "node {node} is not an aggregator"
         );
-        let shard = node - cfg.num_workers;
+        let rel = node - cfg.num_workers;
+        let standby = rel >= cfg.num_aggregators;
+        let shard = rel % cfg.num_aggregators;
         let layout = StreamLayout::new(
             cfg.block_spec(),
             cfg.fusion,
@@ -780,11 +1114,19 @@ impl<T: Transport> RecoveryAggregator<T> {
         let evicted = vec![false; cfg.num_workers];
         let last_heard = vec![Instant::now(); cfg.num_workers];
         let pool = BufferPool::for_block_size(cfg.block_size);
+        let num_streams = layout.total_streams();
         RecoveryAggregator {
             transport,
             cfg,
             layout,
             shard,
+            standby,
+            active: !standby,
+            epoch: 0,
+            member_epoch: vec![0; n],
+            next_ver: vec![0; num_streams],
+            pending_joins: Vec::new(),
+            busy: false,
             slots,
             departed,
             goodbyes: 0,
@@ -805,11 +1147,14 @@ impl<T: Transport> RecoveryAggregator<T> {
     pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
         let mut a = Self::new(transport, cfg);
         a.counters = RecoveryAggCounters::registered(telemetry);
-        a.flight = telemetry.flight().lane(
-            &format!("agg{}", a.shard),
-            LaneRole::Aggregator,
-            a.shard as u16,
-        );
+        let lane_name = if a.standby {
+            format!("standby{}", a.shard)
+        } else {
+            format!("agg{}", a.shard)
+        };
+        a.flight = telemetry
+            .flight()
+            .lane(&lane_name, LaneRole::Aggregator, a.shard as u16);
         a.pool =
             BufferPool::for_block_size(a.cfg.block_size).with_telemetry("recovery_agg", telemetry);
         a
@@ -837,17 +1182,32 @@ impl<T: Transport> RecoveryAggregator<T> {
             if let Some((from, msg)) = self.transport.recv_timeout(tick)? {
                 match msg {
                     Message::Block(p) if p.kind == PacketKind::Data => {
+                        // A standby's first data packet means the
+                        // workers have failed over to it: wake up and
+                        // start the eviction clocks fresh.
+                        if self.standby && !self.active {
+                            self.active = true;
+                            let now = Instant::now();
+                            for t in self.last_heard.iter_mut() {
+                                *t = now;
+                            }
+                        }
                         let wid = p.wid as usize;
                         if wid < self.last_heard.len() {
                             self.last_heard[wid] = Instant::now();
                         }
                         self.handle_data(p)?;
                     }
+                    Message::Join { wid } => self.handle_join(wid)?,
+                    Message::Checkpoint(delta) if self.standby => {
+                        self.apply_checkpoint(delta);
+                    }
+                    Message::Checkpoint(_) => {}
                     Message::Shutdown => {
                         // Finished worker: stop multicasting to it (its
                         // endpoint may already be gone).
                         let w = from.index();
-                        if !self.departed[w] && !self.evicted[w] {
+                        if w < self.departed.len() && !self.departed[w] && !self.evicted[w] {
                             self.departed[w] = true;
                             self.goodbyes += 1;
                             self.last_heard[w] = Instant::now();
@@ -856,10 +1216,262 @@ impl<T: Transport> RecoveryAggregator<T> {
                     _ => {} // tolerate anything else on a lossy fabric
                 }
             }
+            if !self.pending_joins.is_empty() {
+                self.try_admissions()?;
+            }
             self.sweep_evictions()?;
             if self.goodbyes + self.evicted_count == self.cfg.num_workers {
                 return Ok(());
             }
+        }
+    }
+
+    /// True when no phase of any owned slot is in flight — the
+    /// round-boundary condition under which membership may change.
+    fn fully_idle(&self) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .all(|slot| slot.count[0] == 0 && slot.count[1] == 0)
+    }
+
+    /// The per-stream phase cursors handed to joiners: for each owned
+    /// stream in ascending order, the version its next fresh phase will
+    /// run.
+    fn ver_cursors(&self) -> Vec<u8> {
+        (0..self.layout.total_streams())
+            .filter(|&g| self.cfg.shard_of_stream(g) == self.shard)
+            .map(|g| self.next_ver[g])
+            .collect()
+    }
+
+    fn evicted_wids(&self) -> Vec<u16> {
+        (0..self.cfg.num_workers)
+            .filter(|&w| self.evicted[w])
+            .map(|w| w as u16)
+            .collect()
+    }
+
+    /// Replicates a checkpoint delta to this shard's hot standby
+    /// (no-op on standbys and on meshes without one).
+    fn replicate(&mut self, delta: CheckpointDelta) -> Result<(), TransportError> {
+        if !self.cfg.hot_standby || self.standby {
+            return Ok(());
+        }
+        let msg = Message::Checkpoint(delta);
+        let bytes = codec::encoded_len(&msg) as u64;
+        self.stats.checkpoints_sent += 1;
+        self.counters.checkpoints_sent.inc();
+        self.flight.record(
+            FlightEventKind::CheckpointTx,
+            0,
+            NO_BLOCK,
+            self.shard as u16,
+            u16::MAX,
+            bytes,
+        );
+        crate::wire::send_best_effort(
+            &self.transport,
+            NodeId(self.cfg.standby_node(self.shard)),
+            &msg,
+        )
+    }
+
+    /// Handles a worker's `Join`. A current member gets an immediate
+    /// idempotent `Welcome`; an evicted (or departed) worker is queued
+    /// and admitted at the next full-idle round boundary.
+    fn handle_join(&mut self, wid: u16) -> Result<(), TransportError> {
+        let w = wid as usize;
+        if w >= self.cfg.num_workers {
+            return Ok(());
+        }
+        self.last_heard[w] = Instant::now();
+        if !self.evicted[w] && !self.departed[w] && !self.pending_joins.contains(&wid) {
+            // Already a member: a startup join, or a retry racing its
+            // own admission. Answer with the current state.
+            let welcome = Message::Welcome {
+                epoch: self.epoch,
+                vers: self.ver_cursors(),
+            };
+            return crate::wire::send_best_effort(
+                &self.transport,
+                NodeId(self.cfg.worker_node(w)),
+                &welcome,
+            );
+        }
+        if !self.pending_joins.contains(&wid) {
+            self.pending_joins.push(wid);
+        }
+        self.try_admissions()
+    }
+
+    /// Admits every queued joiner if the shard is at a full-idle round
+    /// boundary (no phase of any slot in flight).
+    fn try_admissions(&mut self) -> Result<(), TransportError> {
+        if self.pending_joins.is_empty() || !self.fully_idle() {
+            return Ok(());
+        }
+        let joins = std::mem::take(&mut self.pending_joins);
+        for wid in joins {
+            self.admit(wid)?;
+        }
+        Ok(())
+    }
+
+    /// Admits one worker: clears its stale protocol state, bumps the
+    /// membership epoch, replicates the membership change, and sends
+    /// the `Welcome` that tells the worker which epoch and phase
+    /// cursors to resume from.
+    fn admit(&mut self, wid: u16) -> Result<(), TransportError> {
+        let w = wid as usize;
+        if self.evicted[w] {
+            self.evicted[w] = false;
+            self.evicted_count -= 1;
+        }
+        if self.departed[w] {
+            self.departed[w] = false;
+            self.goodbyes -= 1;
+        }
+        // Forget anything the previous incarnation contributed: the
+        // joiner starts from the handed-out cursors with clean seen
+        // bits (counts are all zero at an idle boundary).
+        for slot in self.slots.iter_mut().flatten() {
+            slot.seen[0][w] = false;
+            slot.seen[1][w] = false;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        self.member_epoch[w] = self.epoch;
+        self.last_heard[w] = Instant::now();
+        self.stats.joins_admitted += 1;
+        self.counters.joins_admitted.inc();
+        self.flight.record(
+            FlightEventKind::EpochChange,
+            0,
+            NO_BLOCK,
+            self.shard as u16,
+            wid,
+            self.epoch as u64,
+        );
+        self.replicate(CheckpointDelta {
+            epoch: self.epoch,
+            stream: MEMBERSHIP_ONLY,
+            ver: 0,
+            members: vec![wid],
+            evicted: self.evicted_wids(),
+            entries: Vec::new(),
+        })?;
+        let welcome = Message::Welcome {
+            epoch: self.epoch,
+            vers: self.ver_cursors(),
+        };
+        crate::wire::send_best_effort(&self.transport, NodeId(self.cfg.worker_node(w)), &welcome)
+    }
+
+    /// Applies a checkpoint delta from the primary (standbys only):
+    /// either a membership change, or a completed phase's full slot
+    /// outcome — result packet, contributor seen bits, and the stream's
+    /// next-phase cursor (DESIGN §12).
+    fn apply_checkpoint(&mut self, delta: CheckpointDelta) {
+        let n = self.cfg.num_workers;
+        let msg = Message::Checkpoint(delta);
+        let bytes = codec::encoded_len(&msg) as u64;
+        let Message::Checkpoint(delta) = msg else {
+            unreachable!()
+        };
+        self.stats.checkpoints_applied += 1;
+        self.counters.checkpoints_applied.inc();
+        self.flight.record(
+            FlightEventKind::CheckpointRx,
+            0,
+            NO_BLOCK,
+            self.shard as u16,
+            u16::MAX,
+            bytes,
+        );
+        if epoch_before(self.epoch, delta.epoch) {
+            self.epoch = delta.epoch;
+            self.flight.record(
+                FlightEventKind::EpochChange,
+                0,
+                NO_BLOCK,
+                self.shard as u16,
+                u16::MAX,
+                delta.epoch as u64,
+            );
+        }
+        // The eviction set is replicated wholesale with every delta.
+        for w in 0..n {
+            let is = delta.evicted.contains(&(w as u16));
+            if self.evicted[w] != is {
+                self.evicted[w] = is;
+                if is {
+                    self.evicted_count += 1;
+                } else {
+                    self.evicted_count -= 1;
+                }
+            }
+        }
+        if delta.stream == MEMBERSHIP_ONLY {
+            let now = Instant::now();
+            for &wid in &delta.members {
+                let w = wid as usize;
+                if w >= n {
+                    continue;
+                }
+                self.member_epoch[w] = delta.epoch;
+                if self.departed[w] {
+                    self.departed[w] = false;
+                    self.goodbyes -= 1;
+                }
+                self.last_heard[w] = now;
+                for slot in self.slots.iter_mut().flatten() {
+                    slot.seen[0][w] = false;
+                    slot.seen[1][w] = false;
+                }
+            }
+            return;
+        }
+        // Completed-phase delta: install the retained result and the
+        // contributors' seen bits exactly as the primary left them, so
+        // a failed-over worker that missed the multicast gets the
+        // *same* bytes retransmitted, and one that didn't miss it is
+        // deduplicated. In-flight phases are deliberately not
+        // replicated: every surviving worker retransmits its
+        // outstanding packet on failover, and the phase re-aggregates
+        // from scratch — bit-identical under §7 worker-id-order
+        // reduction.
+        let g = delta.stream as usize;
+        let v = (delta.ver & 1) as usize;
+        let epoch = self.epoch;
+        if g >= self.slots.len() {
+            return;
+        }
+        let Some(slot) = self.slots[g].as_mut() else {
+            return;
+        };
+        slot.count[v] = 0;
+        for b in slot.seen[v].iter_mut() {
+            *b = false;
+        }
+        for &wid in &delta.members {
+            let c = wid as usize;
+            if c < n {
+                slot.seen[v][c] = true;
+                slot.seen[v ^ 1][c] = false;
+            }
+        }
+        let old = slot.result[v].take();
+        slot.result[v] = Some(Message::Block(Packet {
+            kind: PacketKind::Result,
+            ver: v as u8,
+            stream: delta.stream,
+            wid: u16::MAX,
+            epoch,
+            entries: delta.entries,
+        }));
+        self.next_ver[g] = (v ^ 1) as u8;
+        if let Some(old) = old {
+            self.pool.recycle_message(old);
         }
     }
 
@@ -875,6 +1487,11 @@ impl<T: Transport> RecoveryAggregator<T> {
     /// Evicts workers the shard is waiting on that have been silent for
     /// longer than the eviction timeout.
     fn sweep_evictions(&mut self) -> Result<(), ProtocolError> {
+        // A passive standby must not evict anyone: its workers are
+        // (rightly) talking to the primary, so everyone looks silent.
+        if !self.active {
+            return Ok(());
+        }
         let now = Instant::now();
         for w in 0..self.cfg.num_workers {
             if self.departed[w] || self.evicted[w] {
@@ -899,6 +1516,27 @@ impl<T: Transport> RecoveryAggregator<T> {
             }
             self.evicted[w] = true;
             self.evicted_count += 1;
+            // Eviction is a membership change: bump the epoch so a
+            // later incarnation of `w` (rejoined at a newer epoch) can
+            // be told apart from this one's in-flight stragglers, and
+            // replicate the new membership to the standby.
+            self.epoch = self.epoch.wrapping_add(1);
+            self.flight.record(
+                FlightEventKind::EpochChange,
+                0,
+                NO_BLOCK,
+                self.shard as u16,
+                w as u16,
+                self.epoch as u64,
+            );
+            self.replicate(CheckpointDelta {
+                epoch: self.epoch,
+                stream: MEMBERSHIP_ONLY,
+                ver: 0,
+                members: Vec::new(),
+                evicted: self.evicted_wids(),
+                entries: Vec::new(),
+            })?;
             // Renormalize: phases already in flight may now be
             // complete without `w`'s contribution; idle versions must
             // forget `w`'s stale seen bit so the *next* phase does not
@@ -930,10 +1568,46 @@ impl<T: Transport> RecoveryAggregator<T> {
             // A zombie: evicted, but packets still in flight (or the
             // worker is alive behind a healed partition). Its phase
             // accounting has been renormalized without it, so its
-            // contributions must not be aggregated; the worker itself
-            // fails fast via its own retry budget.
+            // contributions must not be aggregated. In `Rejoin` mode
+            // the zombie is answered with the current `Welcome` so it
+            // fails fast ([`ProtocolError::Evicted`]) and can re-join;
+            // otherwise it fails via its own retry budget.
             self.stats.evicted_packets_dropped += 1;
+            if self.cfg.degraded_mode == DegradedMode::Rejoin {
+                let welcome = Message::Welcome {
+                    epoch: self.epoch,
+                    vers: self.ver_cursors(),
+                };
+                crate::wire::send_best_effort(
+                    &self.transport,
+                    NodeId(self.cfg.worker_node(wid)),
+                    &welcome,
+                )?;
+            }
             return Ok(());
+        }
+
+        if wid < self.member_epoch.len() && epoch_before(p.epoch, self.member_epoch[wid]) {
+            // A straggler from before this worker's (re)admission:
+            // its phase state was wiped at admission, so aggregating
+            // pre-admission packets would corrupt the fresh cursors.
+            // The admission epoch makes the rejection deterministic.
+            self.stats.stale_epoch_dropped += 1;
+            self.counters.stale_epoch_dropped.inc();
+            return Ok(());
+        }
+
+        // First accepted packet after a fully-idle period starts a new
+        // round: restart every member's liveness clock so silence
+        // accumulated while nobody owed anything (a gap between rounds,
+        // a worker blocked on its caller) cannot trigger an instant
+        // eviction the moment the group starts waiting again.
+        if !self.busy {
+            self.busy = true;
+            let now = Instant::now();
+            for t in self.last_heard.iter_mut() {
+                *t = now;
+            }
         }
 
         // Keyed by the first entry's block, mirroring the sender's
@@ -980,6 +1654,7 @@ impl<T: Transport> RecoveryAggregator<T> {
                     ver: v as u8,
                     stream: g as u16,
                     wid: u16::MAX,
+                    epoch: self.epoch,
                     entries: Vec::new(),
                 });
                 for w in 0..self.cfg.num_workers {
@@ -1039,11 +1714,16 @@ impl<T: Transport> RecoveryAggregator<T> {
         for entry in &p.entries {
             let (col, next) = decode_next(entry.next, width);
             let cp = &mut slot.cols[v][col];
+            // Acks carry the requested block too: record it even without
+            // data, so an all-ack phase (possible when the only worker
+            // whose chain pointed at this block was evicted mid-phase)
+            // still advances the column instead of dropping it from the
+            // result and stalling the chain forever.
+            match cp.block {
+                None => cp.block = Some(entry.block),
+                Some(b) => debug_assert_eq!(b, entry.block, "phase mixes blocks"),
+            }
             if !entry.data.is_empty() {
-                match cp.block {
-                    None => cp.block = Some(entry.block),
-                    Some(b) => debug_assert_eq!(b, entry.block, "phase mixes blocks"),
-                }
                 // Arrival-order mode reduces immediately (vectorized
                 // kernel); deterministic §7 mode copies into the
                 // worker's persistent buffer, reduced in worker-id
@@ -1098,9 +1778,17 @@ impl<T: Transport> RecoveryAggregator<T> {
             } else {
                 cp.min_next as BlockIdx
             };
-            let mut data = self.pool.checkout_f32();
-            cp.acc.take_into(&mut data);
-            entries.push(Entry::data(block, encode_next(min_next, c, width), data));
+            if cp.acc.touched() {
+                let mut data = self.pool.checkout_f32();
+                cp.acc.take_into(&mut data);
+                entries.push(Entry::data(block, encode_next(min_next, c, width), data));
+            } else {
+                // All-ack phase: every surviving contributor skipped this
+                // block (the evicted worker that requested it never sent
+                // its data). The aggregate is zero — an ack result entry
+                // advances the chain without carrying a payload.
+                entries.push(Entry::ack(block, encode_next(min_next, c, width)));
+            }
         }
         // Forget evicted workers' seen bits so the *next* phase of this
         // version does not count them as pending contributors.
@@ -1109,11 +1797,33 @@ impl<T: Transport> RecoveryAggregator<T> {
                 slot.seen[v][w] = false;
             }
         }
+        // The stream's next fresh phase runs the other version — the
+        // cursor handed to joiners admitted at the round boundary.
+        let members: Vec<u16> = (0..n)
+            .filter(|&w| slot.seen[v][w])
+            .map(|w| w as u16)
+            .collect();
+        self.next_ver[g] = (v ^ 1) as u8;
+        // Failover bit-identity invariant (DESIGN §12): the completed
+        // phase is checkpointed to the standby *before* any worker can
+        // see its result, so no worker can advance past a phase the
+        // standby does not hold.
+        if self.cfg.hot_standby && !self.standby {
+            self.replicate(CheckpointDelta {
+                epoch: self.epoch,
+                stream: g as u16,
+                ver: v as u8,
+                members,
+                evicted: self.evicted_wids(),
+                entries: entries.clone(),
+            })?;
+        }
         let result = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: v as u8,
             stream: g as u16,
             wid: u16::MAX,
+            epoch: self.epoch,
             entries,
         });
         let workers: Vec<NodeId> = (0..n)
@@ -1146,6 +1856,11 @@ impl<T: Transport> RecoveryAggregator<T> {
             crate::wire::send_best_effort(&self.transport, *w, &result)?;
         }
         self.slots[g].as_mut().unwrap().result[v] = Some(result);
+        if self.fully_idle() {
+            // Round boundary: the next accepted packet re-arms the
+            // liveness clocks (see `busy`).
+            self.busy = false;
+        }
         Ok(())
     }
 }

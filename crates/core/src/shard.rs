@@ -44,7 +44,7 @@ use omnireduce_transport::{
     ShardedChaosMesh, Transport, TransportError,
 };
 
-use omnireduce_telemetry::{FlightEventKind, FlightLane, LaneRole, Telemetry, NO_BLOCK};
+use omnireduce_telemetry::{Counter, FlightEventKind, FlightLane, LaneRole, Telemetry, NO_BLOCK};
 
 use crate::aggregator::{AggregatorStats, OmniAggregator};
 use crate::config::OmniConfig;
@@ -246,6 +246,9 @@ pub struct ShardedWorker<T: Transport> {
     /// Protocol flight lane (no-op unless the registry's flight
     /// recorder is enabled).
     flight: FlightLane,
+    /// `core.shard.shutdown_errors`: goodbye sends that failed during
+    /// wind-down (attempted on every lane regardless).
+    shutdown_errors: Counter,
 }
 
 impl<T: Transport> ShardedWorker<T> {
@@ -280,6 +283,7 @@ impl<T: Transport> ShardedWorker<T> {
             cursor: 0,
             pool,
             flight: FlightLane::disabled(),
+            shutdown_errors: Counter::detached(),
         }
     }
 
@@ -292,6 +296,7 @@ impl<T: Transport> ShardedWorker<T> {
         w.flight = telemetry
             .flight()
             .lane(&format!("worker{}", w.wid), LaneRole::Worker, w.wid);
+        w.shutdown_errors = telemetry.counter("core.shard.shutdown_errors");
         w
     }
 
@@ -472,6 +477,7 @@ impl<T: Transport> ShardedWorker<T> {
             ver: 0,
             stream: stream as u16,
             wid: self.wid,
+            epoch: 0,
             entries,
         });
         let wire_bytes = codec::encoded_len(&msg) as u64;
@@ -500,11 +506,26 @@ impl<T: Transport> ShardedWorker<T> {
     }
 
     /// Says goodbye to every shard's aggregator on its own lane.
+    ///
+    /// Wind-down is symmetric across lanes: a dead shard must not keep
+    /// the goodbye from reaching the surviving shards, so every lane is
+    /// attempted even after a failure. Failed goodbyes are counted in
+    /// `core.shard.shutdown_errors` and the first error is returned
+    /// once all lanes have been tried.
     pub fn shutdown(self) -> Result<(), TransportError> {
+        let mut first_err = None;
         for (s, lane) in self.lanes.iter().enumerate() {
-            lane.send(NodeId(self.cfg.aggregator_node(s)), &Message::Shutdown)?;
+            if let Err(e) = lane.send(NodeId(self.cfg.aggregator_node(s)), &Message::Shutdown) {
+                self.shutdown_errors.inc();
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -542,6 +563,9 @@ pub struct ShardedChaosWorker {
     pub shard_bytes: Vec<u64>,
     /// The tensor after the last attempted round.
     pub output: Tensor,
+    /// Outcome of the wind-down goodbye fan-out (best effort on a
+    /// faulted fabric, but never silently discarded).
+    pub shutdown: Result<(), TransportError>,
 }
 
 /// Outcome of a sharded recovery deployment under per-shard fault plans.
@@ -550,6 +574,9 @@ pub struct ShardedChaosOutcome {
     pub workers: Vec<ShardedChaosWorker>,
     /// Per-shard aggregator results and counters.
     pub aggs: Vec<(Result<(), ProtocolError>, RecoveryAggregatorStats)>,
+    /// Per-shard hot-standby results and counters (empty unless
+    /// [`OmniConfig::hot_standby`]).
+    pub standbys: Vec<(Result<(), ProtocolError>, RecoveryAggregatorStats)>,
 }
 
 /// Deploys sharded groups: N aggregator engines + M workers, each on
@@ -773,9 +800,13 @@ impl ShardedAllReduce {
     ) -> ShardedChaosOutcome {
         assert_eq!(plans.len(), cfg.num_aggregators, "one plan per shard");
         assert_eq!(inputs.len(), cfg.num_workers, "one input per worker");
-        let mut mesh = match telemetry {
-            Some(t) => ShardedChaosMesh::wrap_with_telemetry(cfg.num_workers, plans, t),
-            None => ShardedChaosMesh::wrap(cfg.num_workers, plans),
+        let mut mesh = if cfg.hot_standby {
+            ShardedChaosMesh::wrap_with_standby(cfg.num_workers, plans, telemetry)
+        } else {
+            match telemetry {
+                Some(t) => ShardedChaosMesh::wrap_with_telemetry(cfg.num_workers, plans, t),
+                None => ShardedChaosMesh::wrap(cfg.num_workers, plans),
+            }
         };
 
         let mut agg_handles = Vec::new();
@@ -802,6 +833,32 @@ impl ShardedAllReduce {
             );
         }
 
+        // Hot standbys: same engine, standby node ids (`W + A + s`). The
+        // constructor detects the role from the node id; the engine
+        // stays passive until workers fail over to it.
+        let mut standby_handles = Vec::new();
+        if cfg.hot_standby {
+            for s in 0..cfg.num_aggregators {
+                let t = mesh.standby_endpoint(s);
+                let cfg = cfg.clone();
+                let telemetry = telemetry.cloned();
+                standby_handles.push(
+                    thread::Builder::new()
+                        .name(format!("shard{s}-standby"))
+                        .spawn(move || {
+                            let mut agg = match &telemetry {
+                                Some(tl) => RecoveryAggregator::with_telemetry(t, cfg, tl),
+                                None => RecoveryAggregator::new(t, cfg),
+                            };
+                            let res = agg.run();
+                            let stats = agg.stats;
+                            (res, stats, agg)
+                        })
+                        .expect("failed to spawn standby thread"),
+                );
+            }
+        }
+
         let mut worker_handles = Vec::new();
         for (w, tensor) in inputs.iter().enumerate() {
             let bond = mesh.worker_bond(w);
@@ -825,12 +882,13 @@ impl ShardedAllReduce {
                         // shards wind down — a shard whose round already
                         // completed is not waiting on anyone, so it would
                         // otherwise idle forever for this goodbye.
-                        let _ = worker.shutdown();
+                        let shutdown = worker.shutdown();
                         ShardedChaosWorker {
                             result,
                             stats,
                             shard_bytes,
                             output: tensor,
+                            shutdown,
                         }
                     })
                     .expect("failed to spawn worker thread"),
@@ -849,7 +907,19 @@ impl ShardedAllReduce {
                 (res, stats)
             })
             .collect();
-        ShardedChaosOutcome { workers, aggs }
+        let standbys = standby_handles
+            .into_iter()
+            .map(|h| {
+                let (res, stats, agg) = h.join().expect("standby thread panicked");
+                drop(agg);
+                (res, stats)
+            })
+            .collect();
+        ShardedChaosOutcome {
+            workers,
+            aggs,
+            standbys,
+        }
     }
 }
 

@@ -29,6 +29,7 @@ use omnireduce_transport::timer::RttEstimator;
 
 use crate::config::OmniConfig;
 use crate::layout::StreamLayout;
+use crate::recovery::epoch_before;
 use crate::sim::{SimEntry, SimOutcome};
 
 /// Retransmission-timer policy for the simulated recovery protocol —
@@ -84,6 +85,40 @@ impl SimRtoConfig {
     }
 }
 
+/// Membership schedule for a simulated run: scripted worker departures
+/// (the simulated mirror of a crashed worker in [`ChaosNetwork`]) and
+/// the aggregator's eviction policy. Departed workers go permanently
+/// silent at the given simulated time; the aggregator evicts silent,
+/// waited-on workers, bumps the membership epoch, and completes the
+/// affected phases degraded — emitting the same `Eviction`/`EpochChange`
+/// flight events as the live engine so the reconstructor and omnistat
+/// attribution work identically on simulated traces.
+///
+/// [`ChaosNetwork`]: omnireduce_transport::fault::ChaosNetwork
+#[derive(Debug, Clone)]
+pub struct SimMembership {
+    /// Per-worker departure time (index = worker id; `None` = stays).
+    pub depart_at: Vec<Option<SimTime>>,
+    /// Silence threshold after which a waited-on worker is evicted.
+    pub eviction_timeout: SimTime,
+}
+
+impl SimMembership {
+    /// A schedule in which nobody departs but eviction is armed.
+    pub fn stable(n: usize, eviction_timeout: SimTime) -> Self {
+        SimMembership {
+            depart_at: vec![None; n],
+            eviction_timeout,
+        }
+    }
+
+    /// Marks worker `w` as departing (going silent) at `t`.
+    pub fn depart(mut self, w: usize, t: SimTime) -> Self {
+        self.depart_at[w] = Some(t);
+        self
+    }
+}
+
 /// Simulated recovery-protocol message.
 #[derive(Debug, Clone)]
 pub enum RecMsg {
@@ -95,6 +130,10 @@ pub enum RecMsg {
         ver: u8,
         /// Sending worker.
         wid: usize,
+        /// Membership epoch the sender believes is current (mirrors the
+        /// wire header's epoch byte; free on the wire, so `msg_bytes`
+        /// is unchanged).
+        epoch: u8,
         /// Entries (acks carry `values: 0`).
         entries: Vec<SimEntry>,
     },
@@ -104,6 +143,8 @@ pub enum RecMsg {
         stream: usize,
         /// Completed phase version.
         ver: u8,
+        /// Membership epoch at completion; workers adopt newer epochs.
+        epoch: u8,
         /// Per-column aggregated entries.
         entries: Vec<SimEntry>,
     },
@@ -196,6 +237,14 @@ struct RecWorker {
     /// Set when the retry budget ran out: the worker has halted as
     /// failed and ignores everything from then on.
     failed: bool,
+    /// Membership epoch this worker believes is current (adopted from
+    /// newer `Result` epochs, mirroring the live engine).
+    epoch: u8,
+    /// Scheduled departure (simulated crash): the worker goes silent at
+    /// this time and halts.
+    depart_at: Option<SimTime>,
+    /// Set once the departure fired.
+    departed: bool,
     /// Shared sink for failed worker ids, read by the driver.
     failed_sink: Arc<Mutex<Vec<usize>>>,
     counters: RecCounters,
@@ -207,6 +256,13 @@ struct RecWorker {
 fn timer_token(stream: usize, epoch: u32) -> u64 {
     ((stream as u64) << 32) | epoch as u64
 }
+
+/// Worker timer token for the scripted departure (never collides with
+/// `timer_token`: that would need 2³² streams).
+const DEPART_TOKEN: u64 = u64::MAX;
+/// Aggregator timer token for the eviction sweep (the aggregator arms
+/// no other timers).
+const SWEEP_TOKEN: u64 = u64::MAX;
 
 impl RecWorker {
     /// RTO to arm for the next packet to `shard` (adaptive or fixed),
@@ -245,6 +301,7 @@ impl RecWorker {
                     stream: g,
                     ver: state.ver,
                     wid: self.wid,
+                    epoch: self.epoch,
                     entries: entries.clone(),
                 },
                 bytes,
@@ -311,6 +368,9 @@ impl Process<RecMsg> for RecWorker {
             self.pending += 1;
             self.send(ctx, g, entries);
         }
+        if let Some(t) = self.depart_at {
+            ctx.set_timer(t, DEPART_TOKEN);
+        }
         if self.pending == 0 {
             ctx.halt();
         }
@@ -320,13 +380,28 @@ impl Process<RecMsg> for RecWorker {
         let RecMsg::Result {
             stream: g,
             ver,
+            epoch,
             entries,
         } = msg
         else {
             panic!("worker got non-result");
         };
-        if self.failed {
+        if self.failed || self.departed {
             return;
+        }
+        if epoch_before(self.epoch, epoch) {
+            // The group's membership moved on (an eviction happened):
+            // adopt the epoch, mirroring the live worker.
+            self.epoch = epoch;
+            self.flight.record_at(
+                ctx.now().as_nanos(),
+                FlightEventKind::EpochChange,
+                0,
+                NO_BLOCK,
+                self.cfg.shard_of_stream(g) as u16,
+                self.wid as u16,
+                epoch as u64,
+            );
         }
         let layout = self.layout;
         let skip = self.cfg.skip_zero_blocks;
@@ -417,7 +492,15 @@ impl Process<RecMsg> for RecWorker {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<RecMsg>, token: u64) {
-        if self.failed {
+        if self.failed || self.departed {
+            return;
+        }
+        if token == DEPART_TOKEN {
+            // Scripted crash: go permanently silent. The aggregator
+            // will evict this worker once its silence exceeds the
+            // membership plan's eviction timeout.
+            self.departed = true;
+            ctx.halt();
             return;
         }
         self.counters.timer_fires.inc();
@@ -494,6 +577,7 @@ impl Process<RecMsg> for RecWorker {
                 stream: g,
                 ver: state.ver,
                 wid: self.wid,
+                epoch: self.epoch,
                 entries: entries.clone(),
             },
             msg_bytes(&entries),
@@ -538,6 +622,108 @@ struct RecAgg {
     counters: RecCounters,
     /// Flight lane recording simulated-time protocol events.
     flight: FlightLane,
+    /// Current membership epoch; bumped on every eviction.
+    epoch: u8,
+    /// Workers evicted for simulated-time silence.
+    evicted: Vec<bool>,
+    /// Last simulated time each worker was heard from.
+    last_heard: Vec<SimTime>,
+    /// Whether any phase is in flight (mirrors the live engine's
+    /// idle→busy liveness-clock refresh).
+    busy: bool,
+    /// Eviction threshold; `None` disables the sweep entirely (the
+    /// pre-membership behavior, and the default for all entry points
+    /// without a [`SimMembership`] plan).
+    eviction_timeout: Option<SimTime>,
+}
+
+impl RecAgg {
+    fn waiting_on(&self, w: usize) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|slot| (0..2).any(|v| slot.count[v] > 0 && !slot.seen[v][w]))
+    }
+
+    fn fully_idle(&self) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .all(|slot| slot.count[0] == 0 && slot.count[1] == 0)
+    }
+
+    /// Contributions version `v` of slot `g` needs: all workers minus
+    /// the evicted ones that have not already contributed.
+    fn needed(&self, g: usize, v: usize) -> usize {
+        let slot = self.slots[g].as_ref().expect("owned stream");
+        let missing_evicted = (0..self.cfg.num_workers)
+            .filter(|&w| self.evicted[w] && !slot.seen[v][w])
+            .count();
+        self.cfg.num_workers - missing_evicted
+    }
+
+    fn complete_if_ready(&mut self, ctx: &mut Ctx<RecMsg>, g: usize, v: usize) {
+        let n = self.cfg.num_workers;
+        let needed = self.needed(g, v);
+        let slot = self.slots[g].as_mut().expect("owned stream");
+        if slot.count[v] == 0 || slot.count[v] < needed {
+            return;
+        }
+        slot.count[v] = 0;
+        let mut result = Vec::new();
+        for (c, cp) in slot.cols[v].iter().enumerate() {
+            let Some(block) = cp.block else { continue };
+            let min_next = if cp.min_next == i64::MAX || cp.min_next == INFINITY_BLOCK as i64 {
+                INFINITY_BLOCK
+            } else {
+                cp.min_next as BlockIdx
+            };
+            result.push(SimEntry {
+                block,
+                col: c,
+                next: min_next,
+                values: cp.values,
+            });
+        }
+        // Forget evicted workers' seen bits so the next phase of this
+        // version does not count them as pending contributors.
+        for w in 0..n {
+            if self.evicted[w] {
+                slot.seen[v][w] = false;
+            }
+        }
+        let bytes = msg_bytes(&result);
+        if let Some(first) = result.first() {
+            self.flight.record_at(
+                ctx.now().as_nanos(),
+                FlightEventKind::ResultTx,
+                0,
+                first.block as u64,
+                self.shard as u16,
+                u16::MAX,
+                result.len() as u64,
+            );
+        }
+        for (w, actor) in self.workers.iter().enumerate() {
+            if self.evicted[w] {
+                continue;
+            }
+            ctx.send(
+                *actor,
+                RecMsg::Result {
+                    stream: g,
+                    ver: v as u8,
+                    epoch: self.epoch,
+                    entries: result.clone(),
+                },
+                bytes,
+            );
+        }
+        self.slots[g].as_mut().expect("owned stream").result[v] = Some(result);
+        if self.fully_idle() {
+            self.busy = false;
+        }
+    }
 }
 
 impl Process<RecMsg> for RecAgg {
@@ -559,6 +745,8 @@ impl Process<RecMsg> for RecAgg {
                     })
             })
             .collect();
+        self.evicted = vec![false; n];
+        self.last_heard = vec![SimTime::ZERO; n];
         // Never halts: stays able to retransmit results. The run ends
         // when the queue drains.
     }
@@ -568,13 +756,33 @@ impl Process<RecMsg> for RecAgg {
             stream: g,
             ver,
             wid,
+            epoch: _,
             entries,
         } = msg
         else {
             panic!("aggregator got non-data");
         };
         let v = (ver & 1) as usize;
-        let n = self.cfg.num_workers;
+        if self.evicted[wid] {
+            // Zombie: in-flight packets from an evicted worker. Its
+            // phase accounting was renormalized without it.
+            return;
+        }
+        let now = ctx.now();
+        self.last_heard[wid] = now;
+        if !self.busy {
+            // Idle→busy edge: a new round starts. Restart every
+            // member's liveness clock (silence between rounds must not
+            // count) and arm the eviction sweep.
+            self.busy = true;
+            for t in self.last_heard.iter_mut() {
+                *t = now;
+            }
+            if let Some(timeout) = self.eviction_timeout {
+                let tick = SimTime::from_nanos((timeout.as_nanos() / 4).max(1_000));
+                ctx.set_timer(tick, SWEEP_TOKEN);
+            }
+        }
         // Keyed by the first entry's block, mirroring the sender's
         // PacketTx so the reconstructor pairs tx with rx.
         if let Some(first) = entries.first() {
@@ -603,6 +811,7 @@ impl Process<RecMsg> for RecAgg {
                         RecMsg::Result {
                             stream: g,
                             ver: v as u8,
+                            epoch: self.epoch,
                             entries: result,
                         },
                         bytes,
@@ -622,9 +831,12 @@ impl Process<RecMsg> for RecAgg {
         }
         for e in &entries {
             let cp = &mut slot.cols[v][e.col];
+            // Mirror the live engine: acks record the requested block
+            // too, so an all-ack phase (evicted min_next owner) still
+            // emits a chain-advancing result entry.
+            debug_assert!(cp.block.is_none() || cp.block == Some(e.block));
+            cp.block = Some(e.block);
             if e.values > 0 {
-                debug_assert!(cp.block.is_none() || cp.block == Some(e.block));
-                cp.block = Some(e.block);
                 cp.values = e.values;
             }
             cp.min_next = cp.min_next.min(if e.next == INFINITY_BLOCK {
@@ -633,47 +845,72 @@ impl Process<RecMsg> for RecAgg {
                 e.next as i64
             });
         }
-        if slot.count[v] == n {
-            slot.count[v] = 0;
-            let mut result = Vec::new();
-            for (c, cp) in slot.cols[v].iter().enumerate() {
-                let Some(block) = cp.block else { continue };
-                let min_next = if cp.min_next == i64::MAX || cp.min_next == INFINITY_BLOCK as i64 {
-                    INFINITY_BLOCK
-                } else {
-                    cp.min_next as BlockIdx
-                };
-                result.push(SimEntry {
-                    block,
-                    col: c,
-                    next: min_next,
-                    values: cp.values,
-                });
+        self.complete_if_ready(ctx, g, v);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<RecMsg>, token: u64) {
+        debug_assert_eq!(token, SWEEP_TOKEN);
+        let Some(timeout) = self.eviction_timeout else {
+            return;
+        };
+        if !self.busy {
+            // Fully idle: nothing is owed, so nobody can be evicted.
+            // Not re-arming lets the event queue drain; the next
+            // idle→busy edge re-arms the sweep.
+            return;
+        }
+        let now = ctx.now();
+        for w in 0..self.cfg.num_workers {
+            if self.evicted[w] || !self.waiting_on(w) {
+                continue;
             }
-            let bytes = msg_bytes(&result);
-            if let Some(first) = result.first() {
-                self.flight.record_at(
-                    ctx.now().as_nanos(),
-                    FlightEventKind::ResultTx,
-                    0,
-                    first.block as u64,
-                    self.shard as u16,
-                    u16::MAX,
-                    result.len() as u64,
-                );
+            let idle =
+                SimTime::from_nanos(now.as_nanos().saturating_sub(self.last_heard[w].as_nanos()));
+            if idle <= timeout {
+                continue;
             }
-            for w in &self.workers {
-                ctx.send(
-                    *w,
-                    RecMsg::Result {
-                        stream: g,
-                        ver: v as u8,
-                        entries: result.clone(),
-                    },
-                    bytes,
-                );
+            self.evicted[w] = true;
+            self.flight.record_at(
+                now.as_nanos(),
+                FlightEventKind::Eviction,
+                0,
+                NO_BLOCK,
+                self.shard as u16,
+                w as u16,
+                idle.as_nanos(),
+            );
+            // Eviction is a membership change: bump the epoch so the
+            // survivors' flight lanes record the same `EpochChange`
+            // sequence a live chaos run would.
+            self.epoch = self.epoch.wrapping_add(1);
+            self.flight.record_at(
+                now.as_nanos(),
+                FlightEventKind::EpochChange,
+                0,
+                NO_BLOCK,
+                self.shard as u16,
+                w as u16,
+                self.epoch as u64,
+            );
+            // Renormalize in-flight phases without the evicted worker;
+            // idle versions just forget its contribution marker.
+            for g in 0..self.slots.len() {
+                if self.slots[g].is_none() {
+                    continue;
+                }
+                for v in 0..2 {
+                    let slot = self.slots[g].as_mut().expect("owned stream");
+                    if slot.count[v] == 0 {
+                        slot.seen[v][w] = false;
+                    } else {
+                        self.complete_if_ready(ctx, g, v);
+                    }
+                }
             }
-            slot.result[v] = Some(result);
+        }
+        if self.busy {
+            let tick = SimTime::from_nanos((timeout.as_nanos() / 4).max(1_000));
+            ctx.set_timer(tick, SWEEP_TOKEN);
         }
     }
 }
@@ -721,7 +958,36 @@ pub fn simulate_recovery_allreduce_with_telemetry(
     seed: u64,
     telemetry: Option<&Telemetry>,
 ) -> SimOutcome {
+    simulate_recovery_allreduce_with_membership(
+        cfg, worker_nic, agg_nic, loss, rto, bitmaps, seed, None, telemetry,
+    )
+}
+
+/// Like [`simulate_recovery_allreduce_with_telemetry`], with a scripted
+/// [`SimMembership`] plan: departed workers go silent at simulated
+/// times and the aggregator evicts them, completing the collective
+/// degraded — the simulated mirror of the live engine's elastic
+/// membership, emitting the same `Eviction`/`EpochChange` flight
+/// events. Without a plan this is byte-for-byte the plain simulation.
+///
+/// `completion` covers the *surviving* workers only; departed workers
+/// halt at their scripted time and are excluded.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_recovery_allreduce_with_membership(
+    cfg: &OmniConfig,
+    worker_nic: NicConfig,
+    agg_nic: NicConfig,
+    loss: f64,
+    rto: SimRtoConfig,
+    bitmaps: &[NonZeroBitmap],
+    seed: u64,
+    membership: Option<&SimMembership>,
+    telemetry: Option<&Telemetry>,
+) -> SimOutcome {
     cfg.validate();
+    if let Some(m) = membership {
+        assert_eq!(m.depart_at.len(), cfg.num_workers, "plan/worker mismatch");
+    }
     assert_eq!(bitmaps.len(), cfg.num_workers);
     let layout = StreamLayout::new(
         cfg.block_spec(),
@@ -777,6 +1043,9 @@ pub fn simulate_recovery_allreduce_with_telemetry(
                 pending: 0,
                 retransmissions: 0,
                 failed: false,
+                epoch: 0,
+                depart_at: membership.and_then(|m| m.depart_at[w]),
+                departed: false,
                 failed_sink: failed_sink.clone(),
                 counters: counters.clone(),
                 flight: flight_lane(&format!("worker{w}"), LaneRole::Worker, w as u16),
@@ -794,12 +1063,18 @@ pub fn simulate_recovery_allreduce_with_telemetry(
                 slots: Vec::new(),
                 counters: counters.clone(),
                 flight: flight_lane(&format!("agg{a}"), LaneRole::Aggregator, a as u16),
+                epoch: 0,
+                evicted: Vec::new(),
+                last_heard: Vec::new(),
+                busy: false,
+                eviction_timeout: membership.map(|m| m.eviction_timeout),
             }),
         );
     }
     let report = sim.run();
     let completion = worker_ids
         .iter()
+        .filter(|w| membership.is_none_or(|m| m.depart_at[w.0].is_none()))
         .map(|w| report.finished_at[w.0].expect("worker finished"))
         .max()
         .unwrap_or(SimTime::ZERO);
@@ -896,6 +1171,97 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(run(0.005, 9).completion, run(0.005, 9).completion);
+    }
+
+    #[test]
+    fn departed_worker_is_evicted_and_sim_completes_degraded() {
+        let (cfg, bms) = setup(4, 1 << 18, 0.5);
+        // Worker 3 crashes mid-stream (the clean run takes ~0.9 ms).
+        let plan = SimMembership::stable(4, SimTime::from_micros(1_000))
+            .depart(3, SimTime::from_micros(200));
+        let run = |seed| {
+            let telemetry = Telemetry::with_observability(0, 1 << 16);
+            let out = simulate_recovery_allreduce_with_membership(
+                &cfg,
+                nic(),
+                nic(),
+                0.0,
+                SimRtoConfig::fixed(SimTime::from_micros(500)),
+                &bms,
+                seed,
+                Some(&plan),
+                Some(&telemetry),
+            );
+            (out, telemetry.flight().snapshot())
+        };
+        let (out, rec) = run(3);
+        // Survivors stall on the dead worker until the eviction fires,
+        // then complete degraded: strictly slower than the clean run,
+        // and no survivor exhausts its retry budget.
+        let clean = simulate_recovery_allreduce_with_membership(
+            &cfg,
+            nic(),
+            nic(),
+            0.0,
+            SimRtoConfig::fixed(SimTime::from_micros(500)),
+            &bms,
+            3,
+            None,
+            None,
+        );
+        assert!(
+            out.completion > clean.completion,
+            "degraded {} vs clean {}",
+            out.completion,
+            clean.completion
+        );
+        assert!(out.failed_workers.is_empty(), "{:?}", out.failed_workers);
+        // The simulated trace carries the same membership events a live
+        // chaos run would: the eviction and its epoch bump.
+        let count = |kind: FlightEventKind| {
+            rec.lanes
+                .iter()
+                .flat_map(|l| l.events.iter())
+                .filter(|e| e.kind == kind)
+                .count()
+        };
+        // Every shard waiting on the departed worker evicts it
+        // independently (per-shard membership, as in the live engine).
+        let evictions = count(FlightEventKind::Eviction);
+        assert!(
+            (1..=cfg.num_aggregators).contains(&evictions),
+            "evictions: {evictions}"
+        );
+        assert!(
+            count(FlightEventKind::EpochChange) >= evictions,
+            "no epoch change recorded"
+        );
+        // Deterministic per seed, membership events included.
+        let (out2, rec2) = run(3);
+        assert_eq!(out.completion, out2.completion);
+        assert_eq!(rec.total_events(), rec2.total_events());
+    }
+
+    #[test]
+    fn stable_membership_plan_matches_plain_simulation() {
+        let (cfg, bms) = setup(4, 1 << 18, 0.5);
+        let go = |plan: Option<&SimMembership>| {
+            simulate_recovery_allreduce_with_membership(
+                &cfg,
+                nic(),
+                nic(),
+                0.002,
+                SimRtoConfig::fixed(SimTime::from_micros(500)),
+                &bms,
+                21,
+                plan,
+                None,
+            )
+        };
+        // An armed eviction sweep with nobody departing must not change
+        // the protocol: same completion time to the nanosecond.
+        let plan = SimMembership::stable(4, SimTime::from_micros(50_000));
+        assert_eq!(go(None).completion, go(Some(&plan)).completion);
     }
 
     #[test]

@@ -313,6 +313,7 @@ impl<T: Transport> OmniWorker<T> {
             ver: 0,
             stream: stream as u16,
             wid: self.wid,
+            epoch: 0,
             entries,
         });
         let wire_bytes = codec::encoded_len(&msg) as u64;

@@ -569,6 +569,7 @@ fn steady_state_block_cycle_allocates_nothing() {
                     ver: 0,
                     stream: 0,
                     wid: w as u16,
+                    epoch: 0,
                     entries,
                 });
                 encode_into(&msg, wire);

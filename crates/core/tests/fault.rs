@@ -59,6 +59,8 @@ struct WorkerOutcome {
 struct ChaosOutcome {
     workers: Vec<WorkerOutcome>,
     aggs: Vec<(Result<(), ProtocolError>, RecoveryAggregatorStats)>,
+    /// Per-shard hot-standby outcomes (empty unless `cfg.hot_standby`).
+    standbys: Vec<(Result<(), ProtocolError>, RecoveryAggregatorStats)>,
 }
 
 /// Runs one AllReduce round over a channel mesh wrapped in `plan`,
@@ -97,6 +99,26 @@ fn run_chaos(
             let stats = agg.stats;
             (res, stats, agg)
         }));
+    }
+
+    // Hot standbys (nodes `W+A..W+2A`): same engine, standby role is
+    // derived from the node id.
+    let mut standby_handles = Vec::new();
+    if cfg.hot_standby {
+        for a in 0..cfg.num_aggregators {
+            let t = endpoints[cfg.standby_node(a) as usize].take().unwrap();
+            let cfg = cfg.clone();
+            let telemetry = telemetry.cloned();
+            standby_handles.push(thread::spawn(move || {
+                let mut agg = match &telemetry {
+                    Some(tl) => RecoveryAggregator::with_telemetry(t, cfg, tl),
+                    None => RecoveryAggregator::new(t, cfg),
+                };
+                let res = agg.run();
+                let stats = agg.stats;
+                (res, stats, agg)
+            }));
+        }
     }
 
     let mut worker_handles = Vec::new();
@@ -138,7 +160,18 @@ fn run_chaos(
             (res, stats)
         })
         .collect();
-    ChaosOutcome { workers, aggs }
+    let standbys = standby_handles
+        .into_iter()
+        .map(|h| {
+            let (res, stats, _agg) = h.join().expect("standby thread panicked");
+            (res, stats)
+        })
+        .collect();
+    ChaosOutcome {
+        workers,
+        aggs,
+        standbys,
+    }
 }
 
 fn small_cfg(n: usize, len: usize) -> OmniConfig {
@@ -352,6 +385,199 @@ fn straggler_delay_is_absorbed() {
                 .counter("transport.fault.straggle_delays")
                 > 0,
             "straggler injections must be counted"
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// Hot-standby failover
+// ---------------------------------------------------------------------
+
+fn failover_cfg(n: usize, len: usize) -> OmniConfig {
+    small_cfg(n, len)
+        .with_deterministic()
+        .with_hot_standby()
+        .with_initial_rto(Duration::from_millis(5))
+        .with_rto_bounds(Duration::from_millis(2), Duration::from_millis(50))
+        .with_max_retransmits(6)
+        .with_eviction_timeout(Duration::from_secs(5))
+}
+
+/// Acceptance: a seeded chaos run that crashes the primary aggregator
+/// mid-stream completes via the hot standby, bit-identical to an
+/// uninterrupted run — across several crash points, including between a
+/// checkpoint and its result multicast.
+#[test]
+fn primary_crash_fails_over_to_standby_bit_identical() {
+    with_deadline(Duration::from_secs(120), || {
+        let n = 2;
+        let cfg = failover_cfg(n, 512);
+        let inputs = gen_inputs(n, 512, 41);
+
+        // Uninterrupted baseline (deterministic mode ⇒ bit-reproducible).
+        let base = run_chaos(&cfg, &FaultPlan::new(1), &inputs, None);
+        for (w, o) in base.workers.iter().enumerate() {
+            assert!(o.result.is_ok(), "baseline worker {w}: {:?}", o.result);
+            assert_eq!(o.stats.failovers, 0, "baseline worker {w} failed over");
+        }
+        assert!(base.standbys[0].0.is_ok(), "{:?}", base.standbys[0].0);
+        assert!(
+            base.aggs[0].1.checkpoints_sent > 0,
+            "primary never replicated: {:?}",
+            base.aggs[0].1
+        );
+        assert_eq!(
+            base.standbys[0].1.checkpoints_applied, base.aggs[0].1.checkpoints_sent,
+            "replication lane dropped checkpoints"
+        );
+
+        // Crash the primary at several points: during the first phase
+        // (1), on a checkpoint send (3), between a checkpoint and its
+        // result multicast (4), and later mid-stream (6).
+        for crash_after in [1u64, 3, 4, 6] {
+            let plan = FaultPlan::new(43).crash_after(cfg.aggregator_node(0), crash_after);
+            let out = run_chaos(&cfg, &plan, &inputs, None);
+            for (w, o) in out.workers.iter().enumerate() {
+                assert!(
+                    o.result.is_ok(),
+                    "crash_after={crash_after} worker {w}: {:?}",
+                    o.result
+                );
+                let diff = o.output.max_abs_diff(&base.workers[w].output);
+                assert_eq!(
+                    diff, 0.0,
+                    "crash_after={crash_after} worker {w}: failover result \
+                     differs from uninterrupted run by {diff}"
+                );
+                assert_eq!(
+                    o.stats.failovers, 1,
+                    "crash_after={crash_after} worker {w}: expected exactly one failover"
+                );
+            }
+            assert!(
+                out.standbys[0].0.is_ok(),
+                "crash_after={crash_after} standby: {:?}",
+                out.standbys[0].0
+            );
+            assert!(
+                out.aggs[0].0.is_err(),
+                "crash_after={crash_after}: crashed primary reported Ok"
+            );
+        }
+    });
+}
+
+/// Same fault seed ⇒ identical stats and telemetry across two failover
+/// runs (single worker, so every count is a pure function of the plan).
+#[test]
+fn failover_replay_reproduces_stats_and_telemetry_exactly() {
+    with_deadline(Duration::from_secs(120), || {
+        let cfg = failover_cfg(1, 1024)
+            .with_initial_rto(Duration::from_millis(25))
+            .with_rto_bounds(Duration::from_millis(25), Duration::from_millis(400));
+        let inputs = gen_inputs(1, 1024, 37);
+        let plan = FaultPlan::new(53).crash_after(cfg.aggregator_node(0), 5);
+        let failover_counters: Vec<&str> = REPLAYED_COUNTERS
+            .iter()
+            .copied()
+            .chain([
+                "core.recovery.failovers",
+                "core.recovery.agg.checkpoints_sent",
+                "core.recovery.agg.checkpoints_applied",
+                "core.recovery.agg.stale_epoch_dropped",
+            ])
+            .collect();
+
+        let run = || {
+            let telemetry = Telemetry::new();
+            let out = run_chaos(&cfg, &plan, &inputs, Some(&telemetry));
+            assert!(out.workers[0].result.is_ok(), "{:?}", out.workers[0].result);
+            assert!(out.standbys[0].0.is_ok(), "{:?}", out.standbys[0].0);
+            let snap = telemetry.snapshot();
+            let counters: Vec<u64> = failover_counters
+                .iter()
+                .map(|name| snap.counter(name))
+                .collect();
+            (out.workers[0].stats, out.standbys[0].1, counters)
+        };
+
+        let (stats_a, sb_a, counters_a) = run();
+        let (stats_b, sb_b, counters_b) = run();
+        assert_eq!(stats_a, stats_b, "RecoveryStats diverge across replays");
+        assert_eq!(sb_a, sb_b, "standby stats diverge across replays");
+        for (name, (a, b)) in failover_counters
+            .iter()
+            .zip(counters_a.iter().zip(counters_b.iter()))
+        {
+            assert_eq!(a, b, "telemetry counter {name} diverges across replays");
+        }
+        assert_eq!(stats_a.failovers, 1, "the plan must force a failover");
+        assert!(sb_a.checkpoints_applied > 0, "standby never caught up");
+    });
+}
+
+/// Acceptance (sharded): crashing one shard's primary mid-stream while
+/// the other shard stays healthy completes via that shard's standby,
+/// bit-identical to the uninterrupted sharded run.
+#[test]
+fn sharded_primary_crash_fails_over_bit_identical() {
+    use omnireduce_core::shard::ShardedAllReduce;
+
+    with_deadline(Duration::from_secs(120), || {
+        let n = 2;
+        let cfg = OmniConfig::new(n, 1024)
+            .with_block_size(8)
+            .with_fusion(2)
+            .with_streams(2)
+            .with_aggregators(2)
+            .with_deterministic()
+            .with_hot_standby()
+            .with_initial_rto(Duration::from_millis(5))
+            .with_rto_bounds(Duration::from_millis(2), Duration::from_millis(50))
+            .with_max_retransmits(6)
+            .with_eviction_timeout(Duration::from_secs(5));
+        let inputs = gen_inputs(n, 1024, 59);
+
+        let clean = [FaultPlan::new(1), FaultPlan::new(2)];
+        let base = ShardedAllReduce::run_recovery_chaos(&cfg, &clean, &inputs, None);
+        for (w, o) in base.workers.iter().enumerate() {
+            assert!(o.result.is_ok(), "baseline worker {w}: {:?}", o.result);
+            assert!(o.shutdown.is_ok(), "baseline worker {w} goodbye failed");
+        }
+
+        // Shard 1's primary dies mid-stream; shard 0 stays healthy.
+        let plans = [
+            FaultPlan::new(1),
+            FaultPlan::new(61).crash_after(cfg.aggregator_node(1), 3),
+        ];
+        let out = ShardedAllReduce::run_recovery_chaos(&cfg, &plans, &inputs, None);
+        for (w, o) in out.workers.iter().enumerate() {
+            assert!(o.result.is_ok(), "worker {w}: {:?}", o.result);
+            let diff = o.output.max_abs_diff(&base.workers[w].output);
+            assert_eq!(
+                diff, 0.0,
+                "worker {w}: sharded failover result differs from clean run by {diff}"
+            );
+            assert_eq!(
+                o.stats.failovers, 1,
+                "worker {w}: exactly one shard failed over"
+            );
+        }
+        assert!(
+            out.aggs[0].0.is_ok(),
+            "healthy shard 0 failed: {:?}",
+            out.aggs[0].0
+        );
+        assert!(
+            out.aggs[1].0.is_err(),
+            "crashed shard 1 primary reported Ok"
+        );
+        assert!(out.standbys[0].0.is_ok(), "{:?}", out.standbys[0].0);
+        assert!(out.standbys[1].0.is_ok(), "{:?}", out.standbys[1].0);
+        assert!(
+            out.standbys[1].1.checkpoints_applied > 0 || out.standbys[1].1.results_sent > 0,
+            "shard 1's standby never participated: {:?}",
+            out.standbys[1].1
         );
     });
 }

@@ -79,7 +79,7 @@ impl Default for AttributionConfig {
     }
 }
 
-/// The five places a round's time can go.
+/// The six places a round's time can go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RoundComponent {
     Encode,
@@ -87,15 +87,19 @@ pub enum RoundComponent {
     SlotWait,
     Straggler,
     Recovery,
+    /// Aggregator-failover downtime: summed `FailoverBegin..FailoverEnd`
+    /// windows (the `FailoverEnd` aux carries the measured gap).
+    Failover,
 }
 
 impl RoundComponent {
-    pub const ALL: [RoundComponent; 5] = [
+    pub const ALL: [RoundComponent; 6] = [
         RoundComponent::Encode,
         RoundComponent::Wire,
         RoundComponent::SlotWait,
         RoundComponent::Straggler,
         RoundComponent::Recovery,
+        RoundComponent::Failover,
     ];
 
     pub fn name(self) -> &'static str {
@@ -105,6 +109,7 @@ impl RoundComponent {
             RoundComponent::SlotWait => "slot_wait",
             RoundComponent::Straggler => "straggler",
             RoundComponent::Recovery => "recovery",
+            RoundComponent::Failover => "failover",
         }
     }
 }
@@ -124,9 +129,13 @@ pub struct RoundBreakdown {
     pub slot_wait_ns: u64,
     pub straggler_ns: u64,
     pub recovery_ns: u64,
+    pub failover_ns: u64,
     pub retransmits: u64,
     pub nacks: u64,
     pub evictions: u64,
+    /// Membership-epoch bumps observed on aggregator lanes this round
+    /// (evictions and admissions both bump the epoch).
+    pub epoch_changes: u64,
     /// The largest component — where this round's time went.
     pub critical: RoundComponent,
 }
@@ -139,6 +148,7 @@ impl RoundBreakdown {
             RoundComponent::SlotWait => self.slot_wait_ns,
             RoundComponent::Straggler => self.straggler_ns,
             RoundComponent::Recovery => self.recovery_ns,
+            RoundComponent::Failover => self.failover_ns,
         }
     }
 }
@@ -199,6 +209,7 @@ impl RoundAttribution {
         // (worker, round) -> summed encode ns.
         let mut encode: BTreeMap<(u16, u32), u64> = BTreeMap::new();
         let mut recovery: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut failover: BTreeMap<u32, u64> = BTreeMap::new();
         let mut retransmits: BTreeMap<u32, u64> = BTreeMap::new();
         let mut nacks: BTreeMap<u32, u64> = BTreeMap::new();
         let mut tx_index: BTreeMap<WireKey, Vec<(u64, u32)>> = BTreeMap::new();
@@ -232,6 +243,11 @@ impl RoundAttribution {
                     FlightEventKind::RtoFire => {
                         *recovery.entry(ev.round).or_insert(0) += ev.aux;
                     }
+                    // aux carries the measured FailoverBegin..FailoverEnd
+                    // gap, stamped on the round the standby first answered.
+                    FlightEventKind::FailoverEnd => {
+                        *failover.entry(ev.round).or_insert(0) += ev.aux;
+                    }
                     FlightEventKind::Retransmit | FlightEventKind::SolicitedResend => {
                         *retransmits.entry(ev.round).or_insert(0) += 1;
                     }
@@ -264,6 +280,7 @@ impl RoundAttribution {
         let mut wire_sum: BTreeMap<u32, (u64, u64)> = BTreeMap::new(); // round -> (sum, n)
         let mut slot_sum: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
         let mut evictions: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut epoch_changes: BTreeMap<u32, u64> = BTreeMap::new();
         let mut unmatched_rx = 0u64;
         for lane in rec.lanes.iter().filter(|l| l.role == LaneRole::Aggregator) {
             // (block, shard) -> occupy ts, for slot-wait pairing.
@@ -314,6 +331,13 @@ impl RoundAttribution {
                             *evictions.entry(r).or_insert(0) += 1;
                         }
                     }
+                    // Counted on aggregator lanes only (where membership
+                    // changes originate); worker lanes echo the same bumps.
+                    FlightEventKind::EpochChange => {
+                        if let Some(r) = round_of_ts(ev.ts_ns) {
+                            *epoch_changes.entry(r).or_insert(0) += 1;
+                        }
+                    }
                     _ => {}
                 }
             }
@@ -357,9 +381,11 @@ impl RoundAttribution {
                 slot_wait_ns: mean(&slot_sum, round),
                 straggler_ns: mean(&skew_sum, round),
                 recovery_ns: recovery.get(&round).copied().unwrap_or(0),
+                failover_ns: failover.get(&round).copied().unwrap_or(0),
                 retransmits: retransmits.get(&round).copied().unwrap_or(0),
                 nacks: nacks.get(&round).copied().unwrap_or(0),
                 evictions: evictions.get(&round).copied().unwrap_or(0),
+                epoch_changes: epoch_changes.get(&round).copied().unwrap_or(0),
                 critical: RoundComponent::Wire,
             };
             b.critical = RoundComponent::ALL
@@ -487,7 +513,7 @@ impl RoundAttribution {
     /// percentiles across rounds, critical-path counts, and the
     /// per-round breakdown as positional arrays
     /// `[round, total, encode, wire, slot_wait, straggler, recovery,
-    /// retransmits, nacks]`.
+    /// failover, retransmits, nacks]`.
     pub fn rounds_json(&self) -> JsonValue {
         let mut doc = JsonValue::obj();
         doc.push("rounds", JsonValue::Uint(self.rounds.len() as u64));
@@ -520,6 +546,7 @@ impl RoundAttribution {
                             JsonValue::Uint(r.slot_wait_ns),
                             JsonValue::Uint(r.straggler_ns),
                             JsonValue::Uint(r.recovery_ns),
+                            JsonValue::Uint(r.failover_ns),
                             JsonValue::Uint(r.retransmits),
                             JsonValue::Uint(r.nacks),
                         ])
@@ -536,6 +563,14 @@ impl RoundAttribution {
         let mut doc = JsonValue::obj();
         doc.push("rounds_analyzed", JsonValue::Uint(self.rounds.len() as u64));
         doc.push("unmatched_rx", JsonValue::Uint(self.unmatched_rx));
+        doc.push(
+            "failover_downtime_ns",
+            JsonValue::Uint(self.rounds.iter().map(|r| r.failover_ns).sum()),
+        );
+        doc.push(
+            "epoch_changes",
+            JsonValue::Uint(self.rounds.iter().map(|r| r.epoch_changes).sum()),
+        );
         let mut workers = Vec::new();
         for w in &self.workers {
             let mut node = JsonValue::obj();
@@ -625,6 +660,20 @@ impl RoundAttribution {
                 out,
                 "LOSS BURST rounds {}..={}: {} retransmits, {} nacks",
                 b.first_round, b.last_round, b.retransmits, b.nacks
+            );
+        }
+        for r in self.rounds.iter().filter(|r| r.failover_ns > 0) {
+            let _ = writeln!(
+                out,
+                "FAILOVER round {}: {} ns standby-takeover downtime",
+                r.round, r.failover_ns
+            );
+        }
+        for r in self.rounds.iter().filter(|r| r.epoch_changes > 0) {
+            let _ = writeln!(
+                out,
+                "MEMBERSHIP round {}: {} epoch change(s), {} eviction(s)",
+                r.round, r.epoch_changes, r.evictions
             );
         }
         if self.stragglers().next().is_none() && self.loss_windows.is_empty() {
@@ -770,6 +819,50 @@ mod tests {
     }
 
     #[test]
+    fn failover_downtime_is_attributed_to_its_round() {
+        let rec = FlightRecorder::bounded(4096);
+        let w0 = rec.lane("w0", LaneRole::Worker, 0);
+        let ag = rec.lane("agg0", LaneRole::Aggregator, 0);
+        for r in 0..4u32 {
+            let t0 = r as u64 * 1000;
+            w0.record_at(t0, FlightEventKind::RoundStart, r, NO_BLOCK, 0, 0, 0);
+            w0.record_at(t0 + 10, FlightEventKind::PacketTx, r, r as u64, 0, 0, 64);
+            ag.record_at(t0 + 20, FlightEventKind::PacketRx, 0, r as u64, 0, 0, 64);
+            w0.record_at(t0 + 400, FlightEventKind::RoundEnd, r, NO_BLOCK, 0, 0, 0);
+        }
+        // Round 2: primary crashed; the standby answered 750 ns later.
+        w0.record_at(2_050, FlightEventKind::FailoverBegin, 2, NO_BLOCK, 0, 0, 0);
+        w0.record_at(2_800, FlightEventKind::FailoverEnd, 2, NO_BLOCK, 0, 0, 750);
+        ag.record_at(2_060, FlightEventKind::Eviction, 0, NO_BLOCK, 0, 0, 500);
+        ag.record_at(2_061, FlightEventKind::EpochChange, 0, NO_BLOCK, 0, 0, 1);
+        let attr = RoundAttribution::from_recording(&rec.snapshot(), &cfg());
+        let r2 = attr.rounds.iter().find(|r| r.round == 2).unwrap();
+        assert_eq!(r2.failover_ns, 750);
+        assert_eq!(r2.epoch_changes, 1);
+        assert_eq!(r2.evictions, 1);
+        assert_eq!(r2.critical, RoundComponent::Failover);
+        let other: u64 = attr
+            .rounds
+            .iter()
+            .filter(|r| r.round != 2)
+            .map(|r| r.failover_ns + r.epoch_changes)
+            .sum();
+        assert_eq!(other, 0, "downtime bleeds into other rounds");
+        let health = attr.health_json();
+        assert_eq!(
+            health.get("failover_downtime_ns").and_then(|v| v.as_u64()),
+            Some(750)
+        );
+        assert_eq!(
+            health.get("epoch_changes").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        let report = attr.report();
+        assert!(report.contains("FAILOVER round 2: 750 ns"), "{report}");
+        assert!(report.contains("MEMBERSHIP round 2"), "{report}");
+    }
+
+    #[test]
     fn rounds_json_and_report_render() {
         let rec = synthetic(8, 2, &[3]);
         let attr = RoundAttribution::from_recording(&rec, &cfg());
@@ -777,7 +870,7 @@ mod tests {
         assert_eq!(doc.get("rounds").and_then(|v| v.as_u64()), Some(8));
         let per_round = doc.get("per_round").and_then(|v| v.as_arr()).unwrap();
         assert_eq!(per_round.len(), 8);
-        assert_eq!(per_round[0].as_arr().unwrap().len(), 9);
+        assert_eq!(per_round[0].as_arr().unwrap().len(), 10);
         assert!(doc
             .get("components")
             .and_then(|c| c.get("wire_ns"))

@@ -86,10 +86,24 @@ pub enum FlightEventKind {
     /// Aggregator evicted a worker; `actor` = evicted worker,
     /// `aux` = idle ns.
     Eviction = 14,
+    /// Membership epoch changed; `aux` = the new epoch. Recorded by an
+    /// aggregator when it bumps the epoch (eviction / admission) and by
+    /// a worker when it adopts a newer epoch from a result.
+    EpochChange = 15,
+    /// Checkpoint delta sent to the standby; `aux` = encoded bytes.
+    CheckpointTx = 16,
+    /// Checkpoint delta applied by the standby; `aux` = encoded bytes.
+    CheckpointRx = 17,
+    /// Worker re-targeted a shard from the dead primary to the standby;
+    /// `actor` = the abandoned primary node.
+    FailoverBegin = 18,
+    /// First result received from the standby after a failover;
+    /// `aux` = downtime ns (from the matching `FailoverBegin`).
+    FailoverEnd = 19,
 }
 
 impl FlightEventKind {
-    pub const ALL: [FlightEventKind; 15] = [
+    pub const ALL: [FlightEventKind; 20] = [
         FlightEventKind::RoundStart,
         FlightEventKind::RoundEnd,
         FlightEventKind::Encode,
@@ -105,6 +119,11 @@ impl FlightEventKind {
         FlightEventKind::NackRx,
         FlightEventKind::SolicitedResend,
         FlightEventKind::Eviction,
+        FlightEventKind::EpochChange,
+        FlightEventKind::CheckpointTx,
+        FlightEventKind::CheckpointRx,
+        FlightEventKind::FailoverBegin,
+        FlightEventKind::FailoverEnd,
     ];
 
     pub fn from_u8(v: u8) -> Option<FlightEventKind> {
@@ -129,6 +148,11 @@ impl FlightEventKind {
             FlightEventKind::NackRx => "nack_rx",
             FlightEventKind::SolicitedResend => "solicited_resend",
             FlightEventKind::Eviction => "eviction",
+            FlightEventKind::EpochChange => "epoch_change",
+            FlightEventKind::CheckpointTx => "checkpoint_tx",
+            FlightEventKind::CheckpointRx => "checkpoint_rx",
+            FlightEventKind::FailoverBegin => "failover_begin",
+            FlightEventKind::FailoverEnd => "failover_end",
         }
     }
 }

@@ -9,11 +9,13 @@
 //!
 //! ```text
 //! offset  size  field
-//! 0       1     message discriminant (0=Block,1=Kv,2=Start,3=Shutdown)
+//! 0       1     message discriminant (0=Block,1=Kv,2=Start,3=Shutdown,
+//!               4=Join,5=Welcome,6=Checkpoint)
 //! Block:
-//! 1       1     kind (0=Data,1=Result)
+//! 1       1     kind (0=Data,1=Result,2=Nack)
 //! 2       1     ver
-//! 3       1     (pad)
+//! 3       1     epoch (membership epoch; the former pad byte, so block
+//!               frame sizes are unchanged)
 //! 4       2     stream
 //! 6       2     wid
 //! 8       2     entry count
@@ -26,11 +28,24 @@
 //! 16      -     keys (u32 × count), then values (f32 × count)
 //! Start:
 //! 1       8     seq
+//! Join:
+//! 1       2     wid
+//! Welcome:
+//! 1       1     epoch
+//! 2       2     cursor count
+//! 4       -     vers (u8 × count)
+//! Checkpoint:
+//! 1       1     epoch
+//! 2       1     ver
+//! 3       2     stream (u16::MAX = membership-only)
+//! 5       2     member count, then members (u16 × count)
+//! -       2     evicted count, then evicted (u16 × count)
+//! -       2     entry count, then entries (block format)
 //! ```
 
 use bytes::{Buf, Bytes};
 
-use crate::message::{Entry, KvPacket, Message, Packet, PacketKind};
+use crate::message::{CheckpointDelta, Entry, KvPacket, Message, Packet, PacketKind};
 
 /// Decode failures.
 #[derive(Debug, PartialEq, Eq)]
@@ -64,11 +79,17 @@ pub const ENTRY_HEADER_BYTES: usize = 10;
 pub const KV_HEADER_BYTES: usize = 16;
 /// Bytes per key-value pair on the wire.
 pub const KV_PAIR_BYTES: usize = 8;
+/// Fixed header bytes of a checkpoint message (through the entry count:
+/// disc, epoch, ver, stream, member count, evicted count, entry count).
+pub const CHECKPOINT_HEADER_BYTES: usize = 11;
 
 const MSG_BLOCK: u8 = 0;
 const MSG_KV: u8 = 1;
 const MSG_START: u8 = 2;
 const MSG_SHUTDOWN: u8 = 3;
+const MSG_JOIN: u8 = 4;
+const MSG_WELCOME: u8 = 5;
+const MSG_CHECKPOINT: u8 = 6;
 
 fn kind_byte(k: PacketKind) -> u8 {
     match k {
@@ -108,6 +129,26 @@ fn put_u32s(out: &mut Vec<u8>, data: &[u32]) {
     }
 }
 
+/// Length-prefixed little-endian write of a `u16` slice (membership
+/// lists in checkpoint deltas).
+fn put_u16s(out: &mut Vec<u8>, data: &[u16]) {
+    out.extend_from_slice(&(data.len() as u16).to_le_bytes());
+    for v in data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Length-prefixed entry list (shared by Block and Checkpoint frames).
+fn put_entries(out: &mut Vec<u8>, entries: &[Entry]) {
+    out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&e.block.to_le_bytes());
+        out.extend_from_slice(&e.next.to_le_bytes());
+        out.extend_from_slice(&(e.data.len() as u16).to_le_bytes());
+        put_f32s(out, &e.data);
+    }
+}
+
 /// Encodes `msg` into a fresh frame.
 pub fn encode(msg: &Message) -> Bytes {
     let mut buf = Vec::with_capacity(encoded_len(msg));
@@ -129,16 +170,10 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
             out.push(MSG_BLOCK);
             out.push(kind_byte(p.kind));
             out.push(p.ver);
-            out.push(0);
+            out.push(p.epoch);
             out.extend_from_slice(&p.stream.to_le_bytes());
             out.extend_from_slice(&p.wid.to_le_bytes());
-            out.extend_from_slice(&(p.entries.len() as u16).to_le_bytes());
-            for e in &p.entries {
-                out.extend_from_slice(&e.block.to_le_bytes());
-                out.extend_from_slice(&e.next.to_le_bytes());
-                out.extend_from_slice(&(e.data.len() as u16).to_le_bytes());
-                put_f32s(out, &e.data);
-            }
+            put_entries(out, &p.entries);
         }
         Message::Kv(p) => {
             out.push(MSG_KV);
@@ -155,6 +190,25 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
         }
         Message::Shutdown => {
             out.push(MSG_SHUTDOWN);
+        }
+        Message::Join { wid } => {
+            out.push(MSG_JOIN);
+            out.extend_from_slice(&wid.to_le_bytes());
+        }
+        Message::Welcome { epoch, vers } => {
+            out.push(MSG_WELCOME);
+            out.push(*epoch);
+            out.extend_from_slice(&(vers.len() as u16).to_le_bytes());
+            out.extend_from_slice(vers);
+        }
+        Message::Checkpoint(d) => {
+            out.push(MSG_CHECKPOINT);
+            out.push(d.epoch);
+            out.push(d.ver);
+            out.extend_from_slice(&d.stream.to_le_bytes());
+            put_u16s(out, &d.members);
+            put_u16s(out, &d.evicted);
+            put_entries(out, &d.entries);
         }
     }
 }
@@ -173,6 +227,16 @@ pub fn encoded_len(msg: &Message) -> usize {
         Message::Kv(p) => KV_HEADER_BYTES + KV_PAIR_BYTES * p.keys.len(),
         Message::Start { .. } => 9,
         Message::Shutdown => 1,
+        Message::Join { .. } => 3,
+        Message::Welcome { vers, .. } => 4 + vers.len(),
+        Message::Checkpoint(d) => {
+            CHECKPOINT_HEADER_BYTES
+                + 2 * (d.members.len() + d.evicted.len())
+                + d.entries
+                    .iter()
+                    .map(|e| ENTRY_HEADER_BYTES + 4 * e.data.len())
+                    .sum::<usize>()
+        }
     }
 }
 
@@ -203,46 +267,20 @@ pub fn decode_into(mut buf: &[u8], msg: &mut Message) -> Result<(), CodecError> 
         MSG_BLOCK => {
             let kind = kind_from(get_u8(buf)?)?;
             let ver = get_u8(buf)?;
-            let _pad = get_u8(buf)?;
+            let epoch = get_u8(buf)?;
             let stream = get_u16(buf)?;
             let wid = get_u16(buf)?;
-            let n = get_u16(buf)? as usize;
             // Steal the previous entry list (and its payload buffers) so
             // they can be refilled in place.
-            let mut entries = match std::mem::replace(msg, Message::Shutdown) {
+            let prev = match std::mem::replace(msg, Message::Shutdown) {
                 Message::Block(p) => p.entries,
                 _ => Vec::new(),
             };
-            entries.truncate(n);
-            for i in 0..n {
-                let block = get_u32(buf)?;
-                let next = get_u32(buf)?;
-                let len = get_u16(buf)? as usize;
-                if buf.remaining() < 4 * len {
-                    return Err(CodecError::Truncated);
-                }
-                let (payload, rest) = buf.split_at(4 * len);
-                *buf = rest;
-                if i == entries.len() {
-                    entries.push(Entry {
-                        block: 0,
-                        next: 0,
-                        data: Vec::with_capacity(len),
-                    });
-                }
-                let e = &mut entries[i];
-                e.block = block;
-                e.next = next;
-                e.data.clear();
-                e.data.extend(
-                    payload
-                        .chunks_exact(4)
-                        .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
-                );
-            }
+            let entries = get_entries(buf, prev)?;
             *msg = Message::Block(Packet {
                 kind,
                 ver,
+                epoch,
                 stream,
                 wid,
                 entries,
@@ -285,12 +323,101 @@ pub fn decode_into(mut buf: &[u8], msg: &mut Message) -> Result<(), CodecError> 
         }
         MSG_START => *msg = Message::Start { seq: get_u64(buf)? },
         MSG_SHUTDOWN => *msg = Message::Shutdown,
+        MSG_JOIN => *msg = Message::Join { wid: get_u16(buf)? },
+        MSG_WELCOME => {
+            let epoch = get_u8(buf)?;
+            let n = get_u16(buf)? as usize;
+            if buf.remaining() < n {
+                return Err(CodecError::Truncated);
+            }
+            let mut vers = match std::mem::replace(msg, Message::Shutdown) {
+                Message::Welcome { vers, .. } => vers,
+                _ => Vec::new(),
+            };
+            vers.clear();
+            let (bytes, rest) = buf.split_at(n);
+            *buf = rest;
+            vers.extend_from_slice(bytes);
+            *msg = Message::Welcome { epoch, vers };
+        }
+        MSG_CHECKPOINT => {
+            let epoch = get_u8(buf)?;
+            let ver = get_u8(buf)?;
+            let stream = get_u16(buf)?;
+            let (members_prev, evicted_prev, entries_prev) =
+                match std::mem::replace(msg, Message::Shutdown) {
+                    Message::Checkpoint(d) => (d.members, d.evicted, d.entries),
+                    _ => (Vec::new(), Vec::new(), Vec::new()),
+                };
+            let members = get_u16s(buf, members_prev)?;
+            let evicted = get_u16s(buf, evicted_prev)?;
+            let entries = get_entries(buf, entries_prev)?;
+            *msg = Message::Checkpoint(CheckpointDelta {
+                epoch,
+                stream,
+                ver,
+                members,
+                evicted,
+                entries,
+            });
+        }
         d => return Err(CodecError::BadDiscriminant(d)),
     }
     if !buf.is_empty() {
         return Err(CodecError::TrailingBytes);
     }
     Ok(())
+}
+
+/// Length-prefixed entry list, refilling `entries` (and its payload
+/// buffers) in place.
+fn get_entries(buf: &mut &[u8], mut entries: Vec<Entry>) -> Result<Vec<Entry>, CodecError> {
+    let n = get_u16(buf)? as usize;
+    entries.truncate(n);
+    for i in 0..n {
+        let block = get_u32(buf)?;
+        let next = get_u32(buf)?;
+        let len = get_u16(buf)? as usize;
+        if buf.remaining() < 4 * len {
+            return Err(CodecError::Truncated);
+        }
+        let (payload, rest) = buf.split_at(4 * len);
+        *buf = rest;
+        if i == entries.len() {
+            entries.push(Entry {
+                block: 0,
+                next: 0,
+                data: Vec::with_capacity(len),
+            });
+        }
+        let e = &mut entries[i];
+        e.block = block;
+        e.next = next;
+        e.data.clear();
+        e.data.extend(
+            payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
+    }
+    Ok(entries)
+}
+
+/// Length-prefixed `u16` list, refilling `out` in place.
+fn get_u16s(buf: &mut &[u8], mut out: Vec<u16>) -> Result<Vec<u16>, CodecError> {
+    let n = get_u16(buf)? as usize;
+    if buf.remaining() < 2 * n {
+        return Err(CodecError::Truncated);
+    }
+    out.clear();
+    let (bytes, rest) = buf.split_at(2 * n);
+    *buf = rest;
+    out.extend(
+        bytes
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().unwrap())),
+    );
+    Ok(out)
 }
 
 fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
@@ -330,12 +457,24 @@ mod tests {
         Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 1,
+            epoch: 5,
             stream: 42,
             wid: 3,
             entries: vec![
                 Entry::data(10, 14, vec![1.0, -2.5, 0.0]),
                 Entry::ack(11, u32::MAX),
             ],
+        })
+    }
+
+    fn sample_checkpoint() -> Message {
+        Message::Checkpoint(CheckpointDelta {
+            epoch: 2,
+            stream: 7,
+            ver: 1,
+            members: vec![0, 2, 3],
+            evicted: vec![1],
+            entries: vec![Entry::data(4, 6, vec![0.5, -0.25]), Entry::ack(5, 9)],
         })
     }
 
@@ -363,7 +502,19 @@ mod tests {
 
     #[test]
     fn control_roundtrips() {
-        for msg in [Message::Start { seq: 123456789 }, Message::Shutdown] {
+        for msg in [
+            Message::Start { seq: 123456789 },
+            Message::Shutdown,
+            Message::Join { wid: 11 },
+            Message::Welcome {
+                epoch: 3,
+                vers: vec![0, 1, 1, 0],
+            },
+            Message::Welcome {
+                epoch: 0,
+                vers: vec![],
+            },
+        ] {
             let enc = encode(&msg);
             assert_eq!(enc.len(), encoded_len(&msg));
             assert_eq!(decode(&enc).unwrap(), msg);
@@ -371,12 +522,49 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_roundtrip() {
+        for msg in [
+            sample_checkpoint(),
+            Message::Checkpoint(CheckpointDelta {
+                epoch: 1,
+                stream: u16::MAX,
+                ver: 0,
+                members: vec![],
+                evicted: vec![0, 1, 2],
+                entries: vec![],
+            }),
+        ] {
+            let enc = encode(&msg);
+            assert_eq!(enc.len(), encoded_len(&msg));
+            assert_eq!(decode(&enc).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn block_epoch_rides_former_pad_byte() {
+        // The epoch must not change the block frame size (the simulators'
+        // byte accounting predates it), and it must land at offset 3.
+        let msg = sample_block();
+        let enc = encode(&msg);
+        assert_eq!(enc.len(), encoded_len(&msg));
+        assert_eq!(enc[3], 5);
+        let mut zeroed = enc.as_ref().to_vec();
+        zeroed[3] = 0;
+        match decode(&zeroed).unwrap() {
+            Message::Block(p) => assert_eq!(p.epoch, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn truncated_frames_error() {
-        let enc = encode(&sample_block());
-        for cut in 0..enc.len() {
-            let r = decode(&enc[..cut]);
-            assert!(r.is_err(), "cut at {cut} should fail");
-            assert_eq!(r.unwrap_err(), CodecError::Truncated);
+        for msg in [sample_block(), sample_checkpoint()] {
+            let enc = encode(&msg);
+            for cut in 0..enc.len() {
+                let r = decode(&enc[..cut]);
+                assert!(r.is_err(), "{}: cut at {cut} should fail", msg.tag());
+                assert_eq!(r.unwrap_err(), CodecError::Truncated);
+            }
         }
     }
 
@@ -392,6 +580,7 @@ mod tests {
         let msg = Message::Block(Packet {
             kind: PacketKind::Nack,
             ver: 1,
+            epoch: 0,
             stream: 17,
             wid: u16::MAX,
             entries: vec![],
@@ -406,6 +595,7 @@ mod tests {
         let msg = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: 0,
+            epoch: 0,
             stream: 0,
             wid: 0,
             entries: vec![],
@@ -421,6 +611,7 @@ mod tests {
         let mut scratch = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: 9,
+            epoch: 9,
             stream: 9,
             wid: 9,
             entries: vec![
@@ -460,10 +651,21 @@ mod tests {
                 values: vec![1.0],
                 nextkey: 2,
             }),
+            Message::Join { wid: 4 },
+            Message::Welcome {
+                epoch: 9,
+                vers: vec![1; 4],
+            },
+            sample_checkpoint(),
         ] {
             decode_into(&enc, &mut scratch).unwrap();
             assert_eq!(scratch, sample_block());
         }
+        // And the reverse: a checkpoint decoded over block scratch.
+        let enc = encode(&sample_checkpoint());
+        let mut scratch = sample_block();
+        decode_into(&enc, &mut scratch).unwrap();
+        assert_eq!(scratch, sample_checkpoint());
     }
 
     #[test]
@@ -479,6 +681,12 @@ mod tests {
             }),
             Message::Start { seq: 5 },
             Message::Shutdown,
+            Message::Join { wid: 1 },
+            Message::Welcome {
+                epoch: 2,
+                vers: vec![0, 1],
+            },
+            sample_checkpoint(),
         ] {
             let mut enc = encode(&msg).as_ref().to_vec();
             enc.push(0xAB);
@@ -499,6 +707,7 @@ mod tests {
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 1,
+            epoch: 0,
             stream: 7,
             wid: 2,
             entries: vec![Entry::data(0, u32::MAX, data)],
@@ -543,6 +752,7 @@ mod tests {
                 Just(PacketKind::Nack),
             ],
             ver in 0u8..2,
+            epoch in any::<u8>(),
             stream in any::<u16>(),
             wid in any::<u16>(),
             entries in prop::collection::vec(
@@ -556,12 +766,13 @@ mod tests {
                 .into_iter()
                 .map(|(block, next, data)| Entry { block, next, data })
                 .collect();
-            let msg = Message::Block(Packet { kind, ver, stream, wid, entries });
+            let msg = Message::Block(Packet { kind, ver, epoch, stream, wid, entries });
             let enc = encode(&msg);
             // Decode into dirty scratch of arbitrary prior shape.
             let mut scratch = Message::Block(Packet {
                 kind: PacketKind::Result,
                 ver: 1,
+                epoch: 1,
                 stream: 1,
                 wid: 1,
                 entries: (0..scratch_entries)
@@ -612,6 +823,7 @@ mod tests {
                 Just(PacketKind::Nack),
             ],
             ver in 0u8..2,
+            epoch in any::<u8>(),
             stream in any::<u16>(),
             wid in any::<u16>(),
             entries in prop::collection::vec(
@@ -623,12 +835,40 @@ mod tests {
                 .into_iter()
                 .map(|(block, next, data)| Entry { block, next, data })
                 .collect();
-            let msg = Message::Block(Packet { kind, ver, stream, wid, entries });
+            let msg = Message::Block(Packet { kind, ver, epoch, stream, wid, entries });
             let enc = encode(&msg);
             prop_assert_eq!(enc.len(), encoded_len(&msg));
             let dec = decode(&enc).unwrap();
             // NaN-safe comparison: encode again and compare bytes.
             prop_assert_eq!(encode(&dec), enc);
+        }
+
+        #[test]
+        fn prop_checkpoint_roundtrip(
+            epoch in any::<u8>(),
+            stream in any::<u16>(),
+            ver in 0u8..2,
+            members in prop::collection::vec(any::<u16>(), 0..8),
+            evicted in prop::collection::vec(any::<u16>(), 0..8),
+            entries in prop::collection::vec(
+                (any::<u32>(), any::<u32>(), prop::collection::vec(any::<f32>(), 0..32)),
+                0..4,
+            ),
+        ) {
+            let entries: Vec<Entry> = entries
+                .into_iter()
+                .map(|(block, next, data)| Entry { block, next, data })
+                .collect();
+            let msg = Message::Checkpoint(CheckpointDelta {
+                epoch, stream, ver, members, evicted, entries,
+            });
+            let enc = encode(&msg);
+            prop_assert_eq!(enc.len(), encoded_len(&msg));
+            let mut scratch = sample_checkpoint();
+            decode_into(&enc, &mut scratch).unwrap();
+            let mut re = Vec::new();
+            encode_into(&scratch, &mut re);
+            prop_assert_eq!(&re[..], enc.as_ref());
         }
 
         #[test]

@@ -324,7 +324,11 @@ fn flow_key(msg: &Message) -> Option<u64> {
             p.keys.first().copied().unwrap_or(u32::MAX) as u64,
             p.keys.len() as u64,
         ])),
-        Message::Start { .. } | Message::Shutdown => None,
+        Message::Start { .. }
+        | Message::Shutdown
+        | Message::Join { .. }
+        | Message::Welcome { .. }
+        | Message::Checkpoint(_) => None,
     }
 }
 
@@ -399,7 +403,13 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         }
         let me = self.inner.local_id().0;
         let data_plane = matches!(msg, Message::Block(_) | Message::Kv(_));
-        if !data_plane {
+        // Checkpoint deltas ride a dedicated reliable replication lane
+        // (no loss, partitions or stragglers), but they *do* advance the
+        // crash clock: a primary can die between checkpointing a phase
+        // and multicasting its result, the failover window the standby
+        // protocol must survive.
+        let replication = matches!(msg, Message::Checkpoint(_));
+        if !data_plane && !replication {
             // Control plane rides a separate reliable fabric (the
             // paper's TCP control mesh): unaffected by partitions, loss
             // and stragglers — only by the node itself dying.
@@ -416,6 +426,10 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                     self.counters.crashed_sends.inc();
                     return Ok(()); // the crashing send is lost with the node
                 }
+            }
+            if replication {
+                std::mem::drop(st);
+                return self.inner.send(peer, msg);
             }
             let link_n = {
                 let n = st.link_seq.entry(peer.0).or_insert(0);
@@ -482,8 +496,20 @@ mod tests {
         Message::Block(Packet {
             kind: PacketKind::Data,
             ver,
+            epoch: 0,
             stream,
             wid,
+            entries: vec![],
+        })
+    }
+
+    fn checkpoint() -> Message {
+        Message::Checkpoint(crate::message::CheckpointDelta {
+            epoch: 0,
+            stream: 0,
+            ver: 0,
+            members: vec![0],
+            evicted: vec![],
             entries: vec![],
         })
     }
@@ -547,6 +573,43 @@ mod tests {
         assert!(!eps[0].is_crashed());
         eps[0].send(NodeId(1), &data(2, 0, 0)).unwrap();
         assert!(eps[0].is_crashed());
+    }
+
+    #[test]
+    fn checkpoint_advances_crash_clock_but_is_never_lost() {
+        // Replication-lane sends are exempt from loss and partitions...
+        let eps = mesh(
+            2,
+            &FaultPlan::new(9)
+                .partition(0, 1, 0, 100)
+                .loss(KeyedLoss::uniform(1.0, 0.0)),
+        );
+        for _ in 0..8 {
+            eps[0].send(NodeId(1), &checkpoint()).unwrap();
+            assert!(eps[1]
+                .recv_timeout(Duration::from_millis(15))
+                .unwrap()
+                .is_some());
+        }
+        // ...but they do count toward the sender's crash schedule.
+        let eps = mesh(2, &FaultPlan::new(9).crash_after(0, 2));
+        eps[0].send(NodeId(1), &checkpoint()).unwrap();
+        eps[0].send(NodeId(1), &checkpoint()).unwrap();
+        assert!(!eps[0].is_crashed());
+        eps[0].send(NodeId(1), &checkpoint()).unwrap();
+        assert!(eps[0].is_crashed());
+        assert!(eps[1]
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_some());
+        assert!(eps[1]
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_some());
+        assert!(eps[1]
+            .recv_timeout(Duration::from_millis(10))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

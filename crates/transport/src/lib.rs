@@ -43,7 +43,9 @@ pub mod udp;
 pub use channel::ChannelNetwork;
 pub use fault::{ChaosNetwork, ChaosTransport, FaultPlan, KeyedLoss};
 pub use lossy::{GilbertElliott, LossConfig, LossyNetwork};
-pub use message::{Entry, KvPacket, Message, NodeId, Packet, PacketKind};
+pub use message::{
+    CheckpointDelta, Entry, KvPacket, Message, NodeId, Packet, PacketKind, MEMBERSHIP_ONLY,
+};
 pub use pool::BufferPool;
 pub use shard::{ShardBond, ShardedChannelMesh, ShardedChaosMesh};
 pub use tcp::TcpNetwork;

@@ -304,6 +304,7 @@ mod tests {
             ver: 0,
             stream: 0,
             wid: 0,
+            epoch: 0,
             entries: vec![],
         })
     }

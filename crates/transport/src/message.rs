@@ -95,6 +95,13 @@ pub struct Packet {
     /// Two-phase slot version (Algorithm 2); always 0 in the basic
     /// lossless protocol.
     pub ver: u8,
+    /// Membership epoch the sender believes is current. Carried in the
+    /// block header's former pad byte, so wire sizes are unchanged.
+    /// Always 0 outside the elastic-membership recovery engines. An
+    /// aggregator drops `Data` whose epoch predates the sender's latest
+    /// admission (a zombie contribution from before an eviction);
+    /// workers adopt newer epochs observed on `Result` packets.
+    pub epoch: u8,
     /// Stream / slot id (the paper's 12-bit slot id; §3.1.1 pipelining).
     pub stream: u16,
     /// Sending worker id (meaningful on `Data` packets).
@@ -129,6 +136,35 @@ pub struct KvPacket {
 /// The paper's ∞ sentinel for [`KvPacket::nextkey`].
 pub const INFINITY_KEY: u64 = u64::MAX;
 
+/// Sentinel for [`CheckpointDelta::stream`]: the delta carries only a
+/// membership change (epoch bump, admissions, evictions), no phase
+/// completion.
+pub const MEMBERSHIP_ONLY: u16 = u16::MAX;
+
+/// One replication-lane delta from a primary aggregator to its hot
+/// standby. Sent synchronously *before* the corresponding result
+/// multicast, so every result a worker could ever have observed is
+/// already installed on the standby (the failover bit-identity
+/// invariant, DESIGN §12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointDelta {
+    /// Membership epoch in force when the delta was produced.
+    pub epoch: u8,
+    /// Completed stream slot, or [`MEMBERSHIP_ONLY`].
+    pub stream: u16,
+    /// Completed phase version within the slot (ignored for
+    /// membership-only deltas).
+    pub ver: u8,
+    /// For phase deltas: the wids folded into this completion. For
+    /// membership-only deltas: the wids (re)admitted at `epoch`.
+    pub members: Vec<u16>,
+    /// The full evicted set as of this delta (applied wholesale).
+    pub evicted: Vec<u16>,
+    /// The completed phase's result entries (empty for membership-only
+    /// deltas).
+    pub entries: Vec<Entry>,
+}
+
 /// Everything a transport can carry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -141,6 +177,24 @@ pub enum Message {
     Start { seq: u64 },
     /// Control: graceful shutdown of the peer.
     Shutdown,
+    /// Control: a worker asks to (re)join the collective. Answered with
+    /// [`Message::Welcome`] once the aggregator reaches an idle round
+    /// boundary; retried by the sender like a data packet.
+    Join {
+        /// The joining worker's id.
+        wid: u16,
+    },
+    /// Control: admission reply. Carries the epoch the join took effect
+    /// at and the per-stream next-phase version cursors, so the joiner's
+    /// two-phase slot state lines up with the aggregator's.
+    Welcome {
+        /// Epoch at which the sender admitted the joiner.
+        epoch: u8,
+        /// Per-stream next expected `ver` (index = local stream id).
+        vers: Vec<u8>,
+    },
+    /// Replication lane: primary → standby checkpoint delta.
+    Checkpoint(CheckpointDelta),
 }
 
 impl Message {
@@ -159,6 +213,15 @@ impl Message {
             },
             Message::Start { .. } => "start",
             Message::Shutdown => "shutdown",
+            Message::Join { .. } => "join",
+            Message::Welcome { .. } => "welcome",
+            Message::Checkpoint(d) => {
+                if d.stream == MEMBERSHIP_ONLY {
+                    "checkpoint-membership"
+                } else {
+                    "checkpoint-phase"
+                }
+            }
         }
     }
 }
@@ -181,6 +244,7 @@ mod tests {
         let p = Packet {
             kind: PacketKind::Data,
             ver: 0,
+            epoch: 0,
             stream: 0,
             wid: 1,
             entries: vec![Entry::data(0, 1, vec![0.0; 4]), Entry::ack(1, 2)],
@@ -193,6 +257,7 @@ mod tests {
         let p = Packet {
             kind: PacketKind::Result,
             ver: 0,
+            epoch: 0,
             stream: 0,
             wid: 0,
             entries: vec![],
@@ -200,6 +265,32 @@ mod tests {
         assert_eq!(Message::Block(p).tag(), "block-result");
         assert_eq!(Message::Start { seq: 1 }.tag(), "start");
         assert_eq!(Message::Shutdown.tag(), "shutdown");
+        assert_eq!(Message::Join { wid: 2 }.tag(), "join");
+        assert_eq!(
+            Message::Welcome {
+                epoch: 1,
+                vers: vec![0, 1]
+            }
+            .tag(),
+            "welcome"
+        );
+        let membership = CheckpointDelta {
+            epoch: 1,
+            stream: MEMBERSHIP_ONLY,
+            ver: 0,
+            members: vec![2],
+            evicted: vec![],
+            entries: vec![],
+        };
+        assert_eq!(
+            Message::Checkpoint(membership.clone()).tag(),
+            "checkpoint-membership"
+        );
+        let phase = CheckpointDelta {
+            stream: 3,
+            ..membership
+        };
+        assert_eq!(Message::Checkpoint(phase).tag(), "checkpoint-phase");
     }
 
     #[test]

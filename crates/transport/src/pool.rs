@@ -216,7 +216,12 @@ impl BufferPool {
     pub fn recycle_message(&mut self, msg: Message) {
         match msg {
             Message::Block(p) => self.checkin_entries(p.entries),
-            Message::Kv(_) | Message::Start { .. } | Message::Shutdown => {}
+            Message::Checkpoint(d) => self.checkin_entries(d.entries),
+            Message::Kv(_)
+            | Message::Start { .. }
+            | Message::Shutdown
+            | Message::Join { .. }
+            | Message::Welcome { .. } => {}
         }
     }
 }
@@ -293,6 +298,7 @@ mod tests {
         let msg = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: 0,
+            epoch: 0,
             stream: 0,
             wid: 0,
             entries: vec![Entry::data(0, 1, vec![0.5; 4])],

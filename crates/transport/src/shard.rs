@@ -78,14 +78,16 @@ impl<T: Transport> ShardBond<T> {
         self.lanes.len()
     }
 
-    /// The lane a message to `peer` is routed onto.
+    /// The lane a message to `peer` is routed onto. Shard `s`'s hot
+    /// standby (node `first_aggregator + num_shards + s`) lives in the
+    /// same per-shard mesh as its primary, so it shares lane `s`.
     fn lane_of(&self, peer: NodeId) -> Result<usize, TransportError> {
         if peer.0 < self.first_aggregator {
             return Ok(0);
         }
         let s = (peer.0 - self.first_aggregator) as usize;
-        if s < self.lanes.len() {
-            Ok(s)
+        if s < 2 * self.lanes.len() {
+            Ok(s % self.lanes.len())
         } else {
             Err(TransportError::UnknownPeer(peer))
         }
@@ -146,16 +148,33 @@ impl<T: Transport> Transport for ShardBond<T> {
 pub struct ShardedChannelMesh {
     nets: Vec<ChannelNetwork>,
     num_workers: usize,
+    standby: bool,
 }
 
 impl ShardedChannelMesh {
     /// Builds `num_shards` meshes for `num_workers` workers.
     pub fn new(num_workers: usize, num_shards: usize) -> Self {
+        Self::build(num_workers, num_shards, false)
+    }
+
+    /// Like [`ShardedChannelMesh::new`] with a hot-standby node per
+    /// shard (shard `s`'s standby at node `W + num_shards + s`, in
+    /// shard `s`'s mesh).
+    pub fn with_standby(num_workers: usize, num_shards: usize) -> Self {
+        Self::build(num_workers, num_shards, true)
+    }
+
+    fn build(num_workers: usize, num_shards: usize, standby: bool) -> Self {
         assert!(num_shards > 0, "need at least one shard");
+        let extra = if standby { 2 * num_shards } else { num_shards };
         let nets = (0..num_shards)
-            .map(|_| ChannelNetwork::new(num_workers + num_shards))
+            .map(|_| ChannelNetwork::new(num_workers + extra))
             .collect();
-        ShardedChannelMesh { nets, num_workers }
+        ShardedChannelMesh {
+            nets,
+            num_workers,
+            standby,
+        }
     }
 
     /// Number of shards (aggregators).
@@ -183,6 +202,15 @@ impl ShardedChannelMesh {
         let id = NodeId((self.num_workers + s) as u16);
         self.nets[s].endpoint(id)
     }
+
+    /// Takes shard `s`'s hot-standby endpoint (node `W + S + s` in mesh
+    /// `s`). Only available on meshes built with
+    /// [`ShardedChannelMesh::with_standby`].
+    pub fn standby_endpoint(&mut self, s: usize) -> ChannelTransport {
+        assert!(self.standby, "mesh built without standby nodes");
+        let id = NodeId((self.num_workers + self.nets.len() + s) as u16);
+        self.nets[s].endpoint(id)
+    }
 }
 
 /// [`ShardedChannelMesh`] with each shard's mesh wrapped by its **own**
@@ -193,13 +221,14 @@ pub struct ShardedChaosMesh {
     /// `shards[s][node]` = node's endpoint in shard `s`'s mesh.
     shards: Vec<Vec<Option<ChaosTransport<ChannelTransport>>>>,
     num_workers: usize,
+    standby: bool,
 }
 
 impl ShardedChaosMesh {
     /// Builds `plans.len()` shard meshes, wrapping shard `s`'s endpoints
     /// with `plans[s]`.
     pub fn wrap(num_workers: usize, plans: &[FaultPlan]) -> Self {
-        Self::build(num_workers, plans, None)
+        Self::build(num_workers, plans, None, false)
     }
 
     /// Like [`ShardedChaosMesh::wrap`], mirroring every shard's fault
@@ -209,12 +238,33 @@ impl ShardedChaosMesh {
         plans: &[FaultPlan],
         telemetry: &Telemetry,
     ) -> Self {
-        Self::build(num_workers, plans, Some(telemetry))
+        Self::build(num_workers, plans, Some(telemetry), false)
     }
 
-    fn build(num_workers: usize, plans: &[FaultPlan], telemetry: Option<&Telemetry>) -> Self {
+    /// Like [`ShardedChaosMesh::wrap`] with a hot-standby node per shard
+    /// (shard `s`'s standby at node `W + S + s`), optionally mirroring
+    /// fault counters into `telemetry`.
+    pub fn wrap_with_standby(
+        num_workers: usize,
+        plans: &[FaultPlan],
+        telemetry: Option<&Telemetry>,
+    ) -> Self {
+        Self::build(num_workers, plans, telemetry, true)
+    }
+
+    fn build(
+        num_workers: usize,
+        plans: &[FaultPlan],
+        telemetry: Option<&Telemetry>,
+        standby: bool,
+    ) -> Self {
         assert!(!plans.is_empty(), "need one fault plan per shard");
-        let n = num_workers + plans.len();
+        let extra = if standby {
+            2 * plans.len()
+        } else {
+            plans.len()
+        };
+        let n = num_workers + extra;
         let shards = plans
             .iter()
             .map(|plan| {
@@ -229,6 +279,7 @@ impl ShardedChaosMesh {
         ShardedChaosMesh {
             shards,
             num_workers,
+            standby,
         }
     }
 
@@ -257,6 +308,14 @@ impl ShardedChaosMesh {
         self.shards[s][self.num_workers + s]
             .take()
             .expect("endpoint already taken")
+    }
+
+    /// Takes shard `s`'s hot-standby endpoint (meshes built with
+    /// [`ShardedChaosMesh::wrap_with_standby`] only).
+    pub fn standby_endpoint(&mut self, s: usize) -> ChaosTransport<ChannelTransport> {
+        assert!(self.standby, "mesh built without standby nodes");
+        let node = self.num_workers + self.shards.len() + s;
+        self.shards[s][node].take().expect("endpoint already taken")
     }
 }
 
@@ -304,6 +363,25 @@ mod tests {
         let bond = mesh.worker_bond(0);
         let err = bond.send(NodeId(9), &Message::Shutdown).unwrap_err();
         assert!(matches!(err, TransportError::UnknownPeer(NodeId(9))));
+    }
+
+    #[test]
+    fn bond_routes_standby_onto_the_primary_lane() {
+        // 2 workers, 2 shards with standbys: shard s's standby (node
+        // 4 + s) must be reachable over lane s.
+        let mut mesh = ShardedChannelMesh::with_standby(2, 2);
+        let bond = mesh.worker_bond(0);
+        for s in 0..2usize {
+            let standby = mesh.standby_endpoint(s);
+            bond.send(NodeId((4 + s) as u16), &Message::Start { seq: s as u64 })
+                .unwrap();
+            let (from, msg) = standby.recv().unwrap();
+            assert_eq!(from, NodeId(0));
+            assert_eq!(msg, Message::Start { seq: s as u64 });
+        }
+        // Beyond the standby range is still unknown.
+        let err = bond.send(NodeId(6), &Message::Shutdown).unwrap_err();
+        assert!(matches!(err, TransportError::UnknownPeer(NodeId(6))));
     }
 
     #[test]
@@ -355,6 +433,7 @@ mod tests {
             Message::Block(Packet {
                 kind: PacketKind::Result,
                 ver: 0,
+                epoch: 0,
                 stream,
                 wid: 0,
                 entries: vec![Entry::data(0, 0, vec![1.0])],

@@ -219,6 +219,7 @@ mod tests {
             ver: 0,
             stream: 3,
             wid: 0,
+            epoch: 0,
             entries: vec![Entry::data(1, 2, vec![1.0, 2.0, 3.0])],
         });
         a.send(NodeId(1), &msg).unwrap();
@@ -272,6 +273,7 @@ mod tests {
             ver: 1,
             stream: 0,
             wid: 0,
+            epoch: 0,
             entries: vec![Entry::data(0, 1, data)],
         });
         a.send(NodeId(1), &msg).unwrap();

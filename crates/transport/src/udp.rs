@@ -146,6 +146,7 @@ mod tests {
             ver: 1,
             stream: 7,
             wid: 0,
+            epoch: 0,
             entries: vec![Entry::data(3, 5, vec![1.0, 2.0])],
         });
         t0.send(NodeId(1), &msg).unwrap();
@@ -198,6 +199,7 @@ mod tests {
             ver: 0,
             stream: 0,
             wid: 0,
+            epoch: 0,
             entries: vec![Entry::data(0, 1, vec![0.0; 16_000])],
         });
         let _ = t.send(NodeId(1), &msg);
@@ -217,6 +219,7 @@ mod tests {
             ver: 0,
             stream: 2,
             wid: 0,
+            epoch: 0,
             entries: (0..4)
                 .map(|c| Entry::data(c, c + 4, vec![0.5; 256]))
                 .collect(),

@@ -53,6 +53,33 @@ else
   step "fault suite" cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test fault -q
 fi
 
+# Membership suite (§12 elastic membership): epoch fencing at the
+# engine level (evict → stale-epoch drop → rejoin at a later epoch)
+# and the wind-down regression tests (shutdown errors surfaced and
+# counted on every lane). Timer-driven evictions mean a regression can
+# stall rather than fail — same outer timeout belt.
+if command -v timeout >/dev/null 2>&1; then
+  step "membership suite (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test membership -q
+else
+  step "membership suite" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test membership -q
+fi
+
+# Failover suite (§12 hot standby): seeded primary crashes mid-stream
+# must complete via the standby bit-identical to an uninterrupted run,
+# with exact stats/telemetry replay. A takeover that never converges
+# presents as a hang, hence the outer timeout.
+if command -v timeout >/dev/null 2>&1; then
+  step "failover suite (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test fault -q -- failover fails_over
+else
+  step "failover suite" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test fault -q -- failover fails_over
+fi
+
 # Sharded interleaving suite (§4 multi-aggregator): per-shard chaos,
 # join-schedule invariance, one-shard stragglers and a non-primary
 # aggregator crash. Same hang risk as the fault suite (a survivor that
@@ -129,6 +156,22 @@ if [[ "$FAST" -eq 0 ]]; then
   step "sharding scaling gate" \
     cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
     --bin ablation_sharding -- --check
+fi
+
+# Failover recovery-time gate (§12): every seeded primary-crash run
+# must fail over to the standby and finish bit-identical to its clean
+# twin, with max takeover downtime within 4x the committed baseline.
+if [[ "$FAST" -eq 0 ]]; then
+  if command -v timeout >/dev/null 2>&1; then
+    step "failover recovery-time gate (timeout 300s)" \
+      timeout --signal=KILL 300 \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin ablation_failover -- --check
+  else
+    step "failover recovery-time gate" \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin ablation_failover -- --check
+  fi
 fi
 
 if cargo fmt --version >/dev/null 2>&1; then
