@@ -34,6 +34,8 @@ fn omni(bs: usize, fusion: usize, sparsity: f64, agg_nic: NicConfig, shards: usi
         agg_nic,
         colocated: false,
         telemetry: Some(omnireduce_bench::telemetry().clone()),
+        threads: 1,
+        topology: None,
     };
     simulate_allreduce(&spec, &bms).completion.as_secs_f64()
 }

@@ -1678,6 +1678,16 @@ impl<T: Transport> RecoveryAggregator<T> {
                     )?;
                 }
             }
+            // A trailing duplicate of a *completed* phase must not leave
+            // the shard marked busy: the idle→busy edge above fired for
+            // a packet that opened no work, and with nothing in flight
+            // no completion will ever clear the flag again — the armed
+            // eviction sweep would then count the inter-round gap as
+            // member silence (and, in the simulator, re-arm forever and
+            // keep the event queue from draining).
+            if self.busy && self.fully_idle() {
+                self.busy = false;
+            }
             return Ok(());
         }
 

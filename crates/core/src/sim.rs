@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use omnireduce_simnet::{
-    ActorId, Bandwidth, Ctx, NicConfig, Process, RunReport, SimTime, Simulator,
+    ActorId, Bandwidth, Ctx, NicConfig, Process, RunReport, SimTime, Simulator, Topology,
 };
 use omnireduce_telemetry::{Counter, FlightEventKind, FlightLane, LaneRole, Telemetry, NO_BLOCK};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
@@ -89,6 +89,11 @@ pub struct SimSpec {
     /// counters, `simnet.nic.*` fabric counters, and — when the
     /// registry's trace recorder is enabled — per-NIC timeline spans).
     pub telemetry: Option<Telemetry>,
+    /// Engine threads for the simnet backend (1 = classic sequential
+    /// drain; >1 = conservative parallel windows, bit-identical output).
+    pub threads: usize,
+    /// Fabric topology override (e.g. multi-rack); `None` = flat.
+    pub topology: Option<Arc<dyn Topology>>,
 }
 
 impl SimSpec {
@@ -100,6 +105,8 @@ impl SimSpec {
             agg_nic: NicConfig::symmetric(rate, latency),
             colocated: false,
             telemetry: None,
+            threads: 1,
+            topology: None,
         }
     }
 
@@ -111,12 +118,26 @@ impl SimSpec {
             agg_nic: NicConfig::symmetric(rate, latency),
             colocated: true,
             telemetry: None,
+            threads: 1,
+            topology: None,
         }
     }
 
     /// Attaches a telemetry registry to the spec (builder style).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Sets the simnet engine thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the fabric topology (builder style).
+    pub fn with_topology(mut self, topology: impl Topology + 'static) -> Self {
+        self.topology = Some(Arc::new(topology));
         self
     }
 }
@@ -571,6 +592,10 @@ pub fn simulate_allreduce(spec: &SimSpec, bitmaps: &[NonZeroBitmap]) -> SimOutco
     }
 
     let mut sim: Simulator<SimMsg> = Simulator::new(0xC0FFEE);
+    sim.set_threads(spec.threads.max(1));
+    if let Some(topology) = &spec.topology {
+        sim.set_topology_shared(topology.clone());
+    }
     if let Some(telemetry) = &spec.telemetry {
         sim.attach_telemetry(telemetry.clone());
     }

@@ -36,6 +36,9 @@ pub struct HierarchySpec {
     pub nic: Bandwidth,
     /// Inter-server one-way latency.
     pub latency: SimTime,
+    /// Simnet engine threads for the inter-server layer (1 =
+    /// sequential; >1 = parallel windows, bit-identical).
+    pub threads: usize,
 }
 
 impl HierarchySpec {
@@ -47,6 +50,7 @@ impl HierarchySpec {
             nvlink_bytes_per_sec: 60e9,
             nic: Bandwidth::gbps(100.0),
             latency: SimTime::from_micros(5),
+            threads: 1,
         }
     }
 
@@ -86,7 +90,8 @@ impl HierarchySpec {
     /// `cfg.num_workers` must equal `self.servers`.
     pub fn omnireduce_time(&self, cfg: &OmniConfig, per_server: &[NonZeroBitmap]) -> SimTime {
         assert_eq!(cfg.num_workers, self.servers);
-        let spec = SimSpec::dedicated(cfg.clone(), self.nic, self.latency);
+        let spec =
+            SimSpec::dedicated(cfg.clone(), self.nic, self.latency).with_threads(self.threads);
         let inter = simulate_allreduce(&spec, per_server).completion;
         self.intra_time(cfg.tensor_len as u64 * 4) + inter
     }

@@ -818,6 +818,13 @@ impl Process<RecMsg> for RecAgg {
                     );
                 }
             }
+            // Mirror the live engine: a trailing duplicate of a
+            // completed phase opened no work, so the idle→busy edge
+            // above was spurious — clear it, or the armed eviction
+            // sweep re-arms forever and the run never drains.
+            if self.busy && self.fully_idle() {
+                self.busy = false;
+            }
             return;
         }
         slot.seen[v][wid] = true;
@@ -959,7 +966,7 @@ pub fn simulate_recovery_allreduce_with_telemetry(
     telemetry: Option<&Telemetry>,
 ) -> SimOutcome {
     simulate_recovery_allreduce_with_membership(
-        cfg, worker_nic, agg_nic, loss, rto, bitmaps, seed, None, telemetry,
+        cfg, worker_nic, agg_nic, loss, rto, bitmaps, seed, 1, None, telemetry,
     )
 }
 
@@ -969,6 +976,8 @@ pub fn simulate_recovery_allreduce_with_telemetry(
 /// degraded — the simulated mirror of the live engine's elastic
 /// membership, emitting the same `Eviction`/`EpochChange` flight
 /// events. Without a plan this is byte-for-byte the plain simulation.
+/// `threads` selects the simnet engine's thread count (1 = sequential
+/// drain; >1 = conservative parallel windows with identical output).
 ///
 /// `completion` covers the *surviving* workers only; departed workers
 /// halt at their scripted time and are excluded.
@@ -981,6 +990,7 @@ pub fn simulate_recovery_allreduce_with_membership(
     rto: SimRtoConfig,
     bitmaps: &[NonZeroBitmap],
     seed: u64,
+    threads: usize,
     membership: Option<&SimMembership>,
     telemetry: Option<&Telemetry>,
 ) -> SimOutcome {
@@ -996,6 +1006,16 @@ pub fn simulate_recovery_allreduce_with_membership(
         cfg.tensor_len,
     );
     let mut sim: Simulator<RecMsg> = Simulator::new(seed);
+    sim.set_threads(threads.max(1));
+    // Debug belt: cap the event budget from the environment so a
+    // protocol livelock panics with the simulated time instead of
+    // spinning silently (pair with OMNIREDUCE_SIM_TRACE to see the
+    // repeating cycle).
+    if let Ok(v) = std::env::var("OMNIREDUCE_SIM_MAX_EVENTS") {
+        if let Ok(n) = v.parse() {
+            sim.set_max_events(n);
+        }
+    }
     if let Some(t) = telemetry {
         sim.attach_telemetry(t.clone());
     }
@@ -1189,6 +1209,7 @@ mod tests {
                 SimRtoConfig::fixed(SimTime::from_micros(500)),
                 &bms,
                 seed,
+                1,
                 Some(&plan),
                 Some(&telemetry),
             );
@@ -1206,6 +1227,7 @@ mod tests {
             SimRtoConfig::fixed(SimTime::from_micros(500)),
             &bms,
             3,
+            1,
             None,
             None,
         );
@@ -1254,6 +1276,7 @@ mod tests {
                 SimRtoConfig::fixed(SimTime::from_micros(500)),
                 &bms,
                 21,
+                1,
                 plan,
                 None,
             )
@@ -1262,6 +1285,36 @@ mod tests {
         // the protocol: same completion time to the nanosecond.
         let plan = SimMembership::stable(4, SimTime::from_micros(50_000));
         assert_eq!(go(None).completion, go(Some(&plan)).completion);
+    }
+
+    /// Regression: with an armed eviction sweep, a retransmission
+    /// duplicate that lands *after* its phase completed used to flip
+    /// the shard back to busy with nothing in flight — no completion
+    /// ever cleared the flag again, the sweep timer re-armed forever
+    /// and the event queue never drained. This exact shape (4 workers,
+    /// 2^12 elements, loss 0.002, seed 21: worker 1's stream-3 packet
+    /// drops, everyone retransmits at the fixed RTO, workers 2 and 3's
+    /// duplicates trail the completion) livelocked before the fix.
+    #[test]
+    fn trailing_duplicate_does_not_wedge_the_armed_sweep() {
+        let (cfg, bms) = setup(4, 1 << 12, 0.5);
+        let plan = SimMembership::stable(4, SimTime::from_micros(50_000));
+        let out = simulate_recovery_allreduce_with_membership(
+            &cfg,
+            nic(),
+            nic(),
+            0.002,
+            SimRtoConfig::fixed(SimTime::from_micros(500)),
+            &bms,
+            21,
+            1,
+            Some(&plan),
+            None,
+        );
+        assert!(out.failed_workers.is_empty());
+        // The whole run is a few hundred events; a wedged sweep burns
+        // the full 2-billion budget instead.
+        assert!(out.report.events < 10_000, "events: {}", out.report.events);
     }
 
     #[test]

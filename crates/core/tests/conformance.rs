@@ -20,7 +20,10 @@ use std::time::Duration;
 
 use omnireduce_core::config::OmniConfig;
 use omnireduce_core::shard::ShardedAllReduce;
-use omnireduce_core::testing::{run_group, run_recovery_group, with_deadline};
+use omnireduce_core::testing::{
+    assert_bits_eq, config_of, gen_inputs, run_group, run_recovery_group, scalar_oracle, scenarios,
+    with_deadline, Scenario,
+};
 use omnireduce_core::ColAccumulator;
 use omnireduce_telemetry::alloc::CountingAllocator;
 use omnireduce_tensor::gen::{self, OverlapMode};
@@ -33,200 +36,6 @@ use omnireduce_transport::{
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
-
-/// One point of the scenario matrix.
-#[derive(Debug, Clone, Copy)]
-struct Scenario {
-    workers: usize,
-    elements: usize,
-    block_size: usize,
-    fusion: usize,
-    streams: usize,
-    aggregators: usize,
-    sparsity: f64,
-    density_within: f64,
-    overlap: OverlapMode,
-    deterministic: bool,
-    /// Per-packet drop probability for the lossy recovery run.
-    loss: f64,
-    rounds: usize,
-    seed: u64,
-}
-
-/// The seeded scenario matrix: every axis of the data plane that the
-/// pooling/vectorization rewrite touched.
-fn scenarios() -> Vec<Scenario> {
-    let mut v = Vec::new();
-    let base = Scenario {
-        workers: 2,
-        elements: 1 << 12,
-        block_size: 64,
-        fusion: 2,
-        streams: 2,
-        aggregators: 1,
-        sparsity: 0.5,
-        density_within: 1.0,
-        overlap: OverlapMode::Random,
-        deterministic: false,
-        loss: 0.0,
-        rounds: 1,
-        seed: 1,
-    };
-    // Sparsity sweep (dense, half, highly sparse).
-    for (i, s) in [0.0, 0.5, 0.9].into_iter().enumerate() {
-        v.push(Scenario {
-            sparsity: s,
-            seed: 10 + i as u64,
-            ..base
-        });
-    }
-    // Geometry sweep: block size × fusion × shards × workers.
-    v.push(Scenario {
-        workers: 3,
-        block_size: 128,
-        fusion: 4,
-        streams: 4,
-        aggregators: 2,
-        seed: 20,
-        ..base
-    });
-    v.push(Scenario {
-        workers: 4,
-        block_size: 32,
-        fusion: 1,
-        streams: 8,
-        aggregators: 4,
-        sparsity: 0.75,
-        seed: 21,
-        ..base
-    });
-    // Tail geometry: tensor length not a multiple of block×fusion×streams.
-    v.push(Scenario {
-        elements: (1 << 12) + 257,
-        block_size: 96,
-        fusion: 3,
-        streams: 2,
-        seed: 22,
-        ..base
-    });
-    // Deterministic (§7 worker-id-order) reduction.
-    v.push(Scenario {
-        workers: 3,
-        deterministic: true,
-        aggregators: 2,
-        seed: 30,
-        ..base
-    });
-    // Overlap modes exercise different min-next interleavings.
-    v.push(Scenario {
-        overlap: OverlapMode::All,
-        sparsity: 0.8,
-        seed: 40,
-        ..base
-    });
-    v.push(Scenario {
-        overlap: OverlapMode::None,
-        sparsity: 0.8,
-        workers: 3,
-        seed: 41,
-        ..base
-    });
-    // Partially-dense blocks (zeros inside non-zero blocks).
-    v.push(Scenario {
-        density_within: 0.4,
-        seed: 42,
-        ..base
-    });
-    // Loss plans: the recovery engine must still be bit-identical under
-    // drops and duplicates (idempotent two-phase slots).
-    v.push(Scenario {
-        loss: 0.1,
-        seed: 50,
-        ..base
-    });
-    v.push(Scenario {
-        loss: 0.25,
-        workers: 3,
-        deterministic: true,
-        seed: 51,
-        ..base
-    });
-    // Multi-round: pooled buffers and in-place slot resets must carry no
-    // state across rounds.
-    v.push(Scenario {
-        rounds: 3,
-        sparsity: 0.6,
-        seed: 60,
-        ..base
-    });
-    v
-}
-
-fn config_of(s: &Scenario) -> OmniConfig {
-    let mut cfg = OmniConfig::new(s.workers, s.elements)
-        .with_block_size(s.block_size)
-        .with_fusion(s.fusion)
-        .with_streams(s.streams)
-        .with_aggregators(s.aggregators);
-    if s.deterministic {
-        cfg = cfg.with_deterministic();
-    }
-    cfg
-}
-
-/// Quantizes every element to a multiple of 0.25. Generated magnitudes
-/// are in [0.5, 1.5), so quantization never creates a new zero (the
-/// non-zero block structure is preserved) and all sums are exact.
-fn quantize(t: &mut Tensor) {
-    for v in t.as_mut_slice() {
-        *v = (*v * 4.0).round() * 0.25;
-    }
-}
-
-/// Per-round quantized inputs: `inputs[w][r]`.
-fn gen_inputs(s: &Scenario) -> Vec<Vec<Tensor>> {
-    let mut per_worker: Vec<Vec<Tensor>> = vec![Vec::new(); s.workers];
-    for r in 0..s.rounds {
-        let mut round = gen::workers(
-            s.workers,
-            s.elements,
-            BlockSpec::new(s.block_size),
-            s.sparsity,
-            s.density_within,
-            s.overlap,
-            s.seed + 1000 * r as u64,
-        );
-        for (w, t) in round.iter_mut().enumerate() {
-            quantize(t);
-            per_worker[w].push(t.clone());
-        }
-    }
-    per_worker
-}
-
-/// The oracle: a plain scalar loop, element by element, in worker-id
-/// order. No vectorized kernel, no engine machinery.
-fn scalar_oracle(inputs: &[Vec<Tensor>], round: usize) -> Tensor {
-    let len = inputs[0][round].len();
-    let mut out = vec![0.0f32; len];
-    for w in inputs {
-        for (o, v) in out.iter_mut().zip(w[round].as_slice()) {
-            *o += *v;
-        }
-    }
-    Tensor::from_vec(out)
-}
-
-fn assert_bits_eq(got: &Tensor, want: &Tensor, ctx: &str) {
-    assert_eq!(got.len(), want.len(), "{ctx}: length");
-    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
-        assert_eq!(
-            g.to_bits(),
-            w.to_bits(),
-            "{ctx}: element {i} differs: {g} vs {w}"
-        );
-    }
-}
 
 #[test]
 fn lossless_engine_matches_scalar_oracle_across_matrix() {

@@ -1,0 +1,82 @@
+//! The actor-side API: protocol state machines and their handler
+//! context. Unchanged from the sequential engine — actors cannot tell
+//! which execution mode is driving them.
+
+use crate::time::SimTime;
+
+/// Identifies an actor within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub usize);
+
+/// An event-driven protocol state machine.
+pub trait Process<M> {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut Ctx<M>);
+
+    /// Called when a message addressed to this actor is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<M>, from: ActorId, msg: M);
+
+    /// Called when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<M>, _token: u64) {}
+}
+
+/// Handler-side view of the simulator. Commands are buffered and applied
+/// by the simulator after the handler returns.
+pub struct Ctx<M> {
+    pub(crate) now: SimTime,
+    pub(crate) id: ActorId,
+    pub(crate) commands: Vec<Command<M>>,
+}
+
+pub(crate) enum Command<M> {
+    Send { to: ActorId, msg: M, bytes: usize },
+    Timer { delay: SimTime, token: u64 },
+    Halt,
+    MarkDone,
+}
+
+impl<M> Ctx<M> {
+    pub(crate) fn new(now: SimTime, id: ActorId) -> Self {
+        Ctx {
+            now,
+            id,
+            commands: Vec::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's id.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// Sends `msg` to `to`, charging `bytes` to the network (payload plus
+    /// whatever header accounting the protocol wants).
+    pub fn send(&mut self, to: ActorId, msg: M, bytes: usize) {
+        self.commands.push(Command::Send { to, msg, bytes });
+    }
+
+    /// Arms a timer that fires `delay` from now with `token`.
+    pub fn set_timer(&mut self, delay: SimTime, token: u64) {
+        self.commands.push(Command::Timer { delay, token });
+    }
+
+    /// Marks this actor finished; the simulator records the time and
+    /// drops any further events addressed to it.
+    pub fn halt(&mut self) {
+        self.commands.push(Command::Halt);
+    }
+
+    /// Records this actor's finish time *without* halting it: the actor
+    /// keeps receiving and forwarding events (needed by ring protocols,
+    /// where a node is done with its own data while still relaying other
+    /// nodes' tokens). The simulation then ends when the event queue
+    /// drains.
+    pub fn mark_done(&mut self) {
+        self.commands.push(Command::MarkDone);
+    }
+}

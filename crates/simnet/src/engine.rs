@@ -1,0 +1,771 @@
+//! The discrete-event engine: sequential drain and conservative
+//! parallel (bounded-lookahead) execution over the same event model.
+//!
+//! # Execution model
+//!
+//! NICs — and the actors attached to them — are split into
+//! **partitions** along topology zones. Each partition owns its NICs'
+//! state (port cursors, counters, loss RNG) and a private event queue;
+//! nothing mutable is shared. The only inter-partition traffic is
+//! `PortArrival` events, which carry at least the sending NIC's
+//! propagation latency of future timestamp — that minimum, the
+//! **lookahead** `λ`, bounds how far a partition may run ahead safely.
+//!
+//! The engine executes in barrier-synchronized windows: each round the
+//! fleet agrees on the global minimum pending timestamp `T`, then every
+//! partition processes its events with timestamps in `[T, T + λ)`.
+//! Events generated inside a window either stay in the partition
+//! (loopback deliveries, RX completions, timers — all same-NIC) or
+//! target a timestamp `≥ T + λ` (network packets), so no partition can
+//! receive work for a window it already passed — the classic
+//! lower-bound-on-timestamp argument, with the null-message exchange
+//! collapsed into the barrier reduction.
+//!
+//! # Determinism
+//!
+//! Events are ordered by the canonical [`EventKey`] — execution-mode
+//! independent by construction (see `event.rs`). Within a window,
+//! events of different NICs never interact, so each NIC group's event
+//! sequence is a pure function of its own history regardless of how
+//! groups are packed into partitions or threads. Every observable —
+//! per-actor dispatch sequences, per-NIC counters, flight-event
+//! streams — is therefore bit-identical across thread counts
+//! (DESIGN.md §13; proven by `tests/simnet_parallel.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use omnireduce_telemetry::{ClockDomain, Counter, Histogram, Telemetry, TrackId};
+use rand::Rng;
+
+use crate::actor::{ActorId, Command, Ctx, Process};
+use crate::event::{
+    Event, EventKey, EventKind, EventQueue, HeapQueue, RANK_DELIVER, RANK_PORT_ARRIVAL, RANK_TIMER,
+};
+use crate::model::{LinkModel, StoreAndForward};
+use crate::nic::{Nic, NicConfig, NicId, NicStats};
+use crate::sync::{PoisonBarrier, PoisonGuard};
+use crate::time::SimTime;
+use crate::topology::{FlatTopology, Topology};
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Time of the last processed event.
+    pub end_time: SimTime,
+    /// Per-actor halt time (None: never halted).
+    pub finished_at: Vec<Option<SimTime>>,
+    /// Per-NIC traffic counters.
+    pub nic_stats: Vec<NicStats>,
+    /// Total events processed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Latest halt time among actors that halted — the collective's
+    /// completion time.
+    pub fn last_finish(&self) -> Option<SimTime> {
+        self.finished_at.iter().flatten().max().copied()
+    }
+}
+
+/// Telemetry handles the simulator updates while it runs (fleet-wide
+/// aggregates; per-NIC detail stays in [`NicStats`]). Counters are
+/// atomic, so partitions update them concurrently without coordination;
+/// the per-NIC trace tracks are created eagerly before threads spawn.
+struct SimTelemetry {
+    telemetry: Telemetry,
+    bytes_tx: Counter,
+    bytes_rx: Counter,
+    packets_tx: Counter,
+    packets_rx: Counter,
+    packets_lost: Counter,
+    queue_delay: Histogram,
+    timer_fires: Counter,
+    /// Per-NIC (tx, rx) trace tracks; filled by `ensure_tracks`.
+    tracks: Vec<(TrackId, TrackId)>,
+}
+
+impl SimTelemetry {
+    fn new(telemetry: Telemetry) -> Self {
+        SimTelemetry {
+            bytes_tx: telemetry.counter("simnet.nic.bytes_tx"),
+            bytes_rx: telemetry.counter("simnet.nic.bytes_rx"),
+            packets_tx: telemetry.counter("simnet.nic.packets_tx"),
+            packets_rx: telemetry.counter("simnet.nic.packets_rx"),
+            packets_lost: telemetry.counter("simnet.nic.packets_lost"),
+            queue_delay: telemetry.histogram("simnet.nic.queue_delay_ns"),
+            timer_fires: telemetry.counter("simnet.timer.fires"),
+            tracks: Vec::new(),
+            telemetry,
+        }
+    }
+
+    /// Creates the `nicI.tx` / `nicI.rx` timeline rows for all `n`
+    /// NICs. NIC spans carry *simulated* nanoseconds, so the tracks
+    /// live in the [`ClockDomain::Sim`] process of the Chrome export —
+    /// mixing them onto wall-clock rows would interleave incomparable
+    /// timestamps. `unique_track` keeps repeated simulations in one
+    /// registry on separate rows.
+    fn ensure_tracks(&mut self, n: usize) {
+        if !self.telemetry.trace().is_enabled() {
+            return;
+        }
+        while self.tracks.len() < n {
+            let i = self.tracks.len();
+            let tx = self
+                .telemetry
+                .trace()
+                .unique_track(&format!("nic{i}.tx"), ClockDomain::Sim);
+            let rx = self
+                .telemetry
+                .trace()
+                .unique_track(&format!("nic{i}.rx"), ClockDomain::Sim);
+            self.tracks.push((tx, rx));
+        }
+    }
+}
+
+struct ActorSlot<M> {
+    process: Box<dyn Process<M> + Send>,
+    nic: NicId,
+    halted: bool,
+    finished_at: Option<SimTime>,
+    /// Per-source emission counter backing the canonical event keys.
+    next_seq: u64,
+}
+
+/// Factory producing one pending-event queue per engine partition.
+type QueueFactory<M> = Arc<dyn Fn() -> Box<dyn EventQueue<M> + Send> + Send + Sync>;
+
+/// The simulator. `M` is the protocol's message type.
+pub struct Simulator<M> {
+    nics: Vec<Nic>,
+    actors: Vec<ActorSlot<M>>,
+    threads: usize,
+    max_events: u64,
+    seed: u64,
+    topology: Arc<dyn Topology>,
+    link: Arc<dyn LinkModel>,
+    queue_factory: QueueFactory<M>,
+    telemetry: Option<SimTelemetry>,
+}
+
+impl<M: Send + 'static> Simulator<M> {
+    /// Creates an empty simulation; `seed` drives the loss processes
+    /// (each NIC derives an independent stream from it).
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            nics: Vec::new(),
+            actors: Vec::new(),
+            threads: 1,
+            max_events: 2_000_000_000,
+            seed,
+            topology: Arc::new(FlatTopology),
+            link: Arc::new(StoreAndForward),
+            queue_factory: Arc::new(|| Box::new(HeapQueue::default())),
+            telemetry: None,
+        }
+    }
+
+    /// Caps the number of events processed (guards against protocol
+    /// livelock in tests).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Requests parallel execution on up to `threads` OS threads.
+    /// `1` (the default) runs the classic in-place sequential drain.
+    /// The engine silently degrades to sequential when the topology
+    /// offers no lookahead (a zero-latency NIC), when there are fewer
+    /// NICs than threads would help with, or when every NIC lands in
+    /// one partition — results are bit-identical either way.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "threads must be positive");
+        self.threads = threads;
+    }
+
+    /// Replaces the fabric topology (default: [`FlatTopology`]).
+    /// Partitions follow the topology's zones, and inter-zone latency
+    /// widens the parallel engine's conservative windows.
+    pub fn set_topology(&mut self, topology: impl Topology + 'static) {
+        self.topology = Arc::new(topology);
+    }
+
+    /// Replaces the fabric topology with an already-shared handle
+    /// (useful when a spec layer holds `Arc<dyn Topology>`).
+    pub fn set_topology_shared(&mut self, topology: Arc<dyn Topology>) {
+        self.topology = topology;
+    }
+
+    /// Replaces the link timing model (default: [`StoreAndForward`]).
+    pub fn set_link_model(&mut self, link: impl LinkModel + 'static) {
+        self.link = Arc::new(link);
+    }
+
+    /// Replaces the pending-event structure (default: [`HeapQueue`]).
+    /// The factory is called once per engine partition.
+    pub fn set_event_queue<F>(&mut self, factory: F)
+    where
+        F: Fn() -> Box<dyn EventQueue<M> + Send> + Send + Sync + 'static,
+    {
+        self.queue_factory = Arc::new(factory);
+    }
+
+    /// Attaches a telemetry registry: the simulator then updates
+    /// `simnet.nic.*` counters and the `simnet.nic.queue_delay_ns`
+    /// histogram while it runs, and — when the registry's trace recorder
+    /// is enabled — records per-NIC TX/RX serialization spans and loss
+    /// instants (one Perfetto row per port).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(SimTelemetry::new(telemetry));
+    }
+
+    /// Adds a NIC.
+    pub fn add_nic(&mut self, config: NicConfig) -> NicId {
+        let id = self.nics.len();
+        self.nics.push(Nic::new(config, self.seed, id));
+        NicId(id)
+    }
+
+    /// Adds an actor attached to `nic`.
+    pub fn add_actor(&mut self, nic: NicId, process: Box<dyn Process<M> + Send>) -> ActorId {
+        assert!(nic.0 < self.nics.len(), "unknown nic");
+        self.actors.push(ActorSlot {
+            process,
+            nic,
+            halted: false,
+            finished_at: None,
+            next_seq: 0,
+        });
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Computes the partition layout: `(partition count, NIC→partition
+    /// map, lookahead in ns)`. Degrades to a single partition when the
+    /// requested thread count, the zone layout, or a zero lookahead
+    /// make parallel execution unsafe or pointless.
+    fn partition_plan(&self) -> (usize, Vec<usize>, u64) {
+        let n = self.nics.len();
+        let nparts = self.threads.min(n.max(1));
+        let sequential = |n: usize| (1usize, vec![0usize; n], u64::MAX);
+        if nparts <= 1 {
+            return sequential(n);
+        }
+        let nic_part: Vec<usize> = (0..n)
+            .map(|i| self.topology.zone(NicId(i)) % nparts)
+            .collect();
+        // Lookahead: the minimum latency any cross-partition packet
+        // pays after leaving its TX port. Conservative windows of this
+        // width can never miss an incoming event.
+        let mut lookahead = u64::MAX;
+        for s in 0..n {
+            for d in 0..n {
+                if nic_part[s] != nic_part[d] {
+                    let lat = self.nics[s].config.latency
+                        + self.topology.extra_latency(NicId(s), NicId(d));
+                    lookahead = lookahead.min(lat.as_nanos());
+                }
+            }
+        }
+        if lookahead == u64::MAX || lookahead == 0 {
+            // Single populated partition, or a zero-latency NIC pair:
+            // zero lookahead serializes every window, so fall back.
+            return sequential(n);
+        }
+        (nparts, nic_part, lookahead)
+    }
+}
+
+impl<M: Send + 'static> Simulator<M> {
+    /// Runs until every event queue drains, returning the report.
+    ///
+    /// # Panics
+    /// Panics when the event budget is exceeded — a sign of protocol
+    /// livelock.
+    pub fn run(&mut self) -> RunReport {
+        let (nparts, nic_part, lookahead_ns) = self.partition_plan();
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.ensure_tracks(self.nics.len());
+        }
+
+        let nics = std::mem::take(&mut self.nics);
+        let actors = std::mem::take(&mut self.actors);
+        let nnics = nics.len();
+        let nactors = actors.len();
+        let actor_nic: Vec<NicId> = actors.iter().map(|a| a.nic).collect();
+
+        // Distribute NIC and actor state to their owning partitions.
+        // Full-size `Vec<Option<_>>` per partition keeps global ids as
+        // direct indices (no translation on the hot path).
+        let mut part_nics: Vec<Vec<Option<Nic>>> = (0..nparts)
+            .map(|_| (0..nnics).map(|_| None).collect())
+            .collect();
+        let mut part_actors: Vec<Vec<Option<ActorSlot<M>>>> = (0..nparts)
+            .map(|_| (0..nactors).map(|_| None).collect())
+            .collect();
+        for (i, nic) in nics.into_iter().enumerate() {
+            part_nics[nic_part[i]][i] = Some(nic);
+        }
+        for (i, slot) in actors.into_iter().enumerate() {
+            let p = nic_part[slot.nic.0];
+            part_actors[p][i] = Some(slot);
+        }
+
+        let shared = Shared {
+            actor_nic: &actor_nic,
+            nic_part: &nic_part,
+            topology: &*self.topology,
+            link: &*self.link,
+            telemetry: self.telemetry.as_ref(),
+            inboxes: (0..nparts).map(|_| Mutex::new(Vec::new())).collect(),
+            events_processed: AtomicU64::new(0),
+            max_events: self.max_events,
+            gmin: AtomicU64::new(u64::MAX),
+            barrier: PoisonBarrier::new(nparts),
+        };
+
+        let mut results: Vec<Option<PartitionResult<M>>> = (0..nparts).map(|_| None).collect();
+        if nparts == 1 {
+            let mut p: Partition<'_, M> = Partition {
+                id: 0,
+                queue: (self.queue_factory)(),
+                now: SimTime::ZERO,
+                nics: part_nics.pop().expect("one partition"),
+                actors: part_actors.pop().expect("one partition"),
+                shared: &shared,
+            };
+            p.start_actors();
+            p.process_until(None);
+            results[0] = Some((p.nics, p.actors, p.now));
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = part_nics
+                    .into_iter()
+                    .zip(part_actors)
+                    .enumerate()
+                    .map(|(id, (nics, actors))| {
+                        let shared = &shared;
+                        let queue = (self.queue_factory)();
+                        scope.spawn(move || {
+                            let guard = PoisonGuard::new(&shared.barrier);
+                            let mut p: Partition<'_, M> = Partition {
+                                id,
+                                queue,
+                                now: SimTime::ZERO,
+                                nics,
+                                actors,
+                                shared,
+                            };
+                            p.start_actors();
+                            p.run_windows(lookahead_ns);
+                            guard.defuse();
+                            (p.nics, p.actors, p.now)
+                        })
+                    })
+                    .collect();
+                for (id, handle) in handles.into_iter().enumerate() {
+                    match handle.join() {
+                        Ok(r) => results[id] = Some(r),
+                        // Re-raise the partition's own panic (event
+                        // budget, protocol assert) with its payload.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+        }
+
+        // Merge partition state back so the simulator reflects the run.
+        let mut end_time = SimTime::ZERO;
+        let mut merged_nics: Vec<Option<Nic>> = (0..nnics).map(|_| None).collect();
+        let mut merged_actors: Vec<Option<ActorSlot<M>>> = (0..nactors).map(|_| None).collect();
+        for result in results {
+            let (nics, actors, now) = result.expect("partition result");
+            end_time = end_time.max(now);
+            for (i, nic) in nics.into_iter().enumerate() {
+                if let Some(nic) = nic {
+                    merged_nics[i] = Some(nic);
+                }
+            }
+            for (i, slot) in actors.into_iter().enumerate() {
+                if let Some(slot) = slot {
+                    merged_actors[i] = Some(slot);
+                }
+            }
+        }
+        self.nics = merged_nics
+            .into_iter()
+            .map(|n| n.expect("nic lost in merge"))
+            .collect();
+        self.actors = merged_actors
+            .into_iter()
+            .map(|a| a.expect("actor lost in merge"))
+            .collect();
+
+        RunReport {
+            end_time,
+            finished_at: self.actors.iter().map(|a| a.finished_at).collect(),
+            nic_stats: self.nics.iter().map(|n| n.stats).collect(),
+            events: shared.events_processed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+type PartitionResult<M> = (Vec<Option<Nic>>, Vec<Option<ActorSlot<M>>>, SimTime);
+
+/// Read-mostly state shared by all partitions of one run.
+struct Shared<'a, M> {
+    actor_nic: &'a [NicId],
+    nic_part: &'a [usize],
+    topology: &'a dyn Topology,
+    link: &'a dyn LinkModel,
+    telemetry: Option<&'a SimTelemetry>,
+    /// Cross-partition event mailboxes, drained at window barriers.
+    inboxes: Vec<Mutex<Vec<Event<M>>>>,
+    events_processed: AtomicU64,
+    max_events: u64,
+    /// Barrier-reduced global minimum pending timestamp (ns).
+    gmin: AtomicU64,
+    barrier: PoisonBarrier,
+}
+
+/// One partition's private slice of the simulation.
+struct Partition<'a, M> {
+    id: usize,
+    queue: Box<dyn EventQueue<M> + Send>,
+    now: SimTime,
+    /// Full-size vector; `Some` only at indices this partition owns.
+    nics: Vec<Option<Nic>>,
+    /// Full-size vector; `Some` only at indices this partition owns.
+    actors: Vec<Option<ActorSlot<M>>>,
+    shared: &'a Shared<'a, M>,
+}
+
+impl<M> Partition<'_, M> {
+    /// Conservative windowed loop: three fleet-wide waits per window —
+    /// (1) quiesce the previous window and let the leader reset the
+    /// reduction cell, (2) publish each partition's minimum pending
+    /// timestamp, (3) agree on the window start — then process all
+    /// events below `start + lookahead`. A poisoned wait means a peer
+    /// panicked; bail out so its panic can propagate.
+    fn run_windows(&mut self, lookahead_ns: u64) {
+        loop {
+            match self.shared.barrier.wait() {
+                Ok(true) => self.shared.gmin.store(u64::MAX, Ordering::SeqCst),
+                Ok(false) => {}
+                Err(_) => return,
+            }
+            if self.shared.barrier.wait().is_err() {
+                return;
+            }
+            let mut inbox = {
+                let mut guard = self.shared.inboxes[self.id].lock().expect("inbox");
+                std::mem::take(&mut *guard)
+            };
+            for ev in inbox.drain(..) {
+                self.queue.push(ev);
+            }
+            let local_min = self
+                .queue
+                .next_time()
+                .map(|t| t.as_nanos())
+                .unwrap_or(u64::MAX);
+            self.shared.gmin.fetch_min(local_min, Ordering::SeqCst);
+            if self.shared.barrier.wait().is_err() {
+                return;
+            }
+            let start = self.shared.gmin.load(Ordering::SeqCst);
+            if start == u64::MAX {
+                return; // every queue and inbox is empty — done
+            }
+            let window_end = SimTime::from_nanos(start.saturating_add(lookahead_ns));
+            self.process_until(Some(window_end));
+        }
+    }
+
+    fn start_actors(&mut self) {
+        for i in 0..self.actors.len() {
+            if self.actors[i].is_some() {
+                self.dispatch(ActorId(i), Dispatch::Start);
+            }
+        }
+    }
+
+    /// Pops and handles events while their timestamp is below `t_end`
+    /// (`None`: drain everything — the sequential path).
+    fn process_until(&mut self, t_end: Option<SimTime>) {
+        loop {
+            match self.queue.next_time() {
+                None => return,
+                Some(t) => {
+                    if let Some(end) = t_end {
+                        if t >= end {
+                            return;
+                        }
+                    }
+                }
+            }
+            let ev = self.queue.pop().expect("peeked event");
+            let processed = self.shared.events_processed.fetch_add(1, Ordering::Relaxed) + 1;
+            if processed > self.shared.max_events {
+                // Poison first so peers blocked at a barrier exit and
+                // this panic can propagate from the thread scope.
+                self.shared.barrier.poison();
+                panic!(
+                    "event budget exceeded at t={} — protocol livelock?",
+                    ev.key.time
+                );
+            }
+            debug_assert!(ev.key.time >= self.now, "time went backwards");
+            self.now = ev.key.time;
+            let key = ev.key;
+            // Event-by-event stderr trace, enabled by env once per
+            // process — the tool that turns "the sim never finishes"
+            // into a visible repeating event cycle.
+            static TRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            if *TRACE.get_or_init(|| std::env::var_os("OMNIREDUCE_SIM_TRACE").is_some()) {
+                let kind = match &ev.kind {
+                    EventKind::PortArrival {
+                        to, from, bytes, ..
+                    } => {
+                        format!("PortArrival to={} from={} bytes={bytes}", to.0, from.0)
+                    }
+                    EventKind::Deliver { to, from, .. } => {
+                        format!("Deliver to={} from={}", to.0, from.0)
+                    }
+                    EventKind::Timer { actor, token } => {
+                        format!("Timer actor={} token={token}", actor.0)
+                    }
+                };
+                eprintln!(
+                    "[ev {processed}] t={} src={} seq={} rank={} {kind}",
+                    key.time, key.src.0, key.seq, key.rank
+                );
+            }
+            match ev.kind {
+                EventKind::PortArrival {
+                    to,
+                    from,
+                    msg,
+                    bytes,
+                } => {
+                    let dst_nic = self.shared.actor_nic[to.0];
+                    let nic = self.nics[dst_nic.0].as_mut().expect("rx nic owned");
+                    let slot = self
+                        .shared
+                        .link
+                        .rx_slot(&nic.config, nic.rx_free, self.now, bytes);
+                    nic.rx_free = slot.end;
+                    nic.stats.bytes_rx += bytes as u64;
+                    nic.stats.packets_rx += 1;
+                    let wait_ns = slot.start.saturating_sub(self.now).as_nanos();
+                    nic.stats.record_wait(wait_ns);
+                    if let Some(tel) = self.shared.telemetry {
+                        tel.bytes_rx.add(bytes as u64);
+                        tel.packets_rx.inc();
+                        tel.queue_delay.record(wait_ns);
+                        if tel.telemetry.trace().is_enabled() {
+                            let (_, rx_track) = tel.tracks[dst_nic.0];
+                            tel.telemetry.trace().span(
+                                rx_track,
+                                "rx",
+                                slot.start.as_nanos(),
+                                slot.end.as_nanos(),
+                            );
+                        }
+                    }
+                    // The Deliver keeps the packet's (src, seq) tag;
+                    // RANK_DELIVER orders it after this PortArrival
+                    // even when RX serialization takes zero time.
+                    self.queue.push(Event {
+                        key: EventKey {
+                            time: slot.end,
+                            src: key.src,
+                            seq: key.seq,
+                            rank: RANK_DELIVER,
+                        },
+                        kind: EventKind::Deliver { to, from, msg },
+                    });
+                }
+                EventKind::Deliver { to, from, msg } => {
+                    if self.actors[to.0].as_ref().expect("actor owned").halted {
+                        continue;
+                    }
+                    self.dispatch(to, Dispatch::Message { from, msg });
+                }
+                EventKind::Timer { actor, token } => {
+                    if self.actors[actor.0].as_ref().expect("actor owned").halted {
+                        continue;
+                    }
+                    if let Some(tel) = self.shared.telemetry {
+                        tel.timer_fires.inc();
+                    }
+                    self.dispatch(actor, Dispatch::Timer { token });
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, id: ActorId, what: Dispatch<M>) {
+        let mut ctx = Ctx::new(self.now, id);
+        let slot = self.actors[id.0].as_mut().expect("actor owned");
+        let mut process = std::mem::replace(&mut slot.process, Box::new(NullProcess));
+        match what {
+            Dispatch::Start => process.on_start(&mut ctx),
+            Dispatch::Message { from, msg } => process.on_message(&mut ctx, from, msg),
+            Dispatch::Timer { token } => process.on_timer(&mut ctx, token),
+        }
+        self.actors[id.0].as_mut().expect("actor owned").process = process;
+        self.apply_commands(id, ctx.commands);
+    }
+
+    fn next_seq(&mut self, actor: ActorId) -> u64 {
+        let slot = self.actors[actor.0].as_mut().expect("actor owned");
+        slot.next_seq += 1;
+        slot.next_seq
+    }
+
+    fn apply_commands(&mut self, actor: ActorId, commands: Vec<Command<M>>) {
+        for cmd in commands {
+            match cmd {
+                Command::Send { to, msg, bytes } => self.route(actor, to, msg, bytes),
+                Command::Timer { delay, token } => {
+                    let seq = self.next_seq(actor);
+                    self.queue.push(Event {
+                        key: EventKey {
+                            time: self.now + delay,
+                            src: actor,
+                            seq,
+                            rank: RANK_TIMER,
+                        },
+                        kind: EventKind::Timer { actor, token },
+                    });
+                }
+                Command::Halt => {
+                    let slot = self.actors[actor.0].as_mut().expect("actor owned");
+                    if !slot.halted {
+                        slot.halted = true;
+                        slot.finished_at = Some(self.now);
+                    }
+                }
+                Command::MarkDone => {
+                    let slot = self.actors[actor.0].as_mut().expect("actor owned");
+                    if slot.finished_at.is_none() {
+                        slot.finished_at = Some(self.now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn route(&mut self, from: ActorId, to: ActorId, msg: M, bytes: usize) {
+        assert!(to.0 < self.shared.actor_nic.len(), "unknown actor {to:?}");
+        let src_nic = self.shared.actor_nic[from.0];
+        let dst_nic = self.shared.actor_nic[to.0];
+        let seq = self.next_seq(from);
+        if src_nic == dst_nic {
+            // Loopback: no NIC bandwidth, fixed local latency. Same
+            // NIC means same partition, so the push is always local.
+            let delay = self.nics[src_nic.0]
+                .as_ref()
+                .expect("tx nic owned")
+                .config
+                .local_latency;
+            self.queue.push(Event {
+                key: EventKey {
+                    time: self.now + delay,
+                    src: from,
+                    seq,
+                    rank: RANK_DELIVER,
+                },
+                kind: EventKind::Deliver { to, from, msg },
+            });
+            return;
+        }
+        let extra = self.shared.topology.extra_latency(src_nic, dst_nic);
+        let nic = self.nics[src_nic.0].as_mut().expect("tx nic owned");
+        let slot = self
+            .shared
+            .link
+            .tx_slot(&nic.config, nic.tx_free, self.now, bytes);
+        nic.tx_free = slot.end;
+        nic.stats.bytes_tx += bytes as u64;
+        nic.stats.packets_tx += 1;
+        let wait_ns = slot.start.saturating_sub(self.now).as_nanos();
+        nic.stats.record_wait(wait_ns);
+        // The loss draw comes from the *sending NIC's* private stream:
+        // its order depends only on this NIC's TX sequence, which is
+        // deterministic under any thread count.
+        let lost = nic.config.loss > 0.0 && nic.rng.gen_bool(nic.config.loss);
+        if lost {
+            nic.stats.packets_lost += 1;
+        }
+        let latency = nic.config.latency + extra;
+        if let Some(tel) = self.shared.telemetry {
+            tel.bytes_tx.add(bytes as u64);
+            tel.packets_tx.inc();
+            tel.queue_delay.record(wait_ns);
+            if lost {
+                tel.packets_lost.inc();
+            }
+            if tel.telemetry.trace().is_enabled() {
+                let (tx_track, _) = tel.tracks[src_nic.0];
+                tel.telemetry.trace().span(
+                    tx_track,
+                    "tx",
+                    slot.start.as_nanos(),
+                    slot.end.as_nanos(),
+                );
+                if lost {
+                    tel.telemetry
+                        .trace()
+                        .instant(tx_track, "loss", slot.end.as_nanos());
+                }
+            }
+        }
+        if !lost {
+            let ev = Event {
+                key: EventKey {
+                    time: slot.end + latency,
+                    src: from,
+                    seq,
+                    rank: RANK_PORT_ARRIVAL,
+                },
+                kind: EventKind::PortArrival {
+                    to,
+                    from,
+                    msg,
+                    bytes,
+                },
+            };
+            let dst_part = self.shared.nic_part[dst_nic.0];
+            if dst_part == self.id {
+                self.queue.push(ev);
+            } else {
+                self.shared.inboxes[dst_part]
+                    .lock()
+                    .expect("inbox")
+                    .push(ev);
+            }
+        }
+    }
+}
+
+enum Dispatch<M> {
+    Start,
+    Message { from: ActorId, msg: M },
+    Timer { token: u64 },
+}
+
+/// Placeholder swapped in while an actor's real process runs (re-entrant
+/// dispatch cannot happen, so it never receives events).
+struct NullProcess;
+
+impl<M> Process<M> for NullProcess {
+    fn on_start(&mut self, _ctx: &mut Ctx<M>) {
+        unreachable!("null process started")
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<M>, _from: ActorId, _msg: M) {
+        unreachable!("null process messaged")
+    }
+}

@@ -1,0 +1,195 @@
+//! Event representation and the event-queue abstraction.
+//!
+//! The engine orders events by a **canonical key** that is computable
+//! locally by the emitting actor — `(time, source actor, per-source
+//! emission sequence, hop rank)` — rather than by a global insertion
+//! counter. A global counter encodes the *execution* order of the
+//! engine loop, which differs between a sequential drain and a
+//! partitioned parallel run; the canonical key depends only on each
+//! actor's own deterministic dispatch history, so every execution mode
+//! assigns every event the same key. That is the foundation of the
+//! cross-thread bit-identical guarantee (DESIGN.md §13).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+
+/// Where an event sits in a packet's store-and-forward pipeline.
+/// Orders `PortArrival` before the `Deliver` it spawns when RX
+/// serialization is instantaneous (both then carry the same
+/// `(src, seq)` tag and timestamp).
+pub const RANK_PORT_ARRIVAL: u8 = 0;
+/// Rank of a message delivery (network RX completion or loopback).
+pub const RANK_DELIVER: u8 = 1;
+/// Rank of a timer expiry.
+pub const RANK_TIMER: u8 = 2;
+
+/// Canonical, execution-order-independent event ordering key.
+///
+/// * `time` — simulated timestamp.
+/// * `src` — the actor whose handler emitted the originating command
+///   (for a network packet, the sender; for a timer, the owner).
+/// * `seq` — that actor's monotonically increasing emission counter.
+///   A packet keeps its `(src, seq)` tag across hops: the `Deliver`
+///   spawned by a `PortArrival` reuses the packet's tag.
+/// * `rank` — pipeline stage tiebreak for events sharing a tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Simulated timestamp.
+    pub time: SimTime,
+    /// Emitting actor.
+    pub src: ActorId,
+    /// Per-source emission sequence number.
+    pub seq: u64,
+    /// Pipeline-stage rank (see the `RANK_*` constants).
+    pub rank: u8,
+}
+
+/// What happens when an event fires.
+pub enum EventKind<M> {
+    /// Packet reaches the receiver's RX port (before RX serialization).
+    PortArrival {
+        /// Destination actor.
+        to: ActorId,
+        /// Sending actor.
+        from: ActorId,
+        /// Payload.
+        msg: M,
+        /// Wire bytes charged to the receiver's RX port.
+        bytes: usize,
+    },
+    /// Message fully received; dispatch to the actor.
+    Deliver {
+        /// Destination actor.
+        to: ActorId,
+        /// Sending actor.
+        from: ActorId,
+        /// Payload.
+        msg: M,
+    },
+    /// Timer fires.
+    Timer {
+        /// Owning actor.
+        actor: ActorId,
+        /// Token passed back to `on_timer`.
+        token: u64,
+    },
+}
+
+/// A scheduled event.
+pub struct Event<M> {
+    /// Canonical ordering key.
+    pub key: EventKey,
+    /// Payload.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Pending-event storage, pluggable so alternative structures (calendar
+/// queues, ladder queues) can be swapped in without touching the engine
+/// (see `Simulator::set_event_queue`).
+///
+/// The engine requires `pop` to return the minimum-key event among
+/// those currently queued; ties cannot occur because keys are unique
+/// (per-source sequences never repeat).
+pub trait EventQueue<M> {
+    /// Inserts an event.
+    fn push(&mut self, ev: Event<M>);
+    /// Removes and returns the minimum-key event.
+    fn pop(&mut self) -> Option<Event<M>>;
+    /// Timestamp of the minimum-key event, if any.
+    fn next_time(&self) -> Option<SimTime>;
+    /// Number of queued events.
+    fn len(&self) -> usize;
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Default binary-heap event queue.
+pub struct HeapQueue<M> {
+    heap: BinaryHeap<Reverse<Event<M>>>,
+}
+
+impl<M> Default for HeapQueue<M> {
+    fn default() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<M> EventQueue<M> for HeapQueue<M> {
+    fn push(&mut self, ev: Event<M>) {
+        self.heap.push(Reverse(ev));
+    }
+    fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+    fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(ev)| ev.key.time)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ns: u64, src: usize, seq: u64, rank: u8) -> EventKey {
+        EventKey {
+            time: SimTime::from_nanos(ns),
+            src: ActorId(src),
+            seq,
+            rank,
+        }
+    }
+
+    #[test]
+    fn key_orders_time_then_source_then_seq_then_rank() {
+        assert!(key(1, 9, 9, 2) < key(2, 0, 0, 0));
+        assert!(key(5, 1, 9, 2) < key(5, 2, 0, 0));
+        assert!(key(5, 1, 3, 2) < key(5, 1, 4, 0));
+        assert!(key(5, 1, 3, RANK_PORT_ARRIVAL) < key(5, 1, 3, RANK_DELIVER));
+    }
+
+    #[test]
+    fn heap_queue_pops_in_key_order() {
+        let mut q: HeapQueue<u8> = HeapQueue::default();
+        for (ns, src) in [(30u64, 0usize), (10, 2), (10, 1), (20, 0)] {
+            q.push(Event {
+                key: key(ns, src, 1, RANK_DELIVER),
+                kind: EventKind::Timer {
+                    actor: ActorId(src),
+                    token: 0,
+                },
+            });
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push((ev.key.time.as_nanos(), ev.key.src.0));
+        }
+        assert_eq!(popped, vec![(10, 1), (10, 2), (20, 0), (30, 0)]);
+    }
+}

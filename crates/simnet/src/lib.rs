@@ -12,21 +12,40 @@
 //! protocol comparisons depend on:
 //!
 //! * per-packet serialization at line rate on both the sender's TX port
-//!   and the receiver's RX port (store-and-forward);
+//!   and the receiver's RX port (store-and-forward, pluggable via
+//!   [`LinkModel`]);
 //! * FIFO queueing at both ports — so incast (many workers, one
 //!   aggregator port) and multicast fan-out (one aggregator port, many
 //!   workers) cost what they cost in a real switch fabric;
 //! * propagation latency `α`, the term that dominates for small inputs in
-//!   the §3.4 cost model;
+//!   the §3.4 cost model, plus optional multi-rack extra hops via
+//!   [`Topology`];
 //! * deterministic, seedable packet loss for the Appendix A/D recovery
-//!   experiments.
+//!   experiments — per-NIC streams, so runs are reproducible under any
+//!   thread count.
+//!
+//! The engine executes either as a classic sequential drain or as a
+//! conservative bounded-lookahead parallel run on OS threads
+//! ([`Simulator::set_threads`]); both modes produce bit-identical
+//! observables (see `engine.rs` and DESIGN.md §13).
 //!
 //! What it deliberately does not model: TCP congestion control dynamics,
 //! switch buffer occupancy, or cross-traffic — none of which the paper's
 //! single-tenant testbed exercises either.
 
-pub mod sim;
+pub mod actor;
+pub mod engine;
+pub mod event;
+pub mod model;
+pub mod nic;
+mod sync;
 pub mod time;
+pub mod topology;
 
-pub use sim::{ActorId, Ctx, NicConfig, NicId, NicStats, Process, RunReport, Simulator};
+pub use actor::{ActorId, Ctx, Process};
+pub use engine::{RunReport, Simulator};
+pub use event::{Event, EventKey, EventKind, EventQueue, HeapQueue};
+pub use model::{LinkModel, PortSlot, StoreAndForward};
+pub use nic::{NicConfig, NicId, NicStats};
 pub use time::{Bandwidth, SimTime};
+pub use topology::{FlatTopology, RackTopology, Topology};

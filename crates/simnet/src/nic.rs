@@ -1,0 +1,103 @@
+//! Network ports: configuration, runtime state, and traffic counters.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::time::{Bandwidth, SimTime};
+
+/// Identifies a NIC within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NicId(pub usize);
+
+/// Configuration of one network port.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// Transmit rate.
+    pub tx: Bandwidth,
+    /// Receive rate.
+    pub rx: Bandwidth,
+    /// One-way propagation latency for packets leaving this NIC
+    /// (the paper's `α`).
+    pub latency: SimTime,
+    /// Probability a transmitted packet is lost in flight.
+    pub loss: f64,
+    /// Delivery delay between actors sharing this NIC (loopback).
+    pub local_latency: SimTime,
+}
+
+impl NicConfig {
+    /// A symmetric lossless port of the given rate and latency.
+    pub fn symmetric(rate: Bandwidth, latency: SimTime) -> Self {
+        NicConfig {
+            tx: rate,
+            rx: rate,
+            latency,
+            loss: 0.0,
+            local_latency: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0,1]");
+        self.loss = loss;
+        self
+    }
+}
+
+/// Per-NIC traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicStats {
+    /// Bytes serialized onto the TX port (including lost packets).
+    pub bytes_tx: u64,
+    /// Bytes delivered through the RX port.
+    pub bytes_rx: u64,
+    /// Packets transmitted (including lost).
+    pub packets_tx: u64,
+    /// Packets delivered.
+    pub packets_rx: u64,
+    /// Packets lost in flight after TX.
+    pub packets_lost: u64,
+    /// Total nanoseconds packets spent queued waiting for a free port
+    /// (TX head-of-line wait plus RX incast wait).
+    pub queue_delay_sum: u64,
+    /// Largest single-packet queueing wait observed, nanoseconds.
+    pub queue_delay_max: u64,
+}
+
+impl NicStats {
+    pub(crate) fn record_wait(&mut self, wait_ns: u64) {
+        self.queue_delay_sum += wait_ns;
+        self.queue_delay_max = self.queue_delay_max.max(wait_ns);
+    }
+}
+
+/// Runtime state of one NIC. The loss RNG is **per NIC**, derived from
+/// the simulation seed and the NIC id: loss draws then depend only on
+/// that NIC's own TX sequence — which is deterministic under any thread
+/// count — never on the global interleaving of the engine loop.
+pub(crate) struct Nic {
+    pub(crate) config: NicConfig,
+    pub(crate) tx_free: SimTime,
+    pub(crate) rx_free: SimTime,
+    pub(crate) stats: NicStats,
+    pub(crate) rng: ChaCha8Rng,
+}
+
+impl Nic {
+    pub(crate) fn new(config: NicConfig, sim_seed: u64, id: usize) -> Self {
+        // splitmix64 of the NIC id, xored into the run seed, decorrelates
+        // neighbouring NICs' ChaCha streams.
+        let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Nic {
+            config,
+            tx_free: SimTime::ZERO,
+            rx_free: SimTime::ZERO,
+            stats: NicStats::default(),
+            rng: ChaCha8Rng::seed_from_u64(sim_seed ^ z),
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Poisonable barrier for the parallel engine's window synchronization.
+//!
+//! `std::sync::Barrier` deadlocks the fleet if one participant panics
+//! (the rest wait forever for an arrival that never comes). Conservative
+//! DES needs three fleet-wide waits per window, and protocol actors are
+//! allowed to panic (event-budget livelock guard, protocol asserts), so
+//! every wait here is fallible: a panicking partition poisons the
+//! barrier on unwind, blocked peers observe the poison and bail out, and
+//! the original panic propagates from `std::thread::scope`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Sense-reversing counting barrier with a poison flag.
+pub(crate) struct PoisonBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+/// Returned from a wait that was cut short by a peer's panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Poisoned;
+
+impl PoisonBarrier {
+    pub(crate) fn new(n: usize) -> Self {
+        assert!(n > 0);
+        PoisonBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until all `n` participants arrive (or the barrier is
+    /// poisoned). Returns `Ok(true)` on exactly one participant per
+    /// round — the "leader" slot used to reset shared reduction cells.
+    pub(crate) fn wait(&self) -> Result<bool, Poisoned> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Poisoned);
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(Poisoned);
+            }
+            return Ok(true);
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(Poisoned);
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(Poisoned);
+        }
+        Ok(false)
+    }
+
+    /// Marks the barrier poisoned and releases every blocked waiter.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        // Bump the generation so spinners re-check the flag even if they
+        // raced past the load above.
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Poisons the barrier if dropped while armed — armed drops only happen
+/// during a panic unwind of the owning partition thread.
+pub(crate) struct PoisonGuard<'a> {
+    barrier: &'a PoisonBarrier,
+    armed: bool,
+}
+
+impl<'a> PoisonGuard<'a> {
+    pub(crate) fn new(barrier: &'a PoisonBarrier) -> Self {
+        PoisonGuard {
+            barrier,
+            armed: true,
+        }
+    }
+    pub(crate) fn defuse(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.barrier.poison();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn barrier_synchronizes_and_elects_one_leader_per_round() {
+        let n = 4;
+        let barrier = PoisonBarrier::new(n);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if barrier.wait().expect("not poisoned") {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn poison_releases_blocked_waiters() {
+        let barrier = PoisonBarrier::new(3);
+        std::thread::scope(|s| {
+            let h1 = s.spawn(|| barrier.wait());
+            let h2 = s.spawn(|| barrier.wait());
+            // Third participant never arrives; poison instead.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            barrier.poison();
+            assert_eq!(h1.join().unwrap(), Err(Poisoned));
+            assert_eq!(h2.join().unwrap(), Err(Poisoned));
+        });
+    }
+
+    #[test]
+    fn guard_poisons_on_unwind() {
+        let barrier = PoisonBarrier::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = PoisonGuard::new(&barrier);
+            panic!("partition died");
+        }));
+        assert!(result.is_err());
+        assert_eq!(barrier.wait(), Err(Poisoned));
+    }
+}

@@ -1,0 +1,98 @@
+//! Fabric topology: zone placement and inter-zone latency.
+//!
+//! A topology does two jobs. It adds **extra propagation latency**
+//! between NICs in different zones (racks), and it tells the parallel
+//! engine which NICs belong together — partitions are carved along
+//! zones, so the inter-zone latency *is* the synchronization lookahead
+//! (a bigger rack-to-rack delay buys wider conservative windows).
+
+use crate::nic::NicId;
+use crate::time::SimTime;
+
+/// Zone placement and inter-zone latency for a simulated fabric.
+pub trait Topology: Send + Sync {
+    /// Extra one-way propagation latency from `src` to `dst`, added on
+    /// top of the sending NIC's base `latency`. Must be symmetric in
+    /// the zones (same value for any pair drawn from the same two
+    /// zones) so the lookahead bound holds.
+    fn extra_latency(&self, src: NicId, dst: NicId) -> SimTime;
+
+    /// The zone (rack) a NIC belongs to. NICs sharing a zone are
+    /// placed in the same engine partition when running parallel.
+    fn zone(&self, nic: NicId) -> usize;
+}
+
+/// Single-switch fabric: no extra latency anywhere, every NIC its own
+/// zone (partitions then stripe NICs round-robin).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FlatTopology;
+
+impl Topology for FlatTopology {
+    fn extra_latency(&self, _src: NicId, _dst: NicId) -> SimTime {
+        SimTime::ZERO
+    }
+    fn zone(&self, nic: NicId) -> usize {
+        nic.0
+    }
+}
+
+/// Multi-rack fabric: NICs are grouped into racks of `rack_size`
+/// consecutive ids; crossing racks costs `inter_rack_extra` on top of
+/// the sender's base latency (one extra switch hop).
+#[derive(Debug, Clone, Copy)]
+pub struct RackTopology {
+    /// Consecutive NIC ids per rack (the rack's port count).
+    pub rack_size: usize,
+    /// Extra one-way latency for inter-rack packets.
+    pub inter_rack_extra: SimTime,
+}
+
+impl RackTopology {
+    /// A fabric of `rack_size`-port racks with the given extra
+    /// inter-rack hop latency.
+    pub fn new(rack_size: usize, inter_rack_extra: SimTime) -> Self {
+        assert!(rack_size > 0, "rack_size must be positive");
+        RackTopology {
+            rack_size,
+            inter_rack_extra,
+        }
+    }
+}
+
+impl Topology for RackTopology {
+    fn extra_latency(&self, src: NicId, dst: NicId) -> SimTime {
+        if self.zone(src) == self.zone(dst) {
+            SimTime::ZERO
+        } else {
+            self.inter_rack_extra
+        }
+    }
+    fn zone(&self, nic: NicId) -> usize {
+        nic.0 / self.rack_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_topology_zones_and_latency() {
+        let topo = RackTopology::new(4, SimTime::from_micros(2));
+        assert_eq!(topo.zone(NicId(0)), 0);
+        assert_eq!(topo.zone(NicId(3)), 0);
+        assert_eq!(topo.zone(NicId(4)), 1);
+        assert_eq!(topo.extra_latency(NicId(0), NicId(3)), SimTime::ZERO);
+        assert_eq!(
+            topo.extra_latency(NicId(0), NicId(4)),
+            SimTime::from_micros(2)
+        );
+    }
+
+    #[test]
+    fn flat_topology_is_zero_extra() {
+        let topo = FlatTopology;
+        assert_eq!(topo.extra_latency(NicId(0), NicId(9)), SimTime::ZERO);
+        assert_eq!(topo.zone(NicId(7)), 7);
+    }
+}

@@ -1,0 +1,481 @@
+//! Engine conformance tests, carried over from the sequential
+//! simulator: the parallel rebuild must preserve every timing,
+//! accounting, and determinism property the old event loop had.
+
+use omnireduce_simnet::{ActorId, Bandwidth, Ctx, NicConfig, Process, SimTime, Simulator};
+
+const KB: usize = 1000;
+
+fn nic_10g() -> NicConfig {
+    NicConfig::symmetric(Bandwidth::gbps(10.0), SimTime::from_micros(5))
+}
+
+/// Sends `count` packets of `bytes` to a target on start, then halts.
+struct Blaster {
+    count: usize,
+    bytes: usize,
+    to: ActorId,
+}
+impl Process<u64> for Blaster {
+    fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+        for i in 0..self.count {
+            ctx.send(self.to, i as u64, self.bytes);
+        }
+        ctx.halt();
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<u64>, _from: ActorId, _msg: u64) {}
+}
+
+/// Halts after receiving `expect` messages.
+struct Sink {
+    expect: usize,
+    got: usize,
+}
+impl Process<u64> for Sink {
+    fn on_start(&mut self, _ctx: &mut Ctx<u64>) {}
+    fn on_message(&mut self, ctx: &mut Ctx<u64>, _from: ActorId, _msg: u64) {
+        self.got += 1;
+        if self.got >= self.expect {
+            ctx.halt();
+        }
+    }
+}
+
+#[test]
+fn single_packet_time_is_tx_plus_latency_plus_rx() {
+    let mut sim = Simulator::new(0);
+    let n0 = sim.add_nic(nic_10g());
+    let n1 = sim.add_nic(nic_10g());
+    let sink = ActorId(1);
+    sim.add_actor(
+        n0,
+        Box::new(Blaster {
+            count: 1,
+            bytes: 1250,
+            to: sink,
+        }),
+    );
+    sim.add_actor(n1, Box::new(Sink { expect: 1, got: 0 }));
+    let report = sim.run();
+    // 1250 B at 10 Gbps = 1 µs tx + 5 µs latency + 1 µs rx = 7 µs.
+    assert_eq!(report.finished_at[1], Some(SimTime::from_micros(7)));
+}
+
+#[test]
+fn pipelined_stream_is_bandwidth_bound() {
+    let mut sim = Simulator::new(0);
+    let n0 = sim.add_nic(nic_10g());
+    let n1 = sim.add_nic(nic_10g());
+    let count = 1000;
+    sim.add_actor(
+        n0,
+        Box::new(Blaster {
+            count,
+            bytes: KB,
+            to: ActorId(1),
+        }),
+    );
+    sim.add_actor(
+        n1,
+        Box::new(Sink {
+            expect: count,
+            got: 0,
+        }),
+    );
+    let report = sim.run();
+    // 1 MB at 10 Gbps = 800 µs; latency adds only ~6 µs pipeline fill.
+    let t = report.finished_at[1].unwrap().as_secs_f64();
+    assert!((t - 806e-6).abs() < 5e-6, "took {t}");
+}
+
+#[test]
+fn incast_queues_at_receiver_rx_port() {
+    // 4 senders each push 100 KB simultaneously into one sink:
+    // the sink's RX port serializes 400 KB → 320 µs at 10 Gbps.
+    let mut sim = Simulator::new(0);
+    let sink_nic = sim.add_nic(nic_10g());
+    let mut nics = vec![];
+    for _ in 0..4 {
+        nics.push(sim.add_nic(nic_10g()));
+    }
+    let sink_id = ActorId(0);
+    sim.add_actor(
+        sink_nic,
+        Box::new(Sink {
+            expect: 400,
+            got: 0,
+        }),
+    );
+    for nic in nics {
+        sim.add_actor(
+            nic,
+            Box::new(Blaster {
+                count: 100,
+                bytes: KB,
+                to: sink_id,
+            }),
+        );
+    }
+    let report = sim.run();
+    let t = report.finished_at[0].unwrap().as_secs_f64();
+    assert!((t - 320e-6).abs() < 10e-6, "took {t}");
+}
+
+#[test]
+fn loopback_bypasses_nic() {
+    let mut sim = Simulator::new(0);
+    let nic = sim.add_nic(nic_10g());
+    sim.add_actor(
+        nic,
+        Box::new(Blaster {
+            count: 10,
+            bytes: 10 * KB,
+            to: ActorId(1),
+        }),
+    );
+    sim.add_actor(nic, Box::new(Sink { expect: 10, got: 0 }));
+    let report = sim.run();
+    // Local latency is zero by default: everything delivers at t=0.
+    assert_eq!(report.finished_at[1], Some(SimTime::ZERO));
+    assert_eq!(report.nic_stats[nic.0].bytes_tx, 0);
+}
+
+#[test]
+fn loss_drops_packets_but_charges_tx() {
+    let mut sim = Simulator::new(7);
+    let n0 = sim.add_nic(nic_10g().with_loss(1.0));
+    let n1 = sim.add_nic(nic_10g());
+    sim.add_actor(
+        n0,
+        Box::new(Blaster {
+            count: 50,
+            bytes: KB,
+            to: ActorId(1),
+        }),
+    );
+    sim.add_actor(n1, Box::new(Sink { expect: 1, got: 0 }));
+    let report = sim.run();
+    assert_eq!(report.nic_stats[0].packets_lost, 50);
+    assert_eq!(report.nic_stats[0].packets_tx, 50);
+    assert_eq!(report.nic_stats[1].packets_rx, 0);
+    assert_eq!(report.finished_at[1], None); // sink never finished
+}
+
+#[test]
+fn timers_fire_in_order() {
+    struct TimerActor {
+        fired: Vec<u64>,
+    }
+    impl Process<u64> for TimerActor {
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            ctx.set_timer(SimTime::from_micros(30), 3);
+            ctx.set_timer(SimTime::from_micros(10), 1);
+            ctx.set_timer(SimTime::from_micros(20), 2);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<u64>, _f: ActorId, _m: u64) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<u64>, token: u64) {
+            self.fired.push(token);
+            if self.fired.len() == 3 {
+                assert_eq!(self.fired, vec![1, 2, 3]);
+                assert_eq!(ctx.now(), SimTime::from_micros(30));
+                ctx.halt();
+            }
+        }
+    }
+    let mut sim = Simulator::new(0);
+    let nic = sim.add_nic(nic_10g());
+    sim.add_actor(nic, Box::new(TimerActor { fired: vec![] }));
+    let report = sim.run();
+    assert_eq!(report.finished_at[0], Some(SimTime::from_micros(30)));
+}
+
+#[test]
+fn stats_account_bytes() {
+    let mut sim = Simulator::new(0);
+    let n0 = sim.add_nic(nic_10g());
+    let n1 = sim.add_nic(nic_10g());
+    sim.add_actor(
+        n0,
+        Box::new(Blaster {
+            count: 3,
+            bytes: 500,
+            to: ActorId(1),
+        }),
+    );
+    sim.add_actor(n1, Box::new(Sink { expect: 3, got: 0 }));
+    let report = sim.run();
+    assert_eq!(report.nic_stats[0].bytes_tx, 1500);
+    assert_eq!(report.nic_stats[1].bytes_rx, 1500);
+    assert_eq!(report.nic_stats[0].packets_tx, 3);
+}
+
+#[test]
+fn queue_delay_accumulates_on_busy_ports() {
+    // 10 back-to-back packets on one TX port: packet k waits
+    // k * serialize(1 KB) = k * 800 ns, so the sum is 36 µs.
+    let mut sim = Simulator::new(0);
+    let n0 = sim.add_nic(nic_10g());
+    let n1 = sim.add_nic(nic_10g());
+    sim.add_actor(
+        n0,
+        Box::new(Blaster {
+            count: 10,
+            bytes: KB,
+            to: ActorId(1),
+        }),
+    );
+    sim.add_actor(n1, Box::new(Sink { expect: 10, got: 0 }));
+    let report = sim.run();
+    let tx = report.nic_stats[0];
+    assert_eq!(tx.queue_delay_sum, 36_000);
+    assert_eq!(tx.queue_delay_max, 7_200);
+}
+
+#[test]
+fn telemetry_counters_match_nic_stats() {
+    use omnireduce_telemetry::Telemetry;
+    let telemetry = Telemetry::with_tracing(256);
+    let mut sim = Simulator::new(7);
+    sim.attach_telemetry(telemetry.clone());
+    let n0 = sim.add_nic(nic_10g().with_loss(0.3));
+    let n1 = sim.add_nic(nic_10g());
+    sim.add_actor(
+        n0,
+        Box::new(Blaster {
+            count: 40,
+            bytes: KB,
+            to: ActorId(1),
+        }),
+    );
+    sim.add_actor(n1, Box::new(Sink { expect: 1, got: 0 }));
+    let report = sim.run();
+    let snap = telemetry.snapshot();
+    let tx_bytes: u64 = report.nic_stats.iter().map(|s| s.bytes_tx).sum();
+    let rx_bytes: u64 = report.nic_stats.iter().map(|s| s.bytes_rx).sum();
+    let lost: u64 = report.nic_stats.iter().map(|s| s.packets_lost).sum();
+    assert_eq!(snap.counter("simnet.nic.bytes_tx"), tx_bytes);
+    assert_eq!(snap.counter("simnet.nic.bytes_rx"), rx_bytes);
+    assert_eq!(snap.counter("simnet.nic.packets_lost"), lost);
+    assert!(lost > 0, "expected the lossy NIC to drop something");
+    // Every TX/RX serialization left a span; losses left instants.
+    assert!(!telemetry.trace().is_empty());
+}
+
+#[test]
+#[should_panic(expected = "event budget")]
+fn livelock_hits_event_budget() {
+    /// Two actors ping-pong forever.
+    struct Pinger {
+        peer: ActorId,
+    }
+    impl Process<u64> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            ctx.send(self.peer, 0, 100);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<u64>, from: ActorId, msg: u64) {
+            ctx.send(from, msg + 1, 100);
+        }
+    }
+    let mut sim = Simulator::new(0);
+    let n0 = sim.add_nic(nic_10g());
+    let n1 = sim.add_nic(nic_10g());
+    sim.add_actor(n0, Box::new(Pinger { peer: ActorId(1) }));
+    sim.add_actor(n1, Box::new(Pinger { peer: ActorId(0) }));
+    sim.set_max_events(1000);
+    let _ = sim.run();
+}
+
+#[test]
+#[should_panic(expected = "event budget")]
+fn livelock_hits_event_budget_parallel() {
+    /// Same livelock, caught from inside a partition thread: the
+    /// panicking partition must poison the window barrier so its peers
+    /// exit instead of deadlocking, and the panic must propagate.
+    struct Pinger {
+        peer: ActorId,
+    }
+    impl Process<u64> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            ctx.send(self.peer, 0, 100);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<u64>, from: ActorId, msg: u64) {
+            ctx.send(from, msg + 1, 100);
+        }
+    }
+    let mut sim = Simulator::new(0);
+    let n0 = sim.add_nic(nic_10g());
+    let n1 = sim.add_nic(nic_10g());
+    sim.add_actor(n0, Box::new(Pinger { peer: ActorId(1) }));
+    sim.add_actor(n1, Box::new(Pinger { peer: ActorId(0) }));
+    sim.set_threads(2);
+    sim.set_max_events(1000);
+    let _ = sim.run();
+}
+
+#[test]
+fn run_is_deterministic() {
+    let run_once = |seed| {
+        let mut sim = Simulator::new(seed);
+        let n0 = sim.add_nic(nic_10g().with_loss(0.2));
+        let n1 = sim.add_nic(nic_10g());
+        sim.add_actor(
+            n0,
+            Box::new(Blaster {
+                count: 100,
+                bytes: KB,
+                to: ActorId(1),
+            }),
+        );
+        sim.add_actor(n1, Box::new(Sink { expect: 50, got: 0 }));
+        let r = sim.run();
+        (r.finished_at[1], r.nic_stats[0].packets_lost)
+    };
+    assert_eq!(run_once(3), run_once(3));
+}
+
+mod conservation {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Sends a fixed schedule of packets, then halts.
+    struct Script {
+        sends: Vec<(ActorId, usize)>,
+    }
+    impl Process<u8> for Script {
+        fn on_start(&mut self, ctx: &mut Ctx<u8>) {
+            for (to, bytes) in &self.sends {
+                ctx.send(*to, 0, *bytes);
+            }
+            ctx.mark_done();
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<u8>, _f: ActorId, _m: u8) {}
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Conservation: every transmitted byte is either delivered or
+        /// lost, never duplicated or invented, for arbitrary topologies
+        /// and loss rates — under sequential AND parallel execution.
+        #[test]
+        fn prop_bytes_conserved(
+            n in 2usize..5,
+            loss in 0.0f64..0.5,
+            sends in prop::collection::vec((0usize..4, 1usize..50_000), 1..40),
+            seed in 0u64..500,
+            threads in 1usize..4,
+        ) {
+            let mut sim: Simulator<u8> = Simulator::new(seed);
+            sim.set_threads(threads);
+            let nics: Vec<_> = (0..n)
+                .map(|_| {
+                    sim.add_nic(
+                        NicConfig::symmetric(
+                            Bandwidth::gbps(10.0),
+                            SimTime::from_micros(5),
+                        )
+                        .with_loss(loss),
+                    )
+                })
+                .collect();
+            let mut schedules: Vec<Vec<(ActorId, usize)>> = vec![Vec::new(); n];
+            let mut expected_tx = vec![0u64; n];
+            for (i, (to, bytes)) in sends.into_iter().enumerate() {
+                let from = i % n;
+                let to = to % n;
+                if from == to {
+                    continue; // loopback bypasses the NICs
+                }
+                schedules[from].push((ActorId(to), bytes));
+                expected_tx[from] += bytes as u64;
+            }
+            for (i, sched) in schedules.into_iter().enumerate() {
+                sim.add_actor(nics[i], Box::new(Script { sends: sched }));
+            }
+            let report = sim.run();
+            let total_tx: u64 = report.nic_stats.iter().map(|s| s.bytes_tx).sum();
+            let total_rx: u64 = report.nic_stats.iter().map(|s| s.bytes_rx).sum();
+            prop_assert_eq!(total_tx, expected_tx.iter().sum::<u64>());
+            prop_assert!(total_rx <= total_tx);
+            let pkts_tx: u64 = report.nic_stats.iter().map(|s| s.packets_tx).sum();
+            let pkts_rx: u64 = report.nic_stats.iter().map(|s| s.packets_rx).sum();
+            let lost: u64 = report.nic_stats.iter().map(|s| s.packets_lost).sum();
+            prop_assert_eq!(pkts_tx, pkts_rx + lost);
+            if loss == 0.0 {
+                prop_assert_eq!(total_rx, total_tx);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_nic_rates_bound_by_slower_port() {
+        // Fast sender (100 Gbps TX) into slow receiver (10 Gbps RX):
+        // delivery is RX-bound.
+        let mut sim: Simulator<u8> = Simulator::new(0);
+        let fast = sim.add_nic(NicConfig {
+            tx: Bandwidth::gbps(100.0),
+            rx: Bandwidth::gbps(100.0),
+            latency: SimTime::ZERO,
+            loss: 0.0,
+            local_latency: SimTime::ZERO,
+        });
+        let slow = sim.add_nic(NicConfig {
+            tx: Bandwidth::gbps(10.0),
+            rx: Bandwidth::gbps(10.0),
+            latency: SimTime::ZERO,
+            loss: 0.0,
+            local_latency: SimTime::ZERO,
+        });
+        sim.add_actor(
+            fast,
+            Box::new(Script {
+                sends: (0..100).map(|_| (ActorId(1), 12_500usize)).collect(),
+            }),
+        );
+        struct Count {
+            got: usize,
+        }
+        impl Process<u8> for Count {
+            fn on_start(&mut self, _ctx: &mut Ctx<u8>) {}
+            fn on_message(&mut self, ctx: &mut Ctx<u8>, _f: ActorId, _m: u8) {
+                self.got += 1;
+                if self.got == 100 {
+                    ctx.halt();
+                }
+            }
+        }
+        sim.add_actor(slow, Box::new(Count { got: 0 }));
+        let report = sim.run();
+        // 1.25 MB at 10 Gbps = 1 ms (RX-bound), not 0.1 ms (TX rate).
+        let t = report.finished_at[1].unwrap().as_secs_f64();
+        assert!((t - 1e-3).abs() < 5e-5, "took {t}");
+    }
+
+    #[test]
+    fn local_latency_delays_loopback() {
+        let mut sim: Simulator<u8> = Simulator::new(0);
+        let nic = sim.add_nic(NicConfig {
+            tx: Bandwidth::gbps(10.0),
+            rx: Bandwidth::gbps(10.0),
+            latency: SimTime::ZERO,
+            loss: 0.0,
+            local_latency: SimTime::from_micros(3),
+        });
+        sim.add_actor(
+            nic,
+            Box::new(Script {
+                sends: vec![(ActorId(1), 100)],
+            }),
+        );
+        struct One;
+        impl Process<u8> for One {
+            fn on_start(&mut self, _ctx: &mut Ctx<u8>) {}
+            fn on_message(&mut self, ctx: &mut Ctx<u8>, _f: ActorId, _m: u8) {
+                ctx.halt();
+            }
+        }
+        sim.add_actor(nic, Box::new(One));
+        let report = sim.run();
+        assert_eq!(report.finished_at[1], Some(SimTime::from_micros(3)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Cross-thread determinism at the fabric level: the same workload run
+//! at `threads ∈ {1, 2, 8}` must produce bit-identical reports — every
+//! per-NIC counter, every finish time, the processed-event count, the
+//! end time. Protocol-level equality (tensors, wire bytes, flight
+//! streams) is proven on top of this by `tests/simnet_parallel.rs` at
+//! the workspace root.
+
+use omnireduce_simnet::{
+    ActorId, Bandwidth, Ctx, NicConfig, NicStats, Process, RackTopology, SimTime, Simulator,
+};
+
+fn nic_10g() -> NicConfig {
+    NicConfig::symmetric(Bandwidth::gbps(10.0), SimTime::from_micros(5))
+}
+
+#[derive(Debug, PartialEq)]
+struct Observables {
+    nic_stats: Vec<NicStats>,
+    finished_at: Vec<Option<SimTime>>,
+    end_time: SimTime,
+    events: u64,
+}
+
+/// A request/response protocol with data-dependent scheduling: each
+/// client walks a deterministic peer sequence, sends a request, and
+/// only issues the next one after the echo returns. Exercises incast,
+/// egress serialization, timers, and multi-hop causal chains.
+struct Client {
+    id: usize,
+    servers: Vec<ActorId>,
+    rounds: usize,
+    inflight: usize,
+    done: usize,
+}
+impl Process<u64> for Client {
+    fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+        let first = self.servers[self.id % self.servers.len()];
+        ctx.send(first, self.id as u64, 700 + 100 * (self.id % 5));
+        self.inflight = 1;
+        // A heartbeat timer that keeps firing while requests are out.
+        ctx.set_timer(SimTime::from_micros(50), 1);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<u64>, _from: ActorId, msg: u64) {
+        self.done += 1;
+        if self.done == self.rounds {
+            ctx.halt();
+            return;
+        }
+        let next = self.servers[(self.id + self.done) % self.servers.len()];
+        ctx.send(
+            next,
+            msg.wrapping_add(1),
+            700 + 100 * ((self.id + self.done) % 5),
+        );
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<u64>, token: u64) {
+        if self.done < self.rounds {
+            ctx.set_timer(SimTime::from_micros(50), token);
+        }
+    }
+}
+
+/// Echoes every request back to its sender, doubled in size class.
+struct Server;
+impl Process<u64> for Server {
+    fn on_start(&mut self, _ctx: &mut Ctx<u64>) {}
+    fn on_message(&mut self, ctx: &mut Ctx<u64>, from: ActorId, msg: u64) {
+        ctx.send(from, msg, 900);
+    }
+}
+
+fn run_echo(threads: usize, clients: usize, servers: usize, loss: f64) -> Observables {
+    let mut sim: Simulator<u64> = Simulator::new(0xBEEF);
+    sim.set_threads(threads);
+    let server_nics: Vec<_> = (0..servers)
+        .map(|_| sim.add_nic(nic_10g().with_loss(loss)))
+        .collect();
+    let client_nics: Vec<_> = (0..clients)
+        .map(|_| sim.add_nic(nic_10g().with_loss(loss)))
+        .collect();
+    let server_ids: Vec<ActorId> = (0..servers).map(ActorId).collect();
+    for nic in &server_nics {
+        sim.add_actor(*nic, Box::new(Server));
+    }
+    for (i, nic) in client_nics.iter().enumerate() {
+        sim.add_actor(
+            *nic,
+            Box::new(Client {
+                id: i,
+                servers: server_ids.clone(),
+                rounds: 40,
+                inflight: 0,
+                done: 0,
+            }),
+        );
+    }
+    let report = sim.run();
+    Observables {
+        nic_stats: report.nic_stats,
+        finished_at: report.finished_at,
+        end_time: report.end_time,
+        events: report.events,
+    }
+}
+
+#[test]
+fn echo_protocol_is_thread_count_invariant() {
+    let seq = run_echo(1, 12, 3, 0.0);
+    for threads in [2, 8] {
+        let par = run_echo(threads, 12, 3, 0.0);
+        assert_eq!(seq, par, "threads={threads} diverged from sequential");
+    }
+    // Sanity: the workload actually finished.
+    assert!(seq.finished_at[3..].iter().all(|f| f.is_some()));
+}
+
+#[test]
+fn lossy_echo_is_thread_count_invariant() {
+    // Loss draws come from per-NIC streams, so the drop pattern — and
+    // everything downstream of it — must not depend on thread count.
+    // Clients would hang on a dropped echo, so halt on the heartbeat
+    // instead of waiting for all rounds.
+    struct LossyClient {
+        inner: Client,
+        ticks: usize,
+    }
+    impl Process<u64> for LossyClient {
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            self.inner.on_start(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<u64>, from: ActorId, msg: u64) {
+            self.inner.on_message(ctx, from, msg);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<u64>, _token: u64) {
+            self.ticks += 1;
+            if self.ticks < 200 && self.inner.done < self.inner.rounds {
+                ctx.set_timer(SimTime::from_micros(50), 1);
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+    let run = |threads: usize| {
+        let mut sim: Simulator<u64> = Simulator::new(0xFEED);
+        sim.set_threads(threads);
+        let server_nic = sim.add_nic(nic_10g().with_loss(0.05));
+        let client_nics: Vec<_> = (0..9)
+            .map(|_| sim.add_nic(nic_10g().with_loss(0.05)))
+            .collect();
+        sim.add_actor(server_nic, Box::new(Server));
+        for (i, nic) in client_nics.iter().enumerate() {
+            sim.add_actor(
+                *nic,
+                Box::new(LossyClient {
+                    inner: Client {
+                        id: i,
+                        servers: vec![ActorId(0)],
+                        rounds: 30,
+                        inflight: 0,
+                        done: 0,
+                    },
+                    ticks: 0,
+                }),
+            );
+        }
+        let report = sim.run();
+        (report.nic_stats, report.finished_at, report.events)
+    };
+    let seq = run(1);
+    assert!(
+        seq.0.iter().map(|s| s.packets_lost).sum::<u64>() > 0,
+        "loss process never fired — test is vacuous"
+    );
+    for threads in [2, 8] {
+        assert_eq!(seq, run(threads), "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn rack_topology_is_thread_count_invariant_and_adds_latency() {
+    let run = |threads: usize| {
+        let mut sim: Simulator<u64> = Simulator::new(1);
+        sim.set_threads(threads);
+        sim.set_topology(RackTopology::new(4, SimTime::from_micros(2)));
+        let nics: Vec<_> = (0..16).map(|_| sim.add_nic(nic_10g())).collect();
+        // One server per rack; clients talk to the server of the *next*
+        // rack so every request crosses racks.
+        for r in 0..4 {
+            sim.add_actor(nics[r * 4], Box::new(Server));
+        }
+        for i in 0..12 {
+            let rack = i / 3;
+            sim.add_actor(
+                nics[rack * 4 + 1 + i % 3],
+                Box::new(Client {
+                    id: i,
+                    servers: vec![ActorId((rack + 1) % 4)],
+                    rounds: 25,
+                    inflight: 0,
+                    done: 0,
+                }),
+            );
+        }
+        let report = sim.run();
+        (
+            report.nic_stats,
+            report.finished_at,
+            report.end_time,
+            report.events,
+        )
+    };
+    let seq = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(seq, run(threads), "threads={threads} diverged");
+    }
+    // Cross-rack hop: 800ns tx + 5µs base + 2µs extra + 720ns rx on the
+    // first request: the first echo cannot return before ~15µs.
+    let first_finish = seq.1.iter().flatten().min().unwrap().as_nanos();
+    assert!(
+        first_finish > 15_000,
+        "rack latency missing: {first_finish}"
+    );
+}
+
+#[test]
+fn same_time_cross_partition_arrivals_keep_canonical_order() {
+    // All clients fire simultaneously at one server with identical
+    // sizes, so PortArrival timestamps collide exactly; the canonical
+    // (time, src, seq) order must make the RX interleaving — and the
+    // resulting queue-delay accounting — identical for any partition
+    // layout.
+    let run = |threads: usize| {
+        let mut sim: Simulator<u64> = Simulator::new(3);
+        sim.set_threads(threads);
+        let server_nic = sim.add_nic(nic_10g());
+        let nics: Vec<_> = (0..10).map(|_| sim.add_nic(nic_10g())).collect();
+        sim.add_actor(server_nic, Box::new(Server));
+        for (i, nic) in nics.iter().enumerate() {
+            sim.add_actor(
+                *nic,
+                Box::new(Client {
+                    id: i,
+                    servers: vec![ActorId(0)],
+                    rounds: 20,
+                    inflight: 0,
+                    done: 0,
+                }),
+            );
+        }
+        let report = sim.run();
+        (report.nic_stats, report.finished_at, report.events)
+    };
+    let seq = run(1);
+    for threads in [2, 3, 8] {
+        assert_eq!(seq, run(threads), "threads={threads} diverged");
+    }
+}

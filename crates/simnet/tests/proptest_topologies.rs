@@ -1,0 +1,199 @@
+//! Property test: for *random* topologies — node count, rack fan-out,
+//! link latency, inter-rack extra latency, loss rate and seed — a
+//! parallel run is bit-identical to the sequential run of the same
+//! workload. The committed regressions file
+//! (`tests/regressions/topologies.csv`) pins every case the generator
+//! has ever caught (plus hand-picked hard cases: single-rack, full
+//! fan-out, prime node counts) and is replayed on every test run — the
+//! vendored proptest shim does not persist failures itself.
+
+use omnireduce_simnet::{
+    ActorId, Bandwidth, Ctx, NicConfig, NicStats, Process, RackTopology, SimTime, Simulator,
+};
+use proptest::prelude::*;
+
+/// One generated topology/workload point.
+#[derive(Debug, Clone, Copy)]
+struct Case {
+    nodes: usize,
+    rack_size: usize,
+    latency_us: u64,
+    extra_us: u64,
+    loss_bp: u32,
+    threads: usize,
+    seed: u64,
+}
+
+/// A request/echo protocol with cross-rack traffic: the first node of
+/// each rack serves; every other node sends its requests to the *next*
+/// rack's server, so inter-rack links (and the lookahead bound they set)
+/// are always on the critical path. Lossy runs bound themselves via the
+/// heartbeat tick budget instead of waiting for echoes that never come.
+struct Peer {
+    id: usize,
+    target: Option<ActorId>,
+    rounds: usize,
+    done: usize,
+    ticks: usize,
+}
+
+impl Process<u64> for Peer {
+    fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+        if let Some(target) = self.target {
+            ctx.send(target, self.id as u64, 600 + 90 * (self.id % 7));
+            ctx.set_timer(SimTime::from_micros(40), 1);
+        }
+        // Servers stay passive (and never halt: the run ends by drain).
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<u64>, from: ActorId, msg: u64) {
+        match self.target {
+            // Server: echo.
+            None => ctx.send(from, msg, 800),
+            // Client: next round.
+            Some(target) => {
+                self.done += 1;
+                if self.done >= self.rounds {
+                    ctx.halt();
+                } else {
+                    ctx.send(
+                        target,
+                        msg.wrapping_add(1),
+                        600 + 90 * ((self.id + self.done) % 7),
+                    );
+                }
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<u64>, token: u64) {
+        self.ticks += 1;
+        if self.done < self.rounds && self.ticks < 300 {
+            ctx.set_timer(SimTime::from_micros(40), token);
+        } else if self.done < self.rounds {
+            ctx.halt(); // lossy run: give up instead of waiting forever
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Observed {
+    nic_stats: Vec<NicStats>,
+    finished_at: Vec<Option<SimTime>>,
+    end_time: SimTime,
+    events: u64,
+}
+
+fn run_case(c: Case, threads: usize) -> Observed {
+    let racks = c.nodes.div_ceil(c.rack_size);
+    let mut sim: Simulator<u64> = Simulator::new(c.seed);
+    sim.set_threads(threads);
+    sim.set_topology(RackTopology::new(
+        c.rack_size,
+        SimTime::from_micros(c.extra_us),
+    ));
+    let loss = f64::from(c.loss_bp) / 10_000.0;
+    let nic = NicConfig::symmetric(
+        Bandwidth::gbps(10.0),
+        SimTime::from_micros(c.latency_us.max(1)),
+    )
+    .with_loss(loss);
+    let nics: Vec<_> = (0..c.nodes).map(|_| sim.add_nic(nic)).collect();
+    for (i, nic) in nics.iter().enumerate() {
+        let rack = i / c.rack_size;
+        let is_server = i % c.rack_size == 0;
+        let target = if is_server {
+            None
+        } else {
+            // The next rack's server (racks are contiguous nic ranges).
+            Some(ActorId(((rack + 1) % racks) * c.rack_size))
+        };
+        sim.add_actor(
+            *nic,
+            Box::new(Peer {
+                id: i,
+                target,
+                rounds: 12 + i % 5,
+                done: 0,
+                ticks: 0,
+            }),
+        );
+    }
+    let report = sim.run();
+    Observed {
+        nic_stats: report.nic_stats,
+        finished_at: report.finished_at,
+        end_time: report.end_time,
+        events: report.events,
+    }
+}
+
+fn assert_invariant(c: Case) {
+    let seq = run_case(c, 1);
+    let par = run_case(c, c.threads);
+    assert_eq!(seq, par, "parallel diverged from sequential for {c:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_parallel_equals_sequential_on_random_topologies(
+        nodes in 2usize..24,
+        rack_size in 1usize..6,
+        latency_us in 1u64..20,
+        extra_us in 0u64..10,
+        loss_bp in 0u32..800,
+        threads in 2usize..9,
+        seed in 0u64..10_000,
+    ) {
+        assert_invariant(Case {
+            nodes,
+            rack_size,
+            latency_us,
+            extra_us,
+            loss_bp,
+            threads,
+            seed,
+        });
+    }
+}
+
+/// Replays the committed regression corpus. Each line is
+/// `nodes,rack_size,latency_us,extra_us,loss_bp,threads,seed`; `#`
+/// starts a comment. Append a line here whenever the property above
+/// finds a counterexample — the shim does not persist failures.
+#[test]
+fn replay_committed_regressions() {
+    let corpus = include_str!("regressions/topologies.csv");
+    let mut replayed = 0;
+    for (lineno, line) in corpus.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<u64> = line
+            .split(',')
+            .map(|f| {
+                f.trim().parse().unwrap_or_else(|e| {
+                    panic!("regressions line {}: bad field {f:?}: {e}", lineno + 1)
+                })
+            })
+            .collect();
+        assert_eq!(
+            fields.len(),
+            7,
+            "regressions line {}: want 7 fields",
+            lineno + 1
+        );
+        assert_invariant(Case {
+            nodes: fields[0] as usize,
+            rack_size: fields[1] as usize,
+            latency_us: fields[2],
+            extra_us: fields[3],
+            loss_bp: fields[4] as u32,
+            threads: fields[5] as usize,
+            seed: fields[6],
+        });
+        replayed += 1;
+    }
+    assert!(replayed >= 8, "regression corpus went missing");
+}

@@ -11,7 +11,9 @@
 //! blocks) fit comfortably; bulk transports like the ring collective's
 //! 64 KB chunks do not — use TCP for those.
 
+use std::io::ErrorKind;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -39,24 +41,40 @@ impl UdpNetwork {
         let socket = UdpSocket::bind(addrs[local.index()])?;
         let (tx, rx) = unbounded();
         let recv_socket = socket.try_clone()?;
+        // A bounded read timeout so the reader re-checks the shutdown
+        // flag even if the wake datagram sent on drop is lost.
+        recv_socket.set_read_timeout(Some(Duration::from_millis(200)))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let reader_shutdown = shutdown.clone();
         let peer_addrs = addrs.to_vec();
-        thread::Builder::new()
+        let reader = thread::Builder::new()
             .name(format!("udp-rx-{local}"))
-            .spawn(move || Self::reader_loop(recv_socket, peer_addrs, tx))
+            .spawn(move || Self::reader_loop(recv_socket, peer_addrs, tx, &reader_shutdown))
             .expect("spawn reader");
         Ok(UdpTransport {
             local,
             socket: Arc::new(socket),
             addrs: addrs.to_vec(),
             rx,
+            shutdown,
+            reader: Some(reader),
         })
     }
 
-    fn reader_loop(socket: UdpSocket, addrs: Vec<SocketAddr>, tx: Sender<(NodeId, Message)>) {
+    fn reader_loop(
+        socket: UdpSocket,
+        addrs: Vec<SocketAddr>,
+        tx: Sender<(NodeId, Message)>,
+        shutdown: &AtomicBool,
+    ) {
         let mut buf = vec![0u8; 65_536];
-        loop {
+        while !shutdown.load(Ordering::Acquire) {
             let (len, from_addr) = match socket.recv_from(&mut buf) {
                 Ok(x) => x,
+                // Read timeout: loop around and re-check the flag.
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    continue;
+                }
                 Err(_) => return, // socket closed
             };
             // Identify the sender by its source address.
@@ -79,6 +97,26 @@ pub struct UdpTransport {
     socket: Arc<UdpSocket>,
     addrs: Vec<SocketAddr>,
     rx: Receiver<(NodeId, Message)>,
+    shutdown: Arc<AtomicBool>,
+    reader: Option<thread::JoinHandle<()>>,
+}
+
+impl Drop for UdpTransport {
+    /// Stops and joins the reader thread: without this, the cloned
+    /// socket kept `udp-rx-*` blocked in `recv_from` forever after the
+    /// endpoint was dropped (one leaked thread + one leaked socket per
+    /// endpoint, per run).
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the reader out of recv_from immediately; if the wake
+        // datagram is dropped, the 200ms read timeout catches the flag.
+        if let Ok(local) = self.socket.local_addr() {
+            let _ = self.socket.send_to(&[], local);
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
 }
 
 impl Transport for UdpTransport {
@@ -180,6 +218,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dropping_the_endpoint_stops_the_reader_thread() {
+        let a = addrs(1);
+        let t = UdpNetwork::bind(NodeId(0), &a).unwrap();
+        assert!(t.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
+        // Drop on a helper thread so a regression (reader stuck in
+        // recv_from → join hangs) fails the test instead of wedging the
+        // whole harness.
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        thread::spawn(move || {
+            drop(t);
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("drop() hung: the udp-rx reader thread never exited");
     }
 
     #[test]

@@ -119,6 +119,35 @@ else
     cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test flight -q
 fi
 
+# Parallel simnet differential suite (§13): the full conformance matrix
+# through the simulated mirrors at threads {1,2,8} — completion times,
+# per-NIC counters, per-shard wire bytes and whole flight recordings
+# bit-identical across thread counts, plus recovery/membership runs. A
+# synchronization bug in the conservative engine can deadlock a barrier
+# rather than fail, hence the outer timeout belt.
+if command -v timeout >/dev/null 2>&1; then
+  step "simnet-parallel (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce --test simnet_parallel -q
+else
+  step "simnet-parallel" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce --test simnet_parallel -q
+fi
+
+# Simnet property tests: random topologies (node count, rack fan-out,
+# latencies, loss, thread count) must be parallel==sequential
+# bit-identical, plus the committed regression corpus
+# (crates/simnet/tests/regressions/topologies.csv). Same hang risk as
+# above — a lookahead bug stalls the window protocol.
+if command -v timeout >/dev/null 2>&1; then
+  step "simnet-proptest (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-simnet --test proptest_topologies -q
+else
+  step "simnet-proptest" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-simnet --test proptest_topologies -q
+fi
+
 # Recorder hot path must not allocate: CountingAllocator-backed
 # regression over record/record_at/now_ns.
 step "flight recorder allocation gate" \
@@ -171,6 +200,26 @@ if [[ "$FAST" -eq 0 ]]; then
     step "failover recovery-time gate" \
       cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
       --bin ablation_failover -- --check
+  fi
+fi
+
+# Simnet scaling gate (§13): Fig 1/Fig 7 curves at 128..1024 workers on
+# racked fabrics. Parallel runs must stay bit-identical to sequential at
+# every scale; sequential events/s must hold 1/4x of the committed
+# baseline; and on hosts with >= 4 cores the 256-worker point must show
+# a >= 2x parallel speedup (single-core hosts report the ratio but gate
+# only on identity — a conservative engine cannot beat sequential
+# without real cores).
+if [[ "$FAST" -eq 0 ]]; then
+  if command -v timeout >/dev/null 2>&1; then
+    step "simnet scaling gate (timeout 300s)" \
+      timeout --signal=KILL 300 \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin ablation_simnet_scale -- --check
+  else
+    step "simnet scaling gate" \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin ablation_simnet_scale -- --check
   fi
 fi
 

@@ -25,6 +25,7 @@ pub use omnireduce_core as core;
 pub use omnireduce_ddl as ddl;
 pub use omnireduce_simnet as simnet;
 pub use omnireduce_sparsify as sparsify;
+pub use omnireduce_telemetry as telemetry;
 pub use omnireduce_tensor as tensor;
 pub use omnireduce_transport as transport;
 pub use omnireduce_workloads as workloads;

@@ -1,95 +1,289 @@
 //! Integration: the Algorithm 2 recovery engines over *real UDP
 //! datagrams* — the deployment shape closest to the paper's DPDK path.
-//! Loopback UDP rarely drops, but the engines assume nothing: this
-//! verifies the full stack (codec → datagram → recovery protocol)
-//! end-to-end, including multiple rounds over the same sockets.
+//!
+//! Loopback UDP rarely drops on its own, so the matrix wraps the real
+//! sockets in a seeded Bernoulli drop layer (the kernel-socket
+//! equivalent of the in-process `LossyNetwork`) and sweeps drop rates:
+//! the full stack (codec → datagram → retransmission protocol) must
+//! produce output **bit-identical** to the same collective over TCP —
+//! inputs are quantized to multiples of 0.25, so any correct reduction
+//! order yields the same bits, and "approximately recovered" is not
+//! good enough. A blackhole case (aggregator address never bound — the
+//! OS silently eats every datagram) locks the bounded-retry exit:
+//! `PeerUnresponsive` instead of a wedged worker.
 
 use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Mutex;
 use std::thread;
+use std::time::Duration;
 
 use omnireduce::core::config::OmniConfig;
 use omnireduce::core::recovery::{RecoveryAggregator, RecoveryWorker};
-use omnireduce::core::testing::with_deadline;
+use omnireduce::core::testing::{assert_bits_eq, quantize, with_deadline};
+use omnireduce::core::ProtocolError;
 use omnireduce::tensor::dense::reference_sum;
 use omnireduce::tensor::gen::{self, OverlapMode};
 use omnireduce::tensor::{BlockSpec, Tensor};
 use omnireduce::transport::udp::UdpNetwork;
-use omnireduce::transport::NodeId;
+use omnireduce::transport::{Message, NodeId, TcpNetwork, Transport, TransportError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-#[test]
-fn recovery_group_over_real_udp() {
-    // Watchdog: a regression that reintroduces unbounded retransmission
-    // must fail fast, not wedge CI.
-    with_deadline(std::time::Duration::from_secs(120), run_recovery_over_udp);
+/// Loopback port allocator: each test grabs a disjoint block.
+static NEXT_PORT: AtomicU16 = AtomicU16::new(28_100);
+
+fn alloc_addrs(n: usize) -> Vec<SocketAddr> {
+    let base = NEXT_PORT.fetch_add(n as u16, Ordering::SeqCst);
+    (0..n)
+        .map(|i| SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), base + i as u16))
+        .collect()
 }
 
-fn run_recovery_over_udp() {
-    let workers = 3;
-    let elements = 1 << 14;
-    let mut cfg = OmniConfig::new(workers, elements)
+/// Seeded Bernoulli drops over any real transport — the kernel-socket
+/// counterpart of `LossyNetwork` (which only wraps the in-process
+/// channel mesh). Like `LossyNetwork`, only data frames (`Block`/`Kv`)
+/// are dropped; control messages (`Start`, `Shutdown`) go through — the
+/// recovery protocol owns data reliability, not session teardown.
+/// Drops apply on TX, per destination, so the aggregator's multicast
+/// loses packets independently per worker.
+struct DropTx<T> {
+    inner: T,
+    loss: f64,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+impl<T: Transport> DropTx<T> {
+    fn new(inner: T, loss: f64, seed: u64) -> Self {
+        DropTx {
+            inner,
+            loss,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl<T: Transport> Transport for DropTx<T> {
+    fn local_id(&self) -> NodeId {
+        self.inner.local_id()
+    }
+    fn send(&self, peer: NodeId, msg: &Message) -> Result<(), TransportError> {
+        let droppable = matches!(msg, Message::Block(_) | Message::Kv(_));
+        if droppable && self.loss > 0.0 && self.rng.lock().unwrap().gen_bool(self.loss) {
+            return Ok(()); // dropped on the (virtual) wire
+        }
+        self.inner.send(peer, msg)
+    }
+    fn recv(&self) -> Result<(NodeId, Message), TransportError> {
+        self.inner.recv()
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(NodeId, Message)>, TransportError> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+fn config(workers: usize, elements: usize, shards: usize) -> OmniConfig {
+    OmniConfig::new(workers, elements)
         .with_block_size(128)
         .with_fusion(2)
-        .with_streams(4);
-    cfg.retransmit_timeout = std::time::Duration::from_millis(50);
+        .with_streams(4)
+        .with_aggregators(shards)
+        .with_fixed_rto(Duration::from_millis(40))
+}
 
-    let base = 27_400u16;
-    let addrs: Vec<SocketAddr> = (0..cfg.mesh_size())
-        .map(|i| SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), base + i as u16))
-        .collect();
-
-    let rounds = 2;
+/// Per-worker, per-round quantized inputs (`inputs[w][r]`).
+fn quantized_inputs(workers: usize, elements: usize, rounds: usize, seed: u64) -> Vec<Vec<Tensor>> {
     let mut per_worker: Vec<Vec<Tensor>> = vec![Vec::new(); workers];
-    let mut expects = Vec::new();
     for r in 0..rounds {
-        let inputs = gen::workers(
+        let round = gen::workers(
             workers,
             elements,
             BlockSpec::new(128),
             0.6,
             1.0,
             OverlapMode::Random,
-            300 + r as u64,
+            seed + r as u64,
         );
-        expects.push(reference_sum(&inputs));
-        for (w, t) in inputs.into_iter().enumerate() {
+        for (w, mut t) in round.into_iter().enumerate() {
+            quantize(&mut t);
             per_worker[w].push(t);
         }
     }
+    per_worker
+}
 
-    // Aggregator binds first so no early datagrams are lost to an
-    // unbound socket (the protocol would recover anyway, but keep the
-    // test fast and deterministic).
-    let agg_t = UdpNetwork::bind(NodeId(cfg.aggregator_node(0)), &addrs).unwrap();
-    let agg_cfg = cfg.clone();
-    let agg = thread::spawn(move || {
-        RecoveryAggregator::new(agg_t, agg_cfg).run().unwrap();
-    });
-
-    let mut handles = Vec::new();
-    for (w, tensors) in per_worker.into_iter().enumerate() {
-        let addrs = addrs.clone();
+/// Runs the recovery group with each endpoint built by `make_endpoint`
+/// (node id → transport), returning every worker's per-round outputs.
+fn run_recovery<T, F>(
+    cfg: &OmniConfig,
+    inputs: Vec<Vec<Tensor>>,
+    make_endpoint: F,
+) -> Vec<Vec<Tensor>>
+where
+    T: Transport + 'static,
+    F: Fn(u16) -> T + Send + Clone + 'static,
+{
+    let mut agg_handles = Vec::new();
+    for a in 0..cfg.num_aggregators {
+        let node = cfg.aggregator_node(a);
         let cfg = cfg.clone();
-        handles.push(thread::spawn(move || {
-            let t = UdpNetwork::bind(NodeId(cfg.worker_node(w)), &addrs).unwrap();
-            let mut worker = RecoveryWorker::new(t, cfg);
+        let make_endpoint = make_endpoint.clone();
+        agg_handles.push(thread::spawn(move || {
+            RecoveryAggregator::new(make_endpoint(node), cfg)
+                .run()
+                .expect("aggregator failed");
+        }));
+    }
+    let mut worker_handles = Vec::new();
+    for (w, tensors) in inputs.into_iter().enumerate() {
+        let cfg = cfg.clone();
+        let make_endpoint = make_endpoint.clone();
+        worker_handles.push(thread::spawn(move || {
+            let mut worker = RecoveryWorker::new(make_endpoint(cfg.worker_node(w)), cfg);
             let mut outs = Vec::new();
             for mut tensor in tensors {
-                worker.allreduce(&mut tensor).unwrap();
+                worker.allreduce(&mut tensor).expect("allreduce failed");
                 outs.push(tensor);
             }
-            worker.shutdown().unwrap();
+            worker.shutdown().expect("shutdown failed");
             outs
         }));
     }
-    for h in handles {
-        let outs = h.join().unwrap();
-        for (r, out) in outs.iter().enumerate() {
-            assert!(
-                out.approx_eq(&expects[r], 1e-4),
-                "round {r} diverges by {}",
-                out.max_abs_diff(&expects[r])
+    let outs: Vec<_> = worker_handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    for h in agg_handles {
+        h.join().expect("aggregator thread panicked");
+    }
+    outs
+}
+
+/// One matrix point: UDP mesh at `loss` vs a TCP reference of the same
+/// inputs, compared bit-for-bit.
+fn udp_vs_tcp(workers: usize, shards: usize, loss: f64, seed: u64) {
+    let elements = 1 << 13;
+    let rounds = 2;
+    let cfg = config(workers, elements, shards);
+    let inputs = quantized_inputs(workers, elements, rounds, seed);
+
+    // TCP reference: reliable byte streams, a huge RTO so any
+    // retransmission would itself be a protocol bug.
+    let tcp_addrs = alloc_addrs(cfg.mesh_size());
+    let tcp_cfg = cfg.clone().with_fixed_rto(Duration::from_secs(30));
+    let tcp_out = {
+        let addrs = tcp_addrs;
+        run_recovery(&tcp_cfg, inputs.clone(), move |node| {
+            TcpNetwork::establish(NodeId(node), &addrs).expect("tcp establish")
+        })
+    };
+
+    // UDP under seeded drops. Aggregators bind before workers start
+    // sending only probabilistically; the protocol absorbs early losses
+    // like any other drop.
+    let udp_addrs = alloc_addrs(cfg.mesh_size());
+    let udp_out = {
+        let addrs = udp_addrs;
+        run_recovery(&cfg, inputs, move |node| {
+            let udp = UdpNetwork::bind(NodeId(node), &addrs).expect("udp bind");
+            DropTx::new(udp, loss, seed ^ u64::from(node))
+        })
+    };
+
+    for (w, (u, t)) in udp_out.iter().zip(&tcp_out).enumerate() {
+        for r in 0..rounds {
+            assert_bits_eq(
+                &u[r],
+                &t[r],
+                &format!("udp(loss={loss})≠tcp: worker {w} round {r}"),
             );
         }
     }
-    agg.join().unwrap();
+}
+
+#[test]
+fn udp_matrix_clean_loopback_matches_tcp() {
+    with_deadline(Duration::from_secs(120), || udp_vs_tcp(3, 1, 0.0, 901));
+}
+
+#[test]
+fn udp_matrix_moderate_drops_match_tcp() {
+    with_deadline(Duration::from_secs(180), || udp_vs_tcp(3, 1, 0.05, 902));
+}
+
+#[test]
+fn udp_matrix_heavy_drops_and_shards_match_tcp() {
+    with_deadline(Duration::from_secs(240), || udp_vs_tcp(4, 2, 0.15, 903));
+}
+
+/// The original end-to-end smoke check: multiple rounds over bare UDP
+/// sockets (no drop layer), verified against the dense reference sum.
+#[test]
+fn recovery_group_over_real_udp() {
+    with_deadline(Duration::from_secs(120), || {
+        let workers = 3;
+        let elements = 1 << 14;
+        let cfg = config(workers, elements, 1).with_fixed_rto(Duration::from_millis(50));
+        let addrs = alloc_addrs(cfg.mesh_size());
+
+        let rounds = 2;
+        let mut per_worker: Vec<Vec<Tensor>> = vec![Vec::new(); workers];
+        let mut expects = Vec::new();
+        for r in 0..rounds {
+            let inputs = gen::workers(
+                workers,
+                elements,
+                BlockSpec::new(128),
+                0.6,
+                1.0,
+                OverlapMode::Random,
+                300 + r as u64,
+            );
+            expects.push(reference_sum(&inputs));
+            for (w, t) in inputs.into_iter().enumerate() {
+                per_worker[w].push(t);
+            }
+        }
+
+        let outs = run_recovery(&cfg, per_worker, move |node| {
+            UdpNetwork::bind(NodeId(node), &addrs).expect("udp bind")
+        });
+        for outs in outs {
+            for (r, out) in outs.iter().enumerate() {
+                assert!(
+                    out.approx_eq(&expects[r], 1e-4),
+                    "round {r} diverges by {}",
+                    out.max_abs_diff(&expects[r])
+                );
+            }
+        }
+    });
+}
+
+/// Blackhole: the aggregator's address is allocated but never bound, so
+/// the OS silently swallows every datagram — the real-socket version of
+/// a crashed peer. The worker must exhaust its bounded retry budget and
+/// surface `PeerUnresponsive`, not spin forever.
+#[test]
+fn unbound_peer_blackhole_fails_fast_with_peer_unresponsive() {
+    with_deadline(Duration::from_secs(60), || {
+        let cfg = OmniConfig::new(1, 1 << 10)
+            .with_block_size(128)
+            .with_fusion(2)
+            .with_streams(2)
+            .with_fixed_rto(Duration::from_millis(20))
+            .with_max_retransmits(4);
+        let addrs = alloc_addrs(cfg.mesh_size());
+        // Bind only the worker; the aggregator slot stays a blackhole.
+        let t = UdpNetwork::bind(NodeId(cfg.worker_node(0)), &addrs).expect("udp bind");
+        let mut worker = RecoveryWorker::new(t, cfg);
+        let mut tensor = Tensor::from_vec(vec![1.0f32; 1 << 10]);
+        let err = worker
+            .allreduce(&mut tensor)
+            .expect_err("a blackholed mesh must not complete");
+        assert!(
+            matches!(err, ProtocolError::PeerUnresponsive { .. }),
+            "want PeerUnresponsive, got {err:?}"
+        );
+    });
 }
