@@ -180,7 +180,13 @@ fn run(cfg: &OmniConfig, plan: &FaultPlan, inputs: &[Tensor]) -> Outcome {
 
 fn read_baseline() -> Option<f64> {
     let text = std::fs::read_to_string(BASELINE_PATH).ok()?;
-    let v = JsonValue::parse(&text).ok()?;
+    let v = match omnireduce_bench::parse_versioned(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("CHECK FAIL: {BASELINE_PATH}: {e}");
+            std::process::exit(1);
+        }
+    };
     v.get("max_downtime_ms")?.as_f64()
 }
 
@@ -189,6 +195,10 @@ fn write_baseline(max_downtime_ms: f64) {
         return;
     }
     let mut obj = JsonValue::obj();
+    obj.push(
+        "version",
+        JsonValue::Uint(omnireduce_bench::RESULTS_SCHEMA_VERSION),
+    );
     obj.push("max_downtime_ms", JsonValue::Float(max_downtime_ms));
     obj.push(
         "note",

@@ -27,13 +27,15 @@
 //!   flight recorder logging every packet (DESIGN §11) — allocates in
 //!   steady state or costs more than 10% over the pooled lane.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use omnireduce_bench::Table;
 use omnireduce_core::ColAccumulator;
 use omnireduce_telemetry::alloc::CountingAllocator;
 use omnireduce_telemetry::json::JsonValue;
-use omnireduce_telemetry::{FlightEventKind, FlightLane, FlightRecorder, LaneRole, NO_BLOCK};
+use omnireduce_telemetry::{
+    FlightEventKind, FlightLane, FlightRecorder, LaneRole, Sampler, Telemetry, NO_BLOCK,
+};
 use omnireduce_transport::codec::{
     decode_into, encode_into, BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES,
 };
@@ -58,6 +60,17 @@ const RECORDER_OVERHEAD_FACTOR: f64 = 1.10;
 /// Extra measurement attempts for the recorder-overhead gate when the
 /// first trial lands over budget (noisy-machine guard; see `main`).
 const RECORDER_GATE_TRIALS: usize = 3;
+/// `--check` fails when the pooled lane with a live background sampler
+/// (DESIGN §14) exceeds the unsampled lane's ns/block by this factor —
+/// continuous telemetry must cost the data plane at most 5%.
+const SAMPLER_OVERHEAD_FACTOR: f64 = 1.05;
+/// Extra trials for the sampler-overhead gate: a 5% budget between two
+/// nearly-identical loops needs more noise attempts than the recorder's
+/// 10% one.
+const SAMPLER_GATE_TRIALS: usize = 5;
+/// Background sampling cadence for the sampler lane — 50x the default
+/// 5 ms, so the gate bounds an aggressive cadence, not a lazy one.
+const SAMPLER_LANE_INTERVAL: Duration = Duration::from_micros(100);
 
 fn data_packet(wid: usize, block: u32, payload: Vec<f32>) -> Message {
     Message::Block(Packet {
@@ -444,7 +457,13 @@ fn measure_pair(
 
 fn read_baseline() -> Option<f64> {
     let text = std::fs::read_to_string(BASELINE_PATH).ok()?;
-    let v = JsonValue::parse(&text).ok()?;
+    let v = match omnireduce_bench::parse_versioned(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("CHECK FAIL: {BASELINE_PATH}: {e}");
+            std::process::exit(1);
+        }
+    };
     v.get("pooled_ns_per_block")?.as_f64()
 }
 
@@ -453,6 +472,10 @@ fn write_baseline(ns_per_block: f64) {
         return;
     }
     let mut obj = JsonValue::obj();
+    obj.push(
+        "version",
+        JsonValue::Uint(omnireduce_bench::RESULTS_SCHEMA_VERSION),
+    );
     obj.push("pooled_ns_per_block", JsonValue::Float(ns_per_block));
     obj.push(
         "note",
@@ -512,9 +535,71 @@ fn main() {
     }
     let mut sharded_scratch = ShardedScratch::new();
     let sharded = measure(|p, t| sharded_round(p, t, &mut sharded_scratch));
+
+    // §14 sampler lane: the same pooled loop bumping a counter, a gauge
+    // and a histogram per round — once against a registry nobody reads,
+    // once against a registry a live background sampler snapshots every
+    // 100 µs from its own thread. Interleaved like the recorder gate so
+    // the 5% budget is immune to machine-load drift.
+    let mut smp_off_scratch = PooledScratch::new();
+    let mut smp_on_scratch = PooledScratch::new();
+    let smp_off_lane = FlightRecorder::disabled().lane("bench", LaneRole::Worker, 0);
+    let smp_on_lane = FlightRecorder::disabled().lane("bench", LaneRole::Worker, 0);
+    let tel_off = Telemetry::with_pipeline(0, 0, 0);
+    let tel_on = Telemetry::with_pipeline(0, 0, 1024);
+    let instruments = |tel: &Telemetry| {
+        (
+            tel.counter("hotpath.worker.0.blocks_sent"),
+            tel.gauge("hotpath.worker.0.inflight"),
+            tel.histogram("hotpath.worker.0.round_ns"),
+        )
+    };
+    let (ctr_off, gauge_off, hist_off) = instruments(&tel_off);
+    let (ctr_on, gauge_on, hist_on) = instruments(&tel_on);
+    let sampler = Sampler::spawn(&tel_on, SAMPLER_LANE_INTERVAL).expect("sampler spawn");
+    let mut smp_round_off = 0u64;
+    let mut smp_round_on = 0u64;
+    let mut sampler_trial = || {
+        measure_pair(
+            |p, t| {
+                pooled_round(
+                    p,
+                    t,
+                    &mut smp_off_scratch,
+                    &smp_off_lane,
+                    smp_round_off as u32,
+                );
+                ctr_off.add(BLOCKS_PER_ROUND as u64);
+                gauge_off.set(smp_round_off);
+                hist_off.record(1 + smp_round_off % 1024);
+                smp_round_off += 1;
+            },
+            |p, t| {
+                pooled_round(p, t, &mut smp_on_scratch, &smp_on_lane, smp_round_on as u32);
+                ctr_on.add(BLOCKS_PER_ROUND as u64);
+                gauge_on.set(smp_round_on);
+                hist_on.record(1 + smp_round_on % 1024);
+                smp_round_on += 1;
+            },
+        )
+    };
+    let (mut unsampled, mut sampled) = sampler_trial();
+    for _ in 1..SAMPLER_GATE_TRIALS {
+        if sampled.ns_per_block <= unsampled.ns_per_block * SAMPLER_OVERHEAD_FACTOR {
+            break;
+        }
+        let (u, s) = sampler_trial();
+        if s.ns_per_block * unsampled.ns_per_block < sampled.ns_per_block * u.ns_per_block {
+            unsampled = u;
+            sampled = s;
+        }
+    }
+    sampler.stop();
+
     let speedup = legacy.ns_per_block / pooled.ns_per_block;
     let recorder_speedup = legacy.ns_per_block / recorder.ns_per_block;
     let sharded_speedup = legacy.ns_per_block / sharded.ns_per_block;
+    let sampled_speedup = legacy.ns_per_block / sampled.ns_per_block;
 
     let mut t = Table::new(
         "Ablation: data-plane hot path — legacy vs pooled+vectorized (DESIGN §9)",
@@ -544,6 +629,12 @@ fn main() {
         format!("{:.1}", sharded.allocs_per_round),
         format!("{sharded_speedup:.2}x"),
     ]);
+    t.row(vec![
+        "pooled + background sampler (§14)".into(),
+        format!("{:.0}", sampled.ns_per_block),
+        format!("{:.1}", sampled.allocs_per_round),
+        format!("{sampled_speedup:.2}x"),
+    ]);
     t.emit("ablation_hotpath");
 
     if !check {
@@ -572,6 +663,35 @@ fn main() {
             recorder.allocs_per_round
         );
         failed = true;
+    }
+    if sampled.allocs_per_round > 0.0 {
+        eprintln!(
+            "CHECK FAIL: sampled data plane allocated {:.1} times/round in steady state \
+             (expected 0 — the sampler must not push allocations into the instrumented thread)",
+            sampled.allocs_per_round
+        );
+        failed = true;
+    }
+    let sampler_overhead = sampled.ns_per_block / unsampled.ns_per_block;
+    if sampler_overhead > SAMPLER_OVERHEAD_FACTOR {
+        eprintln!(
+            "CHECK FAIL: background sampler makes the pooled loop {:.0} ns/block, \
+             {sampler_overhead:.3}x the unsampled lane's {:.0} (budget {SAMPLER_OVERHEAD_FACTOR}x)",
+            sampled.ns_per_block, unsampled.ns_per_block
+        );
+        failed = true;
+    } else {
+        println!(
+            "check: background sampler costs {sampler_overhead:.3}x unsampled \
+             (budget {SAMPLER_OVERHEAD_FACTOR}x), {} samples retained",
+            tel_on
+                .series()
+                .snapshot()
+                .series
+                .iter()
+                .map(|s| s.samples.len())
+                .sum::<usize>()
+        );
     }
     let overhead = recorder.ns_per_block / pooled.ns_per_block;
     if overhead > RECORDER_OVERHEAD_FACTOR {

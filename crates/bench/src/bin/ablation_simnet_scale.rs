@@ -80,6 +80,14 @@ struct Observed {
 struct Measured {
     obs: Observed,
     wall_secs: f64,
+    /// Events processed per engine partition (one partition when
+    /// sequential). Deterministic, but partition counts differ between
+    /// the sequential and threaded runs, so it lives outside the
+    /// bit-identity comparison in [`Observed`].
+    partition_events: Vec<u64>,
+    /// Wall-clock nanoseconds each partition spent blocked on window
+    /// barriers — instrumentation, never comparable across runs.
+    partition_barrier_wait_ns: Vec<u64>,
 }
 
 fn observe(out: &SimOutcome) -> Observed {
@@ -151,12 +159,29 @@ fn run_point(cfg: &OmniConfig, sets: &[Vec<bool>], threads: usize) -> Measured {
     Measured {
         obs: observe(&out),
         wall_secs,
+        partition_events: out.report.partition_events.clone(),
+        partition_barrier_wait_ns: out.report.partition_barrier_wait_ns.clone(),
     }
+}
+
+/// `a/b/c` rendering of a per-partition vector.
+fn per_partition(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("/")
 }
 
 fn read_baseline() -> Option<f64> {
     let text = std::fs::read_to_string(BASELINE_PATH).ok()?;
-    let v = JsonValue::parse(&text).ok()?;
+    let v = match omnireduce_bench::parse_versioned(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("CHECK FAIL: {BASELINE_PATH}: {e}");
+            std::process::exit(1);
+        }
+    };
     v.get("seq_events_per_sec")?.as_f64()
 }
 
@@ -165,6 +190,10 @@ fn write_baseline(seq_events_per_sec: f64) {
         return;
     }
     let mut obj = JsonValue::obj();
+    obj.push(
+        "version",
+        JsonValue::Uint(omnireduce_bench::RESULTS_SCHEMA_VERSION),
+    );
     obj.push("seq_events_per_sec", JsonValue::Float(seq_events_per_sec));
     obj.push(
         "note",
@@ -196,6 +225,8 @@ fn main() {
             "par ev/s",
             "speedup",
             "sim Gbps/core",
+            "par events/partition",
+            "par barrier [ms]",
             "par==seq",
         ],
     );
@@ -257,6 +288,11 @@ fn main() {
                 format!("{par_eps:.0}"),
                 format!("{speedup:.2}"),
                 format!("{gbps_core:.2}"),
+                per_partition(&par.partition_events),
+                format!(
+                    "{:.1}",
+                    par.partition_barrier_wait_ns.iter().sum::<u64>() as f64 / 1e6
+                ),
                 identical.to_string(),
             ]);
         }

@@ -24,13 +24,25 @@ use std::io::Write as _;
 use std::path::Path;
 use std::sync::OnceLock;
 
+use std::time::Duration;
+
 use omnireduce_core::config::OmniConfig;
 use omnireduce_core::sim::{bitmaps_from_sets, simulate_allreduce, SimSpec};
 use omnireduce_simnet::{Bandwidth, NicConfig, SimTime};
 use omnireduce_telemetry::json::JsonValue;
-use omnireduce_telemetry::{AttributionConfig, IntrospectionServer, RoundAttribution, Telemetry};
+use omnireduce_telemetry::{
+    AttributionConfig, IntrospectionServer, RoundAttribution, Sampler, Telemetry,
+};
 use omnireduce_tensor::gen::{worker_block_sets, OverlapMode};
 use omnireduce_tensor::NonZeroBitmap;
+
+/// Schema version stamped into every `results/*.metrics.json` document
+/// this crate emits (the `.timeseries.json` documents carry
+/// [`omnireduce_telemetry::TIMESERIES_SCHEMA_VERSION`] via their own
+/// writer). Readers — the `--check` baselines, external tooling — must
+/// reject a mismatched version instead of silently comparing documents
+/// with different shapes.
+pub const RESULTS_SCHEMA_VERSION: u64 = 1;
 
 /// The paper's default block size (elements).
 pub const BLOCK_SIZE: usize = 256;
@@ -116,6 +128,15 @@ impl Testbed {
 ///   (the raw recording, `omnistat`'s input format) and
 ///   `results/<slug>.rounds.json` (the reconstructed per-round latency
 ///   attribution).
+/// * `OMNIREDUCE_TIMESERIES` enables the continuous time-series store —
+///   the value is the per-series ring capacity in samples (`1` or a
+///   non-numeric enable value gets the 4 Ki default; see
+///   [`series_capacity_from_env`]) — starts the background sampler, and
+///   makes `emit` drop `results/<slug>.timeseries.json` (`omnitop`'s
+///   input format).
+/// * `OMNIREDUCE_SAMPLE_MS` sets the background sampling cadence in
+///   integer milliseconds (default 5; only meaningful with
+///   `OMNIREDUCE_TIMESERIES`).
 /// * `OMNIREDUCE_SERVE_ADDR` starts the live introspection endpoint on
 ///   that address for the lifetime of the process (see
 ///   [`omnireduce_telemetry::IntrospectionServer`]).
@@ -128,7 +149,17 @@ pub fn telemetry() -> &'static Telemetry {
             0
         };
         let flight_cap = flight_capacity_from_env();
-        let t = Telemetry::with_observability(trace_cap, flight_cap);
+        let series_cap = series_capacity_from_env();
+        let t = Telemetry::with_pipeline(trace_cap, flight_cap, series_cap);
+        if series_cap > 0 {
+            match Sampler::spawn(&t, sample_interval_from_env()) {
+                // Keep sampling until the process exits; the final
+                // partial interval is covered by `Table::emit` reading
+                // the live store, not by a stop-tick.
+                Ok(handle) => std::mem::forget(handle),
+                Err(e) => eprintln!("omnireduce: sampler spawn failed: {e}"),
+            }
+        }
         match IntrospectionServer::from_env(&t) {
             Some(Ok(server)) => {
                 eprintln!(
@@ -162,6 +193,40 @@ fn flight_capacity_from(value: Option<&str>) -> usize {
     match v.parse::<usize>() {
         Ok(c) if c >= 2 => c,
         _ => 65_536,
+    }
+}
+
+/// Time-series ring capacity (samples per series) from
+/// `OMNIREDUCE_TIMESERIES`, with the same enable/disable grammar as
+/// [`flight_capacity_from_env`]: unset, empty, `0`, `off`, `false` or
+/// `no` → disabled; an integer ≥ 2 → that capacity; anything else
+/// (`1`, `true`, `on`, …) → a 4 Ki default (at the default 5 ms cadence
+/// that is a ~20 s window per series).
+pub fn series_capacity_from_env() -> usize {
+    series_capacity_from(std::env::var("OMNIREDUCE_TIMESERIES").ok().as_deref())
+}
+
+fn series_capacity_from(value: Option<&str>) -> usize {
+    let v = value.unwrap_or("").trim();
+    if v.is_empty() || ["0", "off", "false", "no"].contains(&v.to_ascii_lowercase().as_str()) {
+        return 0;
+    }
+    match v.parse::<usize>() {
+        Ok(c) if c >= 2 => c,
+        _ => 4096,
+    }
+}
+
+/// Background sampling cadence from `OMNIREDUCE_SAMPLE_MS`: a positive
+/// integer millisecond count, anything else → the 5 ms default.
+pub fn sample_interval_from_env() -> Duration {
+    sample_interval_from(std::env::var("OMNIREDUCE_SAMPLE_MS").ok().as_deref())
+}
+
+fn sample_interval_from(value: Option<&str>) -> Duration {
+    match value.unwrap_or("").trim().parse::<u64>() {
+        Ok(ms) if ms >= 1 => Duration::from_millis(ms),
+        _ => Duration::from_millis(5),
     }
 }
 
@@ -436,17 +501,40 @@ impl Table {
     }
 
     /// Dumps the process-wide telemetry registry next to the table:
-    /// `<slug>.metrics.json` always, `<slug>.trace.json` when tracing is
-    /// enabled (`OMNIREDUCE_TRACE`) and events were recorded, and —
-    /// when the flight recorder is enabled (`OMNIREDUCE_FLIGHT`) and
-    /// events were recorded — `<slug>.flight.json` (the raw recording,
-    /// `omnistat`'s input) plus `<slug>.rounds.json` (the reconstructed
-    /// per-round latency attribution).
+    /// `<slug>.metrics.json` always (stamped with
+    /// [`RESULTS_SCHEMA_VERSION`]), `<slug>.trace.json` when tracing is
+    /// enabled (`OMNIREDUCE_TRACE`) and events were recorded,
+    /// `<slug>.timeseries.json` when the sampler is on
+    /// (`OMNIREDUCE_TIMESERIES`) and ticks were taken, and — when the
+    /// flight recorder is enabled (`OMNIREDUCE_FLIGHT`) and events were
+    /// recorded — `<slug>.flight.json` (the raw recording, `omnistat`'s
+    /// input) plus `<slug>.rounds.json` (the reconstructed per-round
+    /// latency attribution).
     fn write_telemetry(&self, dir: &Path, slug: &str) {
         let snapshot = telemetry().snapshot();
         let path = dir.join(format!("{slug}.metrics.json"));
         if let Ok(mut f) = std::fs::File::create(path) {
-            let _ = f.write_all(snapshot.to_json().as_bytes());
+            let mut doc = snapshot.to_json_value();
+            if let JsonValue::Obj(fields) = &mut doc {
+                fields.insert(
+                    0,
+                    (
+                        "version".to_string(),
+                        JsonValue::Uint(RESULTS_SCHEMA_VERSION),
+                    ),
+                );
+            }
+            let _ = f.write_all(doc.to_string_pretty().as_bytes());
+        }
+        let series = telemetry().series();
+        if series.is_enabled() {
+            let snap = series.snapshot();
+            if snap.ticks() > 0 {
+                let path = dir.join(format!("{slug}.timeseries.json"));
+                if let Ok(mut f) = std::fs::File::create(path) {
+                    let _ = f.write_all(snap.to_json().as_bytes());
+                }
+            }
         }
         let trace = telemetry().trace();
         if trace.is_enabled() && !trace.is_empty() {
@@ -470,6 +558,27 @@ impl Table {
                 }
             }
         }
+    }
+}
+
+/// Parses a `results/` JSON document, enforcing the schema `version`
+/// field: a missing or mismatched version is an error with a message
+/// ready for a `CHECK FAIL:` line, so `--check` gates refuse to compare
+/// against a document written under a different schema instead of
+/// silently misreading it.
+pub fn parse_versioned(text: &str) -> Result<JsonValue, String> {
+    let v = JsonValue::parse(text)
+        .map_err(|e| format!("parse error at byte {}: {}", e.offset, e.message))?;
+    match v.get("version").and_then(|x| x.as_u64()) {
+        Some(RESULTS_SCHEMA_VERSION) => Ok(v),
+        Some(other) => Err(format!(
+            "schema version {other}, this binary expects {RESULTS_SCHEMA_VERSION} \
+             (delete the file to regenerate it)"
+        )),
+        None => Err(format!(
+            "missing \"version\" field, this binary expects version {RESULTS_SCHEMA_VERSION} \
+             (delete the file to regenerate it)"
+        )),
     }
 }
 
@@ -509,6 +618,31 @@ mod tests {
         // Explicit capacities pass through.
         assert_eq!(flight_capacity_from(Some("2")), 2);
         assert_eq!(flight_capacity_from(Some("4096")), 4096);
+    }
+
+    #[test]
+    fn series_capacity_and_interval_parsing() {
+        for v in [None, Some(""), Some("0"), Some("off"), Some("no")] {
+            assert_eq!(series_capacity_from(v), 0, "{v:?}");
+        }
+        for v in [Some("1"), Some("true"), Some("on")] {
+            assert_eq!(series_capacity_from(v), 4096, "{v:?}");
+        }
+        assert_eq!(series_capacity_from(Some("256")), 256);
+        assert_eq!(sample_interval_from(None), Duration::from_millis(5));
+        assert_eq!(sample_interval_from(Some("0")), Duration::from_millis(5));
+        assert_eq!(sample_interval_from(Some("junk")), Duration::from_millis(5));
+        assert_eq!(sample_interval_from(Some("20")), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn versioned_documents_are_gated() {
+        assert!(parse_versioned(r#"{"version": 1, "x": 2}"#).is_ok());
+        let stale = parse_versioned(r#"{"version": 99, "x": 2}"#).unwrap_err();
+        assert!(stale.contains("schema version 99"), "{stale}");
+        let missing = parse_versioned(r#"{"x": 2}"#).unwrap_err();
+        assert!(missing.contains("missing \"version\""), "{missing}");
+        assert!(parse_versioned("{nope").is_err());
     }
 
     #[test]

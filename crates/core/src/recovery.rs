@@ -29,7 +29,7 @@
 use std::time::{Duration, Instant};
 
 use omnireduce_telemetry::{
-    Counter, FlightEventKind, FlightLane, Histogram, LaneRole, Telemetry, NO_BLOCK,
+    Counter, FlightEventKind, FlightLane, Gauge, Histogram, LaneRole, Telemetry, NO_BLOCK,
 };
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, Tensor, INFINITY_BLOCK};
 use omnireduce_transport::timer::{RttEstimator, TimerQueue};
@@ -100,6 +100,13 @@ struct RecoveryCounters {
     shutdown_errors: Counter,
     /// `core.recovery.rto`: the RTO armed for each sent packet, in µs.
     rto: Histogram,
+    /// `core.recovery.rto_ns`: the last armed RTO, in ns — the live
+    /// level the time-series RTO-inflation detector watches.
+    rto_ns: Gauge,
+    /// `core.recovery.srtt_ns`: the estimator's smoothed RTT, in ns
+    /// (0 until the first un-retransmitted sample), published beside
+    /// `rto_ns` so inflation can be told apart from genuine RTT growth.
+    srtt_ns: Gauge,
 }
 
 impl RecoveryCounters {
@@ -117,6 +124,8 @@ impl RecoveryCounters {
             failovers: Counter::detached(),
             shutdown_errors: Counter::detached(),
             rto: Histogram::detached(),
+            rto_ns: Gauge::default(),
+            srtt_ns: Gauge::default(),
         }
     }
 
@@ -134,6 +143,8 @@ impl RecoveryCounters {
             failovers: telemetry.counter("core.recovery.failovers"),
             shutdown_errors: telemetry.counter("core.recovery.shutdown_errors"),
             rto: telemetry.histogram("core.recovery.rto"),
+            rto_ns: telemetry.gauge("core.recovery.rto_ns"),
+            srtt_ns: telemetry.gauge("core.recovery.srtt_ns"),
         }
     }
 }
@@ -307,6 +318,13 @@ impl<T: Transport> RecoveryWorker<T> {
             self.cfg.retransmit_timeout
         };
         self.counters.rto.record(rto.as_micros() as u64);
+        self.counters.rto_ns.set(rto.as_nanos() as u64);
+        self.counters.srtt_ns.set(
+            self.rtt[shard]
+                .srtt()
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0),
+        );
         rto
     }
 
@@ -938,6 +956,12 @@ struct VersionedSlot {
     count: [usize; 2],
     /// Completed result packet per version, kept for retransmission.
     result: [Option<Message>; 2],
+    /// When version v's current phase opened (its first accepted
+    /// contribution). Later contributions' lateness relative to this
+    /// feeds the per-worker `contrib_delay_ns` histograms the straggler
+    /// detector watches. Only maintained when those histograms are
+    /// registered.
+    first_arrival: [Option<Instant>; 2],
 }
 
 /// Loss-path counters of the recovery aggregator.
@@ -988,6 +1012,12 @@ struct RecoveryAggCounters {
     joins_admitted: Counter,
     checkpoints_sent: Counter,
     checkpoints_applied: Counter,
+    /// `core.recovery.agg.worker.<w>.contrib_delay_ns`: per worker, how
+    /// long after a phase opened this worker's contribution arrived
+    /// (0 for the phase opener). The time-series sampler derives the
+    /// windowed p99 the straggler-drift detector compares across peers.
+    /// Empty when detached — lateness then costs no clock reads.
+    contrib_delay: Vec<Histogram>,
 }
 
 impl RecoveryAggCounters {
@@ -1003,10 +1033,11 @@ impl RecoveryAggCounters {
             joins_admitted: Counter::detached(),
             checkpoints_sent: Counter::detached(),
             checkpoints_applied: Counter::detached(),
+            contrib_delay: Vec::new(),
         }
     }
 
-    fn registered(telemetry: &Telemetry) -> Self {
+    fn registered(telemetry: &Telemetry, num_workers: usize) -> Self {
         RecoveryAggCounters {
             results_sent: telemetry.counter("core.recovery.agg.results_sent"),
             result_retransmissions: telemetry.counter("core.recovery.agg.result_retransmissions"),
@@ -1018,6 +1049,11 @@ impl RecoveryAggCounters {
             joins_admitted: telemetry.counter("core.recovery.agg.joins_admitted"),
             checkpoints_sent: telemetry.counter("core.recovery.agg.checkpoints_sent"),
             checkpoints_applied: telemetry.counter("core.recovery.agg.checkpoints_applied"),
+            contrib_delay: (0..num_workers)
+                .map(|w| {
+                    telemetry.histogram(&format!("core.recovery.agg.worker.{w}.contrib_delay_ns"))
+                })
+                .collect(),
         }
     }
 }
@@ -1107,6 +1143,7 @@ impl<T: Transport> RecoveryAggregator<T> {
                     seen: [vec![false; n], vec![false; n]],
                     count: [0, 0],
                     result: [None, None],
+                    first_arrival: [None, None],
                 })
             })
             .collect();
@@ -1146,7 +1183,7 @@ impl<T: Transport> RecoveryAggregator<T> {
     /// registry's flight recorder is enabled.
     pub fn with_telemetry(transport: T, cfg: OmniConfig, telemetry: &Telemetry) -> Self {
         let mut a = Self::new(transport, cfg);
-        a.counters = RecoveryAggCounters::registered(telemetry);
+        a.counters = RecoveryAggCounters::registered(telemetry, a.cfg.num_workers);
         let lane_name = if a.standby {
             format!("standby{}", a.shard)
         } else {
@@ -1696,6 +1733,16 @@ impl<T: Transport> RecoveryAggregator<T> {
         slot.seen[v][wid] = true;
         slot.seen[v ^ 1][wid] = false;
         slot.count[v] += 1;
+        // Contribution lateness vs the phase opener, for the straggler
+        // detector. Clock reads only when the histograms are registered.
+        if let Some(h) = self.counters.contrib_delay.get(wid) {
+            if slot.count[v] == 1 {
+                slot.first_arrival[v] = Some(Instant::now());
+                h.record(0);
+            } else if let Some(opened) = slot.first_arrival[v] {
+                h.record(opened.elapsed().as_nanos() as u64);
+            }
+        }
         if slot.count[v] == 1 {
             // First packet of a fresh phase: reset the columns in place
             // (keeping their buffers) and recycle the retired result's

@@ -59,6 +59,14 @@ pub struct RunReport {
     pub nic_stats: Vec<NicStats>,
     /// Total events processed.
     pub events: u64,
+    /// Events processed by each engine partition (one entry in
+    /// sequential mode). The spread is the load-balance signal the
+    /// partition-imbalance detector and `ablation_simnet_scale` report.
+    pub partition_events: Vec<u64>,
+    /// Wall-clock nanoseconds each partition spent blocked on window
+    /// barriers (all zeros in sequential mode). A partition that waits
+    /// far *less* than its peers is the one holding them up.
+    pub partition_barrier_wait_ns: Vec<u64>,
 }
 
 impl RunReport {
@@ -334,10 +342,12 @@ impl<M: Send + 'static> Simulator<M> {
                 nics: part_nics.pop().expect("one partition"),
                 actors: part_actors.pop().expect("one partition"),
                 shared: &shared,
+                events: 0,
+                barrier_wait_ns: 0,
             };
             p.start_actors();
             p.process_until(None);
-            results[0] = Some((p.nics, p.actors, p.now));
+            results[0] = Some((p.nics, p.actors, p.now, p.events, p.barrier_wait_ns));
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = part_nics
@@ -356,11 +366,13 @@ impl<M: Send + 'static> Simulator<M> {
                                 nics,
                                 actors,
                                 shared,
+                                events: 0,
+                                barrier_wait_ns: 0,
                             };
                             p.start_actors();
                             p.run_windows(lookahead_ns);
                             guard.defuse();
-                            (p.nics, p.actors, p.now)
+                            (p.nics, p.actors, p.now, p.events, p.barrier_wait_ns)
                         })
                     })
                     .collect();
@@ -379,9 +391,13 @@ impl<M: Send + 'static> Simulator<M> {
         let mut end_time = SimTime::ZERO;
         let mut merged_nics: Vec<Option<Nic>> = (0..nnics).map(|_| None).collect();
         let mut merged_actors: Vec<Option<ActorSlot<M>>> = (0..nactors).map(|_| None).collect();
+        let mut partition_events = Vec::with_capacity(nparts);
+        let mut partition_barrier_wait_ns = Vec::with_capacity(nparts);
         for result in results {
-            let (nics, actors, now) = result.expect("partition result");
+            let (nics, actors, now, events, barrier_wait_ns) = result.expect("partition result");
             end_time = end_time.max(now);
+            partition_events.push(events);
+            partition_barrier_wait_ns.push(barrier_wait_ns);
             for (i, nic) in nics.into_iter().enumerate() {
                 if let Some(nic) = nic {
                     merged_nics[i] = Some(nic);
@@ -391,6 +407,23 @@ impl<M: Send + 'static> Simulator<M> {
                 if let Some(slot) = slot {
                     merged_actors[i] = Some(slot);
                 }
+            }
+        }
+        // Publish the per-partition balance as registry counters so the
+        // time-series sampler (and the partition-imbalance detector)
+        // see it. Post-run, off the hot path — the format! is fine.
+        if let Some(tel) = self.telemetry.as_ref() {
+            for (p, (&events, &wait)) in partition_events
+                .iter()
+                .zip(&partition_barrier_wait_ns)
+                .enumerate()
+            {
+                tel.telemetry
+                    .counter(&format!("simnet.partition.{p}.events"))
+                    .add(events);
+                tel.telemetry
+                    .counter(&format!("simnet.partition.{p}.barrier_wait_ns"))
+                    .add(wait);
             }
         }
         self.nics = merged_nics
@@ -407,11 +440,21 @@ impl<M: Send + 'static> Simulator<M> {
             finished_at: self.actors.iter().map(|a| a.finished_at).collect(),
             nic_stats: self.nics.iter().map(|n| n.stats).collect(),
             events: shared.events_processed.load(Ordering::Relaxed),
+            partition_events,
+            partition_barrier_wait_ns,
         }
     }
 }
 
-type PartitionResult<M> = (Vec<Option<Nic>>, Vec<Option<ActorSlot<M>>>, SimTime);
+/// `(nics, actors, now, events processed, barrier-wait ns)` handed back
+/// by each partition when its loop exits.
+type PartitionResult<M> = (
+    Vec<Option<Nic>>,
+    Vec<Option<ActorSlot<M>>>,
+    SimTime,
+    u64,
+    u64,
+);
 
 /// Read-mostly state shared by all partitions of one run.
 struct Shared<'a, M> {
@@ -439,6 +482,11 @@ struct Partition<'a, M> {
     /// Full-size vector; `Some` only at indices this partition owns.
     actors: Vec<Option<ActorSlot<M>>>,
     shared: &'a Shared<'a, M>,
+    /// Events this partition processed (its share of the global
+    /// `events_processed` count).
+    events: u64,
+    /// Wall-clock ns spent blocked on window barriers.
+    barrier_wait_ns: u64,
 }
 
 impl<M> Partition<'_, M> {
@@ -450,6 +498,11 @@ impl<M> Partition<'_, M> {
     /// panicked; bail out so its panic can propagate.
     fn run_windows(&mut self, lookahead_ns: u64) {
         loop {
+            // Wall-clock time blocked across the window's three waits:
+            // pure instrumentation (never fed back into simulated time,
+            // so determinism is untouched). A partition that barely
+            // waits is the straggler its peers are waiting *for*.
+            let wait_started = std::time::Instant::now();
             match self.shared.barrier.wait() {
                 Ok(true) => self.shared.gmin.store(u64::MAX, Ordering::SeqCst),
                 Ok(false) => {}
@@ -458,6 +511,7 @@ impl<M> Partition<'_, M> {
             if self.shared.barrier.wait().is_err() {
                 return;
             }
+            self.barrier_wait_ns += wait_started.elapsed().as_nanos() as u64;
             let mut inbox = {
                 let mut guard = self.shared.inboxes[self.id].lock().expect("inbox");
                 std::mem::take(&mut *guard)
@@ -471,9 +525,11 @@ impl<M> Partition<'_, M> {
                 .map(|t| t.as_nanos())
                 .unwrap_or(u64::MAX);
             self.shared.gmin.fetch_min(local_min, Ordering::SeqCst);
+            let wait_started = std::time::Instant::now();
             if self.shared.barrier.wait().is_err() {
                 return;
             }
+            self.barrier_wait_ns += wait_started.elapsed().as_nanos() as u64;
             let start = self.shared.gmin.load(Ordering::SeqCst);
             if start == u64::MAX {
                 return; // every queue and inbox is empty — done
@@ -506,6 +562,7 @@ impl<M> Partition<'_, M> {
                 }
             }
             let ev = self.queue.pop().expect("peeked event");
+            self.events += 1;
             let processed = self.shared.events_processed.fetch_add(1, Ordering::Relaxed) + 1;
             if processed > self.shared.max_events {
                 // Poison first so peers blocked at a barrier exit and

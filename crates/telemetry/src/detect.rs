@@ -1,0 +1,807 @@
+//! Online anomaly/SLO detectors over the continuous time series.
+//!
+//! Each detector is a pure function over a [`TimeSeriesSnapshot`]
+//! (produced by [`crate::Sampler`] ticks): it scans sliding windows on
+//! the global (tail-aligned) tick axis and reports a [`Verdict`] with
+//! the tick ranges where it fired. Detectors are *online* in the sense
+//! that re-running them after every tick over the bounded ring gives a
+//! live verdict stream — that is exactly what `/health.json` and the
+//! `omnitop` dashboard do.
+//!
+//! The five detectors cover the operational failure modes the paper's
+//! crossover arguments and our fault suites exercise:
+//!
+//! * [`detect_loss_burst`] — retransmit/NACK deltas summed over a
+//!   sliding window against [`AttributionConfig::loss_threshold`];
+//! * [`detect_rto_inflation`] — each `<prefix>.rto_ns` gauge series
+//!   against a baseline derived from its own quiet level, catching
+//!   exponential backoff pile-ups;
+//! * [`detect_straggler_drift`] — per-worker windowed p99 contribution
+//!   delay vs the peer median ([`AttributionConfig::straggler_factor`]
+//!   and `straggler_floor_ns`);
+//! * [`detect_slot_saturation`] — windowed slot-pool saturation event
+//!   counts (workers stalling because every aggregator slot is busy);
+//! * [`detect_partition_imbalance`] — per-partition simnet event share
+//!   per tick, the "zone-round-robin balance" signal for the parallel
+//!   engine.
+//!
+//! Naming contracts (which registry series each detector reads) are
+//! documented per detector; engines that follow the workspace metric
+//! naming (`<crate>.<component>[.<entity>].<metric>`) get detection for
+//! free.
+
+use crate::attrib::AttributionConfig;
+use crate::json::JsonValue;
+use crate::timeseries::{SeriesKind, SeriesSnapshot, TimeSeriesSnapshot};
+
+/// Thresholds for the online detectors. Straggler and loss-burst
+/// limits are shared with the flight-recorder reconstructor
+/// ([`AttributionConfig`]) so a live verdict and a post-hoc attribution
+/// agree on what "anomalous" means.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Straggler + loss-burst thresholds, shared with `attrib`.
+    pub attrib: AttributionConfig,
+    /// An `rto_ns` series is inflated at ticks where it reaches this
+    /// multiple of its own baseline (minimum positive sample).
+    pub rto_inflation_factor: f64,
+    /// Slot-pool saturation events within one sliding window (of
+    /// `attrib.loss_window_rounds` ticks) that constitute saturation.
+    pub saturation_threshold: u64,
+    /// A partition is imbalanced at ticks where its share of all
+    /// partition events reaches this fraction (with ≥ 2 active
+    /// partitions).
+    pub imbalance_share: f64,
+    /// Ignore imbalance at ticks with fewer total partition events than
+    /// this — tiny windows make shares meaningless.
+    pub imbalance_floor_events: u64,
+    /// Detectors stay silent on series shorter than this many samples.
+    pub min_samples: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            attrib: AttributionConfig::default(),
+            rto_inflation_factor: 3.0,
+            saturation_threshold: 4,
+            imbalance_share: 0.7,
+            imbalance_floor_events: 64,
+            min_samples: 2,
+        }
+    }
+}
+
+/// One detector's result over a snapshot: whether it fired and on which
+/// global tick ranges (inclusive, tail-aligned — see
+/// [`TimeSeriesSnapshot::global_index`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Stable detector id (`loss_burst`, `rto_inflation`,
+    /// `straggler_drift`, `slot_saturation`, `partition_imbalance`).
+    pub detector: &'static str,
+    pub fired: bool,
+    /// Inclusive `[start, end]` global tick ranges where the condition
+    /// held, merged over adjacent ticks.
+    pub windows: Vec<(usize, usize)>,
+    /// Human-readable evidence (worst offender, peak value vs
+    /// threshold).
+    pub detail: String,
+}
+
+impl Verdict {
+    fn quiet(detector: &'static str, detail: impl Into<String>) -> Verdict {
+        Verdict {
+            detector,
+            fired: false,
+            windows: Vec::new(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether any fired window intersects `[start, end]` (inclusive).
+    pub fn fired_within(&self, start: usize, end: usize) -> bool {
+        self.windows.iter().any(|&(s, e)| s <= end && e >= start)
+    }
+
+    /// `{detector, fired, windows: [[s, e], ..], detail}`.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut node = JsonValue::obj();
+        node.push("detector", JsonValue::Str(self.detector.to_string()));
+        node.push("fired", JsonValue::Bool(self.fired));
+        node.push(
+            "windows",
+            JsonValue::Arr(
+                self.windows
+                    .iter()
+                    .map(|&(s, e)| {
+                        JsonValue::Arr(vec![JsonValue::Uint(s as u64), JsonValue::Uint(e as u64)])
+                    })
+                    .collect(),
+            ),
+        );
+        node.push("detail", JsonValue::Str(self.detail.clone()));
+        node
+    }
+}
+
+/// Merges a sorted tick list into inclusive ranges, fusing ticks at
+/// distance ≤ `gap + 1` (so `gap = 0` merges only adjacent ticks).
+fn merge_ticks(ticks: &[usize], gap: usize) -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for &t in ticks {
+        match out.last_mut() {
+            Some((_, end)) if t <= *end + gap + 1 => *end = (*end).max(t),
+            _ => out.push((t, t)),
+        }
+    }
+    out
+}
+
+fn verdict_from_ticks(detector: &'static str, ticks: Vec<usize>, detail: String) -> Verdict {
+    let windows = merge_ticks(&ticks, 0);
+    Verdict {
+        detector,
+        fired: !windows.is_empty(),
+        windows,
+        detail,
+    }
+}
+
+/// Per-tick deltas of `series`, placed on the global tick axis
+/// (`None` for ticks before the series existed).
+fn global_deltas(snap: &TimeSeriesSnapshot, s: &SeriesSnapshot) -> Vec<Option<u64>> {
+    let mut out = vec![None; snap.ticks()];
+    for (i, &(_, v)) in s.samples.iter().enumerate() {
+        out[snap.global_index(s.samples.len(), i)] = Some(v);
+    }
+    out
+}
+
+/// **Loss bursts**: sums the per-tick deltas of every counter series
+/// whose name ends in `.retransmissions`, `.solicited_retransmissions`
+/// or `.nacks_sent`, then slides a window of
+/// [`AttributionConfig::loss_window_rounds`] ticks; a tick fires when
+/// its window's sum reaches [`AttributionConfig::loss_threshold`].
+pub fn detect_loss_burst(snap: &TimeSeriesSnapshot, cfg: &DetectorConfig) -> Verdict {
+    const SUFFIXES: [&str; 3] = [
+        ".retransmissions",
+        ".solicited_retransmissions",
+        ".nacks_sent",
+    ];
+    let sources: Vec<&SeriesSnapshot> = snap
+        .series
+        .iter()
+        .filter(|s| {
+            s.kind == SeriesKind::CounterDelta && SUFFIXES.iter().any(|suf| s.name.ends_with(suf))
+        })
+        .collect();
+    let ticks = snap.ticks();
+    if sources.is_empty() || ticks < cfg.min_samples {
+        return Verdict::quiet("loss_burst", "no loss counters sampled");
+    }
+    let mut per_tick = vec![0u64; ticks];
+    for s in &sources {
+        for (i, d) in global_deltas(snap, s).into_iter().enumerate() {
+            per_tick[i] += d.unwrap_or(0);
+        }
+    }
+    let window = cfg.attrib.loss_window_rounds.max(1);
+    let mut fired = Vec::new();
+    let mut peak = 0u64;
+    for t in 0..ticks {
+        let start = (t + 1).saturating_sub(window);
+        let sum: u64 = per_tick[start..=t].iter().sum();
+        peak = peak.max(sum);
+        if sum >= cfg.attrib.loss_threshold {
+            fired.push(t);
+        }
+    }
+    verdict_from_ticks(
+        "loss_burst",
+        fired,
+        format!(
+            "peak {peak} loss events / {window}-tick window (threshold {})",
+            cfg.attrib.loss_threshold
+        ),
+    )
+}
+
+/// **RTO inflation**: for every gauge series named `<prefix>.rto_ns`,
+/// the baseline is its minimum positive sample (the quiet RTO — initial
+/// or SRTT-converged); ticks where the value reaches
+/// `rto_inflation_factor ×` baseline fire. A companion
+/// `<prefix>.srtt_ns` series, when present, is reported in the detail
+/// as evidence that the inflation is backoff, not RTT growth.
+pub fn detect_rto_inflation(snap: &TimeSeriesSnapshot, cfg: &DetectorConfig) -> Verdict {
+    let mut fired = Vec::new();
+    let mut detail = String::from("no rto_ns series sampled");
+    let mut worst_ratio = 0.0f64;
+    let mut saw_series = false;
+    for s in &snap.series {
+        if s.kind != SeriesKind::Gauge || !s.name.ends_with(".rto_ns") {
+            continue;
+        }
+        if s.samples.len() < cfg.min_samples {
+            continue;
+        }
+        let baseline = s
+            .samples
+            .iter()
+            .map(|&(_, v)| v)
+            .filter(|&v| v > 0)
+            .min()
+            .unwrap_or(0);
+        if baseline == 0 {
+            continue;
+        }
+        saw_series = true;
+        let threshold = (baseline as f64 * cfg.rto_inflation_factor).ceil() as u64;
+        for (i, &(_, v)) in s.samples.iter().enumerate() {
+            let ratio = v as f64 / baseline as f64;
+            if ratio > worst_ratio {
+                worst_ratio = ratio;
+                let prefix = s.name.trim_end_matches(".rto_ns");
+                let srtt = snap
+                    .get(&format!("{prefix}.srtt_ns"))
+                    .and_then(|p| p.last())
+                    .unwrap_or(0);
+                detail = format!(
+                    "{}: peak {v} ns = {ratio:.1}x baseline {baseline} ns (srtt {srtt} ns, factor {})",
+                    s.name, cfg.rto_inflation_factor
+                );
+            }
+            if v >= threshold {
+                fired.push(snap.global_index(s.samples.len(), i));
+            }
+        }
+    }
+    if !saw_series {
+        return Verdict::quiet("rto_inflation", detail);
+    }
+    fired.sort_unstable();
+    fired.dedup();
+    verdict_from_ticks("rto_inflation", fired, detail)
+}
+
+/// **Straggler drift**: groups windowed-p99 series matching
+/// `<prefix>.worker.<id>.<metric>.p99` by `<prefix>.<metric>`; at each
+/// tick a worker fires when its p99 exceeds
+/// [`AttributionConfig::straggler_factor`] × the median of its peers'
+/// p99s *and* [`AttributionConfig::straggler_floor_ns`]. Needs ≥ 3
+/// peers for a meaningful median.
+pub fn detect_straggler_drift(snap: &TimeSeriesSnapshot, cfg: &DetectorConfig) -> Verdict {
+    // Collect (group_key, worker_id, series) for `…worker.<id>….p99`.
+    let mut groups: Vec<(String, Vec<(u64, &SeriesSnapshot)>)> = Vec::new();
+    for s in &snap.series {
+        if s.kind != SeriesKind::HistogramP99 {
+            continue;
+        }
+        let Some(pos) = s.name.find(".worker.") else {
+            continue;
+        };
+        let rest = &s.name[pos + ".worker.".len()..];
+        let Some(dot) = rest.find('.') else { continue };
+        let Ok(wid) = rest[..dot].parse::<u64>() else {
+            continue;
+        };
+        let key = format!("{}{}", &s.name[..pos], &rest[dot..]);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push((wid, s)),
+            None => groups.push((key, vec![(wid, s)])),
+        }
+    }
+    let mut fired = Vec::new();
+    let mut detail = String::from("no per-worker p99 series sampled");
+    let mut worst_ratio = 0.0f64;
+    let mut saw_group = false;
+    for (key, members) in &groups {
+        if members.len() < 3 {
+            continue;
+        }
+        saw_group = true;
+        let ticks = snap.ticks();
+        for t in 0..ticks {
+            // Value of each member at global tick t (skip pre-history).
+            let mut at_tick: Vec<(u64, u64)> = Vec::new();
+            for &(wid, s) in members {
+                let len = s.samples.len();
+                let offset = ticks - len;
+                if t >= offset {
+                    at_tick.push((wid, s.samples[t - offset].1));
+                }
+            }
+            if at_tick.len() < 3 {
+                continue;
+            }
+            for &(wid, v) in &at_tick {
+                let mut peers: Vec<u64> = at_tick
+                    .iter()
+                    .filter(|&&(w, _)| w != wid)
+                    .map(|&(_, p)| p)
+                    .collect();
+                peers.sort_unstable();
+                let median = peers[peers.len() / 2];
+                let threshold = ((median as f64) * cfg.attrib.straggler_factor)
+                    .max(cfg.attrib.straggler_floor_ns as f64);
+                if v as f64 >= threshold && v >= cfg.attrib.straggler_floor_ns {
+                    fired.push(t);
+                    let ratio = if median > 0 {
+                        v as f64 / median as f64
+                    } else {
+                        f64::INFINITY
+                    };
+                    if ratio > worst_ratio {
+                        worst_ratio = ratio;
+                        detail = format!(
+                            "{key} worker {wid}: p99 {v} ns vs peer median {median} ns \
+                             (factor {}, floor {} ns)",
+                            cfg.attrib.straggler_factor, cfg.attrib.straggler_floor_ns
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if !saw_group {
+        return Verdict::quiet("straggler_drift", detail);
+    }
+    fired.sort_unstable();
+    fired.dedup();
+    verdict_from_ticks("straggler_drift", fired, detail)
+}
+
+/// **Slot-pool saturation**: sums per-tick deltas of counter series
+/// ending in `.saturations`, slides a window of
+/// [`AttributionConfig::loss_window_rounds`] ticks, and fires where the
+/// window's sum reaches [`DetectorConfig::saturation_threshold`].
+pub fn detect_slot_saturation(snap: &TimeSeriesSnapshot, cfg: &DetectorConfig) -> Verdict {
+    let sources: Vec<&SeriesSnapshot> = snap
+        .series
+        .iter()
+        .filter(|s| s.kind == SeriesKind::CounterDelta && s.name.ends_with(".saturations"))
+        .collect();
+    let ticks = snap.ticks();
+    if sources.is_empty() || ticks < cfg.min_samples {
+        return Verdict::quiet("slot_saturation", "no saturation counters sampled");
+    }
+    let mut per_tick = vec![0u64; ticks];
+    for s in &sources {
+        for (i, d) in global_deltas(snap, s).into_iter().enumerate() {
+            per_tick[i] += d.unwrap_or(0);
+        }
+    }
+    let window = cfg.attrib.loss_window_rounds.max(1);
+    let mut fired = Vec::new();
+    let mut peak = 0u64;
+    for t in 0..ticks {
+        let start = (t + 1).saturating_sub(window);
+        let sum: u64 = per_tick[start..=t].iter().sum();
+        peak = peak.max(sum);
+        if sum >= cfg.saturation_threshold {
+            fired.push(t);
+        }
+    }
+    verdict_from_ticks(
+        "slot_saturation",
+        fired,
+        format!(
+            "peak {peak} saturation events / {window}-tick window (threshold {})",
+            cfg.saturation_threshold
+        ),
+    )
+}
+
+/// **Partition imbalance**: reads the per-tick deltas of
+/// `simnet.partition.<p>.events` counters; a tick is judged when ≥ 2
+/// partitions are active (nonzero delta) and the total delta reaches
+/// [`DetectorConfig::imbalance_floor_events`]; it fires when the
+/// busiest partition's share reaches [`DetectorConfig::imbalance_share`].
+/// Barrier-wait share (`simnet.partition.<p>.barrier_wait_ns`) is
+/// reported as supporting detail when sampled.
+pub fn detect_partition_imbalance(snap: &TimeSeriesSnapshot, cfg: &DetectorConfig) -> Verdict {
+    let mut parts: Vec<(u64, Vec<Option<u64>>)> = Vec::new();
+    for s in &snap.series {
+        if s.kind != SeriesKind::CounterDelta {
+            continue;
+        }
+        let Some(rest) = s.name.strip_prefix("simnet.partition.") else {
+            continue;
+        };
+        let Some(id) = rest.strip_suffix(".events") else {
+            continue;
+        };
+        let Ok(p) = id.parse::<u64>() else { continue };
+        parts.push((p, global_deltas(snap, s)));
+    }
+    if parts.len() < 2 {
+        return Verdict::quiet(
+            "partition_imbalance",
+            "fewer than 2 partition event series sampled",
+        );
+    }
+    parts.sort_by_key(|&(p, _)| p);
+    let ticks = snap.ticks();
+    let mut fired = Vec::new();
+    let mut detail = String::from("no tick met the activity floor");
+    let mut worst_share = 0.0f64;
+    for t in 0..ticks {
+        let deltas: Vec<(u64, u64)> = parts.iter().map(|(p, d)| (*p, d[t].unwrap_or(0))).collect();
+        let total: u64 = deltas.iter().map(|&(_, d)| d).sum();
+        let active = deltas.iter().filter(|&&(_, d)| d > 0).count();
+        if active < 2 || total < cfg.imbalance_floor_events {
+            continue;
+        }
+        let &(busiest, max_d) = deltas.iter().max_by_key(|&&(_, d)| d).unwrap();
+        let share = max_d as f64 / total as f64;
+        if share > worst_share {
+            worst_share = share;
+            let wait = barrier_wait_share(snap, busiest, t);
+            detail = format!(
+                "partition {busiest}: {share:.2} of {total} events in one tick \
+                 (threshold {:.2}{wait})",
+                cfg.imbalance_share
+            );
+        }
+        if share >= cfg.imbalance_share {
+            fired.push(t);
+        }
+    }
+    verdict_from_ticks("partition_imbalance", fired, detail)
+}
+
+/// `", peer barrier-wait share X"` for the detail line: how much of the
+/// total barrier wait the *other* partitions carry at tick `t` (a
+/// hot partition makes its peers wait).
+fn barrier_wait_share(snap: &TimeSeriesSnapshot, busiest: u64, t: usize) -> String {
+    let mut busiest_wait = 0u64;
+    let mut total_wait = 0u64;
+    for s in &snap.series {
+        let Some(rest) = s.name.strip_prefix("simnet.partition.") else {
+            continue;
+        };
+        let Some(id) = rest.strip_suffix(".barrier_wait_ns") else {
+            continue;
+        };
+        let Ok(p) = id.parse::<u64>() else { continue };
+        let len = s.samples.len();
+        let offset = snap.ticks() - len;
+        if t < offset {
+            continue;
+        }
+        let v = s.samples[t - offset].1;
+        total_wait += v;
+        if p == busiest {
+            busiest_wait = v;
+        }
+    }
+    if total_wait == 0 {
+        return String::new();
+    }
+    format!(
+        ", peer barrier-wait share {:.2}",
+        (total_wait - busiest_wait) as f64 / total_wait as f64
+    )
+}
+
+/// Runs every detector; the order is stable (`loss_burst`,
+/// `rto_inflation`, `straggler_drift`, `slot_saturation`,
+/// `partition_imbalance`).
+pub fn run_detectors(snap: &TimeSeriesSnapshot, cfg: &DetectorConfig) -> Vec<Verdict> {
+    vec![
+        detect_loss_burst(snap, cfg),
+        detect_rto_inflation(snap, cfg),
+        detect_straggler_drift(snap, cfg),
+        detect_slot_saturation(snap, cfg),
+        detect_partition_imbalance(snap, cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeseries::{SeriesKind, TimeSeriesStore};
+
+    /// Builds a snapshot from (name, kind, values) triples; sample `i`
+    /// is stamped `ts = i`.
+    fn snap_of(series: &[(&str, SeriesKind, &[u64])]) -> TimeSeriesSnapshot {
+        let cap = series.iter().map(|(_, _, v)| v.len()).max().unwrap_or(1);
+        let store = TimeSeriesStore::bounded(cap.max(1));
+        for (name, kind, values) in series {
+            let h = store.series(name, *kind);
+            for (i, &v) in values.iter().enumerate() {
+                h.push(i as u64, v);
+            }
+        }
+        store.snapshot()
+    }
+
+    #[test]
+    fn merge_ticks_fuses_adjacent_only() {
+        assert_eq!(merge_ticks(&[], 0), vec![]);
+        assert_eq!(merge_ticks(&[3], 0), vec![(3, 3)]);
+        assert_eq!(merge_ticks(&[1, 2, 3, 7, 8], 0), vec![(1, 3), (7, 8)]);
+        assert_eq!(merge_ticks(&[1, 3, 5], 1), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn loss_burst_fire_and_boundary() {
+        let cfg = DetectorConfig::default(); // window 8, threshold 4
+                                             // 3 events in a window: must stay quiet (threshold - 1).
+        let below = snap_of(&[(
+            "core.worker.retransmissions",
+            SeriesKind::CounterDelta,
+            &[0, 1, 1, 1, 0, 0],
+        )]);
+        assert!(!detect_loss_burst(&below, &cfg).fired);
+
+        // Exactly 4 in a window (2 retransmits + 2 NACKs): fires.
+        let at = snap_of(&[
+            (
+                "core.worker.retransmissions",
+                SeriesKind::CounterDelta,
+                &[0, 0, 2, 0, 0, 0],
+            ),
+            (
+                "core.agg.nacks_sent",
+                SeriesKind::CounterDelta,
+                &[0, 0, 0, 2, 0, 0],
+            ),
+        ]);
+        let v = detect_loss_burst(&at, &cfg);
+        assert!(v.fired, "{}", v.detail);
+        assert!(v.fired_within(3, 3), "windows {:?}", v.windows);
+        // Quiet ticks before the burst never fire.
+        assert!(!v.fired_within(0, 1), "windows {:?}", v.windows);
+    }
+
+    #[test]
+    fn loss_burst_window_slides_off() {
+        // Burst at tick 0 leaves the 8-tick window by tick 8.
+        let mut values = vec![0u64; 12];
+        values[0] = 5;
+        let snap = snap_of(&[(
+            "x.retransmissions",
+            SeriesKind::CounterDelta,
+            values.as_slice(),
+        )]);
+        let v = detect_loss_burst(&snap, &DetectorConfig::default());
+        assert!(v.fired);
+        assert_eq!(v.windows, vec![(0, 7)], "fires only while in-window");
+    }
+
+    #[test]
+    fn rto_inflation_fire_and_boundary() {
+        let cfg = DetectorConfig::default(); // factor 3.0
+                                             // Flat RTO: quiet.
+        let flat = snap_of(&[(
+            "core.recovery.rto_ns",
+            SeriesKind::Gauge,
+            &[25_000_000, 25_000_000, 25_000_000],
+        )]);
+        assert!(!detect_rto_inflation(&flat, &cfg).fired);
+
+        // Just under 3x: quiet. At 3x: fires on the inflated ticks.
+        let under = snap_of(&[(
+            "core.recovery.rto_ns",
+            SeriesKind::Gauge,
+            &[1_000, 2_999, 1_000],
+        )]);
+        assert!(!detect_rto_inflation(&under, &cfg).fired);
+        let over = snap_of(&[(
+            "core.recovery.rto_ns",
+            SeriesKind::Gauge,
+            &[1_000, 1_000, 3_000, 6_000, 1_000],
+        )]);
+        let v = detect_rto_inflation(&over, &cfg);
+        assert!(v.fired, "{}", v.detail);
+        assert_eq!(v.windows, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn rto_inflation_judges_each_prefix_independently() {
+        // A quiet pair must not fire just because another pair did.
+        let snap = snap_of(&[
+            (
+                "demo.timer.rto_ns",
+                SeriesKind::Gauge,
+                &[1_000u64, 8_000, 1_000],
+            ),
+            (
+                "core.recovery.rto_ns",
+                SeriesKind::Gauge,
+                &[25_000u64, 25_000, 25_000],
+            ),
+        ]);
+        let v = detect_rto_inflation(&snap, &DetectorConfig::default());
+        assert!(v.fired);
+        assert_eq!(v.windows, vec![(1, 1)], "only the inflated pair's tick");
+        assert!(v.detail.contains("demo.timer.rto_ns"), "{}", v.detail);
+    }
+
+    #[test]
+    fn straggler_drift_fire_and_boundary() {
+        let cfg = DetectorConfig::default(); // factor 3.0, floor 20_000
+        let mk = |w3: [u64; 3]| {
+            snap_of(&[
+                (
+                    "agg.worker.0.contrib_delay_ns.p99",
+                    SeriesKind::HistogramP99,
+                    &[10_000u64, 10_000, 10_000],
+                ),
+                (
+                    "agg.worker.1.contrib_delay_ns.p99",
+                    SeriesKind::HistogramP99,
+                    &[11_000u64, 11_000, 11_000],
+                ),
+                (
+                    "agg.worker.2.contrib_delay_ns.p99",
+                    SeriesKind::HistogramP99,
+                    &[12_000u64, 12_000, 12_000],
+                ),
+                (
+                    "agg.worker.3.contrib_delay_ns.p99",
+                    SeriesKind::HistogramP99,
+                    &w3,
+                ),
+            ])
+        };
+        // Peer median ~11k → threshold 33k; 30k stays under it.
+        let under = mk([10_000, 30_000, 10_000]);
+        assert!(!detect_straggler_drift(&under, &cfg).fired);
+        let over = mk([10_000, 40_000, 40_000]);
+        let v = detect_straggler_drift(&over, &cfg);
+        assert!(v.fired, "{}", v.detail);
+        assert_eq!(v.windows, vec![(1, 2)]);
+        assert!(v.detail.contains("worker 3"), "{}", v.detail);
+    }
+
+    #[test]
+    fn straggler_drift_respects_absolute_floor() {
+        // 3x over peers but under the 20µs floor: measurement noise.
+        let snap = snap_of(&[
+            (
+                "agg.worker.0.contrib_delay_ns.p99",
+                SeriesKind::HistogramP99,
+                &[1_000u64, 1_000],
+            ),
+            (
+                "agg.worker.1.contrib_delay_ns.p99",
+                SeriesKind::HistogramP99,
+                &[1_000u64, 1_000],
+            ),
+            (
+                "agg.worker.2.contrib_delay_ns.p99",
+                SeriesKind::HistogramP99,
+                &[1_000u64, 1_000],
+            ),
+            (
+                "agg.worker.3.contrib_delay_ns.p99",
+                SeriesKind::HistogramP99,
+                &[9_000u64, 9_000],
+            ),
+        ]);
+        assert!(!detect_straggler_drift(&snap, &DetectorConfig::default()).fired);
+    }
+
+    #[test]
+    fn slot_saturation_fire_and_boundary() {
+        let cfg = DetectorConfig::default(); // threshold 4, window 8
+        let below = snap_of(&[(
+            "core.worker.saturations",
+            SeriesKind::CounterDelta,
+            &[1, 1, 1, 0],
+        )]);
+        assert!(!detect_slot_saturation(&below, &cfg).fired);
+        let at = snap_of(&[(
+            "core.worker.saturations",
+            SeriesKind::CounterDelta,
+            &[1, 1, 1, 1],
+        )]);
+        let v = detect_slot_saturation(&at, &cfg);
+        assert!(v.fired, "{}", v.detail);
+        assert!(v.fired_within(3, 3));
+    }
+
+    #[test]
+    fn partition_imbalance_fire_and_boundary() {
+        let cfg = DetectorConfig::default(); // share 0.7, floor 64
+                                             // 60/40 split: balanced.
+        let balanced = snap_of(&[
+            (
+                "simnet.partition.0.events",
+                SeriesKind::CounterDelta,
+                &[600u64, 600],
+            ),
+            (
+                "simnet.partition.1.events",
+                SeriesKind::CounterDelta,
+                &[400u64, 400],
+            ),
+        ]);
+        assert!(!detect_partition_imbalance(&balanced, &cfg).fired);
+
+        // 80/20 split: fires, and the barrier-wait detail is attached.
+        let skewed = snap_of(&[
+            (
+                "simnet.partition.0.events",
+                SeriesKind::CounterDelta,
+                &[800u64, 800],
+            ),
+            (
+                "simnet.partition.1.events",
+                SeriesKind::CounterDelta,
+                &[200u64, 200],
+            ),
+            (
+                "simnet.partition.0.barrier_wait_ns",
+                SeriesKind::CounterDelta,
+                &[10u64, 10],
+            ),
+            (
+                "simnet.partition.1.barrier_wait_ns",
+                SeriesKind::CounterDelta,
+                &[990u64, 990],
+            ),
+        ]);
+        let v = detect_partition_imbalance(&skewed, &cfg);
+        assert!(v.fired, "{}", v.detail);
+        assert_eq!(v.windows, vec![(0, 1)]);
+        assert!(v.detail.contains("partition 0"), "{}", v.detail);
+        assert!(v.detail.contains("barrier-wait"), "{}", v.detail);
+    }
+
+    #[test]
+    fn partition_imbalance_needs_two_active_partitions_and_floor() {
+        let cfg = DetectorConfig::default();
+        // Only one partition active (sequential engine): quiet even at
+        // 100% share.
+        let solo = snap_of(&[
+            (
+                "simnet.partition.0.events",
+                SeriesKind::CounterDelta,
+                &[1_000u64],
+            ),
+            (
+                "simnet.partition.1.events",
+                SeriesKind::CounterDelta,
+                &[0u64],
+            ),
+        ]);
+        assert!(!detect_partition_imbalance(&solo, &cfg).fired);
+        // Both active but under the activity floor: quiet.
+        let tiny = snap_of(&[
+            (
+                "simnet.partition.0.events",
+                SeriesKind::CounterDelta,
+                &[40u64],
+            ),
+            (
+                "simnet.partition.1.events",
+                SeriesKind::CounterDelta,
+                &[10u64],
+            ),
+        ]);
+        assert!(!detect_partition_imbalance(&tiny, &cfg).fired);
+    }
+
+    #[test]
+    fn run_detectors_is_stable_and_quiet_on_empty() {
+        let verdicts = run_detectors(&TimeSeriesSnapshot::default(), &DetectorConfig::default());
+        let names: Vec<&str> = verdicts.iter().map(|v| v.detector).collect();
+        assert_eq!(
+            names,
+            vec![
+                "loss_burst",
+                "rto_inflation",
+                "straggler_drift",
+                "slot_saturation",
+                "partition_imbalance"
+            ]
+        );
+        assert!(verdicts.iter().all(|v| !v.fired));
+        // And the JSON shape serve.rs publishes.
+        let node = verdicts[0].to_json_value();
+        assert_eq!(node.get("fired").and_then(|v| v.as_bool()), Some(false));
+    }
+}

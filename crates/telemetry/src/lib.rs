@@ -25,6 +25,15 @@
 //!   aggregator-side flight lanes into per-round latency breakdowns
 //!   (encode / wire / slot-wait / straggler / recovery) with
 //!   critical-path attribution and online straggler/loss detectors.
+//! * [`timeseries`] — continuous telemetry: a lock-free ring-buffered
+//!   [`TimeSeriesStore`] fed by a [`Sampler`] that snapshots the
+//!   registry at a fixed cadence (wall clock or sim time), deriving
+//!   per-tick counter deltas, gauge levels and windowed histogram
+//!   quantiles with zero steady-state allocations.
+//! * [`detect`] — online anomaly/SLO detectors over those series:
+//!   retransmit/NACK bursts, RTO inflation vs SRTT, straggler drift,
+//!   slot-pool saturation and simnet partition imbalance, each
+//!   reporting fire windows suitable for live health endpoints.
 //! * [`serve`] — a std-only HTTP introspection endpoint (env-gated via
 //!   `OMNIREDUCE_SERVE_ADDR`) serving Prometheus text, JSON snapshots,
 //!   the flight recording, and live health/attribution documents.
@@ -50,10 +59,12 @@
 pub mod alloc;
 pub mod attrib;
 pub mod clock;
+pub mod detect;
 pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod serve;
+pub mod timeseries;
 pub mod trace;
 
 pub use alloc::CountingAllocator;
@@ -62,6 +73,7 @@ pub use attrib::{
     AttributionConfig, LossWindow, RoundAttribution, RoundBreakdown, RoundComponent, WorkerSkew,
 };
 pub use clock::{Clock, ManualClock, WallClock};
+pub use detect::{run_detectors, DetectorConfig, Verdict};
 pub use flight::{
     FlightEvent, FlightEventKind, FlightLane, FlightRecorder, FlightRecording, LaneRecording,
     LaneRole, NO_BLOCK,
@@ -69,4 +81,8 @@ pub use flight::{
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot};
 pub use serve::{IntrospectionServer, SERVE_ADDR_ENV};
+pub use timeseries::{
+    Sampler, SamplerHandle, SeriesHandle, SeriesKind, SeriesSnapshot, TimeSeriesSnapshot,
+    TimeSeriesStore, TIMESERIES_SCHEMA_VERSION,
+};
 pub use trace::{ClockDomain, TraceRecorder, TrackId};

@@ -23,6 +23,7 @@ use std::sync::{Arc, Mutex};
 use crate::clock::WallClock;
 use crate::flight::FlightRecorder;
 use crate::json::{JsonError, JsonValue};
+use crate::timeseries::TimeSeriesStore;
 use crate::trace::TraceRecorder;
 
 /// Number of log2 buckets: bit lengths 0..=64.
@@ -142,6 +143,22 @@ impl Histogram {
         cells.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Copies the raw bucket counts into `out` and returns
+    /// `(count, sum, max)` — the allocation-free read the time-series
+    /// sampler uses ([`crate::Sampler`] derives per-tick quantiles from
+    /// bucket deltas without touching the heap).
+    pub fn read_raw(&self, out: &mut [u64; HISTOGRAM_BUCKETS]) -> (u64, u64, u64) {
+        let cells = &*self.0;
+        for (dst, src) in out.iter_mut().zip(cells.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        (
+            cells.count.load(Ordering::Relaxed),
+            cells.sum.load(Ordering::Relaxed),
+            cells.max.load(Ordering::Relaxed),
+        )
+    }
+
     pub fn snapshot(&self) -> HistogramSnapshot {
         let cells = &*self.0;
         let mut buckets: Vec<u64> = cells
@@ -259,6 +276,7 @@ struct TelemetryInner {
     registry: Mutex<RegistryInner>,
     trace: TraceRecorder,
     flight: FlightRecorder,
+    series: TimeSeriesStore,
     /// Epoch shared by every component that stamps wall time through
     /// this registry ([`crate::EngineTrace`]-style spans and flight
     /// lanes), so their timestamps are directly comparable.
@@ -302,8 +320,21 @@ impl Telemetry {
 
     /// A fresh registry with both recorders sized explicitly:
     /// `trace_capacity` span/instant events total, `flight_capacity`
-    /// flight events *per lane*. Either may be 0 (disabled).
+    /// flight events *per lane*. Either may be 0 (disabled). The
+    /// time-series store stays disabled.
     pub fn with_observability(trace_capacity: usize, flight_capacity: usize) -> Self {
+        Self::with_pipeline(trace_capacity, flight_capacity, 0)
+    }
+
+    /// A fresh registry with the full observability pipeline sized
+    /// explicitly: trace events total, flight events per lane, and
+    /// `series_capacity` samples *per time series* (see
+    /// [`crate::TimeSeriesStore`]). Any may be 0 (disabled).
+    pub fn with_pipeline(
+        trace_capacity: usize,
+        flight_capacity: usize,
+        series_capacity: usize,
+    ) -> Self {
         let wall = WallClock::new();
         Telemetry {
             inner: Arc::new(TelemetryInner {
@@ -314,6 +345,7 @@ impl Telemetry {
                     TraceRecorder::disabled()
                 },
                 flight: FlightRecorder::bounded_with_epoch(flight_capacity, wall.clone()),
+                series: TimeSeriesStore::bounded(series_capacity),
                 wall,
             }),
         }
@@ -345,6 +377,47 @@ impl Telemetry {
     /// The protocol flight recorder sharing this registry's lifetime.
     pub fn flight(&self) -> &FlightRecorder {
         &self.inner.flight
+    }
+
+    /// The time-series store sharing this registry's lifetime (disabled
+    /// unless constructed via [`Telemetry::with_pipeline`]).
+    pub fn series(&self) -> &TimeSeriesStore {
+        &self.inner.series
+    }
+
+    /// `(counters, gauges, histograms)` registered so far. Instruments
+    /// are never removed, so unchanged counts mean an unchanged
+    /// registry — the sampler's allocation-free change check.
+    pub fn instrument_counts(&self) -> (usize, usize, usize) {
+        let reg = self.lock();
+        (reg.counters.len(), reg.gauges.len(), reg.histograms.len())
+    }
+
+    /// Clones every instrument's name and handle — the sampler's rescan
+    /// input. Registry (BTreeMap) order, i.e. sorted by name.
+    #[allow(clippy::type_complexity)]
+    pub fn instruments(
+        &self,
+    ) -> (
+        Vec<(String, Counter)>,
+        Vec<(String, Gauge)>,
+        Vec<(String, Histogram)>,
+    ) {
+        let reg = self.lock();
+        (
+            reg.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            reg.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            reg.histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        )
     }
 
     /// The registry's shared wall clock. Engines that stamp wall time

@@ -10,7 +10,8 @@
 //! | `/snapshot.json` | full [`TelemetrySnapshot`] (counters/gauges/histograms) |
 //! | `/flight.json`   | the flight recording ([`crate::FlightRecording`] format, `omnistat` input) |
 //! | `/rounds.json`   | per-round latency attribution percentiles      |
-//! | `/health.json`   | straggler / loss-burst detector verdicts       |
+//! | `/timeseries.json` | the continuous time-series store ([`crate::TimeSeriesSnapshot`] format, `omnitop` input) |
+//! | `/health.json`   | attribution verdicts plus the online time-series detectors |
 //!
 //! Production wiring is env-gated: [`IntrospectionServer::from_env`]
 //! binds `OMNIREDUCE_SERVE_ADDR` (e.g. `127.0.0.1:9109`) when set and
@@ -29,10 +30,17 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::attrib::{AttributionConfig, RoundAttribution};
+use crate::detect::{run_detectors, DetectorConfig};
+use crate::json::JsonValue;
 use crate::metrics::Telemetry;
 
 /// Environment variable naming the listen address (`host:port`).
 pub const SERVE_ADDR_ENV: &str = "OMNIREDUCE_SERVE_ADDR";
+
+/// Longest accepted request line (method + path + version). Anything
+/// longer is answered `414` instead of being buffered further — the
+/// endpoint must stay O(1)-memory per connection under hostile input.
+const MAX_REQUEST_LINE: usize = 4096;
 
 /// A running introspection endpoint; dropping it leaves the thread
 /// serving until [`IntrospectionServer::stop`] or process exit.
@@ -118,6 +126,12 @@ fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()
             Ok(0) => break,
             Ok(n) => {
                 len += n;
+                // Cap the request line: a head that still has no line
+                // break past MAX_REQUEST_LINE bytes is hostile or
+                // broken; answer 414 rather than buffering more.
+                if !buf[..len.min(MAX_REQUEST_LINE)].contains(&b'\n') && len > MAX_REQUEST_LINE {
+                    return respond(&mut stream, 414, "text/plain", "request line too long\n");
+                }
                 if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
                     break;
                 }
@@ -148,7 +162,8 @@ fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()
              /snapshot.json  metrics snapshot\n\
              /flight.json    flight recording (omnistat input)\n\
              /rounds.json    per-round latency attribution\n\
-             /health.json    straggler / loss detector verdicts\n",
+             /timeseries.json  continuous time series (omnitop input)\n\
+             /health.json    attribution + online detector verdicts\n",
         ),
         "/metrics" => {
             let body = telemetry.snapshot().to_prometheus();
@@ -166,12 +181,44 @@ fn serve_one(mut stream: TcpStream, telemetry: &Telemetry) -> std::io::Result<()
             let body = attribution().rounds_json().to_string_compact();
             respond(&mut stream, 200, "application/json", &body)
         }
+        "/timeseries.json" => {
+            let body = telemetry
+                .series()
+                .snapshot()
+                .to_json_value()
+                .to_string_compact();
+            respond(&mut stream, 200, "application/json", &body)
+        }
         "/health.json" => {
-            let body = attribution().health_json().to_string_compact();
+            let body = health_json(telemetry, &attribution()).to_string_compact();
             respond(&mut stream, 200, "application/json", &body)
         }
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
+}
+
+/// The `/health.json` document: the flight-recorder attribution
+/// verdicts plus the online time-series detector verdicts, with the
+/// top-level `healthy` recomputed so it is true only when *both*
+/// layers are quiet.
+fn health_json(telemetry: &Telemetry, attribution: &RoundAttribution) -> JsonValue {
+    let mut doc = attribution.health_json();
+    let verdicts = run_detectors(&telemetry.series().snapshot(), &DetectorConfig::default());
+    let any_fired = verdicts.iter().any(|v| v.fired);
+    if let JsonValue::Obj(fields) = &mut doc {
+        for (key, value) in fields.iter_mut() {
+            if key == "healthy" {
+                if let JsonValue::Bool(healthy) = value {
+                    *healthy = *healthy && !any_fired;
+                }
+            }
+        }
+    }
+    doc.push(
+        "detectors",
+        JsonValue::Arr(verdicts.iter().map(|v| v.to_json_value()).collect()),
+    );
+    doc
 }
 
 fn respond(
@@ -184,6 +231,7 @@ fn respond(
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        414 => "URI Too Long",
         _ => "Error",
     };
     let head = format!(
@@ -257,6 +305,140 @@ mod tests {
 
         let (status, _) = get(addr, "/nope");
         assert_eq!(status, 404);
+
+        server.stop();
+    }
+
+    #[test]
+    fn serves_timeseries_and_detector_verdicts() {
+        let telemetry = Telemetry::with_pipeline(0, 0, 64);
+        telemetry.counter("core.worker.retransmissions").add(0);
+        let mut sampler = crate::Sampler::new(&telemetry);
+        sampler.tick_at(10);
+        // A retransmit burst big enough for the loss detector.
+        telemetry.counter("core.worker.retransmissions").add(9);
+        sampler.tick_at(20);
+
+        let server =
+            IntrospectionServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind port 0");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/timeseries.json");
+        assert_eq!(status, 200);
+        let snap = crate::TimeSeriesSnapshot::from_json(&body).expect("timeseries parses");
+        assert_eq!(
+            snap.get("core.worker.retransmissions").unwrap().values(),
+            vec![0, 9]
+        );
+
+        let (status, body) = get(addr, "/health.json");
+        assert_eq!(status, 200);
+        let doc = crate::JsonValue::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("healthy").and_then(|v| v.as_bool()),
+            Some(false),
+            "loss burst must flip overall health: {body}"
+        );
+        let detectors = doc.get("detectors").and_then(|v| v.as_arr()).unwrap();
+        let loss = detectors
+            .iter()
+            .find(|d| d.get("detector").and_then(|v| v.as_str()) == Some("loss_burst"))
+            .expect("loss_burst verdict present");
+        assert_eq!(loss.get("fired").and_then(|v| v.as_bool()), Some(true));
+
+        // The index advertises the new endpoint.
+        let (_, index) = get(addr, "/");
+        assert!(index.contains("/timeseries.json"), "{index}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn survives_concurrent_and_malformed_requests() {
+        let telemetry = Telemetry::with_pipeline(0, 64, 64);
+        telemetry.counter("core.worker.packets_sent").add(1);
+        let server =
+            IntrospectionServer::bind("127.0.0.1:0", telemetry.clone()).expect("bind port 0");
+        let addr = server.local_addr();
+
+        // Raw exchange helper: write `req` bytes, read the full reply.
+        let raw = move |req: &[u8]| -> String {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            stream.write_all(req).unwrap();
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut text = String::new();
+            let _ = stream.read_to_string(&mut text);
+            text
+        };
+
+        // Malformed shapes one at a time: every one must get an HTTP
+        // status line back, never a bare connection drop.
+        let unknown = raw(b"GET /definitely-not-a-path HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(unknown.starts_with("HTTP/1.1 404"), "{unknown}");
+        let post = raw(b"POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+        let garbage = raw(b"\x00\xffnot http at all\r\n\r\n");
+        assert!(garbage.starts_with("HTTP/1.1 405"), "{garbage}");
+        let long_line = {
+            let mut req = Vec::from(&b"GET /"[..]);
+            req.extend(std::iter::repeat_n(b'a', 3 * MAX_REQUEST_LINE));
+            req.extend(b" HTTP/1.1\r\n\r\n");
+            raw(&req)
+        };
+        assert!(long_line.starts_with("HTTP/1.1 414"), "{long_line}");
+        // A half-request that just hangs up: the server must move on.
+        let partial = raw(b"GET /metr");
+        assert!(partial.starts_with("HTTP/1.1"), "{partial}");
+
+        // Then the hammer: concurrent threads mixing valid, unknown,
+        // malformed and oversized requests. Every valid request must
+        // still be answered correctly afterwards.
+        let mut joins = Vec::new();
+        for t in 0..8 {
+            joins.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    match (t + i) % 4 {
+                        0 => {
+                            let (status, body) = get(addr, "/metrics");
+                            assert_eq!(status, 200);
+                            assert!(body.contains("core_worker_packets_sent"));
+                        }
+                        1 => {
+                            let (status, _) = get(addr, &format!("/nope-{t}-{i}"));
+                            assert_eq!(status, 404);
+                        }
+                        2 => {
+                            let mut stream = TcpStream::connect(addr).unwrap();
+                            stream
+                                .write_all(b"BREW /coffee HTCPCP/1.0\r\n\r\n")
+                                .unwrap();
+                            let mut text = String::new();
+                            let _ = stream.read_to_string(&mut text);
+                            assert!(text.starts_with("HTTP/1.1 405"), "{text}");
+                        }
+                        _ => {
+                            let mut stream = TcpStream::connect(addr).unwrap();
+                            let junk = vec![b'x'; 2 * MAX_REQUEST_LINE];
+                            // Ignore write errors: the server may have
+                            // already answered 414 and closed.
+                            let _ = stream.write_all(&junk);
+                            let _ = stream.shutdown(std::net::Shutdown::Write);
+                            let mut text = String::new();
+                            let _ = stream.read_to_string(&mut text);
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("hammer thread");
+        }
+        let (status, body) = get(addr, "/snapshot.json");
+        assert_eq!(status, 200, "server must still serve after the hammer");
+        assert!(body.contains("core.worker.packets_sent"), "{body}");
 
         server.stop();
     }

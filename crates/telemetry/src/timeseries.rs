@@ -1,0 +1,866 @@
+//! Continuous time-series telemetry: a lock-free ring-buffered store
+//! fed by a [`Sampler`] that snapshots the metrics registry at a fixed
+//! cadence.
+//!
+//! The registry ([`crate::metrics`]) answers *how much so far*; the
+//! flight recorder ([`crate::flight`]) answers *why round N was slow*.
+//! Neither answers the operator question *what is the trend right now*:
+//! loss-rate spikes, RTO inflation, straggler drift and slot-pool
+//! saturation are only visible as windows over time. This module keeps
+//! those windows: one bounded ring per derived series, written by a
+//! single sampler at a configurable cadence and drained by the
+//! detectors ([`crate::detect`]), the introspection endpoint
+//! (`/timeseries.json`) and the `omnitop` dashboard.
+//!
+//! # Derivation model
+//!
+//! Each sampler tick walks every registry instrument and appends one
+//! sample per derived series:
+//!
+//! * counter `name` → series `name` of **per-tick deltas**
+//!   ([`SeriesKind::CounterDelta`]) — a rate once divided by the tick
+//!   spacing;
+//! * gauge `name` → series `name` of levels ([`SeriesKind::Gauge`]);
+//! * histogram `name` → series `name.count` (per-tick sample count)
+//!   and `name.p99` (the p99 of the samples recorded *within the
+//!   tick*, estimated from per-bucket deltas — a windowed quantile, not
+//!   the since-boot one).
+//!
+//! # Cost model (the flight-recorder discipline)
+//!
+//! A series ring is preallocated `AtomicU64` words
+//! (two per sample: timestamp, value); pushing is a plain head load,
+//! two relaxed stores and one Release head store — no RMW, no lock.
+//! The sampler pre-resolves instrument handles and keeps fixed
+//! per-histogram baseline arrays, so a steady-state
+//! [`Sampler::tick_at`] performs **zero heap allocations** (gated by
+//! the `timeseries_alloc` regression test under
+//! [`crate::CountingAllocator`]). Allocation happens only when new
+//! instruments appear (rescan) and at snapshot time.
+//!
+//! # Clocks
+//!
+//! Wall-clock engines use [`Sampler::tick`] on a background thread
+//! ([`Sampler::spawn`]); simulators drive [`Sampler::tick_at`] with
+//! simulated nanoseconds, so the same store and detectors serve both.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::clock::Clock as _;
+use crate::json::{JsonError, JsonValue};
+use crate::metrics::{bucket_upper_bound, Counter, Gauge, Histogram, Telemetry, HISTOGRAM_BUCKETS};
+
+/// Schema version stamped into every `*.timeseries.json` document (and
+/// the `/timeseries.json` endpoint); bumped on incompatible layout
+/// changes so `--check` gates can reject stale artefacts loudly.
+pub const TIMESERIES_SCHEMA_VERSION: u64 = 1;
+
+/// How a series' samples were derived from its source instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeriesKind {
+    /// Per-tick increase of a monotonic counter.
+    CounterDelta,
+    /// Gauge level at the tick.
+    Gauge,
+    /// Histogram samples recorded within the tick.
+    HistogramCount,
+    /// p99 (bucket-upper-bound estimate) of the samples recorded
+    /// within the tick.
+    HistogramP99,
+}
+
+impl SeriesKind {
+    /// Stable lower-snake name used in JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesKind::CounterDelta => "counter_delta",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::HistogramCount => "hist_count",
+            SeriesKind::HistogramP99 => "hist_p99",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<SeriesKind> {
+        match name {
+            "counter_delta" => Some(SeriesKind::CounterDelta),
+            "gauge" => Some(SeriesKind::Gauge),
+            "hist_count" => Some(SeriesKind::HistogramCount),
+            "hist_p99" => Some(SeriesKind::HistogramP99),
+            _ => None,
+        }
+    }
+}
+
+/// Samples are packed into two `u64` ring words: `[ts_ns, value]`.
+const WORDS_PER_SAMPLE: usize = 2;
+
+struct SeriesInner {
+    name: String,
+    kind: SeriesKind,
+    /// `capacity * WORDS_PER_SAMPLE` atomic words; `capacity` is a
+    /// power of two so the wrap is a mask.
+    words: Box<[AtomicU64]>,
+    capacity: usize,
+    /// Total samples ever written (wraps the ring at `capacity`).
+    head: AtomicU64,
+}
+
+impl SeriesInner {
+    #[inline]
+    fn push(&self, ts_ns: u64, value: u64) {
+        // Single-producer ring (one sampler owns all series): same
+        // plain-load + Release-store discipline as the flight lanes —
+        // no RMW on the sampling path, and a concurrent snapshot only
+        // observes fully-written slots.
+        let seq = self.head.load(Ordering::Relaxed) as usize;
+        let base = (seq & (self.capacity - 1)) * WORDS_PER_SAMPLE;
+        self.words[base].store(ts_ns, Ordering::Relaxed);
+        self.words[base + 1].store(value, Ordering::Relaxed);
+        self.head.store(seq as u64 + 1, Ordering::Release);
+    }
+
+    fn drain(&self) -> (Vec<(u64, u64)>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let filled = (head as usize).min(self.capacity);
+        let start = if (head as usize) > self.capacity {
+            head as usize % self.capacity
+        } else {
+            0
+        };
+        let mut samples = Vec::with_capacity(filled);
+        for i in 0..filled {
+            let base = ((start + i) % self.capacity) * WORDS_PER_SAMPLE;
+            samples.push((
+                self.words[base].load(Ordering::Relaxed),
+                self.words[base + 1].load(Ordering::Relaxed),
+            ));
+        }
+        (samples, head.saturating_sub(self.capacity as u64))
+    }
+}
+
+struct StoreInner {
+    capacity: usize,
+    series: Mutex<Vec<Arc<SeriesInner>>>,
+}
+
+/// Factory and registry for time series rings.
+///
+/// Owned by a [`crate::Telemetry`]; disabled by default (capacity 0):
+/// every handle it hands out is then a one-branch no-op.
+#[derive(Clone)]
+pub struct TimeSeriesStore {
+    inner: Arc<StoreInner>,
+}
+
+impl std::fmt::Debug for TimeSeriesStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeSeriesStore")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.inner.capacity)
+            .finish()
+    }
+}
+
+impl TimeSeriesStore {
+    /// A store that records nothing (the zero-configuration default).
+    pub fn disabled() -> Self {
+        Self::bounded(0)
+    }
+
+    /// A store whose series each keep the most recent `capacity`
+    /// samples (rounded up to a power of two).
+    pub fn bounded(capacity: usize) -> Self {
+        TimeSeriesStore {
+            inner: Arc::new(StoreInner {
+                capacity: if capacity > 0 {
+                    capacity.next_power_of_two()
+                } else {
+                    0
+                },
+                series: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.capacity > 0
+    }
+
+    /// Per-series sample capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Arc<SeriesInner>>> {
+        self.inner.series.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or re-fetches) the series named `name`. Allocates the
+    /// ring on first registration; pushes through the returned handle
+    /// never allocate. On a disabled store the handle is a no-op.
+    pub fn series(&self, name: &str, kind: SeriesKind) -> SeriesHandle {
+        if !self.is_enabled() {
+            return SeriesHandle { inner: None };
+        }
+        let mut all = self.lock();
+        if let Some(existing) = all.iter().find(|s| s.name == name) {
+            return SeriesHandle {
+                inner: Some(existing.clone()),
+            };
+        }
+        let series = Arc::new(SeriesInner {
+            name: name.to_string(),
+            kind,
+            words: (0..self.inner.capacity * WORDS_PER_SAMPLE)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            capacity: self.inner.capacity,
+            head: AtomicU64::new(0),
+        });
+        all.push(series.clone());
+        SeriesHandle {
+            inner: Some(series),
+        }
+    }
+
+    /// Copies every series' buffered samples. Exact when the sampler is
+    /// quiescent; observability-grade when raced against a live tick.
+    pub fn snapshot(&self) -> TimeSeriesSnapshot {
+        let all = self.lock();
+        TimeSeriesSnapshot {
+            series: all
+                .iter()
+                .map(|s| {
+                    let (samples, dropped) = s.drain();
+                    SeriesSnapshot {
+                        name: s.name.clone(),
+                        kind: s.kind,
+                        dropped,
+                        samples,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A single-producer sample ring for one series; pushing never
+/// allocates, and a disabled handle is a one-branch no-op.
+#[derive(Clone)]
+pub struct SeriesHandle {
+    inner: Option<Arc<SeriesInner>>,
+}
+
+impl SeriesHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        SeriesHandle { inner: None }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Appends one `(timestamp, value)` sample.
+    #[inline]
+    pub fn push(&self, ts_ns: u64, value: u64) {
+        if let Some(s) = &self.inner {
+            s.push(ts_ns, value);
+        }
+    }
+}
+
+impl std::fmt::Debug for SeriesHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeriesHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Point-in-time copy of one series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    pub name: String,
+    pub kind: SeriesKind,
+    /// Samples evicted by ring wrap before this snapshot.
+    pub dropped: u64,
+    /// `(ts_ns, value)`, oldest first.
+    pub samples: Vec<(u64, u64)>,
+}
+
+impl SeriesSnapshot {
+    /// The values without timestamps, oldest first.
+    pub fn values(&self) -> Vec<u64> {
+        self.samples.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// The most recent value (None when empty).
+    pub fn last(&self) -> Option<u64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+}
+
+/// Point-in-time copy of a whole store; serializable.
+///
+/// Every sampler tick appends exactly one sample to every series it
+/// tracks, so sample streams align **by tail**: the last sample of
+/// every series belongs to the latest tick, and a series shorter than
+/// the longest one simply started (was registered) later. Detectors
+/// and renderers use [`TimeSeriesSnapshot::ticks`] /
+/// [`TimeSeriesSnapshot::global_index`] for that alignment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimeSeriesSnapshot {
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl TimeSeriesSnapshot {
+    /// Series by exact name.
+    pub fn get(&self, name: &str) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// The tick count of the longest series — the snapshot's global
+    /// time axis length.
+    pub fn ticks(&self) -> usize {
+        self.series
+            .iter()
+            .map(|s| s.samples.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maps sample index `i` of a series of length `len` onto the
+    /// global (tail-aligned) tick axis.
+    pub fn global_index(&self, len: usize, i: usize) -> usize {
+        self.ticks() - len + i
+    }
+
+    /// The document served at `/timeseries.json` and written to
+    /// `results/<slug>.timeseries.json`:
+    /// `{version, series: [{name, kind, dropped, samples: [[ts, v], ..]}]}`.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut doc = JsonValue::obj();
+        doc.push("version", JsonValue::Uint(TIMESERIES_SCHEMA_VERSION));
+        doc.push(
+            "series",
+            JsonValue::Arr(
+                self.series
+                    .iter()
+                    .map(|s| {
+                        let mut node = JsonValue::obj();
+                        node.push("name", JsonValue::Str(s.name.clone()));
+                        node.push("kind", JsonValue::Str(s.kind.name().to_string()));
+                        node.push("dropped", JsonValue::Uint(s.dropped));
+                        node.push(
+                            "samples",
+                            JsonValue::Arr(
+                                s.samples
+                                    .iter()
+                                    .map(|&(t, v)| {
+                                        JsonValue::Arr(vec![JsonValue::Uint(t), JsonValue::Uint(v)])
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        node
+                    })
+                    .collect(),
+            ),
+        );
+        doc
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+
+    /// Parses a snapshot produced by [`Self::to_json`]. Rejects
+    /// documents whose `version` is missing or differs from
+    /// [`TIMESERIES_SCHEMA_VERSION`] — a stale artefact must fail
+    /// loudly, not parse into garbage.
+    pub fn from_json(text: &str) -> Result<TimeSeriesSnapshot, JsonError> {
+        let doc = JsonValue::parse(text)?;
+        let bad = |message| JsonError { offset: 0, message };
+        match doc.get("version").and_then(|v| v.as_u64()) {
+            Some(TIMESERIES_SCHEMA_VERSION) => {}
+            Some(_) => return Err(bad("timeseries schema version mismatch")),
+            None => return Err(bad("timeseries document has no version")),
+        }
+        let mut snap = TimeSeriesSnapshot::default();
+        if let Some(items) = doc.get("series").and_then(|s| s.as_arr()) {
+            for item in items {
+                let name = item
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or(bad("series name"))?
+                    .to_string();
+                let kind = item
+                    .get("kind")
+                    .and_then(|v| v.as_str())
+                    .and_then(SeriesKind::from_name)
+                    .ok_or(bad("series kind"))?;
+                let dropped = item
+                    .get("dropped")
+                    .and_then(|v| v.as_u64())
+                    .ok_or(bad("series dropped"))?;
+                let mut samples = Vec::new();
+                for pair in item
+                    .get("samples")
+                    .and_then(|s| s.as_arr())
+                    .ok_or(bad("series samples"))?
+                {
+                    let pair = pair.as_arr().ok_or(bad("sample pair"))?;
+                    if pair.len() != 2 {
+                        return Err(bad("sample pair arity"));
+                    }
+                    samples.push((
+                        pair[0].as_u64().ok_or(bad("sample ts"))?,
+                        pair[1].as_u64().ok_or(bad("sample value"))?,
+                    ));
+                }
+                snap.series.push(SeriesSnapshot {
+                    name,
+                    kind,
+                    dropped,
+                    samples,
+                });
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// One tracked registry instrument with its derivation state.
+enum Tracked {
+    Counter {
+        name: String,
+        handle: Counter,
+        last: u64,
+        series: SeriesHandle,
+    },
+    Gauge {
+        name: String,
+        handle: Gauge,
+        series: SeriesHandle,
+    },
+    Histogram {
+        name: String,
+        handle: Histogram,
+        /// Bucket counts at the previous tick; the per-tick quantile is
+        /// computed from the delta against these. Boxed so a rescan
+        /// moves pointers, not 520-byte arrays.
+        baseline: Box<[u64; HISTOGRAM_BUCKETS]>,
+        last_count: u64,
+        count_series: SeriesHandle,
+        p99_series: SeriesHandle,
+    },
+}
+
+impl Tracked {
+    fn name(&self) -> &str {
+        match self {
+            Tracked::Counter { name, .. }
+            | Tracked::Gauge { name, .. }
+            | Tracked::Histogram { name, .. } => name,
+        }
+    }
+}
+
+/// p99 of a windowed bucket-delta distribution, as the upper bound of
+/// the bucket holding the target rank (an overestimate by < 2× for
+/// values ≥ 1 — the log2-bucket bound).
+fn p99_from_deltas(deltas: &[u64; HISTOGRAM_BUCKETS], count: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // 0-based rank of the p99 sample, rounding up so a 1-in-100
+    // outlier tail is charged to the quantile (straggler detection
+    // wants the tail visible, not averaged away).
+    let rank = ((count - 1) as f64 * 0.99).ceil() as u64;
+    let mut before = 0u64;
+    for (k, &c) in deltas.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        before += c;
+        if before > rank {
+            return bucket_upper_bound(k);
+        }
+    }
+    0
+}
+
+/// Snapshots registry instruments into the registry's
+/// [`TimeSeriesStore`], one sample per series per tick.
+///
+/// Single-owner: exactly one sampler should feed a store (the ring
+/// discipline is single-producer). Construction and
+/// [`Sampler::rescan`] allocate; steady-state ticks do not.
+pub struct Sampler {
+    telemetry: Telemetry,
+    tracked: Vec<Tracked>,
+    /// Instrument counts at the last rescan; a change triggers a
+    /// rescan (instruments are never removed, so counts suffice).
+    known: (usize, usize, usize),
+    /// Fixed scratch for histogram bucket reads — keeps ticks
+    /// allocation-free.
+    scratch: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Sampler {
+    /// A sampler feeding `telemetry`'s own series store. Resolves every
+    /// instrument registered so far; later registrations are picked up
+    /// automatically on the tick after they appear.
+    pub fn new(telemetry: &Telemetry) -> Sampler {
+        let mut s = Sampler {
+            telemetry: telemetry.clone(),
+            tracked: Vec::new(),
+            known: (usize::MAX, usize::MAX, usize::MAX),
+            scratch: [0; HISTOGRAM_BUCKETS],
+        };
+        s.rescan();
+        s
+    }
+
+    /// Re-resolves instrument handles, preserving per-instrument delta
+    /// state for instruments already tracked. Allocates; called
+    /// automatically when the registry grew since the last tick.
+    pub fn rescan(&mut self) {
+        let store = self.telemetry.series().clone();
+        let (counters, gauges, histograms) = self.telemetry.instruments();
+        self.known = (counters.len(), gauges.len(), histograms.len());
+        let old = std::mem::take(&mut self.tracked);
+        let mut old: Vec<Option<Tracked>> = old.into_iter().map(Some).collect();
+        let mut take = |name: &str| -> Option<Tracked> {
+            old.iter_mut()
+                .find(|t| t.as_deref_name() == Some(name))
+                .and_then(|t| t.take())
+        };
+        for (name, handle) in counters {
+            self.tracked.push(match take(&name) {
+                Some(t @ Tracked::Counter { .. }) => t,
+                _ => {
+                    let series = store.series(&name, SeriesKind::CounterDelta);
+                    // Start the delta window at the current value: the
+                    // first tick reports growth since tracking began,
+                    // not since process start.
+                    let last = handle.get();
+                    Tracked::Counter {
+                        name,
+                        handle,
+                        last,
+                        series,
+                    }
+                }
+            });
+        }
+        for (name, handle) in gauges {
+            self.tracked.push(match take(&name) {
+                Some(t @ Tracked::Gauge { .. }) => t,
+                _ => {
+                    let series = store.series(&name, SeriesKind::Gauge);
+                    Tracked::Gauge {
+                        name,
+                        handle,
+                        series,
+                    }
+                }
+            });
+        }
+        for (name, handle) in histograms {
+            self.tracked.push(match take(&name) {
+                Some(t @ Tracked::Histogram { .. }) => t,
+                _ => {
+                    let count_series =
+                        store.series(&format!("{name}.count"), SeriesKind::HistogramCount);
+                    let p99_series = store.series(&format!("{name}.p99"), SeriesKind::HistogramP99);
+                    let mut baseline = Box::new([0u64; HISTOGRAM_BUCKETS]);
+                    let (last_count, _, _) = handle.read_raw(&mut baseline);
+                    Tracked::Histogram {
+                        name,
+                        handle,
+                        baseline,
+                        last_count,
+                        count_series,
+                        p99_series,
+                    }
+                }
+            });
+        }
+    }
+
+    /// Number of derived series currently tracked.
+    pub fn tracked_series(&self) -> usize {
+        self.tracked
+            .iter()
+            .map(|t| match t {
+                Tracked::Histogram { .. } => 2,
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// One sample per tracked series, stamped `ts_ns` — the sim-time
+    /// hook (simulators pass simulated nanoseconds). Zero allocations
+    /// unless the registry grew since the last tick.
+    pub fn tick_at(&mut self, ts_ns: u64) {
+        if self.telemetry.instrument_counts() != self.known {
+            self.rescan();
+        }
+        let scratch = &mut self.scratch;
+        for t in self.tracked.iter_mut() {
+            match t {
+                Tracked::Counter {
+                    handle,
+                    last,
+                    series,
+                    ..
+                } => {
+                    let now = handle.get();
+                    series.push(ts_ns, now.wrapping_sub(*last));
+                    *last = now;
+                }
+                Tracked::Gauge { handle, series, .. } => {
+                    series.push(ts_ns, handle.get());
+                }
+                Tracked::Histogram {
+                    handle,
+                    baseline,
+                    last_count,
+                    count_series,
+                    p99_series,
+                    ..
+                } => {
+                    let (count, _, _) = handle.read_raw(scratch);
+                    for (cur, base) in scratch.iter_mut().zip(baseline.iter_mut()) {
+                        let delta = cur.wrapping_sub(*base);
+                        *base = *cur;
+                        *cur = delta;
+                    }
+                    let dcount = count.wrapping_sub(*last_count);
+                    *last_count = count;
+                    count_series.push(ts_ns, dcount);
+                    p99_series.push(ts_ns, p99_from_deltas(scratch, dcount));
+                }
+            }
+        }
+    }
+
+    /// One sample per tracked series, stamped with the registry's wall
+    /// clock (nanoseconds since the registry was created).
+    pub fn tick(&mut self) {
+        let ts = self.telemetry.wall_clock().now_ns();
+        self.tick_at(ts);
+    }
+
+    /// Starts a background thread calling [`Sampler::tick`] every
+    /// `interval` until the returned handle is stopped or dropped.
+    pub fn spawn(telemetry: &Telemetry, interval: Duration) -> std::io::Result<SamplerHandle> {
+        let mut sampler = Sampler::new(telemetry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let interval = interval.max(Duration::from_micros(50));
+        let handle = std::thread::Builder::new()
+            .name("omnireduce-sampler".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    sampler.tick();
+                    std::thread::sleep(interval);
+                }
+                // Final tick so counts accumulated in the last partial
+                // interval are not lost.
+                sampler.tick();
+            })?;
+        Ok(SamplerHandle {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+/// Helper so `rescan` can match old entries by name through `Option`.
+trait AsDerefName {
+    fn as_deref_name(&self) -> Option<&str>;
+}
+
+impl AsDerefName for Option<Tracked> {
+    fn as_deref_name(&self) -> Option<&str> {
+        self.as_ref().map(|t| t.name())
+    }
+}
+
+/// Stops the background sampler thread on [`SamplerHandle::stop`] or
+/// drop (the thread exits within one interval).
+pub struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    /// Signals the thread and joins it (one final tick is taken).
+    pub fn stop(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SamplerHandle {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+impl std::fmt::Debug for SamplerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamplerHandle").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_store_hands_out_noop_handles() {
+        let store = TimeSeriesStore::disabled();
+        assert!(!store.is_enabled());
+        let s = store.series("x", SeriesKind::Gauge);
+        assert!(!s.is_enabled());
+        s.push(1, 2);
+        assert!(store.snapshot().series.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_dropped() {
+        let store = TimeSeriesStore::bounded(4);
+        let s = store.series("x", SeriesKind::CounterDelta);
+        for i in 0..10u64 {
+            s.push(i, i * 100);
+        }
+        let snap = store.snapshot();
+        let x = snap.get("x").unwrap();
+        assert_eq!(x.dropped, 6);
+        assert_eq!(
+            x.samples,
+            vec![(6, 600), (7, 700), (8, 800), (9, 900)],
+            "ring keeps the newest capacity samples, oldest first"
+        );
+    }
+
+    #[test]
+    fn series_are_shared_by_name() {
+        let store = TimeSeriesStore::bounded(8);
+        let a = store.series("x", SeriesKind::Gauge);
+        let b = store.series("x", SeriesKind::Gauge);
+        a.push(1, 10);
+        b.push(2, 20);
+        let snap = store.snapshot();
+        assert_eq!(snap.series.len(), 1);
+        assert_eq!(snap.get("x").unwrap().samples.len(), 2);
+    }
+
+    #[test]
+    fn sampler_derives_deltas_levels_and_windowed_p99() {
+        let t = Telemetry::with_pipeline(0, 0, 64);
+        let c = t.counter("c.pkts");
+        let g = t.gauge("g.depth");
+        let h = t.histogram("h.lat");
+        c.add(5);
+        let mut sampler = Sampler::new(&t);
+
+        c.add(7);
+        g.set(3);
+        h.record(100); // bucket 7 → upper bound 127
+        h.record(1000);
+        sampler.tick_at(10);
+
+        c.add(1);
+        g.set(9);
+        sampler.tick_at(20);
+
+        let snap = t.series().snapshot();
+        assert_eq!(snap.get("c.pkts").unwrap().values(), vec![7, 1]);
+        assert_eq!(snap.get("g.depth").unwrap().values(), vec![3, 9]);
+        assert_eq!(snap.get("h.lat.count").unwrap().values(), vec![2, 0]);
+        let p99 = snap.get("h.lat.p99").unwrap().values();
+        assert_eq!(p99[0], 1023, "p99 of {{100, 1000}} lands in bucket 10");
+        assert_eq!(p99[1], 0, "empty window has no quantile");
+    }
+
+    #[test]
+    fn sampler_tracks_instruments_registered_after_creation() {
+        let t = Telemetry::with_pipeline(0, 0, 64);
+        let mut sampler = Sampler::new(&t);
+        sampler.tick_at(1);
+        let c = t.counter("late.counter");
+        c.add(4);
+        sampler.tick_at(2); // rescan happens here; delta window starts
+        c.add(6);
+        sampler.tick_at(3);
+        let snap = t.series().snapshot();
+        let s = snap.get("late.counter").unwrap();
+        // Tracked from tick 2: one rescan-time sample window then the
+        // +6 delta.
+        assert_eq!(s.samples.len(), 2);
+        assert_eq!(s.values()[1], 6);
+        assert_eq!(snap.ticks(), 2);
+        assert_eq!(snap.global_index(s.samples.len(), 0), 0);
+    }
+
+    #[test]
+    fn p99_estimate_is_the_bucket_upper_bound() {
+        let mut deltas = [0u64; HISTOGRAM_BUCKETS];
+        assert_eq!(p99_from_deltas(&deltas, 0), 0);
+        deltas[3] = 99; // values in [4, 7]
+        deltas[10] = 1; // one value in [512, 1023]
+        assert_eq!(p99_from_deltas(&deltas, 100), 1023);
+        deltas[10] = 0;
+        assert_eq!(p99_from_deltas(&deltas, 99), 7);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip_and_version_gate() {
+        let store = TimeSeriesStore::bounded(4);
+        store.series("a", SeriesKind::CounterDelta).push(5, 50);
+        store.series("b", SeriesKind::HistogramP99).push(5, 99);
+        let snap = store.snapshot();
+        let text = snap.to_json();
+        let parsed = TimeSeriesSnapshot::from_json(&text).expect("round trip");
+        assert_eq!(parsed, snap);
+
+        let stale = text.replacen(
+            &format!("\"version\": {TIMESERIES_SCHEMA_VERSION}"),
+            "\"version\": 999",
+            1,
+        );
+        let err = TimeSeriesSnapshot::from_json(&stale).unwrap_err();
+        assert!(err.message.contains("version mismatch"), "{}", err.message);
+        assert!(TimeSeriesSnapshot::from_json("{\"series\":[]}").is_err());
+    }
+
+    #[test]
+    fn background_sampler_stops_cleanly() {
+        let t = Telemetry::with_pipeline(0, 0, 64);
+        t.counter("bg.pkts").add(1);
+        let handle = Sampler::spawn(&t, Duration::from_millis(1)).expect("spawn");
+        std::thread::sleep(Duration::from_millis(20));
+        handle.stop();
+        let snap = t.series().snapshot();
+        assert!(
+            !snap.get("bg.pkts").unwrap().samples.is_empty(),
+            "background ticks must have sampled"
+        );
+    }
+}

@@ -153,6 +153,26 @@ fi
 step "flight recorder allocation gate" \
   cargo test "${CARGO_FLAGS[@]}" -p omnireduce-telemetry --test flight_alloc -q
 
+# Time-series sampler hot path must not allocate either (§14): the
+# store push and sampler tick run under CountingAllocator, plus the
+# detector fire/no-fire boundary suite embedded in the telemetry crate.
+step "sampler allocation gate" \
+  cargo test "${CARGO_FLAGS[@]}" -p omnireduce-telemetry --test timeseries_alloc -q
+step "detector boundary suite" \
+  cargo test "${CARGO_FLAGS[@]}" -p omnireduce-telemetry --lib -q detect
+
+# Sampler non-perturbation (§14): sampler-on chaos runs must be
+# bit-identical (tensors, stats) to sampler-off runs, with an exact
+# counter-plane replay. Lossy multi-thread runs — same timeout belt.
+if command -v timeout >/dev/null 2>&1; then
+  step "sampler identity suite (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test sampler_identity -q
+else
+  step "sampler identity suite" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test sampler_identity -q
+fi
+
 # End-to-end analyzer: omnistat runs a sharded recovery deployment
 # under packet loss, merges its own recording and gates on the
 # reconstructor producing a non-degenerate latency attribution.
@@ -169,10 +189,28 @@ if [[ "$FAST" -eq 0 ]]; then
   fi
 fi
 
-# Zero-allocation hot-path gate (single-shard, 2-shard and
-# flight-recorder lanes): fails if a steady-state round allocates, if
-# ns/block regresses >2x past the committed baseline, or if the live
-# recorder costs more than 10% over the disabled-lane loop.
+# Telemetry pipeline gate (§14): omnitop's seeded chaos demo. Every
+# online detector must fire exactly on its injected fault window, stay
+# silent on the clean control schedule, and a background-sampled run
+# must be bit-identical to an unsampled one.
+if [[ "$FAST" -eq 0 ]]; then
+  if command -v timeout >/dev/null 2>&1; then
+    step "omnitop detector gate (timeout 300s)" \
+      timeout --signal=KILL 300 \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin omnitop -- --demo --check
+  else
+    step "omnitop detector gate" \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin omnitop -- --demo --check
+  fi
+fi
+
+# Zero-allocation hot-path gate (single-shard, 2-shard,
+# flight-recorder and background-sampler lanes): fails if a
+# steady-state round allocates, if ns/block regresses >2x past the
+# committed baseline, if the live recorder costs more than 10% over the
+# disabled-lane loop, or if a live sampler costs more than 5%.
 if [[ "$FAST" -eq 0 ]]; then
   step "hotpath allocation gate" \
     cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
