@@ -68,7 +68,8 @@ fn bench_codec(c: &mut Criterion) {
     let msg = Message::Block(Packet {
         kind: PacketKind::Data,
         ver: 0,
-        stream: 3,
+        slot: 3,
+        stream: 0,
         wid: 1,
         epoch: 0,
         entries: (0..4)

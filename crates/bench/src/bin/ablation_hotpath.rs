@@ -76,6 +76,7 @@ fn data_packet(wid: usize, block: u32, payload: Vec<f32>) -> Message {
     Message::Block(Packet {
         kind: PacketKind::Data,
         ver: 0,
+        slot: 0,
         stream: 0,
         wid: wid as u16,
         epoch: 0,
@@ -103,7 +104,7 @@ fn legacy_encode(msg: &Message) -> Vec<u8> {
     });
     out.push(p.ver);
     out.push(0);
-    out.extend_from_slice(&p.stream.to_le_bytes());
+    out.extend_from_slice(&p.slot.to_le_bytes());
     out.extend_from_slice(&p.wid.to_le_bytes());
     out.extend_from_slice(&(p.entries.len() as u16).to_le_bytes());
     for e in &p.entries {
@@ -126,7 +127,7 @@ fn legacy_decode(buf: &[u8]) -> Message {
         _ => PacketKind::Nack,
     };
     let ver = buf[2];
-    let stream = u16::from_le_bytes([buf[4], buf[5]]);
+    let slot = u16::from_le_bytes([buf[4], buf[5]]);
     let wid = u16::from_le_bytes([buf[6], buf[7]]);
     let n = u16::from_le_bytes([buf[8], buf[9]]) as usize;
     let mut off = BLOCK_HEADER_BYTES;
@@ -146,7 +147,8 @@ fn legacy_decode(buf: &[u8]) -> Message {
     Message::Block(Packet {
         kind,
         ver,
-        stream,
+        slot,
+        stream: 0,
         wid,
         epoch: 0,
         entries,
@@ -232,6 +234,7 @@ fn pooled_round(
             let msg = Message::Block(Packet {
                 kind: PacketKind::Data,
                 ver: 0,
+                slot: 0,
                 stream: 0,
                 wid: w as u16,
                 epoch: 0,
@@ -270,6 +273,7 @@ fn pooled_round(
         let result = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: 0,
+            slot: 0,
             stream: 0,
             wid: u16::MAX,
             epoch: 0,
@@ -332,7 +336,8 @@ fn sharded_round(payloads: &[Vec<f32>], tensor: &mut [f32], s: &mut ShardedScrat
             let msg = Message::Block(Packet {
                 kind: PacketKind::Data,
                 ver: 0,
-                stream: (b % SHARDS) as u16,
+                slot: (b % SHARDS) as u16,
+                stream: 0,
                 wid: w as u16,
                 epoch: 0,
                 entries,
@@ -352,7 +357,8 @@ fn sharded_round(payloads: &[Vec<f32>], tensor: &mut [f32], s: &mut ShardedScrat
         let result = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: 0,
-            stream: (b % SHARDS) as u16,
+            slot: (b % SHARDS) as u16,
+            stream: 0,
             wid: u16::MAX,
             epoch: 0,
             entries,

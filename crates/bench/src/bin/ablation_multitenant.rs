@@ -1,0 +1,270 @@
+//! Ablation: multi-tenant aggregation service (DESIGN §15).
+//!
+//! One shared 2-shard aggregator fleet serves T concurrent jobs
+//! through the tenant service — stream-tagged demux, weighted-fair
+//! slot scheduling, per-tenant engines. A single latency-bound tenant
+//! leaves the fleet mostly idle; multiplexing independent jobs should
+//! recover that idle capacity as *aggregate* goodput, while per-round
+//! latency stays bounded.
+//!
+//! Artefacts:
+//!
+//! * **Scaling table** — aggregate goodput, mean and p99 round latency
+//!   (grant → round completion, pooled across tenants) for 1/2/4/8
+//!   concurrent tenants.
+//! * **`--check` gate** — (a) aggregate goodput must stay monotone
+//!   within a tolerance as tenant count grows: each step of the 1 → 2
+//!   → 4 → 8 ladder must retain at least [`GOODPUT_TOLERANCE`] of the
+//!   previous count's goodput (strict growth is a host-core-count
+//!   property; a fairness or demux regression shows up as a *collapse*,
+//!   which this does catch);
+//!   (b) the 8-tenant pooled p99 round latency must stay within
+//!   [`P99_REGRESSION_FACTOR`]x the committed baseline
+//!   `results/ablation_multitenant.baseline.json` (written on first
+//!   run, floored at [`BASELINE_FLOOR_MS`] so a lucky fast run cannot
+//!   commit an unmeetable ceiling; regenerate by deleting the file).
+
+use std::time::Instant;
+
+use omnireduce_bench::Table;
+use omnireduce_core::config::OmniConfig;
+use omnireduce_core::tenant::{JobRegistry, TenantService, TenantSpec};
+use omnireduce_telemetry::json::JsonValue;
+use omnireduce_tensor::gen::{self, OverlapMode};
+use omnireduce_tensor::{BlockSpec, Tensor};
+
+const SHARDS: usize = 2;
+const TENANT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const ELEMENTS: usize = 32_768;
+const BLOCK: usize = 256;
+const ROUNDS: usize = 64;
+/// Half the blocks non-zero: sparse enough to exercise the min-next
+/// exchange, dense enough that rounds move real payload.
+const SPARSITY: f64 = 0.5;
+
+const BASELINE_PATH: &str = "results/ablation_multitenant.baseline.json";
+/// Doubling the tenant count must retain at least this fraction of the
+/// previous aggregate goodput. Generous because single-core CI hosts
+/// see heavy scheduler jitter; a real multiplexing regression (serialized
+/// tenants, demux head-of-line blocking) loses far more than half.
+const GOODPUT_TOLERANCE: f64 = 0.5;
+/// `--check` fails when the 8-tenant pooled p99 round latency exceeds
+/// the committed baseline by this factor.
+const P99_REGRESSION_FACTOR: f64 = 4.0;
+/// Floor for the recorded baseline (ms): round latency over in-process
+/// channels is scheduler-noise-dominated, so a lucky run must not
+/// commit a ceiling the next host cannot meet.
+const BASELINE_FLOOR_MS: f64 = 2.0;
+
+fn tenant_config() -> OmniConfig {
+    OmniConfig::new(1, ELEMENTS)
+        .with_block_size(BLOCK)
+        .with_fusion(4)
+        .with_streams(8)
+        .with_aggregators(SHARDS)
+}
+
+fn tenant_inputs(seed: u64) -> Vec<Vec<Tensor>> {
+    let mut rounds = Vec::with_capacity(ROUNDS);
+    for r in 0..ROUNDS {
+        let mut ts = gen::workers(
+            1,
+            ELEMENTS,
+            BlockSpec::new(BLOCK),
+            SPARSITY,
+            1.0,
+            OverlapMode::Random,
+            seed.wrapping_add(r as u64),
+        );
+        rounds.push(ts.pop().unwrap());
+    }
+    vec![rounds]
+}
+
+struct Point {
+    tenants: usize,
+    goodput_gbps: f64,
+    mean_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile_ms(mut nanos: Vec<u64>, p: f64) -> f64 {
+    assert!(!nanos.is_empty());
+    nanos.sort_unstable();
+    let ix = ((nanos.len() as f64 * p).ceil() as usize).clamp(1, nanos.len()) - 1;
+    nanos[ix] as f64 / 1e6
+}
+
+/// Runs `tenants` concurrent single-worker lossless jobs over one
+/// shared fleet and reports aggregate goodput (total worker tx bytes
+/// over wall time) plus pooled round-latency stats (slot grant →
+/// round completion, scheduler wait included).
+fn measure(tenants: usize) -> Point {
+    let mut svc = TenantService::with_registry(
+        SHARDS,
+        1024, // ample pool: this ablation isolates multiplexing, not quota pressure
+        JobRegistry::with_limits(tenants.max(1), vec![]),
+    );
+    let handles: Vec<_> = (0..tenants)
+        .map(|_| {
+            svc.admit(TenantSpec::lossless(tenant_config()))
+                .expect("admission under cap")
+        })
+        .collect();
+    let inputs: Vec<_> = (0..tenants)
+        .map(|t| tenant_inputs(0xA110 + 131 * t as u64))
+        .collect();
+
+    let t0 = Instant::now();
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let joins: Vec<_> = handles
+            .into_iter()
+            .zip(inputs)
+            .map(|(h, ins)| scope.spawn(move || h.run_lossless(ins)))
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("tenant run panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    svc.shutdown();
+
+    let bytes: u64 = results
+        .iter()
+        .flat_map(|r| r.stats.iter().map(|s| s.bytes_sent))
+        .sum();
+    let nanos: Vec<u64> = results
+        .iter()
+        .flat_map(|r| r.round_nanos.iter().copied())
+        .collect();
+    let mean_ms = nanos.iter().sum::<u64>() as f64 / nanos.len() as f64 / 1e6;
+    Point {
+        tenants,
+        goodput_gbps: bytes as f64 * 8.0 / wall.as_secs_f64() / 1e9,
+        mean_ms,
+        p99_ms: percentile_ms(nanos, 0.99),
+    }
+}
+
+fn read_baseline() -> Option<f64> {
+    let text = std::fs::read_to_string(BASELINE_PATH).ok()?;
+    let v = match omnireduce_bench::parse_versioned(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("CHECK FAIL: {BASELINE_PATH}: {e}");
+            std::process::exit(1);
+        }
+    };
+    v.get("p99_round_ms")?.as_f64()
+}
+
+fn write_baseline(p99_ms: f64) {
+    if std::fs::create_dir_all("results").is_err() {
+        return;
+    }
+    let mut obj = JsonValue::obj();
+    obj.push(
+        "version",
+        JsonValue::Uint(omnireduce_bench::RESULTS_SCHEMA_VERSION),
+    );
+    obj.push("p99_round_ms", JsonValue::Float(p99_ms));
+    obj.push(
+        "note",
+        JsonValue::Str(
+            "committed 8-tenant p99 round-latency ceiling for `ablation_multitenant --check` \
+             (measured pooled p99, floored at 2 ms); regenerate by deleting this file and \
+             re-running the bench"
+                .to_string(),
+        ),
+    );
+    if let Ok(mut f) = std::fs::File::create(BASELINE_PATH) {
+        use std::io::Write;
+        let _ = f.write_all(obj.to_string_pretty().as_bytes());
+    }
+}
+
+fn check() {
+    let points: Vec<Point> = TENANT_COUNTS.iter().map(|&t| measure(t)).collect();
+    let octo = points.last().unwrap();
+
+    // (a) Aggregate goodput monotonicity vs tenant count, within
+    // tolerance: doubling the tenant population must never collapse the
+    // fleet's aggregate goodput. Strict growth is a host-core-count
+    // property, so the gate is tolerance-monotone instead.
+    for pair in points.windows(2) {
+        let floor = pair[0].goodput_gbps * GOODPUT_TOLERANCE;
+        assert!(
+            pair[1].goodput_gbps >= floor,
+            "aggregate goodput collapsed going from {} to {} tenants: \
+             {:.3} Gbps -> {:.3} Gbps (floor {:.3})",
+            pair[0].tenants,
+            pair[1].tenants,
+            pair[0].goodput_gbps,
+            pair[1].goodput_gbps,
+            floor,
+        );
+    }
+
+    // (b) p99 round latency at 8 tenants vs the committed ceiling.
+    let ladder = points
+        .iter()
+        .map(|p| format!("{:.3}", p.goodput_gbps))
+        .collect::<Vec<_>>()
+        .join(" -> ");
+    let committed = octo.p99_ms.max(BASELINE_FLOOR_MS);
+    match read_baseline() {
+        Some(base) => {
+            let limit = base * P99_REGRESSION_FACTOR;
+            assert!(
+                octo.p99_ms <= limit,
+                "{}-tenant p99 round latency {:.2} ms exceeds {P99_REGRESSION_FACTOR}x \
+                 baseline ({base:.2} ms)",
+                octo.tenants,
+                octo.p99_ms,
+            );
+            println!(
+                "ablation_multitenant --check OK: goodput {ladder} Gbps across 1/2/4/8 \
+                 tenants; {}-tenant p99 {:.2} ms within {P99_REGRESSION_FACTOR}x of \
+                 baseline {base:.2} ms",
+                octo.tenants, octo.p99_ms,
+            );
+        }
+        None => {
+            println!("check: no baseline at {BASELINE_PATH}; writing {committed:.2} ms");
+            write_baseline(committed);
+            println!(
+                "ablation_multitenant --check OK (baseline recorded): goodput {ladder} Gbps; \
+                 {}-tenant p99 {:.2} ms",
+                octo.tenants, octo.p99_ms,
+            );
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check();
+        return;
+    }
+
+    let mut table = Table::new(
+        "Ablation: multi-tenant service, 2 shards, 128 KB/round/tenant, 64 rounds",
+        &[
+            "tenants",
+            "aggregate goodput [Gbps]",
+            "mean round [ms]",
+            "p99 round [ms]",
+        ],
+    );
+    for t in TENANT_COUNTS {
+        let p = measure(t);
+        table.row(vec![
+            p.tenants.to_string(),
+            format!("{:.3}", p.goodput_gbps),
+            format!("{:.3}", p.mean_ms),
+            format!("{:.3}", p.p99_ms),
+        ]);
+    }
+    table.emit("ablation_multitenant");
+}

@@ -66,6 +66,7 @@ fn send_dense_slice<T: Transport>(
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
+            slot: 0,
             stream: 0,
             wid,
             epoch: 0,
@@ -156,6 +157,7 @@ pub fn dense_server<T: Transport>(
                 let msg = Message::Block(Packet {
                     kind: PacketKind::Result,
                     ver: 0,
+                    slot: 0,
                     stream: 0,
                     wid: u16::MAX,
                     epoch: 0,

@@ -36,7 +36,8 @@ fn send_dense<T: Transport>(
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
-            stream: round,
+            slot: round,
+            stream: 0,
             wid: 0,
             epoch: 0,
             entries: vec![Entry::data(
@@ -79,12 +80,12 @@ impl DenseReorderBuf {
             let e = &p.entries[0];
             let buf = self
                 .partial
-                .entry(p.stream)
+                .entry(p.slot)
                 .or_insert_with(|| Tensor::zeros(len));
             buf.copy_slice_at(e.block as usize, &e.data);
             if e.next == 0 {
-                let done = self.partial.remove(&p.stream).expect("present");
-                self.ready.insert(p.stream, done);
+                let done = self.partial.remove(&p.slot).expect("present");
+                self.ready.insert(p.slot, done);
             }
         }
     }

@@ -42,7 +42,8 @@ fn send_segment<T: Transport>(
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
-            stream: step as u16,
+            slot: step as u16,
+            stream: 0,
             wid: seg as u16,
             epoch: 0,
             entries: vec![Entry::data(
@@ -73,7 +74,7 @@ fn recv_segment<T: Transport>(t: &T) -> Result<(usize, usize, Vec<f32>), Transpo
         debug_assert_eq!(entry.block as usize, out.len(), "chunk out of order");
         out.extend_from_slice(&entry.data);
         if entry.next == 0 {
-            return Ok((p.stream as usize, p.wid as usize, out));
+            return Ok((p.slot as usize, p.wid as usize, out));
         }
     }
 }

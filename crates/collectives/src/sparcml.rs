@@ -151,7 +151,8 @@ pub fn allreduce<T: Transport>(
             Partition::Dense { start, values } => Message::Block(Packet {
                 kind: PacketKind::Result,
                 ver: 0,
-                stream: origin as u16,
+                slot: origin as u16,
+                stream: 0,
                 wid: origin as u16,
                 epoch: 0,
                 entries: values

@@ -261,7 +261,7 @@ impl<T: Transport> OmniAggregator<T> {
     }
 
     fn handle_data(&mut self, p: Packet) -> Result<(), TransportError> {
-        let g = p.stream as usize;
+        let g = p.slot as usize;
         let width = self.layout.width();
         let blocks = p.entries.iter().filter(|e| !e.data.is_empty()).count() as u64;
         self.stats.packets += 1;
@@ -358,7 +358,8 @@ impl<T: Transport> OmniAggregator<T> {
         let msg = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: 0,
-            stream: g as u16,
+            slot: g as u16,
+            stream: self.cfg.stream_id,
             wid: u16::MAX,
             epoch: 0,
             entries,

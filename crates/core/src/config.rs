@@ -107,6 +107,12 @@ pub struct OmniConfig {
     /// replication lane; workers that exhaust their retry budget against
     /// the primary re-target the standby instead of failing.
     pub hot_standby: bool,
+    /// Tenant stream id stamped on every block frame this job emits
+    /// (DESIGN §15). `0` — the default — is the single-job legacy
+    /// stream and keeps the pre-tenancy wire layout byte for byte;
+    /// nonzero ids select the 12-byte tagged block header so a shared
+    /// aggregator fleet can demultiplex concurrent jobs.
+    pub stream_id: u16,
 }
 
 impl OmniConfig {
@@ -131,7 +137,15 @@ impl OmniConfig {
             worker_eviction_timeout: Duration::from_secs(2),
             degraded_mode: DegradedMode::Abort,
             hot_standby: false,
+            stream_id: 0,
         }
+    }
+
+    /// Sets the tenant stream id stamped on block frames (0 = legacy
+    /// single-job layout).
+    pub fn with_stream_id(mut self, id: u16) -> Self {
+        self.stream_id = id;
+        self
     }
 
     /// Sets a *fixed* retransmission timeout (disables adaptive RTO) —
@@ -358,10 +372,12 @@ mod tests {
             .with_block_size(64)
             .with_fusion(8)
             .with_streams(4)
+            .with_stream_id(9)
             .dense_streaming();
         assert_eq!(c.block_size, 64);
         assert_eq!(c.fusion, 8);
         assert_eq!(c.streams_per_shard, 4);
+        assert_eq!(c.stream_id, 9);
         assert!(!c.skip_zero_blocks);
     }
 }

@@ -27,6 +27,10 @@
 //!   the GPU→host copy with transmission on the non-GDR path.
 //! * [`collective`] — AllGather and Broadcast expressed on the same
 //!   machinery (§7, "Generalized collective operations").
+//! * [`tenant`] — a long-running multi-tenant aggregation service:
+//!   stream-tagged frames demultiplex many concurrent jobs over one
+//!   shard fleet, with capacity-based admission, weighted-fair slot
+//!   scheduling and per-tenant telemetry/quota isolation.
 
 pub mod aggregator;
 pub mod collective;
@@ -44,6 +48,7 @@ pub mod sim_recovery;
 pub mod slot;
 pub mod staging;
 pub mod switch;
+pub mod tenant;
 pub mod testing;
 pub mod wire;
 pub mod worker;
@@ -56,4 +61,8 @@ pub use layout::StreamLayout;
 pub use recovery::{RecoveryAggregator, RecoveryAggregatorStats, RecoveryStats, RecoveryWorker};
 pub use shard::{ShardJoin, ShardMap, ShardedAllReduce, ShardedWorker};
 pub use slot::ColAccumulator;
+pub use tenant::{
+    AdmissionError, JobRegistry, SlotScheduler, TenantEngine, TenantHandle, TenantService,
+    TenantSpec, WfqState,
+};
 pub use worker::{OmniWorker, WorkerStats};

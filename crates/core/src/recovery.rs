@@ -400,7 +400,7 @@ impl<T: Transport> RecoveryWorker<T> {
             let timeout = timers.until_next(now).unwrap_or(Duration::from_secs(3600));
             match self.transport.recv_timeout(timeout)? {
                 Some((_, Message::Block(p))) if p.kind == PacketKind::Result => {
-                    let g = p.stream as usize;
+                    let g = p.slot as usize;
                     let shard = self.cfg.shard_of_stream(g);
                     // Any result reveals the group's current epoch;
                     // adopt it before the staleness checks so even a
@@ -520,7 +520,7 @@ impl<T: Transport> RecoveryWorker<T> {
                     // Solicited retransmission: the shard is alive but
                     // missing our contribution to this phase — resend
                     // immediately instead of waiting for our timer.
-                    let g = p.stream as usize;
+                    let g = p.slot as usize;
                     let Some(state) = streams[g].as_mut() else {
                         continue; // finished stream: stale NACK
                     };
@@ -746,7 +746,8 @@ impl<T: Transport> RecoveryWorker<T> {
         Message::Block(Packet {
             kind: PacketKind::Data,
             ver: self.ver[stream],
-            stream: stream as u16,
+            slot: stream as u16,
+            stream: self.cfg.stream_id,
             wid: self.wid,
             epoch: self.epoch,
             entries,
@@ -1391,7 +1392,7 @@ impl<T: Transport> RecoveryAggregator<T> {
         );
         self.replicate(CheckpointDelta {
             epoch: self.epoch,
-            stream: MEMBERSHIP_ONLY,
+            slot: MEMBERSHIP_ONLY,
             ver: 0,
             members: vec![wid],
             evicted: self.evicted_wids(),
@@ -1448,7 +1449,7 @@ impl<T: Transport> RecoveryAggregator<T> {
                 }
             }
         }
-        if delta.stream == MEMBERSHIP_ONLY {
+        if delta.slot == MEMBERSHIP_ONLY {
             let now = Instant::now();
             for &wid in &delta.members {
                 let w = wid as usize;
@@ -1477,7 +1478,7 @@ impl<T: Transport> RecoveryAggregator<T> {
         // outstanding packet on failover, and the phase re-aggregates
         // from scratch — bit-identical under §7 worker-id-order
         // reduction.
-        let g = delta.stream as usize;
+        let g = delta.slot as usize;
         let v = (delta.ver & 1) as usize;
         let epoch = self.epoch;
         if g >= self.slots.len() {
@@ -1501,7 +1502,8 @@ impl<T: Transport> RecoveryAggregator<T> {
         slot.result[v] = Some(Message::Block(Packet {
             kind: PacketKind::Result,
             ver: v as u8,
-            stream: delta.stream,
+            slot: delta.slot,
+            stream: self.cfg.stream_id,
             wid: u16::MAX,
             epoch,
             entries: delta.entries,
@@ -1568,7 +1570,7 @@ impl<T: Transport> RecoveryAggregator<T> {
             );
             self.replicate(CheckpointDelta {
                 epoch: self.epoch,
-                stream: MEMBERSHIP_ONLY,
+                slot: MEMBERSHIP_ONLY,
                 ver: 0,
                 members: Vec::new(),
                 evicted: self.evicted_wids(),
@@ -1596,7 +1598,7 @@ impl<T: Transport> RecoveryAggregator<T> {
     }
 
     fn handle_data(&mut self, p: Packet) -> Result<(), TransportError> {
-        let g = p.stream as usize;
+        let g = p.slot as usize;
         let v = (p.ver & 1) as usize;
         let wid = p.wid as usize;
         let width = self.layout.width();
@@ -1689,7 +1691,8 @@ impl<T: Transport> RecoveryAggregator<T> {
                 let nack = Message::Block(Packet {
                     kind: PacketKind::Nack,
                     ver: v as u8,
-                    stream: g as u16,
+                    slot: g as u16,
+                    stream: self.cfg.stream_id,
                     wid: u16::MAX,
                     epoch: self.epoch,
                     entries: Vec::new(),
@@ -1868,7 +1871,7 @@ impl<T: Transport> RecoveryAggregator<T> {
         if self.cfg.hot_standby && !self.standby {
             self.replicate(CheckpointDelta {
                 epoch: self.epoch,
-                stream: g as u16,
+                slot: g as u16,
                 ver: v as u8,
                 members,
                 evicted: self.evicted_wids(),
@@ -1878,7 +1881,8 @@ impl<T: Transport> RecoveryAggregator<T> {
         let result = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: v as u8,
-            stream: g as u16,
+            slot: g as u16,
+            stream: self.cfg.stream_id,
             wid: u16::MAX,
             epoch: self.epoch,
             entries,

@@ -400,7 +400,7 @@ impl<T: Transport> ShardedWorker<T> {
                 self.wid,
                 packet.entries.len() as u64,
             );
-            let g = packet.stream as usize;
+            let g = packet.slot as usize;
             debug_assert_eq!(
                 self.map.shard_of_stream(g),
                 shard,
@@ -475,7 +475,8 @@ impl<T: Transport> ShardedWorker<T> {
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
-            stream: stream as u16,
+            slot: stream as u16,
+            stream: self.cfg.stream_id,
             wid: self.wid,
             epoch: 0,
             entries,
@@ -677,13 +678,28 @@ impl ShardedAllReduce {
                             None => ShardedWorker::new(lanes, cfg),
                         };
                         let mut outs = Vec::with_capacity(tensors.len());
+                        let mut failure = None;
                         for mut tensor in tensors {
-                            worker.allreduce(&mut tensor).expect("allreduce failed");
-                            outs.push(tensor);
+                            match worker.allreduce(&mut tensor) {
+                                Ok(()) => outs.push(tensor),
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
                         }
                         let stats = worker.stats();
                         let shard_bytes = worker.shard_bytes();
-                        worker.shutdown().expect("shutdown failed");
+                        // Goodbyes go out even after a failed round: an
+                        // aborting worker must not keep the *surviving*
+                        // shards (or, through the tenant service,
+                        // another tenant's lanes) waiting forever for a
+                        // wind-down that would never come.
+                        let shutdown = worker.shutdown();
+                        if let Some(e) = failure {
+                            panic!("allreduce failed: {e:?}");
+                        }
+                        shutdown.expect("shutdown failed");
                         (outs, stats, shard_bytes)
                     })
                     .expect("failed to spawn worker thread"),
@@ -750,13 +766,25 @@ impl ShardedAllReduce {
                     .spawn(move || {
                         let mut worker = RecoveryWorker::new(bond, cfg);
                         let mut outs = Vec::with_capacity(tensors.len());
+                        let mut failure = None;
                         for mut tensor in tensors {
-                            worker.allreduce(&mut tensor).expect("allreduce failed");
-                            outs.push(tensor);
+                            match worker.allreduce(&mut tensor) {
+                                Ok(()) => outs.push(tensor),
+                                Err(e) => {
+                                    failure = Some(e);
+                                    break;
+                                }
+                            }
                         }
                         let stats = worker.stats();
                         let shard_bytes = worker.shard_bytes().to_vec();
-                        worker.shutdown().expect("shutdown failed");
+                        // Same wind-down discipline as the lossless
+                        // harness: goodbyes before the panic.
+                        let shutdown = worker.shutdown();
+                        if let Some(e) = failure {
+                            panic!("allreduce failed: {e:?}");
+                        }
+                        shutdown.expect("shutdown failed");
                         (outs, stats, shard_bytes)
                     })
                     .expect("failed to spawn worker thread"),

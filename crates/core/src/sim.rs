@@ -28,7 +28,7 @@ use omnireduce_simnet::{
 };
 use omnireduce_telemetry::{Counter, FlightEventKind, FlightLane, LaneRole, Telemetry, NO_BLOCK};
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
-use omnireduce_transport::codec::{BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
+use omnireduce_transport::codec::ENTRY_HEADER_BYTES;
 
 use crate::config::OmniConfig;
 use crate::layout::StreamLayout;
@@ -67,8 +67,8 @@ pub enum SimMsg {
     },
 }
 
-fn msg_bytes(entries: &[SimEntry]) -> usize {
-    BLOCK_HEADER_BYTES
+fn msg_bytes(stream_id: u16, entries: &[SimEntry]) -> usize {
+    omnireduce_transport::codec::block_header_bytes(stream_id)
         + entries
             .iter()
             .map(|e| ENTRY_HEADER_BYTES + 4 * e.values)
@@ -226,7 +226,7 @@ struct WorkerActor {
 
 impl WorkerActor {
     fn send_data(&self, ctx: &mut Ctx<SimMsg>, stream: usize, entries: Vec<SimEntry>) {
-        let bytes = msg_bytes(&entries);
+        let bytes = msg_bytes(self.cfg.stream_id, &entries);
         let shard_no = self.cfg.shard_of_stream(stream);
         let shard = self.shards[shard_no];
         self.counters.packets_sent.inc();
@@ -508,7 +508,7 @@ impl Process<SimMsg> for AggActor {
                 all_done = false;
             }
         }
-        let bytes = msg_bytes(&result);
+        let bytes = msg_bytes(self.cfg.stream_id, &result);
         self.counters.slots_completed.inc();
         if let Some(first) = result.first() {
             self.flight.record_at(

@@ -24,7 +24,7 @@ use omnireduce_telemetry::{
     Counter, FlightEventKind, FlightLane, Histogram, LaneRole, Telemetry, NO_BLOCK,
 };
 use omnireduce_tensor::{BlockIdx, NonZeroBitmap, INFINITY_BLOCK};
-use omnireduce_transport::codec::{BLOCK_HEADER_BYTES, ENTRY_HEADER_BYTES};
+use omnireduce_transport::codec::ENTRY_HEADER_BYTES;
 use omnireduce_transport::timer::RttEstimator;
 
 use crate::config::OmniConfig;
@@ -150,8 +150,8 @@ pub enum RecMsg {
     },
 }
 
-fn msg_bytes(entries: &[SimEntry]) -> usize {
-    BLOCK_HEADER_BYTES
+fn msg_bytes(stream_id: u16, entries: &[SimEntry]) -> usize {
+    omnireduce_transport::codec::block_header_bytes(stream_id)
         + entries
             .iter()
             .map(|e| ENTRY_HEADER_BYTES + 4 * e.values)
@@ -278,7 +278,7 @@ impl RecWorker {
     }
 
     fn send(&mut self, ctx: &mut Ctx<RecMsg>, g: usize, entries: Vec<SimEntry>) {
-        let bytes = msg_bytes(&entries);
+        let bytes = msg_bytes(self.cfg.stream_id, &entries);
         let shard_idx = self.cfg.shard_of_stream(g);
         let shard = self.shards[shard_idx];
         let now = ctx.now();
@@ -568,7 +568,7 @@ impl Process<RecMsg> for RecWorker {
                 first.block as u64,
                 shard_idx as u16,
                 self.wid as u16,
-                msg_bytes(&entries) as u64,
+                msg_bytes(self.cfg.stream_id, &entries) as u64,
             );
         }
         ctx.send(
@@ -580,7 +580,7 @@ impl Process<RecMsg> for RecWorker {
                 epoch: self.epoch,
                 entries: entries.clone(),
             },
-            msg_bytes(&entries),
+            msg_bytes(self.cfg.stream_id, &entries),
         );
         state.timer_epoch += 1;
         let epoch = state.timer_epoch;
@@ -692,7 +692,7 @@ impl RecAgg {
                 slot.seen[v][w] = false;
             }
         }
-        let bytes = msg_bytes(&result);
+        let bytes = msg_bytes(self.cfg.stream_id, &result);
         if let Some(first) = result.first() {
             self.flight.record_at(
                 ctx.now().as_nanos(),
@@ -805,7 +805,7 @@ impl Process<RecMsg> for RecAgg {
             if slot.count[v] == 0 {
                 if let Some(result) = slot.result[v].clone() {
                     self.counters.result_retransmissions.inc();
-                    let bytes = msg_bytes(&result);
+                    let bytes = msg_bytes(self.cfg.stream_id, &result);
                     ctx.send(
                         self.workers[wid],
                         RecMsg::Result {

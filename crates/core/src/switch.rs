@@ -302,7 +302,7 @@ impl<T: Transport> SwitchAggregator<T> {
     }
 
     fn handle(&mut self, p: Packet) -> Result<(), TransportError> {
-        let g = p.stream as usize;
+        let g = p.slot as usize;
         let width = self.layout.width();
         self.stats.packets += 1;
         self.counters.packets.inc();
@@ -377,7 +377,8 @@ impl<T: Transport> SwitchAggregator<T> {
         let msg = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: 0,
-            stream: g as u16,
+            slot: g as u16,
+            stream: self.cfg.stream_id,
             wid: u16::MAX,
             epoch: 0,
             entries,

@@ -246,7 +246,7 @@ impl<T: Transport> OmniWorker<T> {
             };
             self.stats.results_received += 1;
             self.counters.results_received.inc();
-            let g = packet.stream as usize;
+            let g = packet.slot as usize;
             self.flight.record(
                 FlightEventKind::ResultRx,
                 round,
@@ -311,7 +311,8 @@ impl<T: Transport> OmniWorker<T> {
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
-            stream: stream as u16,
+            slot: stream as u16,
+            stream: self.cfg.stream_id,
             wid: self.wid,
             epoch: 0,
             entries,

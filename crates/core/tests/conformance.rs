@@ -376,6 +376,7 @@ fn steady_state_block_cycle_allocates_nothing() {
                 let msg = Message::Block(Packet {
                     kind: PacketKind::Data,
                     ver: 0,
+                    slot: 0,
                     stream: 0,
                     wid: w as u16,
                     epoch: 0,

@@ -37,6 +37,7 @@ fn data_packet(wid: u16, ver: u8, epoch: u8, vals: &[f32]) -> Message {
         kind: PacketKind::Data,
         ver,
         epoch,
+        slot: 0,
         stream: 0,
         wid,
         entries: vec![Entry::data(0, 0, vals.to_vec())],

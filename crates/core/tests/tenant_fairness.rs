@@ -1,0 +1,287 @@
+//! Fairness battery for the multi-tenant slot scheduler ([`WfqState`]).
+//!
+//! These are pure property tests over the deterministic WFQ core — no
+//! threads, no clocks, every run reproducible from the proptest seed:
+//!
+//! * **Weighted shares.** Continuously backlogged tenants receive slot
+//!   shares converging to their configured weights, for every seeded
+//!   arrival order.
+//! * **Bounded wait.** No tenant starves: the number of foreign grants
+//!   between two of a tenant's grants is bounded by a closed-form
+//!   function of the weight and request-size spread.
+//! * **Capacity safety.** Under adversarial enqueue/complete schedules
+//!   the scheduler never over-commits the pool, never grants a ticket
+//!   twice, and never loses a request.
+//! * **Quota debt.** An over-quota tenant is demoted in virtual time —
+//!   it receives measurably fewer grants than an identical clean tenant
+//!   and every over-quota round is counted as a throttle.
+//! * **Replay.** The same seed reproduces the identical grant sequence.
+
+use omnireduce_core::tenant::{Grant, WfqState};
+use proptest::prelude::*;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shuffle<T>(v: &mut [T], seed: u64) {
+    let mut s = seed;
+    for i in (1..v.len()).rev() {
+        let j = (splitmix64(&mut s) % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// One backlogged-tenant profile: request size and weight.
+#[derive(Debug, Clone, Copy)]
+struct Profile {
+    slots: u64,
+    weight: u64,
+}
+
+fn profiles() -> impl Strategy<Value = Vec<Profile>> {
+    prop::collection::vec(
+        (1u64..3, 1u64..7).prop_map(|(slots, weight)| Profile { slots, weight }),
+        2..6,
+    )
+}
+
+/// Drives `iters` grant cycles with every tenant continuously
+/// backlogged (each grant is completed and re-enqueued immediately),
+/// starting from a seeded arrival order. Returns per-tenant granted
+/// slots and the maximum number of *foreign* grants observed between
+/// two consecutive grants of each tenant.
+fn run_backlogged(
+    profiles: &[Profile],
+    seed: u64,
+    iters: usize,
+) -> (Vec<u64>, Vec<u64>, Vec<Grant>) {
+    let capacity = profiles.iter().map(|p| p.slots).max().unwrap();
+    let mut q = WfqState::new(capacity);
+    let mut order: Vec<usize> = (0..profiles.len()).collect();
+    shuffle(&mut order, seed);
+    for &t in &order {
+        q.register(t as u16 + 1, profiles[t].weight, None);
+    }
+    for &t in &order {
+        q.enqueue(t as u16 + 1, profiles[t].slots);
+    }
+
+    let mut slots_granted = vec![0u64; profiles.len()];
+    let mut max_gap = vec![0u64; profiles.len()];
+    let mut since_last = vec![0u64; profiles.len()];
+    let mut trace = Vec::new();
+    for _ in 0..iters {
+        let grants = q.pump();
+        assert!(!grants.is_empty(), "backlogged pool must always progress");
+        for g in grants {
+            let t = (g.stream - 1) as usize;
+            slots_granted[t] += g.slots;
+            for (other, gap) in since_last.iter_mut().enumerate() {
+                if other == t {
+                    max_gap[t] = max_gap[t].max(*gap);
+                    *gap = 0;
+                } else {
+                    *gap += 1;
+                }
+            }
+            trace.push(g);
+            q.complete(g.stream, g.slots, 0);
+            q.enqueue(g.stream, profiles[t].slots);
+        }
+    }
+    (slots_granted, max_gap, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Backlogged tenants receive slot shares proportional to their
+    /// weights, within 25% relative tolerance, regardless of the
+    /// seeded arrival order.
+    #[test]
+    fn prop_slot_shares_converge_to_weights(
+        profiles in profiles(),
+        seed in any::<u64>(),
+    ) {
+        let iters = 1500;
+        let (granted, _, _) = run_backlogged(&profiles, seed, iters);
+        let total_slots: u64 = granted.iter().sum();
+        let total_weight: u64 = profiles.iter().map(|p| p.weight).sum();
+        for (t, p) in profiles.iter().enumerate() {
+            let share = granted[t] as f64 / total_slots as f64;
+            let want = p.weight as f64 / total_weight as f64;
+            let rel = (share - want).abs() / want;
+            prop_assert!(
+                rel < 0.25,
+                "tenant {t} (w={}, s={}): share {share:.4}, want {want:.4} \
+                 (rel err {rel:.3}) over {total_slots} slots",
+                p.weight,
+                p.slots
+            );
+        }
+    }
+
+    /// No starvation: between two consecutive grants of tenant `i`,
+    /// every other tenant `j` can be served at most `c_i/c_j + 2`
+    /// times, where `c_t = slots_t / weight_t` is the tenant's virtual
+    /// cost per request — so the foreign-grant gap is bounded by the
+    /// closed-form sum, for every arrival order.
+    #[test]
+    fn prop_wait_between_grants_is_bounded(
+        profiles in profiles(),
+        seed in any::<u64>(),
+    ) {
+        let (_, max_gap, _) = run_backlogged(&profiles, seed, 1000);
+        for (i, pi) in profiles.iter().enumerate() {
+            let ci = pi.slots as f64 / pi.weight as f64;
+            let bound: f64 = profiles
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, pj)| ci / (pj.slots as f64 / pj.weight as f64) + 2.0)
+                .sum();
+            prop_assert!(
+                (max_gap[i] as f64) <= bound.ceil(),
+                "tenant {i}: {} foreign grants between its own (bound {})",
+                max_gap[i],
+                bound.ceil()
+            );
+        }
+    }
+
+    /// The same profiles and seed reproduce the identical grant
+    /// sequence — the scheduler is a pure function of its inputs.
+    #[test]
+    fn prop_grant_sequence_replays_exactly(
+        profiles in profiles(),
+        seed in any::<u64>(),
+    ) {
+        let (_, _, a) = run_backlogged(&profiles, seed, 200);
+        let (_, _, b) = run_backlogged(&profiles, seed, 200);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Adversarial enqueue/complete schedules: in-flight slots never
+    /// exceed the pool, grants balance completions, no ticket is
+    /// granted twice, and every request is granted once all slots are
+    /// eventually returned.
+    #[test]
+    fn prop_pool_is_never_overcommitted(
+        tenants in 2usize..5,
+        capacity in 2u64..8,
+        ops in prop::collection::vec((0u8..4, any::<u64>()), 20..120),
+        seed in any::<u64>(),
+    ) {
+        let mut q = WfqState::new(capacity);
+        for t in 0..tenants {
+            q.register(t as u16 + 1, 1 + (t as u64 % 3), None);
+        }
+        let mut rng = seed;
+        let mut outstanding: Vec<Grant> = Vec::new();
+        let mut enqueued = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        let mut granted_total = 0u64;
+
+        let mut absorb = |grants: Vec<Grant>,
+                          outstanding: &mut Vec<Grant>,
+                          q: &WfqState| {
+            for g in grants {
+                assert!(seen.insert(g.ticket), "ticket {} granted twice", g.ticket);
+                granted_total += 1;
+                outstanding.push(g);
+            }
+            let in_flight: u64 = outstanding.iter().map(|g| g.slots).sum();
+            assert_eq!(in_flight, capacity - q.free(), "slot accounting drift");
+        };
+
+        for (op, arg) in ops {
+            match op {
+                // Enqueue a random fitting request for a random tenant.
+                0 | 1 => {
+                    let t = (arg % tenants as u64) as u16 + 1;
+                    let slots = 1 + arg % capacity.min(2);
+                    q.enqueue(t, slots);
+                    enqueued += 1;
+                    absorb(q.pump(), &mut outstanding, &q);
+                }
+                // Complete a random outstanding grant.
+                2 => {
+                    if !outstanding.is_empty() {
+                        let i = (splitmix64(&mut rng) % outstanding.len() as u64) as usize;
+                        let g = outstanding.swap_remove(i);
+                        q.complete(g.stream, g.slots, 0);
+                        absorb(q.pump(), &mut outstanding, &q);
+                    }
+                }
+                // Idle pump: must be a no-op for accounting.
+                _ => absorb(q.pump(), &mut outstanding, &q),
+            }
+        }
+        // Drain: return every outstanding slot; everything pending must
+        // eventually be granted exactly once.
+        while !outstanding.is_empty() {
+            let g = outstanding.swap_remove(0);
+            q.complete(g.stream, g.slots, 0);
+            absorb(q.pump(), &mut outstanding, &q);
+        }
+        prop_assert_eq!(q.pending_len(), 0, "requests left ungranted after drain");
+        prop_assert_eq!(granted_total, enqueued, "grant/enqueue mismatch");
+        prop_assert_eq!(q.free(), capacity, "pool not made whole");
+    }
+
+    /// Quota overuse demotes, never corrupts: of two identically
+    /// weighted backlogged tenants, the one blowing its byte quota
+    /// every round ends up with measurably fewer grants, and every
+    /// over-quota completion is counted as a throttle.
+    #[test]
+    fn prop_quota_debt_delays_the_overuser(
+        overuse_factor in 2u64..6,
+        seed in any::<u64>(),
+    ) {
+        const QUOTA: u64 = 1000;
+        let mut q = WfqState::new(1);
+        let mut order = [1u16, 2u16];
+        shuffle(&mut order, seed);
+        for t in order {
+            q.register(t, 1, Some(QUOTA));
+        }
+        for t in order {
+            q.enqueue(t, 1);
+        }
+        let mut grants = [0u64; 2];
+        for _ in 0..600 {
+            for g in q.pump() {
+                grants[(g.stream - 1) as usize] += 1;
+                // Tenant 1 overshoots its quota every round; tenant 2
+                // stays exactly at it.
+                let bytes = if g.stream == 1 {
+                    QUOTA * overuse_factor
+                } else {
+                    QUOTA
+                };
+                q.complete(g.stream, g.slots, bytes);
+                q.enqueue(g.stream, 1);
+            }
+        }
+        prop_assert_eq!(
+            q.throttles(1),
+            grants[0],
+            "every over-quota round must count as a throttle"
+        );
+        prop_assert_eq!(q.throttles(2), 0);
+        // Effective cost ratio is ~overuse_factor : 1, so the clean
+        // tenant must clearly out-receive the overuser.
+        prop_assert!(
+            grants[1] > grants[0] * (overuse_factor - 1),
+            "clean tenant got {} grants vs overuser's {} (factor {})",
+            grants[1],
+            grants[0],
+            overuse_factor
+        );
+    }
+}

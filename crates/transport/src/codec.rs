@@ -10,16 +10,24 @@
 //! ```text
 //! offset  size  field
 //! 0       1     message discriminant (0=Block,1=Kv,2=Start,3=Shutdown,
-//!               4=Join,5=Welcome,6=Checkpoint)
-//! Block:
+//!               4=Join,5=Welcome,6=Checkpoint,7=TaggedBlock)
+//! Block (tenant stream 0 — the legacy single-job layout, byte-identical
+//! to the pre-tenancy wire format):
 //! 1       1     kind (0=Data,1=Result,2=Nack)
 //! 2       1     ver
 //! 3       1     epoch (membership epoch; the former pad byte, so block
 //!               frame sizes are unchanged)
-//! 4       2     stream
+//! 4       2     slot
 //! 6       2     wid
 //! 8       2     entry count
 //! 10      -     entries: block u32, next u32, len u16, len × f32
+//! TaggedBlock (tenant stream ≠ 0; DESIGN §15 multi-tenancy):
+//! 1..8    -     exactly as Block (kind, ver, epoch, slot, wid)
+//! 8       2     stream (tenant stream id, never 0 — a tagged frame
+//!               carrying stream 0 is rejected as non-canonical so
+//!               every message has exactly one wire encoding)
+//! 10      2     entry count
+//! 12      -     entries (as Block)
 //! Kv:
 //! 1       1     kind
 //! 2       2     wid
@@ -37,7 +45,7 @@
 //! Checkpoint:
 //! 1       1     epoch
 //! 2       1     ver
-//! 3       2     stream (u16::MAX = membership-only)
+//! 3       2     slot (u16::MAX = membership-only)
 //! 5       2     member count, then members (u16 × count)
 //! -       2     evicted count, then evicted (u16 × count)
 //! -       2     entry count, then entries (block format)
@@ -57,6 +65,10 @@ pub enum CodecError {
     /// The frame is longer than its advertised content (every transport
     /// is frame-oriented, so trailing garbage means corruption).
     TrailingBytes,
+    /// A tagged block frame carrying tenant stream 0. Stream 0 must use
+    /// the legacy layout (discriminant 0), so each message has exactly
+    /// one canonical encoding and byte accounting stays unambiguous.
+    NonCanonical,
 }
 
 impl std::fmt::Display for CodecError {
@@ -65,14 +77,21 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated frame"),
             CodecError::BadDiscriminant(d) => write!(f, "bad discriminant {d}"),
             CodecError::TrailingBytes => write!(f, "oversized frame (trailing bytes)"),
+            CodecError::NonCanonical => {
+                write!(f, "tagged block frame carries stream 0 (non-canonical)")
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
 
-/// Fixed header bytes of a block message (through the entry count).
+/// Fixed header bytes of a legacy (tenant stream 0) block message
+/// (through the entry count).
 pub const BLOCK_HEADER_BYTES: usize = 10;
+/// Fixed header bytes of a stream-tagged block message (through the
+/// entry count): the legacy header plus the `u16` tenant stream id.
+pub const TAGGED_BLOCK_HEADER_BYTES: usize = 12;
 /// Per-entry header bytes (block, next, length).
 pub const ENTRY_HEADER_BYTES: usize = 10;
 /// Fixed header bytes of a key-value message.
@@ -83,6 +102,17 @@ pub const KV_PAIR_BYTES: usize = 8;
 /// disc, epoch, ver, stream, member count, evicted count, entry count).
 pub const CHECKPOINT_HEADER_BYTES: usize = 11;
 
+/// Block header size for a given tenant stream id — the number the
+/// simulators use to charge block frames so their byte accounting stays
+/// anchored to the executable wire format under multi-tenancy.
+pub fn block_header_bytes(stream: u16) -> usize {
+    if stream == 0 {
+        BLOCK_HEADER_BYTES
+    } else {
+        TAGGED_BLOCK_HEADER_BYTES
+    }
+}
+
 const MSG_BLOCK: u8 = 0;
 const MSG_KV: u8 = 1;
 const MSG_START: u8 = 2;
@@ -90,6 +120,7 @@ const MSG_SHUTDOWN: u8 = 3;
 const MSG_JOIN: u8 = 4;
 const MSG_WELCOME: u8 = 5;
 const MSG_CHECKPOINT: u8 = 6;
+const MSG_BLOCK_TAGGED: u8 = 7;
 
 fn kind_byte(k: PacketKind) -> u8 {
     match k {
@@ -167,12 +198,22 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
     out.reserve(encoded_len(msg));
     match msg {
         Message::Block(p) => {
-            out.push(MSG_BLOCK);
+            // Stream 0 keeps the pre-tenancy layout byte for byte; any
+            // other stream selects the tagged header. Exactly one
+            // encoding per message (decode rejects the other).
+            out.push(if p.stream == 0 {
+                MSG_BLOCK
+            } else {
+                MSG_BLOCK_TAGGED
+            });
             out.push(kind_byte(p.kind));
             out.push(p.ver);
             out.push(p.epoch);
-            out.extend_from_slice(&p.stream.to_le_bytes());
+            out.extend_from_slice(&p.slot.to_le_bytes());
             out.extend_from_slice(&p.wid.to_le_bytes());
+            if p.stream != 0 {
+                out.extend_from_slice(&p.stream.to_le_bytes());
+            }
             put_entries(out, &p.entries);
         }
         Message::Kv(p) => {
@@ -205,7 +246,7 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
             out.push(MSG_CHECKPOINT);
             out.push(d.epoch);
             out.push(d.ver);
-            out.extend_from_slice(&d.stream.to_le_bytes());
+            out.extend_from_slice(&d.slot.to_le_bytes());
             put_u16s(out, &d.members);
             put_u16s(out, &d.evicted);
             put_entries(out, &d.entries);
@@ -218,7 +259,7 @@ pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
 pub fn encoded_len(msg: &Message) -> usize {
     match msg {
         Message::Block(p) => {
-            BLOCK_HEADER_BYTES
+            block_header_bytes(p.stream)
                 + p.entries
                     .iter()
                     .map(|e| ENTRY_HEADER_BYTES + 4 * e.data.len())
@@ -264,12 +305,23 @@ pub fn decode_into(mut buf: &[u8], msg: &mut Message) -> Result<(), CodecError> 
     let buf = &mut buf;
     let disc = get_u8(buf)?;
     match disc {
-        MSG_BLOCK => {
+        MSG_BLOCK | MSG_BLOCK_TAGGED => {
             let kind = kind_from(get_u8(buf)?)?;
             let ver = get_u8(buf)?;
             let epoch = get_u8(buf)?;
-            let stream = get_u16(buf)?;
+            let slot = get_u16(buf)?;
             let wid = get_u16(buf)?;
+            let stream = if disc == MSG_BLOCK_TAGGED {
+                let s = get_u16(buf)?;
+                if s == 0 {
+                    // Stream 0 must use the legacy layout; rejecting the
+                    // tagged spelling keeps encodings canonical.
+                    return Err(CodecError::NonCanonical);
+                }
+                s
+            } else {
+                0
+            };
             // Steal the previous entry list (and its payload buffers) so
             // they can be refilled in place.
             let prev = match std::mem::replace(msg, Message::Shutdown) {
@@ -281,6 +333,7 @@ pub fn decode_into(mut buf: &[u8], msg: &mut Message) -> Result<(), CodecError> 
                 kind,
                 ver,
                 epoch,
+                slot,
                 stream,
                 wid,
                 entries,
@@ -343,7 +396,7 @@ pub fn decode_into(mut buf: &[u8], msg: &mut Message) -> Result<(), CodecError> 
         MSG_CHECKPOINT => {
             let epoch = get_u8(buf)?;
             let ver = get_u8(buf)?;
-            let stream = get_u16(buf)?;
+            let slot = get_u16(buf)?;
             let (members_prev, evicted_prev, entries_prev) =
                 match std::mem::replace(msg, Message::Shutdown) {
                     Message::Checkpoint(d) => (d.members, d.evicted, d.entries),
@@ -354,7 +407,7 @@ pub fn decode_into(mut buf: &[u8], msg: &mut Message) -> Result<(), CodecError> 
             let entries = get_entries(buf, entries_prev)?;
             *msg = Message::Checkpoint(CheckpointDelta {
                 epoch,
-                stream,
+                slot,
                 ver,
                 members,
                 evicted,
@@ -458,7 +511,8 @@ mod tests {
             kind: PacketKind::Data,
             ver: 1,
             epoch: 5,
-            stream: 42,
+            slot: 42,
+            stream: 0,
             wid: 3,
             entries: vec![
                 Entry::data(10, 14, vec![1.0, -2.5, 0.0]),
@@ -467,10 +521,17 @@ mod tests {
         })
     }
 
+    fn sample_tagged_block() -> Message {
+        match sample_block() {
+            Message::Block(p) => Message::Block(Packet { stream: 9, ..p }),
+            _ => unreachable!(),
+        }
+    }
+
     fn sample_checkpoint() -> Message {
         Message::Checkpoint(CheckpointDelta {
             epoch: 2,
-            stream: 7,
+            slot: 7,
             ver: 1,
             members: vec![0, 2, 3],
             evicted: vec![1],
@@ -527,7 +588,7 @@ mod tests {
             sample_checkpoint(),
             Message::Checkpoint(CheckpointDelta {
                 epoch: 1,
-                stream: u16::MAX,
+                slot: u16::MAX,
                 ver: 0,
                 members: vec![],
                 evicted: vec![0, 1, 2],
@@ -556,6 +617,151 @@ mod tests {
         }
     }
 
+    /// Entry bytes of a block message (test-side mirror of the
+    /// per-entry term in [`encoded_len`]).
+    fn msg_entry_bytes(msg: &Message) -> usize {
+        match msg {
+            Message::Block(p) => p
+                .entries
+                .iter()
+                .map(|e| ENTRY_HEADER_BYTES + 4 * e.data.len())
+                .sum(),
+            _ => unreachable!(),
+        }
+    }
+
+    /// The pre-tenancy encoder, reconstructed verbatim from the frame
+    /// layout that shipped before the stream tag existed. Golden
+    /// reference: stream-0 frames must still produce these exact bytes.
+    fn legacy_encode_block(
+        kind: u8,
+        ver: u8,
+        epoch: u8,
+        slot: u16,
+        wid: u16,
+        entries: &[Entry],
+    ) -> Vec<u8> {
+        let mut out = vec![0u8, kind, ver, epoch];
+        out.extend_from_slice(&slot.to_le_bytes());
+        out.extend_from_slice(&wid.to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+        for e in entries {
+            out.extend_from_slice(&e.block.to_le_bytes());
+            out.extend_from_slice(&e.next.to_le_bytes());
+            out.extend_from_slice(&(e.data.len() as u16).to_le_bytes());
+            for v in &e.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stream_zero_frames_match_pre_tenancy_bytes() {
+        // Every packet kind, with and without payloads: the stream-0
+        // encoding is byte-identical to the pre-PR wire format.
+        let cases = [
+            (
+                PacketKind::Data,
+                0u8,
+                0u8,
+                0u16,
+                0u16,
+                vec![Entry::data(0, 1, vec![1.5, -2.0])],
+            ),
+            (
+                PacketKind::Result,
+                1,
+                2,
+                42,
+                3,
+                vec![Entry::data(10, 14, vec![0.0]), Entry::ack(11, u32::MAX)],
+            ),
+            (PacketKind::Nack, 1, 0, 17, u16::MAX, vec![]),
+        ];
+        for (kind, ver, epoch, slot, wid, entries) in cases {
+            let msg = Message::Block(Packet {
+                kind,
+                ver,
+                epoch,
+                slot,
+                stream: 0,
+                wid,
+                entries: entries.clone(),
+            });
+            let golden = legacy_encode_block(kind_byte(kind), ver, epoch, slot, wid, &entries);
+            assert_eq!(encode(&msg).as_ref(), &golden[..], "{}", msg.tag());
+            assert_eq!(encoded_len(&msg), golden.len());
+        }
+    }
+
+    #[test]
+    fn tagged_block_layout_and_roundtrip() {
+        for kind in [PacketKind::Data, PacketKind::Result, PacketKind::Nack] {
+            let msg = Message::Block(Packet {
+                kind,
+                ver: 1,
+                epoch: 3,
+                slot: 0x1234,
+                stream: 0xBEEF,
+                wid: 0x0506,
+                entries: vec![Entry::data(7, 9, vec![0.5])],
+            });
+            let enc = encode(&msg);
+            assert_eq!(enc.len(), encoded_len(&msg));
+            // Fixed offsets of the tagged header.
+            assert_eq!(enc[0], 7, "tagged discriminant");
+            assert_eq!(enc[1], kind_byte(kind));
+            assert_eq!(enc[2], 1, "ver");
+            assert_eq!(enc[3], 3, "epoch");
+            assert_eq!(&enc[4..6], &0x1234u16.to_le_bytes(), "slot");
+            assert_eq!(&enc[6..8], &0x0506u16.to_le_bytes(), "wid");
+            assert_eq!(&enc[8..10], &0xBEEFu16.to_le_bytes(), "stream");
+            assert_eq!(&enc[10..12], &1u16.to_le_bytes(), "entry count");
+            assert_eq!(decode(&enc).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn tagged_header_costs_exactly_two_bytes() {
+        let (legacy, tagged) = (sample_block(), sample_tagged_block());
+        assert_eq!(encoded_len(&tagged), encoded_len(&legacy) + 2);
+        assert_eq!(block_header_bytes(0), BLOCK_HEADER_BYTES);
+        assert_eq!(block_header_bytes(9), TAGGED_BLOCK_HEADER_BYTES);
+        assert_eq!(block_header_bytes(u16::MAX), TAGGED_BLOCK_HEADER_BYTES);
+    }
+
+    #[test]
+    fn tagged_frame_with_stream_zero_rejected() {
+        // Hand-build a discriminant-7 frame that claims stream 0: the
+        // decoder must refuse it (exactly one encoding per message).
+        let enc = encode(&sample_tagged_block());
+        let mut forged = enc.as_ref().to_vec();
+        forged[8] = 0;
+        forged[9] = 0;
+        assert_eq!(decode(&forged), Err(CodecError::NonCanonical));
+        // And dirty scratch state still decodes the honest frame.
+        let mut scratch = sample_block();
+        decode_into(&enc, &mut scratch).unwrap();
+        assert_eq!(scratch, sample_tagged_block());
+    }
+
+    #[test]
+    fn tagged_truncation_and_trailing_rejected() {
+        let enc = encode(&sample_tagged_block());
+        for cut in 0..enc.len() {
+            assert_eq!(decode(&enc[..cut]), Err(CodecError::Truncated), "cut {cut}");
+        }
+        let mut over = enc.as_ref().to_vec();
+        over.push(0xAB);
+        assert_eq!(decode(&over), Err(CodecError::TrailingBytes));
+        // Bad packet kind inside a tagged frame.
+        assert_eq!(
+            decode(&[MSG_BLOCK_TAGGED, 7]),
+            Err(CodecError::BadDiscriminant(7))
+        );
+    }
+
     #[test]
     fn truncated_frames_error() {
         for msg in [sample_block(), sample_checkpoint()] {
@@ -581,7 +787,8 @@ mod tests {
             kind: PacketKind::Nack,
             ver: 1,
             epoch: 0,
-            stream: 17,
+            slot: 17,
+            stream: 0,
             wid: u16::MAX,
             entries: vec![],
         });
@@ -596,6 +803,7 @@ mod tests {
             kind: PacketKind::Result,
             ver: 0,
             epoch: 0,
+            slot: 0,
             stream: 0,
             wid: 0,
             entries: vec![],
@@ -612,6 +820,7 @@ mod tests {
             kind: PacketKind::Result,
             ver: 9,
             epoch: 9,
+            slot: 9,
             stream: 9,
             wid: 9,
             entries: vec![
@@ -708,7 +917,24 @@ mod tests {
             kind: PacketKind::Data,
             ver: 1,
             epoch: 0,
-            stream: 7,
+            slot: 7,
+            stream: 0,
+            wid: 2,
+            entries: vec![Entry::data(0, u32::MAX, data.clone())],
+        });
+        let enc = encode(&msg);
+        assert_eq!(enc.len(), encoded_len(&msg));
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec, msg);
+        assert_eq!(encode(&dec), enc);
+
+        // Same maximal entry through the tagged layout.
+        let msg = Message::Block(Packet {
+            kind: PacketKind::Data,
+            ver: 1,
+            epoch: 0,
+            slot: 7,
+            stream: u16::MAX,
             wid: 2,
             entries: vec![Entry::data(0, u32::MAX, data)],
         });
@@ -753,6 +979,7 @@ mod tests {
             ],
             ver in 0u8..2,
             epoch in any::<u8>(),
+            slot in any::<u16>(),
             stream in any::<u16>(),
             wid in any::<u16>(),
             entries in prop::collection::vec(
@@ -766,13 +993,14 @@ mod tests {
                 .into_iter()
                 .map(|(block, next, data)| Entry { block, next, data })
                 .collect();
-            let msg = Message::Block(Packet { kind, ver, epoch, stream, wid, entries });
+            let msg = Message::Block(Packet { kind, ver, epoch, slot, stream, wid, entries });
             let enc = encode(&msg);
             // Decode into dirty scratch of arbitrary prior shape.
             let mut scratch = Message::Block(Packet {
                 kind: PacketKind::Result,
                 ver: 1,
                 epoch: 1,
+                slot: 1,
                 stream: 1,
                 wid: 1,
                 entries: (0..scratch_entries)
@@ -824,6 +1052,7 @@ mod tests {
             ],
             ver in 0u8..2,
             epoch in any::<u8>(),
+            slot in any::<u16>(),
             stream in any::<u16>(),
             wid in any::<u16>(),
             entries in prop::collection::vec(
@@ -835,9 +1064,16 @@ mod tests {
                 .into_iter()
                 .map(|(block, next, data)| Entry { block, next, data })
                 .collect();
-            let msg = Message::Block(Packet { kind, ver, epoch, stream, wid, entries });
+            let msg = Message::Block(Packet { kind, ver, epoch, slot, stream, wid, entries });
             let enc = encode(&msg);
             prop_assert_eq!(enc.len(), encoded_len(&msg));
+            // The header grows by exactly the u16 stream tag and only
+            // for nonzero streams.
+            prop_assert_eq!(
+                enc.len(),
+                block_header_bytes(stream)
+                    + msg_entry_bytes(&msg),
+            );
             let dec = decode(&enc).unwrap();
             // NaN-safe comparison: encode again and compare bytes.
             prop_assert_eq!(encode(&dec), enc);
@@ -846,7 +1082,7 @@ mod tests {
         #[test]
         fn prop_checkpoint_roundtrip(
             epoch in any::<u8>(),
-            stream in any::<u16>(),
+            slot in any::<u16>(),
             ver in 0u8..2,
             members in prop::collection::vec(any::<u16>(), 0..8),
             evicted in prop::collection::vec(any::<u16>(), 0..8),
@@ -860,7 +1096,7 @@ mod tests {
                 .map(|(block, next, data)| Entry { block, next, data })
                 .collect();
             let msg = Message::Checkpoint(CheckpointDelta {
-                epoch, stream, ver, members, evicted, entries,
+                epoch, slot, ver, members, evicted, entries,
             });
             let enc = encode(&msg);
             prop_assert_eq!(enc.len(), encoded_len(&msg));

@@ -309,11 +309,15 @@ const SALT_TRANS: u64 = 0xB1;
 /// messages have no flow key.
 fn flow_key(msg: &Message) -> Option<u64> {
     match msg {
+        // Tenant-local coordinates only (slot, not the tenant stream
+        // id): a tenant's chaos fates must not depend on which stream
+        // id admission handed it, so a solo replay with the same seed
+        // sees identical drops/dups (the §15 isolation invariant).
         Message::Block(p) => Some(mix_all(&[
             1,
             p.kind as u64,
             p.ver as u64,
-            p.stream as u64,
+            p.slot as u64,
             p.wid as u64,
         ])),
         Message::Kv(p) => Some(mix_all(&[
@@ -492,12 +496,13 @@ mod tests {
     use crate::channel::ChannelNetwork;
     use crate::message::{Packet, PacketKind};
 
-    fn data(stream: u16, ver: u8, wid: u16) -> Message {
+    fn data(slot: u16, ver: u8, wid: u16) -> Message {
         Message::Block(Packet {
             kind: PacketKind::Data,
             ver,
             epoch: 0,
-            stream,
+            slot,
+            stream: 0,
             wid,
             entries: vec![],
         })
@@ -506,7 +511,7 @@ mod tests {
     fn checkpoint() -> Message {
         Message::Checkpoint(crate::message::CheckpointDelta {
             epoch: 0,
-            stream: 0,
+            slot: 0,
             ver: 0,
             members: vec![0],
             evicted: vec![],
@@ -654,7 +659,7 @@ mod tests {
             let mut got = Vec::new();
             while let Some((_, m)) = eps[1].recv_timeout(Duration::from_millis(5)).unwrap() {
                 if let Message::Block(p) = m {
-                    got.push(p.stream);
+                    got.push(p.slot);
                 }
             }
             got.sort_unstable();

@@ -302,6 +302,7 @@ mod tests {
         Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
+            slot: 0,
             stream: 0,
             wid: 0,
             epoch: 0,

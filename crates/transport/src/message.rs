@@ -42,7 +42,7 @@ pub enum PacketKind {
     /// Aggregator → worker: solicited retransmission (receiver-driven
     /// recovery, Algorithm 2 extension). Sent to exactly the workers
     /// whose contribution to a stalled phase is missing when a
-    /// duplicate reveals the stall; entries are empty, `ver`/`stream`
+    /// duplicate reveals the stall; entries are empty, `ver`/`slot`
     /// name the phase. The receiver resends its outstanding packet
     /// immediately instead of waiting for its own timer.
     Nack,
@@ -102,7 +102,14 @@ pub struct Packet {
     /// admission (a zombie contribution from before an eviction);
     /// workers adopt newer epochs observed on `Result` packets.
     pub epoch: u8,
-    /// Stream / slot id (the paper's 12-bit slot id; §3.1.1 pipelining).
+    /// Pipeline slot id within one job (the paper's 12-bit slot id;
+    /// §3.1.1 pipelining). Called `stream` before multi-tenancy landed.
+    pub slot: u16,
+    /// Tenant stream id (DESIGN §15). `0` is the single-job legacy
+    /// stream and encodes with the original 10-byte block header, byte
+    /// for byte identical to the pre-tenancy wire format; any other
+    /// value selects the 12-byte tagged header so one aggregator fleet
+    /// can demultiplex thousands of simultaneous reductions.
     pub stream: u16,
     /// Sending worker id (meaningful on `Data` packets).
     pub wid: u16,
@@ -136,7 +143,7 @@ pub struct KvPacket {
 /// The paper's ∞ sentinel for [`KvPacket::nextkey`].
 pub const INFINITY_KEY: u64 = u64::MAX;
 
-/// Sentinel for [`CheckpointDelta::stream`]: the delta carries only a
+/// Sentinel for [`CheckpointDelta::slot`]: the delta carries only a
 /// membership change (epoch bump, admissions, evictions), no phase
 /// completion.
 pub const MEMBERSHIP_ONLY: u16 = u16::MAX;
@@ -150,8 +157,8 @@ pub const MEMBERSHIP_ONLY: u16 = u16::MAX;
 pub struct CheckpointDelta {
     /// Membership epoch in force when the delta was produced.
     pub epoch: u8,
-    /// Completed stream slot, or [`MEMBERSHIP_ONLY`].
-    pub stream: u16,
+    /// Completed pipeline slot, or [`MEMBERSHIP_ONLY`].
+    pub slot: u16,
     /// Completed phase version within the slot (ignored for
     /// membership-only deltas).
     pub ver: u8,
@@ -216,7 +223,7 @@ impl Message {
             Message::Join { .. } => "join",
             Message::Welcome { .. } => "welcome",
             Message::Checkpoint(d) => {
-                if d.stream == MEMBERSHIP_ONLY {
+                if d.slot == MEMBERSHIP_ONLY {
                     "checkpoint-membership"
                 } else {
                     "checkpoint-phase"
@@ -245,6 +252,7 @@ mod tests {
             kind: PacketKind::Data,
             ver: 0,
             epoch: 0,
+            slot: 0,
             stream: 0,
             wid: 1,
             entries: vec![Entry::data(0, 1, vec![0.0; 4]), Entry::ack(1, 2)],
@@ -258,6 +266,7 @@ mod tests {
             kind: PacketKind::Result,
             ver: 0,
             epoch: 0,
+            slot: 0,
             stream: 0,
             wid: 0,
             entries: vec![],
@@ -276,7 +285,7 @@ mod tests {
         );
         let membership = CheckpointDelta {
             epoch: 1,
-            stream: MEMBERSHIP_ONLY,
+            slot: MEMBERSHIP_ONLY,
             ver: 0,
             members: vec![2],
             evicted: vec![],
@@ -287,7 +296,7 @@ mod tests {
             "checkpoint-membership"
         );
         let phase = CheckpointDelta {
-            stream: 3,
+            slot: 3,
             ..membership
         };
         assert_eq!(Message::Checkpoint(phase).tag(), "checkpoint-phase");

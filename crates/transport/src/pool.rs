@@ -299,6 +299,7 @@ mod tests {
             kind: PacketKind::Result,
             ver: 0,
             epoch: 0,
+            slot: 0,
             stream: 0,
             wid: 0,
             entries: vec![Entry::data(0, 1, vec![0.5; 4])],

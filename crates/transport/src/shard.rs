@@ -429,12 +429,13 @@ mod tests {
         // data-plane send: shard 0's results arrive at the worker,
         // shard 1's black-hole (fault plans are keyed by shard).
         use crate::message::{Entry, Packet, PacketKind};
-        let data = |stream: u16| {
+        let data = |slot: u16| {
             Message::Block(Packet {
                 kind: PacketKind::Result,
                 ver: 0,
                 epoch: 0,
-                stream,
+                slot,
+                stream: 0,
                 wid: 0,
                 entries: vec![Entry::data(0, 0, vec![1.0])],
             })
@@ -448,7 +449,7 @@ mod tests {
         agg1.send(NodeId(0), &data(1)).unwrap();
         let (_, got) = bond.recv().unwrap();
         match got {
-            Message::Block(p) => assert_eq!(p.stream, 0, "only shard 0 may deliver"),
+            Message::Block(p) => assert_eq!(p.slot, 0, "only shard 0 may deliver"),
             other => panic!("unexpected {other:?}"),
         }
         assert!(bond

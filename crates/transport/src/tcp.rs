@@ -217,7 +217,8 @@ mod tests {
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
-            stream: 3,
+            slot: 3,
+            stream: 0,
             wid: 0,
             epoch: 0,
             entries: vec![Entry::data(1, 2, vec![1.0, 2.0, 3.0])],
@@ -271,6 +272,7 @@ mod tests {
         let msg = Message::Block(Packet {
             kind: PacketKind::Result,
             ver: 1,
+            slot: 0,
             stream: 0,
             wid: 0,
             epoch: 0,

@@ -182,7 +182,8 @@ mod tests {
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 1,
-            stream: 7,
+            slot: 7,
+            stream: 0,
             wid: 0,
             epoch: 0,
             entries: vec![Entry::data(3, 5, vec![1.0, 2.0])],
@@ -253,6 +254,7 @@ mod tests {
         let msg = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
+            slot: 0,
             stream: 0,
             wid: 0,
             epoch: 0,
@@ -273,7 +275,8 @@ mod tests {
         let fused = Message::Block(Packet {
             kind: PacketKind::Data,
             ver: 0,
-            stream: 2,
+            slot: 2,
+            stream: 0,
             wid: 0,
             epoch: 0,
             entries: (0..4)

@@ -148,6 +148,41 @@ else
     cargo test "${CARGO_FLAGS[@]}" -p omnireduce-simnet --test proptest_topologies -q
 fi
 
+# Tenant isolation suite (§15 multi-tenancy): N concurrent tenants over
+# one shared shard fleet must each be bit-identical to their solo runs
+# (clean and under per-tenant seeded chaos, with exact telemetry
+# replay), a mid-stream tenant abort must wind down alone, quota
+# overuse must throttle without corruption, and a solo service tenant
+# must match the plain sharded harness byte-for-byte. A demux or
+# scheduler deadlock presents as a stall, hence the outer timeout belt.
+if command -v timeout >/dev/null 2>&1; then
+  step "tenant interleave suite (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test tenant_interleave -q
+else
+  step "tenant interleave suite" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test tenant_interleave -q
+fi
+
+# Tenant fairness suite (§15 WFQ): pure property tests over the slot
+# scheduler — weighted shares converge, bounded wait (no starvation),
+# pool never over-committed, quota debt demotes without corruption,
+# grant sequences replay exactly per seed.
+if command -v timeout >/dev/null 2>&1; then
+  step "tenant fairness suite (timeout 300s)" \
+    timeout --signal=KILL 300 \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test tenant_fairness -q
+else
+  step "tenant fairness suite" \
+    cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --test tenant_fairness -q
+fi
+
+# Stream-0 wire compatibility: legacy 10-byte Block frames and the
+# stream-tagged 12-byte layout round-trip through the same codec, and
+# the tenant unit suite pins admission/registry/WFQ semantics.
+step "tenant stream-compat (codec + unit suite)" \
+  cargo test "${CARGO_FLAGS[@]}" -p omnireduce-core --lib -q tenant
+
 # Recorder hot path must not allocate: CountingAllocator-backed
 # regression over record/record_at/now_ns.
 step "flight recorder allocation gate" \
@@ -238,6 +273,24 @@ if [[ "$FAST" -eq 0 ]]; then
     step "failover recovery-time gate" \
       cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
       --bin ablation_failover -- --check
+  fi
+fi
+
+# Multi-tenant goodput gate (§15): 1/2/4/8 concurrent tenants over one
+# shared 2-shard fleet. Aggregate goodput must stay tolerance-monotone
+# as the tenant count doubles (a serialization or head-of-line
+# regression collapses it), and the 8-tenant p99 round latency must
+# stay within 4x the committed baseline.
+if [[ "$FAST" -eq 0 ]]; then
+  if command -v timeout >/dev/null 2>&1; then
+    step "multitenant goodput gate (timeout 300s)" \
+      timeout --signal=KILL 300 \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin ablation_multitenant -- --check
+  else
+    step "multitenant goodput gate" \
+      cargo run "${CARGO_FLAGS[@]}" --release -p omnireduce-bench \
+      --bin ablation_multitenant -- --check
   fi
 fi
 
